@@ -1,0 +1,52 @@
+//===- bench/BenchUtil.h - Shared bench harness helpers ---------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting and scaling helpers for the table-reproduction benches.
+/// Every bench prints its measured table followed by the paper's reported
+/// values for side-by-side comparison; RECAP_BENCH_SCALE (default 1)
+/// multiplies workload sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_BENCH_BENCHUTIL_H
+#define RECAP_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace recap::bench {
+
+inline double scale() {
+  const char *S = std::getenv("RECAP_BENCH_SCALE");
+  if (!S)
+    return 1.0;
+  double V = std::atof(S);
+  return V > 0 ? V : 1.0;
+}
+
+inline void header(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+inline void rule(int Width = 72) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string pct(double Num, double Den) {
+  if (Den <= 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * Num / Den);
+  return Buf;
+}
+
+} // namespace recap::bench
+
+#endif // RECAP_BENCH_BENCHUTIL_H

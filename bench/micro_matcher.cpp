@@ -1,0 +1,97 @@
+//===- bench/micro_matcher.cpp - Matcher microbenchmarks --------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings for the concrete ES6 matcher — the CEGAR
+// oracle's cost floor (it runs once per refinement round).
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace recap;
+
+namespace {
+
+void BM_MatchLiteral(benchmark::State &State) {
+  auto R = Regex::parse("hello", "");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("say hello to the world");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.test(In));
+}
+BENCHMARK(BM_MatchLiteral);
+
+void BM_MatchCaptures(benchmark::State &State) {
+  auto R = Regex::parse("<(\\w+)>([0-9]*)<\\/\\1>", "");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("prefix <timeout>500</timeout> suffix");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.exec(In).Result.has_value());
+}
+BENCHMARK(BM_MatchCaptures);
+
+void BM_MatchBacktrackHeavy(benchmark::State &State) {
+  auto R = Regex::parse("(a+)+b", "");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8(std::string(18, 'a') + "b");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.test(In));
+}
+BENCHMARK(BM_MatchBacktrackHeavy);
+
+void BM_MatchIgnoreCaseClass(benchmark::State &State) {
+  auto R = Regex::parse("[a-z]+[0-9]{2,4}", "i");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("___ABCdef1234___");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.test(In));
+}
+BENCHMARK(BM_MatchIgnoreCaseClass);
+
+void BM_MatchLongInput(benchmark::State &State) {
+  auto R = Regex::parse("needle[0-9]+", "");
+  RegExpObject Obj(R.take());
+  std::string Hay(4096, 'x');
+  Hay += "needle42";
+  UString In = fromUTF8(Hay);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.test(In));
+}
+BENCHMARK(BM_MatchLongInput);
+
+void BM_ParseRegex(benchmark::State &State) {
+  for (auto _ : State) {
+    auto R = Regex::parse("^(?:([a-z]+)|\\d{2,3})(?=x)\\1?$", "im");
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParseRegex);
+
+void BM_MatchLookbehind(benchmark::State &State) {
+  // ES2018 extension: right-to-left matching inside the assertion.
+  auto R = Regex::parse("(?<=\\$)\\d+(?:\\.\\d{2})?", "");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("total due: $1299.99 (incl. tax)");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.exec(In).Result.has_value());
+}
+BENCHMARK(BM_MatchLookbehind);
+
+void BM_MatchNamedGroups(benchmark::State &State) {
+  auto R = Regex::parse(
+      "(?<y>\\d{4})-(?<m>\\d{2})-(?<d>\\d{2})T(?<h>\\d{2})", "");
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("timestamp 2019-06-22T14 logged");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Obj.exec(In).Result.has_value());
+}
+BENCHMARK(BM_MatchNamedGroups);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+//===- bench/micro_model.cpp - Model construction & solving micro ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings for model construction (pure CPU) and
+// end-to-end CEGAR queries (dominated by Z3), the per-query cost the DSE
+// engine pays for each path-condition flip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace recap;
+
+namespace {
+
+void BM_BuildModelSimple(benchmark::State &State) {
+  auto R = Regex::parse("(a+)(b*)c", "");
+  unsigned I = 0;
+  for (auto _ : State) {
+    ModelBuilder MB(*R, "m" + std::to_string(I++));
+    benchmark::DoNotOptimize(MB.build(mkStrVar("in")));
+  }
+}
+BENCHMARK(BM_BuildModelSimple);
+
+void BM_BuildModelComplex(benchmark::State &State) {
+  auto R = Regex::parse("^(?=[a-z])(\\w+)-(\\d{2,4})(?:\\.(\\w+)\\3)?$",
+                        "i");
+  unsigned I = 0;
+  for (auto _ : State) {
+    ModelBuilder MB(*R, "m" + std::to_string(I++));
+    benchmark::DoNotOptimize(MB.build(mkStrVar("in")));
+  }
+}
+BENCHMARK(BM_BuildModelComplex);
+
+void BM_SolveMembership(benchmark::State &State) {
+  auto R = Regex::parse("(a+)(b+)", "");
+  auto Backend = makeZ3Backend();
+  unsigned I = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Backend);
+    SymbolicRegExp Sym(R->clone(), "s" + std::to_string(I++));
+    auto Q = Sym.exec(mkStrVar("in"), mkIntConst(0));
+    benchmark::DoNotOptimize(Solver.solve({PathClause::regex(Q, true)}));
+  }
+}
+BENCHMARK(BM_SolveMembership)->Unit(benchmark::kMillisecond);
+
+void BM_SolveWithRefinement(benchmark::State &State) {
+  // The paper's §3.4 example: needs one refinement round.
+  auto R = Regex::parse("^a*(a)?$", "");
+  auto Backend = makeZ3Backend();
+  unsigned I = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Backend);
+    SymbolicRegExp Sym(R->clone(), "r" + std::to_string(I++));
+    TermRef In = mkStrVar("in");
+    auto Q = Sym.exec(In, mkIntConst(0));
+    benchmark::DoNotOptimize(Solver.solve(
+        {PathClause::regex(Q, true),
+         PathClause::plain(mkEq(In, mkStrConst(fromUTF8("aa"))))}));
+  }
+}
+BENCHMARK(BM_SolveWithRefinement)->Unit(benchmark::kMillisecond);
+
+void BM_SolveNegationExact(benchmark::State &State) {
+  auto R = Regex::parse("(a|b)+c", "");
+  auto Backend = makeZ3Backend();
+  unsigned I = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Backend);
+    SymbolicRegExp Sym(R->clone(), "n" + std::to_string(I++));
+    auto Q = Sym.test(mkStrVar("in"), mkIntConst(0));
+    benchmark::DoNotOptimize(Solver.solve({PathClause::regex(Q, false)}));
+  }
+}
+BENCHMARK(BM_SolveNegationExact)->Unit(benchmark::kMillisecond);
+
+void BM_SolveLookbehind(benchmark::State &State) {
+  // ES2018 extension through the prefix-side model rule + CEGAR.
+  auto R = Regex::parse("(?<=\\$)(\\d+)", "");
+  auto Backend = makeZ3Backend();
+  unsigned I = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Backend);
+    SymbolicRegExp Sym(R->clone(), "lb" + std::to_string(I++));
+    auto Q = Sym.exec(mkStrVar("in"), mkIntConst(0));
+    benchmark::DoNotOptimize(Solver.solve({PathClause::regex(Q, true)}));
+  }
+}
+BENCHMARK(BM_SolveLookbehind)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+//===- examples/listing1_bug.cpp - The paper's motivating bug --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Listing 1 of the paper: a program that parses numeric arguments between
+// XML tags and asserts the timeout is numeric. The regex admits an empty
+// number, so "<timeout></timeout>" violates the assertion. Dynamic
+// symbolic execution with full regex support finds it automatically;
+// concretizing regexes (the no-support baseline) cannot.
+//
+//   $ ./listing1_bug
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Engine.h"
+#include "dse/Workloads.h"
+
+#include <cstdio>
+
+using namespace recap;
+
+static const char *levelName(SupportLevel L) {
+  switch (L) {
+  case SupportLevel::Concrete:
+    return "concrete (no regex support)";
+  case SupportLevel::Model:
+    return "+ membership modeling";
+  case SupportLevel::Captures:
+    return "+ captures & backreferences";
+  case SupportLevel::Refinement:
+    return "+ CEGAR refinement (full)";
+  }
+  return "?";
+}
+
+int main() {
+  Program P = listing1Program();
+  std::printf("Listing 1 (%d statements), searching for the assertion "
+              "violation...\n\n",
+              P.NumStmts);
+
+  for (SupportLevel L : {SupportLevel::Concrete, SupportLevel::Refinement}) {
+    auto Backend = makeZ3Backend();
+    EngineOptions Opts;
+    Opts.Level = L;
+    Opts.MaxTests = 48;
+    Opts.MaxSeconds = 90;
+    DseEngine Engine(*Backend, Opts);
+    EngineResult R = Engine.run(P);
+    std::printf("%-32s tests=%3llu coverage=%5.1f%% bug=%s\n",
+                levelName(L),
+                static_cast<unsigned long long>(R.TestsRun),
+                R.coveragePercent(), R.bugFound() ? "FOUND" : "not found");
+  }
+  std::printf("\nThe full-support engine derives the bug input by solving\n"
+              "(arg, C0, C1, C2) ∈ Lc(/<(\\w+)>([0-9]*)<\\/\\1>/) with\n"
+              "C1 = \"timeout\" and C2 ∉ L(^[0-9]+$) — paper §3.2.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/matcher_demo.cpp - The ES6 matcher as a library ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Using the concrete matcher on its own: exec/test with flags, lastIndex
+// statefulness (the paper's §2.1 sticky example), capture groups,
+// backreferences, and lookaheads.
+//
+//   $ ./matcher_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+#include "regex/Features.h"
+
+#include <cstdio>
+
+using namespace recap;
+
+static void show(const char *Label, const RegExpObject::ExecOutcome &M) {
+  if (!M.Result) {
+    std::printf("%-28s no match\n", Label);
+    return;
+  }
+  std::printf("%-28s '%s' at %zu", Label, toUTF8(M.Result->Match).c_str(),
+              M.Result->Index);
+  for (size_t I = 0; I < M.Result->Captures.size(); ++I) {
+    const auto &C = M.Result->Captures[I];
+    std::printf("  C%zu=%s", I + 1,
+                C ? ("'" + toUTF8(*C) + "'").c_str() : "undefined");
+  }
+  std::printf("\n");
+}
+
+int main() {
+  // Greedy vs lazy matching precedence.
+  {
+    RegExpObject Greedy(Regex::parse("<(.*)>", "").take());
+    RegExpObject Lazy(Regex::parse("<(.*?)>", "").take());
+    UString In = fromUTF8("<a><b>");
+    show("greedy <(.*)>", Greedy.exec(In));
+    show("lazy <(.*?)>", Lazy.exec(In));
+  }
+
+  // The paper's sticky-flag example (§2.1).
+  {
+    RegExpObject R(Regex::parse("goo+d", "y").take());
+    UString In = fromUTF8("goood");
+    bool First = R.test(In);
+    long long Li1 = R.LastIndex;
+    bool Second = R.test(In);
+    long long Li2 = R.LastIndex;
+    std::printf("sticky /goo+d/y on 'goood': %d (lastIndex=%lld), "
+                "again: %d (lastIndex=%lld)\n",
+                First, Li1, Second, Li2);
+  }
+
+  // Backreferences make languages non-regular (§2.3).
+  {
+    RegExpObject R(Regex::parse("((a|b)\\2)+", "").take());
+    show("mutable backref on 'aabb'", R.exec(fromUTF8("aabb")));
+    show("mutable backref on 'aabaa'", R.exec(fromUTF8("aabaa")));
+  }
+
+  // Lookaheads keep captures (ES6 semantics).
+  {
+    RegExpObject R(Regex::parse("a(?=(b+))b", "").take());
+    show("lookahead captures", R.exec(fromUTF8("abbb")));
+  }
+
+  // Global flag iteration.
+  {
+    RegExpObject R(Regex::parse("\\d+", "g").take());
+    UString In = fromUTF8("a1 b22 c333");
+    std::printf("global /\\d+/g over 'a1 b22 c333':");
+    while (auto M = R.exec(In).Result)
+      std::printf(" '%s'", toUTF8(M->Match).c_str());
+    std::printf("\n");
+  }
+
+  // Feature analysis (the survey's classifier).
+  {
+    auto R = Regex::parse("(?:(a)|b)+(?=c)\\1", "i");
+    RegexFeatures F = analyzeFeatures(*R);
+    std::printf("features of /(?:(a)|b)+(?=c)\\1/i: captures=%u "
+                "lookaheads=%u backrefs=%u quantified-backrefs=%u\n",
+                F.CaptureGroups, F.Lookaheads, F.Backreferences,
+                F.QuantifiedBackreferences);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/quickstart.cpp - recap in five minutes ---------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The core workflow: parse an ES6 regex, model a symbolic exec() call
+// (Algorithm 2), and ask the CEGAR solver (Algorithm 1) for inputs that
+// drive the match the way you want — including capture group contents,
+// which is the paper's headline capability.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <cstdio>
+
+using namespace recap;
+
+int main() {
+  // 1. Parse a regex with capture groups and a backreference: matching
+  //    XML-ish tags (the language is not regular!).
+  Result<Regex> R = Regex::parse("<(\\w+)>([0-9]*)<\\/\\1>", "");
+  if (!R) {
+    std::printf("parse error: %s\n", R.error().c_str());
+    return 1;
+  }
+
+  // 2. Concrete matching: recap ships a spec-faithful ES6 matcher.
+  RegExpObject Concrete(R->clone());
+  auto M = Concrete.exec(fromUTF8("see <timeout>500</timeout>!"));
+  std::printf("concrete match: '%s' tag='%s' value='%s'\n",
+              toUTF8(M.Result->Match).c_str(),
+              toUTF8(*M.Result->Captures[0]).c_str(),
+              toUTF8(*M.Result->Captures[1]).c_str());
+
+  // 3. Symbolic matching: model exec() against a fresh string variable.
+  SymbolicRegExp Sym(R->clone(), "demo");
+  TermRef Input = mkStrVar("input");
+  std::shared_ptr<RegexQuery> Q = Sym.exec(Input, mkIntConst(0));
+
+  // 4. Constrain the captures: tag must be "timeout", value must be empty
+  //    (this is the Listing 1 bug condition from the paper).
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  std::vector<PathClause> Goal = {
+      PathClause::regex(Q, /*Polarity=*/true),
+      PathClause::plain(Q->Model.Captures[0].Defined),
+      PathClause::plain(mkEq(Q->Model.Captures[0].Value,
+                             mkStrConst(fromUTF8("timeout")))),
+      PathClause::plain(
+          mkEq(Q->Model.Captures[1].Value, mkStrConst(UString()))),
+  };
+  CegarResult Res = Solver.solve(Goal);
+  if (Res.Status != SolveStatus::Sat) {
+    std::printf("no solution found\n");
+    return 1;
+  }
+  UString Found = Res.Model.str("input");
+  std::printf("solver found input: '%s' (after %u refinement rounds)\n",
+              toUTF8(Found).c_str(), Res.Refinements);
+
+  // 5. Every CEGAR answer is validated against the concrete matcher —
+  //    check it ourselves.
+  auto Check = Concrete.exec(Found);
+  std::printf("validation: matches=%s tag='%s' value='%s'\n",
+              Check.Result ? "yes" : "NO",
+              toUTF8(*Check.Result->Captures[0]).c_str(),
+              toUTF8(*Check.Result->Captures[1]).c_str());
+
+  // 6. Non-membership works too: a word that does NOT contain a match.
+  auto Q2 = Sym.test(Input, mkIntConst(0));
+  CegarResult None = Solver.solve({
+      PathClause::regex(Q2, /*Polarity=*/false),
+      PathClause::plain(mkEq(mkStrLen(Input), mkIntConst(12))),
+  });
+  if (None.Status == SolveStatus::Sat)
+    std::printf("a 12-char non-matching input: '%s'\n",
+                toUTF8(None.Model.str("input")).c_str());
+  return 0;
+}

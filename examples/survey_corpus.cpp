@@ -1,0 +1,67 @@
+//===- examples/survey_corpus.cpp - Running the regex survey ---------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The §7.1 survey pipeline on a small corpus: extract regex literals from
+// JavaScript sources (skipping comments, strings, and division), classify
+// their features, and aggregate package-level statistics.
+//
+//   $ ./survey_corpus
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/CorpusGen.h"
+#include "survey/Survey.h"
+
+#include <cstdio>
+
+using namespace recap;
+
+int main() {
+  // Extraction on a hand-written file first.
+  const char *Js = R"js(
+// This comment mentions /not-a-regex/.
+'use strict';
+var trimmed = input.replace(/^\s+|\s+$/g, '');
+var ratio = total / count / 2;             // division, not regex
+var tag = /<(\w+)>(.*?)<\/\1>/.exec(line); // backreference!
+if (/^(?:y|yes)$/i.test(answer)) { accepted += 1; }
+var path = "a/b/c";                        // string, not regex
+)js";
+
+  std::printf("extracted from the demo file:\n");
+  for (const std::string &L : extractRegexLiterals(Js))
+    std::printf("  %s\n", L.c_str());
+
+  // A generated mini-corpus through the full pipeline.
+  CorpusOptions Opts;
+  Opts.NumPackages = 300;
+  Survey S;
+  for (const GeneratedPackage &P : generateCorpus(Opts))
+    S.addPackage(P.Files);
+
+  std::printf("\ncorpus of %llu packages:\n",
+              static_cast<unsigned long long>(S.Packages));
+  std::printf("  with sources:        %llu\n",
+              static_cast<unsigned long long>(S.WithSource));
+  std::printf("  with regexes:        %llu\n",
+              static_cast<unsigned long long>(S.WithRegex));
+  std::printf("  with captures:       %llu\n",
+              static_cast<unsigned long long>(S.WithCaptures));
+  std::printf("  with backreferences: %llu\n",
+              static_cast<unsigned long long>(S.WithBackrefs));
+  std::printf("  regex instances:     %llu (%llu unique)\n",
+              static_cast<unsigned long long>(S.TotalRegexes),
+              static_cast<unsigned long long>(S.UniqueRegexes));
+
+  std::printf("\ntop features by unique patterns:\n");
+  for (const char *Name :
+       {"Capture Groups", "Global Flag", "Character Class", "Kleene+",
+        "Backreferences"})
+    std::printf("  %-18s total=%5llu unique=%4llu\n", Name,
+                static_cast<unsigned long long>(S.Features[Name].Total),
+                static_cast<unsigned long long>(S.Features[Name].Unique));
+  return 0;
+}

@@ -1,0 +1,330 @@
+//===- api/StringMethods.cpp - String.prototype regex methods --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/StringMethods.h"
+
+#include <cassert>
+
+using namespace recap;
+
+//===----------------------------------------------------------------------===//
+// Symbolic models
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<RegexQuery> SymbolicStringMethods::match(TermRef Input) {
+  // String.prototype.match resets lastIndex for global regexes and
+  // otherwise behaves like exec on the first match; the full global match
+  // array is not modeled (partial, §6.1).
+  return Re.exec(std::move(Input), mkIntConst(0));
+}
+
+SymbolicSearch SymbolicStringMethods::search(TermRef Input) {
+  SymbolicSearch Out;
+  Out.Query = Re.exec(std::move(Input), mkIntConst(0));
+  Out.FoundIndex = SymbolicRegExp::matchIndex(*Out.Query);
+  Out.NotFound = mkIntConst(-1);
+  return Out;
+}
+
+SymbolicReplace SymbolicStringMethods::replace(TermRef Input,
+                                               const UString &Replacement) {
+  SymbolicReplace Out;
+  Out.Query = Re.exec(Input, mkIntConst(0));
+  const SymbolicMatch &M = Out.Query->Model;
+
+  // Substitute $$, $&, $`, $', $1..$9 and $<name> in the replacement
+  // template. $` and $' are exactly the model's Prefix/Suffix terms.
+  std::vector<TermRef> Parts;
+  Parts.push_back(M.Prefix);
+  UString Pending;
+  auto Flush = [&] {
+    if (!Pending.empty()) {
+      Parts.push_back(mkStrConst(Pending));
+      Pending.clear();
+    }
+  };
+  for (size_t I = 0; I < Replacement.size(); ++I) {
+    CodePoint C = Replacement[I];
+    if (C != '$' || I + 1 >= Replacement.size()) {
+      Pending.push_back(C);
+      continue;
+    }
+    CodePoint N = Replacement[I + 1];
+    if (N == '$') {
+      Pending.push_back('$');
+      ++I;
+    } else if (N == '&') {
+      Flush();
+      Parts.push_back(M.C0.Value);
+      ++I;
+    } else if (N == '`') {
+      Flush();
+      Parts.push_back(M.Prefix);
+      ++I;
+    } else if (N == '\'') {
+      Flush();
+      Parts.push_back(M.Suffix);
+      ++I;
+    } else if (N == '<') {
+      size_t Close = Replacement.find('>', I + 2);
+      uint32_t Idx = 0;
+      if (Close != UString::npos)
+        Idx = Re.regex().groupIndex(
+            toUTF8(Replacement.substr(I + 2, Close - I - 2)));
+      if (Idx != 0 && Idx <= M.Captures.size()) {
+        Flush();
+        Parts.push_back(M.Captures[Idx - 1].Value);
+        I = Close;
+      } else {
+        Pending.push_back(C);
+      }
+    } else if (N >= '1' && N <= '9' &&
+               static_cast<size_t>(N - '0') <= M.Captures.size()) {
+      Flush();
+      // Undefined captures substitute as "" — the model pins Value to ε
+      // whenever Defined is false, so the Value term is correct directly.
+      Parts.push_back(M.Captures[N - '1'].Value);
+      ++I;
+    } else {
+      Pending.push_back(C);
+    }
+  }
+  Flush();
+  Parts.push_back(M.Suffix);
+
+  Out.Replaced = mkConcat(std::move(Parts));
+  Out.Unchanged = Input;
+  return Out;
+}
+
+SymbolicSplit SymbolicStringMethods::split(TermRef Input) {
+  SymbolicSplit Out;
+  Out.Query = Re.exec(std::move(Input), mkIntConst(0));
+  Out.Head = Out.Query->Model.Prefix;
+  Out.Tail = Out.Query->Model.Suffix;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete counterparts
+//===----------------------------------------------------------------------===//
+
+/// The spec's GetSubstitution: $$, $&, $`, $', $n, $nn, $<name>.
+static UString substituteTemplate(const UString &Replacement,
+                                  const MatchResult &M, const Regex &R,
+                                  const UString &Input) {
+  UString Out;
+  for (size_t I = 0; I < Replacement.size(); ++I) {
+    CodePoint C = Replacement[I];
+    if (C != '$' || I + 1 >= Replacement.size()) {
+      Out.push_back(C);
+      continue;
+    }
+    CodePoint N = Replacement[I + 1];
+    if (N == '$') {
+      Out.push_back('$');
+      ++I;
+      continue;
+    }
+    if (N == '&') {
+      Out += M.Match;
+      ++I;
+      continue;
+    }
+    if (N == '`') {
+      Out += Input.substr(0, M.Index);
+      ++I;
+      continue;
+    }
+    if (N == '\'') {
+      Out += Input.substr(M.Index + M.matchLength());
+      ++I;
+      continue;
+    }
+    if (N == '<') {
+      // $<name>: substitute the named capture; an unterminated or unknown
+      // name renders literally, as GetSubstitution specifies for
+      // patterns without that group.
+      size_t Close = Replacement.find('>', I + 2);
+      if (Close != UString::npos) {
+        std::string Name = toUTF8(Replacement.substr(I + 2, Close - I - 2));
+        uint32_t Idx = R.groupIndex(Name);
+        if (Idx != 0) {
+          if (Idx <= M.Captures.size() && M.Captures[Idx - 1])
+            Out += *M.Captures[Idx - 1];
+          I = Close;
+          continue;
+        }
+      }
+      Out.push_back(C);
+      continue;
+    }
+    if (N >= '0' && N <= '9') {
+      // Prefer the two-digit form when it names an existing group ($10
+      // beats $1 followed by '0'), matching GetSubstitution.
+      size_t OneDigit = N - '0';
+      size_t TwoDigit =
+          I + 2 < Replacement.size() && Replacement[I + 2] >= '0' &&
+                  Replacement[I + 2] <= '9'
+              ? OneDigit * 10 + (Replacement[I + 2] - '0')
+              : 0;
+      if (TwoDigit >= 1 && TwoDigit <= M.Captures.size()) {
+        if (const auto &Cap = M.Captures[TwoDigit - 1])
+          Out += *Cap;
+        I += 2;
+        continue;
+      }
+      if (OneDigit >= 1 && OneDigit <= M.Captures.size()) {
+        if (const auto &Cap = M.Captures[OneDigit - 1])
+          Out += *Cap;
+        ++I;
+        continue;
+      }
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// Shared replace loop; \p Global overrides the regex's own flag (used by
+/// replaceAll).
+static UString replaceImpl(RegExpObject &Re, const UString &Input,
+                           const UString &Replacement, bool Global) {
+  UString Out;
+  size_t Pos = 0;
+  int64_t SavedLastIndex = Re.LastIndex;
+  Re.LastIndex = 0;
+  while (Pos <= Input.size()) {
+    MatchResult M;
+    MatchStatus S = Re.matcher().search(Input, Pos, M);
+    if (S != MatchStatus::Match)
+      break;
+    Out += Input.substr(Pos, M.Index - Pos);
+    Out += substituteTemplate(Replacement, M, Re.regex(), Input);
+    size_t Next = M.Index + M.matchLength();
+    if (!Global) {
+      Pos = Next;
+      break;
+    }
+    // Empty matches advance by one to guarantee progress (spec).
+    if (Next == M.Index) {
+      if (Next < Input.size())
+        Out.push_back(Input[Next]);
+      ++Next;
+    }
+    Pos = Next;
+  }
+  if (Pos <= Input.size())
+    Out += Input.substr(Pos);
+  Re.LastIndex = SavedLastIndex;
+  return Out;
+}
+
+UString recap::concreteReplace(RegExpObject &Re, const UString &Input,
+                               const UString &Replacement) {
+  return replaceImpl(Re, Input, Replacement, Re.regex().flags().Global);
+}
+
+UString recap::concreteReplaceAll(RegExpObject &Re, const UString &Input,
+                                  const UString &Replacement) {
+  return replaceImpl(Re, Input, Replacement, /*Global=*/true);
+}
+
+std::vector<UString> recap::concreteMatch(RegExpObject &Re,
+                                          const UString &Input,
+                                          bool &Matched) {
+  std::vector<UString> Out;
+  Matched = false;
+  if (!Re.regex().flags().Global) {
+    auto Exec = Re.exec(Input);
+    if (Exec.Status != MatchStatus::Match)
+      return Out;
+    Matched = true;
+    Out.push_back(Exec.Result->Match);
+    return Out;
+  }
+  int64_t SavedLastIndex = Re.LastIndex;
+  Re.LastIndex = 0;
+  while (true) {
+    auto Exec = Re.exec(Input);
+    if (Exec.Status != MatchStatus::Match)
+      break;
+    Matched = true;
+    Out.push_back(Exec.Result->Match);
+    // AdvanceStringIndex for empty matches.
+    if (Exec.Result->matchLength() == 0)
+      ++Re.LastIndex;
+  }
+  Re.LastIndex = SavedLastIndex;
+  return Out;
+}
+
+std::vector<MatchResult> recap::concreteMatchAll(RegExpObject &Re,
+                                                 const UString &Input) {
+  assert(Re.regex().flags().Global &&
+         "matchAll requires a global regex (spec TypeError)");
+  std::vector<MatchResult> Out;
+  int64_t SavedLastIndex = Re.LastIndex;
+  Re.LastIndex = 0;
+  while (true) {
+    auto Exec = Re.exec(Input);
+    if (Exec.Status != MatchStatus::Match)
+      break;
+    Out.push_back(*Exec.Result);
+    if (Exec.Result->matchLength() == 0)
+      ++Re.LastIndex;
+  }
+  Re.LastIndex = SavedLastIndex;
+  return Out;
+}
+
+int64_t recap::concreteSearch(RegExpObject &Re, const UString &Input) {
+  MatchResult M;
+  MatchStatus S = Re.matcher().search(Input, 0, M);
+  return S == MatchStatus::Match ? static_cast<int64_t>(M.Index) : -1;
+}
+
+std::vector<UString> recap::concreteSplit(RegExpObject &Re,
+                                          const UString &Input,
+                                          size_t Limit) {
+  std::vector<UString> Out;
+  if (Limit == 0)
+    return Out;
+  if (Input.empty()) {
+    // Spec: split of the empty string yields [""] unless the regex
+    // matches the empty string.
+    MatchResult M;
+    if (Re.matcher().search(Input, 0, M) != MatchStatus::Match)
+      Out.push_back(UString());
+    return Out;
+  }
+  size_t FieldStart = 0, Pos = 0;
+  while (Pos < Input.size()) {
+    MatchResult M;
+    MatchStatus S = Re.matcher().search(Input, Pos, M);
+    if (S != MatchStatus::Match || M.Index >= Input.size())
+      break;
+    size_t End = M.Index + M.matchLength();
+    if (End == FieldStart) {
+      // Empty separator at the field start: no field yet, move on.
+      Pos = M.Index + 1;
+      continue;
+    }
+    Out.push_back(Input.substr(FieldStart, M.Index - FieldStart));
+    if (Out.size() >= Limit)
+      return Out;
+    // Spec: capture values splice into the result.
+    for (const auto &Cap : M.Captures) {
+      Out.push_back(Cap ? *Cap : UString());
+      if (Out.size() >= Limit)
+        return Out;
+    }
+    FieldStart = End;
+    Pos = End > M.Index ? End : M.Index + 1;
+  }
+  Out.push_back(Input.substr(FieldStart));
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- api/StringMethods.h - String.prototype regex methods -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial symbolic models for the String.prototype methods that take a
+/// RegExp — match, search, replace, split — mirroring the paper's §6.1:
+/// "Our implementation includes partial models for the remaining functions
+/// that allow effective test generation in practice but are not
+/// semantically complete."
+///
+/// Coverage (documented incompletenesses):
+///  - match (non-global): exactly exec.
+///  - match (global): modeled as the first match only; the result array
+///    beyond index 0 is concretized.
+///  - search: exec's index, or -1 encoded by a no-match branch.
+///  - replace (first occurrence, string replacement): the output string is
+///    prefix ++ replacement ++ suffix with $1..$9 substitution; global
+///    replace is concretized after the first occurrence.
+///  - split (by regex, no captures, first two fields): output fields are
+///    the segments around one match; additional fields concretize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_API_STRINGMETHODS_H
+#define RECAP_API_STRINGMETHODS_H
+
+#include "api/SymbolicRegExp.h"
+
+namespace recap {
+
+/// Symbolic result of String.prototype.replace(regex, replacement) for the
+/// first occurrence.
+struct SymbolicReplace {
+  /// The underlying match query; assert positively for the "replacement
+  /// happened" branch, negatively for the identity branch.
+  std::shared_ptr<RegexQuery> Query;
+  /// Output string when the regex matches (prefix ++ repl ++ suffix).
+  TermRef Replaced;
+  /// Output string when it does not (the input itself).
+  TermRef Unchanged;
+};
+
+/// Symbolic result of String.prototype.search(regex).
+struct SymbolicSearch {
+  std::shared_ptr<RegexQuery> Query;
+  /// Index term valid under the positive branch (match exists).
+  TermRef FoundIndex;
+  /// Value under the negative branch (-1).
+  TermRef NotFound;
+};
+
+/// Symbolic result of String.prototype.split(regex) restricted to the
+/// first separator occurrence.
+struct SymbolicSplit {
+  std::shared_ptr<RegexQuery> Query;
+  /// Field before the separator (valid under the positive branch).
+  TermRef Head;
+  /// Remainder after the separator (everything past the first match;
+  /// deeper splits are not modeled).
+  TermRef Tail;
+};
+
+/// Factory for the partial method models; wraps one SymbolicRegExp.
+class SymbolicStringMethods {
+public:
+  explicit SymbolicStringMethods(SymbolicRegExp &Re) : Re(Re) {}
+
+  /// s.match(re): for non-global regexes identical to exec; for global
+  /// regexes this models the *first* match (partial).
+  std::shared_ptr<RegexQuery> match(TermRef Input);
+
+  /// s.search(re): index of the first match.
+  SymbolicSearch search(TermRef Input);
+
+  /// s.replace(re, replacement): first occurrence, string replacement
+  /// with $&, $1..$9 patterns substituted symbolically.
+  SymbolicReplace replace(TermRef Input, const UString &Replacement);
+
+  /// s.split(re): first separator only.
+  SymbolicSplit split(TermRef Input);
+
+private:
+  SymbolicRegExp &Re;
+};
+
+/// Concrete counterparts (spec-faithful where implemented) used by the
+/// DSE interpreter and by differential tests.
+///
+/// The replacement template supports the full GetSubstitution set: $$,
+/// $&, $` (preceding portion), $' (following portion), $1..$99, and
+/// $<name> for named groups (ES2018).
+UString concreteReplace(RegExpObject &Re, const UString &Input,
+                        const UString &Replacement);
+int64_t concreteSearch(RegExpObject &Re, const UString &Input);
+std::vector<UString> concreteSplit(RegExpObject &Re, const UString &Input,
+                                   size_t Limit = SIZE_MAX);
+
+/// String.prototype.match. For non-global regexes this is one exec; for
+/// global regexes it returns every match's C0, resetting lastIndex first
+/// (the spec's RegExpBuiltinExec loop).
+std::vector<UString> concreteMatch(RegExpObject &Re, const UString &Input,
+                                   bool &Matched);
+
+/// String.prototype.matchAll (ES2020): every match with full capture
+/// detail. Requires a global regex per the spec; asserts that here.
+std::vector<MatchResult> concreteMatchAll(RegExpObject &Re,
+                                          const UString &Input);
+
+/// String.prototype.replaceAll (ES2021): replace every occurrence
+/// regardless of the global flag (the spec demands g on RegExp arguments;
+/// this helper implements the resulting behavior directly).
+UString concreteReplaceAll(RegExpObject &Re, const UString &Input,
+                           const UString &Replacement);
+
+} // namespace recap
+
+#endif // RECAP_API_STRINGMETHODS_H

@@ -1,0 +1,68 @@
+//===- api/SymbolicRegExp.cpp - Symbolic RegExp.exec/test ------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+using namespace recap;
+
+SymbolicRegExp::SymbolicRegExp(Regex R, std::string VarPrefix,
+                               ModelOptions Opts)
+    : R(std::move(R)), VarPrefix(std::move(VarPrefix)), Opts(Opts) {}
+
+std::shared_ptr<RegexQuery> SymbolicRegExp::makeQuery(TermRef Input,
+                                                      TermRef LastIndex,
+                                                      bool ForExec) {
+  std::string Prefix = VarPrefix + "#" + std::to_string(CallCounter++);
+  ModelBuilder Builder(R, Prefix, Opts);
+
+  auto Q = std::make_shared<RegexQuery>();
+  Q->Oracle = std::make_shared<RegExpObject>(R.clone());
+  Q->Model = Builder.build(Input);
+  Q->Input = Input;
+  Q->LastIndex = LastIndex;
+  Q->ValidateCaptures = ForExec;
+  // Algorithm 2 lines 1 and 5 (decoration, wildcard wrapping) live in the
+  // model builder; the query only adds flag-dependent position handling.
+  Q->Decoration = Q->Model.Decoration;
+
+  // Position handling for sticky/global (Algorithm 2 lines 2-4). Match
+  // start is in decorated coordinates: input index + 1.
+  if (R.flags().Sticky) {
+    Q->Position = mkEq(Q->Model.MatchStart,
+                       mkAdd(LastIndex, mkIntConst(1)));
+  } else if (R.flags().Global) {
+    Q->Position = mkLe(mkAdd(LastIndex, mkIntConst(1)),
+                       Q->Model.MatchStart);
+  } else {
+    Q->Position = mkTrue();
+  }
+  return Q;
+}
+
+std::shared_ptr<RegexQuery> SymbolicRegExp::exec(TermRef Input,
+                                                 TermRef LastIndex) {
+  return makeQuery(std::move(Input), std::move(LastIndex), /*ForExec=*/true);
+}
+
+std::shared_ptr<RegexQuery> SymbolicRegExp::test(TermRef Input,
+                                                 TermRef LastIndex) {
+  return makeQuery(std::move(Input), std::move(LastIndex), /*ForExec=*/false);
+}
+
+TermRef SymbolicRegExp::matchIndex(const RegexQuery &Q) {
+  return mkAdd(Q.Model.MatchStart, mkIntConst(-1));
+}
+
+TermRef SymbolicRegExp::lastIndexAfter(const RegexQuery &Q) {
+  return mkAdd(matchIndex(Q), mkStrLen(Q.Model.C0.Value));
+}
+
+CaptureVar SymbolicRegExp::capture(const RegexQuery &Q, size_t I) {
+  if (I == 0)
+    return Q.Model.C0;
+  assert(I <= Q.Model.Captures.size() && "capture index out of range");
+  return Q.Model.Captures[I - 1];
+}

@@ -1,0 +1,63 @@
+//===- api/SymbolicRegExp.h - Symbolic RegExp.exec/test ---------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2 of the paper: modeling RegExp.prototype.exec (and test) in
+/// terms of capturing-language membership. The input is decorated with the
+/// meta markers 〈 and 〉, the pattern is wrapped in lazy wildcards with an
+/// outer capture group C0, flags are handled (ignore-case by class
+/// rewriting inside the model, sticky/global by position constraints on
+/// lastIndex), and the symbolic result object exposes index, captures and
+/// the lastIndex update term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_API_SYMBOLICREGEXP_H
+#define RECAP_API_SYMBOLICREGEXP_H
+
+#include "cegar/CegarSolver.h"
+
+namespace recap {
+
+/// The symbolic mirror of one RegExp object. Create one per regex literal;
+/// each exec/test call site with a fresh input produces a RegexQuery.
+class SymbolicRegExp {
+public:
+  /// \p VarPrefix namespaces the model's fresh variables; distinct call
+  /// sites must use distinct prefixes.
+  SymbolicRegExp(Regex R, std::string VarPrefix, ModelOptions Opts = {});
+
+  /// Symbolic RegExp.exec(Input) when lastIndex = LastIndex.
+  /// The returned query exposes the full capture model.
+  std::shared_ptr<RegexQuery> exec(TermRef Input, TermRef LastIndex);
+
+  /// Symbolic RegExp.test(Input): same constraint, but CEGAR skips
+  /// capture validation (the program cannot observe captures).
+  std::shared_ptr<RegexQuery> test(TermRef Input, TermRef LastIndex);
+
+  /// Match index in input coordinates (MatchStart - 1).
+  static TermRef matchIndex(const RegexQuery &Q);
+  /// The lastIndex value after a successful exec: index + |C0|.
+  static TermRef lastIndexAfter(const RegexQuery &Q);
+  /// Symbolic capture access: (defined, value) for capture \p I (0 = whole
+  /// match).
+  static CaptureVar capture(const RegexQuery &Q, size_t I);
+
+  const Regex &regex() const { return R; }
+
+private:
+  std::shared_ptr<RegexQuery> makeQuery(TermRef Input, TermRef LastIndex,
+                                        bool ForExec);
+
+  Regex R;
+  std::string VarPrefix;
+  ModelOptions Opts;
+  unsigned CallCounter = 0;
+};
+
+} // namespace recap
+
+#endif // RECAP_API_SYMBOLICREGEXP_H

@@ -1,0 +1,428 @@
+//===- automata/Automaton.cpp - Finite automata over code points ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace recap;
+
+//===----------------------------------------------------------------------===//
+// Alphabet
+//===----------------------------------------------------------------------===//
+
+Alphabet Alphabet::fromRegexes(const std::vector<CRegexRef> &Roots) {
+  // Collect all interval boundaries.
+  std::set<CodePoint> Cuts; // start points of classes
+  Cuts.insert(0);
+  std::function<void(const CRegexRef &)> Walk = [&](const CRegexRef &R) {
+    if (R->K == CRegex::Kind::Class) {
+      for (const CharSet::Interval &I : R->Cls.intervals()) {
+        Cuts.insert(I.Lo);
+        if (I.Hi < MaxCodePoint)
+          Cuts.insert(I.Hi + 1);
+      }
+    }
+    for (const CRegexRef &K : R->Kids)
+      Walk(K);
+  };
+  for (const CRegexRef &R : Roots)
+    Walk(R);
+
+  Alphabet A;
+  std::vector<CodePoint> Sorted(Cuts.begin(), Cuts.end());
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    CodePoint Lo = Sorted[I];
+    CodePoint Hi = I + 1 < Sorted.size() ? Sorted[I + 1] - 1 : MaxCodePoint;
+    A.Classes.push_back(CharSet::range(Lo, Hi));
+    A.Bounds.push_back(Lo);
+    A.BoundClass.push_back(static_cast<uint32_t>(A.Classes.size() - 1));
+  }
+  return A;
+}
+
+size_t Alphabet::classOf(CodePoint C) const {
+  auto It = std::upper_bound(Bounds.begin(), Bounds.end(), C);
+  assert(It != Bounds.begin() && "code point below the first class");
+  return BoundClass[(It - Bounds.begin()) - 1];
+}
+
+std::vector<uint32_t> Alphabet::classesIn(const CharSet &S) const {
+  std::vector<uint32_t> Out;
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    CodePoint Lo = Classes[I].intervals().front().Lo;
+    if (S.contains(Lo))
+      Out.push_back(static_cast<uint32_t>(I));
+  }
+  return Out;
+}
+
+CodePoint Alphabet::representative(size_t Class) const {
+  const CharSet &S = Classes[Class];
+  // Prefer a printable ASCII member for readable generated words.
+  static const CodePoint Preferred[] = {'a', 'b', '0', ' ', 'A', 'z', '9'};
+  for (CodePoint P : Preferred)
+    if (S.contains(P))
+      return P;
+  for (const CharSet::Interval &I : S.intervals()) {
+    for (CodePoint C = std::max<CodePoint>(I.Lo, 0x20);
+         C <= I.Hi && C < 0x7F; ++C)
+      return C;
+  }
+  return *S.first();
+}
+
+//===----------------------------------------------------------------------===//
+// NFA construction (Thompson) with embedded subset construction for
+// Intersect/Complement.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct NFA {
+  // Delta[state][class] = target states; Eps[state] = epsilon targets.
+  std::vector<std::vector<std::vector<uint32_t>>> Delta;
+  std::vector<std::vector<uint32_t>> Eps;
+  uint32_t Start = 0;
+  std::vector<uint32_t> Accepts;
+  size_t NumClasses = 0;
+
+  uint32_t addState() {
+    Delta.emplace_back(NumClasses);
+    Eps.emplace_back();
+    return static_cast<uint32_t>(Delta.size() - 1);
+  }
+};
+
+class Builder {
+public:
+  Builder(const Alphabet &A, size_t StateLimit)
+      : A(A), StateLimit(StateLimit) {}
+
+  /// Returns {start, accept} fragment within N, or nullopt on state blowup.
+  struct Frag {
+    uint32_t Start;
+    uint32_t Accept;
+  };
+
+  std::optional<Frag> build(NFA &N, const CRegexRef &R) {
+    if (N.Delta.size() > StateLimit)
+      return std::nullopt;
+    switch (R->K) {
+    case CRegex::Kind::Empty: {
+      Frag F{N.addState(), N.addState()};
+      return F; // no transitions: empty language
+    }
+    case CRegex::Kind::Epsilon: {
+      Frag F{N.addState(), N.addState()};
+      N.Eps[F.Start].push_back(F.Accept);
+      return F;
+    }
+    case CRegex::Kind::Class: {
+      Frag F{N.addState(), N.addState()};
+      for (uint32_t C : A.classesIn(R->Cls))
+        N.Delta[F.Start][C].push_back(F.Accept);
+      return F;
+    }
+    case CRegex::Kind::Concat: {
+      std::optional<Frag> Prev;
+      for (const CRegexRef &K : R->Kids) {
+        std::optional<Frag> F = build(N, K);
+        if (!F)
+          return std::nullopt;
+        if (Prev)
+          N.Eps[Prev->Accept].push_back(F->Start);
+        else
+          Prev = Frag{F->Start, 0};
+        Prev->Accept = F->Accept;
+      }
+      assert(Prev && "cConcat normalizes empty sequences to Epsilon");
+      return Prev;
+    }
+    case CRegex::Kind::Union: {
+      Frag F{N.addState(), N.addState()};
+      for (const CRegexRef &K : R->Kids) {
+        std::optional<Frag> KF = build(N, K);
+        if (!KF)
+          return std::nullopt;
+        N.Eps[F.Start].push_back(KF->Start);
+        N.Eps[KF->Accept].push_back(F.Accept);
+      }
+      return F;
+    }
+    case CRegex::Kind::Star: {
+      std::optional<Frag> KF = build(N, R->Kids[0]);
+      if (!KF)
+        return std::nullopt;
+      Frag F{N.addState(), N.addState()};
+      N.Eps[F.Start].push_back(KF->Start);
+      N.Eps[F.Start].push_back(F.Accept);
+      N.Eps[KF->Accept].push_back(KF->Start);
+      N.Eps[KF->Accept].push_back(F.Accept);
+      return F;
+    }
+    case CRegex::Kind::Intersect:
+    case CRegex::Kind::Complement: {
+      // Compile operands to DFAs, combine, then splice the result back in
+      // as an NFA fragment.
+      std::optional<DFA> D = buildDFA(R->Kids[0]);
+      if (!D)
+        return std::nullopt;
+      if (R->K == CRegex::Kind::Complement) {
+        for (size_t I = 0; I < D->Accept.size(); ++I)
+          D->Accept[I] = !D->Accept[I];
+      } else {
+        for (size_t I = 1; I < R->Kids.size(); ++I) {
+          std::optional<DFA> D2 = buildDFA(R->Kids[I]);
+          if (!D2)
+            return std::nullopt;
+          D = productIntersect(*D, *D2);
+          if (!D)
+            return std::nullopt;
+        }
+      }
+      return spliceDFA(N, *D);
+    }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<DFA> buildDFA(const CRegexRef &R) {
+    NFA Sub;
+    Sub.NumClasses = A.numClasses();
+    std::optional<Frag> F = build(Sub, R);
+    if (!F)
+      return std::nullopt;
+    Sub.Start = F->Start;
+    Sub.Accepts = {F->Accept};
+    return determinize(Sub);
+  }
+
+  std::optional<DFA> determinize(const NFA &N) {
+    size_t NC = A.numClasses();
+    auto Closure = [&](std::vector<uint32_t> States) {
+      std::set<uint32_t> Seen(States.begin(), States.end());
+      std::deque<uint32_t> Work(States.begin(), States.end());
+      while (!Work.empty()) {
+        uint32_t S = Work.front();
+        Work.pop_front();
+        for (uint32_t T : N.Eps[S])
+          if (Seen.insert(T).second)
+            Work.push_back(T);
+      }
+      return std::vector<uint32_t>(Seen.begin(), Seen.end());
+    };
+
+    std::set<uint32_t> AcceptSet(N.Accepts.begin(), N.Accepts.end());
+    std::map<std::vector<uint32_t>, uint32_t> Ids;
+    std::vector<std::vector<uint32_t>> StateSets;
+    DFA D;
+    D.NumClasses = NC;
+    auto GetId = [&](std::vector<uint32_t> Set) {
+      auto [It, New] = Ids.try_emplace(Set, StateSets.size());
+      if (New) {
+        StateSets.push_back(It->first);
+        bool Acc = std::any_of(Set.begin(), Set.end(), [&](uint32_t S) {
+          return AcceptSet.count(S) != 0;
+        });
+        D.Accept.push_back(Acc);
+        D.Trans.resize(D.Accept.size() * NC, 0);
+      }
+      return It->second;
+    };
+
+    D.Start = GetId(Closure({N.Start}));
+    for (uint32_t Cur = 0; Cur < StateSets.size(); ++Cur) {
+      if (StateSets.size() > StateLimit)
+        return std::nullopt;
+      std::vector<uint32_t> Set = StateSets[Cur]; // copy: StateSets grows
+      for (size_t C = 0; C < NC; ++C) {
+        std::set<uint32_t> Next;
+        for (uint32_t S : Set)
+          for (uint32_t T : N.Delta[S][C])
+            Next.insert(T);
+        uint32_t Id =
+            GetId(Closure(std::vector<uint32_t>(Next.begin(), Next.end())));
+        D.Trans[Cur * NC + C] = Id;
+      }
+    }
+    return D;
+  }
+
+  std::optional<DFA> productIntersect(const DFA &X, const DFA &Y) {
+    size_t NC = A.numClasses();
+    DFA D;
+    D.NumClasses = NC;
+    std::map<std::pair<uint32_t, uint32_t>, uint32_t> Ids;
+    std::vector<std::pair<uint32_t, uint32_t>> States;
+    auto GetId = [&](std::pair<uint32_t, uint32_t> P) {
+      auto [It, New] = Ids.try_emplace(P, States.size());
+      if (New) {
+        States.push_back(P);
+        D.Accept.push_back(X.Accept[P.first] && Y.Accept[P.second]);
+        D.Trans.resize(D.Accept.size() * NC, 0);
+      }
+      return It->second;
+    };
+    D.Start = GetId({X.Start, Y.Start});
+    for (uint32_t Cur = 0; Cur < States.size(); ++Cur) {
+      if (States.size() > StateLimit)
+        return std::nullopt;
+      auto P = States[Cur];
+      for (size_t C = 0; C < NC; ++C)
+        D.Trans[Cur * NC + C] =
+            GetId({X.next(P.first, C), Y.next(P.second, C)});
+    }
+    return D;
+  }
+
+  /// Adds the DFA's states to \p N as plain NFA states and returns a
+  /// fragment with a single accept state.
+  Frag spliceDFA(NFA &N, const DFA &D) {
+    uint32_t Base = static_cast<uint32_t>(N.Delta.size());
+    for (size_t I = 0; I < D.numStates(); ++I)
+      N.addState();
+    uint32_t AcceptAll = N.addState();
+    for (uint32_t S = 0; S < D.numStates(); ++S) {
+      for (size_t C = 0; C < A.numClasses(); ++C)
+        N.Delta[Base + S][C].push_back(Base + D.next(S, C));
+      if (D.Accept[S])
+        N.Eps[Base + S].push_back(AcceptAll);
+    }
+    return {Base + D.Start, AcceptAll};
+  }
+
+private:
+  const Alphabet &A;
+  size_t StateLimit;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Automaton
+//===----------------------------------------------------------------------===//
+
+Result<Automaton> Automaton::compile(const CRegexRef &R, size_t StateLimit) {
+  Automaton Out;
+  Out.A = Alphabet::fromRegexes({R});
+  Builder B(Out.A, StateLimit);
+  NFA N;
+  N.NumClasses = Out.A.numClasses();
+  std::optional<Builder::Frag> F = B.build(N, R);
+  if (!F)
+    return Result<Automaton>::error("automaton state limit exceeded");
+  N.Start = F->Start;
+  N.Accepts = {F->Accept};
+  std::optional<DFA> D = B.determinize(N);
+  if (!D)
+    return Result<Automaton>::error("automaton state limit exceeded");
+  Out.D = std::move(*D);
+  return Out;
+}
+
+bool Automaton::accepts(const UString &W) const {
+  uint32_t S = D.Start;
+  for (CodePoint C : W)
+    S = D.next(S, static_cast<uint32_t>(A.classOf(C)));
+  return D.Accept[S];
+}
+
+bool Automaton::isEmptyLanguage() const { return !shortestWord().has_value(); }
+
+std::optional<UString> Automaton::shortestWord() const {
+  // BFS from the start state.
+  std::vector<int64_t> Pred(D.numStates(), -1);     // predecessor state
+  std::vector<uint32_t> PredClass(D.numStates(), 0);
+  std::vector<bool> Seen(D.numStates(), false);
+  std::deque<uint32_t> Work;
+  Work.push_back(D.Start);
+  Seen[D.Start] = true;
+  while (!Work.empty()) {
+    uint32_t S = Work.front();
+    Work.pop_front();
+    if (D.Accept[S]) {
+      UString W;
+      uint32_t Cur = S;
+      while (Pred[Cur] != -1) {
+        W.push_back(A.representative(PredClass[Cur]));
+        Cur = static_cast<uint32_t>(Pred[Cur]);
+      }
+      std::reverse(W.begin(), W.end());
+      return W;
+    }
+    for (size_t C = 0; C < D.NumClasses; ++C) {
+      uint32_t T = D.next(S, static_cast<uint32_t>(C));
+      if (!Seen[T]) {
+        Seen[T] = true;
+        Pred[T] = S;
+        PredClass[T] = static_cast<uint32_t>(C);
+        Work.push_back(T);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
+                                               size_t MaxLen) const {
+  std::vector<UString> Out;
+  // Mark co-accessible states (those that can still reach an accept state)
+  // so the search never wanders into dead regions.
+  std::vector<std::vector<uint32_t>> Rev(D.numStates());
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    for (size_t C = 0; C < D.NumClasses; ++C)
+      Rev[D.next(S, static_cast<uint32_t>(C))].push_back(S);
+  std::vector<bool> Live(D.numStates(), false);
+  std::deque<uint32_t> RWork;
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    if (D.Accept[S]) {
+      Live[S] = true;
+      RWork.push_back(S);
+    }
+  while (!RWork.empty()) {
+    uint32_t S = RWork.front();
+    RWork.pop_front();
+    for (uint32_t P : Rev[S])
+      if (!Live[P]) {
+        Live[P] = true;
+        RWork.push_back(P);
+      }
+  }
+
+  // BFS over (state, word) pairs, shortest first, bounded.
+  struct Item {
+    uint32_t State;
+    UString Word;
+  };
+  std::deque<Item> Work;
+  if (Live[D.Start])
+    Work.push_back({D.Start, {}});
+  size_t Explored = 0;
+  while (!Work.empty() && Out.size() < MaxCount && Explored < 500000) {
+    Item It = std::move(Work.front());
+    Work.pop_front();
+    ++Explored;
+    if (D.Accept[It.State])
+      Out.push_back(It.Word);
+    if (It.Word.size() >= MaxLen)
+      continue;
+    for (size_t C = 0; C < D.NumClasses; ++C) {
+      uint32_t T = D.next(It.State, static_cast<uint32_t>(C));
+      if (!Live[T])
+        continue;
+      UString W = It.Word;
+      W.push_back(A.representative(C));
+      Work.push_back({T, std::move(W)});
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- automata/Automaton.h - Finite automata over code points -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compilation of ClassicalRegex to finite automata with a mintermized
+/// alphabet: all character sets occurring in a regex partition the code
+/// point space into equivalence classes, and automata transition on class
+/// indices. Intersect/Complement compile via subset construction.
+///
+/// Used by the local solver backend (word enumeration, membership pruning)
+/// and by tests as an independent semantics for the regular fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_AUTOMATA_AUTOMATON_H
+#define RECAP_AUTOMATA_AUTOMATON_H
+
+#include "automata/ClassicalRegex.h"
+#include "support/Result.h"
+
+#include <optional>
+
+namespace recap {
+
+/// A partition of [0, MaxCodePoint] into equivalence classes such that every
+/// CharSet used to build it is a union of classes.
+class Alphabet {
+public:
+  /// Builds the minterm partition of all Class sets in \p Roots.
+  static Alphabet fromRegexes(const std::vector<CRegexRef> &Roots);
+
+  size_t numClasses() const { return Classes.size(); }
+  const CharSet &charsOf(size_t Class) const { return Classes[Class]; }
+  /// Equivalence class of one code point.
+  size_t classOf(CodePoint C) const;
+  /// Indices of the classes fully contained in \p S (S must be a union of
+  /// classes, which holds for any set used during construction).
+  std::vector<uint32_t> classesIn(const CharSet &S) const;
+  /// A printable representative of the class (used for word generation).
+  CodePoint representative(size_t Class) const;
+
+private:
+  std::vector<CharSet> Classes;  // indexed by class
+  std::vector<CodePoint> Bounds; // sorted lower bounds of each class
+  std::vector<uint32_t> BoundClass;
+};
+
+/// Deterministic, complete automaton over an Alphabet.
+class DFA {
+public:
+  uint32_t Start = 0;
+  std::vector<bool> Accept;
+  /// Trans[state * numClasses + class] = next state. Complete (has a sink).
+  std::vector<uint32_t> Trans;
+  size_t NumClasses = 0;
+
+  size_t numStates() const { return Accept.size(); }
+  uint32_t next(uint32_t State, uint32_t Class) const {
+    return Trans[State * NumClasses + Class];
+  }
+};
+
+/// A compiled regular language: DFA plus its alphabet.
+class Automaton {
+public:
+  /// Compiles \p R; fails if subset construction exceeds \p StateLimit
+  /// states.
+  static Result<Automaton> compile(const CRegexRef &R,
+                                   size_t StateLimit = 100000);
+
+  bool accepts(const UString &W) const;
+  bool isEmptyLanguage() const;
+  /// Shortest accepted word (ties broken towards printable characters).
+  std::optional<UString> shortestWord() const;
+  /// Up to \p MaxCount accepted words of length <= MaxLen, shortest first.
+  std::vector<UString> enumerateWords(size_t MaxCount, size_t MaxLen) const;
+
+  const DFA &dfa() const { return D; }
+  const Alphabet &alphabet() const { return A; }
+
+private:
+  Alphabet A;
+  DFA D;
+};
+
+} // namespace recap
+
+#endif // RECAP_AUTOMATA_AUTOMATON_H

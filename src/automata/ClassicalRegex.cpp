@@ -1,0 +1,221 @@
+//===- automata/ClassicalRegex.cpp - Pure regular expressions ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/ClassicalRegex.h"
+
+using namespace recap;
+
+static CRegexRef make(CRegex::Kind K) {
+  return std::make_shared<CRegex>(K);
+}
+
+CRegexRef recap::cEmpty() {
+  static const CRegexRef R = make(CRegex::Kind::Empty);
+  return R;
+}
+
+CRegexRef recap::cEpsilon() {
+  static const CRegexRef R = make(CRegex::Kind::Epsilon);
+  return R;
+}
+
+CRegexRef recap::cClass(CharSet S) {
+  if (S.isEmpty())
+    return cEmpty();
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Class);
+  R->Cls = std::move(S);
+  return R;
+}
+
+CRegexRef recap::cChar(CodePoint C) { return cClass(CharSet::single(C)); }
+
+CRegexRef recap::cLiteral(const UString &S) {
+  std::vector<CRegexRef> Kids;
+  Kids.reserve(S.size());
+  for (CodePoint C : S)
+    Kids.push_back(cChar(C));
+  return cConcat(std::move(Kids));
+}
+
+CRegexRef recap::cConcat(std::vector<CRegexRef> Kids) {
+  std::vector<CRegexRef> Flat;
+  for (CRegexRef &K : Kids) {
+    if (K->K == CRegex::Kind::Empty)
+      return cEmpty();
+    if (K->K == CRegex::Kind::Epsilon)
+      continue;
+    if (K->K == CRegex::Kind::Concat) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return cEpsilon();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Concat);
+  R->Kids = std::move(Flat);
+  return R;
+}
+
+CRegexRef recap::cConcat(CRegexRef A, CRegexRef B) {
+  return cConcat(std::vector<CRegexRef>{std::move(A), std::move(B)});
+}
+
+CRegexRef recap::cUnion(std::vector<CRegexRef> Kids) {
+  std::vector<CRegexRef> Flat;
+  for (CRegexRef &K : Kids) {
+    if (K->K == CRegex::Kind::Empty)
+      continue;
+    if (K->K == CRegex::Kind::Union) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return cEmpty();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Union);
+  R->Kids = std::move(Flat);
+  return R;
+}
+
+CRegexRef recap::cUnion(CRegexRef A, CRegexRef B) {
+  return cUnion(std::vector<CRegexRef>{std::move(A), std::move(B)});
+}
+
+CRegexRef recap::cStar(CRegexRef A) {
+  if (A->K == CRegex::Kind::Empty || A->K == CRegex::Kind::Epsilon)
+    return cEpsilon();
+  if (A->K == CRegex::Kind::Star)
+    return A;
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Star);
+  R->Kids.push_back(std::move(A));
+  return R;
+}
+
+CRegexRef recap::cPlus(CRegexRef A) { return cConcat(A, cStar(A)); }
+
+CRegexRef recap::cOpt(CRegexRef A) { return cUnion(std::move(A), cEpsilon()); }
+
+CRegexRef recap::cIntersect(std::vector<CRegexRef> Kids) {
+  std::vector<CRegexRef> Flat;
+  for (CRegexRef &K : Kids) {
+    if (K->K == CRegex::Kind::Empty)
+      return cEmpty();
+    if (K->K == CRegex::Kind::Intersect) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return cAnyStar();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Intersect);
+  R->Kids = std::move(Flat);
+  return R;
+}
+
+CRegexRef recap::cIntersect(CRegexRef A, CRegexRef B) {
+  return cIntersect(std::vector<CRegexRef>{std::move(A), std::move(B)});
+}
+
+CRegexRef recap::cComplement(CRegexRef A) {
+  if (A->K == CRegex::Kind::Complement)
+    return A->Kids[0];
+  auto R = std::make_shared<CRegex>(CRegex::Kind::Complement);
+  R->Kids.push_back(std::move(A));
+  return R;
+}
+
+CRegexRef recap::cAnyChar() {
+  static const CRegexRef R = cClass(CharSet::all());
+  return R;
+}
+
+CRegexRef recap::cAnyStar() {
+  static const CRegexRef R = cStar(cAnyChar());
+  return R;
+}
+
+CRegexRef recap::cRepeat(CRegexRef A, size_t N) {
+  std::vector<CRegexRef> Kids(N, A);
+  return cConcat(std::move(Kids));
+}
+
+bool CRegex::nullable() const {
+  switch (K) {
+  case Kind::Empty:
+  case Kind::Class:
+    return false;
+  case Kind::Epsilon:
+  case Kind::Star:
+    return true;
+  case Kind::Concat:
+    for (const CRegexRef &C : Kids)
+      if (!C->nullable())
+        return false;
+    return true;
+  case Kind::Union:
+    for (const CRegexRef &C : Kids)
+      if (C->nullable())
+        return true;
+    return false;
+  case Kind::Intersect:
+    for (const CRegexRef &C : Kids)
+      if (!C->nullable())
+        return false;
+    return true; // conservative
+  case Kind::Complement:
+    return !Kids[0]->nullable(); // conservative
+  }
+  return false;
+}
+
+std::string CRegex::str() const {
+  switch (K) {
+  case Kind::Empty:
+    return "∅";
+  case Kind::Epsilon:
+    return "ε";
+  case Kind::Class:
+    return Cls.str();
+  case Kind::Concat: {
+    std::string S;
+    for (const CRegexRef &C : Kids)
+      S += C->str();
+    return S;
+  }
+  case Kind::Union: {
+    std::string S = "(";
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      if (I)
+        S += "|";
+      S += Kids[I]->str();
+    }
+    return S + ")";
+  }
+  case Kind::Star:
+    return "(" + Kids[0]->str() + ")*";
+  case Kind::Intersect: {
+    std::string S = "(";
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      if (I)
+        S += "&";
+      S += Kids[I]->str();
+    }
+    return S + ")";
+  }
+  case Kind::Complement:
+    return "~(" + Kids[0]->str() + ")";
+  }
+  return "?";
+}

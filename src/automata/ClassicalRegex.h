@@ -1,0 +1,88 @@
+//===- automata/ClassicalRegex.h - Pure regular expressions ----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ClassicalRegex (CRegex) is the paper's "classical regular expression":
+/// the target language of the model (§4), with no captures, backreferences
+/// or assertions. Intersect and Complement nodes are included because the
+/// model lowers lookaheads to language intersection (Table 2) — both Z3's
+/// re theory and the automata library handle them natively, keeping the
+/// regular approximation t̂ total for backreference-free terms.
+///
+/// CRegex values are immutable and shared (CRegexRef); the builder
+/// functions perform light algebraic simplification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_AUTOMATA_CLASSICALREGEX_H
+#define RECAP_AUTOMATA_CLASSICALREGEX_H
+
+#include "support/CharSet.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+struct CRegex;
+using CRegexRef = std::shared_ptr<const CRegex>;
+
+struct CRegex {
+  enum class Kind : uint8_t {
+    Empty,      ///< the empty language ∅
+    Epsilon,    ///< { ε }
+    Class,      ///< one character from Cls
+    Concat,     ///< Kids in sequence
+    Union,      ///< any of Kids
+    Star,       ///< Kids[0]*
+    Intersect,  ///< all of Kids
+    Complement, ///< Σ* minus Kids[0]
+  };
+
+  Kind K;
+  CharSet Cls;                ///< Class only
+  std::vector<CRegexRef> Kids;
+
+  explicit CRegex(Kind K) : K(K) {}
+
+  /// Debug rendering in approximately POSIX syntax.
+  std::string str() const;
+
+  /// True if ε is in the language (syntactic nullability; exact for
+  /// Empty/Epsilon/Class/Concat/Union/Star, conservative for
+  /// Intersect/Complement).
+  bool nullable() const;
+};
+
+CRegexRef cEmpty();
+CRegexRef cEpsilon();
+CRegexRef cClass(CharSet S);
+CRegexRef cChar(CodePoint C);
+/// Concatenation of literal characters.
+CRegexRef cLiteral(const UString &S);
+CRegexRef cConcat(std::vector<CRegexRef> Kids);
+CRegexRef cConcat(CRegexRef A, CRegexRef B);
+CRegexRef cUnion(std::vector<CRegexRef> Kids);
+CRegexRef cUnion(CRegexRef A, CRegexRef B);
+CRegexRef cStar(CRegexRef A);
+/// A A* — kept as a helper, not a node kind (Table 1 rewriting).
+CRegexRef cPlus(CRegexRef A);
+/// A | ε.
+CRegexRef cOpt(CRegexRef A);
+CRegexRef cIntersect(std::vector<CRegexRef> Kids);
+CRegexRef cIntersect(CRegexRef A, CRegexRef B);
+CRegexRef cComplement(CRegexRef A);
+/// Σ (any single character).
+CRegexRef cAnyChar();
+/// Σ*.
+CRegexRef cAnyStar();
+/// R repeated exactly N times.
+CRegexRef cRepeat(CRegexRef A, size_t N);
+
+} // namespace recap
+
+#endif // RECAP_AUTOMATA_CLASSICALREGEX_H

@@ -1,0 +1,189 @@
+//===- cegar/CegarSolver.cpp - Matching-precedence refinement --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/CegarSolver.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace recap;
+
+TermRef RegexQuery::positiveAssertion() const {
+  return mkAnd({Decoration, Position, Model.MatchConstraint});
+}
+
+TermRef RegexQuery::negativeAssertion() const {
+  // With a non-trivial position constraint the negation must range over
+  // "a match at an allowed position", so the fast path (exact or §4.4
+  // schema, baked into NoMatchConstraint) only applies to the trivial
+  // position.
+  bool TrivialPos =
+      Position->Kind == TermKind::BoolConst && Position->BoolVal;
+  if (TrivialPos)
+    return mkAnd(Decoration, Model.NoMatchConstraint);
+  return mkAnd(Decoration,
+               mkNot(mkAnd(Position, Model.MatchConstraint)));
+}
+
+CegarSolver::CegarSolver(SolverBackend &Backend, CegarOptions Opts)
+    : Backend(Backend), Opts(Opts) {}
+
+namespace {
+
+/// Validation result for one regex clause under a candidate model.
+enum class Validation : uint8_t {
+  Consistent,
+  WrongCaptures, ///< word matches, capture assignment differs (line 15)
+  WrongWord,     ///< membership polarity itself is wrong (lines 18/22)
+  OracleBudget,  ///< concrete matcher gave up
+};
+
+} // namespace
+
+CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
+  auto T0 = std::chrono::steady_clock::now();
+  ++Stats.Queries;
+
+  std::vector<TermRef> P;
+  struct Tracked {
+    const RegexQuery *Q;
+    bool Positive;
+  };
+  std::vector<Tracked> Regexes;
+  for (const PathClause &C : Clauses) {
+    if (C.Query) {
+      P.push_back(C.Polarity ? C.Query->positiveAssertion()
+                             : C.Query->negativeAssertion());
+      Regexes.push_back({C.Query.get(), C.Polarity});
+    } else {
+      assert(C.Plain && "empty path clause");
+      P.push_back(C.Polarity ? C.Plain : mkNot(C.Plain));
+    }
+  }
+  if (!Regexes.empty())
+    ++Stats.QueriesWithRegex;
+  bool HasCaptures = false;
+  for (const Tracked &T : Regexes)
+    if (T.Q->Oracle->regex().numCaptures() > 0)
+      HasCaptures = true;
+  if (HasCaptures)
+    ++Stats.QueriesWithCaptures;
+
+  CegarResult Out;
+  bool Refined = false;
+  for (unsigned Round = 0;; ++Round) {
+    Assignment M;
+    SolveStatus S = Backend.solve(P, M, Opts.Limits);
+    if (S != SolveStatus::Sat) {
+      Out.Status = S;
+      break;
+    }
+    if (!Opts.Validate) {
+      Out.Status = SolveStatus::Sat;
+      Out.Model = std::move(M);
+      break;
+    }
+
+    bool Failed = false;
+    bool Abort = false;
+    for (const Tracked &T : Regexes) {
+      const RegexQuery &Q = *T.Q;
+      std::optional<UString> Input = Eval.evalString(Q.Input, M);
+      std::optional<int64_t> LastIndex = Eval.evalInt(Q.LastIndex, M);
+      if (!Input || !LastIndex) {
+        Abort = true;
+        break;
+      }
+      Q.Oracle->LastIndex = *LastIndex;
+      RegExpObject::ExecOutcome Exec = Q.Oracle->exec(*Input);
+      if (Exec.Status == MatchStatus::Budget) {
+        Abort = true;
+        break;
+      }
+      bool Matched = Exec.Status == MatchStatus::Match;
+      TermRef InputConst = mkStrConst(*Input);
+      TermRef Cond = mkAnd(mkEq(Q.Input, InputConst),
+                           mkEq(Q.LastIndex, mkIntConst(*LastIndex)));
+
+      if (T.Positive && Matched) {
+        if (!Q.ValidateCaptures)
+          continue;
+        const MatchResult &R = *Exec.Result;
+        // Compare the model's captures with the concrete ones.
+        bool Mismatch = false;
+        std::vector<TermRef> Pin;
+        // Match start (decorated coordinates: input index + 1).
+        int64_t WantStart = static_cast<int64_t>(R.Index) + 1;
+        std::optional<int64_t> GotStart = Eval.evalInt(Q.Model.MatchStart, M);
+        Mismatch |= !GotStart || *GotStart != WantStart;
+        Pin.push_back(mkEq(Q.Model.MatchStart, mkIntConst(WantStart)));
+        // C0.
+        std::optional<UString> GotC0 = Eval.evalString(Q.Model.C0.Value, M);
+        Mismatch |= !GotC0 || *GotC0 != R.Match;
+        Pin.push_back(mkEq(Q.Model.C0.Value, mkStrConst(R.Match)));
+        // C1..Cn.
+        for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
+          const CaptureVar &CV = Q.Model.Captures[I];
+          bool WantDef = I < R.Captures.size() && R.Captures[I].has_value();
+          std::optional<bool> GotDef = Eval.evalBool(CV.Defined, M);
+          std::optional<UString> GotVal = Eval.evalString(CV.Value, M);
+          UString WantVal = WantDef ? *R.Captures[I] : UString();
+          bool CapOk = GotDef && *GotDef == WantDef &&
+                       (!WantDef || (GotVal && *GotVal == WantVal));
+          Mismatch |= !CapOk;
+          Pin.push_back(WantDef ? TermRef(CV.Defined)
+                                : mkNot(CV.Defined));
+          Pin.push_back(mkEq(CV.Value, mkStrConst(WantVal)));
+        }
+        if (Mismatch) {
+          Failed = true;
+          P.push_back(mkImplies(Cond, mkAnd(std::move(Pin))));
+        }
+      } else if (T.Positive != Matched) {
+        // Positive constraint but no concrete match, or negative
+        // constraint but the word concretely matches: exclude the word.
+        Failed = true;
+        P.push_back(mkNot(Cond));
+      }
+    }
+    if (Abort) {
+      Out.Status = SolveStatus::Unknown;
+      break;
+    }
+    if (!Failed) {
+      Out.Status = SolveStatus::Sat;
+      Out.Model = std::move(M);
+      break;
+    }
+    Refined = true;
+    ++Stats.TotalRefinements;
+    Out.Refinements = Round + 1;
+    if (Round + 1 >= Opts.RefinementLimit) {
+      Out.Status = SolveStatus::Unknown;
+      Out.HitRefinementLimit = true;
+      ++Stats.QueriesHitLimit;
+      break;
+    }
+  }
+
+  if (Refined)
+    ++Stats.QueriesRefined;
+  double Sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Stats.SolverSeconds += Sec;
+  Stats.MaxQuerySeconds = std::max(Stats.MaxQuerySeconds, Sec);
+  Stats.AllQueries.add(Sec);
+  if (!Regexes.empty())
+    Stats.WithRegex.add(Sec);
+  if (HasCaptures)
+    Stats.WithCaptures.add(Sec);
+  if (Refined)
+    Stats.WithRefinement.add(Sec);
+  if (Out.HitRefinementLimit)
+    Stats.HitLimit.add(Sec);
+  return Out;
+}

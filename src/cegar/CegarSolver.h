@@ -1,0 +1,183 @@
+//===- cegar/CegarSolver.h - Matching-precedence refinement -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: a counterexample-guided abstraction
+/// refinement loop that removes model solutions violating ES6 matching
+/// precedence (greediness). Candidate assignments from the SMT backend are
+/// validated against the concrete ES6 matcher; disagreement refines the
+/// problem by either pinning captures for the candidate word (positive
+/// constraints) or excluding the word (both polarities).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_CEGAR_CEGARSOLVER_H
+#define RECAP_CEGAR_CEGARSOLVER_H
+
+#include "matcher/Matcher.h"
+#include "model/ModelBuilder.h"
+#include "smt/Solver.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace recap {
+
+/// One capturing-language membership constraint
+/// (w, C0..Cn) ⊡ Lc(R) occurring in a path condition, bundled with
+/// everything Algorithm 1 needs to validate candidate assignments.
+struct RegexQuery {
+  /// Concrete ES6 matcher for R (the oracle).
+  std::shared_ptr<RegExpObject> Oracle;
+  /// The symbolic model of one wrapped match of R.
+  SymbolicMatch Model;
+  /// The (undecorated) subject term.
+  TermRef Input;
+  /// lastIndex at query time (Int term; constant 0 for non-global).
+  TermRef LastIndex;
+  /// Decoration and alphabet constraints: Word = 〈 ++ Input ++ 〉, the
+  /// input is meta-free, and position constraints for sticky/global.
+  TermRef Decoration;
+  /// Position constraint relating MatchStart and LastIndex (or true).
+  TermRef Position;
+  /// Validate capture assignments (exec) or only match/no-match (test).
+  bool ValidateCaptures = true;
+
+  /// Assertion for (w, C...) ∈ Lc(R) at the required position.
+  TermRef positiveAssertion() const;
+  /// Assertion for the negated constraint (§4.4 / exact fast path).
+  TermRef negativeAssertion() const;
+};
+
+/// One clause of a path condition: either a plain boolean term or a regex
+/// membership with a polarity.
+struct PathClause {
+  TermRef Plain;                     ///< non-regex clause (may be null)
+  std::shared_ptr<RegexQuery> Query; ///< regex clause (may be null)
+  bool Polarity = true;
+
+  static PathClause plain(TermRef T, bool Pol = true) {
+    PathClause C;
+    C.Plain = std::move(T);
+    C.Polarity = Pol;
+    return C;
+  }
+  static PathClause regex(std::shared_ptr<RegexQuery> Q, bool Pol = true) {
+    PathClause C;
+    C.Query = std::move(Q);
+    C.Polarity = Pol;
+    return C;
+  }
+  PathClause negated() const {
+    PathClause C = *this;
+    C.Polarity = !C.Polarity;
+    return C;
+  }
+};
+
+struct CegarOptions {
+  /// Maximum refinement rounds before returning Unknown (§5.3; the
+  /// evaluation used 20).
+  unsigned RefinementLimit = 20;
+  /// When false, the first backend answer is returned unvalidated. This is
+  /// the "+ Captures & Backreferences" support level of Table 7 (the model
+  /// without the refinement scheme) and the ablation baseline.
+  bool Validate = true;
+  SolverLimits Limits;
+};
+
+/// Min/max/mean accumulation for one query category (Table 8 rows).
+struct TimeBucket {
+  uint64_t N = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+
+  void add(double Seconds) {
+    if (N == 0 || Seconds < Min)
+      Min = Seconds;
+    if (Seconds > Max)
+      Max = Seconds;
+    Sum += Seconds;
+    ++N;
+  }
+  double mean() const { return N == 0 ? 0 : Sum / N; }
+  void merge(const TimeBucket &O) {
+    if (O.N == 0)
+      return;
+    if (N == 0 || O.Min < Min)
+      Min = O.Min;
+    if (O.Max > Max)
+      Max = O.Max;
+    Sum += O.Sum;
+    N += O.N;
+  }
+};
+
+struct CegarStats {
+  uint64_t Queries = 0;
+  uint64_t QueriesWithRegex = 0;
+  uint64_t QueriesWithCaptures = 0;
+  uint64_t QueriesRefined = 0;
+  uint64_t QueriesHitLimit = 0;
+  uint64_t TotalRefinements = 0;
+  double SolverSeconds = 0;
+  double MaxQuerySeconds = 0;
+
+  // Per-query solve times by category (Table 8's query half).
+  TimeBucket AllQueries;
+  TimeBucket WithRegex;
+  TimeBucket WithCaptures;
+  TimeBucket WithRefinement;
+  TimeBucket HitLimit;
+
+  void merge(const CegarStats &O) {
+    Queries += O.Queries;
+    QueriesWithRegex += O.QueriesWithRegex;
+    QueriesWithCaptures += O.QueriesWithCaptures;
+    QueriesRefined += O.QueriesRefined;
+    QueriesHitLimit += O.QueriesHitLimit;
+    TotalRefinements += O.TotalRefinements;
+    SolverSeconds += O.SolverSeconds;
+    MaxQuerySeconds = std::max(MaxQuerySeconds, O.MaxQuerySeconds);
+    AllQueries.merge(O.AllQueries);
+    WithRegex.merge(O.WithRegex);
+    WithCaptures.merge(O.WithCaptures);
+    WithRefinement.merge(O.WithRefinement);
+    HitLimit.merge(O.HitLimit);
+  }
+};
+
+struct CegarResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  Assignment Model;
+  unsigned Refinements = 0;
+  bool HitRefinementLimit = false;
+};
+
+/// Algorithm 1. Satisfiability modulo ES6 matching precedence.
+class CegarSolver {
+public:
+  explicit CegarSolver(SolverBackend &Backend, CegarOptions Opts = {});
+
+  /// Solves a path condition. On Sat, the assignment is guaranteed to be
+  /// consistent with the concrete matcher on every regex clause.
+  CegarResult solve(const std::vector<PathClause> &Clauses);
+
+  const CegarStats &stats() const { return Stats; }
+  void resetStats() { Stats = CegarStats(); }
+  SolverBackend &backend() { return Backend; }
+
+private:
+  SolverBackend &Backend;
+  CegarOptions Opts;
+  CegarStats Stats;
+  TermEvaluator Eval;
+};
+
+} // namespace recap
+
+#endif // RECAP_CEGAR_CEGARSOLVER_H

@@ -1,0 +1,149 @@
+//===- dse/Engine.cpp - Generational-search DSE engine ---------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Engine.h"
+
+#include <chrono>
+#include <map>
+
+using namespace recap;
+
+DseEngine::DseEngine(SolverBackend &Backend, EngineOptions Opts)
+    : Backend(Backend), Opts(Opts) {}
+
+namespace {
+
+/// Signature of a flip target: identifies "path prefix + flipped clause"
+/// so each candidate is attempted once (generational search).
+uint64_t flipSignature(const std::vector<BranchRecord> &Path, size_t Flip) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (size_t I = 0; I <= Flip; ++I) {
+    bool Pol = Path[I].Clause.Polarity;
+    if (I == Flip)
+      Pol = !Pol;
+    Mix(static_cast<uint64_t>(Path[I].SiteId) * 2 + (Pol ? 1 : 0));
+  }
+  Mix(Flip);
+  return H;
+}
+
+struct QueuedTest {
+  InputMap Inputs;
+  int Bucket; ///< site id of the flipped clause (CUPA bucket key)
+};
+
+} // namespace
+
+EngineResult DseEngine::run(const Program &P) {
+  auto T0 = std::chrono::steady_clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+        .count();
+  };
+
+  EngineResult Out;
+  Out.TotalStmts = P.NumStmts;
+
+  SymbolicContext Ctx(Opts.Level);
+  Interpreter Interp(Ctx, Opts.MaxWhileIterations);
+  CegarSolver Solver(Backend, Opts.Cegar);
+  std::mt19937_64 Rng(Opts.Seed);
+
+  // CUPA buckets: test cases grouped by the program point whose flipped
+  // clause generated them; the least-accessed bucket is served first.
+  std::map<int, std::vector<QueuedTest>> Buckets;
+  std::map<int, uint64_t> Access;
+  std::set<uint64_t> Attempted;
+  // Test cases whose path had solver-Unknown flips: retried when the
+  // regular queue drains (solve times on hard regex queries vary run to
+  // run, so a later attempt often succeeds).
+  std::vector<QueuedTest> RetryPool;
+
+  Buckets[-1].push_back({InputMap(), -1});
+
+  while (Out.TestsRun < Opts.MaxTests && Elapsed() < Opts.MaxSeconds) {
+    // Pick the least-accessed non-empty bucket.
+    int Best = INT_MIN;
+    uint64_t BestAccess = UINT64_MAX;
+    for (auto &[Site, Tests] : Buckets) {
+      if (Tests.empty())
+        continue;
+      uint64_t A = Access[Site];
+      if (A < BestAccess) {
+        BestAccess = A;
+        Best = Site;
+      }
+    }
+    if (Best == INT_MIN) {
+      if (RetryPool.empty())
+        break; // queue exhausted
+      for (QueuedTest &T : RetryPool)
+        Buckets[T.Bucket].push_back(std::move(T));
+      RetryPool.clear();
+      continue;
+    }
+    ++Access[Best];
+    std::vector<QueuedTest> &Q = Buckets[Best];
+    size_t Pick = Rng() % Q.size();
+    QueuedTest Test = std::move(Q[Pick]);
+    Q.erase(Q.begin() + Pick);
+
+    // Concrete + symbolic execution.
+    Trace Tr = Interp.run(P, Test.Inputs);
+    ++Out.TestsRun;
+    Out.Covered.insert(Tr.Covered.begin(), Tr.Covered.end());
+    for (int Id : Tr.FailedAsserts)
+      Out.FailedAsserts.push_back(Id);
+
+    if (Opts.Level == SupportLevel::Concrete)
+      continue; // nothing symbolic to flip
+
+    // Generational search: flip each clause of the path condition.
+    for (size_t Flip = 0; Flip < Tr.Path.size(); ++Flip) {
+      if (Out.TestsRun + 0 >= Opts.MaxTests || Elapsed() >= Opts.MaxSeconds)
+        break;
+      uint64_t Sig = flipSignature(Tr.Path, Flip);
+      if (!Attempted.insert(Sig).second)
+        continue;
+
+      std::vector<PathClause> Problem;
+      for (size_t I = 0; I < Flip; ++I)
+        Problem.push_back(Tr.Path[I].Clause);
+      Problem.push_back(Tr.Path[Flip].Clause.negated());
+
+      CegarResult R = Solver.solve(Problem);
+      if (R.Status == SolveStatus::Unknown) {
+        // Solver gave up (timeout / refinement limit); a later attempt
+        // often succeeds, so keep the flip target live and queue this
+        // test case for a retry round.
+        Attempted.erase(Sig);
+        RetryPool.push_back({Test.Inputs, Best});
+        continue;
+      }
+      if (R.Status != SolveStatus::Sat)
+        continue;
+
+      InputMap NewInputs = Test.Inputs;
+      for (const std::string &Param : P.Params) {
+        auto It = R.Model.Strings.find("in!" + Param);
+        if (It != R.Model.Strings.end())
+          NewInputs[Param] = It->second;
+      }
+      int Site = Tr.Path[Flip].SiteId;
+      Buckets[Site].push_back({std::move(NewInputs), Site});
+    }
+  }
+
+  Out.Seconds = Elapsed();
+  Out.Cegar = Solver.stats();
+  Out.Solver = Backend.stats();
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- dse/Engine.h - Generational-search DSE engine ------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DSE driver (paper §6.2): concolic execution with generational
+/// search, flipping path-condition clauses through the CEGAR solver, and
+/// the CUPA-style scheduler — queued test cases are bucketed by the
+/// program point that generated them and the engine draws from the least
+/// recently served bucket to prioritize unexplored code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_DSE_ENGINE_H
+#define RECAP_DSE_ENGINE_H
+
+#include "dse/Interpreter.h"
+
+#include <random>
+
+namespace recap {
+
+struct EngineOptions {
+  SupportLevel Level = SupportLevel::Refinement;
+  /// Stop after this many concrete executions.
+  uint64_t MaxTests = 64;
+  /// Wall-clock budget.
+  double MaxSeconds = 30.0;
+  CegarOptions Cegar;
+  uint64_t Seed = 1;
+  size_t MaxWhileIterations = 32;
+
+  EngineOptions() {
+    // Backreference queries with pinned capture constants can take Z3
+    // several seconds (see bench/micro_model); failed flips additionally
+    // stay retryable (see Engine.cpp).
+    Cegar.Limits.TimeoutMs = 10000;
+  }
+};
+
+struct EngineResult {
+  uint64_t TestsRun = 0;
+  std::set<int> Covered;
+  int TotalStmts = 0;
+  double Seconds = 0;
+  std::vector<int> FailedAsserts; ///< stmt ids of violated assertions
+  CegarStats Cegar;
+  SolverStats Solver;
+
+  double coveragePercent() const {
+    return TotalStmts == 0
+               ? 0
+               : 100.0 * static_cast<double>(Covered.size()) / TotalStmts;
+  }
+  double testsPerMinute() const {
+    return Seconds <= 0 ? 0 : 60.0 * static_cast<double>(TestsRun) / Seconds;
+  }
+  bool bugFound() const { return !FailedAsserts.empty(); }
+};
+
+/// Dynamic symbolic execution of one MiniJS program.
+class DseEngine {
+public:
+  DseEngine(SolverBackend &Backend, EngineOptions Opts = {});
+
+  EngineResult run(const Program &P);
+
+private:
+  SolverBackend &Backend;
+  EngineOptions Opts;
+};
+
+} // namespace recap
+
+#endif // RECAP_DSE_ENGINE_H

@@ -1,0 +1,500 @@
+//===- dse/Interpreter.cpp - Concolic MiniJS interpreter -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Interpreter.h"
+
+#include "api/StringMethods.h"
+
+#include <cassert>
+
+using namespace recap;
+
+SymbolicRegExp *SymbolicContext::regexFor(const MiniExpr &Site) {
+  auto It = Regexes.find(&Site);
+  if (It != Regexes.end())
+    return It->second.get();
+  Result<Regex> R = Regex::parseLiteral(Site.RegexSource);
+  if (!R) {
+    Regexes.emplace(&Site, nullptr);
+    return nullptr;
+  }
+  std::string Prefix = "re" + std::to_string(Regexes.size());
+  auto Sym = std::make_unique<SymbolicRegExp>(R.take(), Prefix,
+                                              modelOptions());
+  SymbolicRegExp *Out = Sym.get();
+  Regexes.emplace(&Site, std::move(Sym));
+  return Out;
+}
+
+TermRef SymbolicContext::inputVar(const std::string &Param) {
+  auto It = InputVars.find(Param);
+  if (It != InputVars.end())
+    return It->second;
+  TermRef V = mkStrVar("in!" + Param);
+  InputVars.emplace(Param, V);
+  return V;
+}
+
+namespace recap {
+
+namespace {
+
+/// Concrete match state for an exec() result value.
+struct MatchInfo {
+  bool Matched = false;
+  std::optional<MatchResult> Concrete;
+  std::shared_ptr<RegexQuery> Query; // null below Captures level
+};
+
+/// A concolic value: concrete part plus optional symbolic terms.
+struct CValue {
+  enum class Kind : uint8_t { Undefined, Bool, Int, Str, Match } K =
+      Kind::Undefined;
+  bool B = false;
+  int64_t I = 0;
+  UString S;
+  std::shared_ptr<MatchInfo> M;
+
+  TermRef Sym;    ///< Bool/Int/String term for the concrete kind
+  TermRef SymDef; ///< for maybe-undefined strings (captures): definedness
+
+  static CValue undef() { return CValue(); }
+  static CValue boolean(bool V, TermRef Sym = nullptr) {
+    CValue C;
+    C.K = Kind::Bool;
+    C.B = V;
+    C.Sym = std::move(Sym);
+    return C;
+  }
+  static CValue integer(int64_t V, TermRef Sym = nullptr) {
+    CValue C;
+    C.K = Kind::Int;
+    C.I = V;
+    C.Sym = std::move(Sym);
+    return C;
+  }
+  static CValue string(UString V, TermRef Sym = nullptr) {
+    CValue C;
+    C.K = Kind::Str;
+    C.S = std::move(V);
+    C.Sym = std::move(Sym);
+    return C;
+  }
+
+  bool truthy() const {
+    switch (K) {
+    case Kind::Undefined:
+      return false;
+    case Kind::Bool:
+      return B;
+    case Kind::Int:
+      return I != 0;
+    case Kind::Str:
+      return !S.empty();
+    case Kind::Match:
+      return M && M->Matched;
+    }
+    return false;
+  }
+
+  /// Symbolic term for the string value (constant lift if concrete-only).
+  TermRef strTerm() const { return Sym ? Sym : mkStrConst(S); }
+  TermRef intTerm() const { return Sym ? Sym : mkIntConst(I); }
+  bool hasSym() const { return Sym != nullptr || SymDef != nullptr; }
+};
+
+} // namespace
+
+/// One execution of a program.
+class ExecState {
+public:
+  ExecState(const Interpreter &I, SymbolicContext &Ctx, const Program &P,
+            const InputMap &Inputs)
+      : Interp(I), Ctx(Ctx), Prog(P) {
+    for (const std::string &Param : P.Params) {
+      auto It = Inputs.find(Param);
+      UString V = It == Inputs.end() ? UString() : It->second;
+      TermRef Sym = Ctx.level() == SupportLevel::Concrete
+                        ? nullptr
+                        : Ctx.inputVar(Param);
+      Env[Param] = CValue::string(std::move(V), std::move(Sym));
+    }
+  }
+
+  Trace finish() && { return std::move(Out); }
+
+  void exec(const StmtPtr &S) {
+    if (!S)
+      return;
+    Out.Covered.insert(S->Id);
+    CurrentSite = S->Id;
+    switch (S->K) {
+    case StmtKind::Nop:
+      return;
+    case StmtKind::Block:
+      for (const StmtPtr &K : S->Kids)
+        exec(K);
+      return;
+    case StmtKind::Let:
+      Env[S->Name] = eval(*S->E);
+      return;
+    case StmtKind::If: {
+      bool Taken = branch(*S->E, S->Id);
+      if (Taken)
+        exec(S->Kids[0]);
+      else if (S->Kids.size() > 1)
+        exec(S->Kids[1]);
+      return;
+    }
+    case StmtKind::While: {
+      size_t Iter = 0;
+      while (branch(*S->E, S->Id)) {
+        if (++Iter > Interp.MaxWhileIterations) {
+          Out.Truncated = true;
+          break;
+        }
+        exec(S->Kids[0]);
+      }
+      return;
+    }
+    case StmtKind::Assert: {
+      bool Ok = branch(*S->E, S->Id);
+      if (!Ok)
+        Out.FailedAsserts.push_back(S->Id);
+      return;
+    }
+    }
+  }
+
+private:
+  const Interpreter &Interp;
+  SymbolicContext &Ctx;
+  const Program &Prog;
+  std::map<std::string, CValue> Env;
+  Trace Out;
+  std::map<const MiniExpr *, std::shared_ptr<RegExpObject>> Oracles;
+
+  /// Evaluates \p E as a branch condition, records the path clause, and
+  /// returns the concrete outcome.
+  bool branch(const MiniExpr &E, int SiteId) {
+    CValue V = eval(E);
+    bool Taken = V.truthy();
+    TermRef Cond = truthCondition(V);
+    if (Cond && Out.Path.size() < Interp.MaxPathLength)
+      Out.Path.push_back({PathClause::plain(Cond, Taken), SiteId});
+    return Taken;
+  }
+
+  /// Symbolic truthiness condition, or null if fully concrete.
+  TermRef truthCondition(const CValue &V) {
+    switch (V.K) {
+    case CValue::Kind::Bool:
+    case CValue::Kind::Int:
+      if (!V.Sym)
+        return nullptr;
+      return V.K == CValue::Kind::Bool
+                 ? V.Sym
+                 : mkNot(mkEq(V.Sym, mkIntConst(0)));
+    case CValue::Kind::Str:
+      if (!V.Sym && !V.SymDef)
+        return nullptr;
+      if (V.SymDef)
+        return mkAnd(V.SymDef,
+                     mkNot(mkEq(V.strTerm(), mkStrConst(UString()))));
+      return mkNot(mkEq(V.Sym, mkStrConst(UString())));
+    case CValue::Kind::Undefined:
+      // A maybe-undefined capture that is concretely undefined: truthiness
+      // is Def ∧ value ≠ "".
+      if (V.SymDef)
+        return mkAnd(V.SymDef,
+                     mkNot(mkEq(V.strTerm(), mkStrConst(UString()))));
+      return nullptr;
+    case CValue::Kind::Match:
+      // The membership clause was already recorded at the exec site;
+      // truthiness adds nothing new.
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<RegExpObject> oracleFor(const MiniExpr &Site) {
+    auto It = Oracles.find(&Site);
+    if (It != Oracles.end())
+      return It->second;
+    Result<Regex> R = Regex::parseLiteral(Site.RegexSource);
+    std::shared_ptr<RegExpObject> O;
+    if (R)
+      O = std::make_shared<RegExpObject>(R.take());
+    Oracles.emplace(&Site, O);
+    return O;
+  }
+
+  CValue eval(const MiniExpr &E) {
+    switch (E.K) {
+    case ExprKind::StrConst:
+      return CValue::string(E.Str);
+    case ExprKind::IntConst:
+      return CValue::integer(E.Int);
+    case ExprKind::BoolConst:
+      return CValue::boolean(E.Bool);
+    case ExprKind::UndefinedConst:
+      return CValue::undef();
+    case ExprKind::Var: {
+      auto It = Env.find(E.Name);
+      return It == Env.end() ? CValue::undef() : It->second;
+    }
+    case ExprKind::Eq:
+      return evalEq(eval(*E.Kids[0]), eval(*E.Kids[1]));
+    case ExprKind::Lt: {
+      CValue A = eval(*E.Kids[0]), B = eval(*E.Kids[1]);
+      bool C = A.K == CValue::Kind::Int && B.K == CValue::Kind::Int &&
+               A.I < B.I;
+      TermRef Sym;
+      if ((A.Sym || B.Sym) && A.K == CValue::Kind::Int &&
+          B.K == CValue::Kind::Int)
+        Sym = mkLt(A.intTerm(), B.intTerm());
+      return CValue::boolean(C, Sym);
+    }
+    case ExprKind::Not: {
+      CValue A = eval(*E.Kids[0]);
+      TermRef Cond = truthCondition(A);
+      return CValue::boolean(!A.truthy(), Cond ? mkNot(Cond) : nullptr);
+    }
+    case ExprKind::And:
+    case ExprKind::Or: {
+      CValue A = eval(*E.Kids[0]), B = eval(*E.Kids[1]);
+      bool C = E.K == ExprKind::And ? (A.truthy() && B.truthy())
+                                    : (A.truthy() || B.truthy());
+      TermRef CA = truthCondition(A), CB = truthCondition(B);
+      TermRef Sym;
+      if (CA || CB) {
+        TermRef TA = CA ? CA : mkBoolConst(A.truthy());
+        TermRef TB = CB ? CB : mkBoolConst(B.truthy());
+        Sym = E.K == ExprKind::And ? mkAnd(TA, TB) : mkOr(TA, TB);
+      }
+      return CValue::boolean(C, Sym);
+    }
+    case ExprKind::StrConcat: {
+      CValue A = eval(*E.Kids[0]), B = eval(*E.Kids[1]);
+      UString S = A.S + B.S;
+      TermRef Sym;
+      if (A.Sym || B.Sym)
+        Sym = mkConcat(A.strTerm(), B.strTerm());
+      return CValue::string(std::move(S), std::move(Sym));
+    }
+    case ExprKind::StrLen: {
+      CValue A = eval(*E.Kids[0]);
+      TermRef Sym = A.Sym ? mkStrLen(A.Sym) : nullptr;
+      return CValue::integer(static_cast<int64_t>(A.S.size()),
+                             std::move(Sym));
+    }
+    case ExprKind::CharAt: {
+      CValue A = eval(*E.Kids[0]), I = eval(*E.Kids[1]);
+      // Concretized (no substring operator in the IR; see DESIGN.md).
+      if (I.I < 0 || static_cast<size_t>(I.I) >= A.S.size())
+        return CValue::undef();
+      return CValue::string(UString(1, A.S[I.I]));
+    }
+    case ExprKind::Test:
+    case ExprKind::Exec:
+      return evalRegex(E);
+    case ExprKind::Replace:
+      return evalReplace(E);
+    case ExprKind::Search:
+      return evalSearch(E);
+    case ExprKind::MatchIndex: {
+      CValue A = eval(*E.Kids[0]);
+      return evalMatchIndex(A, E.Int);
+    }
+    case ExprKind::Truthy: {
+      CValue A = eval(*E.Kids[0]);
+      return CValue::boolean(A.truthy(), truthCondition(A));
+    }
+    }
+    assert(false && "unknown expression kind");
+    return CValue::undef();
+  }
+
+  CValue evalEq(const CValue &A, const CValue &B) {
+    // Concrete ===.
+    bool C = false;
+    if (A.K == B.K) {
+      switch (A.K) {
+      case CValue::Kind::Undefined:
+        C = true;
+        break;
+      case CValue::Kind::Bool:
+        C = A.B == B.B;
+        break;
+      case CValue::Kind::Int:
+        C = A.I == B.I;
+        break;
+      case CValue::Kind::Str:
+        C = A.S == B.S;
+        break;
+      case CValue::Kind::Match:
+        C = A.M == B.M;
+        break;
+      }
+    }
+    if (!A.hasSym() && !B.hasSym())
+      return CValue::boolean(C);
+
+    // Symbolic equality for string-ish kinds (including maybe-undefined
+    // captures compared against strings or undefined).
+    auto IsStrIsh = [](const CValue &V) {
+      return V.K == CValue::Kind::Str || V.K == CValue::Kind::Undefined;
+    };
+    if (IsStrIsh(A) && IsStrIsh(B)) {
+      TermRef DefA = A.SymDef ? A.SymDef
+                              : mkBoolConst(A.K == CValue::Kind::Str);
+      TermRef DefB = B.SymDef ? B.SymDef
+                              : mkBoolConst(B.K == CValue::Kind::Str);
+      TermRef ValEq = mkEq(A.strTerm(), B.strTerm());
+      // Equal iff both undefined, or both defined with equal values.
+      TermRef Sym = mkOr(mkAnd(mkNot(DefA), mkNot(DefB)),
+                         mkAnd({DefA, DefB, ValEq}));
+      return CValue::boolean(C, Sym);
+    }
+    if (A.K == CValue::Kind::Int && B.K == CValue::Kind::Int)
+      return CValue::boolean(C, mkEq(A.intTerm(), B.intTerm()));
+    // Other combinations: concretize.
+    return CValue::boolean(C);
+  }
+
+  CValue evalRegex(const MiniExpr &E) {
+    CValue Arg = eval(*E.Kids[0]);
+    std::shared_ptr<RegExpObject> Oracle = oracleFor(E);
+    if (!Oracle)
+      return CValue::undef(); // malformed literal
+    UString Subject = Arg.K == CValue::Kind::Str ? Arg.S : UString();
+    int64_t LastIndexBefore = Oracle->LastIndex;
+    RegExpObject::ExecOutcome Res = Oracle->exec(Subject);
+    bool Matched = Res.Status == MatchStatus::Match;
+
+    auto Info = std::make_shared<MatchInfo>();
+    Info->Matched = Matched;
+    Info->Concrete = Res.Result;
+
+    bool Symbolic = Ctx.level() != SupportLevel::Concrete &&
+                    Arg.Sym != nullptr &&
+                    Arg.K == CValue::Kind::Str;
+    if (Symbolic) {
+      SymbolicRegExp *Sym = Ctx.regexFor(E);
+      if (Sym) {
+        std::shared_ptr<RegexQuery> Q =
+            E.K == ExprKind::Test
+                ? Sym->test(Arg.Sym, mkIntConst(LastIndexBefore))
+                : Sym->exec(Arg.Sym, mkIntConst(LastIndexBefore));
+        // The membership clause enters the path condition at the call
+        // site with the concrete polarity (paper §3.2).
+        if (Out.Path.size() < Interp.MaxPathLength)
+          Out.Path.push_back({PathClause::regex(Q, Matched), CurrentSite});
+        if (Ctx.level() >= SupportLevel::Captures)
+          Info->Query = Q;
+      }
+    }
+
+    if (E.K == ExprKind::Test)
+      return CValue::boolean(Matched);
+    CValue V;
+    V.K = CValue::Kind::Match;
+    V.M = std::move(Info);
+    return V;
+  }
+
+  /// arg.replace(re, template): concretely exact; symbolically the §6.1
+  /// partial model (first occurrence) at capture-aware levels. The
+  /// replacement template may reference captures, so below the Captures
+  /// level the result concretizes.
+  CValue evalReplace(const MiniExpr &E) {
+    CValue Arg = eval(*E.Kids[0]);
+    std::shared_ptr<RegExpObject> Oracle = oracleFor(E);
+    if (!Oracle)
+      return Arg;
+    UString Subject = Arg.K == CValue::Kind::Str ? Arg.S : UString();
+    UString Replaced = concreteReplace(*Oracle, Subject, E.Str);
+    MatchResult M;
+    bool Matched =
+        Oracle->matcher().search(Subject, 0, M) == MatchStatus::Match;
+
+    TermRef Sym;
+    if (Ctx.level() >= SupportLevel::Captures && Arg.Sym &&
+        Arg.K == CValue::Kind::Str) {
+      if (SymbolicRegExp *Re = Ctx.regexFor(E)) {
+        SymbolicStringMethods Methods(*Re);
+        SymbolicReplace Rep = Methods.replace(Arg.Sym, E.Str);
+        if (Out.Path.size() < Interp.MaxPathLength)
+          Out.Path.push_back(
+              {PathClause::regex(Rep.Query, Matched), CurrentSite});
+        Sym = Matched ? Rep.Replaced : Rep.Unchanged;
+      }
+    }
+    return CValue::string(std::move(Replaced), std::move(Sym));
+  }
+
+  CValue evalSearch(const MiniExpr &E) {
+    CValue Arg = eval(*E.Kids[0]);
+    std::shared_ptr<RegExpObject> Oracle = oracleFor(E);
+    if (!Oracle)
+      return CValue::integer(-1);
+    UString Subject = Arg.K == CValue::Kind::Str ? Arg.S : UString();
+    int64_t Index = concreteSearch(*Oracle, Subject);
+
+    TermRef Sym;
+    if (Ctx.level() != SupportLevel::Concrete && Arg.Sym &&
+        Arg.K == CValue::Kind::Str) {
+      if (SymbolicRegExp *Re = Ctx.regexFor(E)) {
+        SymbolicStringMethods Methods(*Re);
+        SymbolicSearch Search = Methods.search(Arg.Sym);
+        if (Out.Path.size() < Interp.MaxPathLength)
+          Out.Path.push_back(
+              {PathClause::regex(Search.Query, Index >= 0), CurrentSite});
+        Sym = Index >= 0 ? Search.FoundIndex : Search.NotFound;
+      }
+    }
+    return CValue::integer(Index, std::move(Sym));
+  }
+
+  CValue evalMatchIndex(const CValue &A, int64_t Index) {
+    if (A.K != CValue::Kind::Match || !A.M || !A.M->Matched ||
+        !A.M->Concrete)
+      return CValue::undef();
+    const MatchResult &R = *A.M->Concrete;
+    CValue Out;
+    bool Defined;
+    UString Val;
+    if (Index == 0) {
+      Defined = true;
+      Val = R.Match;
+    } else if (Index >= 1 &&
+               static_cast<size_t>(Index) <= R.Captures.size()) {
+      Defined = R.Captures[Index - 1].has_value();
+      Val = Defined ? *R.Captures[Index - 1] : UString();
+    } else {
+      return CValue::undef();
+    }
+    Out.K = Defined ? CValue::Kind::Str : CValue::Kind::Undefined;
+    Out.S = Val;
+    if (A.M->Query) {
+      CaptureVar CV = SymbolicRegExp::capture(*A.M->Query,
+                                              static_cast<size_t>(Index));
+      Out.Sym = CV.Value;
+      Out.SymDef = CV.Defined;
+    }
+    return Out;
+  }
+
+  int CurrentSite = -1;
+};
+
+} // namespace recap
+
+Trace Interpreter::run(const Program &P, const InputMap &Inputs) {
+  ExecState State(*this, Ctx, P, Inputs);
+  State.exec(P.Body);
+  return std::move(State).finish();
+}

@@ -1,0 +1,97 @@
+//===- dse/Interpreter.h - Concolic MiniJS interpreter ----------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concolic interpreter for MiniJS: every value carries a concrete part
+/// and an optional symbolic term. Regex test/exec sites append a capturing
+/// language membership clause to the path condition with the polarity of
+/// the concrete outcome, exactly as in the paper's §3.2 walkthrough; match
+/// arrays expose symbolic captures (definedness + value).
+///
+/// The four regex support levels of Table 7 are selected per run:
+///   Concrete     — regex calls are fully concretized,
+///   Model        — membership modeled, captures concretized,
+///   Captures     — full capture/backreference model, no refinement,
+///   Refinement   — full model plus the Algorithm-1 CEGAR loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_DSE_INTERPRETER_H
+#define RECAP_DSE_INTERPRETER_H
+
+#include "api/SymbolicRegExp.h"
+#include "dse/MiniJS.h"
+
+#include <map>
+#include <set>
+
+namespace recap {
+
+enum class SupportLevel : uint8_t {
+  Concrete,
+  Model,
+  Captures,
+  Refinement,
+};
+
+/// One recorded branch decision.
+struct BranchRecord {
+  PathClause Clause;
+  int SiteId = -1;
+};
+
+/// Result of one concolic execution.
+struct Trace {
+  std::vector<BranchRecord> Path;
+  std::set<int> Covered;
+  std::vector<int> FailedAsserts;
+  bool Truncated = false;
+};
+
+using InputMap = std::map<std::string, UString>;
+
+/// Per-program symbolic state shared across runs (symbolic regexes keyed
+/// by call site so variable prefixes stay stable).
+class SymbolicContext {
+public:
+  explicit SymbolicContext(SupportLevel Level) : Level(Level) {}
+
+  SupportLevel level() const { return Level; }
+  ModelOptions modelOptions() const {
+    ModelOptions O;
+    O.ModelCaptures = Level >= SupportLevel::Captures;
+    return O;
+  }
+
+  SymbolicRegExp *regexFor(const MiniExpr &Site);
+  TermRef inputVar(const std::string &Param);
+
+private:
+  SupportLevel Level;
+  std::map<const MiniExpr *, std::unique_ptr<SymbolicRegExp>> Regexes;
+  std::map<std::string, TermRef> InputVars;
+};
+
+/// Executes a program on concrete inputs, recording the path condition.
+class Interpreter {
+public:
+  Interpreter(SymbolicContext &Ctx, size_t MaxWhileIterations = 32,
+              size_t MaxPathLength = 512)
+      : Ctx(Ctx), MaxWhileIterations(MaxWhileIterations),
+        MaxPathLength(MaxPathLength) {}
+
+  Trace run(const Program &P, const InputMap &Inputs);
+
+private:
+  SymbolicContext &Ctx;
+  size_t MaxWhileIterations;
+  size_t MaxPathLength;
+  friend class ExecState;
+};
+
+} // namespace recap
+
+#endif // RECAP_DSE_INTERPRETER_H

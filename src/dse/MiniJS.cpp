@@ -1,0 +1,186 @@
+//===- dse/MiniJS.cpp - A small JS-like language for DSE -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/MiniJS.h"
+
+using namespace recap;
+
+namespace {
+
+std::shared_ptr<MiniExpr> make(ExprKind K) {
+  return std::make_shared<MiniExpr>(K);
+}
+
+std::shared_ptr<MiniStmt> makeS(StmtKind K) {
+  return std::make_shared<MiniStmt>(K);
+}
+
+} // namespace
+
+ExprPtr mjs::str(const std::string &Utf8) {
+  auto E = make(ExprKind::StrConst);
+  E->Str = fromUTF8(Utf8);
+  return E;
+}
+
+ExprPtr mjs::integer(int64_t V) {
+  auto E = make(ExprKind::IntConst);
+  E->Int = V;
+  return E;
+}
+
+ExprPtr mjs::boolean(bool B) {
+  auto E = make(ExprKind::BoolConst);
+  E->Bool = B;
+  return E;
+}
+
+ExprPtr mjs::undefined() { return make(ExprKind::UndefinedConst); }
+
+ExprPtr mjs::var(const std::string &Name) {
+  auto E = make(ExprKind::Var);
+  E->Name = Name;
+  return E;
+}
+
+static ExprPtr binary(ExprKind K, ExprPtr A, ExprPtr B) {
+  auto E = std::make_shared<MiniExpr>(K);
+  E->Kids = {std::move(A), std::move(B)};
+  return E;
+}
+
+ExprPtr mjs::eq(ExprPtr A, ExprPtr B) {
+  return binary(ExprKind::Eq, std::move(A), std::move(B));
+}
+
+ExprPtr mjs::ne(ExprPtr A, ExprPtr B) {
+  return not_(eq(std::move(A), std::move(B)));
+}
+
+ExprPtr mjs::lt(ExprPtr A, ExprPtr B) {
+  return binary(ExprKind::Lt, std::move(A), std::move(B));
+}
+
+ExprPtr mjs::not_(ExprPtr A) {
+  auto E = make(ExprKind::Not);
+  E->Kids = {std::move(A)};
+  return E;
+}
+
+ExprPtr mjs::and_(ExprPtr A, ExprPtr B) {
+  return binary(ExprKind::And, std::move(A), std::move(B));
+}
+
+ExprPtr mjs::or_(ExprPtr A, ExprPtr B) {
+  return binary(ExprKind::Or, std::move(A), std::move(B));
+}
+
+ExprPtr mjs::concat(ExprPtr A, ExprPtr B) {
+  return binary(ExprKind::StrConcat, std::move(A), std::move(B));
+}
+
+ExprPtr mjs::len(ExprPtr S) {
+  auto E = make(ExprKind::StrLen);
+  E->Kids = {std::move(S)};
+  return E;
+}
+
+ExprPtr mjs::charAt(ExprPtr S, ExprPtr I) {
+  return binary(ExprKind::CharAt, std::move(S), std::move(I));
+}
+
+ExprPtr mjs::test(const std::string &RegexLiteral, ExprPtr Arg) {
+  auto E = make(ExprKind::Test);
+  E->RegexSource = RegexLiteral;
+  E->Kids = {std::move(Arg)};
+  return E;
+}
+
+ExprPtr mjs::exec(const std::string &RegexLiteral, ExprPtr Arg) {
+  auto E = make(ExprKind::Exec);
+  E->RegexSource = RegexLiteral;
+  E->Kids = {std::move(Arg)};
+  return E;
+}
+
+ExprPtr mjs::replace(const std::string &RegexLiteral, ExprPtr Arg,
+                     const std::string &ReplacementUtf8) {
+  auto E = make(ExprKind::Replace);
+  E->RegexSource = RegexLiteral;
+  E->Str = fromUTF8(ReplacementUtf8);
+  E->Kids = {std::move(Arg)};
+  return E;
+}
+
+ExprPtr mjs::search(const std::string &RegexLiteral, ExprPtr Arg) {
+  auto E = make(ExprKind::Search);
+  E->RegexSource = RegexLiteral;
+  E->Kids = {std::move(Arg)};
+  return E;
+}
+
+ExprPtr mjs::matchIndex(ExprPtr Match, int64_t I) {
+  auto E = make(ExprKind::MatchIndex);
+  E->Int = I;
+  E->Kids = {std::move(Match)};
+  return E;
+}
+
+ExprPtr mjs::truthy(ExprPtr A) {
+  auto E = make(ExprKind::Truthy);
+  E->Kids = {std::move(A)};
+  return E;
+}
+
+StmtPtr mjs::let_(const std::string &Name, ExprPtr E) {
+  auto S = makeS(StmtKind::Let);
+  S->Name = Name;
+  S->E = std::move(E);
+  return S;
+}
+
+StmtPtr mjs::if_(ExprPtr Cond, StmtPtr Then, StmtPtr Else) {
+  auto S = makeS(StmtKind::If);
+  S->E = std::move(Cond);
+  S->Kids.push_back(std::move(Then));
+  if (Else)
+    S->Kids.push_back(std::move(Else));
+  return S;
+}
+
+StmtPtr mjs::while_(ExprPtr Cond, StmtPtr Body) {
+  auto S = makeS(StmtKind::While);
+  S->E = std::move(Cond);
+  S->Kids.push_back(std::move(Body));
+  return S;
+}
+
+StmtPtr mjs::assert_(ExprPtr E) {
+  auto S = makeS(StmtKind::Assert);
+  S->E = std::move(E);
+  return S;
+}
+
+StmtPtr mjs::block(std::vector<StmtPtr> Stmts) {
+  auto S = makeS(StmtKind::Block);
+  S->Kids = std::move(Stmts);
+  return S;
+}
+
+StmtPtr mjs::nop() { return makeS(StmtKind::Nop); }
+
+void Program::finalize() {
+  int Next = 0;
+  std::function<void(const StmtPtr &)> Number = [&](const StmtPtr &S) {
+    if (!S)
+      return;
+    S->Id = Next++;
+    for (const StmtPtr &K : S->Kids)
+      Number(K);
+  };
+  Number(Body);
+  NumStmts = Next;
+}

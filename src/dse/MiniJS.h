@@ -1,0 +1,145 @@
+//===- dse/MiniJS.h - A small JS-like language for DSE ----------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJS is the workload language of the reproduction's DSE substrate: a
+/// small dynamically-typed JS-like language with strings, regex test/exec,
+/// match arrays, and assertions. It stands in for the Node.js programs
+/// ExpoSE instruments (DESIGN.md substitutions): branching driven by regex
+/// operations exercises exactly the constraint-generation paths the paper
+/// evaluates.
+///
+/// Programs are built with the mjs:: combinator helpers (see Builders).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_DSE_MINIJS_H
+#define RECAP_DSE_MINIJS_H
+
+#include "regex/Regex.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+enum class ExprKind : uint8_t {
+  StrConst,
+  IntConst,
+  BoolConst,
+  UndefinedConst,
+  Var,
+  Eq,       ///< === (strings, ints, bools, undefined)
+  Lt,       ///< < on ints
+  Not,
+  And,      ///< eager boolean &&
+  Or,       ///< eager boolean ||
+  StrConcat,
+  StrLen,   ///< s.length
+  CharAt,   ///< s[i] (one-char string or undefined)
+  Test,     ///< regexLiteral.test(arg)
+  Exec,     ///< regexLiteral.exec(arg)
+  Replace,  ///< arg.replace(regexLiteral, replacementString)
+  Search,   ///< arg.search(regexLiteral)
+  MatchIndex, ///< m[i] on a match array (string or undefined)
+  Truthy,   ///< JS truthiness (used on exec results / strings / bools)
+};
+
+struct MiniExpr;
+using ExprPtr = std::shared_ptr<const MiniExpr>;
+
+struct MiniExpr {
+  ExprKind K;
+  // Payloads (by kind):
+  UString Str;                ///< StrConst / Replace replacement template
+  int64_t Int = 0;            ///< IntConst / MatchIndex index
+  bool Bool = false;          ///< BoolConst
+  std::string Name;           ///< Var
+  std::string RegexSource;    ///< Test/Exec/Replace/Search regex literal
+  std::vector<ExprPtr> Kids;
+
+  explicit MiniExpr(ExprKind K) : K(K) {}
+};
+
+enum class StmtKind : uint8_t {
+  Let,    ///< let Name = Expr (also plain assignment)
+  If,     ///< if (Cond) Then else Else
+  While,  ///< while (Cond) Body  (iteration-bounded by the interpreter)
+  Assert, ///< assert(Expr) — failure is the bug signal
+  Block,
+  Nop,
+};
+
+struct MiniStmt;
+using StmtPtr = std::shared_ptr<const MiniStmt>;
+
+struct MiniStmt {
+  StmtKind K;
+  std::string Name;          ///< Let
+  ExprPtr E;                 ///< Let value / If-While cond / Assert expr
+  std::vector<StmtPtr> Kids; ///< If: {Then, Else?}; While: {Body}; Block
+  /// Unique id assigned by Program::finalize, used for coverage and CUPA
+  /// buckets.
+  mutable int Id = -1;
+
+  explicit MiniStmt(StmtKind K) : K(K) {}
+};
+
+/// A MiniJS program: symbolic string parameters plus a body.
+struct Program {
+  std::string Name;
+  std::vector<std::string> Params; ///< symbolic string inputs
+  StmtPtr Body;
+  int NumStmts = 0;
+
+  /// Assigns statement ids (call once after construction).
+  void finalize();
+};
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+namespace mjs {
+
+ExprPtr str(const std::string &Utf8);
+ExprPtr integer(int64_t V);
+ExprPtr boolean(bool B);
+ExprPtr undefined();
+ExprPtr var(const std::string &Name);
+ExprPtr eq(ExprPtr A, ExprPtr B);
+ExprPtr ne(ExprPtr A, ExprPtr B);
+ExprPtr lt(ExprPtr A, ExprPtr B);
+ExprPtr not_(ExprPtr A);
+ExprPtr and_(ExprPtr A, ExprPtr B);
+ExprPtr or_(ExprPtr A, ExprPtr B);
+ExprPtr concat(ExprPtr A, ExprPtr B);
+ExprPtr len(ExprPtr S);
+ExprPtr charAt(ExprPtr S, ExprPtr I);
+/// \p RegexLiteral is full literal syntax, e.g. "/go+d/i".
+ExprPtr test(const std::string &RegexLiteral, ExprPtr Arg);
+ExprPtr exec(const std::string &RegexLiteral, ExprPtr Arg);
+/// arg.replace(/re/, "replacement") — $&, $1..$9, $$ supported.
+ExprPtr replace(const std::string &RegexLiteral, ExprPtr Arg,
+                const std::string &ReplacementUtf8);
+/// arg.search(/re/) — first match index or -1.
+ExprPtr search(const std::string &RegexLiteral, ExprPtr Arg);
+ExprPtr matchIndex(ExprPtr Match, int64_t I);
+ExprPtr truthy(ExprPtr A);
+
+StmtPtr let_(const std::string &Name, ExprPtr E);
+StmtPtr if_(ExprPtr Cond, StmtPtr Then, StmtPtr Else = nullptr);
+StmtPtr while_(ExprPtr Cond, StmtPtr Body);
+StmtPtr assert_(ExprPtr E);
+StmtPtr block(std::vector<StmtPtr> Stmts);
+StmtPtr nop();
+
+} // namespace mjs
+
+} // namespace recap
+
+#endif // RECAP_DSE_MINIJS_H

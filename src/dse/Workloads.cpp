@@ -1,0 +1,371 @@
+//===- dse/Workloads.cpp - Evaluation workloads ----------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Workloads.h"
+
+#include <random>
+
+using namespace recap;
+using namespace recap::mjs;
+
+Program recap::listing1Program() {
+  Program P;
+  P.Name = "listing1";
+  P.Params = {"arg"};
+  P.Body = block({
+      let_("timeout", str("500")),
+      let_("parts", exec("/<(\\w+)>([0-9]*)<\\/\\1>/", var("arg"))),
+      if_(truthy(var("parts")),
+          if_(eq(matchIndex(var("parts"), 1), str("timeout")),
+              let_("timeout", matchIndex(var("parts"), 2)))),
+      assert_(test("/^[0-9]+$/", var("timeout"))),
+  });
+  P.finalize();
+  return P;
+}
+
+namespace {
+
+/// semver: version parsing with three numeric captures.
+Program semverLib() {
+  Program P;
+  P.Name = "semver";
+  P.Params = {"v"};
+  P.Body = block({
+      let_("m", exec("/^v?([0-9]+)\\.([0-9]+)\\.([0-9]+)$/", var("v"))),
+      let_("kind", str("invalid")),
+      if_(truthy(var("m")),
+          block({
+              let_("kind", str("release")),
+              if_(eq(matchIndex(var("m"), 1), str("0")),
+                  let_("kind", str("unstable"))),
+              if_(eq(matchIndex(var("m"), 2), str("0")),
+                  if_(eq(matchIndex(var("m"), 3), str("0")),
+                      let_("kind", str("major")))),
+          })),
+      if_(test("/^[0-9]+\\.[0-9]+$/", var("v")),
+          let_("kind", str("partial"))),
+      assert_(ne(var("kind"), str("major"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// url-parse: scheme/host/query splitting.
+Program urlParseLib() {
+  Program P;
+  P.Name = "url-parse";
+  P.Params = {"url"};
+  P.Body = block({
+      let_("m", exec("/^([a-z]+):\\/\\/([a-z0-9.-]+)(\\/[^?#]*)?/",
+                     var("url"))),
+      let_("secure", boolean(false)),
+      if_(truthy(var("m")),
+          block({
+              if_(eq(matchIndex(var("m"), 1), str("https")),
+                  let_("secure", boolean(true))),
+              if_(eq(matchIndex(var("m"), 2), str("localhost")),
+                  let_("secure", boolean(true))),
+              if_(eq(matchIndex(var("m"), 3), undefined()),
+                  let_("path", str("/")),
+                  let_("path", matchIndex(var("m"), 3))),
+          })),
+      if_(test("/[?#]/", var("url")), let_("hasQuery", boolean(true))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  return P;
+}
+
+/// query-string: key=value pairs.
+Program queryStringLib() {
+  Program P;
+  P.Name = "query-string";
+  P.Params = {"qs"};
+  P.Body = block({
+      let_("m", exec("/^([a-z]+)=([^&]*)(?:&([a-z]+)=([^&]*))?$/",
+                     var("qs"))),
+      let_("n", integer(0)),
+      if_(truthy(var("m")),
+          block({
+              let_("n", integer(1)),
+              if_(ne(matchIndex(var("m"), 3), undefined()),
+                  let_("n", integer(2))),
+              if_(eq(matchIndex(var("m"), 1), matchIndex(var("m"), 3)),
+                  let_("dup", boolean(true))),
+              if_(eq(matchIndex(var("m"), 2), str("")),
+                  let_("empty", boolean(true))),
+          })),
+      assert_(not_(eq(var("n"), integer(2)))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// yn: yes/no strings (the paper notes old ExpoSE scored 0% here).
+Program ynLib() {
+  Program P;
+  P.Name = "yn";
+  P.Params = {"s"};
+  P.Body = block({
+      let_("r", str("default")),
+      if_(test("/^(?:y|yes|true|1)$/i", var("s")), let_("r", str("yes"))),
+      if_(test("/^(?:n|no|false|0)$/i", var("s")), let_("r", str("no"))),
+      if_(eq(var("r"), str("default")),
+          if_(test("/^\\s+$/", var("s")), let_("r", str("blank")))),
+      assert_(ne(var("r"), str("no"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// xml: tag parsing with a backreference (non-regular).
+Program xmlLib() {
+  Program P;
+  P.Name = "xml";
+  P.Params = {"doc"};
+  P.Body = block({
+      let_("m", exec("/<([a-z]+)( [a-z]+=\"[^\"]*\")?>(.*?)<\\/\\1>/",
+                     var("doc"))),
+      let_("state", str("no-elem")),
+      if_(truthy(var("m")),
+          block({
+              let_("state", str("elem")),
+              if_(ne(matchIndex(var("m"), 2), undefined()),
+                  let_("state", str("attr"))),
+              if_(eq(matchIndex(var("m"), 3), str("")),
+                  let_("state", str("empty"))),
+              if_(eq(matchIndex(var("m"), 1), str("script")),
+                  let_("state", str("script"))),
+          })),
+      assert_(ne(var("state"), str("script"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// fast-xml-parser: declaration and entity checks.
+Program fastXmlParserLib() {
+  Program P;
+  P.Name = "fast-xml-parser";
+  P.Params = {"s"};
+  P.Body = block({
+      let_("kind", str("text")),
+      if_(test("/^<\\?xml/", var("s")), let_("kind", str("decl"))),
+      if_(test("/^<!--/", var("s")), let_("kind", str("comment"))),
+      if_(test("/&(amp|lt|gt|quot);/", var("s")),
+          let_("hasEntity", boolean(true))),
+      let_("m", exec("/^<([a-z:]+)/", var("s"))),
+      if_(truthy(var("m")),
+          if_(eq(matchIndex(var("m"), 1), str("root")),
+              let_("kind", str("root")))),
+      assert_(ne(var("kind"), str("root"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// js-yaml: scalar type detection.
+Program jsYamlLib() {
+  Program P;
+  P.Name = "js-yaml";
+  P.Params = {"v"};
+  P.Body = block({
+      let_("t", str("str")),
+      if_(test("/^-?[0-9]+$/", var("v")), let_("t", str("int"))),
+      if_(test("/^-?[0-9]*\\.[0-9]+$/", var("v")), let_("t", str("float"))),
+      if_(test("/^(?:true|false)$/", var("v")), let_("t", str("bool"))),
+      if_(test("/^(?:null|~)$/", var("v")), let_("t", str("null"))),
+      if_(test("/^[\\[{]/", var("v")), let_("t", str("flow"))),
+      assert_(ne(var("t"), str("null"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// minimist: CLI flag parsing.
+Program minimistLib() {
+  Program P;
+  P.Name = "minimist";
+  P.Params = {"arg"};
+  P.Body = block({
+      let_("m", exec("/^--([a-z]+)(?:=(.*))?$/", var("arg"))),
+      let_("kind", str("positional")),
+      if_(truthy(var("m")),
+          block({
+              let_("kind", str("flag")),
+              if_(ne(matchIndex(var("m"), 2), undefined()),
+                  let_("kind", str("option"))),
+              if_(eq(matchIndex(var("m"), 1), str("no")),
+                  let_("kind", str("negation"))),
+          })),
+      if_(test("/^-[a-z]$/", var("arg")), let_("kind", str("short"))),
+      assert_(ne(var("kind"), str("negation"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// moment: date format parsing (old ExpoSE: 0%).
+Program momentLib() {
+  Program P;
+  P.Name = "moment";
+  P.Params = {"d"};
+  P.Body = block({
+      let_("m",
+           exec("/^([0-9]{4})-([0-9]{2})-([0-9]{2})(?:T([0-9]{2}):([0-9]{2}))?$/",
+                var("d"))),
+      let_("valid", boolean(false)),
+      if_(truthy(var("m")),
+          block({
+              let_("valid", boolean(true)),
+              if_(eq(matchIndex(var("m"), 2), str("13")),
+                  let_("valid", boolean(false))),
+              if_(ne(matchIndex(var("m"), 4), undefined()),
+                  let_("hasTime", boolean(true))),
+          })),
+      assert_(or_(not_(var("valid")),
+                  ne(matchIndex(var("m"), 1), str("0000")))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// validator: email/uuid style checks.
+Program validatorLib() {
+  Program P;
+  P.Name = "validator";
+  P.Params = {"s"};
+  P.Body = block({
+      let_("t", str("none")),
+      if_(test("/^[a-z0-9]+@[a-z0-9]+\\.[a-z]{2,3}$/", var("s")),
+          let_("t", str("email"))),
+      if_(test("/^[0-9a-f]{8}-[0-9a-f]{4}$/", var("s")),
+          let_("t", str("uuidish"))),
+      if_(test("/^[A-Z]+$/", var("s")), let_("t", str("upper"))),
+      if_(test("/^\\s|\\s$/", var("s")), let_("t", str("untrimmed"))),
+      assert_(ne(var("t"), str("uuidish"))),
+  });
+  P.finalize();
+  return P;
+}
+
+/// babel-eslint: identifier/keyword scanning.
+Program babelEslintLib() {
+  Program P;
+  P.Name = "babel-eslint";
+  P.Params = {"tok"};
+  P.Body = block({
+      let_("kind", str("unknown")),
+      if_(test("/^[A-Za-z_$][A-Za-z0-9_$]*$/", var("tok")),
+          let_("kind", str("ident"))),
+      if_(test("/^(?:if|else|for|while|return)$/", var("tok")),
+          let_("kind", str("keyword"))),
+      if_(test("/^[0-9]+(?:\\.[0-9]+)?$/", var("tok")),
+          let_("kind", str("number"))),
+      let_("m", exec("/^\\/\\/(.*)$/", var("tok"))),
+      if_(truthy(var("m")),
+          block({
+              let_("kind", str("comment")),
+              if_(eq(matchIndex(var("m"), 1), str("TODO")),
+                  let_("kind", str("todo"))),
+          })),
+      assert_(ne(var("kind"), str("todo"))),
+  });
+  P.finalize();
+  return P;
+}
+
+} // namespace
+
+std::vector<Program> recap::table6Libraries() {
+  std::vector<Program> Out;
+  Out.push_back(babelEslintLib());
+  Out.push_back(fastXmlParserLib());
+  Out.push_back(jsYamlLib());
+  Out.push_back(minimistLib());
+  Out.push_back(momentLib());
+  Out.push_back(queryStringLib());
+  Out.push_back(semverLib());
+  Out.push_back(urlParseLib());
+  Out.push_back(validatorLib());
+  Out.push_back(xmlLib());
+  Out.push_back(ynLib());
+  return Out;
+}
+
+Program recap::generateMiniPackage(uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+
+  // Regex pool with per-regex capture-value targets: the branch
+  // `m[1] === target` is satisfiable (and for the precedence-sensitive
+  // entries only reachable with a matching-precedence-aware solver).
+  struct PoolEntry {
+    const char *Re;
+    std::vector<const char *> Targets; ///< interesting values for m[1]
+  };
+  static const std::vector<PoolEntry> Pool = {
+      {"/^[a-z]+$/", {}},
+      {"/[0-9]+/", {}},
+      {"/^a(b|c)d$/", {"b", "c"}},
+      {"/^(x+)(y*)$/", {"x", "xx"}},
+      {"/(foo|bar)/", {"foo", "bar"}},
+      {"/^([a-z]+)-([0-9]+)$/", {"alpha", "v"}},
+      {"/\\bkey\\b/", {}},
+      {"/^v([0-9]+)\\.([0-9]+)/", {"1", "42"}},
+      {"/(a+)\\1/", {"a", "aa"}},
+      {"/<([a-z]+)>.*<\\/\\1>/", {"div", "td"}},
+      {"/^(?:on|off)$/i", {}},
+      {"/^(\\w+)\\s+(\\w+)$/", {"alpha", "x"}},
+      {"/(?=[a-z])[a-z0-9]+/", {}},
+      {"/^\\s*([^:]+):(.*)$/", {"key", "a b"}},
+      // Precedence-sensitive: the greedy split determines the captures,
+      // so the "+ Refinement" level is needed to reach these branches
+      // reliably (spurious capture splits fail concrete re-execution).
+      {"/^(a*)(a*)$/", {"", "aa"}},
+      {"/^(a*?)(a+)$/", {"", "a"}},
+      {"/^(.*)=(.*)$/", {"k", ""}},
+  };
+
+  Program P;
+  P.Name = "pkg-" + std::to_string(Seed);
+  P.Params = {"input"};
+  std::vector<StmtPtr> Body;
+  Body.push_back(let_("state", str("init")));
+
+  size_t NumOps = 1 + Rng() % 3;
+  for (size_t I = 0; I < NumOps; ++I) {
+    const PoolEntry &E = Pool[Rng() % Pool.size()];
+    std::string MVar = "m" + std::to_string(I);
+    std::string Tag = "t" + std::to_string(I);
+    if (E.Targets.empty() || Rng() % 3 == 0) {
+      // test-driven branch
+      Body.push_back(if_(test(E.Re, var("input")),
+                         let_("state", str(Tag)),
+                         if_(eq(var("state"), str("init")),
+                             let_("state", str("miss-" + Tag)))));
+    } else {
+      // exec-driven branches comparing the first capture against the
+      // regex's interesting values.
+      const char *Target = E.Targets[Rng() % E.Targets.size()];
+      Body.push_back(let_(MVar, exec(E.Re, var("input"))));
+      Body.push_back(if_(
+          truthy(var(MVar)),
+          block({
+              let_("state", str("hit-" + Tag)),
+              if_(eq(matchIndex(var(MVar), 1), str(Target)),
+                  let_("state", str("cap-" + Tag))),
+              if_(eq(matchIndex(var(MVar), 1), str("")),
+                  let_("state", str("empty-" + Tag))),
+          })));
+    }
+  }
+  // A final assertion reachable only through specific capture values.
+  Body.push_back(assert_(ne(var("state"), str("cap-t0"))));
+  P.Body = block(std::move(Body));
+  P.finalize();
+  return P;
+}

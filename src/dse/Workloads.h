@@ -1,0 +1,37 @@
+//===- dse/Workloads.h - Evaluation workloads -------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJS stand-ins for the paper's evaluation subjects (DESIGN.md
+/// substitutions): eleven "libraries" mirroring the regex idioms of the
+/// NPM packages in Table 6, and a procedural package generator for the
+/// 1,131-package breakdown of Tables 7 and 8. Each program's branching is
+/// driven by regex test/exec on symbolic inputs, so the DSE support levels
+/// differ exactly where the paper's do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_DSE_WORKLOADS_H
+#define RECAP_DSE_WORKLOADS_H
+
+#include "dse/MiniJS.h"
+
+namespace recap {
+
+/// The Table 6 subjects. Names match the paper's library column.
+std::vector<Program> table6Libraries();
+
+/// Procedurally generated "NPM package" program for Table 7/8 runs.
+/// Deterministic in \p Seed; every program symbolically executes at least
+/// one regex operation (the paper's package selection criterion).
+Program generateMiniPackage(uint64_t Seed);
+
+/// The Listing 1 program (also used by tests and examples).
+Program listing1Program();
+
+} // namespace recap
+
+#endif // RECAP_DSE_WORKLOADS_H

@@ -1,0 +1,337 @@
+//===- matcher/Matcher.cpp - ES6-compliant regex matcher ------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Continuation-passing backtracking matcher following ECMA-262 2015
+/// §21.2.2. Each grammar production's Matcher from the spec corresponds to
+/// one case in MatchRun::match; continuations are std::function values, and
+/// choice points snapshot (Pos, Caps) so that failed branches restore state
+/// exactly as the spec's immutable State threading does.
+///
+/// Lookbehind (the ES2018 extension) follows the later spec revisions'
+/// direction parameter: inside (?<= / (?<! the engine matches right to
+/// left (Backward set), consuming positions leftward, iterating
+/// concatenations in reverse, and recording capture spans with the entry
+/// position as the *end*. Greediness therefore applies right-to-left, e.g.
+/// /(?<=(\d+)(\d+))$/ on "1053" captures ("1", "053").
+///
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <cassert>
+
+using namespace recap;
+
+namespace recap {
+
+/// One match attempt; holds the mutable state the spec threads through
+/// continuations.
+class MatchRun {
+public:
+  MatchRun(const Matcher &M, const UString &Input)
+      : M(M), In(Input), Flags(M.regex().flags()) {
+    Caps.assign(M.regex().numCaptures() + 1, std::nullopt);
+  }
+
+  MatchStatus runAt(size_t Start, MatchResult &Out) {
+    Pos = Start;
+    std::fill(Caps.begin(), Caps.end(), std::nullopt);
+    OutOfBudget = false;
+    bool Ok = match(&M.regex().root(), [](MatchRun &) { return true; });
+    if (OutOfBudget)
+      return MatchStatus::Budget;
+    if (!Ok)
+      return MatchStatus::NoMatch;
+    Out.Index = Start;
+    Out.Match = In.substr(Start, Pos - Start);
+    Out.Captures.clear();
+    for (size_t I = 1; I < Caps.size(); ++I) {
+      if (Caps[I])
+        Out.Captures.push_back(In.substr(Caps[I]->first,
+                                         Caps[I]->second - Caps[I]->first));
+      else
+        Out.Captures.push_back(std::nullopt);
+    }
+    return MatchStatus::Match;
+  }
+
+private:
+  using Span = std::pair<size_t, size_t>;
+  using Cont = std::function<bool(MatchRun &)>;
+
+  const Matcher &M;
+  const UString &In;
+  RegexFlags Flags;
+  size_t Pos = 0;
+  bool Backward = false; ///< matching right-to-left (inside lookbehind)
+  std::vector<std::optional<Span>> Caps;
+  uint64_t Steps = 0;
+  bool OutOfBudget = false;
+
+  bool step() {
+    if (++Steps > M.StepBudget) {
+      OutOfBudget = true;
+      return false;
+    }
+    return true;
+  }
+
+  CodePoint canon(CodePoint C) const {
+    return Flags.IgnoreCase ? canonicalize(C, Flags.Unicode) : C;
+  }
+
+  bool match(const RegexNode *N, const Cont &K) {
+    if (!step())
+      return false;
+    switch (N->kind()) {
+    case NodeKind::Alternation: {
+      const auto &A = cast<AlternationNode>(*N);
+      for (const NodePtr &Alt : A.Alternatives) {
+        size_t SavePos = Pos;
+        auto SaveCaps = Caps;
+        if (match(Alt.get(), K))
+          return true;
+        if (OutOfBudget)
+          return false;
+        Pos = SavePos;
+        Caps = std::move(SaveCaps);
+      }
+      return false;
+    }
+    case NodeKind::Concat: {
+      const auto &C = cast<ConcatNode>(*N);
+      return matchSeq(C.Parts, 0, K);
+    }
+    case NodeKind::Quantifier: {
+      const auto &Q = cast<QuantifierNode>(*N);
+      return repeat(Q, 0, K);
+    }
+    case NodeKind::Group: {
+      const auto &G = cast<GroupNode>(*N);
+      if (!G.isCapturing())
+        return match(G.Body.get(), K);
+      size_t Start = Pos;
+      uint32_t Idx = G.CaptureIndex;
+      return match(G.Body.get(), [&, Start, Idx](MatchRun &S) {
+        auto Saved = S.Caps[Idx];
+        // Backward matching enters at the right end of the span.
+        S.Caps[Idx] =
+            S.Backward ? Span{S.Pos, Start} : Span{Start, S.Pos};
+        if (K(S))
+          return true;
+        S.Caps[Idx] = Saved;
+        return false;
+      });
+    }
+    case NodeKind::Lookahead: {
+      const auto &L = cast<LookaheadNode>(*N);
+      size_t SavePos = Pos;
+      bool SaveDir = Backward;
+      auto SaveCaps = Caps;
+      Backward = L.Behind;
+      bool R = match(L.Body.get(), [](MatchRun &) { return true; });
+      Backward = SaveDir;
+      if (OutOfBudget)
+        return false;
+      if (L.Negated) {
+        // Failed negative lookaround restores everything (spec: continue
+        // from the original State x).
+        Pos = SavePos;
+        Caps = std::move(SaveCaps);
+        return R ? false : K(*this);
+      }
+      if (!R) {
+        Pos = SavePos;
+        Caps = std::move(SaveCaps);
+        return false;
+      }
+      // Positive lookaround: keep captures from the sub-match, restore
+      // the position (spec State(x.endIndex, y.captures)).
+      Pos = SavePos;
+      if (K(*this))
+        return true;
+      Caps = std::move(SaveCaps);
+      return false;
+    }
+    case NodeKind::Backreference: {
+      const auto &B = cast<BackreferenceNode>(*N);
+      assert(B.Index < Caps.size() && "backreference out of range");
+      const std::optional<Span> &Cap = Caps[B.Index];
+      if (!Cap)
+        return K(*this); // undefined capture matches epsilon
+      size_t Len = Cap->second - Cap->first;
+      if (Backward ? Pos < Len : Pos + Len > In.size())
+        return false;
+      size_t From = Backward ? Pos - Len : Pos; // start of compared range
+      for (size_t I = 0; I < Len; ++I)
+        if (canon(In[From + I]) != canon(In[Cap->first + I]))
+          return false;
+      Pos = Backward ? Pos - Len : Pos + Len;
+      if (K(*this))
+        return true;
+      Pos = Backward ? Pos + Len : Pos - Len;
+      return false;
+    }
+    case NodeKind::CharClass: {
+      const auto &C = cast<CharClassNode>(*N);
+      if (Backward ? Pos == 0 : Pos >= In.size())
+        return false;
+      if (!M.Effective.at(&C).contains(In[Backward ? Pos - 1 : Pos]))
+        return false;
+      Pos = Backward ? Pos - 1 : Pos + 1;
+      if (K(*this))
+        return true;
+      Pos = Backward ? Pos + 1 : Pos - 1;
+      return false;
+    }
+    case NodeKind::Anchor: {
+      const auto &A = cast<AnchorNode>(*N);
+      bool Ok;
+      if (A.Which == AnchorKind::Caret)
+        Ok = Pos == 0 ||
+             (Flags.Multiline && isLineTerminator(In[Pos - 1]));
+      else
+        Ok = Pos == In.size() ||
+             (Flags.Multiline && isLineTerminator(In[Pos]));
+      return Ok && K(*this);
+    }
+    case NodeKind::WordBoundary: {
+      const auto &B = cast<WordBoundaryNode>(*N);
+      bool Before = Pos > 0 && isWordChar(In[Pos - 1]);
+      bool After = Pos < In.size() && isWordChar(In[Pos]);
+      bool Boundary = Before != After;
+      return Boundary != B.Negated && K(*this);
+    }
+    }
+    assert(false && "unknown node kind");
+    return false;
+  }
+
+  /// \p I counts completed parts; backward matching consumes the sequence
+  /// right to left.
+  bool matchSeq(const std::vector<NodePtr> &Parts, size_t I, const Cont &K) {
+    if (I == Parts.size())
+      return K(*this);
+    const RegexNode *Part =
+        Parts[Backward ? Parts.size() - 1 - I : I].get();
+    return match(Part,
+                 [&, I](MatchRun &S) { return S.matchSeq(Parts, I + 1, K); });
+  }
+
+  /// Spec RepeatMatcher. \p Count iterations already matched.
+  bool repeat(const QuantifierNode &Q, uint64_t Count, const Cont &K) {
+    if (!step())
+      return false;
+    auto TryBody = [&]() {
+      size_t SavePos = Pos;
+      auto SaveCaps = Caps;
+      // Spec: captures inside the body reset to undefined at each
+      // iteration start.
+      if (auto Range = captureRange(*Q.Body))
+        for (uint32_t C = Range->first; C <= Range->second; ++C)
+          Caps[C] = std::nullopt;
+      bool Ok = match(Q.Body.get(), [&, SavePos, Count](MatchRun &S) {
+        // Empty-iteration guard: once the minimum is satisfied, an
+        // iteration that consumed nothing fails (spec step: if min is zero
+        // and e = xe, return failure).
+        if (Count >= Q.Min && S.Pos == SavePos)
+          return false;
+        return S.repeat(Q, Count + 1, K);
+      });
+      if (!Ok) {
+        Pos = SavePos;
+        Caps = std::move(SaveCaps);
+      }
+      return Ok;
+    };
+
+    if (Count < Q.Min)
+      return TryBody();
+    if (Count >= Q.Max)
+      return K(*this);
+    if (Q.Greedy) {
+      if (TryBody())
+        return true;
+      if (OutOfBudget)
+        return false;
+      return K(*this);
+    }
+    if (K(*this))
+      return true;
+    if (OutOfBudget)
+      return false;
+    return TryBody();
+  }
+};
+
+} // namespace recap
+
+std::optional<UString> recap::namedCapture(const Regex &R,
+                                           const MatchResult &M,
+                                           const std::string &Name) {
+  uint32_t Idx = R.groupIndex(Name);
+  if (Idx == 0 || Idx > M.Captures.size())
+    return std::nullopt;
+  return M.Captures[Idx - 1];
+}
+
+Matcher::Matcher(const Regex &Re, uint64_t StepBudget)
+    : R(&Re), StepBudget(StepBudget) {
+  forEachNode(Re.root(), [&](const RegexNode &N) {
+    if (const auto *C = dynCast<CharClassNode>(&N))
+      Effective[C] = C->effectiveSet(Re.flags().IgnoreCase,
+                                     Re.flags().Unicode);
+  });
+}
+
+MatchStatus Matcher::matchAt(const UString &Input, size_t Start,
+                             MatchResult &Out) const {
+  if (Start > Input.size())
+    return MatchStatus::NoMatch;
+  MatchRun Run(*this, Input);
+  return Run.runAt(Start, Out);
+}
+
+MatchStatus Matcher::search(const UString &Input, size_t Start,
+                            MatchResult &Out) const {
+  for (size_t I = Start; I <= Input.size(); ++I) {
+    MatchStatus S = matchAt(Input, I, Out);
+    if (S != MatchStatus::NoMatch)
+      return S;
+  }
+  return MatchStatus::NoMatch;
+}
+
+RegExpObject::ExecOutcome RegExpObject::exec(const UString &Input) {
+  ExecOutcome Out;
+  bool Anchored = R.flags().Sticky;
+  bool UsesLastIndex = R.flags().Global || R.flags().Sticky;
+  int64_t Start = UsesLastIndex ? LastIndex : 0;
+  if (Start < 0 || static_cast<size_t>(Start) > Input.size()) {
+    if (UsesLastIndex)
+      LastIndex = 0;
+    Out.Status = MatchStatus::NoMatch;
+    return Out;
+  }
+  MatchResult R1;
+  MatchStatus S = Anchored
+                      ? M.matchAt(Input, static_cast<size_t>(Start), R1)
+                      : M.search(Input, static_cast<size_t>(Start), R1);
+  Out.Status = S;
+  if (S == MatchStatus::Match) {
+    if (UsesLastIndex)
+      LastIndex = static_cast<int64_t>(R1.Index + R1.matchLength());
+    Out.Result = std::move(R1);
+  } else if (UsesLastIndex) {
+    LastIndex = 0;
+  }
+  return Out;
+}
+
+bool RegExpObject::test(const UString &Input) {
+  return exec(Input).Status == MatchStatus::Match;
+}

@@ -1,0 +1,112 @@
+//===- matcher/Matcher.h - ES6-compliant regex matcher ---------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A specification-faithful backtracking matcher for ES6 regexes,
+/// implementing the ECMA-262 2015 §21.2.2 matching algorithm: greedy/lazy
+/// matching precedence, capture reset inside quantifiers, backreferences,
+/// lookaheads, word boundaries, anchors, and the i/m/u flag semantics.
+///
+/// This is the paper's "ES6-compliant matcher" used as the concrete oracle
+/// in the CEGAR loop (Algorithm 1) and as ground truth for the test suite.
+/// The original system used Node.js/V8; see DESIGN.md substitutions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_MATCHER_MATCHER_H
+#define RECAP_MATCHER_MATCHER_H
+
+#include "regex/Features.h"
+#include "regex/Regex.h"
+
+#include <map>
+#include <optional>
+
+namespace recap {
+
+/// Captures and position of one successful match.
+struct MatchResult {
+  /// Start of the whole match, in code points.
+  size_t Index = 0;
+  /// Capture 0 (the whole match).
+  UString Match;
+  /// Captures 1..n; nullopt is the paper's undefined capture ⊥.
+  std::vector<std::optional<UString>> Captures;
+
+  /// Length of capture 0.
+  size_t matchLength() const { return Match.size(); }
+};
+
+enum class MatchStatus : uint8_t {
+  Match,
+  NoMatch,
+  Budget, ///< backtracking step budget exhausted; result unknown
+};
+
+/// Named-capture lookup (ES2018 extension): the value of the capture
+/// group called \p Name in \p M, or nullopt when the group did not
+/// participate in the match or no such name exists in \p R.
+std::optional<UString> namedCapture(const Regex &R, const MatchResult &M,
+                                    const std::string &Name);
+
+/// Backtracking matcher for one compiled regex. Stateless and reusable;
+/// the stateful exec/test API with lastIndex lives in RegExpObject.
+class Matcher {
+public:
+  explicit Matcher(const Regex &R, uint64_t StepBudget = 4'000'000);
+
+  /// Attempts a match starting exactly at \p Start (no searching).
+  MatchStatus matchAt(const UString &Input, size_t Start,
+                      MatchResult &Out) const;
+
+  /// Finds the leftmost match starting at or after \p Start.
+  MatchStatus search(const UString &Input, size_t Start,
+                     MatchResult &Out) const;
+
+  const Regex &regex() const { return *R; }
+
+private:
+  const Regex *R;
+  uint64_t StepBudget;
+  /// Flag-resolved character sets, precomputed per CharClass node.
+  std::map<const CharClassNode *, CharSet> Effective;
+
+  friend class MatchRun;
+};
+
+/// Stateful ES6 RegExp object: exec/test with lastIndex per the spec's
+/// RegExpBuiltinExec (used concretely by programs and as the CEGAR oracle,
+/// Algorithm 2 of the paper models this function symbolically).
+class RegExpObject {
+public:
+  explicit RegExpObject(Regex R, uint64_t StepBudget = 4'000'000)
+      : R(std::move(R)), M(this->R, StepBudget) {}
+
+  /// RegExp.prototype.exec. Updates LastIndex for global/sticky regexes.
+  /// Status Budget means the matcher gave up (treat as unknown).
+  struct ExecOutcome {
+    MatchStatus Status = MatchStatus::NoMatch;
+    std::optional<MatchResult> Result;
+  };
+  ExecOutcome exec(const UString &Input);
+
+  /// RegExp.prototype.test: exec(s) !== null.
+  bool test(const UString &Input);
+
+  const Regex &regex() const { return R; }
+  const Matcher &matcher() const { return M; }
+
+  /// RegExp.lastIndex, user-visible and assignable as in JS.
+  int64_t LastIndex = 0;
+
+private:
+  Regex R;
+  Matcher M;
+};
+
+} // namespace recap
+
+#endif // RECAP_MATCHER_MATCHER_H

@@ -1,0 +1,137 @@
+//===- model/Approx.cpp - Regular overapproximation of ES6 regexes --------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Approx.h"
+
+#include "regex/Features.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace recap;
+
+namespace {
+
+class Approximator {
+public:
+  Approximator(const Regex &R, const ApproxOptions &Opts)
+      : R(R), Opts(Opts) {
+    forEachNode(R.root(), [&](const RegexNode &N) {
+      if (const auto *G = dynCast<GroupNode>(&N))
+        if (G->isCapturing())
+          Groups[G->CaptureIndex] = G;
+    });
+  }
+
+  CRegexRef approx(const RegexNode &N) {
+    switch (N.kind()) {
+    case NodeKind::Alternation: {
+      std::vector<CRegexRef> Kids;
+      for (const NodePtr &A : cast<AlternationNode>(N).Alternatives)
+        Kids.push_back(approx(*A));
+      return cUnion(std::move(Kids));
+    }
+    case NodeKind::Concat: {
+      std::vector<CRegexRef> Kids;
+      for (const NodePtr &P : cast<ConcatNode>(N).Parts)
+        Kids.push_back(approx(*P));
+      return cConcat(std::move(Kids));
+    }
+    case NodeKind::Quantifier: {
+      const auto &Q = cast<QuantifierNode>(N);
+      CRegexRef Body = approx(*Q.Body);
+      uint64_t Min = std::min<uint64_t>(Q.Min, Opts.RepetitionUnrollLimit);
+      std::vector<CRegexRef> Parts;
+      for (uint64_t I = 0; I < Min; ++I)
+        Parts.push_back(Body);
+      if (Q.Max == QuantifierNode::Unbounded ||
+          Q.Min > Opts.RepetitionUnrollLimit ||
+          Q.Max - Q.Min > Opts.RepetitionUnrollLimit) {
+        // Unbounded (or clamped) tail: overapproximate with a star.
+        if (Q.Max != QuantifierNode::Unbounded)
+          Exact = false;
+        Parts.push_back(cStar(Body));
+      } else {
+        for (uint64_t I = 0; I < Q.Max - Q.Min; ++I)
+          Parts.push_back(cOpt(Body));
+      }
+      return cConcat(std::move(Parts));
+    }
+    case NodeKind::Group:
+      return approx(*cast<GroupNode>(N).Body);
+    case NodeKind::Lookahead:
+      // Zero-width: dropping the constraint is the sound direction.
+      Exact = false;
+      return cEpsilon();
+    case NodeKind::Backreference: {
+      const auto &B = cast<BackreferenceNode>(N);
+      auto It = Groups.find(B.Index);
+      if (It == Groups.end())
+        return cEpsilon(); // empty backreference (Definition 2)
+      Exact = false;
+      // The captured word lies in the group's language; an unset capture
+      // contributes ε. Case-folded variants are covered because class
+      // approximation applies the closure below.
+      if (Active.count(B.Index))
+        return cEpsilon(); // self-recursive reference is always unset
+      Active.insert(B.Index);
+      CRegexRef G = approx(*It->second->Body);
+      Active.erase(B.Index);
+      return cOpt(std::move(G));
+    }
+    case NodeKind::CharClass: {
+      const auto &C = cast<CharClassNode>(N);
+      CharSet S = C.effectiveSet(Opts.IgnoreCase, Opts.Unicode);
+      if (Opts.ExcludeMetaChars)
+        S = S.minus(CharSet::metas());
+      return cClass(std::move(S));
+    }
+    case NodeKind::Anchor:
+    case NodeKind::WordBoundary:
+      Exact = false;
+      return cEpsilon();
+    }
+    assert(false && "unknown node kind");
+    return cEpsilon();
+  }
+
+  bool exact() const { return Exact; }
+
+private:
+  const Regex &R;
+  const ApproxOptions &Opts;
+  std::map<uint32_t, const GroupNode *> Groups;
+  std::set<uint32_t> Active; // guards recursive backreference chains
+  bool Exact = true;
+};
+
+} // namespace
+
+RegularApprox recap::approximateRegularEx(const RegexNode &N,
+                                          const Regex &WholeRegex,
+                                          const ApproxOptions &Opts) {
+  Approximator A(WholeRegex, Opts);
+  RegularApprox Out;
+  Out.Re = A.approx(N);
+  Out.Exact = A.exact();
+  return Out;
+}
+
+CRegexRef recap::approximateRegular(const RegexNode &N,
+                                    const Regex &WholeRegex,
+                                    const ApproxOptions &Opts) {
+  return approximateRegularEx(N, WholeRegex, Opts).Re;
+}
+
+CRegexRef recap::approximateRegular(const Regex &R,
+                                    size_t RepetitionUnrollLimit) {
+  ApproxOptions Opts;
+  Opts.IgnoreCase = R.flags().IgnoreCase;
+  Opts.Unicode = R.flags().Unicode;
+  Opts.RepetitionUnrollLimit = RepetitionUnrollLimit;
+  return approximateRegular(R.root(), R, Opts);
+}

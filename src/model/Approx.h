@@ -1,0 +1,61 @@
+//===- model/Approx.h - Regular overapproximation of ES6 regexes -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// approximateRegular computes the paper's t̂ (§4.2): a *classical* regular
+/// expression whose language contains every word the ES6 term can match.
+/// Captures become plain grouping, backreferences widen to the referenced
+/// group's language (closed under case folding when the i flag is set, so
+/// folded backreference matches stay covered), and zero-width assertions
+/// drop to ε. Overapproximation is the invariant the model's soundness
+/// rests on: the Kleene-star rule (Table 2) feeds t̂₁* to the solver and
+/// CEGAR eliminates the slack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_MODEL_APPROX_H
+#define RECAP_MODEL_APPROX_H
+
+#include "automata/ClassicalRegex.h"
+#include "regex/Regex.h"
+
+namespace recap {
+
+struct ApproxOptions {
+  bool IgnoreCase = false;
+  bool Unicode = false;
+  /// {m,n} repetitions above this bound approximate the tail with a star.
+  size_t RepetitionUnrollLimit = 24;
+  /// Remove the meta markers from every character class (solver-side
+  /// languages must not match them). Disable for tests that compare
+  /// against the plain matcher.
+  bool ExcludeMetaChars = true;
+};
+
+/// Result of the approximation: Exact is true when no overapproximating
+/// step was taken (no assertion dropped, no backreference widened, no
+/// repetition clamped) — in that case Re's language *equals* the term's.
+struct RegularApprox {
+  CRegexRef Re;
+  bool Exact = true;
+};
+
+/// Overapproximates the language of \p N as a classical regex.
+RegularApprox approximateRegularEx(const RegexNode &N,
+                                   const Regex &WholeRegex,
+                                   const ApproxOptions &Opts);
+
+/// Overapproximates the language of \p N as a classical regex.
+CRegexRef approximateRegular(const RegexNode &N, const Regex &WholeRegex,
+                             const ApproxOptions &Opts);
+
+/// Convenience wrapper for a whole regex (flags read from \p R).
+CRegexRef approximateRegular(const Regex &R,
+                             size_t RepetitionUnrollLimit = 24);
+
+} // namespace recap
+
+#endif // RECAP_MODEL_APPROX_H

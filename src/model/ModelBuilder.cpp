@@ -1,0 +1,645 @@
+//===- model/ModelBuilder.cpp - Capturing-language models ------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ModelBuilder.h"
+
+#include <cassert>
+
+using namespace recap;
+
+namespace {
+
+bool containsBackref(const RegexNode &N) {
+  bool Found = false;
+  forEachNode(N, [&](const RegexNode &M) {
+    if (M.kind() == NodeKind::Backreference)
+      Found = true;
+  });
+  return Found;
+}
+
+/// True when the subterm's language is classical-regular and carries no
+/// observable state: no captures, backreferences, or zero-width
+/// assertions. Such subterms can be modeled by a single membership.
+bool isPlainRegular(const RegexNode &N) {
+  bool Plain = true;
+  forEachNode(N, [&](const RegexNode &M) {
+    switch (M.kind()) {
+    case NodeKind::Backreference:
+    case NodeKind::Lookahead:
+    case NodeKind::Anchor:
+    case NodeKind::WordBoundary:
+      Plain = false;
+      break;
+    case NodeKind::Group:
+      if (cast<GroupNode>(M).isCapturing())
+        Plain = false;
+      break;
+    default:
+      break;
+    }
+  });
+  return Plain;
+}
+
+} // namespace
+
+namespace recap {
+
+/// One build() invocation. Carries the accumulated left context
+/// (PrefixParts) and the current capture-variable map (overridden inside
+/// quantifier copies).
+class ModelGen {
+public:
+  ModelGen(const Regex &R, const std::string &Prefix,
+           const ModelOptions &Opts)
+      : R(R), Prefix(Prefix), Opts(Opts) {
+    BrTypes = classifyBackreferences(R);
+    AOpts.IgnoreCase = R.flags().IgnoreCase;
+    AOpts.Unicode = R.flags().Unicode;
+    AOpts.RepetitionUnrollLimit = Opts.RepetitionUnrollLimit;
+    Multiline = R.flags().Multiline;
+  }
+
+  SymbolicMatch run(TermRef Input) {
+    SymbolicMatch Out;
+    Word = mkStrVar(Prefix + "!W");
+    Out.Word = Word;
+    Out.Input = Input;
+
+    if (Opts.ModelCaptures) {
+      for (uint32_t I = 1; I <= R.numCaptures(); ++I) {
+        std::string N = Prefix + "!c" + std::to_string(I);
+        OrigCaps.push_back({mkBoolVar(N + "d"), mkStrVar(N + "v")});
+      }
+      CurCaps = OrigCaps;
+    } else {
+      CurCaps.assign(R.numCaptures(),
+                     CaptureVar{mkFalse(), mkStrConst(UString())});
+    }
+
+    // Decoration (Algorithm 2 lines 1 and 5): the decorated word is
+    // 〈 ++ Input ++ 〉 and the input cannot contain the reserved markers.
+    TermRef MetaS = mkStrConst(UString(1, MetaStart));
+    TermRef MetaE = mkStrConst(UString(1, MetaEnd));
+    Out.Decoration = mkAnd(
+        eqConcat(Word, {MetaS, Input, MetaE}),
+        mkInRe(Input, cStar(cClass(CharSet::metas().complement()))));
+
+    // Split the *input* around the match: the meta structure of the
+    // wildcard segments is then implicit and the solver's word equations
+    // stay shallow.
+    TermRef P1 = freshStr("pre");
+    TermRef C0 = freshStr("m");
+    TermRef P3 = freshStr("post");
+
+    std::vector<TermRef> Conj;
+    Conj.push_back(eqConcat(Input, {P1, C0, P3}));
+    PrefixParts.push_back(MetaS);
+    PrefixParts.push_back(P1);
+    Conj.push_back(model(R.root(), C0));
+    PrefixParts.pop_back();
+    PrefixParts.pop_back();
+
+    Out.MatchConstraint = mkAnd(std::move(Conj));
+    // Decorated coordinates: the match begins at input index |p1|,
+    // decorated index |p1| + 1.
+    Out.MatchStart = mkAdd(mkStrLen(P1), mkIntConst(1));
+    Out.C0 = {mkTrue(), C0};
+    Out.Prefix = P1;
+    Out.Suffix = P3;
+    Out.Captures = Opts.ModelCaptures ? OrigCaps : CurCaps;
+
+    RegularApprox A = approximateRegularEx(R.root(), R, AOpts);
+    Out.NegationExact = A.Exact;
+    Out.NoMatchConstraint =
+        A.Exact
+            ? mkNotInRe(Input, cConcat({cAnyStar(), A.Re, cAnyStar()}))
+            : mkNot(Out.MatchConstraint);
+    return Out;
+  }
+
+private:
+  const Regex &R;
+  std::string Prefix;
+  const ModelOptions &Opts;
+  ApproxOptions AOpts;
+  bool Multiline = false;
+  std::map<const BackreferenceNode *, BackrefType> BrTypes;
+
+  TermRef Word;
+  std::vector<CaptureVar> OrigCaps; // originals, indices 1..n at [i-1]
+  std::vector<CaptureVar> CurCaps;  // current mapping (copy overrides)
+  std::vector<TermRef> PrefixParts;
+  unsigned Counter = 0;
+
+  TermRef freshStr(const char *Tag) {
+    return mkStrVar(Prefix + "!" + Tag + std::to_string(Counter++));
+  }
+  TermRef freshBool(const char *Tag) {
+    return mkBoolVar(Prefix + "!" + Tag + std::to_string(Counter++));
+  }
+  static TermRef eps() { return mkStrConst(UString()); }
+
+  /// W = part0 ++ part1 ++ ... plus the redundant length equation
+  /// |W| = Σ|part|. The length fact is implied, but stating it lets the
+  /// solver's arithmetic core prune splits that string reasoning alone
+  /// discovers very slowly (measured >5x on backreference queries; see
+  /// bench/ablation_encoding for the toggle).
+  TermRef eqConcat(const TermRef &W,
+                   const std::vector<TermRef> &Parts) const {
+    TermRef Concat = mkEq(W, mkConcat(Parts));
+    if (!Opts.EmitLengthEquations)
+      return Concat;
+    TermRef LenSum;
+    for (const TermRef &P : Parts) {
+      TermRef L = mkStrLen(P);
+      LenSum = LenSum ? mkAdd(LenSum, L) : L;
+    }
+    return mkAnd(std::move(Concat),
+                 mkEq(mkStrLen(W), LenSum ? LenSum : mkIntConst(0)));
+  }
+
+  TermRef prefixExpr() const {
+    return mkConcat(std::vector<TermRef>(PrefixParts.begin(),
+                                         PrefixParts.end()));
+  }
+
+  /// Fresh Rest variable pinned to the suffix of the whole word after the
+  /// current position: Word = prefix ++ Rest.
+  std::pair<TermRef, TermRef> restVar() {
+    TermRef Rest = freshStr("rest");
+    TermRef Pin = eqConcat(Word, {prefixExpr(), Rest});
+    return {Rest, Pin};
+  }
+
+  CRegexRef approxNode(const RegexNode &N) {
+    return approximateRegular(N, R, AOpts);
+  }
+
+  /// Undefined-capture assignment for original indices [Lo, Hi].
+  TermRef undefRange(std::optional<std::pair<uint32_t, uint32_t>> Range) {
+    if (!Range || !Opts.ModelCaptures)
+      return mkTrue();
+    std::vector<TermRef> Cs;
+    for (uint32_t I = Range->first; I <= Range->second; ++I) {
+      Cs.push_back(mkNot(CurCaps[I - 1].Defined));
+      Cs.push_back(mkEq(CurCaps[I - 1].Value, eps()));
+    }
+    return mkAnd(std::move(Cs));
+  }
+
+  /// originals[range] := aux values (the §4.1 capture correspondence).
+  TermRef bindRangeTo(std::pair<uint32_t, uint32_t> Range,
+                      const std::vector<CaptureVar> &Aux) {
+    std::vector<TermRef> Cs;
+    for (uint32_t I = Range.first; I <= Range.second; ++I) {
+      const CaptureVar &A = Aux[I - Range.first];
+      Cs.push_back(mkEq(CurCaps[I - 1].Defined, A.Defined));
+      Cs.push_back(mkEq(CurCaps[I - 1].Value, A.Value));
+    }
+    return mkAnd(std::move(Cs));
+  }
+
+  /// Models \p Body matching \p W with fresh (auxiliary) capture variables
+  /// for every capture inside; fills \p Aux with them in index order.
+  TermRef modelCopy(const RegexNode &Body, TermRef W,
+                    std::vector<CaptureVar> &Aux) {
+    auto Range = captureRange(Body);
+    if (!Range || !Opts.ModelCaptures)
+      return model(Body, std::move(W));
+    std::vector<CaptureVar> Saved;
+    for (uint32_t I = Range->first; I <= Range->second; ++I) {
+      Saved.push_back(CurCaps[I - 1]);
+      std::string N = Prefix + "!x" + std::to_string(Counter++);
+      CaptureVar Fresh{mkBoolVar(N + "d"), mkStrVar(N + "v")};
+      Aux.push_back(Fresh);
+      CurCaps[I - 1] = Fresh;
+    }
+    TermRef C = model(Body, std::move(W));
+    for (uint32_t I = Range->first; I <= Range->second; ++I)
+      CurCaps[I - 1] = Saved[I - Range->first];
+    return C;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Table 2 / Table 3 rules
+  //===------------------------------------------------------------------===//
+
+  /// The set of code points a CharClass atom can match in this regex.
+  CharSet effectiveClass(const CharClassNode &C) const {
+    return C.effectiveSet(R.flags().IgnoreCase, R.flags().Unicode)
+        .minus(CharSet::metas());
+  }
+
+  /// For a part of a concatenation: a constant term when the node is a
+  /// literal character (singleton class), so the word equation carries the
+  /// constant directly instead of a variable plus a membership constraint.
+  std::optional<TermRef> literalTerm(const RegexNode &N) const {
+    if (!Opts.FoldLiteralChars)
+      return std::nullopt;
+    const auto *C = dynCast<CharClassNode>(&N);
+    if (!C)
+      return std::nullopt;
+    CharSet S = effectiveClass(*C);
+    if (S.size() != 1)
+      return std::nullopt;
+    return mkStrConst(UString(1, *S.first()));
+  }
+
+  TermRef model(const RegexNode &N, TermRef W) {
+    switch (N.kind()) {
+    case NodeKind::CharClass: {
+      const auto &C = cast<CharClassNode>(N);
+      CharSet S = effectiveClass(C);
+      if (S.size() == 1)
+        return mkEq(std::move(W), mkStrConst(UString(1, *S.first())));
+      return mkInRe(std::move(W), cClass(std::move(S)));
+    }
+    case NodeKind::Concat: {
+      const auto &C = cast<ConcatNode>(N);
+      if (C.Parts.empty())
+        return mkEq(std::move(W), eps());
+      if (C.Parts.size() == 1)
+        return model(*C.Parts[0], std::move(W));
+      // Literal characters become constants in the word equation; only
+      // structured parts get fresh segment variables.
+      std::vector<TermRef> Parts;
+      std::vector<size_t> Structured; // indices into C.Parts needing models
+      for (size_t I = 0; I < C.Parts.size(); ++I) {
+        if (std::optional<TermRef> Lit = literalTerm(*C.Parts[I])) {
+          Parts.push_back(*Lit);
+        } else {
+          Parts.push_back(freshStr("w"));
+          Structured.push_back(I);
+        }
+      }
+      std::vector<TermRef> Conj;
+      Conj.push_back(eqConcat(W, Parts));
+      size_t NextStructured = 0;
+      for (size_t I = 0; I < C.Parts.size(); ++I) {
+        if (NextStructured < Structured.size() &&
+            Structured[NextStructured] == I) {
+          Conj.push_back(model(*C.Parts[I], Parts[I]));
+          ++NextStructured;
+        }
+        PrefixParts.push_back(Parts[I]);
+      }
+      for (size_t I = 0; I < C.Parts.size(); ++I)
+        PrefixParts.pop_back();
+      return mkAnd(std::move(Conj));
+    }
+    case NodeKind::Alternation: {
+      const auto &A = cast<AlternationNode>(N);
+      std::vector<TermRef> Branches;
+      for (size_t I = 0; I < A.Alternatives.size(); ++I) {
+        std::vector<TermRef> B;
+        B.push_back(model(*A.Alternatives[I], W));
+        // Captures of the non-matching alternatives are undefined.
+        for (size_t J = 0; J < A.Alternatives.size(); ++J)
+          if (J != I)
+            B.push_back(undefRange(captureRange(*A.Alternatives[J])));
+        Branches.push_back(mkAnd(std::move(B)));
+      }
+      return mkOr(std::move(Branches));
+    }
+    case NodeKind::Group: {
+      const auto &G = cast<GroupNode>(N);
+      if (!G.isCapturing() || !Opts.ModelCaptures)
+        return model(*G.Body, std::move(W));
+      const CaptureVar &C = CurCaps[G.CaptureIndex - 1];
+      return mkAnd({model(*G.Body, W), C.Defined, mkEq(C.Value, W)});
+    }
+    case NodeKind::Quantifier:
+      return quantModel(cast<QuantifierNode>(N), std::move(W));
+    case NodeKind::Backreference:
+      return backrefModel(cast<BackreferenceNode>(N), std::move(W));
+    case NodeKind::Anchor: {
+      const auto &An = cast<AnchorNode>(N);
+      CharSet Marks;
+      if (An.Which == AnchorKind::Caret) {
+        Marks.addChar(MetaStart);
+        if (Multiline)
+          Marks.addSet(CharSet::lineTerminators());
+        return mkAnd(
+            {mkEq(std::move(W), eps()),
+             mkInRe(prefixExpr(), cConcat(cAnyStar(), cClass(Marks)))});
+      }
+      Marks.addChar(MetaEnd);
+      if (Multiline)
+        Marks.addSet(CharSet::lineTerminators());
+      auto [Rest, Pin] = restVar();
+      return mkAnd({mkEq(std::move(W), eps()), Pin,
+                    mkInRe(Rest, cConcat(cClass(Marks), cAnyStar()))});
+    }
+    case NodeKind::WordBoundary: {
+      const auto &B = cast<WordBoundaryNode>(N);
+      auto [Rest, Pin] = restVar();
+      CRegexRef WordC = cClass(CharSet::wordChars());
+      CRegexRef NonWordC = cClass(CharSet::wordChars().complement());
+      TermRef LW = mkInRe(prefixExpr(), cConcat(cAnyStar(), WordC));
+      TermRef LN = mkInRe(prefixExpr(), cConcat(cAnyStar(), NonWordC));
+      TermRef RW = mkInRe(Rest, cConcat(WordC, cAnyStar()));
+      TermRef RN = mkInRe(Rest, cConcat(NonWordC, cAnyStar()));
+      TermRef Cond = B.Negated ? mkOr(mkAnd(LW, RW), mkAnd(LN, RN))
+                               : mkOr(mkAnd(LN, RW), mkAnd(LW, RN));
+      return mkAnd({mkEq(std::move(W), eps()), Pin, Cond});
+    }
+    case NodeKind::Lookahead:
+      return lookaheadModel(cast<LookaheadNode>(N), std::move(W));
+    }
+    assert(false && "unknown node kind");
+    return mkFalse();
+  }
+
+  TermRef lookaheadModel(const LookaheadNode &L, TermRef W) {
+    if (L.Behind)
+      return lookbehindModel(L, std::move(W));
+    auto [Rest, Pin] = restVar();
+    auto Range = captureRange(*L.Body);
+    if (!L.Negated) {
+      // (?=t1): Rest ∈ Lc(t1 · Σ*), captures inside bind normally
+      // (Table 2 Positive Lookahead).
+      TermRef WA = freshStr("la");
+      TermRef Tail = freshStr("lat");
+      TermRef Split = eqConcat(Rest, {WA, Tail});
+      TermRef Body = model(*L.Body, WA);
+      return mkAnd({mkEq(std::move(W), eps()), Pin, Split, Body});
+    }
+    // (?!t1): Rest ∉ Lc(t1 · Σ*); captures inside are undefined (a
+    // succeeding negative lookahead restores the original match state).
+    TermRef Undef = undefRange(Range);
+    RegularApprox A = approximateRegularEx(*L.Body, R, AOpts);
+    if (A.Exact)
+      return mkAnd({mkEq(std::move(W), eps()), Pin,
+                    mkNotInRe(Rest, cConcat(A.Re, cAnyStar())), Undef});
+    // Model the body against throwaway capture variables and negate
+    // (§4.4: splits stay existential under negation; CEGAR repairs the
+    // slack).
+    TermRef WA = freshStr("la");
+    TermRef Tail = freshStr("lat");
+    std::vector<CaptureVar> Throwaway;
+    TermRef Inner = mkAnd(eqConcat(Rest, {WA, Tail}),
+                          modelCopy(*L.Body, WA, Throwaway));
+    return mkAnd(
+        {mkEq(std::move(W), eps()), Pin, mkNot(Inner), Undef});
+  }
+
+  /// ES2018 lookbehind, the mirror image of the Table-2 lookahead rules on
+  /// the accumulated left context: (?<=t1) asserts prefix = Head ++ wb with
+  /// (wb, C...) ∈ Lc(t1); (?<!t1) asserts prefix ∉ L(Σ* · t̂1). Matching
+  /// precedence inside the assertion (the engine matches right-to-left) is
+  /// restored by CEGAR exactly as for every other operator.
+  TermRef lookbehindModel(const LookaheadNode &L, TermRef W) {
+    assert(L.Behind && "not a lookbehind");
+    auto Range = captureRange(*L.Body);
+    TermRef Pre = prefixExpr();
+    if (!L.Negated) {
+      TermRef Head = freshStr("lbh");
+      TermRef WB = freshStr("lb");
+      TermRef Split = eqConcat(Pre, {Head, WB});
+      // The body's own position constraints (anchors, nested boundaries)
+      // see Head as the context to its left.
+      std::vector<TermRef> SavedPrefix = std::move(PrefixParts);
+      PrefixParts = {Head};
+      TermRef Body = model(*L.Body, WB);
+      PrefixParts = std::move(SavedPrefix);
+      return mkAnd({mkEq(std::move(W), eps()), Split, Body});
+    }
+    TermRef Undef = undefRange(Range);
+    RegularApprox A = approximateRegularEx(*L.Body, R, AOpts);
+    if (A.Exact)
+      return mkAnd({mkEq(std::move(W), eps()),
+                    mkNotInRe(Pre, cConcat(cAnyStar(), A.Re)), Undef});
+    TermRef Head = freshStr("lbh");
+    TermRef WB = freshStr("lb");
+    std::vector<CaptureVar> Throwaway;
+    std::vector<TermRef> SavedPrefix = std::move(PrefixParts);
+    PrefixParts = {Head};
+    TermRef Inner = mkAnd(eqConcat(Pre, {Head, WB}),
+                          modelCopy(*L.Body, WB, Throwaway));
+    PrefixParts = std::move(SavedPrefix);
+    return mkAnd({mkEq(std::move(W), eps()), mkNot(Inner), Undef});
+  }
+
+  TermRef backrefModel(const BackreferenceNode &B, TermRef W) {
+    BackrefType Ty = BrTypes.count(&B) ? BrTypes.at(&B)
+                                       : BackrefType::Empty;
+    if (Ty == BackrefType::Empty || B.Index > R.numCaptures())
+      return mkEq(std::move(W), eps());
+    if (!Opts.ModelCaptures) {
+      // Capture-free level: widen to the group's language (overapprox).
+      const GroupNode *G = findGroup(B.Index);
+      CRegexRef Lang = G ? cOpt(approxNode(*G->Body)) : cEpsilon();
+      return mkInRe(std::move(W), std::move(Lang));
+    }
+    // Table 3 immutable rule; mutable references reach this point inside
+    // unrolled copies where CurCaps holds the per-iteration variable, which
+    // realizes the sound per-iteration semantics up to the unroll bound.
+    const CaptureVar &C = CurCaps[B.Index - 1];
+    if (R.flags().IgnoreCase) {
+      // Under the i flag the backreference matches any case-folded variant
+      // of the capture. Character-wise folding between two string
+      // variables is not expressible in the string theory, so
+      // overapproximate with length equality plus membership in the
+      // case-closed group language; CEGAR removes the slack (§5).
+      const GroupNode *G = findGroup(B.Index);
+      TermRef Rel = mkEq(mkStrLen(W), mkStrLen(C.Value));
+      if (G)
+        Rel = mkAnd(Rel, mkInRe(W, approxNode(*G->Body)));
+      return mkOr(mkAnd(mkNot(C.Defined), mkEq(W, eps())),
+                  mkAnd(C.Defined, Rel));
+    }
+    return mkOr(mkAnd(mkNot(C.Defined), mkEq(W, eps())),
+                mkAnd(C.Defined, mkEq(C.Value, W)));
+  }
+
+  const GroupNode *findGroup(uint32_t Index) {
+    const GroupNode *Out = nullptr;
+    forEachNode(R.root(), [&](const RegexNode &N) {
+      if (const auto *G = dynCast<GroupNode>(&N))
+        if (G->CaptureIndex == Index)
+          Out = G;
+    });
+    return Out;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Quantifiers (Table 2 quantification + §4.1 capture correspondence)
+  //===------------------------------------------------------------------===//
+
+  TermRef quantModel(const QuantifierNode &Q, TermRef W) {
+    uint64_t Min = Q.Min;
+    bool Unbounded = Q.Max == QuantifierNode::Unbounded;
+    bool HasBr = containsBackref(*Q.Body);
+    auto Range = Opts.ModelCaptures ? captureRange(*Q.Body) : std::nullopt;
+
+    if (Q.Max == 0)
+      return mkAnd(mkEq(std::move(W), eps()), undefRange(Range));
+
+    // Fast path: quantified plain-regular subterms (\w+, [0-9]*, (?:ab)+,
+    // ...) need no decomposition at all — one classical membership is
+    // exact and much cheaper for the solver.
+    if ((!Range || !Opts.ModelCaptures) && isPlainRegular(*Q.Body))
+      return mkInRe(std::move(W), approxNode(Q));
+
+    if (HasBr && Unbounded && Opts.PaperMutableBackrefRule && Min <= 1)
+      return paperMutableRule(Q, std::move(W), Range);
+
+    size_t Limit = HasBr ? Opts.BackrefQuantifierUnroll
+                         : Opts.RepetitionUnrollLimit;
+    if (Min > Limit) {
+      // Clamp; the star tail overapproximates the remaining mandatory
+      // copies (CEGAR rejects too-short words via the concrete matcher).
+      Min = Limit;
+      Unbounded = true;
+    }
+    size_t OptCount = 0;
+    bool StarTail = false;
+    if (Unbounded) {
+      if (HasBr)
+        OptCount = Opts.BackrefQuantifierUnroll; // bounded (underapprox)
+      else
+        StarTail = true;
+    } else {
+      uint64_t Span = Q.Max - Min;
+      if (Span > Limit) {
+        if (HasBr)
+          OptCount = Limit; // bounded (underapprox)
+        else
+          StarTail = true; // overapprox of the bounded tail
+      } else {
+        OptCount = Span;
+      }
+    }
+
+    std::vector<TermRef> Conj;
+    std::vector<TermRef> Parts;
+    size_t Pushed = 0;
+    std::vector<std::vector<CaptureVar>> MandAux;
+
+    for (uint64_t I = 0; I < Min; ++I) {
+      TermRef CW = freshStr("q");
+      Parts.push_back(CW);
+      std::vector<CaptureVar> Aux;
+      Conj.push_back(modelCopy(*Q.Body, CW, Aux));
+      MandAux.push_back(std::move(Aux));
+      PrefixParts.push_back(CW);
+      ++Pushed;
+    }
+
+    if (StarTail) {
+      // Table 2 backreference-free quantification: w = w1 ++ w2 with
+      // w1 ∈ L(t̂1*) and (w2, C...) ∈ Lc(t1 | ε), plus the emptiness
+      // implication folded into the ε branch.
+      TermRef StarVar = freshStr("qs");
+      Parts.push_back(StarVar);
+      Conj.push_back(mkInRe(StarVar, cStar(approxNode(*Q.Body))));
+      PrefixParts.push_back(StarVar);
+      ++Pushed;
+
+      TermRef LastVar = freshStr("ql");
+      Parts.push_back(LastVar);
+      std::vector<CaptureVar> Aux;
+      TermRef CopyC = modelCopy(*Q.Body, LastVar, Aux);
+      TermRef Engage = CopyC;
+      if (Range)
+        Engage = mkAnd(Engage, bindRangeTo(*Range, Aux));
+      TermRef Fallback =
+          Min > 0 && Range ? bindRangeTo(*Range, MandAux.back())
+                           : undefRange(Range);
+      TermRef Skip = mkAnd({mkEq(LastVar, eps()), mkEq(StarVar, eps()),
+                            Fallback});
+      Conj.push_back(mkOr(std::move(Engage), std::move(Skip)));
+      PrefixParts.push_back(LastVar);
+      ++Pushed;
+    } else {
+      std::vector<TermRef> Engaged;
+      std::vector<std::vector<CaptureVar>> OptAux;
+      for (size_t J = 0; J < OptCount; ++J) {
+        TermRef CW = freshStr("q");
+        Parts.push_back(CW);
+        TermRef E = freshBool("e");
+        std::vector<CaptureVar> Aux;
+        TermRef CopyC = modelCopy(*Q.Body, CW, Aux);
+        TermRef SkipAux = mkTrue();
+        if (Opts.ModelCaptures && Range) {
+          std::vector<TermRef> U;
+          for (const CaptureVar &A : Aux) {
+            U.push_back(mkNot(A.Defined));
+            U.push_back(mkEq(A.Value, eps()));
+          }
+          SkipAux = mkAnd(std::move(U));
+        }
+        Conj.push_back(mkOr(mkAnd(E, CopyC),
+                            mkAnd({mkNot(E), mkEq(CW, eps()), SkipAux})));
+        if (J > 0)
+          Conj.push_back(mkImplies(E, Engaged.back()));
+        Engaged.push_back(E);
+        OptAux.push_back(std::move(Aux));
+        PrefixParts.push_back(CW);
+        ++Pushed;
+      }
+      if (Range) {
+        TermRef Base = Min > 0 ? bindRangeTo(*Range, MandAux.back())
+                               : undefRange(Range);
+        if (OptCount == 0) {
+          Conj.push_back(Base);
+        } else {
+          Conj.push_back(mkImplies(mkNot(Engaged.front()), Base));
+          for (size_t J = 0; J < OptCount; ++J) {
+            TermRef Guard =
+                J + 1 < OptCount
+                    ? mkAnd(Engaged[J], mkNot(Engaged[J + 1]))
+                    : Engaged[J];
+            Conj.push_back(
+                mkImplies(Guard, bindRangeTo(*Range, OptAux[J])));
+          }
+        }
+      }
+    }
+
+    for (size_t I = 0; I < Pushed; ++I)
+      PrefixParts.pop_back();
+    Conj.insert(Conj.begin(),
+                Parts.empty() ? mkEq(W, eps()) : eqConcat(W, Parts));
+    return mkAnd(std::move(Conj));
+  }
+
+  /// Table 3, last row: the paper's practical-but-unsound rule for mutable
+  /// backreferences — every iteration matches the same word. Kept for the
+  /// ablation bench; the default bounded unrolling realizes the sound rule
+  /// up to the bound.
+  TermRef paperMutableRule(const QuantifierNode &Q, TermRef W,
+                           std::optional<std::pair<uint32_t, uint32_t>>
+                               Range) {
+    TermRef B = freshStr("mb");
+    std::vector<CaptureVar> Aux;
+    TermRef One = modelCopy(*Q.Body, B, Aux);
+    TermRef Bind = Range ? bindRangeTo(*Range, Aux) : mkTrue();
+    std::vector<TermRef> Reps;
+    for (size_t K = 1; K <= Opts.BackrefQuantifierUnroll; ++K) {
+      std::vector<TermRef> Copies(K, B);
+      Reps.push_back(mkEq(W, mkConcat(Copies)));
+    }
+    TermRef NonEmpty = mkAnd({One, Bind, mkOr(std::move(Reps))});
+    if (Q.Min >= 1)
+      return NonEmpty;
+    TermRef Empty = mkAnd(mkEq(std::move(W), eps()), undefRange(Range));
+    return mkOr(std::move(Empty), std::move(NonEmpty));
+  }
+};
+
+} // namespace recap
+
+ModelBuilder::ModelBuilder(const Regex &R, std::string VarPrefix,
+                           ModelOptions Opts)
+    : R(R), VarPrefix(std::move(VarPrefix)), Opts(Opts) {}
+
+SymbolicMatch ModelBuilder::build(TermRef Input) {
+  ModelGen Gen(R, VarPrefix, Opts);
+  return Gen.run(std::move(Input));
+}

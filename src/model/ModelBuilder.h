@@ -1,0 +1,128 @@
+//===- model/ModelBuilder.h - Capturing-language models ---------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution (§4): translating capturing-language
+/// membership (w, C0, ..., Cn) ∈ Lc(R) into string constraints plus
+/// classical regular language membership.
+///
+/// The builder recurses over the ES6 AST emitting the Table-2 operator
+/// models and Table-3 backreference models. Design notes relative to the
+/// paper's presentation (semantics preserved, see DESIGN.md):
+///
+///  - Quantifiers are modeled natively: r{m,n} unrolls to m mandatory plus
+///    (n-m) optional copies with monotone "engaged" markers, instead of the
+///    exponential r^n|...|r^m alternation of Table 1; the §4.1 capture
+///    correspondence (original capture = value in the last engaged copy)
+///    is emitted as guarded equalities.
+///  - Quantified subterms containing backreferences unroll boundedly,
+///    which realizes Table 3's *sound* mutable-backreference rule up to
+///    the bound (the paper's "all iterations equal" fallback is available
+///    as ModelOptions::PaperMutableBackrefRule for ablation).
+///  - Anchors, word boundaries and lookaheads are zero-width constraints
+///    relating the accumulated left context to a fresh suffix variable
+///    pinned by  word = prefix ++ rest.
+///
+/// Models are overapproximate w.r.t. matching precedence; Algorithm 1
+/// (src/cegar) removes the slack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_MODEL_MODELBUILDER_H
+#define RECAP_MODEL_MODELBUILDER_H
+
+#include "model/Approx.h"
+#include "regex/Features.h"
+#include "smt/Term.h"
+
+namespace recap {
+
+struct ModelOptions {
+  /// Unroll bound for {m,n} repetition copies.
+  size_t RepetitionUnrollLimit = 12;
+  /// Unroll bound for quantifiers whose body contains backreferences.
+  size_t BackrefQuantifierUnroll = 4;
+  /// Use Table 3's unsound "all iterations equal" rule for mutable
+  /// backreferences instead of bounded unrolling (ablation).
+  bool PaperMutableBackrefRule = false;
+  /// When false, capture groups are not modeled (DSE support level
+  /// "+ Modeling RegEx" in Table 7): groups recurse transparently and
+  /// backreferences widen to their group's language.
+  bool ModelCaptures = true;
+
+  // Solver-performance encoding choices (DESIGN.md "Solver-performance
+  // design"); both default on, exposed for bench/ablation_encoding.
+  /// Emit the redundant |w| = Σ|wᵢ| length equation beside every word
+  /// equation, letting the arithmetic core prune string splits.
+  bool EmitLengthEquations = true;
+  /// Lower single-character literal atoms to string constants inside the
+  /// enclosing word equation instead of fresh variables + memberships.
+  bool FoldLiteralChars = true;
+};
+
+/// A capture variable pair: the paper's Ci with ⊥ (undefined) tracked as a
+/// separate boolean, so that ⊥ is distinct from ε (§3.3).
+struct CaptureVar {
+  TermRef Defined; ///< Bool term
+  TermRef Value;   ///< String term
+};
+
+/// The symbolic result of modeling one wrapped match
+/// (?:.|\n)*? ( R ) (?:.|\n)*?  against a decorated word 〈input〉
+/// (Algorithm 2's rewriting).
+struct SymbolicMatch {
+  /// The (undecorated) subject term the model was built over.
+  TermRef Input;
+  /// Decorated word variable, pinned by Decoration to 〈 ++ Input ++ 〉.
+  TermRef Word;
+  /// Word = 〈 ++ Input ++ 〉 plus "Input contains no meta markers".
+  /// Must be asserted together with either constraint below.
+  TermRef Decoration;
+  /// (Word, C0..Cn) ∈ Lc(wrapped R).
+  TermRef MatchConstraint;
+  /// Position of the match start within the decorated word (= |w1|);
+  /// the match starts at input index MatchStart - 1.
+  TermRef MatchStart;
+  /// Capture 0: the whole match (always defined on a match).
+  CaptureVar C0;
+  /// Captures 1..n.
+  std::vector<CaptureVar> Captures;
+  /// Input = Prefix ++ C0.Value ++ Suffix (used by the String.prototype
+  /// method models: replace/split need the surrounding segments).
+  TermRef Prefix;
+  TermRef Suffix;
+  /// True when NoMatchConstraint below is exact (no CEGAR needed for
+  /// negative queries).
+  bool NegationExact = false;
+  /// (Word, *) ∉ Lc(wrapped R): exact pure-regular constraint when
+  /// NegationExact, otherwise the paper's §4.4 negated model.
+  TermRef NoMatchConstraint;
+};
+
+/// Builds capturing-language models for one regex. Fresh variables are
+/// prefixed with \p VarPrefix so several models can share one problem.
+class ModelBuilder {
+public:
+  ModelBuilder(const Regex &R, std::string VarPrefix, ModelOptions Opts = {});
+
+  /// Models one match of the wrapped regex against 〈 ++ Input ++ 〉. The
+  /// match is split directly on the input (Input = p1 ++ C0 ++ p3), which
+  /// keeps the solver's word-equation reasoning shallow; the decorated
+  /// word only carries anchor and boundary context.
+  SymbolicMatch build(TermRef Input);
+
+  const Regex &regex() const { return R; }
+
+private:
+  friend class ModelGen;
+  const Regex &R;
+  std::string VarPrefix;
+  ModelOptions Opts;
+};
+
+} // namespace recap
+
+#endif // RECAP_MODEL_MODELBUILDER_H

@@ -1,0 +1,310 @@
+//===- regex/AST.cpp - ES6 regex abstract syntax tree --------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/AST.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace recap;
+
+void RegexNode::anchor() {}
+
+static NodePtr withSpan(NodePtr N, const RegexNode &From) {
+  N->setSpan(From.srcBegin(), From.srcEnd());
+  return N;
+}
+
+NodePtr AlternationNode::clone() const {
+  std::vector<NodePtr> Alts;
+  Alts.reserve(Alternatives.size());
+  for (const NodePtr &A : Alternatives)
+    Alts.push_back(A->clone());
+  return withSpan(std::make_unique<AlternationNode>(std::move(Alts)), *this);
+}
+
+NodePtr ConcatNode::clone() const {
+  std::vector<NodePtr> Ps;
+  Ps.reserve(Parts.size());
+  for (const NodePtr &P : Parts)
+    Ps.push_back(P->clone());
+  return withSpan(std::make_unique<ConcatNode>(std::move(Ps)), *this);
+}
+
+NodePtr QuantifierNode::clone() const {
+  return withSpan(
+      std::make_unique<QuantifierNode>(Body->clone(), Min, Max, Greedy),
+      *this);
+}
+
+NodePtr GroupNode::clone() const {
+  return withSpan(
+      std::make_unique<GroupNode>(Body->clone(), CaptureIndex, Name), *this);
+}
+
+NodePtr LookaheadNode::clone() const {
+  return withSpan(
+      std::make_unique<LookaheadNode>(Body->clone(), Negated, Behind), *this);
+}
+
+NodePtr BackreferenceNode::clone() const {
+  return withSpan(std::make_unique<BackreferenceNode>(Index, Name), *this);
+}
+
+NodePtr CharClassNode::clone() const {
+  return withSpan(std::make_unique<CharClassNode>(Base, Negated,
+                                                  FromExplicitClass, HasRange),
+                  *this);
+}
+
+NodePtr AnchorNode::clone() const {
+  return withSpan(std::make_unique<AnchorNode>(Which), *this);
+}
+
+NodePtr WordBoundaryNode::clone() const {
+  return withSpan(std::make_unique<WordBoundaryNode>(Negated), *this);
+}
+
+void recap::forEachNode(const RegexNode &N,
+                        const std::function<void(const RegexNode &)> &F) {
+  F(N);
+  switch (N.kind()) {
+  case NodeKind::Alternation:
+    for (const NodePtr &A : cast<AlternationNode>(N).Alternatives)
+      forEachNode(*A, F);
+    break;
+  case NodeKind::Concat:
+    for (const NodePtr &P : cast<ConcatNode>(N).Parts)
+      forEachNode(*P, F);
+    break;
+  case NodeKind::Quantifier:
+    forEachNode(*cast<QuantifierNode>(N).Body, F);
+    break;
+  case NodeKind::Group:
+    forEachNode(*cast<GroupNode>(N).Body, F);
+    break;
+  case NodeKind::Lookahead:
+    forEachNode(*cast<LookaheadNode>(N).Body, F);
+    break;
+  case NodeKind::Backreference:
+  case NodeKind::CharClass:
+  case NodeKind::Anchor:
+  case NodeKind::WordBoundary:
+    break;
+  }
+}
+
+std::optional<std::pair<uint32_t, uint32_t>>
+recap::captureRange(const RegexNode &N) {
+  std::optional<std::pair<uint32_t, uint32_t>> R;
+  forEachNode(N, [&](const RegexNode &M) {
+    const auto *G = dynCast<GroupNode>(&M);
+    if (!G || !G->isCapturing())
+      return;
+    if (!R)
+      R = {G->CaptureIndex, G->CaptureIndex};
+    else {
+      R->first = std::min(R->first, G->CaptureIndex);
+      R->second = std::max(R->second, G->CaptureIndex);
+    }
+  });
+  return R;
+}
+
+namespace {
+
+/// Unparser. Produces canonical syntax; round-tripping through the parser
+/// yields a structurally identical AST (tested).
+class Printer {
+public:
+  std::string print(const RegexNode &N) {
+    Out.clear();
+    visit(N, /*TopLevel=*/true);
+    return Out;
+  }
+
+private:
+  std::string Out;
+
+  void visit(const RegexNode &N, bool TopLevel = false) {
+    switch (N.kind()) {
+    case NodeKind::Alternation: {
+      const auto &A = cast<AlternationNode>(N);
+      if (!TopLevel)
+        Out += "(?:";
+      for (size_t I = 0; I < A.Alternatives.size(); ++I) {
+        if (I)
+          Out += "|";
+        visit(*A.Alternatives[I]);
+      }
+      if (!TopLevel)
+        Out += ")";
+      break;
+    }
+    case NodeKind::Concat:
+      for (const NodePtr &P : cast<ConcatNode>(N).Parts)
+        visit(*P);
+      break;
+    case NodeKind::Quantifier: {
+      const auto &Q = cast<QuantifierNode>(N);
+      visitAtom(*Q.Body);
+      if (Q.isStar())
+        Out += "*";
+      else if (Q.isPlus())
+        Out += "+";
+      else if (Q.isOptional())
+        Out += "?";
+      else {
+        Out += "{" + std::to_string(Q.Min);
+        if (Q.Max == QuantifierNode::Unbounded)
+          Out += ",";
+        else if (Q.Max != Q.Min)
+          Out += "," + std::to_string(Q.Max);
+        Out += "}";
+      }
+      if (!Q.Greedy)
+        Out += "?";
+      break;
+    }
+    case NodeKind::Group: {
+      const auto &G = cast<GroupNode>(N);
+      if (G.isNamed())
+        Out += "(?<" + G.Name + ">";
+      else
+        Out += G.isCapturing() ? "(" : "(?:";
+      // The group's own parentheses already delimit the body, so an
+      // alternation needs no extra (?:...) wrapper.
+      visit(*G.Body, /*TopLevel=*/true);
+      Out += ")";
+      break;
+    }
+    case NodeKind::Lookahead: {
+      const auto &L = cast<LookaheadNode>(N);
+      if (L.Behind)
+        Out += L.Negated ? "(?<!" : "(?<=";
+      else
+        Out += L.Negated ? "(?!" : "(?=";
+      visit(*L.Body, /*TopLevel=*/true);
+      Out += ")";
+      break;
+    }
+    case NodeKind::Backreference: {
+      const auto &B = cast<BackreferenceNode>(N);
+      if (!B.Name.empty())
+        Out += "\\k<" + B.Name + ">";
+      else
+        Out += "\\" + std::to_string(B.Index);
+      break;
+    }
+    case NodeKind::CharClass:
+      printClass(cast<CharClassNode>(N));
+      break;
+    case NodeKind::Anchor:
+      Out += cast<AnchorNode>(N).Which == AnchorKind::Caret ? "^" : "$";
+      break;
+    case NodeKind::WordBoundary:
+      Out += cast<WordBoundaryNode>(N).Negated ? "\\B" : "\\b";
+      break;
+    }
+  }
+
+  /// Prints N wrapped so that a following quantifier binds to all of it.
+  void visitAtom(const RegexNode &N) {
+    bool NeedsWrap = false;
+    switch (N.kind()) {
+    case NodeKind::Alternation:
+    case NodeKind::Quantifier:
+      NeedsWrap = true;
+      break;
+    case NodeKind::Concat:
+      NeedsWrap = cast<ConcatNode>(N).Parts.size() != 1;
+      break;
+    default:
+      break;
+    }
+    if (NeedsWrap) {
+      Out += "(?:";
+      visit(N);
+      Out += ")";
+    } else {
+      visit(N);
+    }
+  }
+
+  void printClassChar(CodePoint C) {
+    switch (C) {
+    case '\\':
+    case ']':
+    case '^':
+    case '-':
+      Out += "\\";
+      Out += static_cast<char>(C);
+      return;
+    default:
+      break;
+    }
+    if (C >= 0x20 && C < 0x7F) {
+      Out += static_cast<char>(C);
+      return;
+    }
+    char Buf[16];
+    if (C <= 0xFF)
+      std::snprintf(Buf, sizeof(Buf), "\\x%02X", static_cast<unsigned>(C));
+    else if (C <= 0xFFFF)
+      // Four-digit form: valid with and without the u flag.
+      std::snprintf(Buf, sizeof(Buf), "\\u%04X", static_cast<unsigned>(C));
+    else
+      // Astral code points are only expressible with the u flag; printed
+      // output for such (rare) classes round-trips under "u" only.
+      std::snprintf(Buf, sizeof(Buf), "\\u{%X}", static_cast<unsigned>(C));
+    Out += Buf;
+  }
+
+  void printClass(const CharClassNode &CC) {
+    // Single non-negated character prints as a bare literal when safe.
+    const CharSet &S = CC.Base;
+    if (!CC.Negated && S.size() == 1) {
+      CodePoint C = *S.first();
+      static const char *Special = "^$\\.*+?()[]{}|/";
+      if (C >= 0x20 && C < 0x7F &&
+          !strchr(Special, static_cast<char>(C))) {
+        Out += static_cast<char>(C);
+        return;
+      }
+      if (C == '\n') {
+        Out += "\\n";
+        return;
+      }
+    }
+    if (!CC.Negated && S == CharSet::dot()) {
+      Out += ".";
+      return;
+    }
+    // The full alphabet (`.` under the dotAll flag) prints as the empty
+    // negated class, which matches everything in both parsing modes.
+    if (!CC.Negated && S == CharSet::all()) {
+      Out += "[^]";
+      return;
+    }
+    Out += "[";
+    if (CC.Negated)
+      Out += "^";
+    for (const CharSet::Interval &I : S.intervals()) {
+      printClassChar(I.Lo);
+      if (I.Hi > I.Lo) {
+        if (I.Hi > I.Lo + 1)
+          Out += "-";
+        printClassChar(I.Hi);
+      }
+    }
+    Out += "]";
+  }
+};
+
+} // namespace
+
+std::string RegexNode::str() const { return Printer().print(*this); }

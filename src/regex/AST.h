@@ -1,0 +1,268 @@
+//===- regex/AST.h - ES6 regex abstract syntax tree ------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for ES6 regexes (paper §2, Table 1). Nodes use LLVM-style kind tags
+/// with classof/cast helpers instead of RTTI. The AST keeps the surface
+/// structure (lazy quantifiers, {m,n} repetition, non-capturing groups);
+/// the Table-1 rewriting into core terms happens in src/model/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_REGEX_AST_H
+#define RECAP_REGEX_AST_H
+
+#include "support/CharSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recap {
+
+enum class NodeKind : uint8_t {
+  Alternation,
+  Concat,
+  Quantifier,
+  Group,
+  Lookahead,
+  Backreference,
+  CharClass,
+  Anchor,
+  WordBoundary,
+};
+
+class RegexNode;
+using NodePtr = std::unique_ptr<RegexNode>;
+
+/// Base class of all regex AST nodes.
+class RegexNode {
+public:
+  virtual ~RegexNode() = default;
+
+  NodeKind kind() const { return Kind; }
+
+  /// Source span [Begin, End) in the pattern, for diagnostics and the
+  /// backreference-type analysis (Definition 2 uses source positions).
+  uint32_t srcBegin() const { return SrcBegin; }
+  uint32_t srcEnd() const { return SrcEnd; }
+  void setSpan(uint32_t B, uint32_t E) {
+    SrcBegin = B;
+    SrcEnd = E;
+  }
+
+  /// Deep copy.
+  virtual NodePtr clone() const = 0;
+
+  /// Unparses the node back to (canonical) pattern syntax.
+  std::string str() const;
+
+protected:
+  explicit RegexNode(NodeKind K) : Kind(K) {}
+
+private:
+  NodeKind Kind;
+  uint32_t SrcBegin = 0;
+  uint32_t SrcEnd = 0;
+
+  virtual void anchor();
+};
+
+/// r1 | r2 | ... (two or more alternatives).
+class AlternationNode : public RegexNode {
+public:
+  std::vector<NodePtr> Alternatives;
+
+  explicit AlternationNode(std::vector<NodePtr> Alts)
+      : RegexNode(NodeKind::Alternation), Alternatives(std::move(Alts)) {
+    assert(Alternatives.size() >= 2 && "alternation needs >= 2 branches");
+  }
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Alternation;
+  }
+};
+
+/// r1 r2 ... rn; empty sequence denotes epsilon.
+class ConcatNode : public RegexNode {
+public:
+  std::vector<NodePtr> Parts;
+
+  explicit ConcatNode(std::vector<NodePtr> Parts = {})
+      : RegexNode(NodeKind::Concat), Parts(std::move(Parts)) {}
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Concat;
+  }
+};
+
+/// r*, r+, r?, r{m,n} and their lazy variants.
+class QuantifierNode : public RegexNode {
+public:
+  static constexpr uint32_t Unbounded =
+      std::numeric_limits<uint32_t>::max();
+
+  NodePtr Body;
+  uint32_t Min;
+  uint32_t Max; ///< Unbounded for * + {m,}.
+  bool Greedy;
+
+  QuantifierNode(NodePtr Body, uint32_t Min, uint32_t Max, bool Greedy)
+      : RegexNode(NodeKind::Quantifier), Body(std::move(Body)), Min(Min),
+        Max(Max), Greedy(Greedy) {
+    assert(Min <= Max && "quantifier range out of order");
+  }
+  bool isStar() const { return Min == 0 && Max == Unbounded; }
+  bool isPlus() const { return Min == 1 && Max == Unbounded; }
+  bool isOptional() const { return Min == 0 && Max == 1; }
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Quantifier;
+  }
+};
+
+/// (r) with CaptureIndex >= 1, or (?:r) with CaptureIndex == 0. Named
+/// capture groups (?<name>r) — an ES2018 extension, see DESIGN.md — carry
+/// their name; unnamed groups have an empty Name.
+class GroupNode : public RegexNode {
+public:
+  NodePtr Body;
+  uint32_t CaptureIndex; ///< 0 for non-capturing groups.
+  std::string Name;      ///< UTF-8 group name; empty when unnamed.
+
+  GroupNode(NodePtr Body, uint32_t CaptureIndex, std::string Name = {})
+      : RegexNode(NodeKind::Group), Body(std::move(Body)),
+        CaptureIndex(CaptureIndex), Name(std::move(Name)) {}
+  bool isCapturing() const { return CaptureIndex != 0; }
+  bool isNamed() const { return !Name.empty(); }
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Group;
+  }
+};
+
+/// Lookaround assertions: (?=r) / (?!r), and — as an ES2018 extension
+/// beyond the paper's ES6 scope (§2.4 notes ES6 has no lookbehind) —
+/// (?<=r) / (?<!r) when Behind is set.
+class LookaheadNode : public RegexNode {
+public:
+  NodePtr Body;
+  bool Negated;
+  bool Behind; ///< true for lookbehind (?<= / (?<!
+
+  LookaheadNode(NodePtr Body, bool Negated, bool Behind = false)
+      : RegexNode(NodeKind::Lookahead), Body(std::move(Body)),
+        Negated(Negated), Behind(Behind) {}
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Lookahead;
+  }
+};
+
+/// \k referring to capture group k (1-based). Named backreferences
+/// \k<name> are resolved to their group index by the parser; Name records
+/// the surface syntax for printing.
+class BackreferenceNode : public RegexNode {
+public:
+  uint32_t Index;
+  std::string Name; ///< non-empty when written as \k<name>
+
+  explicit BackreferenceNode(uint32_t Index, std::string Name = {})
+      : RegexNode(NodeKind::Backreference), Index(Index),
+        Name(std::move(Name)) {}
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Backreference;
+  }
+};
+
+/// A literal character, ., \d, or a bracketed class. The set is stored
+/// *before* negation and case folding; effectiveSet() applies both, which
+/// matches ES6 semantics where negation applies after canonicalization
+/// (e.g. /[^a]/i rejects both "a" and "A").
+class CharClassNode : public RegexNode {
+public:
+  CharSet Base;
+  bool Negated;
+  bool FromExplicitClass; ///< came from [...] syntax (survey feature)
+  bool HasRange;          ///< contained an a-b range (survey feature)
+
+  CharClassNode(CharSet Base, bool Negated, bool FromExplicitClass = false,
+                bool HasRange = false)
+      : RegexNode(NodeKind::CharClass), Base(std::move(Base)),
+        Negated(Negated), FromExplicitClass(FromExplicitClass),
+        HasRange(HasRange) {}
+
+  /// The set of code points this atom matches under the given flags.
+  CharSet effectiveSet(bool IgnoreCase, bool Unicode) const {
+    CharSet S = IgnoreCase ? Base.caseClosure(Unicode) : Base;
+    return Negated ? S.complement() : S;
+  }
+
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::CharClass;
+  }
+};
+
+enum class AnchorKind : uint8_t { Caret, Dollar };
+
+/// ^ or $.
+class AnchorNode : public RegexNode {
+public:
+  AnchorKind Which;
+
+  explicit AnchorNode(AnchorKind Which)
+      : RegexNode(NodeKind::Anchor), Which(Which) {}
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::Anchor;
+  }
+};
+
+/// \b or \B.
+class WordBoundaryNode : public RegexNode {
+public:
+  bool Negated;
+
+  explicit WordBoundaryNode(bool Negated)
+      : RegexNode(NodeKind::WordBoundary), Negated(Negated) {}
+  NodePtr clone() const override;
+  static bool classof(const RegexNode *N) {
+    return N->kind() == NodeKind::WordBoundary;
+  }
+};
+
+/// LLVM-style dyn_cast for regex nodes.
+template <typename T> const T *dynCast(const RegexNode *N) {
+  return N && T::classof(N) ? static_cast<const T *>(N) : nullptr;
+}
+template <typename T> T *dynCast(RegexNode *N) {
+  return N && T::classof(N) ? static_cast<T *>(N) : nullptr;
+}
+template <typename T> const T &cast(const RegexNode &N) {
+  assert(T::classof(&N) && "cast to wrong node kind");
+  return static_cast<const T &>(N);
+}
+
+/// Calls \p F on \p N and every descendant, pre-order.
+void forEachNode(const RegexNode &N,
+                 const std::function<void(const RegexNode &)> &F);
+
+/// Smallest and largest capture index inside \p N (inclusive), or
+/// nullopt if N contains no capture groups.
+std::optional<std::pair<uint32_t, uint32_t>>
+captureRange(const RegexNode &N);
+
+} // namespace recap
+
+#endif // RECAP_REGEX_AST_H

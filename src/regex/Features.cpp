@@ -1,0 +1,199 @@
+//===- regex/Features.cpp - Regex feature analysis ------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Features.h"
+
+#include <algorithm>
+
+using namespace recap;
+
+namespace {
+
+/// Walks the AST tracking the stack of enclosing quantifiers so that
+/// Definition 2's "both t and \k are subterms of some quantified term Q"
+/// can be decided, and recording source order for the post-order condition.
+class BackrefWalker {
+public:
+  explicit BackrefWalker(const Regex &R) : R(R) {}
+
+  std::map<const BackreferenceNode *, BackrefType> run() {
+    visit(R.root());
+    std::map<const BackreferenceNode *, BackrefType> Out;
+    for (const BackrefUse &U : Uses) {
+      if (U.Index > R.numCaptures() ||
+          !GroupEnd.count(U.Index) ||
+          GroupEnd.at(U.Index) > U.SrcBegin) {
+        // Group missing entirely, or its closing position comes after the
+        // backreference: the backreference can only ever see an unset
+        // capture -> empty.
+        Out[U.Node] = BackrefType::Empty;
+        continue;
+      }
+      // Mutable iff the use and the group share an enclosing quantifier.
+      const std::vector<const QuantifierNode *> &GQ =
+          GroupQuantifiers.at(U.Index);
+      bool Shared = std::any_of(
+          U.Quantifiers.begin(), U.Quantifiers.end(),
+          [&](const QuantifierNode *Q) {
+            return std::find(GQ.begin(), GQ.end(), Q) != GQ.end();
+          });
+      Out[U.Node] = Shared ? BackrefType::Mutable : BackrefType::Immutable;
+    }
+    return Out;
+  }
+
+private:
+  struct BackrefUse {
+    const BackreferenceNode *Node;
+    uint32_t Index;
+    uint32_t SrcBegin;
+    std::vector<const QuantifierNode *> Quantifiers;
+  };
+
+  const Regex &R;
+  std::vector<const QuantifierNode *> QuantStack;
+  std::map<uint32_t, uint32_t> GroupEnd;
+  std::map<uint32_t, std::vector<const QuantifierNode *>> GroupQuantifiers;
+  std::vector<BackrefUse> Uses;
+
+  void visit(const RegexNode &N) {
+    switch (N.kind()) {
+    case NodeKind::Alternation:
+      for (const NodePtr &A : cast<AlternationNode>(N).Alternatives)
+        visit(*A);
+      break;
+    case NodeKind::Concat:
+      for (const NodePtr &P : cast<ConcatNode>(N).Parts)
+        visit(*P);
+      break;
+    case NodeKind::Quantifier: {
+      const auto &Q = cast<QuantifierNode>(N);
+      // A quantifier with Max <= 1 cannot iterate, so it cannot make a
+      // backreference mutable.
+      bool Iterates = Q.Max > 1;
+      if (Iterates)
+        QuantStack.push_back(&Q);
+      visit(*Q.Body);
+      if (Iterates)
+        QuantStack.pop_back();
+      break;
+    }
+    case NodeKind::Group: {
+      const auto &G = cast<GroupNode>(N);
+      if (G.isCapturing()) {
+        GroupEnd[G.CaptureIndex] = G.srcEnd();
+        GroupQuantifiers[G.CaptureIndex] = QuantStack;
+      }
+      visit(*G.Body);
+      break;
+    }
+    case NodeKind::Lookahead:
+      visit(*cast<LookaheadNode>(N).Body);
+      break;
+    case NodeKind::Backreference: {
+      const auto &B = cast<BackreferenceNode>(N);
+      Uses.push_back({&B, B.Index, B.srcBegin(), QuantStack});
+      break;
+    }
+    case NodeKind::CharClass:
+    case NodeKind::Anchor:
+    case NodeKind::WordBoundary:
+      break;
+    }
+  }
+};
+
+} // namespace
+
+std::map<const BackreferenceNode *, BackrefType>
+recap::classifyBackreferences(const Regex &R) {
+  return BackrefWalker(R).run();
+}
+
+RegexFeatures recap::analyzeFeatures(const Regex &R) {
+  RegexFeatures F;
+  // Quantified-backreference detection needs the quantifier stack; reuse
+  // the classifier walk for mutable/empty and track "under any quantifier"
+  // separately below.
+  auto Types = classifyBackreferences(R);
+  for (const auto &[Node, Type] : Types) {
+    (void)Node;
+    if (Type == BackrefType::Mutable)
+      ++F.MutableBackreferences;
+    if (Type == BackrefType::Empty)
+      ++F.EmptyBackreferences;
+  }
+
+  // Pre-order walk with an "inside quantifier" depth counter.
+  unsigned QuantDepth = 0;
+  std::function<void(const RegexNode &)> Visit =
+      [&](const RegexNode &N) {
+        switch (N.kind()) {
+        case NodeKind::Alternation:
+          for (const NodePtr &A : cast<AlternationNode>(N).Alternatives)
+            Visit(*A);
+          break;
+        case NodeKind::Concat:
+          for (const NodePtr &P : cast<ConcatNode>(N).Parts)
+            Visit(*P);
+          break;
+        case NodeKind::Quantifier: {
+          const auto &Q = cast<QuantifierNode>(N);
+          if (Q.isStar())
+            Q.Greedy ? ++F.KleeneStar : ++F.KleeneStarLazy;
+          else if (Q.isPlus())
+            Q.Greedy ? ++F.KleenePlus : ++F.KleenePlusLazy;
+          else if (Q.isOptional())
+            ++F.Optional;
+          else
+            Q.Greedy ? ++F.Repetition : ++F.RepetitionLazy;
+          QuantDepth += Q.Max > 1 ? 1 : 0;
+          Visit(*Q.Body);
+          QuantDepth -= Q.Max > 1 ? 1 : 0;
+          break;
+        }
+        case NodeKind::Group: {
+          const auto &G = cast<GroupNode>(N);
+          G.isCapturing() ? ++F.CaptureGroups : ++F.NonCapturingGroups;
+          if (G.isNamed())
+            ++F.NamedGroups;
+          Visit(*G.Body);
+          break;
+        }
+        case NodeKind::Lookahead: {
+          const auto &L = cast<LookaheadNode>(N);
+          L.Behind ? ++F.Lookbehinds : ++F.Lookaheads;
+          Visit(*L.Body);
+          break;
+        }
+        case NodeKind::Backreference: {
+          const auto &B = cast<BackreferenceNode>(N);
+          ++F.Backreferences;
+          if (!B.Name.empty())
+            ++F.NamedBackreferences;
+          if (QuantDepth > 0)
+            ++F.QuantifiedBackreferences;
+          break;
+        }
+        case NodeKind::CharClass: {
+          const auto &C = cast<CharClassNode>(N);
+          if (C.FromExplicitClass)
+            ++F.CharacterClasses;
+          if (C.HasRange)
+            ++F.ClassRanges;
+          break;
+        }
+        case NodeKind::Anchor:
+          ++F.Anchors;
+          break;
+        case NodeKind::WordBoundary:
+          ++F.WordBoundaries;
+          break;
+        }
+      };
+  Visit(R.root());
+  return F;
+}

@@ -1,0 +1,80 @@
+//===- regex/Features.h - Regex feature analysis ----------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature analysis over regex ASTs: the per-feature flags behind the
+/// paper's survey (Tables 4 and 5) and the backreference-type
+/// classification of Definition 2 (empty / mutable / immutable) that the
+/// model generator depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_REGEX_FEATURES_H
+#define RECAP_REGEX_FEATURES_H
+
+#include "regex/Regex.h"
+
+#include <map>
+#include <vector>
+
+namespace recap {
+
+/// Definition 2 of the paper.
+enum class BackrefType : uint8_t {
+  Empty,     ///< refers to an unclosed/later group; always matches epsilon
+  Immutable, ///< single value during any match
+  Mutable,   ///< group and backref share a quantified ancestor
+};
+
+/// Feature presence flags for one regex (rows of Table 5 plus analysis
+/// inputs). All counts are occurrence counts within a single pattern.
+struct RegexFeatures {
+  unsigned CaptureGroups = 0;
+  unsigned NonCapturingGroups = 0;
+  unsigned Backreferences = 0;
+  unsigned QuantifiedBackreferences = 0; ///< backref itself under quantifier
+  unsigned MutableBackreferences = 0;
+  unsigned EmptyBackreferences = 0;
+  unsigned Lookaheads = 0;  ///< positive and negative
+  unsigned Lookbehinds = 0; ///< ES2018 extension, positive and negative
+  unsigned NamedGroups = 0; ///< ES2018 (?<name>...) groups
+  unsigned NamedBackreferences = 0; ///< ES2018 \k<name>
+  unsigned WordBoundaries = 0;
+  unsigned Anchors = 0;
+  unsigned CharacterClasses = 0; ///< explicit [...] atoms
+  unsigned ClassRanges = 0;      ///< classes containing an a-b range
+  unsigned KleeneStar = 0;
+  unsigned KleeneStarLazy = 0;
+  unsigned KleenePlus = 0;
+  unsigned KleenePlusLazy = 0;
+  unsigned Optional = 0;
+  unsigned Repetition = 0; ///< {m}/{m,}/{m,n}
+  unsigned RepetitionLazy = 0;
+
+  bool hasCaptureGroups() const { return CaptureGroups != 0; }
+  bool hasBackreferences() const { return Backreferences != 0; }
+  bool hasQuantifiedBackreferences() const {
+    return QuantifiedBackreferences != 0;
+  }
+  /// True if the pattern stays within classical regular language territory
+  /// (no captures needed, no backreferences, no lookarounds).
+  bool isClassical() const {
+    return Backreferences == 0 && Lookaheads == 0 && Lookbehinds == 0 &&
+           WordBoundaries == 0;
+  }
+};
+
+/// Computes feature counts for \p R.
+RegexFeatures analyzeFeatures(const Regex &R);
+
+/// Classifies every backreference occurrence in \p R per Definition 2.
+/// The result maps each BackreferenceNode (by pointer) to its type.
+std::map<const BackreferenceNode *, BackrefType>
+classifyBackreferences(const Regex &R);
+
+} // namespace recap
+
+#endif // RECAP_REGEX_FEATURES_H

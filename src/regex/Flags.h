@@ -1,0 +1,85 @@
+//===- regex/Flags.h - ES6 RegExp flags -------------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five ES6 RegExp flags (§2.1 of the paper): g, i, m, y, u — plus the
+/// ES2018 dotAll flag s, which this library implements as one of the
+/// paper's future-work extensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_REGEX_FLAGS_H
+#define RECAP_REGEX_FLAGS_H
+
+#include <string>
+
+namespace recap {
+
+struct RegexFlags {
+  bool Global = false;     ///< g: all matches / sticky-like for exec (§2.1)
+  bool IgnoreCase = false; ///< i: case-insensitive matching
+  bool Multiline = false;  ///< m: anchors also match at line breaks
+  bool Sticky = false;     ///< y: match exactly at lastIndex
+  bool Unicode = false;    ///< u: code-point mode, \u{...} escapes
+  bool DotAll = false;     ///< s (ES2018): `.` also matches line terminators
+
+  /// Parses a flag string like "gi"; returns false on duplicate/unknown
+  /// flags (ES6 SyntaxError).
+  bool parse(const std::string &S) {
+    for (char C : S) {
+      bool *Slot = nullptr;
+      switch (C) {
+      case 'g':
+        Slot = &Global;
+        break;
+      case 'i':
+        Slot = &IgnoreCase;
+        break;
+      case 'm':
+        Slot = &Multiline;
+        break;
+      case 'y':
+        Slot = &Sticky;
+        break;
+      case 'u':
+        Slot = &Unicode;
+        break;
+      case 's':
+        Slot = &DotAll;
+        break;
+      default:
+        return false;
+      }
+      if (*Slot)
+        return false;
+      *Slot = true;
+    }
+    return true;
+  }
+
+  std::string str() const {
+    std::string S;
+    if (Global)
+      S += 'g';
+    if (IgnoreCase)
+      S += 'i';
+    if (Multiline)
+      S += 'm';
+    if (DotAll)
+      S += 's';
+    if (Unicode)
+      S += 'u';
+    if (Sticky)
+      S += 'y';
+    return S;
+  }
+
+  bool operator==(const RegexFlags &O) const = default;
+};
+
+} // namespace recap
+
+#endif // RECAP_REGEX_FLAGS_H

@@ -1,0 +1,843 @@
+//===- regex/Parser.cpp - ES6 regex pattern parser ------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the ES6 Pattern grammar (ECMA-262 2015,
+/// §21.2.1), including the Annex B extensions active in non-unicode mode
+/// (legacy octal escapes, literal braces, class-escape ranges). The parser
+/// is two-pass: a pre-scan counts capture groups so that \N can be
+/// classified as backreference vs. octal escape, as the spec requires.
+///
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace recap;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const UString &Pattern, RegexFlags Flags)
+      : P(Pattern), Flags(Flags) {}
+
+  Result<NodePtr> run() {
+    if (!prescanGroups())
+      return Result<NodePtr>::error(fmtError());
+    NodePtr N = parseDisjunction();
+    if (!Err.empty())
+      return Result<NodePtr>::error(fmtError());
+    if (!atEnd()) {
+      fail("unmatched ')'");
+      return Result<NodePtr>::error(fmtError());
+    }
+    return N;
+  }
+
+  uint32_t numCaptures() const { return GroupCount; }
+  const std::map<std::string, uint32_t> &groupNames() const {
+    return GroupNames;
+  }
+
+private:
+  const UString &P;
+  RegexFlags Flags;
+  size_t Pos = 0;
+  uint32_t GroupCount = 0;
+  uint32_t NextCapture = 1;
+  std::map<std::string, uint32_t> GroupNames;
+  std::string Err;
+  size_t ErrPos = 0;
+
+  bool atEnd() const { return Pos >= P.size(); }
+  CodePoint peek(size_t Off = 0) const {
+    return Pos + Off < P.size() ? P[Pos + Off] : 0;
+  }
+  CodePoint next() { return P[Pos++]; }
+  bool consume(CodePoint C) {
+    if (atEnd() || P[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void fail(const std::string &Message) {
+    if (Err.empty()) {
+      Err = Message;
+      ErrPos = Pos;
+    }
+  }
+  std::string fmtError() const {
+    return "invalid regular expression at position " +
+           std::to_string(ErrPos) + ": " + Err;
+  }
+
+  /// True for the characters we accept in a group name: the ASCII subset
+  /// of RegExpIdentifierName (documented simplification, DESIGN.md).
+  static bool isNameStart(CodePoint C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == '$';
+  }
+  static bool isNamePart(CodePoint C) {
+    return isNameStart(C) || (C >= '0' && C <= '9');
+  }
+
+  /// Pre-scan counting '(' that open capture groups (skipping classes and
+  /// escapes), per ES6 NcapturingParens, extended with ES2018 named
+  /// groups: "(?<name>" both captures and registers a name (duplicates are
+  /// a SyntaxError), while "(?<=" / "(?<!" are lookbehind assertions.
+  /// Returns false (with Err set) on duplicate or malformed names.
+  bool prescanGroups() {
+    bool InClass = false;
+    for (size_t I = 0; I < P.size(); ++I) {
+      CodePoint C = P[I];
+      if (C == '\\') {
+        ++I;
+        continue;
+      }
+      if (InClass) {
+        if (C == ']')
+          InClass = false;
+        continue;
+      }
+      if (C == '[') {
+        InClass = true;
+        continue;
+      }
+      if (C != '(')
+        continue;
+      if (I + 1 >= P.size() || P[I + 1] != '?') {
+        ++GroupCount;
+        continue;
+      }
+      // "(?<" that is not a lookbehind opens a named capture group.
+      if (I + 2 < P.size() && P[I + 2] == '<' &&
+          (I + 3 >= P.size() || (P[I + 3] != '=' && P[I + 3] != '!'))) {
+        size_t J = I + 3;
+        std::string Name;
+        if (J < P.size() && isNameStart(P[J])) {
+          while (J < P.size() && isNamePart(P[J]))
+            Name += static_cast<char>(P[J++]);
+        }
+        if (Name.empty() || J >= P.size() || P[J] != '>') {
+          ErrPos = I + 3;
+          Err = "invalid capture group name";
+          return false;
+        }
+        ++GroupCount;
+        if (!GroupNames.emplace(Name, GroupCount).second) {
+          ErrPos = I + 3;
+          Err = "duplicate capture group name '" + Name + "'";
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  static NodePtr makeChar(CodePoint C) {
+    return std::make_unique<CharClassNode>(CharSet::single(C),
+                                           /*Negated=*/false);
+  }
+
+  NodePtr spanned(NodePtr N, size_t Begin) {
+    if (N)
+      N->setSpan(static_cast<uint32_t>(Begin), static_cast<uint32_t>(Pos));
+    return N;
+  }
+
+  NodePtr parseDisjunction() {
+    size_t Begin = Pos;
+    std::vector<NodePtr> Alts;
+    Alts.push_back(parseAlternative());
+    while (!Err.empty() ? false : consume('|'))
+      Alts.push_back(parseAlternative());
+    if (!Err.empty())
+      return nullptr;
+    if (Alts.size() == 1)
+      return std::move(Alts[0]);
+    return spanned(std::make_unique<AlternationNode>(std::move(Alts)), Begin);
+  }
+
+  NodePtr parseAlternative() {
+    size_t Begin = Pos;
+    std::vector<NodePtr> Parts;
+    while (!atEnd() && peek() != '|' && peek() != ')') {
+      NodePtr T = parseTerm();
+      if (!Err.empty())
+        return nullptr;
+      assert(T && "term parse must produce a node or set an error");
+      Parts.push_back(std::move(T));
+    }
+    if (Parts.size() == 1)
+      return std::move(Parts[0]);
+    return spanned(std::make_unique<ConcatNode>(std::move(Parts)), Begin);
+  }
+
+  NodePtr parseTerm() {
+    size_t Begin = Pos;
+    CodePoint C = peek();
+
+    // Assertions that can never be quantified.
+    if (C == '^' || C == '$') {
+      ++Pos;
+      NodePtr A = spanned(std::make_unique<AnchorNode>(
+                              C == '^' ? AnchorKind::Caret
+                                       : AnchorKind::Dollar),
+                          Begin);
+      return rejectQuantifier(std::move(A));
+    }
+    if (C == '\\' && (peek(1) == 'b' || peek(1) == 'B')) {
+      Pos += 2;
+      NodePtr B = spanned(
+          std::make_unique<WordBoundaryNode>(P[Pos - 1] == 'B'), Begin);
+      return rejectQuantifier(std::move(B));
+    }
+
+    // Lookaheads: quantifiable in Annex B (non-unicode) mode only.
+    if (C == '(' && peek(1) == '?' && (peek(2) == '=' || peek(2) == '!')) {
+      bool Negated = peek(2) == '!';
+      Pos += 3;
+      NodePtr Body = parseDisjunction();
+      if (!Err.empty())
+        return nullptr;
+      if (!consume(')')) {
+        fail("unterminated lookahead group");
+        return nullptr;
+      }
+      NodePtr L = spanned(
+          std::make_unique<LookaheadNode>(std::move(Body), Negated), Begin);
+      if (isQuantifierStart()) {
+        if (Flags.Unicode) {
+          fail("quantified assertion in unicode mode");
+          return nullptr;
+        }
+        return parseQuantifier(std::move(L), Begin);
+      }
+      return L;
+    }
+
+    // Lookbehinds (ES2018 extension): never quantifiable.
+    if (C == '(' && peek(1) == '?' && peek(2) == '<' &&
+        (peek(3) == '=' || peek(3) == '!')) {
+      bool Negated = peek(3) == '!';
+      Pos += 4;
+      NodePtr Body = parseDisjunction();
+      if (!Err.empty())
+        return nullptr;
+      if (!consume(')')) {
+        fail("unterminated lookbehind group");
+        return nullptr;
+      }
+      NodePtr L = spanned(std::make_unique<LookaheadNode>(std::move(Body),
+                                                          Negated,
+                                                          /*Behind=*/true),
+                          Begin);
+      return rejectQuantifier(std::move(L));
+    }
+
+    NodePtr Atom = parseAtom();
+    if (!Err.empty())
+      return nullptr;
+    if (isQuantifierStart())
+      return parseQuantifier(std::move(Atom), Begin);
+    return Atom;
+  }
+
+  NodePtr rejectQuantifier(NodePtr N) {
+    if (isQuantifierStart()) {
+      fail("nothing to repeat");
+      return nullptr;
+    }
+    return N;
+  }
+
+  bool isQuantifierStart() {
+    CodePoint C = peek();
+    if (C == '*' || C == '+' || C == '?')
+      return true;
+    if (C != '{')
+      return false;
+    // '{' only starts a quantifier if it parses as one; otherwise it is a
+    // literal in Annex B mode and an error in unicode mode.
+    size_t Save = Pos;
+    uint32_t Min, Max;
+    bool Ok = scanBracedQuantifier(Min, Max);
+    Pos = Save;
+    return Ok;
+  }
+
+  /// Parses {m} / {m,} / {m,n} starting at '{'; leaves Pos after '}' on
+  /// success.
+  bool scanBracedQuantifier(uint32_t &Min, uint32_t &Max) {
+    assert(peek() == '{');
+    size_t Save = Pos;
+    ++Pos;
+    if (!isDigit(peek())) {
+      Pos = Save;
+      return false;
+    }
+    uint64_t M = 0;
+    while (isDigit(peek()))
+      M = std::min<uint64_t>(M * 10 + (next() - '0'), 1 << 30);
+    Min = static_cast<uint32_t>(M);
+    Max = Min;
+    if (consume(',')) {
+      if (peek() == '}') {
+        Max = QuantifierNode::Unbounded;
+      } else if (isDigit(peek())) {
+        uint64_t N = 0;
+        while (isDigit(peek()))
+          N = std::min<uint64_t>(N * 10 + (next() - '0'), 1 << 30);
+        Max = static_cast<uint32_t>(N);
+      } else {
+        Pos = Save;
+        return false;
+      }
+    }
+    if (!consume('}')) {
+      Pos = Save;
+      return false;
+    }
+    return true;
+  }
+
+  NodePtr parseQuantifier(NodePtr Atom, size_t Begin) {
+    uint32_t Min = 0, Max = QuantifierNode::Unbounded;
+    CodePoint C = next();
+    switch (C) {
+    case '*':
+      break;
+    case '+':
+      Min = 1;
+      break;
+    case '?':
+      Max = 1;
+      break;
+    case '{': {
+      --Pos;
+      if (!scanBracedQuantifier(Min, Max)) {
+        fail("malformed repetition quantifier");
+        return nullptr;
+      }
+      if (Min > Max) {
+        fail("numbers out of order in {} quantifier");
+        return nullptr;
+      }
+      break;
+    }
+    default:
+      assert(false && "not a quantifier start");
+    }
+    bool Greedy = !consume('?');
+    return spanned(std::make_unique<QuantifierNode>(std::move(Atom), Min, Max,
+                                                    Greedy),
+                   Begin);
+  }
+
+  NodePtr parseAtom() {
+    size_t Begin = Pos;
+    CodePoint C = peek();
+    switch (C) {
+    case '.':
+      ++Pos;
+      return spanned(std::make_unique<CharClassNode>(
+                         Flags.DotAll ? CharSet::all() : CharSet::dot(),
+                         /*Negated=*/false),
+                     Begin);
+    case '[':
+      return parseCharacterClass();
+    case '(': {
+      ++Pos;
+      uint32_t CaptureIndex = 0;
+      std::string Name;
+      if (consume('?')) {
+        if (consume('<')) {
+          // (?<name>...) — lookbehind was already handled in parseTerm,
+          // so '<' here must open a group name (validated by the
+          // pre-scan; re-parse it to advance).
+          while (!atEnd() && peek() != '>')
+            Name += static_cast<char>(next());
+          if (!consume('>') || Name.empty()) {
+            fail("invalid capture group name");
+            return nullptr;
+          }
+          CaptureIndex = NextCapture++;
+        } else if (!consume(':')) {
+          fail("invalid group");
+          return nullptr;
+        }
+      } else {
+        CaptureIndex = NextCapture++;
+      }
+      NodePtr Body = parseDisjunction();
+      if (!Err.empty())
+        return nullptr;
+      if (!consume(')')) {
+        fail("unterminated group");
+        return nullptr;
+      }
+      return spanned(std::make_unique<GroupNode>(std::move(Body),
+                                                 CaptureIndex,
+                                                 std::move(Name)),
+                     Begin);
+    }
+    case '\\':
+      ++Pos;
+      return parseAtomEscape(Begin);
+    case '*':
+    case '+':
+    case '?':
+      fail("nothing to repeat");
+      return nullptr;
+    case ')':
+    case '|':
+      fail("unexpected token");
+      return nullptr;
+    case '{':
+    case '}':
+    case ']':
+      // Annex B: literal braces/brackets allowed outside unicode mode.
+      if (Flags.Unicode) {
+        fail("lone quantifier bracket in unicode mode");
+        return nullptr;
+      }
+      ++Pos;
+      return spanned(makeChar(C), Begin);
+    default:
+      ++Pos;
+      // Unicode-mode surrogate pair in the raw pattern text.
+      if (Flags.Unicode && C >= 0xD800 && C <= 0xDBFF && peek() >= 0xDC00 &&
+          peek() <= 0xDFFF) {
+        CodePoint Low = next();
+        C = 0x10000 + ((C - 0xD800) << 10) + (Low - 0xDC00);
+      }
+      return spanned(makeChar(C), Begin);
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Escapes
+  //===--------------------------------------------------------------------===
+
+  /// Parses the escape after '\\' in atom position.
+  NodePtr parseAtomEscape(size_t Begin) {
+    if (atEnd()) {
+      fail("pattern may not end with a trailing backslash");
+      return nullptr;
+    }
+    CodePoint C = peek();
+
+    // Decimal escape: backreference or (Annex B) octal.
+    if (C >= '1' && C <= '9') {
+      size_t Save = Pos;
+      uint64_t N = 0;
+      while (isDigit(peek()) && N < (1 << 20))
+        N = N * 10 + (next() - '0');
+      if (N <= GroupCount)
+        return spanned(std::make_unique<BackreferenceNode>(
+                           static_cast<uint32_t>(N)),
+                       Begin);
+      if (Flags.Unicode) {
+        fail("invalid backreference");
+        return nullptr;
+      }
+      Pos = Save;
+      return spanned(makeChar(parseLegacyOctalOrLiteral()), Begin);
+    }
+    if (C == '0') {
+      ++Pos;
+      if (!isDigit(peek()))
+        return spanned(makeChar(0), Begin);
+      if (Flags.Unicode) {
+        fail("invalid decimal escape");
+        return nullptr;
+      }
+      --Pos;
+      return spanned(makeChar(parseLegacyOctalOrLiteral()), Begin);
+    }
+
+    // Named backreference \k<name> (ES2018). When the pattern contains
+    // named groups (or in unicode mode) \k must resolve to one; otherwise
+    // Annex B treats \k as an identity escape.
+    if (C == 'k' && (!GroupNames.empty() || Flags.Unicode)) {
+      ++Pos;
+      if (!consume('<')) {
+        fail("invalid named backreference");
+        return nullptr;
+      }
+      std::string Name;
+      while (!atEnd() && peek() != '>')
+        Name += static_cast<char>(next());
+      if (!consume('>') || Name.empty()) {
+        fail("invalid named backreference");
+        return nullptr;
+      }
+      auto It = GroupNames.find(Name);
+      if (It == GroupNames.end()) {
+        fail("backreference to undefined group name '" + Name + "'");
+        return nullptr;
+      }
+      return spanned(
+          std::make_unique<BackreferenceNode>(It->second, std::move(Name)),
+          Begin);
+    }
+
+    // Character class escapes.
+    if (CharSet S; classEscape(C, S)) {
+      ++Pos;
+      return spanned(std::make_unique<CharClassNode>(std::move(S),
+                                                     /*Negated=*/false),
+                     Begin);
+    }
+
+    std::optional<CodePoint> Ch = parseCharacterEscape();
+    if (!Ch)
+      return nullptr;
+    return spanned(makeChar(*Ch), Begin);
+  }
+
+  /// \d \D \s \S \w \W. Returns the (possibly complemented) set directly;
+  /// these sets never participate in case folding.
+  bool classEscape(CodePoint C, CharSet &Out) {
+    switch (C) {
+    case 'd':
+      Out = CharSet::digits();
+      return true;
+    case 'D':
+      Out = CharSet::digits().complement();
+      return true;
+    case 's':
+      Out = CharSet::whitespace();
+      return true;
+    case 'S':
+      Out = CharSet::whitespace().complement();
+      return true;
+    case 'w':
+      Out = CharSet::wordChars();
+      return true;
+    case 'W':
+      Out = CharSet::wordChars().complement();
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Annex B legacy octal (\0-\377) or literal digit.
+  CodePoint parseLegacyOctalOrLiteral() {
+    CodePoint C = peek();
+    if (C > '7') { // \8 or \9: identity escape
+      ++Pos;
+      return C;
+    }
+    uint32_t V = 0;
+    int Digits = 0;
+    while (Digits < 3 && peek() >= '0' && peek() <= '7') {
+      uint32_t NewV = V * 8 + (peek() - '0');
+      if (NewV > 0377)
+        break;
+      V = NewV;
+      ++Pos;
+      ++Digits;
+    }
+    return V;
+  }
+
+  /// ControlEscape, \c, \x, \u, identity escapes. Nullopt on error.
+  std::optional<CodePoint> parseCharacterEscape() {
+    CodePoint C = next();
+    switch (C) {
+    case 'f':
+      return '\f';
+    case 'n':
+      return '\n';
+    case 'r':
+      return '\r';
+    case 't':
+      return '\t';
+    case 'v':
+      return '\v';
+    case 'c': {
+      CodePoint L = peek();
+      if ((L >= 'a' && L <= 'z') || (L >= 'A' && L <= 'Z')) {
+        ++Pos;
+        return L % 32;
+      }
+      if (Flags.Unicode) {
+        fail("invalid \\c escape");
+        return std::nullopt;
+      }
+      // Annex B: \c followed by a non-letter matches a literal backslash,
+      // and the 'c' is reparsed as an ordinary character.
+      --Pos;
+      return '\\';
+    }
+    case 'x': {
+      std::optional<uint32_t> V = hexDigits(2);
+      if (!V) {
+        if (Flags.Unicode) {
+          fail("invalid \\x escape");
+          return std::nullopt;
+        }
+        return 'x'; // Annex B identity
+      }
+      return *V;
+    }
+    case 'u':
+      return parseUnicodeEscape();
+    default:
+      // Identity escape. Unicode mode only allows SyntaxCharacter and '/';
+      // Annex B allows nearly everything.
+      if (Flags.Unicode) {
+        static const char *Syntax = "^$\\.*+?()[]{}|/";
+        if (C < 0x80 && strchr(Syntax, static_cast<char>(C)))
+          return C;
+        fail("invalid identity escape in unicode mode");
+        return std::nullopt;
+      }
+      return C;
+    }
+  }
+
+  std::optional<uint32_t> hexDigits(int N) {
+    uint32_t V = 0;
+    size_t Save = Pos;
+    for (int I = 0; I < N; ++I) {
+      CodePoint C = peek();
+      int D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else {
+        Pos = Save;
+        return std::nullopt;
+      }
+      V = V * 16 + D;
+      ++Pos;
+    }
+    return V;
+  }
+
+  std::optional<CodePoint> parseUnicodeEscape() {
+    if (Flags.Unicode && consume('{')) {
+      uint32_t V = 0;
+      bool Any = false;
+      while (!atEnd() && peek() != '}') {
+        std::optional<uint32_t> D = hexDigits(1);
+        if (!D) {
+          fail("invalid \\u{} escape");
+          return std::nullopt;
+        }
+        V = V * 16 + *D;
+        Any = true;
+        if (V > MaxCodePoint) {
+          fail("code point out of range in \\u{} escape");
+          return std::nullopt;
+        }
+      }
+      if (!Any || !consume('}')) {
+        fail("invalid \\u{} escape");
+        return std::nullopt;
+      }
+      return V;
+    }
+    std::optional<uint32_t> V = hexDigits(4);
+    if (!V) {
+      if (Flags.Unicode) {
+        fail("invalid \\u escape");
+        return std::nullopt;
+      }
+      return 'u'; // Annex B identity
+    }
+    // Combine surrogate pairs in unicode mode.
+    if (Flags.Unicode && *V >= 0xD800 && *V <= 0xDBFF && peek() == '\\' &&
+        peek(1) == 'u') {
+      size_t Save = Pos;
+      Pos += 2;
+      std::optional<uint32_t> Low = hexDigits(4);
+      if (Low && *Low >= 0xDC00 && *Low <= 0xDFFF)
+        return 0x10000 + ((*V - 0xD800) << 10) + (*Low - 0xDC00);
+      Pos = Save;
+    }
+    return *V;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Character classes
+  //===--------------------------------------------------------------------===
+
+  NodePtr parseCharacterClass() {
+    size_t Begin = Pos;
+    assert(peek() == '[');
+    ++Pos;
+    bool Negated = consume('^');
+    CharSet Set;
+    bool HasRange = false;
+
+    while (!atEnd() && peek() != ']') {
+      // Parse one class atom; multi-char escapes (\d etc.) come back as a
+      // set with no single code point.
+      std::optional<CodePoint> A;
+      CharSet ASet;
+      if (!parseClassAtom(A, ASet))
+        return nullptr;
+
+      if (peek() == '-' && peek(1) != 0 && peek(1) != ']') {
+        ++Pos; // consume '-'
+        std::optional<CodePoint> B;
+        CharSet BSet;
+        if (!parseClassAtom(B, BSet))
+          return nullptr;
+        if (A && B) {
+          if (*A > *B) {
+            fail("range out of order in character class");
+            return nullptr;
+          }
+          Set.addRange(*A, *B);
+          HasRange = true;
+          continue;
+        }
+        // Annex B: a range with a class escape endpoint treats '-' as a
+        // literal; a SyntaxError in unicode mode.
+        if (Flags.Unicode) {
+          fail("invalid character class range");
+          return nullptr;
+        }
+        Set.addSet(A ? CharSet::single(*A) : ASet);
+        Set.addChar('-');
+        Set.addSet(B ? CharSet::single(*B) : BSet);
+        continue;
+      }
+      Set.addSet(A ? CharSet::single(*A) : ASet);
+    }
+    if (!consume(']')) {
+      fail("unterminated character class");
+      return nullptr;
+    }
+    return spanned(std::make_unique<CharClassNode>(std::move(Set), Negated,
+                                                   /*FromExplicitClass=*/true,
+                                                   HasRange),
+                   Begin);
+  }
+
+  /// One ClassAtom. On success either Single has a code point or MultiSet
+  /// holds a class-escape set. Returns false on error.
+  bool parseClassAtom(std::optional<CodePoint> &Single, CharSet &MultiSet) {
+    Single.reset();
+    CodePoint C = next();
+    if (C != '\\') {
+      // Surrogate pair inside class in unicode mode.
+      if (Flags.Unicode && C >= 0xD800 && C <= 0xDBFF && peek() >= 0xDC00 &&
+          peek() <= 0xDFFF) {
+        CodePoint Low = next();
+        C = 0x10000 + ((C - 0xD800) << 10) + (Low - 0xDC00);
+      }
+      Single = C;
+      return true;
+    }
+    if (atEnd()) {
+      fail("pattern may not end with a trailing backslash");
+      return false;
+    }
+    CodePoint E = peek();
+    if (CharSet S; classEscape(E, S)) {
+      ++Pos;
+      MultiSet = std::move(S);
+      return true;
+    }
+    if (E == 'b') { // \b inside a class is backspace
+      ++Pos;
+      Single = 0x08;
+      return true;
+    }
+    if (E == '-') { // \- allowed in classes
+      ++Pos;
+      Single = '-';
+      return true;
+    }
+    if (E >= '0' && E <= '9') {
+      if (Flags.Unicode && E != '0') {
+        fail("invalid class escape");
+        return false;
+      }
+      Single = parseLegacyOctalOrLiteral();
+      return true;
+    }
+    std::optional<CodePoint> Ch = parseCharacterEscape();
+    if (!Ch)
+      return false;
+    Single = *Ch;
+    return true;
+  }
+};
+
+} // namespace
+
+Result<Regex> Regex::parse(const UString &Pattern, RegexFlags Flags) {
+  Parser Pr(Pattern, Flags);
+  Result<NodePtr> Root = Pr.run();
+  if (!Root)
+    return Result<Regex>::error(Root.error());
+  return Regex(Pattern, Flags, Root.take(), Pr.numCaptures(),
+               Pr.groupNames());
+}
+
+Result<Regex> Regex::parse(const std::string &Pattern,
+                           const std::string &FlagStr) {
+  RegexFlags Flags;
+  if (!Flags.parse(FlagStr))
+    return Result<Regex>::error("invalid regular expression flags '" +
+                                FlagStr + "'");
+  return parse(fromUTF8(Pattern), Flags);
+}
+
+Result<Regex> Regex::parseLiteral(const std::string &Literal) {
+  if (Literal.size() < 2 || Literal.front() != '/')
+    return Result<Regex>::error("regex literal must start with '/'");
+  // Find the closing unescaped '/' outside a character class.
+  bool InClass = false;
+  size_t End = std::string::npos;
+  for (size_t I = 1; I < Literal.size(); ++I) {
+    char C = Literal[I];
+    if (C == '\\') {
+      ++I;
+      continue;
+    }
+    if (InClass) {
+      if (C == ']')
+        InClass = false;
+      continue;
+    }
+    if (C == '[')
+      InClass = true;
+    else if (C == '/') {
+      End = I;
+      break;
+    }
+  }
+  if (End == std::string::npos)
+    return Result<Regex>::error("unterminated regex literal");
+  return parse(Literal.substr(1, End - 1), Literal.substr(End + 1));
+}
+
+std::string Regex::str() const {
+  std::string S = toUTF8(Pattern);
+  if (S.empty())
+    S = "(?:)";
+  return "/" + S + "/" + Flags.str();
+}
+
+Regex Regex::clone() const {
+  return Regex(Pattern, Flags, Root->clone(), NumCaptures, GroupNames);
+}

@@ -1,0 +1,81 @@
+//===- regex/Regex.h - Parsed ES6 regex -------------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regex bundles a parsed pattern with its flags and capture-group count;
+/// Regex::parse is the library entry point for turning /pattern/flags
+/// source into an AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_REGEX_REGEX_H
+#define RECAP_REGEX_REGEX_H
+
+#include "regex/AST.h"
+#include "regex/Flags.h"
+#include "support/Result.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace recap {
+
+class Regex {
+public:
+  /// Parses \p Pattern (code points, without the surrounding slashes) under
+  /// \p Flags. Returns a descriptive error for ES6 SyntaxError inputs.
+  static Result<Regex> parse(const UString &Pattern, RegexFlags Flags = {});
+
+  /// Convenience overload: UTF-8 pattern plus flag string, e.g.
+  /// parse("goo+d", "iy").
+  static Result<Regex> parse(const std::string &Pattern,
+                             const std::string &Flags = "");
+
+  /// Parses a full literal like "/goo+d/i".
+  static Result<Regex> parseLiteral(const std::string &Literal);
+
+  const UString &pattern() const { return Pattern; }
+  const RegexFlags &flags() const { return Flags; }
+  const RegexNode &root() const { return *Root; }
+  /// Number of capturing groups (the implicit whole-match group 0 is not
+  /// counted, matching the ES6 specification).
+  uint32_t numCaptures() const { return NumCaptures; }
+
+  /// Named capture groups (ES2018 extension): UTF-8 name to 1-based
+  /// capture index. Empty for patterns without (?<name>...) groups.
+  const std::map<std::string, uint32_t> &groupNames() const {
+    return GroupNames;
+  }
+  /// Capture index for \p Name, or 0 when no such group exists.
+  uint32_t groupIndex(const std::string &Name) const {
+    auto It = GroupNames.find(Name);
+    return It == GroupNames.end() ? 0 : It->second;
+  }
+
+  /// Canonical source rendering "/pattern/flags".
+  std::string str() const;
+
+  Regex(Regex &&) = default;
+  Regex &operator=(Regex &&) = default;
+  Regex clone() const;
+
+private:
+  Regex(UString Pattern, RegexFlags Flags, NodePtr Root, uint32_t NumCaptures,
+        std::map<std::string, uint32_t> GroupNames)
+      : Pattern(std::move(Pattern)), Flags(Flags), Root(std::move(Root)),
+        NumCaptures(NumCaptures), GroupNames(std::move(GroupNames)) {}
+
+  UString Pattern;
+  RegexFlags Flags;
+  NodePtr Root;
+  uint32_t NumCaptures;
+  std::map<std::string, uint32_t> GroupNames;
+};
+
+} // namespace recap
+
+#endif // RECAP_REGEX_REGEX_H

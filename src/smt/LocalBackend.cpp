@@ -1,0 +1,433 @@
+//===- smt/LocalBackend.cpp - Automata-guided bounded string solver --------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained bounded solver for the recap constraint IR. It exists
+/// so the repository works with zero external solver dependencies and as an
+/// ablation baseline against Z3 (bench/ablation_solver_backend).
+///
+/// Strategy (DESIGN.md §3):
+///  1. Explore the boolean structure as a backtracking search over
+///     disjunction choices (lazy DNF), collecting a conjunction of literals
+///     per branch.
+///  2. Within a branch, classify string variables as *derived* (defined by
+///     a positive equality var = rhs) or *free*.
+///  3. Free variables draw candidate words, shortest first, from the
+///     product automaton of all their regular membership literals
+///     (positive ones intersected, negative ones complemented).
+///  4. Assign free variables depth-first, compute derived ones, and check
+///     every literal with TermEvaluator.
+///
+/// The search is sound for Sat (models are checked before being returned);
+/// Unsat is reported only when every branch is refuted by an emptiness
+/// proof, otherwise the result is Unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <functional>
+
+using namespace recap;
+
+namespace {
+
+struct Literal {
+  TermRef Atom;
+  bool Positive;
+};
+
+class BranchSolver {
+public:
+  BranchSolver(const SolverLimits &Limits, TermEvaluator &Eval,
+               uint64_t &Nodes)
+      : Limits(Limits), Eval(Eval), Nodes(Nodes) {}
+
+  /// Attempts to satisfy the literal conjunction. Returns Sat and fills
+  /// Model, or Unsat (with Exhaustive=true if this is a real emptiness
+  /// proof), or Unknown.
+  SolveStatus run(const std::vector<Literal> &Literals, Assignment &Model,
+                  bool &Exhaustive) {
+    Exhaustive = false;
+    Lits = &Literals;
+
+    // Boolean variables directly constrained by literals.
+    for (const Literal &L : Literals) {
+      if (L.Atom->Kind == TermKind::BoolVar) {
+        auto [It, New] = Model.Bools.emplace(L.Atom->Name, L.Positive);
+        if (!New && It->second != L.Positive) {
+          Exhaustive = true;
+          return SolveStatus::Unsat;
+        }
+      }
+    }
+
+    VarSet Vars = collectAllVars();
+    for (const std::string &B : Vars.Bools)
+      Model.Bools.emplace(B, false);
+
+    // Derived variables: var = rhs with var not in rhs.
+    std::map<std::string, TermRef> Defs;
+    for (const Literal &L : Literals) {
+      if (!L.Positive || L.Atom->Kind != TermKind::Eq)
+        continue;
+      const TermRef &A = L.Atom->Kids[0], &B = L.Atom->Kids[1];
+      if (A->Sort != SortKind::String)
+        continue;
+      tryAddDef(Defs, A, B);
+      tryAddDef(Defs, B, A);
+    }
+    // Iteratively peel derived variables whose definitions only mention
+    // other derived/known variables later; order resolved at evaluation
+    // time by fixpoint instead.
+    std::vector<std::string> Free;
+    for (const std::string &S : Vars.Strings)
+      if (!Defs.count(S))
+        Free.push_back(S);
+
+    // Candidate generators for free variables.
+    std::vector<std::vector<UString>> Candidates;
+    for (const std::string &V : Free) {
+      std::vector<CRegexRef> Pos, Neg;
+      for (const Literal &L : Literals) {
+        if (L.Atom->Kind != TermKind::InRe)
+          continue;
+        const TermRef &Arg = L.Atom->Kids[0];
+        if (Arg->Kind != TermKind::StrVar || Arg->Name != V)
+          continue;
+        (L.Positive ? Pos : Neg).push_back(L.Atom->Re);
+      }
+      std::vector<CRegexRef> All = Pos;
+      for (const CRegexRef &N : Neg)
+        All.push_back(cComplement(N));
+      CRegexRef Lang = All.empty() ? CRegexRef() : cIntersect(All);
+
+      // Constants compared against V are always candidate seeds: word
+      // enumeration explores one representative per character class, so
+      // equality-relevant words could otherwise be missed.
+      std::vector<UString> Seeds;
+      for (const Literal &L : Literals) {
+        if (L.Atom->Kind != TermKind::Eq)
+          continue;
+        for (int Side = 0; Side < 2; ++Side) {
+          const TermRef &A = L.Atom->Kids[Side];
+          const TermRef &B = L.Atom->Kids[1 - Side];
+          if (A->Kind == TermKind::StrVar && A->Name == V &&
+              B->Kind == TermKind::StrConst)
+            Seeds.push_back(B->StrVal);
+        }
+      }
+
+      std::vector<UString> Words;
+      if (Lang) {
+        Result<Automaton> A = Automaton::compile(Lang);
+        if (A) {
+          if (A->isEmptyLanguage()) {
+            Exhaustive = true;
+            return SolveStatus::Unsat;
+          }
+          Words = A->enumerateWords(Limits.MaxCandidates,
+                                    Limits.MaxWordLength);
+          for (const UString &S : Seeds)
+            if (A->accepts(S) &&
+                std::find(Words.begin(), Words.end(), S) == Words.end())
+              Words.insert(Words.begin(), S);
+        } else {
+          Words = fallbackCandidates();
+          Words.insert(Words.begin(), Seeds.begin(), Seeds.end());
+        }
+      } else {
+        // No membership constraint: seeds plus a small default pool.
+        Words = fallbackCandidates();
+        Words.insert(Words.begin(), Seeds.begin(), Seeds.end());
+      }
+      Candidates.push_back(std::move(Words));
+    }
+
+    // Free integer variables get a small candidate range.
+    std::vector<std::string> FreeInts = Vars.Ints;
+
+    return assignFrom(0, Free, Candidates, FreeInts, Defs, Model);
+  }
+
+private:
+  const SolverLimits &Limits;
+  TermEvaluator &Eval;
+  uint64_t &Nodes;
+  const std::vector<Literal> *Lits = nullptr;
+
+  static std::vector<UString> fallbackCandidates() {
+    using namespace std::string_literals;
+    return {UString(), fromUTF8("a"), fromUTF8("0"), fromUTF8("b"),
+            fromUTF8("aa"), fromUTF8("ab"), fromUTF8("a0")};
+  }
+
+  static bool mentionsVar(const TermRef &T, const std::string &Name) {
+    if (T->Kind == TermKind::StrVar && T->Name == Name)
+      return true;
+    for (const TermRef &K : T->Kids)
+      if (mentionsVar(K, Name))
+        return true;
+    return false;
+  }
+
+  static void tryAddDef(std::map<std::string, TermRef> &Defs,
+                        const TermRef &Lhs, const TermRef &Rhs) {
+    if (Lhs->Kind != TermKind::StrVar)
+      return;
+    if (Defs.count(Lhs->Name))
+      return;
+    if (mentionsVar(Rhs, Lhs->Name))
+      return;
+    Defs.emplace(Lhs->Name, Rhs);
+  }
+
+  VarSet collectAllVars() const {
+    std::vector<TermRef> Atoms;
+    Atoms.reserve(Lits->size());
+    for (const Literal &L : *Lits)
+      Atoms.push_back(L.Atom);
+    return collectVars(Atoms);
+  }
+
+  SolveStatus assignFrom(size_t Idx, const std::vector<std::string> &Free,
+                         const std::vector<std::vector<UString>> &Candidates,
+                         const std::vector<std::string> &FreeInts,
+                         const std::map<std::string, TermRef> &Defs,
+                         Assignment &Model) {
+    if (++Nodes > Limits.MaxNodes)
+      return SolveStatus::Unknown;
+    if (Idx < Free.size()) {
+      for (const UString &W : Candidates[Idx]) {
+        Model.Strings[Free[Idx]] = W;
+        SolveStatus S =
+            assignFrom(Idx + 1, Free, Candidates, FreeInts, Defs, Model);
+        if (S != SolveStatus::Unsat)
+          return S;
+      }
+      Model.Strings.erase(Free[Idx]);
+      return SolveStatus::Unsat; // bounded: caller downgrades to Unknown
+    }
+
+    // Compute derived string variables to fixpoint.
+    std::map<std::string, TermRef> Pending = Defs;
+    bool Progress = true;
+    while (Progress && !Pending.empty()) {
+      Progress = false;
+      for (auto It = Pending.begin(); It != Pending.end();) {
+        std::optional<UString> V = Eval.evalString(It->second, Model);
+        bool Ready = V.has_value();
+        if (Ready) {
+          // Only accept if all mentioned vars are known; evalString treats
+          // unknown vars as "", so verify mentions first.
+          Ready = allVarsKnown(It->second, Model);
+        }
+        if (Ready) {
+          Model.Strings[It->first] = *V;
+          It = Pending.erase(It);
+          Progress = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    // Any remaining (cyclic) definitions become filters; give the vars a
+    // default value.
+    for (auto &[Name, Rhs] : Pending)
+      Model.Strings.emplace(Name, UString());
+
+    return checkInts(FreeInts, 0, Model);
+  }
+
+  static bool allVarsKnown(const TermRef &T, const Assignment &M) {
+    if (T->Kind == TermKind::StrVar && !M.Strings.count(T->Name))
+      return false;
+    for (const TermRef &K : T->Kids)
+      if (!allVarsKnown(K, M))
+        return false;
+    return true;
+  }
+
+  SolveStatus checkInts(const std::vector<std::string> &FreeInts, size_t Idx,
+                        Assignment &Model) {
+    if (++Nodes > Limits.MaxNodes)
+      return SolveStatus::Unknown;
+    if (Idx < FreeInts.size()) {
+      if (Model.Ints.count(FreeInts[Idx]))
+        return checkInts(FreeInts, Idx + 1, Model);
+      for (int64_t V = -1;
+           V <= static_cast<int64_t>(Limits.MaxWordLength) + 2; ++V) {
+        Model.Ints[FreeInts[Idx]] = V;
+        SolveStatus S = checkInts(FreeInts, Idx + 1, Model);
+        if (S != SolveStatus::Unsat)
+          return S;
+      }
+      Model.Ints.erase(FreeInts[Idx]);
+      return SolveStatus::Unsat;
+    }
+    return checkAll(Model) ? SolveStatus::Sat : SolveStatus::Unsat;
+  }
+
+  bool checkAll(const Assignment &Model) {
+    for (const Literal &L : *Lits) {
+      std::optional<bool> V = Eval.evalBool(L.Atom, Model);
+      if (!V || *V != L.Positive)
+        return false;
+    }
+    return true;
+  }
+};
+
+class LocalBackend : public SolverBackend {
+public:
+  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &Model,
+                    const SolverLimits &Limits) override {
+    auto T0 = std::chrono::steady_clock::now();
+    Deadline = T0 + std::chrono::milliseconds(Limits.TimeoutMs);
+    Nodes = 0;
+    AllExhaustive = true;
+    SawSatBranch = false;
+
+    std::vector<std::pair<TermRef, bool>> Work;
+    for (auto It = Assertions.rbegin(); It != Assertions.rend(); ++It)
+      Work.push_back({*It, true});
+    std::vector<Literal> Branch;
+    Assignment Out;
+    TermEvaluator Eval;
+    SolveStatus S = explore(Work, Branch, Out, Limits, Eval);
+    if (S == SolveStatus::Sat)
+      Model = std::move(Out);
+    if (S == SolveStatus::Unsat && !AllExhaustive)
+      S = SolveStatus::Unknown;
+
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    record(S, Sec);
+    return S;
+  }
+
+  std::string name() const override { return "local"; }
+
+private:
+  std::chrono::steady_clock::time_point Deadline;
+  uint64_t Nodes = 0;
+  bool AllExhaustive = true;
+  bool SawSatBranch = false;
+
+  bool timedOut() {
+    if ((Nodes & 0xFF) == 0 &&
+        std::chrono::steady_clock::now() > Deadline) {
+      AllExhaustive = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Lazy-DNF exploration. \p Work is a stack of (term, polarity) still to
+  /// be decomposed; \p Branch collects atoms.
+  SolveStatus explore(std::vector<std::pair<TermRef, bool>> Work,
+                      std::vector<Literal> &Branch, Assignment &Model,
+                      const SolverLimits &Limits, TermEvaluator &Eval) {
+    if (++Nodes > Limits.MaxNodes || timedOut()) {
+      AllExhaustive = false;
+      return SolveStatus::Unknown;
+    }
+    if (Work.empty()) {
+      Assignment M;
+      bool Exhaustive = false;
+      BranchSolver BS(Limits, Eval, Nodes);
+      SolveStatus S = BS.run(Branch, M, Exhaustive);
+      if (S == SolveStatus::Sat) {
+        Model = std::move(M);
+        return SolveStatus::Sat;
+      }
+      if (S == SolveStatus::Unknown || !Exhaustive)
+        AllExhaustive = false;
+      return SolveStatus::Unsat;
+    }
+
+    auto [T, Pol] = Work.back();
+    Work.pop_back();
+
+    switch (T->Kind) {
+    case TermKind::BoolConst:
+      if (T->BoolVal == Pol)
+        return explore(std::move(Work), Branch, Model, Limits, Eval);
+      return SolveStatus::Unsat;
+    case TermKind::Not:
+      Work.push_back({T->Kids[0], !Pol});
+      return explore(std::move(Work), Branch, Model, Limits, Eval);
+    case TermKind::And:
+    case TermKind::Or: {
+      bool Conjunctive = (T->Kind == TermKind::And) == Pol;
+      if (Conjunctive) {
+        for (const TermRef &K : T->Kids)
+          Work.push_back({K, Pol});
+        return explore(std::move(Work), Branch, Model, Limits, Eval);
+      }
+      for (const TermRef &K : T->Kids) {
+        std::vector<std::pair<TermRef, bool>> W2 = Work;
+        W2.push_back({K, Pol});
+        SolveStatus S = explore(std::move(W2), Branch, Model, Limits, Eval);
+        if (S != SolveStatus::Unsat)
+          return S;
+      }
+      return SolveStatus::Unsat;
+    }
+    case TermKind::Implies: {
+      if (Pol) {
+        for (int Case = 0; Case < 2; ++Case) {
+          std::vector<std::pair<TermRef, bool>> W2 = Work;
+          if (Case == 0)
+            W2.push_back({T->Kids[0], false});
+          else
+            W2.push_back({T->Kids[1], true});
+          SolveStatus S =
+              explore(std::move(W2), Branch, Model, Limits, Eval);
+          if (S != SolveStatus::Unsat)
+            return S;
+        }
+        return SolveStatus::Unsat;
+      }
+      Work.push_back({T->Kids[0], true});
+      Work.push_back({T->Kids[1], false});
+      return explore(std::move(Work), Branch, Model, Limits, Eval);
+    }
+    case TermKind::Eq:
+      if (T->Kids[0]->Sort == SortKind::Bool) {
+        // Boolean iff: branch on both sides.
+        for (int Case = 0; Case < 2; ++Case) {
+          bool Val = Case == 0;
+          std::vector<std::pair<TermRef, bool>> W2 = Work;
+          W2.push_back({T->Kids[0], Val});
+          W2.push_back({T->Kids[1], Val == Pol});
+          SolveStatus S =
+              explore(std::move(W2), Branch, Model, Limits, Eval);
+          if (S != SolveStatus::Unsat)
+            return S;
+        }
+        return SolveStatus::Unsat;
+      }
+      [[fallthrough]];
+    default: {
+      Branch.push_back({T, Pol});
+      SolveStatus S = explore(std::move(Work), Branch, Model, Limits, Eval);
+      Branch.pop_back();
+      return S;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SolverBackend> recap::makeLocalBackend() {
+  return std::make_unique<LocalBackend>();
+}

@@ -1,0 +1,87 @@
+//===- smt/Solver.h - Solver backend interface ------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SolverBackend abstracts "the external SMT solver with classical regular
+/// expression and string support" of Algorithm 1. Z3Backend wraps the
+/// system Z3 through its native C++ API; LocalBackend is a self-contained
+/// automata-guided bounded search (see DESIGN.md) used as a dependency-free
+/// substrate and ablation baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SMT_SOLVER_H
+#define RECAP_SMT_SOLVER_H
+
+#include "smt/Term.h"
+
+#include <chrono>
+#include <memory>
+
+namespace recap {
+
+enum class SolveStatus : uint8_t { Sat, Unsat, Unknown };
+
+struct SolverLimits {
+  /// Per-query wall clock budget.
+  uint32_t TimeoutMs = 10000;
+  /// LocalBackend: maximum candidate word length per variable.
+  size_t MaxWordLength = 16;
+  /// LocalBackend: maximum candidate words per variable per length bound.
+  size_t MaxCandidates = 64;
+  /// LocalBackend: total search node budget.
+  uint64_t MaxNodes = 200000;
+};
+
+struct SolverStats {
+  uint64_t Queries = 0;
+  uint64_t Sat = 0;
+  uint64_t Unsat = 0;
+  uint64_t Unknown = 0;
+  double TotalSeconds = 0;
+  double MaxSeconds = 0;
+};
+
+class SolverBackend {
+public:
+  virtual ~SolverBackend() = default;
+
+  /// Solves the conjunction of \p Assertions. On Sat, fills \p Model with
+  /// values for every variable occurring in the assertions.
+  virtual SolveStatus solve(const std::vector<TermRef> &Assertions,
+                            Assignment &Model, const SolverLimits &Limits) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Cumulative statistics (updated by solve implementations).
+  const SolverStats &stats() const { return Stats; }
+  void resetStats() { Stats = SolverStats(); }
+
+protected:
+  void record(SolveStatus S, double Seconds) {
+    ++Stats.Queries;
+    if (S == SolveStatus::Sat)
+      ++Stats.Sat;
+    else if (S == SolveStatus::Unsat)
+      ++Stats.Unsat;
+    else
+      ++Stats.Unknown;
+    Stats.TotalSeconds += Seconds;
+    Stats.MaxSeconds = std::max(Stats.MaxSeconds, Seconds);
+  }
+
+  SolverStats Stats;
+};
+
+/// Creates the Z3-based backend (the paper's configuration).
+std::unique_ptr<SolverBackend> makeZ3Backend();
+
+/// Creates the self-contained bounded backend.
+std::unique_ptr<SolverBackend> makeLocalBackend();
+
+} // namespace recap
+
+#endif // RECAP_SMT_SOLVER_H

@@ -1,0 +1,435 @@
+//===- smt/Term.cpp - String/regex constraint IR --------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Term.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace recap;
+
+TermRef recap::mkBoolConst(bool B) {
+  auto T = std::make_shared<Term>(TermKind::BoolConst, SortKind::Bool);
+  T->BoolVal = B;
+  return T;
+}
+
+TermRef recap::mkTrue() {
+  static const TermRef T = mkBoolConst(true);
+  return T;
+}
+
+TermRef recap::mkFalse() {
+  static const TermRef T = mkBoolConst(false);
+  return T;
+}
+
+TermRef recap::mkBoolVar(std::string Name) {
+  auto T = std::make_shared<Term>(TermKind::BoolVar, SortKind::Bool);
+  T->Name = std::move(Name);
+  return T;
+}
+
+TermRef recap::mkNot(TermRef T) {
+  if (T->Kind == TermKind::BoolConst)
+    return mkBoolConst(!T->BoolVal);
+  if (T->Kind == TermKind::Not)
+    return T->Kids[0];
+  auto N = std::make_shared<Term>(TermKind::Not, SortKind::Bool);
+  N->Kids.push_back(std::move(T));
+  return N;
+}
+
+TermRef recap::mkAnd(std::vector<TermRef> Kids) {
+  std::vector<TermRef> Flat;
+  for (TermRef &K : Kids) {
+    if (K->Kind == TermKind::BoolConst) {
+      if (!K->BoolVal)
+        return mkFalse();
+      continue;
+    }
+    if (K->Kind == TermKind::And) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto T = std::make_shared<Term>(TermKind::And, SortKind::Bool);
+  T->Kids = std::move(Flat);
+  return T;
+}
+
+TermRef recap::mkAnd(TermRef A, TermRef B) {
+  return mkAnd(std::vector<TermRef>{std::move(A), std::move(B)});
+}
+
+TermRef recap::mkOr(std::vector<TermRef> Kids) {
+  std::vector<TermRef> Flat;
+  for (TermRef &K : Kids) {
+    if (K->Kind == TermKind::BoolConst) {
+      if (K->BoolVal)
+        return mkTrue();
+      continue;
+    }
+    if (K->Kind == TermKind::Or) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto T = std::make_shared<Term>(TermKind::Or, SortKind::Bool);
+  T->Kids = std::move(Flat);
+  return T;
+}
+
+TermRef recap::mkOr(TermRef A, TermRef B) {
+  return mkOr(std::vector<TermRef>{std::move(A), std::move(B)});
+}
+
+TermRef recap::mkImplies(TermRef A, TermRef B) {
+  if (A->Kind == TermKind::BoolConst)
+    return A->BoolVal ? B : mkTrue();
+  if (B->Kind == TermKind::BoolConst && B->BoolVal)
+    return mkTrue();
+  auto T = std::make_shared<Term>(TermKind::Implies, SortKind::Bool);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+TermRef recap::mkEq(TermRef A, TermRef B) {
+  assert(A->Sort == B->Sort && "equating different sorts");
+  if (A->Kind == TermKind::StrConst && B->Kind == TermKind::StrConst)
+    return mkBoolConst(A->StrVal == B->StrVal);
+  if (A->Kind == TermKind::IntConst && B->Kind == TermKind::IntConst)
+    return mkBoolConst(A->IntVal == B->IntVal);
+  if (A.get() == B.get())
+    return mkTrue();
+  auto T = std::make_shared<Term>(TermKind::Eq, SortKind::Bool);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+TermRef recap::mkNe(TermRef A, TermRef B) {
+  return mkNot(mkEq(std::move(A), std::move(B)));
+}
+
+TermRef recap::mkInRe(TermRef Str, CRegexRef Re) {
+  assert(Str->Sort == SortKind::String && "InRe needs a string");
+  auto T = std::make_shared<Term>(TermKind::InRe, SortKind::Bool);
+  T->Kids.push_back(std::move(Str));
+  T->Re = std::move(Re);
+  return T;
+}
+
+TermRef recap::mkNotInRe(TermRef Str, CRegexRef Re) {
+  return mkNot(mkInRe(std::move(Str), std::move(Re)));
+}
+
+TermRef recap::mkStrConst(UString S) {
+  auto T = std::make_shared<Term>(TermKind::StrConst, SortKind::String);
+  T->StrVal = std::move(S);
+  return T;
+}
+
+TermRef recap::mkStrVar(std::string Name) {
+  auto T = std::make_shared<Term>(TermKind::StrVar, SortKind::String);
+  T->Name = std::move(Name);
+  return T;
+}
+
+TermRef recap::mkConcat(std::vector<TermRef> Kids) {
+  std::vector<TermRef> Flat;
+  for (TermRef &K : Kids) {
+    assert(K->Sort == SortKind::String && "concat of non-strings");
+    if (K->Kind == TermKind::StrConst && K->StrVal.empty())
+      continue;
+    if (K->Kind == TermKind::Concat) {
+      Flat.insert(Flat.end(), K->Kids.begin(), K->Kids.end());
+      continue;
+    }
+    // Merge adjacent constants.
+    if (!Flat.empty() && Flat.back()->Kind == TermKind::StrConst &&
+        K->Kind == TermKind::StrConst) {
+      auto Merged = std::make_shared<Term>(TermKind::StrConst,
+                                           SortKind::String);
+      Merged->StrVal = Flat.back()->StrVal + K->StrVal;
+      Flat.back() = Merged;
+      continue;
+    }
+    Flat.push_back(std::move(K));
+  }
+  if (Flat.empty())
+    return mkStrConst(UString());
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto T = std::make_shared<Term>(TermKind::Concat, SortKind::String);
+  T->Kids = std::move(Flat);
+  return T;
+}
+
+TermRef recap::mkConcat(TermRef A, TermRef B) {
+  return mkConcat(std::vector<TermRef>{std::move(A), std::move(B)});
+}
+
+TermRef recap::mkIntConst(int64_t V) {
+  auto T = std::make_shared<Term>(TermKind::IntConst, SortKind::Int);
+  T->IntVal = V;
+  return T;
+}
+
+TermRef recap::mkIntVar(std::string Name) {
+  auto T = std::make_shared<Term>(TermKind::IntVar, SortKind::Int);
+  T->Name = std::move(Name);
+  return T;
+}
+
+TermRef recap::mkAdd(TermRef A, TermRef B) {
+  if (A->Kind == TermKind::IntConst && B->Kind == TermKind::IntConst)
+    return mkIntConst(A->IntVal + B->IntVal);
+  auto T = std::make_shared<Term>(TermKind::Add, SortKind::Int);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+TermRef recap::mkLe(TermRef A, TermRef B) {
+  auto T = std::make_shared<Term>(TermKind::Le, SortKind::Bool);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+TermRef recap::mkLt(TermRef A, TermRef B) {
+  auto T = std::make_shared<Term>(TermKind::Lt, SortKind::Bool);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+TermRef recap::mkStrLen(TermRef S) {
+  if (S->Kind == TermKind::StrConst)
+    return mkIntConst(static_cast<int64_t>(S->StrVal.size()));
+  auto T = std::make_shared<Term>(TermKind::StrLen, SortKind::Int);
+  T->Kids.push_back(std::move(S));
+  return T;
+}
+
+VarSet recap::collectVars(const std::vector<TermRef> &Terms) {
+  VarSet Out;
+  std::set<std::string> SeenB, SeenS, SeenI;
+  std::function<void(const TermRef &)> Walk = [&](const TermRef &T) {
+    if (T->Kind == TermKind::BoolVar && SeenB.insert(T->Name).second)
+      Out.Bools.push_back(T->Name);
+    if (T->Kind == TermKind::StrVar && SeenS.insert(T->Name).second)
+      Out.Strings.push_back(T->Name);
+    if (T->Kind == TermKind::IntVar && SeenI.insert(T->Name).second)
+      Out.Ints.push_back(T->Name);
+    for (const TermRef &K : T->Kids)
+      Walk(K);
+  };
+  for (const TermRef &T : Terms)
+    Walk(T);
+  return Out;
+}
+
+std::string Term::str() const {
+  auto Nary = [&](const char *Op) {
+    std::string S = std::string("(") + Op;
+    for (const TermRef &K : Kids)
+      S += " " + K->str();
+    return S + ")";
+  };
+  switch (Kind) {
+  case TermKind::BoolConst:
+    return BoolVal ? "true" : "false";
+  case TermKind::BoolVar:
+  case TermKind::StrVar:
+  case TermKind::IntVar:
+    return Name;
+  case TermKind::Not:
+    return Nary("not");
+  case TermKind::And:
+    return Nary("and");
+  case TermKind::Or:
+    return Nary("or");
+  case TermKind::Implies:
+    return Nary("=>");
+  case TermKind::Eq:
+    return Nary("=");
+  case TermKind::InRe:
+    return "(str.in_re " + Kids[0]->str() + " " + Re->str() + ")";
+  case TermKind::Le:
+    return Nary("<=");
+  case TermKind::Lt:
+    return Nary("<");
+  case TermKind::StrConst:
+    return "\"" + escape(StrVal) + "\"";
+  case TermKind::Concat:
+    return Nary("str.++");
+  case TermKind::IntConst:
+    return std::to_string(IntVal);
+  case TermKind::Add:
+    return Nary("+");
+  case TermKind::StrLen:
+    return Nary("str.len");
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// TermEvaluator
+//===----------------------------------------------------------------------===//
+
+const Automaton *TermEvaluator::automatonFor(const CRegexRef &Re) {
+  auto It = Cache.find(Re.get());
+  if (It != Cache.end())
+    return It->second.get();
+  Result<Automaton> A = Automaton::compile(Re);
+  if (!A) {
+    Cache[Re.get()] = nullptr;
+    return nullptr;
+  }
+  auto Ptr = std::make_shared<Automaton>(A.take());
+  const Automaton *Raw = Ptr.get();
+  Cache[Re.get()] = std::move(Ptr);
+  return Raw;
+}
+
+std::optional<UString> TermEvaluator::evalString(const TermRef &T,
+                                                 const Assignment &M) {
+  switch (T->Kind) {
+  case TermKind::StrConst:
+    return T->StrVal;
+  case TermKind::StrVar:
+    return M.str(T->Name);
+  case TermKind::Concat: {
+    UString Out;
+    for (const TermRef &K : T->Kids) {
+      std::optional<UString> V = evalString(K, M);
+      if (!V)
+        return std::nullopt;
+      Out += *V;
+    }
+    return Out;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<int64_t> TermEvaluator::evalInt(const TermRef &T,
+                                              const Assignment &M) {
+  switch (T->Kind) {
+  case TermKind::IntConst:
+    return T->IntVal;
+  case TermKind::IntVar:
+    return M.integer(T->Name);
+  case TermKind::Add: {
+    auto A = evalInt(T->Kids[0], M), B = evalInt(T->Kids[1], M);
+    if (!A || !B)
+      return std::nullopt;
+    return *A + *B;
+  }
+  case TermKind::StrLen: {
+    auto S = evalString(T->Kids[0], M);
+    if (!S)
+      return std::nullopt;
+    return static_cast<int64_t>(S->size());
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> TermEvaluator::evalBool(const TermRef &T,
+                                            const Assignment &M) {
+  switch (T->Kind) {
+  case TermKind::BoolConst:
+    return T->BoolVal;
+  case TermKind::BoolVar:
+    return M.boolean(T->Name);
+  case TermKind::Not: {
+    auto V = evalBool(T->Kids[0], M);
+    if (!V)
+      return std::nullopt;
+    return !*V;
+  }
+  case TermKind::And: {
+    for (const TermRef &K : T->Kids) {
+      auto V = evalBool(K, M);
+      if (!V)
+        return std::nullopt;
+      if (!*V)
+        return false;
+    }
+    return true;
+  }
+  case TermKind::Or: {
+    for (const TermRef &K : T->Kids) {
+      auto V = evalBool(K, M);
+      if (!V)
+        return std::nullopt;
+      if (*V)
+        return true;
+    }
+    return false;
+  }
+  case TermKind::Implies: {
+    auto A = evalBool(T->Kids[0], M);
+    if (!A)
+      return std::nullopt;
+    if (!*A)
+      return true;
+    return evalBool(T->Kids[1], M);
+  }
+  case TermKind::Eq: {
+    switch (T->Kids[0]->Sort) {
+    case SortKind::Bool: {
+      auto A = evalBool(T->Kids[0], M), B = evalBool(T->Kids[1], M);
+      if (!A || !B)
+        return std::nullopt;
+      return *A == *B;
+    }
+    case SortKind::String: {
+      auto A = evalString(T->Kids[0], M), B = evalString(T->Kids[1], M);
+      if (!A || !B)
+        return std::nullopt;
+      return *A == *B;
+    }
+    case SortKind::Int: {
+      auto A = evalInt(T->Kids[0], M), B = evalInt(T->Kids[1], M);
+      if (!A || !B)
+        return std::nullopt;
+      return *A == *B;
+    }
+    }
+    return std::nullopt;
+  }
+  case TermKind::InRe: {
+    auto S = evalString(T->Kids[0], M);
+    if (!S)
+      return std::nullopt;
+    const Automaton *A = automatonFor(T->Re);
+    if (!A)
+      return std::nullopt;
+    return A->accepts(*S);
+  }
+  case TermKind::Le:
+  case TermKind::Lt: {
+    auto A = evalInt(T->Kids[0], M), B = evalInt(T->Kids[1], M);
+    if (!A || !B)
+      return std::nullopt;
+    return T->Kind == TermKind::Le ? *A <= *B : *A < *B;
+  }
+  default:
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,158 @@
+//===- smt/Term.h - String/regex constraint IR ------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint language of the paper's model (§3.3, §4): boolean
+/// structure over string equalities, string concatenation, classical
+/// regular language membership, and integer length arithmetic. Terms are
+/// immutable shared trees; the builder functions perform light
+/// simplification. Two backends solve these constraints: Z3Backend (the
+/// paper's setup) and LocalBackend (automata-guided bounded search).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SMT_TERM_H
+#define RECAP_SMT_TERM_H
+
+#include "automata/Automaton.h"
+#include "automata/ClassicalRegex.h"
+#include "support/UString.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+enum class SortKind : uint8_t { Bool, String, Int };
+
+enum class TermKind : uint8_t {
+  // Bool sort
+  BoolConst,
+  BoolVar,
+  Not,
+  And,
+  Or,
+  Implies,
+  Eq,   ///< kids of equal sort (String/Int/Bool)
+  InRe, ///< Kids[0] : String, language payload in Re
+  Le,
+  Lt,
+  // String sort
+  StrConst,
+  StrVar,
+  Concat,
+  // Int sort
+  IntConst,
+  IntVar,
+  Add,
+  StrLen, ///< Kids[0] : String
+};
+
+class Term;
+using TermRef = std::shared_ptr<const Term>;
+
+class Term {
+public:
+  TermKind Kind;
+  SortKind Sort;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  UString StrVal;
+  std::string Name; ///< variables only
+  CRegexRef Re;     ///< InRe only
+  std::vector<TermRef> Kids;
+
+  Term(TermKind K, SortKind S) : Kind(K), Sort(S) {}
+
+  bool isVar() const {
+    return Kind == TermKind::BoolVar || Kind == TermKind::StrVar ||
+           Kind == TermKind::IntVar;
+  }
+
+  /// SMT-LIB-flavoured rendering for debugging.
+  std::string str() const;
+};
+
+// Builders (light simplification: And/Or flatten and drop units, double
+// negation cancels, constant folding on Eq of constants).
+TermRef mkBoolConst(bool B);
+TermRef mkTrue();
+TermRef mkFalse();
+TermRef mkBoolVar(std::string Name);
+TermRef mkNot(TermRef T);
+TermRef mkAnd(std::vector<TermRef> Kids);
+TermRef mkAnd(TermRef A, TermRef B);
+TermRef mkOr(std::vector<TermRef> Kids);
+TermRef mkOr(TermRef A, TermRef B);
+TermRef mkImplies(TermRef A, TermRef B);
+TermRef mkEq(TermRef A, TermRef B);
+TermRef mkNe(TermRef A, TermRef B);
+TermRef mkInRe(TermRef Str, CRegexRef Re);
+TermRef mkNotInRe(TermRef Str, CRegexRef Re);
+
+TermRef mkStrConst(UString S);
+TermRef mkStrVar(std::string Name);
+TermRef mkConcat(std::vector<TermRef> Kids);
+TermRef mkConcat(TermRef A, TermRef B);
+
+TermRef mkIntConst(int64_t V);
+TermRef mkIntVar(std::string Name);
+TermRef mkAdd(TermRef A, TermRef B);
+TermRef mkLe(TermRef A, TermRef B);
+TermRef mkLt(TermRef A, TermRef B);
+TermRef mkStrLen(TermRef S);
+
+/// Collects all variables (by name) per sort, in first-occurrence order.
+struct VarSet {
+  std::vector<std::string> Bools;
+  std::vector<std::string> Strings;
+  std::vector<std::string> Ints;
+};
+VarSet collectVars(const std::vector<TermRef> &Terms);
+
+/// A model: values for variables. Missing entries default to false / "" / 0
+/// (solver backends fill every variable they saw).
+struct Assignment {
+  std::map<std::string, bool> Bools;
+  std::map<std::string, UString> Strings;
+  std::map<std::string, int64_t> Ints;
+
+  UString str(const std::string &Name) const {
+    auto It = Strings.find(Name);
+    return It == Strings.end() ? UString() : It->second;
+  }
+  bool boolean(const std::string &Name) const {
+    auto It = Bools.find(Name);
+    return It != Bools.end() && It->second;
+  }
+  int64_t integer(const std::string &Name) const {
+    auto It = Ints.find(Name);
+    return It == Ints.end() ? 0 : It->second;
+  }
+};
+
+/// Evaluates ground terms under an assignment; used by LocalBackend's
+/// final checking, by tests validating Z3 models, and by the CEGAR loop.
+/// Membership tests compile the language once per distinct CRegex node.
+class TermEvaluator {
+public:
+  /// Nullopt if an automaton hits its state limit.
+  std::optional<bool> evalBool(const TermRef &T, const Assignment &M);
+  std::optional<UString> evalString(const TermRef &T, const Assignment &M);
+  std::optional<int64_t> evalInt(const TermRef &T, const Assignment &M);
+
+private:
+  std::map<const CRegex *, std::shared_ptr<Automaton>> Cache;
+  const Automaton *automatonFor(const CRegexRef &Re);
+};
+
+} // namespace recap
+
+#endif // RECAP_SMT_TERM_H

@@ -1,0 +1,293 @@
+//===- smt/Z3Backend.cpp - Z3 seq/re translation ---------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates the recap constraint IR into Z3's sequence/regular-expression
+/// theory through the native C++ API (z3++.h), solves, and reads models
+/// back. To keep model extraction robust across Z3's unicode encoding, the
+/// backend constrains every free string variable to the Latin-1 alphabet
+/// [\x00-\xFF] and clamps character classes accordingly; the paper's meta
+/// markers live at 0x02/0x03, well inside this range (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <z3++.h>
+
+#include <cassert>
+#include <chrono>
+
+using namespace recap;
+
+namespace {
+
+constexpr CodePoint SolverMaxChar = 0xFF;
+
+/// Latin-1 bytes <-> code points (the backend's string encoding contract).
+std::string toLatin1(const UString &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (CodePoint C : S) {
+    assert(C <= SolverMaxChar && "non-Latin-1 constant reached Z3 backend");
+    Out.push_back(static_cast<char>(C));
+  }
+  return Out;
+}
+
+UString fromLatin1(const std::string &S) {
+  UString Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(static_cast<unsigned char>(C));
+  return Out;
+}
+
+class Z3Backend : public SolverBackend {
+public:
+  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &Model,
+                    const SolverLimits &Limits) override {
+    auto T0 = std::chrono::steady_clock::now();
+    SolveStatus Status = solveImpl(Assertions, Model, Limits);
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    record(Status, Sec);
+    return Status;
+  }
+
+  std::string name() const override { return "z3"; }
+
+private:
+  SolveStatus solveImpl(const std::vector<TermRef> &Assertions,
+                        Assignment &Model, const SolverLimits &Limits) {
+    z3::context Ctx;
+    z3::params P(Ctx);
+    P.set("timeout", Limits.TimeoutMs);
+    z3::solver S(Ctx);
+    S.set(P);
+
+    Translator Tr(Ctx);
+    for (const TermRef &A : Assertions)
+      S.add(Tr.toBool(A));
+    // Latin-1 alphabet constraint on every free string variable (see file
+    // comment).
+    char Lo0 = '\0', Hi0 = static_cast<char>(0xFF);
+    z3::expr AnyLatin1 = z3::star(
+        z3::range(Ctx.string_val(&Lo0, 1), Ctx.string_val(&Hi0, 1)));
+    for (auto &[Name, Var] : Tr.StrVars)
+      S.add(z3::in_re(Var, AnyLatin1));
+
+    switch (S.check()) {
+    case z3::unsat:
+      return SolveStatus::Unsat;
+    case z3::unknown:
+      return SolveStatus::Unknown;
+    case z3::sat:
+      break;
+    }
+    z3::model M = S.get_model();
+    for (auto &[Name, Var] : Tr.StrVars) {
+      z3::expr V = M.eval(Var, /*model_completion=*/true);
+      Model.Strings[Name] = fromLatin1(V.get_string());
+    }
+    for (auto &[Name, Var] : Tr.BoolVars) {
+      z3::expr V = M.eval(Var, true);
+      Model.Bools[Name] = V.is_true();
+    }
+    for (auto &[Name, Var] : Tr.IntVars) {
+      z3::expr V = M.eval(Var, true);
+      int64_t I = 0;
+      if (V.is_numeral_i64(I))
+        Model.Ints[Name] = I;
+      else
+        Model.Ints[Name] = 0;
+    }
+    return SolveStatus::Sat;
+  }
+
+  /// IR -> Z3 expression translation with memoization.
+  struct Translator {
+    z3::context &Ctx;
+    std::map<std::string, z3::expr> StrVars, BoolVars, IntVars;
+    std::map<const Term *, z3::expr> Memo;
+    std::map<const CRegex *, z3::expr> ReMemo;
+
+    explicit Translator(z3::context &Ctx) : Ctx(Ctx) {}
+
+    z3::expr toBool(const TermRef &T) {
+      z3::expr E = trans(T);
+      assert(E.is_bool() && "expected boolean term");
+      return E;
+    }
+
+    z3::expr trans(const TermRef &T) {
+      auto It = Memo.find(T.get());
+      if (It != Memo.end())
+        return It->second;
+      z3::expr E = transNew(T);
+      Memo.emplace(T.get(), E);
+      return E;
+    }
+
+    z3::expr transNew(const TermRef &T) {
+      switch (T->Kind) {
+      case TermKind::BoolConst:
+        return Ctx.bool_val(T->BoolVal);
+      case TermKind::BoolVar: {
+        auto It = BoolVars.find(T->Name);
+        if (It == BoolVars.end())
+          It = BoolVars.emplace(T->Name,
+                                Ctx.bool_const(T->Name.c_str()))
+                   .first;
+        return It->second;
+      }
+      case TermKind::Not:
+        return !trans(T->Kids[0]);
+      case TermKind::And: {
+        z3::expr_vector V(Ctx);
+        for (const TermRef &K : T->Kids)
+          V.push_back(trans(K));
+        return z3::mk_and(V);
+      }
+      case TermKind::Or: {
+        z3::expr_vector V(Ctx);
+        for (const TermRef &K : T->Kids)
+          V.push_back(trans(K));
+        return z3::mk_or(V);
+      }
+      case TermKind::Implies:
+        return z3::implies(trans(T->Kids[0]), trans(T->Kids[1]));
+      case TermKind::Eq:
+        return trans(T->Kids[0]) == trans(T->Kids[1]);
+      case TermKind::InRe:
+        return z3::in_re(trans(T->Kids[0]), transRe(T->Re));
+      case TermKind::Le:
+        return trans(T->Kids[0]) <= trans(T->Kids[1]);
+      case TermKind::Lt:
+        return trans(T->Kids[0]) < trans(T->Kids[1]);
+      case TermKind::StrConst: {
+        // Length-aware construction: embedded NULs and bytes >= 0x80 must
+        // pass through uninterpreted.
+        std::string Bytes = toLatin1(T->StrVal);
+        return Ctx.string_val(Bytes.data(),
+                              static_cast<unsigned>(Bytes.size()));
+      }
+      case TermKind::StrVar: {
+        auto It = StrVars.find(T->Name);
+        if (It == StrVars.end())
+          It = StrVars.emplace(T->Name,
+                               Ctx.constant(T->Name.c_str(),
+                                            Ctx.string_sort()))
+                   .first;
+        return It->second;
+      }
+      case TermKind::Concat: {
+        z3::expr_vector V(Ctx);
+        for (const TermRef &K : T->Kids)
+          V.push_back(trans(K));
+        return z3::concat(V);
+      }
+      case TermKind::IntConst:
+        return Ctx.int_val(static_cast<int64_t>(T->IntVal));
+      case TermKind::IntVar: {
+        auto It = IntVars.find(T->Name);
+        if (It == IntVars.end())
+          It = IntVars.emplace(T->Name, Ctx.int_const(T->Name.c_str()))
+                   .first;
+        return It->second;
+      }
+      case TermKind::Add:
+        return trans(T->Kids[0]) + trans(T->Kids[1]);
+      case TermKind::StrLen:
+        return trans(T->Kids[0]).length();
+      }
+      assert(false && "unhandled term kind");
+      return Ctx.bool_val(false);
+    }
+
+    z3::expr transRe(const CRegexRef &R) {
+      auto It = ReMemo.find(R.get());
+      if (It != ReMemo.end())
+        return It->second;
+      z3::expr E = transReNew(R);
+      ReMemo.emplace(R.get(), E);
+      return E;
+    }
+
+    z3::sort reSort() {
+      z3::sort Str = Ctx.string_sort();
+      return Ctx.re_sort(Str);
+    }
+
+    z3::expr reUnion(const z3::expr_vector &Parts) {
+      assert(!Parts.empty() && "union of zero languages");
+      if (Parts.size() == 1)
+        return Parts[0];
+      z3::array<Z3_ast> Args(Parts);
+      z3::expr R(Ctx, Z3_mk_re_union(Ctx, Args.size(), Args.ptr()));
+      Ctx.check_error();
+      return R;
+    }
+
+    z3::expr transReNew(const CRegexRef &R) {
+      switch (R->K) {
+      case CRegex::Kind::Empty: {
+        z3::sort RS = reSort();
+        return z3::re_empty(RS);
+      }
+      case CRegex::Kind::Epsilon:
+        return z3::to_re(Ctx.string_val(""));
+      case CRegex::Kind::Class: {
+        // Clamp to the Latin-1 solver alphabet.
+        CharSet S = R->Cls.intersectWith(
+            CharSet::range(0, SolverMaxChar));
+        if (S.isEmpty()) {
+          z3::sort RS = reSort();
+          return z3::re_empty(RS);
+        }
+        z3::expr_vector Parts(Ctx);
+        for (const CharSet::Interval &I : S.intervals()) {
+          char LoC = static_cast<char>(I.Lo), HiC = static_cast<char>(I.Hi);
+          Parts.push_back(z3::range(Ctx.string_val(&LoC, 1),
+                                    Ctx.string_val(&HiC, 1)));
+        }
+        return reUnion(Parts);
+      }
+      case CRegex::Kind::Concat: {
+        z3::expr_vector V(Ctx);
+        for (const CRegexRef &K : R->Kids)
+          V.push_back(transRe(K));
+        return z3::concat(V);
+      }
+      case CRegex::Kind::Union: {
+        z3::expr_vector V(Ctx);
+        for (const CRegexRef &K : R->Kids)
+          V.push_back(transRe(K));
+        return reUnion(V);
+      }
+      case CRegex::Kind::Star:
+        return z3::star(transRe(R->Kids[0]));
+      case CRegex::Kind::Intersect: {
+        z3::expr_vector V(Ctx);
+        for (const CRegexRef &K : R->Kids)
+          V.push_back(transRe(K));
+        return z3::re_intersect(V);
+      }
+      case CRegex::Kind::Complement:
+        return z3::re_complement(transRe(R->Kids[0]));
+      }
+      assert(false && "unhandled regex kind");
+      return z3::to_re(Ctx.string_val(""));
+    }
+  };
+};
+
+} // namespace
+
+std::unique_ptr<SolverBackend> recap::makeZ3Backend() {
+  return std::make_unique<Z3Backend>();
+}

@@ -1,0 +1,209 @@
+//===- support/CharSet.cpp - Interval sets of code points ----------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CharSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace recap;
+
+CharSet CharSet::range(CodePoint Lo, CodePoint Hi) {
+  CharSet S;
+  S.addRange(Lo, Hi);
+  return S;
+}
+
+CharSet CharSet::all() { return range(0, MaxCodePoint); }
+
+CharSet CharSet::digits() { return range('0', '9'); }
+
+CharSet CharSet::wordChars() {
+  CharSet S;
+  S.addRange('0', '9');
+  S.addRange('A', 'Z');
+  S.addRange('_', '_');
+  S.addRange('a', 'z');
+  return S;
+}
+
+CharSet CharSet::whitespace() {
+  CharSet S;
+  S.addChar('\t');
+  S.addChar('\n');
+  S.addChar('\v');
+  S.addChar('\f');
+  S.addChar('\r');
+  S.addChar(' ');
+  S.addChar(0xA0);
+  S.addChar(0x1680);
+  S.addRange(0x2000, 0x200A);
+  S.addChar(0x2028);
+  S.addChar(0x2029);
+  S.addChar(0x202F);
+  S.addChar(0x205F);
+  S.addChar(0x3000);
+  S.addChar(0xFEFF);
+  return S;
+}
+
+CharSet CharSet::lineTerminators() {
+  CharSet S;
+  S.addChar('\n');
+  S.addChar('\r');
+  S.addChar(0x2028);
+  S.addChar(0x2029);
+  return S;
+}
+
+CharSet CharSet::dot() { return lineTerminators().complement(); }
+
+CharSet CharSet::metas() {
+  CharSet S;
+  S.addChar(MetaStart);
+  S.addChar(MetaEnd);
+  return S;
+}
+
+bool CharSet::contains(CodePoint C) const {
+  // Binary search on interval lower bounds.
+  auto It = std::upper_bound(
+      Intervals.begin(), Intervals.end(), C,
+      [](CodePoint V, const Interval &I) { return V < I.Lo; });
+  if (It == Intervals.begin())
+    return false;
+  --It;
+  return C >= It->Lo && C <= It->Hi;
+}
+
+void CharSet::addRange(CodePoint Lo, CodePoint Hi) {
+  assert(Lo <= Hi && Hi <= MaxCodePoint && "malformed interval");
+  Intervals.push_back({Lo, Hi});
+  std::sort(Intervals.begin(), Intervals.end(),
+            [](const Interval &A, const Interval &B) { return A.Lo < B.Lo; });
+  // Coalesce overlapping or adjacent intervals.
+  std::vector<Interval> Norm;
+  Norm.reserve(Intervals.size());
+  for (const Interval &I : Intervals) {
+    if (!Norm.empty() && I.Lo <= Norm.back().Hi + 1)
+      Norm.back().Hi = std::max(Norm.back().Hi, I.Hi);
+    else
+      Norm.push_back(I);
+  }
+  Intervals = std::move(Norm);
+}
+
+void CharSet::addSet(const CharSet &O) {
+  for (const Interval &I : O.Intervals)
+    addRange(I.Lo, I.Hi);
+}
+
+CharSet CharSet::unionWith(const CharSet &O) const {
+  CharSet S = *this;
+  S.addSet(O);
+  return S;
+}
+
+CharSet CharSet::intersectWith(const CharSet &O) const {
+  CharSet S;
+  size_t I = 0, J = 0;
+  while (I < Intervals.size() && J < O.Intervals.size()) {
+    const Interval &A = Intervals[I];
+    const Interval &B = O.Intervals[J];
+    CodePoint Lo = std::max(A.Lo, B.Lo);
+    CodePoint Hi = std::min(A.Hi, B.Hi);
+    if (Lo <= Hi)
+      S.Intervals.push_back({Lo, Hi});
+    if (A.Hi < B.Hi)
+      ++I;
+    else
+      ++J;
+  }
+  return S;
+}
+
+CharSet CharSet::complement() const {
+  CharSet S;
+  CodePoint Next = 0;
+  bool Overflow = false;
+  for (const Interval &I : Intervals) {
+    if (I.Lo > Next)
+      S.Intervals.push_back({Next, I.Lo - 1});
+    if (I.Hi == MaxCodePoint) {
+      Overflow = true;
+      break;
+    }
+    Next = I.Hi + 1;
+  }
+  if (!Overflow && Next <= MaxCodePoint)
+    S.Intervals.push_back({Next, MaxCodePoint});
+  return S;
+}
+
+CharSet CharSet::minus(const CharSet &O) const {
+  return intersectWith(O.complement());
+}
+
+uint64_t CharSet::size() const {
+  uint64_t N = 0;
+  for (const Interval &I : Intervals)
+    N += static_cast<uint64_t>(I.Hi) - I.Lo + 1;
+  return N;
+}
+
+std::optional<CodePoint> CharSet::first() const {
+  if (Intervals.empty())
+    return std::nullopt;
+  return Intervals.front().Lo;
+}
+
+bool CharSet::intersects(const CharSet &O) const {
+  return !intersectWith(O).isEmpty();
+}
+
+CharSet CharSet::caseClosure(bool Unicode) const {
+  // Fold pairs are involutions (lower <-> upper); closing the set means
+  // adding the partner of every member. Each pair below is
+  // (lower-range-lo, lower-range-hi, distance-to-upper).
+  struct FoldRange {
+    CodePoint Lo, Hi;
+    int32_t Delta; // upper = lower - Delta
+  };
+  static const FoldRange Folds[] = {
+      {'a', 'z', 0x20},
+      {0xE0, 0xF6, 0x20}, // Latin-1 letters before the division sign
+      {0xF8, 0xFE, 0x20}, // ... after it
+  };
+  CharSet Out = *this;
+  for (const FoldRange &F : Folds) {
+    CharSet Lower = intersectWith(range(F.Lo, F.Hi));
+    for (const Interval &I : Lower.intervals())
+      Out.addRange(I.Lo - F.Delta, I.Hi - F.Delta);
+    CharSet Upper =
+        intersectWith(range(F.Lo - F.Delta, F.Hi - F.Delta));
+    for (const Interval &I : Upper.intervals())
+      Out.addRange(I.Lo + F.Delta, I.Hi + F.Delta);
+  }
+  if (contains(0xFF))
+    Out.addChar(0x178);
+  if (contains(0x178))
+    Out.addChar(0xFF);
+  (void)Unicode;
+  return Out;
+}
+
+std::string CharSet::str() const {
+  std::string Out = "[";
+  for (const Interval &I : Intervals) {
+    Out += escapeChar(I.Lo);
+    if (I.Hi != I.Lo) {
+      Out += "-";
+      Out += escapeChar(I.Hi);
+    }
+  }
+  Out += "]";
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- support/CharSet.h - Interval sets of code points --------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CharSet represents a set of Unicode code points as sorted, disjoint,
+/// non-adjacent closed intervals. It is the alphabet representation shared by
+/// the regex AST, the concrete matcher, the automata library, and the SMT
+/// translation (each interval lowers to one re.range in Z3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SUPPORT_CHARSET_H
+#define RECAP_SUPPORT_CHARSET_H
+
+#include "support/UString.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace recap {
+
+class CharSet {
+public:
+  /// One closed interval [Lo, Hi] of code points.
+  struct Interval {
+    CodePoint Lo;
+    CodePoint Hi;
+    bool operator==(const Interval &O) const = default;
+  };
+
+  CharSet() = default;
+
+  static CharSet single(CodePoint C) { return range(C, C); }
+  static CharSet range(CodePoint Lo, CodePoint Hi);
+  /// The full alphabet [0, MaxCodePoint] (includes the meta markers; callers
+  /// that feed the solver must subtract CharSet::metas()).
+  static CharSet all();
+
+  /// ES6 \d.
+  static CharSet digits();
+  /// ES6 \w.
+  static CharSet wordChars();
+  /// ES6 \s.
+  static CharSet whitespace();
+  /// ES6 LineTerminator set.
+  static CharSet lineTerminators();
+  /// ES6 `.`: every character except line terminators.
+  static CharSet dot();
+  /// The two reserved input markers (paper's 〈 and 〉).
+  static CharSet metas();
+
+  bool isEmpty() const { return Intervals.empty(); }
+  bool contains(CodePoint C) const;
+  bool operator==(const CharSet &O) const = default;
+
+  /// Inserts [Lo, Hi], merging intervals as needed.
+  void addRange(CodePoint Lo, CodePoint Hi);
+  void addChar(CodePoint C) { addRange(C, C); }
+  void addSet(const CharSet &O);
+
+  CharSet unionWith(const CharSet &O) const;
+  CharSet intersectWith(const CharSet &O) const;
+  /// Complement relative to [0, MaxCodePoint].
+  CharSet complement() const;
+  CharSet minus(const CharSet &O) const;
+
+  /// Number of code points in the set (may be large; saturates at UINT64_MAX).
+  uint64_t size() const;
+  /// Smallest member if non-empty.
+  std::optional<CodePoint> first() const;
+  /// True if the sets share at least one code point.
+  bool intersects(const CharSet &O) const;
+
+  const std::vector<Interval> &intervals() const { return Intervals; }
+
+  /// Closure under ES6 Canonicalize: adds, for every member, its case-folding
+  /// partner. Used to implement the ignore-case flag (paper Alg. 2's
+  /// rewriteForIgnoreCase).
+  CharSet caseClosure(bool Unicode) const;
+
+  /// Debug rendering like [a-z0-9\x02].
+  std::string str() const;
+
+private:
+  std::vector<Interval> Intervals;
+};
+
+} // namespace recap
+
+#endif // RECAP_SUPPORT_CHARSET_H

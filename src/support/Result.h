@@ -1,0 +1,64 @@
+//===- support/Result.h - Lightweight expected-or-error type ---*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result<T> carries either a value or an error message. recap library code
+/// never throws; fallible operations return Result (mirroring LLVM's
+/// Expected<T> without the checked-flag machinery).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SUPPORT_RESULT_H
+#define RECAP_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace recap {
+
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+
+  static Result error(std::string Message) {
+    Result R;
+    R.Message = std::move(Message);
+    return R;
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing error Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing error Result");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Error message; empty for success values.
+  const std::string &error() const { return Message; }
+
+  /// Moves the value out (success values only).
+  T take() {
+    assert(Value && "taking error Result");
+    return std::move(*Value);
+  }
+
+private:
+  Result() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace recap
+
+#endif // RECAP_SUPPORT_RESULT_H

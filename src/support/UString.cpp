@@ -1,0 +1,147 @@
+//===- support/UString.cpp - Code points and unicode strings -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UString.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+using namespace recap;
+
+std::string recap::toUTF8(const UString &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (CodePoint C : S) {
+    if (C > MaxCodePoint)
+      C = 0xFFFD;
+    if (C < 0x80) {
+      Out.push_back(static_cast<char>(C));
+    } else if (C < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (C >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (C & 0x3F)));
+    } else if (C < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (C >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((C >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (C & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (C >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((C >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((C >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (C & 0x3F)));
+    }
+  }
+  return Out;
+}
+
+UString recap::fromUTF8(std::string_view S) {
+  UString Out;
+  Out.reserve(S.size());
+  size_t I = 0, N = S.size();
+  while (I < N) {
+    unsigned char B = static_cast<unsigned char>(S[I]);
+    CodePoint C = 0xFFFD;
+    size_t Len = 1;
+    if (B < 0x80) {
+      C = B;
+    } else if ((B & 0xE0) == 0xC0 && I + 1 < N) {
+      C = (B & 0x1F) << 6 | (S[I + 1] & 0x3F);
+      Len = 2;
+    } else if ((B & 0xF0) == 0xE0 && I + 2 < N) {
+      C = (B & 0x0F) << 12 | (S[I + 1] & 0x3F) << 6 | (S[I + 2] & 0x3F);
+      Len = 3;
+    } else if ((B & 0xF8) == 0xF0 && I + 3 < N) {
+      C = (B & 0x07) << 18 | (S[I + 1] & 0x3F) << 12 |
+          (S[I + 2] & 0x3F) << 6 | (S[I + 3] & 0x3F);
+      Len = 4;
+    }
+    Out.push_back(C);
+    I += Len;
+  }
+  return Out;
+}
+
+std::string recap::escapeChar(CodePoint C) {
+  if (C == MetaStart)
+    return "\xE2\x8C\xA9"; // render the paper's 〈 for readability
+  if (C == MetaEnd)
+    return "\xE2\x8C\xAA"; // 〉
+  if (C >= 0x20 && C < 0x7F) {
+    if (C == '\\')
+      return "\\\\";
+    return std::string(1, static_cast<char>(C));
+  }
+  if (C == '\n')
+    return "\\n";
+  if (C == '\r')
+    return "\\r";
+  if (C == '\t')
+    return "\\t";
+  char Buf[16];
+  if (C <= 0xFF)
+    std::snprintf(Buf, sizeof(Buf), "\\x%02X", static_cast<unsigned>(C));
+  else
+    std::snprintf(Buf, sizeof(Buf), "\\u{%X}", static_cast<unsigned>(C));
+  return Buf;
+}
+
+std::string recap::escape(const UString &S) {
+  std::string Out;
+  for (CodePoint C : S)
+    Out += escapeChar(C);
+  return Out;
+}
+
+bool recap::isWordChar(CodePoint C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+bool recap::isDigit(CodePoint C) { return C >= '0' && C <= '9'; }
+
+bool recap::isLineTerminator(CodePoint C) {
+  return C == '\n' || C == '\r' || C == 0x2028 || C == 0x2029;
+}
+
+bool recap::isWhitespace(CodePoint C) {
+  switch (C) {
+  case '\t':
+  case '\n':
+  case '\v':
+  case '\f':
+  case '\r':
+  case ' ':
+  case 0xA0:
+  case 0x1680:
+  case 0x202F:
+  case 0x205F:
+  case 0x3000:
+  case 0xFEFF:
+  case 0x2028:
+  case 0x2029:
+    return true;
+  default:
+    return C >= 0x2000 && C <= 0x200A;
+  }
+}
+
+CodePoint recap::canonicalize(CodePoint C, bool Unicode) {
+  // ASCII letters.
+  if (C >= 'a' && C <= 'z')
+    return C - 0x20;
+  // Latin-1 letters with an upper-case partner (excluding the division
+  // sign U+00F7).
+  if (C >= 0xE0 && C <= 0xFE && C != 0xF7)
+    return C - 0x20;
+  // y with diaeresis folds outside Latin-1; allowed in both modes because
+  // source and target are both non-ASCII.
+  if (C == 0xFF)
+    return 0x178;
+  // In non-unicode mode ES6 forbids folding a non-Latin-1 character into the
+  // Latin-1 range; our simple table never does that, so both modes agree.
+  (void)Unicode;
+  return C;
+}

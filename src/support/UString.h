@@ -1,0 +1,77 @@
+//===- support/UString.h - Code points and unicode strings -----*- C++ -*-===//
+//
+// Part of recap, a reproduction of "Sound Regular Expression Semantics for
+// Dynamic Symbolic Execution of JavaScript" (Loring, Mitchell, Kinder,
+// PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code-point level string utilities. All recap strings are sequences of
+/// Unicode code points (std::u32string), matching the paper's treatment of
+/// words as character sequences; surrogate-pair handling only matters at the
+/// UTF-8/UTF-16 boundary and is confined to the conversion helpers here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SUPPORT_USTRING_H
+#define RECAP_SUPPORT_USTRING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace recap {
+
+using CodePoint = char32_t;
+using UString = std::u32string;
+
+/// Largest valid Unicode code point.
+constexpr CodePoint MaxCodePoint = 0x10FFFF;
+
+/// Reserved markers for the start and end of input: the paper's
+/// meta-characters 〈 and 〉 (§6.1). We map them onto STX/ETX so that typical
+/// solver models stay within the ASCII range; they are excluded from every
+/// character class the model can generate, so no user regex can match them.
+constexpr CodePoint MetaStart = 0x02;
+constexpr CodePoint MetaEnd = 0x03;
+
+/// Converts a code-point string to UTF-8 (invalid code points are replaced
+/// with U+FFFD).
+std::string toUTF8(const UString &S);
+
+/// Decodes UTF-8 into code points; invalid bytes decode to U+FFFD.
+UString fromUTF8(std::string_view S);
+
+/// Renders \p S for debug output, escaping non-printable characters as
+/// \xHH / \u{HHHH}.
+std::string escape(const UString &S);
+
+/// Renders one code point for debug output.
+std::string escapeChar(CodePoint C);
+
+/// ES6 \w: [A-Za-z0-9_].
+bool isWordChar(CodePoint C);
+
+/// ES6 \d: [0-9].
+bool isDigit(CodePoint C);
+
+/// ES6 \s: WhiteSpace and LineTerminator productions.
+bool isWhitespace(CodePoint C);
+
+/// ES6 LineTerminator: \n, \r, U+2028, U+2029.
+bool isLineTerminator(CodePoint C);
+
+/// ES6 21.2.2.8.2 Canonicalize, used by the ignore-case flag. Implements
+/// simple ASCII/Latin-1 folding (plus y-with-diaeresis); full Unicode case
+/// folding tables are out of scope (see DESIGN.md substitutions).
+CodePoint canonicalize(CodePoint C, bool Unicode);
+
+/// Convenience literal builder used by tests: fromUTF8 with implicit size.
+inline UString operator""_u(const char *S, size_t N) {
+  return fromUTF8(std::string_view(S, N));
+}
+
+} // namespace recap
+
+#endif // RECAP_SUPPORT_USTRING_H

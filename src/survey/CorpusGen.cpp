@@ -1,0 +1,262 @@
+//===- survey/CorpusGen.cpp - Synthetic NPM corpus --------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/CorpusGen.h"
+
+#include <cmath>
+#include <random>
+
+using namespace recap;
+
+namespace {
+
+/// Curated real-world idioms (trim, semver, XML tags, emails, ...). These
+/// anchor the head of the popularity distribution: the most-duplicated
+/// regexes on NPM are simple utility patterns.
+struct PoolEntry {
+  std::string Literal;
+  double Popularity;
+};
+
+std::vector<PoolEntry> curatedPool() {
+  return {
+      {"/^\\s+|\\s+$/g", 40.0},
+      {"/\\s+/g", 36.0},
+      {"/\\n/g", 28.0},
+      {"/[^a-zA-Z0-9]/g", 22.0},
+      {"/\\./g", 20.0},
+      {"/\\//g", 18.0},
+      {"/^\\d+$/", 17.0},
+      {"/[A-Z]/g", 15.0},
+      {"/\\s/", 14.0},
+      {"/-/g", 13.0},
+      {"/^[a-z]+$/i", 12.0},
+      {"/(\\d+)/", 11.0},
+      {"/([A-Z])/g", 10.0},
+      {"/^(\\d+)\\.(\\d+)\\.(\\d+)$/", 9.0}, // semver
+      {"/\"/g", 9.0},
+      {"/%[sdj%]/g", 8.0},
+      {"/^https?:\\/\\//", 8.0},
+      {"/\\r\\n|\\r|\\n/g", 7.0},
+      {"/[\\u0000-\\u001f]/", 2.0},
+      {"/^\\w+([.-]?\\w+)*@\\w+([.-]?\\w+)*(\\.\\w{2,3})+$/", 4.0},
+      {"/<(\\w+)>(.*?)<\\/\\1>/", 1.5}, // XML tag with backreference
+      {"/^(?:\\d{1,3}\\.){3}\\d{1,3}$/", 3.0},
+      {"/\\b\\w+\\b/g", 3.5},
+      {"/^(-|\\+)?\\d+$/", 3.0},
+      {"/(['\"])(?:(?!\\1).)*\\1/", 0.8}, // quoted string w/ lookahead+bref
+      {"/^#?([a-f0-9]{6}|[a-f0-9]{3})$/i", 2.0},
+      {"/([a-z])([A-Z])/g", 4.0},
+      {"/\\{\\{([^}]+)\\}\\}/g", 2.5},
+      {"/^\\/|\\/$/g", 2.0},
+      {"/\\?.*$/", 2.0},
+      {"/^(.*?)=(.*)$/m", 1.2},
+      {"/(\\w+)\\s*=\\s*([^;]+)/g", 1.5},
+      {"/^v?(\\d+)(\\.\\d+)?(\\.\\d+)?$/", 1.5},
+      {"/\\\\/g", 5.0},
+      {"/\\t/g", 4.5},
+      {"/\\s*,\\s*/", 4.0},
+      {"/^$/", 3.0},
+      {"/.{1,72}/g", 0.5},
+      {"/(\\r?\\n){2,}/g", 0.7},
+      {"/^(a+)+$/", 0.05}, // pathological (ReDoS shape)
+      // A small share of post-ES6 idioms (named groups, lookbehind,
+      // dotAll) as found in modern NPM code; the survey reports them in
+      // its extension rows, outside the paper's Table 5 comparison.
+      {"/(?<year>\\d{4})-(?<month>\\d{2})-(?<day>\\d{2})/", 0.4},
+      {"/(?<=\\$)\\d+(?:\\.\\d{2})?/g", 0.3},
+      {"/(?<!\\\\)\"/g", 0.25},
+      {"/<script>.*?<\\/script>/s", 0.2},
+      {"/(?<quote>['\"]).*?\\k<quote>/", 0.15},
+  };
+}
+
+/// Feature probabilities for the procedural pool, calibrated to Table 5's
+/// unique column.
+struct FeaturePlan {
+  bool Capture, Global, Class, Plus, Star, ICase, Range, NonCap, Rep;
+  bool LazyStar, MFlag, WordB, LazyPlus, Lookahead, Backref, LazyRep;
+  bool QBackref, Sticky, Unicode, Anchor;
+};
+
+std::string randomWord(std::mt19937_64 &Rng, size_t Lo = 2, size_t Hi = 5) {
+  static const char Alpha[] = "abcdefghijklmnopqrstuvwxyz";
+  size_t Len = Lo + Rng() % (Hi - Lo + 1);
+  std::string S;
+  for (size_t I = 0; I < Len; ++I)
+    S.push_back(Alpha[Rng() % 26]);
+  return S;
+}
+
+std::string buildPattern(const FeaturePlan &F, std::mt19937_64 &Rng) {
+  std::string P;
+  if (F.Anchor)
+    P += "^";
+  if (F.Lookahead)
+    P += "(?=" + randomWord(Rng) + ")";
+  if (F.WordB)
+    P += "\\b";
+
+  // Leading atom with a quantifier per the plan.
+  std::string Atom =
+      F.Class ? (F.Range ? "[a-z0-9_]" : "[abc]") : randomWord(Rng, 1, 3);
+  P += Atom;
+  if (F.Star)
+    P += F.LazyStar ? "*?" : "*";
+  else if (F.Plus)
+    P += F.LazyPlus ? "+?" : "+";
+  else if (F.Rep)
+    P += F.LazyRep ? "{1,3}?" : "{2,4}";
+  else if (F.LazyStar)
+    P += "*?";
+  else if (F.LazyPlus)
+    P += "+?";
+  else if (F.LazyRep)
+    P += "{1,2}?";
+
+  if (F.QBackref) {
+    P += "((" + randomWord(Rng, 1, 2) + "|x)\\2)+";
+  } else if (F.Capture) {
+    P += "(" + randomWord(Rng) + (F.Plus ? "+" : "") + ")";
+    if (F.Backref)
+      P += "\\1";
+  }
+  if (F.NonCap)
+    P += "(?:" + randomWord(Rng, 1, 3) + ")?";
+  P += randomWord(Rng, 1, 3);
+  if (F.Anchor)
+    P += "$";
+
+  std::string Flags;
+  if (F.Global)
+    Flags += 'g';
+  if (F.ICase)
+    Flags += 'i';
+  if (F.MFlag)
+    Flags += 'm';
+  if (F.Unicode)
+    Flags += 'u';
+  if (F.Sticky)
+    Flags += 'y';
+  return "/" + P + "/" + Flags;
+}
+
+std::vector<PoolEntry> proceduralPool(size_t Count, std::mt19937_64 &Rng) {
+  auto Coin = [&Rng](double P) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < P;
+  };
+  std::vector<PoolEntry> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    FeaturePlan F;
+    F.Capture = Coin(0.37);
+    F.Global = Coin(0.296);
+    F.Class = Coin(0.232);
+    F.Plus = Coin(0.221);
+    F.Star = !F.Plus && Coin(0.28);
+    F.ICase = Coin(0.193);
+    F.Range = F.Class && Coin(0.74);
+    F.NonCap = Coin(0.085);
+    F.Rep = !F.Plus && !F.Star && Coin(0.09);
+    F.LazyStar = F.Star && Coin(0.2);
+    F.MFlag = Coin(0.035);
+    F.WordB = Coin(0.032);
+    F.LazyPlus = F.Plus && Coin(0.09);
+    F.Lookahead = Coin(0.01);
+    F.Backref = F.Capture && Coin(0.02);
+    F.LazyRep = F.Rep && Coin(0.012);
+    F.QBackref = Coin(0.0004);
+    F.Sticky = Coin(0.0002);
+    F.Unicode = Coin(0.0002);
+    F.Anchor = Coin(0.35);
+    // Popularity: simple patterns dominate the duplicated mass.
+    int Complexity = F.Capture + F.Backref + F.Lookahead + F.NonCap +
+                     F.QBackref + F.Rep;
+    double Pop = 1.0 / (1.0 + I * 0.01) / (1.0 + 2.0 * Complexity);
+    Out.push_back({buildPattern(F, Rng), Pop});
+  }
+  return Out;
+}
+
+std::string makeFile(const std::vector<std::string> &Literals,
+                     std::mt19937_64 &Rng, size_t FileIdx) {
+  std::string S;
+  S += "// auto-generated module " + std::to_string(FileIdx) + "\n";
+  S += "'use strict';\n";
+  S += "var total = 0; /* running /total/ count */\n";
+  size_t N = 0;
+  for (const std::string &L : Literals) {
+    switch (Rng() % 5) {
+    case 0:
+      S += "var re" + std::to_string(N) + " = " + L + ";\n";
+      break;
+    case 1:
+      S += "if (" + L + ".test(input)) { total += 1; }\n";
+      break;
+    case 2:
+      S += "var m" + std::to_string(N) + " = input.match(" + L + ");\n";
+      break;
+    case 3:
+      S += "out = out.replace(" + L + ", '');\n";
+      break;
+    default:
+      S += "var parts" + std::to_string(N) + " = " + L +
+           ".exec(line);\n";
+      break;
+    }
+    // Decoys between uses: division and slash-bearing strings that the
+    // extractor must not mistake for regexes.
+    if (Rng() % 3 == 0)
+      S += "total = total / 2 / 1;\n";
+    if (Rng() % 4 == 0)
+      S += "var path = 'a/b/c' + \"/d/e\";\n";
+    ++N;
+  }
+  S += "module.exports = { total: total };\n";
+  return S;
+}
+
+} // namespace
+
+std::vector<GeneratedPackage> recap::generateCorpus(
+    const CorpusOptions &Opts) {
+  std::mt19937_64 Rng(Opts.Seed);
+  std::vector<PoolEntry> Pool = curatedPool();
+  std::vector<PoolEntry> Proc = proceduralPool(Opts.ProceduralPool, Rng);
+  Pool.insert(Pool.end(), Proc.begin(), Proc.end());
+
+  std::vector<double> Weights;
+  Weights.reserve(Pool.size());
+  for (const PoolEntry &E : Pool)
+    Weights.push_back(E.Popularity);
+  std::discrete_distribution<size_t> Draw(Weights.begin(), Weights.end());
+  std::uniform_real_distribution<double> Uni(0, 1);
+
+  std::vector<GeneratedPackage> Out;
+  Out.reserve(Opts.NumPackages);
+  for (size_t P = 0; P < Opts.NumPackages; ++P) {
+    GeneratedPackage Pkg;
+    Pkg.Name = "pkg-" + std::to_string(P);
+    if (Uni(Rng) >= Opts.SourceRate) {
+      Out.push_back(std::move(Pkg)); // no source files
+      continue;
+    }
+    bool HasRegex = Uni(Rng) < Opts.RegexRate;
+    size_t NumFiles = 1 + Rng() % 3;
+    std::vector<std::vector<std::string>> FileLits(NumFiles);
+    if (HasRegex) {
+      std::geometric_distribution<size_t> Geo(
+          1.0 / Opts.MeanRegexesPerPackage);
+      size_t NumRegexes = 1 + Geo(Rng);
+      for (size_t R = 0; R < NumRegexes; ++R)
+        FileLits[Rng() % NumFiles].push_back(Pool[Draw(Rng)].Literal);
+    }
+    for (size_t F = 0; F < NumFiles; ++F)
+      Pkg.Files.push_back(makeFile(FileLits[F], Rng, F));
+    Out.push_back(std::move(Pkg));
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- survey/CorpusGen.h - Synthetic NPM corpus ----------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-in for the paper's 415,487-package NPM snapshot
+/// (DESIGN.md substitutions). Packages are generated with JavaScript
+/// sources embedding regex literals drawn from (a) a curated set of
+/// real-world idioms and (b) a procedural pool whose per-feature rates are
+/// calibrated to Table 5's *unique* column; Zipf-like popularity weights
+/// reproduce the heavy duplication that separates the total column from
+/// the unique column. The survey pipeline itself (extraction +
+/// classification) is the system under test; the corpus only supplies
+/// realistic input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SURVEY_CORPUSGEN_H
+#define RECAP_SURVEY_CORPUSGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+struct CorpusOptions {
+  size_t NumPackages = 1500;
+  uint64_t Seed = 42;
+  /// Size of the procedurally generated pattern pool.
+  size_t ProceduralPool = 1200;
+  /// Probability that a package ships JavaScript sources (Table 4: 91.9%).
+  double SourceRate = 0.919;
+  /// Probability that a source package contains a regex (Table 4: ~38% of
+  /// packages with sources).
+  double RegexRate = 0.38;
+  /// Mean number of regex occurrences per regex-using package.
+  double MeanRegexesPerPackage = 14.0;
+};
+
+struct GeneratedPackage {
+  std::string Name;
+  std::vector<std::string> Files; ///< JavaScript source contents
+};
+
+std::vector<GeneratedPackage> generateCorpus(const CorpusOptions &Opts);
+
+} // namespace recap
+
+#endif // RECAP_SURVEY_CORPUSGEN_H

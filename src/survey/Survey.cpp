@@ -1,0 +1,217 @@
+//===- survey/Survey.cpp - Regex usage survey ------------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/Survey.h"
+
+#include <cctype>
+
+using namespace recap;
+
+namespace {
+
+/// True if a '/' at the current point starts a regex literal rather than a
+/// division, judged from the last significant character/token (the
+/// lightweight heuristic the paper's static analysis uses).
+bool regexPosition(const std::string &Src, size_t SlashPos,
+                   const std::string &LastWord) {
+  static const std::set<std::string> Keywords = {
+      "return", "typeof", "case",  "in",   "of",   "delete",
+      "void",   "instanceof",      "new",  "do",   "else",
+      "yield",  "throw"};
+  if (!LastWord.empty())
+    return Keywords.count(LastWord) != 0;
+  // Scan backwards for the previous non-space character.
+  size_t I = SlashPos;
+  while (I > 0) {
+    char C = Src[--I];
+    if (std::isspace(static_cast<unsigned char>(C)))
+      continue;
+    static const std::string Openers = "(,=:[!&|?{};+-*%~^<>";
+    return Openers.find(C) != std::string::npos;
+  }
+  return true; // start of file
+}
+
+} // namespace
+
+std::vector<std::string> recap::extractRegexLiterals(
+    const std::string &Src) {
+  std::vector<std::string> Out;
+  size_t I = 0, N = Src.size();
+  std::string LastWord;
+  while (I < N) {
+    char C = Src[I];
+    // Line comment.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    // Block comment.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/'))
+        ++I;
+      I += 2;
+      continue;
+    }
+    // String literals.
+    if (C == '"' || C == '\'' || C == '`') {
+      char Quote = C;
+      ++I;
+      while (I < N && Src[I] != Quote) {
+        if (Src[I] == '\\')
+          ++I;
+        ++I;
+      }
+      ++I;
+      LastWord.clear();
+      continue;
+    }
+    // Candidate regex literal.
+    if (C == '/' && regexPosition(Src, I, LastWord)) {
+      size_t Start = I++;
+      bool InClass = false;
+      bool Ok = false;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '\\') {
+          I += 2;
+          continue;
+        }
+        if (D == '\n')
+          break;
+        if (InClass) {
+          if (D == ']')
+            InClass = false;
+        } else if (D == '[') {
+          InClass = true;
+        } else if (D == '/') {
+          Ok = true;
+          break;
+        }
+        ++I;
+      }
+      if (Ok) {
+        ++I; // closing '/'
+        size_t FlagStart = I;
+        while (I < N &&
+               std::isalpha(static_cast<unsigned char>(Src[I])))
+          ++I;
+        // An empty pattern "//" is a comment, not a regex; already
+        // excluded by the comment case above.
+        Out.push_back(Src.substr(Start, I - Start));
+        (void)FlagStart;
+        LastWord.clear();
+        continue;
+      }
+      I = Start + 1; // not a regex: treat as division
+      LastWord.clear();
+      continue;
+    }
+    // Track identifier words for the keyword heuristic.
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '$') {
+      size_t W = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_' || Src[I] == '$'))
+        ++I;
+      LastWord = Src.substr(W, I - W);
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      LastWord.clear();
+    ++I;
+  }
+  return Out;
+}
+
+std::vector<std::string> recap::surveyFeatureNames() {
+  return {"Capture Groups", "Global Flag",     "Character Class",
+          "Kleene+",        "Kleene*",         "Ignore Case Flag",
+          "Ranges",         "Non-capturing",   "Repetition",
+          "Kleene* (Lazy)", "Multiline Flag",  "Word Boundary",
+          "Kleene+ (Lazy)", "Lookaheads",      "Backreferences",
+          "Repetition (Lazy)", "Quantified BRefs", "Sticky Flag",
+          "Unicode Flag"};
+}
+
+std::vector<std::string> recap::surveyExtensionFeatureNames() {
+  return {"DotAll Flag", "Named Groups", "Lookbehinds", "Named BRefs"};
+}
+
+void Survey::countRegex(const std::string &Literal, bool FirstSeen) {
+  Result<Regex> R = Regex::parseLiteral(Literal);
+  if (!R)
+    return;
+  RegexFeatures F = analyzeFeatures(*R);
+  const RegexFlags &Flags = R->flags();
+
+  auto Bump = [&](const std::string &Name, bool Present) {
+    if (!Present)
+      return;
+    FeatureCount &FC = Features[Name];
+    ++FC.Total;
+    if (FirstSeen)
+      ++FC.Unique;
+  };
+  Bump("Capture Groups", F.CaptureGroups > 0);
+  Bump("Global Flag", Flags.Global);
+  Bump("Character Class", F.CharacterClasses > 0);
+  Bump("Kleene+", F.KleenePlus > 0);
+  Bump("Kleene*", F.KleeneStar > 0);
+  Bump("Ignore Case Flag", Flags.IgnoreCase);
+  Bump("Ranges", F.ClassRanges > 0);
+  Bump("Non-capturing", F.NonCapturingGroups > 0);
+  Bump("Repetition", F.Repetition > 0);
+  Bump("Kleene* (Lazy)", F.KleeneStarLazy > 0);
+  Bump("Multiline Flag", Flags.Multiline);
+  Bump("Word Boundary", F.WordBoundaries > 0);
+  Bump("Kleene+ (Lazy)", F.KleenePlusLazy > 0);
+  Bump("Lookaheads", F.Lookaheads > 0);
+  Bump("Backreferences", F.Backreferences > 0);
+  Bump("Repetition (Lazy)", F.RepetitionLazy > 0);
+  Bump("Quantified BRefs", F.QuantifiedBackreferences > 0);
+  Bump("Sticky Flag", Flags.Sticky);
+  Bump("Unicode Flag", Flags.Unicode);
+  // Extension rows (reported outside the Table 5 comparison).
+  Bump("DotAll Flag", Flags.DotAll);
+  Bump("Named Groups", F.NamedGroups > 0);
+  Bump("Lookbehinds", F.Lookbehinds > 0);
+  Bump("Named BRefs", F.NamedBackreferences > 0);
+}
+
+void Survey::addPackage(const std::vector<std::string> &JsFiles) {
+  ++Packages;
+  if (JsFiles.empty())
+    return;
+  ++WithSource;
+
+  bool HasRegex = false, HasCaptures = false, HasBackrefs = false,
+       HasQBackrefs = false;
+  for (const std::string &File : JsFiles) {
+    for (const std::string &Lit : extractRegexLiterals(File)) {
+      Result<Regex> R = Regex::parseLiteral(Lit);
+      if (!R)
+        continue;
+      HasRegex = true;
+      RegexFeatures F = analyzeFeatures(*R);
+      HasCaptures |= F.CaptureGroups > 0;
+      HasBackrefs |= F.Backreferences > 0;
+      HasQBackrefs |= F.QuantifiedBackreferences > 0;
+
+      ++TotalRegexes;
+      bool FirstSeen = Seen.insert(Lit).second;
+      if (FirstSeen)
+        ++UniqueRegexes;
+      countRegex(Lit, FirstSeen);
+    }
+  }
+  WithRegex += HasRegex;
+  WithCaptures += HasCaptures;
+  WithBackrefs += HasBackrefs;
+  WithQuantifiedBackrefs += HasQBackrefs;
+}

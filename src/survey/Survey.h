@@ -1,0 +1,74 @@
+//===- survey/Survey.h - Regex usage survey ---------------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §7.1 survey pipeline: a lightweight static analysis that
+/// extracts regex literals from JavaScript source (skipping strings and
+/// comments, distinguishing division by expression position, and — like
+/// the paper — not resolving `new RegExp(...)` construction), classifies
+/// each regex's features with the parser, and aggregates the Table 4
+/// (per-package) and Table 5 (per-regex, total vs. unique) statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SURVEY_SURVEY_H
+#define RECAP_SURVEY_SURVEY_H
+
+#include "regex/Features.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+/// Finds regex literals (like "/ab+c/gi") in JavaScript source text.
+std::vector<std::string> extractRegexLiterals(const std::string &Source);
+
+/// Feature-row identifiers in Table 5's order.
+std::vector<std::string> surveyFeatureNames();
+
+/// Rows for the ES2018+ extension features this library supports beyond
+/// the paper's ES6 scope (dotAll, named groups, lookbehind, named
+/// backreferences). Reported separately so Table 5 stays comparable to
+/// the paper.
+std::vector<std::string> surveyExtensionFeatureNames();
+
+/// Streaming aggregation over packages.
+class Survey {
+public:
+  /// Adds one package given the contents of its JavaScript files (empty
+  /// vector = package without source files).
+  void addPackage(const std::vector<std::string> &JsFiles);
+
+  // Table 4 rows.
+  uint64_t Packages = 0;
+  uint64_t WithSource = 0;
+  uint64_t WithRegex = 0;
+  uint64_t WithCaptures = 0;
+  uint64_t WithBackrefs = 0;
+  uint64_t WithQuantifiedBackrefs = 0;
+
+  // Table 5 totals.
+  uint64_t TotalRegexes = 0;
+  uint64_t UniqueRegexes = 0;
+
+  struct FeatureCount {
+    uint64_t Total = 0;
+    uint64_t Unique = 0;
+  };
+  /// Keyed by surveyFeatureNames() entries.
+  std::map<std::string, FeatureCount> Features;
+
+private:
+  void countRegex(const std::string &Literal, bool FirstSeen);
+  std::set<std::string> Seen;
+};
+
+} // namespace recap
+
+#endif // RECAP_SURVEY_SURVEY_H

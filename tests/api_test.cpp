@@ -1,0 +1,144 @@
+//===- tests/api_test.cpp - Algorithm 2 symbolic exec/test -----------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SolverBackend> Backend = makeZ3Backend();
+  TermEvaluator Eval;
+};
+
+TEST(Api, FindsMatchingInput) {
+  Fixture F;
+  auto R = Regex::parse("go+d", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q = Sym.test(In, mkIntConst(0));
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  RegExpObject Oracle(R->clone());
+  EXPECT_TRUE(Oracle.test(Res.Model.str("s")));
+}
+
+TEST(Api, MatchIndexAndLastIndexTerms) {
+  Fixture F;
+  auto R = Regex::parse("b+", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q = Sym.exec(In, mkIntConst(0));
+  CegarSolver Solver(*F.Backend);
+  // Force input "abba": match at 1, length 2 -> lastIndexAfter = 3.
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(In, mkStrConst(fromUTF8("abba"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  EXPECT_EQ(*F.Eval.evalInt(SymbolicRegExp::matchIndex(*Q), Res.Model), 1);
+  EXPECT_EQ(*F.Eval.evalInt(SymbolicRegExp::lastIndexAfter(*Q), Res.Model),
+            3);
+}
+
+TEST(Api, StickyPinsPosition) {
+  Fixture F;
+  auto R = Regex::parse("b", "y");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  // lastIndex = 1: the input must have 'b' exactly at index 1.
+  auto Q = Sym.test(In, mkIntConst(1));
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(mkStrLen(In), mkIntConst(3)))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString S = Res.Model.str("s");
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(uint32_t(S[1]), uint32_t('b'));
+}
+
+TEST(Api, GlobalRequiresMatchAtOrAfterLastIndex) {
+  Fixture F;
+  auto R = Regex::parse("b", "g");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q = Sym.test(In, mkIntConst(2));
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(mkStrLen(In), mkIntConst(4)))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString S = Res.Model.str("s");
+  // Some 'b' at index >= 2.
+  bool Found = false;
+  for (size_t I = 2; I < S.size(); ++I)
+    Found |= S[I] == U'b';
+  EXPECT_TRUE(Found) << toUTF8(S);
+}
+
+TEST(Api, InputsNeverContainMetaMarkers) {
+  Fixture F;
+  auto R = Regex::parse("[^x]+", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q = Sym.test(In, mkIntConst(0));
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  for (CodePoint C : Res.Model.str("s")) {
+    EXPECT_NE(C, MetaStart);
+    EXPECT_NE(C, MetaEnd);
+  }
+}
+
+TEST(Api, IgnoreCaseFindsFoldedInput) {
+  Fixture F;
+  auto R = Regex::parse("^HI$", "i");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q = Sym.test(In, mkIntConst(0));
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkNe(In, mkStrConst(fromUTF8("HI")))),
+       PathClause::plain(mkNe(In, mkStrConst(fromUTF8("hi"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  RegExpObject Oracle(R->clone());
+  EXPECT_TRUE(Oracle.test(Res.Model.str("s")));
+}
+
+TEST(Api, ExecVsTestValidation) {
+  auto R = Regex::parse("(a+)", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  EXPECT_TRUE(Sym.exec(In, mkIntConst(0))->ValidateCaptures);
+  EXPECT_FALSE(Sym.test(In, mkIntConst(0))->ValidateCaptures);
+}
+
+TEST(Api, DistinctCallSitesGetDistinctVariables) {
+  auto R = Regex::parse("(a)", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "a");
+  TermRef In = mkStrVar("s");
+  auto Q1 = Sym.exec(In, mkIntConst(0));
+  auto Q2 = Sym.exec(In, mkIntConst(0));
+  EXPECT_NE(Q1->Model.Word->Name, Q2->Model.Word->Name);
+  EXPECT_NE(Q1->Model.Captures[0].Value->Name,
+            Q2->Model.Captures[0].Value->Name);
+}
+
+} // namespace

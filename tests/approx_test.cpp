@@ -1,0 +1,144 @@
+//===- tests/approx_test.cpp - Regular approximation t̂ ---------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property: approximateRegular overapproximates — every word the concrete
+// matcher accepts (as a whole-string match) is in L(t̂). This invariant is
+// what the star rule of Table 2 relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+#include "automata/Automaton.h"
+#include "model/Approx.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+/// Words over a tiny alphabet up to length 4.
+std::vector<UString> sampleWords() {
+  std::vector<UString> Out = {UString()};
+  const char Alpha[] = {'a', 'b', '0', '<', '>'};
+  size_t Begin = 0;
+  for (int Len = 1; Len <= 4; ++Len) {
+    size_t End = Out.size();
+    for (size_t I = Begin; I < End; ++I)
+      for (char C : Alpha) {
+        UString W = Out[I];
+        W.push_back(C);
+        Out.push_back(W);
+      }
+    Begin = End;
+  }
+  return Out;
+}
+
+/// Anchored full-match check through the matcher.
+bool fullMatch(const Regex &R, const UString &W) {
+  Matcher M(R);
+  MatchResult Res;
+  if (M.matchAt(W, 0, Res) != MatchStatus::Match)
+    return false;
+  return Res.matchLength() == W.size();
+}
+
+class ApproxOverapprox : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ApproxOverapprox, ContainsAllMatches) {
+  auto R = Regex::parse(GetParam(), "");
+  ASSERT_TRUE(bool(R)) << GetParam();
+  ApproxOptions Opts;
+  Opts.ExcludeMetaChars = false; // compare against the raw matcher
+  CRegexRef Hat = approximateRegular(R->root(), *R, Opts);
+  Result<Automaton> A = Automaton::compile(Hat);
+  ASSERT_TRUE(bool(A)) << A.error();
+  for (const UString &W : sampleWords()) {
+    if (fullMatch(*R, W))
+      EXPECT_TRUE(A->accepts(W))
+          << "/" << GetParam() << "/ matches '" << toUTF8(W)
+          << "' but t̂ rejects it";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, ApproxOverapprox,
+    ::testing::Values("a*", "(a|b)+", "a(b)?", "(a)(b)", "a{2,3}",
+                      "(?:ab)*", "(a*)(a)?", "a|((b)*a)*",
+                      "(?=a)a*", "(?!b)a+", "\\ba+", "^a+$", "(a)\\1",
+                      "(a|b)\\1", "<(a+)>", "((a)|b)*", "[ab]{1,2}",
+                      "(a+)(b+)?", "a*?b", "(0|a)*"));
+
+TEST(Approx, ExactnessFlag) {
+  ApproxOptions Opts;
+  auto Check = [&](const char *P, bool WantExact) {
+    auto R = Regex::parse(P, "");
+    ASSERT_TRUE(bool(R)) << P;
+    RegularApprox A = approximateRegularEx(R->root(), *R, Opts);
+    EXPECT_EQ(A.Exact, WantExact) << P;
+  };
+  Check("(a|b)*c", true);
+  Check("a{2,4}", true);
+  Check("(a)(b)?", true);
+  Check("(a)\\1", false);     // backreference widened
+  Check("(?=a)b", false);     // lookahead dropped
+  Check("\\ba", false);       // boundary dropped
+  Check("^a$", false);        // anchors dropped
+}
+
+TEST(Approx, BackrefWidensToGroupLanguage) {
+  auto R = Regex::parse("(a+)\\1", "");
+  ASSERT_TRUE(bool(R));
+  CRegexRef Hat = approximateRegular(*R);
+  Result<Automaton> A = Automaton::compile(Hat);
+  ASSERT_TRUE(bool(A));
+  // Real matches like "aa" are covered...
+  EXPECT_TRUE(A->accepts(fromUTF8("aa")));
+  // ...and so are overapproximate words like "aaa" (unequal halves).
+  EXPECT_TRUE(A->accepts(fromUTF8("aaa")));
+  EXPECT_FALSE(A->accepts(fromUTF8("ab")));
+}
+
+TEST(Approx, IgnoreCaseClosesClasses) {
+  auto R = Regex::parse("abc", "i");
+  ASSERT_TRUE(bool(R));
+  CRegexRef Hat = approximateRegular(*R);
+  Result<Automaton> A = Automaton::compile(Hat);
+  ASSERT_TRUE(bool(A));
+  EXPECT_TRUE(A->accepts(fromUTF8("aBc")));
+  EXPECT_TRUE(A->accepts(fromUTF8("ABC")));
+  EXPECT_FALSE(A->accepts(fromUTF8("abd")));
+}
+
+TEST(Approx, MetaExclusion) {
+  auto R = Regex::parse(".", "");
+  ASSERT_TRUE(bool(R));
+  ApproxOptions Opts; // ExcludeMetaChars on by default
+  Opts.IgnoreCase = false;
+  CRegexRef Hat = approximateRegular(R->root(), *R, Opts);
+  Result<Automaton> A = Automaton::compile(Hat);
+  ASSERT_TRUE(bool(A));
+  EXPECT_FALSE(A->accepts(UString(1, MetaStart)));
+  EXPECT_FALSE(A->accepts(UString(1, MetaEnd)));
+  EXPECT_TRUE(A->accepts(fromUTF8("x")));
+}
+
+TEST(Approx, RepetitionClamping) {
+  auto R = Regex::parse("a{2,100}", "");
+  ASSERT_TRUE(bool(R));
+  ApproxOptions Opts;
+  Opts.RepetitionUnrollLimit = 4;
+  RegularApprox A = approximateRegularEx(R->root(), *R, Opts);
+  EXPECT_FALSE(A.Exact);
+  Result<Automaton> Au = Automaton::compile(A.Re);
+  ASSERT_TRUE(bool(Au));
+  // Overapproximation direction: everything the regex matches is in.
+  EXPECT_TRUE(Au->accepts(UString(50, 'a')));
+  EXPECT_FALSE(Au->accepts(UString(1, 'a'))); // below the minimum
+}
+
+} // namespace

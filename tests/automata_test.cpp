@@ -1,0 +1,163 @@
+//===- tests/automata_test.cpp - Automata over classical regexes -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Automaton.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+Automaton compile(const CRegexRef &R) {
+  Result<Automaton> A = Automaton::compile(R);
+  EXPECT_TRUE(bool(A)) << A.error();
+  return A.take();
+}
+
+TEST(Automaton, LiteralMembership) {
+  Automaton A = compile(cLiteral(fromUTF8("abc")));
+  EXPECT_TRUE(A.accepts(fromUTF8("abc")));
+  EXPECT_FALSE(A.accepts(fromUTF8("ab")));
+  EXPECT_FALSE(A.accepts(fromUTF8("abcd")));
+  EXPECT_FALSE(A.accepts(fromUTF8("")));
+}
+
+TEST(Automaton, StarAndUnion) {
+  // (ab)* | c+
+  CRegexRef R = cUnion(cStar(cLiteral(fromUTF8("ab"))),
+                       cPlus(cChar('c')));
+  Automaton A = compile(R);
+  EXPECT_TRUE(A.accepts(fromUTF8("")));
+  EXPECT_TRUE(A.accepts(fromUTF8("abab")));
+  EXPECT_TRUE(A.accepts(fromUTF8("ccc")));
+  EXPECT_FALSE(A.accepts(fromUTF8("abc")));
+  EXPECT_FALSE(A.accepts(fromUTF8("aba")));
+}
+
+TEST(Automaton, ClassRanges) {
+  Automaton A = compile(cPlus(cClass(CharSet::range('0', '9'))));
+  EXPECT_TRUE(A.accepts(fromUTF8("0123456789")));
+  EXPECT_FALSE(A.accepts(fromUTF8("12a3")));
+}
+
+TEST(Automaton, Intersection) {
+  // Words over {a,b} of length 2 that start with a and end with b: "ab".
+  CharSet AB = CharSet::range('a', 'b');
+  CRegexRef StartsA = cConcat(cChar('a'), cStar(cClass(AB)));
+  CRegexRef EndsB = cConcat(cStar(cClass(AB)), cChar('b'));
+  CRegexRef Len2 = cConcat(cClass(AB), cClass(AB));
+  Automaton A = compile(cIntersect({StartsA, EndsB, Len2}));
+  EXPECT_TRUE(A.accepts(fromUTF8("ab")));
+  EXPECT_FALSE(A.accepts(fromUTF8("ab" "b")));
+  EXPECT_FALSE(A.accepts(fromUTF8("bb")));
+  EXPECT_FALSE(A.accepts(fromUTF8("aa")));
+}
+
+TEST(Automaton, Complement) {
+  Automaton A = compile(cComplement(cLiteral(fromUTF8("x"))));
+  EXPECT_FALSE(A.accepts(fromUTF8("x")));
+  EXPECT_TRUE(A.accepts(fromUTF8("")));
+  EXPECT_TRUE(A.accepts(fromUTF8("xx")));
+  EXPECT_TRUE(A.accepts(fromUTF8("y")));
+}
+
+TEST(Automaton, EmptinessAndShortestWord) {
+  // a & b = empty language.
+  Automaton Empty = compile(cIntersect(cChar('a'), cChar('b')));
+  EXPECT_TRUE(Empty.isEmptyLanguage());
+  EXPECT_FALSE(Empty.shortestWord().has_value());
+
+  Automaton A = compile(cConcat(cStar(cChar('a')), cLiteral(fromUTF8("bb"))));
+  auto W = A.shortestWord();
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(toUTF8(*W), "bb");
+}
+
+TEST(Automaton, ShortestWordOfEpsilon) {
+  Automaton A = compile(cStar(cChar('a')));
+  auto W = A.shortestWord();
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->empty());
+}
+
+TEST(Automaton, EnumerateWordsShortestFirst) {
+  Automaton A = compile(cPlus(cChar('a')));
+  std::vector<UString> Words = A.enumerateWords(3, 10);
+  ASSERT_EQ(Words.size(), 3u);
+  EXPECT_EQ(toUTF8(Words[0]), "a");
+  EXPECT_EQ(toUTF8(Words[1]), "aa");
+  EXPECT_EQ(toUTF8(Words[2]), "aaa");
+}
+
+TEST(Automaton, EnumerateRespectsMaxLen) {
+  // Two distinct character classes so the enumeration distinguishes them.
+  Automaton A = compile(cStar(cUnion(cChar('a'), cChar('b'))));
+  std::vector<UString> Words = A.enumerateWords(100, 2);
+  // ε, a, b, aa, ab, ba, bb.
+  EXPECT_EQ(Words.size(), 7u);
+  for (const UString &W : Words)
+    EXPECT_LE(W.size(), 2u);
+}
+
+TEST(Automaton, EnumerateUsesOneRepresentativePerClass) {
+  // [a-b] is a single equivalence class: enumeration explores one
+  // representative per class (the local solver seeds constants from the
+  // constraint set to compensate; see LocalBackend).
+  Automaton A = compile(cClass(CharSet::range('a', 'b')));
+  std::vector<UString> Words = A.enumerateWords(100, 1);
+  EXPECT_EQ(Words.size(), 1u);
+  EXPECT_TRUE(A.accepts(fromUTF8("b"))); // still in the language
+}
+
+TEST(Automaton, EnumerateAvoidsDeadStates) {
+  // Language {"ab"}: enumeration must not drown in dead prefixes.
+  Automaton A = compile(cLiteral(fromUTF8("ab")));
+  std::vector<UString> Words = A.enumerateWords(10, 5);
+  ASSERT_EQ(Words.size(), 1u);
+  EXPECT_EQ(toUTF8(Words[0]), "ab");
+}
+
+TEST(Automaton, ComplementOfComplementIsIdentityOnSamples) {
+  CRegexRef R = cConcat(cChar('a'), cOpt(cChar('b')));
+  Automaton A = compile(R);
+  Automaton NotNot = compile(cComplement(cComplement(R)));
+  for (const char *S : {"", "a", "b", "ab", "abb", "ba"}) {
+    UString W = fromUTF8(S);
+    EXPECT_EQ(A.accepts(W), NotNot.accepts(W)) << S;
+  }
+}
+
+TEST(Automaton, DeMorganOnSamples) {
+  CRegexRef X = cStar(cChar('a'));
+  CRegexRef Y = cConcat(cStar(cClass(CharSet::range('a', 'b'))),
+                        cChar('b'));
+  Automaton Lhs = compile(cComplement(cUnion(X, Y)));
+  Automaton Rhs = compile(cIntersect(cComplement(X), cComplement(Y)));
+  for (const char *S : {"", "a", "aa", "b", "ab", "ba", "bab", "c"}) {
+    UString W = fromUTF8(S);
+    EXPECT_EQ(Lhs.accepts(W), Rhs.accepts(W)) << S;
+  }
+}
+
+TEST(Automaton, MintermizationHandlesAdjacentRanges) {
+  CRegexRef R = cUnion(cClass(CharSet::range('a', 'm')),
+                       cClass(CharSet::range('n', 'z')));
+  Automaton A = compile(R);
+  EXPECT_TRUE(A.accepts(fromUTF8("m")));
+  EXPECT_TRUE(A.accepts(fromUTF8("n")));
+  EXPECT_FALSE(A.accepts(fromUTF8("A")));
+}
+
+TEST(Automaton, StateLimit) {
+  // Force a blowup: (a|b)^20 (a|b){20} needs modest states; use a tiny
+  // limit to exercise the failure path.
+  CRegexRef R = cStar(cClass(CharSet::range('a', 'z')));
+  Result<Automaton> A = Automaton::compile(R, /*StateLimit=*/0);
+  EXPECT_FALSE(bool(A));
+}
+
+} // namespace

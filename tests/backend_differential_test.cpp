@@ -1,0 +1,99 @@
+//===- tests/backend_differential_test.cpp - Z3 vs LocalBackend ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-backend differential: the model is solver-agnostic (DESIGN.md
+// system 7). For small-alphabet constraint problems both backends must
+// reach compatible verdicts — LocalBackend may return Unknown (it is a
+// bounded search) but must never contradict Z3, and every Sat model from
+// either backend must satisfy the assertions under the term evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct DiffProbe {
+  const char *Pattern;
+  const char *PinnedInput; ///< nullptr = free input
+  bool Positive;
+};
+
+class BackendDifferential : public ::testing::TestWithParam<DiffProbe> {};
+
+TEST_P(BackendDifferential, VerdictsCompatibleAndModelsValid) {
+  const DiffProbe &P = GetParam();
+  auto R = Regex::parse(P.Pattern, "");
+  ASSERT_TRUE(bool(R)) << P.Pattern;
+
+  auto runWith = [&](SolverBackend &B) {
+    CegarOptions Opts;
+    Opts.Limits.TimeoutMs = 5000;
+    CegarSolver Solver(B, Opts);
+    SymbolicRegExp Sym(R->clone(), std::string("bd") + B.name());
+    TermRef In = mkStrVar("in");
+    auto Q = Sym.exec(In, mkIntConst(0));
+    std::vector<PathClause> PC = {PathClause::regex(Q, P.Positive)};
+    if (P.PinnedInput)
+      PC.push_back(PathClause::plain(
+          mkEq(In, mkStrConst(fromUTF8(P.PinnedInput)))));
+    CegarResult Res = Solver.solve(PC);
+    // CEGAR already validates Sat models against the matcher; re-check
+    // the match polarity independently here.
+    if (Res.Status == SolveStatus::Sat) {
+      TermEvaluator Eval;
+      auto InVal = Eval.evalString(Q->Input, Res.Model);
+      EXPECT_TRUE(InVal.has_value());
+      RegExpObject Oracle(R->clone());
+      EXPECT_EQ(Oracle.test(*InVal), P.Positive)
+          << B.name() << " produced '" << toUTF8(*InVal) << "' for /"
+          << P.Pattern << "/";
+    }
+    return Res.Status;
+  };
+
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  SolveStatus SZ = runWith(*Z3);
+  SolveStatus SL = runWith(*Local);
+
+  // Local may give up; it may not contradict Z3's definite answers.
+  if (SZ != SolveStatus::Unknown && SL != SolveStatus::Unknown)
+    EXPECT_EQ(SZ, SL) << "/" << P.Pattern << "/ polarity "
+                      << (P.Positive ? "+" : "-");
+}
+
+const DiffProbe Probes[] = {
+    {"abc", nullptr, true},
+    {"abc", "xabcy", true},
+    {"abc", "abd", true}, // free-position search still Unsat on pinned word
+    {"a+b", nullptr, true},
+    {"a+b", "aab", true},
+    {"a+b", "ba", true},
+    {"(a|b)c", nullptr, true},
+    {"^ab$", "ab", true},
+    {"^ab$", "abc", true},
+    {"(a)(b)?", nullptr, true},
+    {"^a*(a)?$", "aa", true},
+    {"(a+)\\1", "aaaa", true},
+    {"(a+)\\1", "aaa", true},
+    {"x(?=y)", "xy", true},
+    {"x(?=y)", "xz", true},
+    {"\\bab", "c ab", true},
+    // Non-membership probes.
+    {"a", nullptr, false},
+    {"^a+$", "aaa", false},
+    {"[ab]+", nullptr, false},
+};
+
+INSTANTIATE_TEST_SUITE_P(Probes, BackendDifferential,
+                         ::testing::ValuesIn(Probes));
+
+} // namespace

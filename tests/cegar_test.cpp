@@ -1,0 +1,204 @@
+//===- tests/cegar_test.cpp - Algorithm 1 refinement behavior --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SolverBackend> Backend = makeZ3Backend();
+  TermEvaluator Eval;
+
+  CegarResult solveWith(const Regex &R, std::vector<PathClause> Extra,
+                        bool Positive, CegarOptions Opts = {},
+                        std::shared_ptr<RegexQuery> *QOut = nullptr) {
+    CegarSolver Solver(*Backend, Opts);
+    SymbolicRegExp Sym(R.clone(), "c");
+    TermRef Input = mkStrVar("in");
+    auto Q = Sym.exec(Input, mkIntConst(0));
+    std::vector<PathClause> PC = {PathClause::regex(Q, Positive)};
+    for (PathClause &E : Extra)
+      PC.push_back(std::move(E));
+    if (QOut)
+      *QOut = Q;
+    return Solver.solve(PC);
+  }
+};
+
+TEST(Cegar, PaperGreedinessExample) {
+  // §3.4: /^a*(a)?$/ on "aa" — the model admits C1 = "a" but matching
+  // precedence forces C1 = undefined; one refinement fixes it.
+  Fixture F;
+  auto R = Regex::parse("^a*(a)?$", "");
+  ASSERT_TRUE(bool(R));
+  std::shared_ptr<RegexQuery> Q;
+  CegarResult Res = F.solveWith(
+      *R,
+      {PathClause::plain(mkEq(mkStrVar("in"), mkStrConst(fromUTF8("aa"))))},
+      /*Positive=*/true, {}, &Q);
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  auto Def = F.Eval.evalBool(Q->Model.Captures[0].Defined, Res.Model);
+  EXPECT_FALSE(*Def);
+}
+
+TEST(Cegar, SpuriousCaptureRequestBecomesUnsat) {
+  // Demanding C1 = "a" on input "aa" for /^a*(a)?$/ contradicts matching
+  // precedence; CEGAR must refine to Unsat rather than return the
+  // spurious model.
+  Fixture F;
+  auto R = Regex::parse("^a*(a)?$", "");
+  ASSERT_TRUE(bool(R));
+  std::shared_ptr<RegexQuery> Q;
+  CegarSolver Solver(*F.Backend);
+  SymbolicRegExp Sym(R->clone(), "c");
+  TermRef Input = mkStrVar("in");
+  Q = Sym.exec(Input, mkIntConst(0));
+  std::vector<PathClause> PC = {
+      PathClause::regex(Q, true),
+      PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aa")))),
+      PathClause::plain(Q->Model.Captures[0].Defined),
+  };
+  CegarResult Res = Solver.solve(PC);
+  EXPECT_EQ(Res.Status, SolveStatus::Unsat);
+  EXPECT_GE(Res.Refinements, 1u);
+}
+
+TEST(Cegar, LazyCapturePrecedence) {
+  // /<(.*?)>/ on "<a><b>": lazy matching gives C1 = "a", never "a><b".
+  Fixture F;
+  auto R = Regex::parse("<(.*?)>", "");
+  ASSERT_TRUE(bool(R));
+  std::shared_ptr<RegexQuery> Q;
+  CegarResult Res = F.solveWith(
+      *R,
+      {PathClause::plain(
+          mkEq(mkStrVar("in"), mkStrConst(fromUTF8("<a><b>"))))},
+      true, {}, &Q);
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  auto C1 = F.Eval.evalString(Q->Model.Captures[0].Value, Res.Model);
+  EXPECT_EQ(toUTF8(*C1), "a");
+}
+
+TEST(Cegar, NonMembershipRefinement) {
+  // Ask for a word NOT matching /a*/ anchored-free — impossible (every
+  // string contains the empty match), so the solver must keep refining
+  // candidate words away and finally report Unsat or Unknown, never Sat.
+  Fixture F;
+  auto R = Regex::parse("a*", "");
+  ASSERT_TRUE(bool(R));
+  CegarResult Res = F.solveWith(*R, {}, /*Positive=*/false);
+  EXPECT_NE(Res.Status, SolveStatus::Sat);
+}
+
+TEST(Cegar, NonMembershipWithBackreference) {
+  // §4.4 negated models: non-membership for a backreference pattern goes
+  // through the negated capture model + refinement.
+  Fixture F;
+  auto R = Regex::parse("^(a+)\\1$", "");
+  ASSERT_TRUE(bool(R));
+  std::shared_ptr<RegexQuery> Q;
+  CegarResult Res = F.solveWith(
+      *R,
+      {PathClause::plain(mkEq(mkStrLen(mkStrVar("in")), mkIntConst(3)))},
+      /*Positive=*/false, {}, &Q);
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  auto In = F.Eval.evalString(Q->Input, Res.Model);
+  RegExpObject Oracle(R->clone());
+  EXPECT_FALSE(Oracle.test(*In)) << toUTF8(*In);
+  EXPECT_EQ(In->size(), 3u);
+}
+
+TEST(Cegar, RefinementLimitReported) {
+  // A membership whose capture constraint can never be validated, with a
+  // tiny refinement budget: the solver reports the limit.
+  Fixture F;
+  auto R = Regex::parse("^(a*)(a*)$", "");
+  ASSERT_TRUE(bool(R));
+  CegarOptions Opts;
+  Opts.RefinementLimit = 2;
+  CegarSolver Solver(*F.Backend, Opts);
+  SymbolicRegExp Sym(R->clone(), "c");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  // C2 nonempty is impossible: greedy C1 swallows all a's. Force many
+  // candidate words by leaving the input free.
+  std::vector<PathClause> PC = {
+      PathClause::regex(Q, true),
+      PathClause::plain(
+          mkNot(mkEq(Q->Model.Captures[1].Value, mkStrConst(UString())))),
+      PathClause::plain(Q->Model.Captures[1].Defined),
+  };
+  CegarResult Res = Solver.solve(PC);
+  EXPECT_NE(Res.Status, SolveStatus::Sat);
+  if (Res.Status == SolveStatus::Unknown)
+    EXPECT_TRUE(Res.HitRefinementLimit);
+}
+
+TEST(Cegar, ValidateOffReturnsFirstModel) {
+  // The "+ Captures" support level: no refinement. The possibly-spurious
+  // C1="a" assignment for the greediness example is returned as-is.
+  Fixture F;
+  auto R = Regex::parse("^a*(a)?$", "");
+  ASSERT_TRUE(bool(R));
+  CegarOptions Opts;
+  Opts.Validate = false;
+  std::shared_ptr<RegexQuery> Q;
+  CegarSolver Solver(*F.Backend, Opts);
+  SymbolicRegExp Sym(R->clone(), "c");
+  TermRef Input = mkStrVar("in");
+  Q = Sym.exec(Input, mkIntConst(0));
+  std::vector<PathClause> PC = {
+      PathClause::regex(Q, true),
+      PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aa")))),
+      PathClause::plain(Q->Model.Captures[0].Defined),
+  };
+  CegarResult Res = Solver.solve(PC);
+  EXPECT_EQ(Res.Status, SolveStatus::Sat); // spurious but accepted
+  EXPECT_EQ(Res.Refinements, 0u);
+}
+
+TEST(Cegar, StatisticsAccumulate) {
+  Fixture F;
+  auto R = Regex::parse("(a)b", "");
+  ASSERT_TRUE(bool(R));
+  CegarSolver Solver(*F.Backend);
+  SymbolicRegExp Sym(R->clone(), "c");
+  for (int I = 0; I < 3; ++I) {
+    TermRef Input = mkStrVar("in" + std::to_string(I));
+    auto Q = Sym.exec(Input, mkIntConst(0));
+    Solver.solve({PathClause::regex(Q, true)});
+  }
+  EXPECT_EQ(Solver.stats().Queries, 3u);
+  EXPECT_EQ(Solver.stats().QueriesWithRegex, 3u);
+  EXPECT_EQ(Solver.stats().QueriesWithCaptures, 3u);
+}
+
+TEST(Cegar, MultipleRegexConstraints) {
+  // Two regexes over the same input: /^a+/ and /b$/ — need "a...b".
+  Fixture F;
+  auto R1 = Regex::parse("^a+", "");
+  auto R2 = Regex::parse("b$", "");
+  ASSERT_TRUE(bool(R1) && bool(R2));
+  CegarSolver Solver(*F.Backend);
+  TermRef Input = mkStrVar("in");
+  SymbolicRegExp S1(R1->clone(), "p");
+  SymbolicRegExp S2(R2->clone(), "q");
+  auto Q1 = S1.exec(Input, mkIntConst(0));
+  auto Q2 = S2.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q1, true), PathClause::regex(Q2, true)});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString In = Res.Model.str("in");
+  RegExpObject O1(R1->clone()), O2(R2->clone());
+  EXPECT_TRUE(O1.test(In));
+  EXPECT_TRUE(O2.test(In));
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/charset_property_test.cpp - CharSet algebra properties --------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the interval character-set algebra every layer rests
+// on (matcher class tests, automata minterms, Z3 re.range lowering), plus
+// the case-closure operator behind the ignore-case flag: closure must be
+// extensive, idempotent, monotone, and agree point-wise with the ES6
+// Canonicalize function the matcher uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CharSet.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace recap;
+
+namespace {
+
+CharSet randomSet(std::mt19937_64 &Rng, CodePoint MaxCp = 0x300) {
+  CharSet S;
+  size_t N = 1 + Rng() % 5;
+  for (size_t I = 0; I < N; ++I) {
+    CodePoint Lo = Rng() % MaxCp;
+    CodePoint Hi = Lo + Rng() % 24;
+    S.addRange(Lo, std::min<CodePoint>(Hi, MaxCp));
+  }
+  return S;
+}
+
+/// Sample points: interval endpoints +- 1 of both sets, clipped.
+std::vector<CodePoint> samplePoints(const CharSet &A, const CharSet &B) {
+  std::vector<CodePoint> Pts = {0, 1, 'a', 'z', 0x7F, 0x100};
+  for (const CharSet *S : {&A, &B})
+    for (const CharSet::Interval &I : S->intervals()) {
+      for (CodePoint C : {I.Lo, I.Hi}) {
+        Pts.push_back(C);
+        if (C > 0)
+          Pts.push_back(C - 1);
+        if (C < MaxCodePoint)
+          Pts.push_back(C + 1);
+      }
+    }
+  return Pts;
+}
+
+class CharSetAlgebra : public ::testing::TestWithParam<int> {
+protected:
+  std::mt19937_64 Rng{static_cast<uint64_t>(GetParam()) * 104729 + 3};
+};
+
+TEST_P(CharSetAlgebra, UnionIntersectionComplementLaws) {
+  CharSet A = randomSet(Rng), B = randomSet(Rng);
+  CharSet U = A.unionWith(B);
+  CharSet I = A.intersectWith(B);
+  CharSet CompA = A.complement();
+  CharSet Diff = A.minus(B);
+  for (CodePoint C : samplePoints(A, B)) {
+    EXPECT_EQ(U.contains(C), A.contains(C) || B.contains(C));
+    EXPECT_EQ(I.contains(C), A.contains(C) && B.contains(C));
+    EXPECT_EQ(CompA.contains(C), !A.contains(C));
+    EXPECT_EQ(Diff.contains(C), A.contains(C) && !B.contains(C));
+  }
+  // De Morgan on sets.
+  CharSet DM1 = U.complement();
+  CharSet DM2 = A.complement().intersectWith(B.complement());
+  EXPECT_EQ(DM1, DM2);
+  // Involution.
+  EXPECT_EQ(CompA.complement(), A);
+}
+
+TEST_P(CharSetAlgebra, IntervalsStayNormalized) {
+  CharSet A = randomSet(Rng), B = randomSet(Rng);
+  const CharSet Derived[] = {A, B, A.unionWith(B), A.complement(),
+                             A.intersectWith(B), A.minus(B)};
+  for (const CharSet &S : Derived) {
+    const auto &Iv = S.intervals();
+    for (size_t I = 0; I < Iv.size(); ++I) {
+      EXPECT_LE(Iv[I].Lo, Iv[I].Hi);
+      // Sorted, disjoint, and non-adjacent (else they must have merged).
+      if (I > 0)
+        EXPECT_GT(Iv[I].Lo, Iv[I - 1].Hi + 1);
+    }
+  }
+}
+
+TEST_P(CharSetAlgebra, SizeMatchesIntervalSum) {
+  CharSet A = randomSet(Rng);
+  uint64_t Sum = 0;
+  for (const CharSet::Interval &I : A.intervals())
+    Sum += static_cast<uint64_t>(I.Hi) - I.Lo + 1;
+  EXPECT_EQ(A.size(), Sum);
+  EXPECT_EQ(A.isEmpty(), Sum == 0);
+  if (!A.isEmpty())
+    EXPECT_EQ(*A.first(), A.intervals().front().Lo);
+}
+
+class CaseClosure : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CaseClosure, ExtensiveIdempotentMonotone) {
+  bool Unicode = GetParam();
+  std::mt19937_64 Rng(Unicode ? 11 : 7);
+  for (int Round = 0; Round < 24; ++Round) {
+    CharSet A = randomSet(Rng);
+    CharSet Cl = A.caseClosure(Unicode);
+    // Extensive: A ⊆ closure(A).
+    EXPECT_EQ(A.minus(Cl).isEmpty(), true);
+    // Idempotent: closing twice adds nothing.
+    EXPECT_EQ(Cl.caseClosure(Unicode), Cl);
+    // Monotone: A ⊆ B => closure(A) ⊆ closure(B).
+    CharSet B = A.unionWith(randomSet(Rng));
+    EXPECT_TRUE(Cl.minus(B.caseClosure(Unicode)).isEmpty());
+  }
+}
+
+TEST_P(CaseClosure, AgreesWithCanonicalize) {
+  // x ∈ closure(A) iff some member of A canonicalizes like x. Checking
+  // the forward direction point-wise over ASCII + Latin-1: if canon(x)
+  // == canon(a) for some a in A, then x must be in the closure.
+  bool Unicode = GetParam();
+  CharSet A;
+  A.addRange('a', 'f');
+  A.addRange('X', 'Z');
+  A.addChar(0xE9); // é
+  CharSet Cl = A.caseClosure(Unicode);
+  for (CodePoint X = 0; X <= 0xFF; ++X) {
+    bool Related = false;
+    for (const CharSet::Interval &I : A.intervals())
+      for (CodePoint C = I.Lo; C <= I.Hi; ++C)
+        if (canonicalize(X, Unicode) == canonicalize(C, Unicode))
+          Related = true;
+    EXPECT_EQ(Cl.contains(X), Related)
+        << "code point " << static_cast<uint32_t>(X)
+        << " unicode=" << Unicode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CharSetAlgebra, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Modes, CaseClosure, ::testing::Bool());
+
+} // namespace

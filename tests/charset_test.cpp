@@ -1,0 +1,118 @@
+//===- tests/charset_test.cpp - CharSet interval algebra -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CharSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+TEST(CharSet, BasicMembership) {
+  CharSet S = CharSet::range('a', 'f');
+  EXPECT_TRUE(S.contains('a'));
+  EXPECT_TRUE(S.contains('f'));
+  EXPECT_FALSE(S.contains('g'));
+  EXPECT_FALSE(S.contains('A'));
+  EXPECT_EQ(S.size(), 6u);
+}
+
+TEST(CharSet, AddRangeCoalesces) {
+  CharSet S;
+  S.addRange('a', 'c');
+  S.addRange('e', 'g');
+  EXPECT_EQ(S.intervals().size(), 2u);
+  S.addRange('d', 'd'); // bridges the gap
+  EXPECT_EQ(S.intervals().size(), 1u);
+  EXPECT_EQ(uint32_t(S.intervals()[0].Lo), uint32_t('a'));
+  EXPECT_EQ(uint32_t(S.intervals()[0].Hi), uint32_t('g'));
+}
+
+TEST(CharSet, AddOverlapping) {
+  CharSet S;
+  S.addRange('a', 'm');
+  S.addRange('g', 'z');
+  EXPECT_EQ(S.intervals().size(), 1u);
+  EXPECT_EQ(S.size(), 26u);
+}
+
+TEST(CharSet, ComplementRoundTrip) {
+  CharSet S = CharSet::digits().unionWith(CharSet::range('x', 'z'));
+  CharSet C = S.complement();
+  EXPECT_FALSE(C.contains('5'));
+  EXPECT_TRUE(C.contains('a'));
+  EXPECT_EQ(C.complement(), S);
+}
+
+TEST(CharSet, ComplementOfEmptyAndAll) {
+  EXPECT_EQ(CharSet().complement(), CharSet::all());
+  EXPECT_TRUE(CharSet::all().complement().isEmpty());
+}
+
+TEST(CharSet, IntersectAndMinus) {
+  CharSet A = CharSet::range('a', 'm');
+  CharSet B = CharSet::range('g', 'z');
+  CharSet I = A.intersectWith(B);
+  EXPECT_EQ(I, CharSet::range('g', 'm'));
+  CharSet D = A.minus(B);
+  EXPECT_EQ(D, CharSet::range('a', 'f'));
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(D.intersects(B));
+}
+
+TEST(CharSet, DotExcludesLineTerminators) {
+  CharSet Dot = CharSet::dot();
+  EXPECT_FALSE(Dot.contains('\n'));
+  EXPECT_FALSE(Dot.contains('\r'));
+  EXPECT_FALSE(Dot.contains(0x2028));
+  EXPECT_TRUE(Dot.contains('a'));
+  EXPECT_TRUE(Dot.contains(MetaStart)); // metas excluded later, not here
+}
+
+TEST(CharSet, WordCharsMatchPredicate) {
+  CharSet W = CharSet::wordChars();
+  for (CodePoint C = 0; C < 0x100; ++C)
+    EXPECT_EQ(W.contains(C), isWordChar(C)) << "codepoint " << uint32_t(C);
+}
+
+TEST(CharSet, WhitespaceMatchesPredicate) {
+  CharSet S = CharSet::whitespace();
+  for (CodePoint C = 0; C < 0x3100; ++C)
+    EXPECT_EQ(S.contains(C), isWhitespace(C)) << "codepoint " << uint32_t(C);
+}
+
+TEST(CharSet, CaseClosureAscii) {
+  CharSet S = CharSet::range('a', 'c').caseClosure(false);
+  EXPECT_TRUE(S.contains('A'));
+  EXPECT_TRUE(S.contains('C'));
+  EXPECT_TRUE(S.contains('b'));
+  EXPECT_FALSE(S.contains('D'));
+}
+
+TEST(CharSet, CaseClosureLatin1SkipsDivisionSign) {
+  CharSet S = CharSet::single(0xF7).caseClosure(false); // ÷
+  EXPECT_EQ(S.size(), 1u);
+  CharSet T = CharSet::single(0xE0).caseClosure(false); // à
+  EXPECT_TRUE(T.contains(0xC0));                        // À
+}
+
+TEST(CharSet, CaseClosureFromUppercase) {
+  CharSet S = CharSet::range('A', 'Z').caseClosure(false);
+  EXPECT_TRUE(S.contains('q'));
+  EXPECT_EQ(S.size(), 52u);
+}
+
+TEST(CharSet, FirstAndEmpty) {
+  EXPECT_FALSE(CharSet().first().has_value());
+  EXPECT_EQ(uint32_t(*CharSet::range('k', 'p').first()), uint32_t('k'));
+  EXPECT_TRUE(CharSet().isEmpty());
+}
+
+TEST(CharSet, MetasAreControlCharacters) {
+  CharSet M = CharSet::metas();
+  EXPECT_TRUE(M.contains(MetaStart));
+  EXPECT_TRUE(M.contains(MetaEnd));
+  EXPECT_EQ(M.size(), 2u);
+}

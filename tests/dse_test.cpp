@@ -1,0 +1,220 @@
+//===- tests/dse_test.cpp - DSE engine integration --------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Integration tests mirroring the paper's motivating example: the engine
+// must find the Listing 1 bug (empty numeric value between XML tags) and
+// coverage must increase with the regex support level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+using namespace recap::mjs;
+
+namespace {
+
+/// Listing 1 of the paper, as a MiniJS program.
+Program listing1() {
+  Program P;
+  P.Name = "listing1";
+  P.Params = {"arg"};
+  // let timeout = '500';
+  // let parts = /<(\w+)>([0-9]*)<\/\1>/.exec(arg);
+  // if (parts) { if (parts[1] === 'timeout') timeout = parts[2]; }
+  // assert(/^[0-9]+$/.test(timeout) == true);
+  P.Body = block({
+      let_("timeout", str("500")),
+      let_("parts", exec("/<(\\w+)>([0-9]*)<\\/\\1>/", var("arg"))),
+      if_(truthy(var("parts")),
+          if_(eq(matchIndex(var("parts"), 1), str("timeout")),
+              let_("timeout", matchIndex(var("parts"), 2)))),
+      assert_(test("/^[0-9]+$/", var("timeout"))),
+  });
+  P.finalize();
+  return P;
+}
+
+TEST(Dse, FindsListing1Bug) {
+  Program P = listing1();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.Level = SupportLevel::Refinement;
+  Opts.MaxTests = 40;
+  Opts.MaxSeconds = 60;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_TRUE(R.bugFound())
+      << "DSE failed to trigger the Listing 1 assertion";
+  EXPECT_GT(R.TestsRun, 1u);
+}
+
+TEST(Dse, ConcreteLevelMissesTheBug) {
+  Program P = listing1();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.Level = SupportLevel::Concrete;
+  Opts.MaxTests = 40;
+  Opts.MaxSeconds = 20;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_FALSE(R.bugFound());
+  // Without symbolic regex support the path condition is empty: only the
+  // initial test runs.
+  EXPECT_EQ(R.TestsRun, 1u);
+}
+
+TEST(Dse, CoverageImprovesWithSupportLevel) {
+  Program P = listing1();
+  auto RunLevel = [&](SupportLevel L) {
+    auto Backend = makeZ3Backend();
+    EngineOptions Opts;
+    Opts.Level = L;
+    Opts.MaxTests = 40;
+    Opts.MaxSeconds = 60;
+    DseEngine Engine(*Backend, Opts);
+    return Engine.run(P).Covered.size();
+  };
+  size_t Concrete = RunLevel(SupportLevel::Concrete);
+  size_t Model = RunLevel(SupportLevel::Model);
+  size_t Refine = RunLevel(SupportLevel::Refinement);
+  EXPECT_GE(Model, Concrete);
+  EXPECT_GE(Refine, Model);
+  EXPECT_GT(Refine, Concrete)
+      << "full support must reach strictly more statements";
+}
+
+TEST(Dse, SimpleBranchExploration) {
+  // if (/^a+$/.test(s)) then ... else ...; both sides reachable.
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("hits", integer(0)),
+      if_(test("/^a+$/", var("s")), let_("hits", integer(1)),
+          let_("hits", integer(2))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 10;
+  Opts.MaxSeconds = 30;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_EQ(R.Covered.size(), static_cast<size_t>(P.NumStmts));
+}
+
+TEST(Dse, StringOperationsDriveBranches) {
+  // Branch on concatenation + length without regexes.
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("t", concat(var("s"), str("!"))),
+      if_(eq(var("t"), str("hi!")), assert_(boolean(false))),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 10;
+  Opts.MaxSeconds = 30;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_TRUE(R.bugFound()); // input "hi" reaches the failing assert
+}
+
+TEST(Dse, WhileLoopBounded) {
+  // A loop whose condition never becomes symbolic must terminate.
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("i", integer(0)),
+      while_(lt(var("i"), integer(1000000)),
+             let_("i", integer(999999999))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 3;
+  Opts.MaxSeconds = 10;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_GE(R.TestsRun, 1u);
+}
+
+TEST(Dse, BackreferenceBranch) {
+  // Reaching the then-branch requires a doubled word.
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      if_(test("/^([ab]+)\\1$/", var("s")), assert_(boolean(false))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 20;
+  Opts.MaxSeconds = 60;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_TRUE(R.bugFound());
+}
+
+TEST(Dse, StatsPlumbed) {
+  Program P = listing1();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 5;
+  Opts.MaxSeconds = 30;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_GT(R.Cegar.Queries, 0u);
+  EXPECT_GT(R.Solver.Queries, 0u);
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_EQ(R.TotalStmts, P.NumStmts);
+}
+
+TEST(Dse, ReplaceDrivesBranches) {
+  // kind = s.replace(/-+/, "_"); if (kind === "a_b") assert(false).
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("norm", replace("/-+/", var("s"), "_")),
+      if_(eq(var("norm"), str("a_b")), assert_(boolean(false))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 20;
+  Opts.MaxSeconds = 40;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_TRUE(R.bugFound()) << "no input with replace(s) == 'a_b' found";
+}
+
+TEST(Dse, SearchDrivesBranches) {
+  // if (s.search(/[0-9]/) === 2) assert(false).
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("idx", search("/[0-9]/", var("s"))),
+      if_(eq(var("idx"), integer(2)), assert_(boolean(false))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 20;
+  Opts.MaxSeconds = 40;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_TRUE(R.bugFound()) << "no input with digit at index 2 found";
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- tests/encoding_options_test.cpp - Encoding toggles are semantic-free ===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The two solver-performance encoding choices (redundant length
+// equations, literal-character folding; DESIGN.md "Solver-performance
+// design") must be pure performance knobs: every configuration produces
+// models that validate against the concrete matcher, and pinned-input
+// verdicts do not change. bench/ablation_encoding measures the speed;
+// this suite pins the semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct EncodingCase {
+  bool LengthEqs;
+  bool FoldLits;
+};
+
+class EncodingOptions : public ::testing::TestWithParam<EncodingCase> {};
+
+TEST_P(EncodingOptions, ListingOneShapeSolvesAndValidates) {
+  const EncodingCase &C = GetParam();
+  ModelOptions MOpts;
+  MOpts.EmitLengthEquations = C.LengthEqs;
+  MOpts.FoldLiteralChars = C.FoldLits;
+
+  auto R = Regex::parse("<(\\w+)>([0-9]*)<\\/\\1>", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "enc", MOpts);
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(Q->Model.Captures[0].Defined),
+       PathClause::plain(mkEq(Q->Model.Captures[0].Value,
+                              mkStrConst(fromUTF8("t"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto In = Eval.evalString(Q->Input, Res.Model);
+  RegExpObject Oracle(R->clone());
+  auto Exec = Oracle.exec(*In);
+  ASSERT_EQ(Exec.Status, MatchStatus::Match) << toUTF8(*In);
+  EXPECT_EQ(toUTF8(*Exec.Result->Captures[0]), "t");
+}
+
+TEST_P(EncodingOptions, PinnedVerdictsMatchDefault) {
+  const EncodingCase &C = GetParam();
+  ModelOptions MOpts;
+  MOpts.EmitLengthEquations = C.LengthEqs;
+  MOpts.FoldLiteralChars = C.FoldLits;
+
+  struct Pin {
+    const char *Pattern;
+    const char *Input;
+    bool Matches;
+  };
+  const Pin Pins[] = {
+      {"^ab+c$", "abbc", true},
+      {"^ab+c$", "ac", false},
+      {"(a)(b)\\2\\1", "abba", true},
+      {"(a)(b)\\2\\1", "abab", false},
+      {"x(?=y)y", "xy", true},
+      {"x(?=y)y", "xz", false},
+  };
+  auto Backend = makeZ3Backend();
+  for (const Pin &P : Pins) {
+    auto R = Regex::parse(P.Pattern, "");
+    ASSERT_TRUE(bool(R)) << P.Pattern;
+    CegarSolver Solver(*Backend);
+    SymbolicRegExp Sym(R->clone(), "encp", MOpts);
+    TermRef Input = mkStrVar("in");
+    auto Q = Sym.exec(Input, mkIntConst(0));
+    CegarResult Res = Solver.solve(
+        {PathClause::regex(Q, true),
+         PathClause::plain(mkEq(Input, mkStrConst(fromUTF8(P.Input))))});
+    EXPECT_EQ(Res.Status == SolveStatus::Sat, P.Matches)
+        << "/" << P.Pattern << "/ on '" << P.Input << "' with lengths="
+        << C.LengthEqs << " folding=" << C.FoldLits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EncodingOptions,
+    ::testing::Values(EncodingCase{true, true}, EncodingCase{true, false},
+                      EncodingCase{false, true},
+                      EncodingCase{false, false}),
+    [](const ::testing::TestParamInfo<EncodingCase> &Info) {
+      return std::string(Info.param.LengthEqs ? "len" : "nolen") + "_" +
+             (Info.param.FoldLits ? "fold" : "nofold");
+    });
+
+} // namespace

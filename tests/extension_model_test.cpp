@@ -1,0 +1,249 @@
+//===- tests/extension_model_test.cpp - Extensions through model+CEGAR -----===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ES2018 extensions (lookbehind, named groups, dotAll) driven through
+// the full symbolic pipeline: Table-2-style models, Algorithm 2 exec
+// wrapping, and the Algorithm 1 CEGAR loop, validated differentially
+// against the concrete matcher. Lookbehind exercises the new prefix-side
+// model rule (the mirror of the paper's lookahead rule); matching
+// precedence inside lookbehind (right-to-left) is restored by refinement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct ExtCase {
+  const char *Pattern;
+  const char *Flags;
+};
+
+class ExtensionDifferential : public ::testing::TestWithParam<ExtCase> {
+protected:
+  void verifyAgainstMatcher(const RegexQuery &Q, const Assignment &M,
+                            bool WantMatch) {
+    TermEvaluator Eval;
+    auto In = Eval.evalString(Q.Input, M);
+    ASSERT_TRUE(In.has_value());
+    RegExpObject Oracle(Q.Oracle->regex().clone());
+    auto Exec = Oracle.exec(*In);
+    ASSERT_NE(Exec.Status, MatchStatus::Budget);
+    ASSERT_EQ(Exec.Status == MatchStatus::Match, WantMatch)
+        << "solution '" << toUTF8(*In) << "' has wrong polarity";
+    if (!WantMatch)
+      return;
+    const MatchResult &R = *Exec.Result;
+    TermEvaluator E2;
+    auto C0 = E2.evalString(Q.Model.C0.Value, M);
+    EXPECT_EQ(toUTF8(*C0), toUTF8(R.Match));
+    for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
+      auto Def = E2.evalBool(Q.Model.Captures[I].Defined, M);
+      auto Val = E2.evalString(Q.Model.Captures[I].Value, M);
+      bool WantDef = I < R.Captures.size() && R.Captures[I].has_value();
+      EXPECT_EQ(*Def, WantDef) << "capture " << I + 1;
+      if (WantDef)
+        EXPECT_EQ(toUTF8(*Val), toUTF8(*R.Captures[I]))
+            << "capture " << I + 1;
+    }
+  }
+};
+
+TEST_P(ExtensionDifferential, MembershipSolutionsAgreeWithMatcher) {
+  const ExtCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern << " : " << R.error();
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  ASSERT_NE(Res.Status, SolveStatus::Unsat)
+      << "/" << C.Pattern << "/" << C.Flags << " should have matches";
+  if (Res.Status == SolveStatus::Sat)
+    verifyAgainstMatcher(*Q, Res.Model, /*WantMatch=*/true);
+}
+
+TEST_P(ExtensionDifferential, NonMembershipSolutionsAgreeWithMatcher) {
+  const ExtCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+
+  CegarResult Res = Solver.solve({PathClause::regex(Q, false)});
+  if (Res.Status != SolveStatus::Sat)
+    return; // pattern may match everything; Unsat/Unknown acceptable
+  TermEvaluator Eval;
+  auto In = Eval.evalString(Q->Input, Res.Model);
+  ASSERT_TRUE(In.has_value());
+  RegExpObject Oracle(R->clone());
+  EXPECT_FALSE(Oracle.test(*In))
+      << "non-membership solution '" << toUTF8(*In)
+      << "' concretely matches /" << C.Pattern << "/" << C.Flags;
+}
+
+const ExtCase ExtCases[] = {
+    // Lookbehind, plain and negated.
+    {"(?<=a)b", ""},
+    {"(?<!a)b", ""},
+    {"(?<=foo)bar", ""},
+    {"x(?<=ax)y", ""},
+    {"(?<=\\d)px", ""},
+    {"(?<=a+)b", ""},
+    // Lookbehind with captures (RTL precedence needs CEGAR).
+    {"(?<=(a|b))c", ""},
+    {"(?<=(\\d))x", ""},
+    // Lookaround combinations.
+    {"(?<=a)(?=b)b", ""},
+    {"a(?=b(?<=ab))b", ""},
+    // Word boundary + lookbehind.
+    {"(?<=\\ba)b", ""},
+    // dotAll.
+    {"a.b", "s"},
+    {"a.+b", "s"},
+    // Named groups (model is index-based; names are API sugar).
+    {"(?<y>\\d)-(?<m>\\d)", ""},
+    {"(?<tag>\\w)\\k<tag>", ""},
+    // Anchors inside lookbehind.
+    {"(?<=^ab)c", ""},
+};
+
+INSTANTIATE_TEST_SUITE_P(Extensions, ExtensionDifferential,
+                         ::testing::ValuesIn(ExtCases));
+
+//===----------------------------------------------------------------------===//
+// Pinned-input capture checks (precedence inside lookbehind)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionModel, LookbehindRtlCaptureSplit) {
+  // /(?<=(\d+)(\d+))$/ on "1053": the concrete engine matches the body
+  // right-to-left, so C1="1", C2="053". The model alone cannot know this;
+  // CEGAR must converge on the concrete assignment.
+  auto R = Regex::parse("(?<=(\\d+)(\\d+))$", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("1053"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto C1 = Eval.evalString(Q->Model.Captures[0].Value, Res.Model);
+  auto C2 = Eval.evalString(Q->Model.Captures[1].Value, Res.Model);
+  EXPECT_EQ(toUTF8(*C1), "1");
+  EXPECT_EQ(toUTF8(*C2), "053");
+}
+
+TEST(ExtensionModel, NegativeLookbehindBlocksPrefix) {
+  // /(?<!a)b/ with input forced to "ab" can never match ("b" is preceded
+  // by 'a'); the query must be Unsat after refinement.
+  auto R = Regex::parse("(?<!a)b", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("ab"))))});
+  EXPECT_NE(Res.Status, SolveStatus::Sat);
+}
+
+TEST(ExtensionModel, NegativeLookbehindAllowsOtherPrefix) {
+  auto R = Regex::parse("(?<!a)b", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("cb"))))});
+  EXPECT_EQ(Res.Status, SolveStatus::Sat);
+}
+
+TEST(ExtensionModel, DotAllGeneratesLineTerminatorCrossings) {
+  // /^a.b$/s with |in| = 3 and the middle forced non-'x': ask for a match
+  // whose middle character is a newline by excluding the printable range.
+  auto R = Regex::parse("^a.b$", "s");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("a\nb"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  // And without the s flag the same input is rejected.
+  auto R2 = Regex::parse("^a.b$", "");
+  ASSERT_TRUE(bool(R2));
+  SymbolicRegExp Sym2(R2->clone(), "f");
+  auto Q2 = Sym2.exec(Input, mkIntConst(0));
+  CegarResult Res2 = Solver.solve(
+      {PathClause::regex(Q2, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("a\nb"))))});
+  EXPECT_NE(Res2.Status, SolveStatus::Sat);
+}
+
+TEST(ExtensionModel, NamedCaptureConstraint) {
+  // Constrain the group named "y" through its index: generated inputs
+  // must carry the constrained value at the right position.
+  auto R = Regex::parse("(?<y>\\d+)-(?<m>\\d+)", "");
+  ASSERT_TRUE(bool(R));
+  Regex Re = R.take();
+  uint32_t YIdx = Re.groupIndex("y");
+  ASSERT_EQ(YIdx, 1u);
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(Re.clone(), "e");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Q->Model.Captures[YIdx - 1].Value,
+                              mkStrConst(fromUTF8("2019"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto In = Eval.evalString(Q->Input, Res.Model);
+  RegExpObject Oracle(Re.clone());
+  auto Out = Oracle.exec(*In);
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  auto Y = namedCapture(Re, *Out.Result, "y");
+  ASSERT_TRUE(Y.has_value());
+  EXPECT_EQ(toUTF8(*Y), "2019");
+}
+
+TEST(ExtensionModel, LookbehindRegularApproxStaysInexact) {
+  // Lookbehind is a zero-width assertion: the regular approximation drops
+  // it and must report Exact = false so negation goes through the §4.4
+  // negated model (not the fast path).
+  auto R = Regex::parse("(?<=a)b", "");
+  ASSERT_TRUE(bool(R));
+  ApproxOptions Opts;
+  RegularApprox A = approximateRegularEx(R->root(), *R, Opts);
+  EXPECT_FALSE(A.Exact);
+}
+
+} // namespace

@@ -1,0 +1,362 @@
+//===- tests/extensions_test.cpp - ES2018 extension features ---------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the ES2018 extensions built on top of the paper's ES6 scope
+// (§2.4 notes ES6 lacks lookbehind): the dotAll flag s, named capture
+// groups (?<name>...) with \k<name> backreferences, and lookbehind
+// assertions (?<= / (?<!. Matcher expectations follow the ES2018
+// semantics (cross-checked against V8), including the right-to-left
+// matching direction inside lookbehind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+#include "regex/Features.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// dotAll flag
+//===----------------------------------------------------------------------===//
+
+TEST(DotAllFlag, FlagParsesAndPrints) {
+  RegexFlags F;
+  ASSERT_TRUE(F.parse("gs"));
+  EXPECT_TRUE(F.DotAll);
+  EXPECT_EQ(F.str(), "gs");
+  RegexFlags Dup;
+  EXPECT_FALSE(Dup.parse("ss"));
+}
+
+TEST(DotAllFlag, DotMatchesLineTerminators) {
+  auto R = Regex::parse("a.b", "s");
+  ASSERT_TRUE(bool(R)) << R.error();
+  RegExpObject Obj(R.take());
+  EXPECT_TRUE(Obj.test(fromUTF8("a\nb")));
+  EXPECT_TRUE(Obj.test(fromUTF8("a\rb")));
+  EXPECT_TRUE(Obj.test(fromUTF8("axb")));
+
+  auto R2 = Regex::parse("a.b", "");
+  ASSERT_TRUE(bool(R2));
+  RegExpObject Obj2(R2.take());
+  EXPECT_FALSE(Obj2.test(fromUTF8("a\nb")));
+  EXPECT_TRUE(Obj2.test(fromUTF8("axb")));
+}
+
+TEST(DotAllFlag, U2028AndU2029AreLineTerminators) {
+  // U+2028 LINE SEPARATOR rejects `.` without s and matches with s.
+  UString In = fromUTF8("a");
+  In += static_cast<CodePoint>(0x2028);
+  In += fromUTF8("b");
+  auto Plain = Regex::parse("a.b", "");
+  ASSERT_TRUE(bool(Plain));
+  EXPECT_FALSE(RegExpObject(Plain.take()).test(In));
+  auto All = Regex::parse("a.b", "s");
+  ASSERT_TRUE(bool(All));
+  EXPECT_TRUE(RegExpObject(All.take()).test(In));
+}
+
+TEST(DotAllFlag, PrintingRoundTrips) {
+  auto R = Regex::parse("a.b", "s");
+  ASSERT_TRUE(bool(R));
+  Regex Re = R.take();
+  std::string Printed = Re.root().str();
+  auto R2 = Regex::parse(Printed, "");
+  ASSERT_TRUE(bool(R2)) << Printed << " : " << R2.error();
+  // The canonical form of dotAll-dot is [^], which matches everything in
+  // any mode; re-parsing without the flag must preserve the language.
+  RegExpObject Obj(R2.take());
+  EXPECT_TRUE(Obj.test(fromUTF8("a\nb")));
+}
+
+//===----------------------------------------------------------------------===//
+// Named capture groups
+//===----------------------------------------------------------------------===//
+
+TEST(NamedGroups, ParseAndNumbering) {
+  auto R = Regex::parse("(a)(?<mid>b)(c)", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  Regex Re = R.take();
+  EXPECT_EQ(Re.numCaptures(), 3u);
+  ASSERT_EQ(Re.groupNames().size(), 1u);
+  EXPECT_EQ(Re.groupIndex("mid"), 2u);
+  EXPECT_EQ(Re.groupIndex("missing"), 0u);
+}
+
+TEST(NamedGroups, DuplicateNameIsSyntaxError) {
+  auto R = Regex::parse("(?<x>a)(?<x>b)", "");
+  EXPECT_FALSE(bool(R));
+  EXPECT_NE(R.error().find("duplicate"), std::string::npos) << R.error();
+}
+
+TEST(NamedGroups, InvalidNamesAreSyntaxErrors) {
+  EXPECT_FALSE(bool(Regex::parse("(?<>a)", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?<1x>a)", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?<na me>a)", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?<open a)", "")));
+}
+
+TEST(NamedGroups, CapturesByName) {
+  auto R = Regex::parse("(?<year>\\d{4})-(?<month>\\d{2})", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  Regex Re = R.take();
+  RegExpObject Obj(Re.clone());
+  auto Out = Obj.exec(fromUTF8("on 2019-06 in Phoenix"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  auto Year = namedCapture(Re, *Out.Result, "year");
+  auto Month = namedCapture(Re, *Out.Result, "month");
+  ASSERT_TRUE(Year.has_value());
+  ASSERT_TRUE(Month.has_value());
+  EXPECT_EQ(toUTF8(*Year), "2019");
+  EXPECT_EQ(toUTF8(*Month), "06");
+  EXPECT_FALSE(namedCapture(Re, *Out.Result, "day").has_value());
+}
+
+TEST(NamedGroups, NamedBackreferenceMatches) {
+  auto R = Regex::parse("(?<tag>\\w+):\\k<tag>", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  RegExpObject Obj(R.take());
+  EXPECT_TRUE(Obj.test(fromUTF8("abc:abc")));
+  EXPECT_FALSE(Obj.test(fromUTF8("abc:abd")));
+}
+
+TEST(NamedGroups, NamedBackrefEqualsNumberedBackref) {
+  // \k<tag> and \1 denote the same group here.
+  auto Named = Regex::parse("(?<tag>a+)\\k<tag>", "");
+  auto Numbered = Regex::parse("(a+)\\1", "");
+  ASSERT_TRUE(bool(Named) && bool(Numbered));
+  RegExpObject N(Named.take()), M(Numbered.take());
+  for (const char *S : {"aa", "aaaa", "a", "aaa", "b", ""})
+    EXPECT_EQ(N.test(fromUTF8(S)), M.test(fromUTF8(S))) << S;
+}
+
+TEST(NamedGroups, UndefinedNameInBackrefIsSyntaxError) {
+  auto R = Regex::parse("(?<a>x)\\k<b>", "");
+  EXPECT_FALSE(bool(R));
+}
+
+TEST(NamedGroups, AnnexBIdentityEscapeWithoutNamedGroups) {
+  // With no named groups in the pattern, \k is an identity escape
+  // (Annex B); with the u flag it is always a SyntaxError.
+  auto R = Regex::parse("\\k", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_TRUE(RegExpObject(R.take()).test(fromUTF8("k")));
+  EXPECT_FALSE(bool(Regex::parse("\\k<x>", "u")));
+}
+
+TEST(NamedGroups, ForwardNamedReferenceIsEmptyBackref) {
+  // Like numbered forward references, \k<x> before (?<x>...) can only see
+  // an unset capture and matches epsilon.
+  auto R = Regex::parse("\\k<x>(?<x>a)", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8("a"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  EXPECT_EQ(toUTF8(Out.Result->Match), "a");
+}
+
+TEST(NamedGroups, PrintingRoundTrips) {
+  auto R = Regex::parse("(?<y>\\d+)-\\k<y>", "");
+  ASSERT_TRUE(bool(R));
+  Regex Re = R.take();
+  std::string Printed = Re.root().str();
+  EXPECT_NE(Printed.find("(?<y>"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("\\k<y>"), std::string::npos) << Printed;
+  auto R2 = Regex::parse(Printed, "");
+  ASSERT_TRUE(bool(R2)) << Printed << " : " << R2.error();
+  EXPECT_EQ(R2.take().root().str(), Printed);
+}
+
+TEST(NamedGroups, FeatureAnalysisCounts) {
+  auto R = Regex::parse("(?<a>x)(?:y)(z)\\k<a>\\2", "");
+  ASSERT_TRUE(bool(R));
+  RegexFeatures F = analyzeFeatures(*R);
+  EXPECT_EQ(F.CaptureGroups, 2u);
+  EXPECT_EQ(F.NamedGroups, 1u);
+  EXPECT_EQ(F.NonCapturingGroups, 1u);
+  EXPECT_EQ(F.Backreferences, 2u);
+  EXPECT_EQ(F.NamedBackreferences, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lookbehind
+//===----------------------------------------------------------------------===//
+
+struct LbCase {
+  const char *Pattern;
+  const char *Flags;
+  const char *Input;
+  bool Matches;
+  const char *Match;
+  std::vector<const char *> Captures;
+  int Index = -1;
+};
+
+constexpr const char *U = "\x01"; // undefined capture marker
+
+class LookbehindSemantics : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(LookbehindSemantics, MatchesSpec) {
+  const LbCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern << " : " << R.error();
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8(C.Input));
+  ASSERT_NE(Out.Status, MatchStatus::Budget) << C.Pattern;
+  EXPECT_EQ(Out.Status == MatchStatus::Match, C.Matches)
+      << "/" << C.Pattern << "/" << C.Flags << " on '" << C.Input << "'";
+  if (!C.Matches || Out.Status != MatchStatus::Match)
+    return;
+  const MatchResult &M = *Out.Result;
+  EXPECT_EQ(toUTF8(M.Match), C.Match) << C.Pattern;
+  if (C.Index >= 0)
+    EXPECT_EQ(static_cast<int>(M.Index), C.Index) << C.Pattern;
+  ASSERT_EQ(M.Captures.size(), C.Captures.size()) << C.Pattern;
+  for (size_t I = 0; I < C.Captures.size(); ++I) {
+    if (std::string(C.Captures[I]) == U) {
+      EXPECT_FALSE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+    } else {
+      ASSERT_TRUE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+      EXPECT_EQ(toUTF8(*M.Captures[I]), C.Captures[I])
+          << C.Pattern << " capture " << I + 1;
+    }
+  }
+}
+
+const LbCase Lookbehinds[] = {
+    // Basic positive lookbehind.
+    {"(?<=a)b", "", "ab", true, "b", {}, 1},
+    {"(?<=a)b", "", "b", false, "", {}},
+    {"(?<=a)b", "", "cb", false, "", {}},
+    {"(?<=^)b", "", "b", true, "b", {}, 0},
+    // Basic negative lookbehind.
+    {"(?<!a)b", "", "ab", false, "", {}},
+    {"(?<!a)b", "", "cb", true, "b", {}, 1},
+    {"(?<!a)b", "", "b", true, "b", {}, 0},
+    // Multi-character bodies.
+    {"(?<=foo)bar", "", "foobar", true, "bar", {}, 3},
+    {"(?<=foo)bar", "", "fo0bar", false, "", {}},
+    {"(?<=\\d{3})x", "", "123x", true, "x", {}, 3},
+    {"(?<=\\d{3})x", "", "12x", false, "", {}},
+    // Quantifiers inside lookbehind (RTL evaluation).
+    {"(?<=a+)b", "", "aaab", true, "b", {}, 3},
+    {"(?<=a*)b", "", "b", true, "b", {}, 0},
+    // The classic RTL capture split: the right group is matched (and is
+    // greedy) first, so it takes all but one digit.
+    {"(?<=(\\d+)(\\d+))$", "", "1053", true, "", {"1", "053"}, 4},
+    // Captures inside lookbehind are observable.
+    {"(?<=(a|b))c", "", "ac", true, "c", {"a"}, 1},
+    {"(?<=(a|b))c", "", "bc", true, "c", {"b"}, 1},
+    // Lookbehind with alternation bodies of different lengths.
+    {"(?<=foo|ba)r", "", "foor", true, "r", {}, 3},
+    {"(?<=foo|ba)r", "", "bar", true, "r", {}, 2},
+    {"(?<=foo|ba)r", "", "bazr", false, "", {}},
+    // Negative lookbehind leaves captures undefined.
+    {"(?<!(a))b", "", "cb", true, "b", {U}, 1},
+    // Lookahead nested inside lookbehind: direction switches back.
+    {"(?<=a(?=b))b", "", "ab", true, "b", {}, 1},
+    {"(?<=a(?=c))b", "", "ab", false, "", {}},
+    // Lookbehind nested inside lookahead.
+    {"a(?=b(?<=ab))b", "", "ab", true, "ab", {}, 0},
+    // Word boundary interaction.
+    {"(?<=\\ba)b", "", "x ab", true, "b", {}, 3},
+    {"(?<=\\Ba)b", "", "x ab", false, "", {}},
+    // Backreference inside lookbehind (group defined outside).
+    {"(a)x(?<=\\1x)", "", "ax", true, "ax", {"a"}, 0},
+    // Anchored interplay.
+    {"(?<=b)$", "", "ab", true, "", {}, 2},
+    {"(?<=a)$", "", "ab", false, "", {}},
+    // Dollar inside lookbehind body is position-checked at the inner
+    // position, which can only hold at the end of input.
+    {"x(?<=x$)", "", "x", true, "x", {}, 0},
+    {"x(?<=x$)y", "", "xy", false, "", {}},
+    // IgnoreCase applies inside lookbehind.
+    {"(?<=A)b", "i", "ab", true, "b", {}, 1},
+    // Multiline caret inside lookbehind.
+    {"(?<=^)b", "m", "a\nb", true, "b", {}, 2},
+    // Empty-body corner cases.
+    {"(?<=)b", "", "b", true, "b", {}, 0},
+    {"(?<!)b", "", "b", false, "", {}},
+};
+
+INSTANTIATE_TEST_SUITE_P(Extensions, LookbehindSemantics,
+                         ::testing::ValuesIn(Lookbehinds));
+
+TEST(Lookbehind, QuantifiedLookbehindIsSyntaxError) {
+  EXPECT_FALSE(bool(Regex::parse("(?<=a)*b", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?<!a)+b", "")));
+}
+
+TEST(Lookbehind, FeatureAnalysisSeparatesDirections) {
+  auto R = Regex::parse("(?=a)(?<=b)(?<!c)(?!d)", "");
+  ASSERT_TRUE(bool(R));
+  RegexFeatures F = analyzeFeatures(*R);
+  EXPECT_EQ(F.Lookaheads, 2u);
+  EXPECT_EQ(F.Lookbehinds, 2u);
+  EXPECT_FALSE(F.isClassical());
+}
+
+TEST(Lookbehind, PrintingRoundTrips) {
+  for (const char *P : {"(?<=ab)c", "(?<!a+)b", "x(?<=(a|b))"}) {
+    auto R = Regex::parse(P, "");
+    ASSERT_TRUE(bool(R)) << P;
+    Regex Re = R.take();
+    std::string Printed = Re.root().str();
+    auto R2 = Regex::parse(Printed, "");
+    ASSERT_TRUE(bool(R2)) << Printed << " : " << R2.error();
+    EXPECT_EQ(R2.take().root().str(), Printed) << P;
+  }
+}
+
+TEST(Lookbehind, StickyAndGlobalInteraction) {
+  // Global scan: each iteration re-evaluates the lookbehind at the new
+  // position; (?<=,)\w+ extracts comma-preceded fields.
+  auto R = Regex::parse("(?<=,)\\w+", "g");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  std::vector<std::string> Fields;
+  while (true) {
+    auto Out = Obj.exec(fromUTF8("a,bb,ccc"));
+    if (Out.Status != MatchStatus::Match)
+      break;
+    Fields.push_back(toUTF8(Out.Result->Match));
+  }
+  ASSERT_EQ(Fields.size(), 2u);
+  EXPECT_EQ(Fields[0], "bb");
+  EXPECT_EQ(Fields[1], "ccc");
+}
+
+//===----------------------------------------------------------------------===//
+// Combined extension features
+//===----------------------------------------------------------------------===//
+
+TEST(Extensions, NamedGroupInsideLookbehind) {
+  auto R = Regex::parse("(?<=(?<sign>[+-]))\\d+", "");
+  ASSERT_TRUE(bool(R)) << R.error();
+  Regex Re = R.take();
+  RegExpObject Obj(Re.clone());
+  auto Out = Obj.exec(fromUTF8("x -42"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  EXPECT_EQ(toUTF8(Out.Result->Match), "42");
+  auto Sign = namedCapture(Re, *Out.Result, "sign");
+  ASSERT_TRUE(Sign.has_value());
+  EXPECT_EQ(toUTF8(*Sign), "-");
+}
+
+TEST(Extensions, DotAllInsideLookbehind) {
+  auto R = Regex::parse("(?<=a.)b", "s");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  EXPECT_TRUE(Obj.test(fromUTF8("a\nb")));
+}
+
+} // namespace

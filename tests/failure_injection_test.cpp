@@ -1,0 +1,238 @@
+//===- tests/failure_injection_test.cpp - Degraded-component behavior ------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Failure injection across the CEGAR stack. The paper's §7.5 argues the
+// trust chain bottoms out in the concrete matcher: "assuming the concrete
+// matcher is specification-compliant, Algorithm 1 will, if it terminates,
+// return a specification-compliant model of the constraint formula even if
+// the implementation of §4 contains bugs". These tests make that claim
+// executable by wrapping the solver backend in decorators that lie, stall,
+// or give up, and by exhausting the oracle's step budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+/// Decorator that corrupts capture variables in the first \p CorruptFirstN
+/// satisfying assignments, simulating an unsound model translation or a
+/// buggy solver. Only capture variables (name contains "!c") are touched so
+/// the corruption is exactly in the part of the model CEGAR validates.
+class CorruptingBackend : public SolverBackend {
+public:
+  CorruptingBackend(SolverBackend &Inner, unsigned CorruptFirstN)
+      : Inner(Inner), CorruptFirstN(CorruptFirstN) {}
+
+  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &M,
+                    const SolverLimits &Limits) override {
+    SolveStatus S = Inner.solve(Assertions, M, Limits);
+    if (S != SolveStatus::Sat || SatCount++ >= CorruptFirstN)
+      return S;
+    for (auto &[Name, Val] : M.Bools)
+      if (Name.find("!c") != std::string::npos)
+        Val = !Val;
+    for (auto &[Name, Val] : M.Strings)
+      if (Name.find("!c") != std::string::npos)
+        Val += fromUTF8("Z");
+    ++Corruptions;
+    return S;
+  }
+
+  std::string name() const override { return "corrupting"; }
+
+  unsigned Corruptions = 0;
+
+private:
+  SolverBackend &Inner;
+  unsigned CorruptFirstN;
+  unsigned SatCount = 0;
+};
+
+/// Decorator that answers Unknown for every query (e.g. a timed-out or
+/// crashed solver process).
+class UnknownBackend : public SolverBackend {
+public:
+  SolveStatus solve(const std::vector<TermRef> &, Assignment &,
+                    const SolverLimits &) override {
+    record(SolveStatus::Unknown, 0);
+    return SolveStatus::Unknown;
+  }
+  std::string name() const override { return "unknown"; }
+};
+
+//===----------------------------------------------------------------------===//
+// Corrupted solver models
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjection, CegarRepairsCorruptedCaptures) {
+  // The backend lies about capture values for its first two answers;
+  // validation against the concrete matcher must catch each lie, refine,
+  // and converge on a specification-compliant assignment.
+  auto R = Regex::parse("(\\w+)@(\\w+)", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CorruptingBackend Liar(*Z3, /*CorruptFirstN=*/2);
+  CegarSolver Solver(Liar);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("bob@host"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  EXPECT_GE(Liar.Corruptions, 1u);
+  // The surviving model agrees with the concrete matcher exactly.
+  TermEvaluator Eval;
+  auto C1 = Eval.evalString(Q->Model.Captures[0].Value, Res.Model);
+  auto C2 = Eval.evalString(Q->Model.Captures[1].Value, Res.Model);
+  EXPECT_EQ(toUTF8(*C1), "bob");
+  EXPECT_EQ(toUTF8(*C2), "host");
+}
+
+TEST(FailureInjection, PersistentCorruptionHitsRefinementLimit) {
+  // If the backend lies forever, Algorithm 1 must give up with Unknown
+  // after the refinement limit — never return the corrupted model.
+  auto R = Regex::parse("(a+)b", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CorruptingBackend Liar(*Z3, /*CorruptFirstN=*/1000000);
+  CegarOptions Opts;
+  Opts.RefinementLimit = 4;
+  CegarSolver Solver(Liar, Opts);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aab"))))});
+  EXPECT_EQ(Res.Status, SolveStatus::Unknown);
+  EXPECT_TRUE(Res.HitRefinementLimit);
+  EXPECT_EQ(Solver.stats().QueriesHitLimit, 1u);
+}
+
+TEST(FailureInjection, CorruptionInvisibleForTestQueries) {
+  // test() queries skip capture validation (the program cannot observe
+  // captures), so capture corruption must not trigger refinements.
+  auto R = Regex::parse("(a+)b", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CorruptingBackend Liar(*Z3, 1000000);
+  CegarSolver Solver(Liar);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.test(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  EXPECT_EQ(Res.Status, SolveStatus::Sat);
+  EXPECT_EQ(Res.Refinements, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver giving up
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjection, UnknownBackendPropagates) {
+  auto R = Regex::parse("a", "");
+  ASSERT_TRUE(bool(R));
+  UnknownBackend Backend;
+  CegarSolver Solver(Backend);
+  SymbolicRegExp Sym(R->clone(), "f");
+  auto Q = Sym.exec(mkStrVar("in"), mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  EXPECT_EQ(Res.Status, SolveStatus::Unknown);
+  EXPECT_FALSE(Res.HitRefinementLimit);
+}
+
+TEST(FailureInjection, LocalBackendNodeBudgetExhaustion) {
+  // A node budget of 1 cannot complete any search: Unknown, not a wrong
+  // answer and not a crash.
+  auto R = Regex::parse("(a+)(b+)c", "");
+  ASSERT_TRUE(bool(R));
+  auto Local = makeLocalBackend();
+  CegarOptions Opts;
+  Opts.Limits.MaxNodes = 1;
+  CegarSolver Solver(*Local, Opts);
+  SymbolicRegExp Sym(R->clone(), "f");
+  auto Q = Sym.exec(mkStrVar("in"), mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  EXPECT_EQ(Res.Status, SolveStatus::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle budget exhaustion
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjection, OracleBudgetAbortsToUnknown) {
+  // Algorithm 1 consults the concrete matcher on every candidate; if the
+  // oracle exhausts its backtracking budget the query result is Unknown
+  // (§5.3's third outcome), never an unvalidated Sat.
+  auto R = Regex::parse("(a+)+b", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CegarSolver Solver(*Z3);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  // Replace the oracle with one whose budget cannot finish any match.
+  Q->Oracle = std::make_shared<RegExpObject>(R->clone(), /*StepBudget=*/3);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aab"))))});
+  EXPECT_EQ(Res.Status, SolveStatus::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Refinement limit edges
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjection, RefinementLimitOneStopsAfterFirstRound) {
+  // The §3.4 greediness example needs exactly one refinement; with
+  // RefinementLimit = 1 the first mismatch already exhausts the budget.
+  auto R = Regex::parse("^a*(a)?$", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CegarOptions Opts;
+  Opts.RefinementLimit = 1;
+  CegarSolver Solver(*Z3, Opts);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aa")))),
+       PathClause::plain(Q->Model.Captures[0].Defined)});
+  // Either the solver's first candidate already violates matching
+  // precedence (hit limit -> Unknown) or it proves Unsat directly once
+  // refined; it must never answer Sat.
+  EXPECT_NE(Res.Status, SolveStatus::Sat);
+}
+
+TEST(FailureInjection, StatsDistinguishRefinedFromLimitHit) {
+  auto R = Regex::parse("^a*(a)?$", "");
+  ASSERT_TRUE(bool(R));
+  auto Z3 = makeZ3Backend();
+  CegarSolver Solver(*Z3);
+  SymbolicRegExp Sym(R->clone(), "f");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("aa"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  const CegarStats &S = Solver.stats();
+  EXPECT_EQ(S.Queries, 1u);
+  EXPECT_EQ(S.QueriesHitLimit, 0u);
+  if (Res.Refinements > 0) {
+    EXPECT_EQ(S.QueriesRefined, 1u);
+    EXPECT_EQ(S.WithRefinement.N, 1u);
+  }
+}
+
+} // namespace

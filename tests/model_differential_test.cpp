@@ -1,0 +1,152 @@
+//===- tests/model_differential_test.cpp - Model+CEGAR vs matcher ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end differential property (the paper's soundness claim, §5.4):
+// whatever assignment the CEGAR loop returns for a membership or
+// non-membership query must agree with the concrete ES6 matcher — both the
+// match polarity and every capture value. The checks here re-run the
+// matcher independently of the CEGAR-internal validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct DiffCase {
+  const char *Pattern;
+  const char *Flags;
+};
+
+class Differential : public ::testing::TestWithParam<DiffCase> {
+protected:
+  void verifyAgainstMatcher(const RegexQuery &Q, const Assignment &M,
+                            bool WantMatch) {
+    TermEvaluator Eval;
+    auto In = Eval.evalString(Q.Input, M);
+    ASSERT_TRUE(In.has_value());
+    RegExpObject Oracle(Q.Oracle->regex().clone());
+    auto Exec = Oracle.exec(*In);
+    ASSERT_NE(Exec.Status, MatchStatus::Budget);
+    ASSERT_EQ(Exec.Status == MatchStatus::Match, WantMatch)
+        << "solution '" << toUTF8(*In) << "' has wrong polarity";
+    if (!WantMatch)
+      return;
+    const MatchResult &R = *Exec.Result;
+    auto C0 = Eval.evalString(Q.Model.C0.Value, M);
+    EXPECT_EQ(toUTF8(*C0), toUTF8(R.Match));
+    auto Start = Eval.evalInt(Q.Model.MatchStart, M);
+    EXPECT_EQ(*Start, static_cast<int64_t>(R.Index) + 1);
+    for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
+      auto Def = Eval.evalBool(Q.Model.Captures[I].Defined, M);
+      auto Val = Eval.evalString(Q.Model.Captures[I].Value, M);
+      bool WantDef = I < R.Captures.size() && R.Captures[I].has_value();
+      EXPECT_EQ(*Def, WantDef) << "capture " << I + 1;
+      if (WantDef)
+        EXPECT_EQ(toUTF8(*Val), toUTF8(*R.Captures[I]))
+            << "capture " << I + 1;
+    }
+  }
+};
+
+TEST_P(Differential, MembershipSolutionsAgreeWithMatcher) {
+  const DiffCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "d");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+
+  CegarResult Res = Solver.solve({PathClause::regex(Q, true)});
+  ASSERT_NE(Res.Status, SolveStatus::Unsat)
+      << "/" << C.Pattern << "/ should have matching inputs";
+  if (Res.Status == SolveStatus::Sat)
+    verifyAgainstMatcher(*Q, Res.Model, /*WantMatch=*/true);
+}
+
+TEST_P(Differential, NonMembershipSolutionsAgreeWithMatcher) {
+  const DiffCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "d");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+
+  CegarResult Res = Solver.solve({PathClause::regex(Q, false)});
+  // Some patterns match every string; Unsat is acceptable then.
+  if (Res.Status == SolveStatus::Sat) {
+    TermEvaluator Eval;
+    auto In = Eval.evalString(Q->Input, Res.Model);
+    ASSERT_TRUE(In.has_value());
+    RegExpObject Oracle(R->clone());
+    EXPECT_FALSE(Oracle.test(*In))
+        << "non-membership solution '" << toUTF8(*In)
+        << "' concretely matches /" << C.Pattern << "/";
+  }
+}
+
+TEST_P(Differential, ConstrainedCapturesStayConsistent) {
+  const DiffCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+  if (R->numCaptures() == 0)
+    GTEST_SKIP() << "no captures to constrain";
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "d");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+
+  // Ask for a match whose first capture is defined and non-empty.
+  std::vector<PathClause> PC = {
+      PathClause::regex(Q, true),
+      PathClause::plain(Q->Model.Captures[0].Defined),
+      PathClause::plain(
+          mkNot(mkEq(Q->Model.Captures[0].Value, mkStrConst(UString())))),
+  };
+  CegarResult Res = Solver.solve(PC);
+  if (Res.Status == SolveStatus::Sat)
+    verifyAgainstMatcher(*Q, Res.Model, /*WantMatch=*/true);
+}
+
+const DiffCase Cases[] = {
+    {"abc", ""},
+    {"a+b*", ""},
+    {"(a+)(b+)", ""},
+    {"(a*)(a)?", ""},      // paper §3.4 greediness example
+    {"<(.*?)>", ""},       // lazy capture
+    {"(a|b)+", ""},
+    {"(?:x(y))?z", ""},
+    {"(a)(b)?c", ""},
+    {"^([a-c]+)$", ""},
+    {"\\b(\\w+)\\b", ""},
+    {"a(?=(b))b", ""},
+    {"x(?!y)[a-z]", ""},
+    {"(a+)\\1", ""},
+    {"(?:a|(b))\\1", ""},  // paper §3.3 example
+    {"(\\d+)-(\\d+)", ""},
+    {"go+d", "i"},
+    {"^a*(a)?$", ""},
+    {"([ab])([ab])\\2\\1", ""},
+    {"(a{2,3})x", ""},
+    {"<(\\w+)>([0-9]*)<\\/\\1>", ""}, // Listing 1
+};
+
+INSTANTIATE_TEST_SUITE_P(Patterns, Differential,
+                         ::testing::ValuesIn(Cases));
+
+} // namespace

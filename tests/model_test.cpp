@@ -1,0 +1,189 @@
+//===- tests/model_test.cpp - Capturing-language model soundness -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property (paper §5.4): the Table-2/Table-3 models *overapproximate*
+// capturing-language membership. For every concrete match found by the
+// ES6 matcher, the model must be satisfiable with exactly the matcher's
+// word, position and capture assignment. Dually, for every non-matching
+// word, the negated model must admit the word.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Sample {
+  const char *Pattern;
+  const char *Flags;
+  const char *Input;
+};
+
+std::vector<TermRef> pinToConcrete(const RegexQuery &Q, const UString &In,
+                                   const MatchResult &R) {
+  std::vector<TermRef> As;
+  As.push_back(Q.Decoration);
+  As.push_back(Q.Position);
+  As.push_back(Q.Model.MatchConstraint);
+  As.push_back(mkEq(Q.Input, mkStrConst(In)));
+  As.push_back(mkEq(Q.Model.MatchStart,
+                    mkIntConst(static_cast<int64_t>(R.Index) + 1)));
+  As.push_back(mkEq(Q.Model.C0.Value, mkStrConst(R.Match)));
+  for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
+    const CaptureVar &CV = Q.Model.Captures[I];
+    if (I < R.Captures.size() && R.Captures[I]) {
+      As.push_back(CV.Defined);
+      As.push_back(mkEq(CV.Value, mkStrConst(*R.Captures[I])));
+    } else {
+      As.push_back(mkNot(CV.Defined));
+    }
+  }
+  return As;
+}
+
+class ModelOverapprox : public ::testing::TestWithParam<Sample> {};
+
+TEST_P(ModelOverapprox, AdmitsConcreteMatch) {
+  const Sample &S = GetParam();
+  auto R = Regex::parse(S.Pattern, S.Flags);
+  ASSERT_TRUE(bool(R)) << S.Pattern;
+  UString In = fromUTF8(S.Input);
+
+  RegExpObject Oracle(R->clone());
+  auto Exec = Oracle.exec(In);
+  ASSERT_NE(Exec.Status, MatchStatus::Budget);
+
+  SymbolicRegExp Sym(R->clone(), "m");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  auto B = makeZ3Backend();
+  Assignment M;
+  SolverLimits L;
+
+  if (Exec.Status == MatchStatus::Match) {
+    std::vector<TermRef> As = pinToConcrete(*Q, In, *Exec.Result);
+    EXPECT_EQ(B->solve(As, M, L), SolveStatus::Sat)
+        << "/" << S.Pattern << "/" << S.Flags << " on '" << S.Input
+        << "': model rejects the concrete match";
+  } else {
+    // Negated model must admit the non-matching word.
+    std::vector<TermRef> As = {Q->negativeAssertion(),
+                               mkEq(Input, mkStrConst(In))};
+    EXPECT_EQ(B->solve(As, M, L), SolveStatus::Sat)
+        << "/" << S.Pattern << "/" << S.Flags << " on '" << S.Input
+        << "': negated model rejects the non-matching word";
+  }
+}
+
+const Sample Samples[] = {
+    // Plain regular.
+    {"abc", "", "xxabcy"},
+    {"abc", "", "ab"},
+    {"a+b", "", "caaab"},
+    {"[0-9]{2,3}", "", "a1234b"},
+    {"a|b|c", "", "zzz"},
+    // Captures.
+    {"(a+)(b*)", "", "aab"},
+    {"(a)|(b)", "", "b"},
+    {"((a)*b)", "", "aab"},
+    {"(a(b(c)))", "", "xabcx"},
+    {"(x)?y", "", "y"},
+    {"(x)?y", "", "xy"},
+    // Quantified captures (§4.1 correspondence).
+    {"(?:(a)|(b))+", "", "ab"},
+    {"(ab){1,3}", "", "ababab"},
+    {"(a){2}", "", "aa"},
+    {"(a+){2,}", "", "aaaa"},
+    // Anchors, multiline.
+    {"^ab", "", "abc"},
+    {"^ab", "", "zab"},
+    {"ab$", "", "zab"},
+    {"^a$", "m", "b\na\nc"},
+    // Word boundaries.
+    {"\\bfoo\\b", "", "a foo b"},
+    {"\\bfoo\\b", "", "afoob"},
+    {"\\Boo", "", "foo"},
+    // Lookaheads.
+    {"a(?=b)", "", "ab"},
+    {"a(?=b)", "", "ac"},
+    {"a(?!b)", "", "ac"},
+    {"a(?=(b+))", "", "abb"},
+    // Backreferences.
+    {"(a+)\\1", "", "aaaa"},
+    {"(a|b)\\1", "", "bb"},
+    {"(?:(a)|b)\\1", "", "b"},
+    {"<(\\w+)>([0-9]*)<\\/\\1>", "", "<t>5</t>"},
+    // Ignore case.
+    {"ab", "i", "xAbY"},
+    {"(a)\\1", "i", "aA"},
+    // Lazy (model is precedence-agnostic; CEGAR fixes captures).
+    {"<(.*?)>", "", "<a><b>"},
+    {"a*?b", "", "aab"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Samples, ModelOverapprox,
+                         ::testing::ValuesIn(Samples));
+
+TEST(Model, CaptureVariablesExposed) {
+  auto R = Regex::parse("(a)(b(c))?", "");
+  ASSERT_TRUE(bool(R));
+  ModelBuilder MB(*R, "t");
+  SymbolicMatch SM = MB.build(mkStrVar("in"));
+  EXPECT_EQ(SM.Captures.size(), 3u);
+  EXPECT_NE(SM.Word, nullptr);
+  EXPECT_NE(SM.MatchConstraint, nullptr);
+  EXPECT_NE(SM.NoMatchConstraint, nullptr);
+}
+
+TEST(Model, NegationExactForPlainPatterns) {
+  auto Check = [](const char *P, bool Want) {
+    auto R = Regex::parse(P, "");
+    ASSERT_TRUE(bool(R)) << P;
+    ModelBuilder MB(*R, "t");
+    EXPECT_EQ(MB.build(mkStrVar("in")).NegationExact, Want) << P;
+  };
+  Check("(a|b)*c", true);
+  Check("(a)(b){2,4}", true);
+  Check("(a)\\1", false);
+  Check("(?=a)b", false);
+  Check("^ab", false);
+  Check("\\bfoo", false);
+}
+
+TEST(Model, CaptureFreeLevelHasNoCaptureVars) {
+  auto R = Regex::parse("(a+)(b)", "");
+  ASSERT_TRUE(bool(R));
+  ModelOptions Opts;
+  Opts.ModelCaptures = false;
+  ModelBuilder MB(*R, "t", Opts);
+  SymbolicMatch SM = MB.build(mkStrVar("in"));
+  // Placeholders only: no boolean definedness variables are created.
+  for (const CaptureVar &C : SM.Captures)
+    EXPECT_EQ(C.Defined->Kind, TermKind::BoolConst);
+}
+
+TEST(Model, UnsatisfiableForWrongCaptures) {
+  // The model must NOT admit capture assignments outside the language:
+  // for /(a)(b)/ on "ab", C1 can only ever be "a".
+  auto R = Regex::parse("(a)(b)", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "w");
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  auto B = makeZ3Backend();
+  Assignment M;
+  SolverLimits L;
+  std::vector<TermRef> As = {
+      Q->positiveAssertion(), mkEq(Input, mkStrConst(fromUTF8("ab"))),
+      mkEq(Q->Model.Captures[0].Value, mkStrConst(fromUTF8("b")))};
+  EXPECT_EQ(B->solve(As, M, L), SolveStatus::Unsat);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/negation_test.cpp - §4.4 non-membership models ----------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Properties of the negated models: exactness of the pure-regular fast
+// path, the existential-partition schema for backreference patterns, and
+// the Algorithm 1 lines 16-22 repair loop for spurious non-members.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct NegCase {
+  const char *Pattern;
+  const char *Flags;
+  const char *Matching;    // a word that concretely matches
+  const char *NonMatching; // a word that concretely does not
+};
+
+class NegationModel : public ::testing::TestWithParam<NegCase> {};
+
+TEST_P(NegationModel, NoMatchAdmitsNonMembersOnly) {
+  const NegCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+
+  // Sanity: the case rows agree with the matcher.
+  RegExpObject Oracle(R->clone());
+  ASSERT_TRUE(Oracle.test(fromUTF8(C.Matching))) << C.Pattern;
+  ASSERT_FALSE(Oracle.test(fromUTF8(C.NonMatching))) << C.Pattern;
+
+  auto Backend = makeZ3Backend();
+  SymbolicRegExp Sym(R->clone(), "n");
+  TermRef In = mkStrVar("in");
+  auto Q = Sym.test(In, mkIntConst(0));
+  Assignment M;
+  SolverLimits L;
+
+  // The negated model must admit the concrete non-member...
+  std::vector<TermRef> AdmitNonMember = {
+      Q->negativeAssertion(),
+      mkEq(In, mkStrConst(fromUTF8(C.NonMatching)))};
+  EXPECT_EQ(Backend->solve(AdmitNonMember, M, L), SolveStatus::Sat)
+      << "/" << C.Pattern << "/: negated model rejects non-member '"
+      << C.NonMatching << "'";
+
+  // ...and, when the fast path is exact, must refuse the member.
+  if (Q->Model.NegationExact) {
+    std::vector<TermRef> RefuseMember = {
+        Q->negativeAssertion(),
+        mkEq(In, mkStrConst(fromUTF8(C.Matching)))};
+    EXPECT_EQ(Backend->solve(RefuseMember, M, L), SolveStatus::Unsat)
+        << "/" << C.Pattern << "/: exact negation admits member '"
+        << C.Matching << "'";
+  }
+}
+
+TEST_P(NegationModel, CegarNonMembershipIsSound) {
+  const NegCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  ASSERT_TRUE(bool(R)) << C.Pattern;
+
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "n");
+  TermRef In = mkStrVar("in");
+  auto Q = Sym.test(In, mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q, false)});
+  if (Res.Status != SolveStatus::Sat)
+    return; // some patterns match everything
+  RegExpObject Oracle(R->clone());
+  EXPECT_FALSE(Oracle.test(Res.Model.str("in")))
+      << "/" << C.Pattern << "/: CEGAR returned a matching word '"
+      << toUTF8(Res.Model.str("in")) << "' for a non-membership query";
+}
+
+const NegCase Cases[] = {
+    {"abc", "", "xxabc", "xxabd"},
+    {"a+", "", "za", "zzz"},
+    {"^a", "", "ab", "ba"},
+    {"a$", "", "ba", "ab"},
+    {"[0-9]{3}", "", "ab123", "ab12"},
+    {"(x)(y)", "", "axyb", "ayxb"},
+    {"(a+)\\1", "", "aa", "a"},
+    {"(a|b)\\1", "", "aa", "ab"},
+    {"a(?=b)", "", "ab", "ac"},
+    {"a(?!b)", "", "ac", "ab"},
+    {"\\bfoo", "", "a foo", "afoo"},
+    {"colou?r", "i", "COLOR", "colo"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Patterns, NegationModel,
+                         ::testing::ValuesIn(Cases));
+
+TEST(Negation, ImpossibleNonMembershipIsRefused) {
+  // /(?:)/ (empty pattern) matches every string: no non-member exists.
+  auto R = Regex::parse("", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "n");
+  auto Q = Sym.test(mkStrVar("in"), mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q, false)});
+  EXPECT_NE(Res.Status, SolveStatus::Sat);
+}
+
+TEST(Negation, MembershipAndNonMembershipTogether) {
+  // Same input constrained by ∈ of one regex and ∉ of another.
+  auto R1 = Regex::parse("^[ab]+$", "");
+  auto R2 = Regex::parse("aa|bb", "");
+  ASSERT_TRUE(bool(R1) && bool(R2));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  TermRef In = mkStrVar("in");
+  SymbolicRegExp S1(R1->clone(), "p");
+  SymbolicRegExp S2(R2->clone(), "q");
+  auto Q1 = S1.test(In, mkIntConst(0));
+  auto Q2 = S2.test(In, mkIntConst(0));
+  CegarResult Res = Solver.solve({PathClause::regex(Q1, true),
+                                  PathClause::regex(Q2, false),
+                                  PathClause::plain(mkLe(
+                                      mkIntConst(2), mkStrLen(In)))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString W = Res.Model.str("in");
+  // In [ab]+ without "aa" or "bb": strictly alternating, e.g. "abab".
+  RegExpObject O1(R1->clone()), O2(R2->clone());
+  EXPECT_TRUE(O1.test(W)) << toUTF8(W);
+  EXPECT_FALSE(O2.test(W)) << toUTF8(W);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- tests/parser_errors_test.cpp - ES6 SyntaxError matrix ---------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exhaustive accept/reject matrix for the pattern grammar: the same source
+// can be legal Annex-B syntax and a SyntaxError in unicode mode, and the
+// parser must take the ES6-specified side in every case. Rejections matter
+// for DSE because a symbolically-executed `new RegExp(...)` path throws;
+// acceptances matter because Annex-B patterns appear throughout NPM code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct SyntaxCase {
+  const char *Pattern;
+  const char *Flags;
+  bool Ok;
+};
+
+class SyntaxMatrix : public ::testing::TestWithParam<SyntaxCase> {};
+
+TEST_P(SyntaxMatrix, AcceptsOrRejects) {
+  const SyntaxCase &C = GetParam();
+  auto R = Regex::parse(C.Pattern, C.Flags);
+  EXPECT_EQ(bool(R), C.Ok)
+      << "/" << C.Pattern << "/" << C.Flags
+      << (C.Ok ? " should parse: " + (R ? "" : R.error())
+               : " should be a SyntaxError");
+}
+
+const SyntaxCase AnnexBAccepts[] = {
+    // Legal only outside unicode mode (Annex B leniency).
+    {"a{,2}", "", true},    // '{' not opening a quantifier is a literal
+    {"{", "", true},
+    {"}", "", true},
+    {"]", "", true},
+    {"a{1", "", true},
+    {"\\q", "", true},      // identity escape
+    {"\\x", "", true},      // bad hex -> identity
+    {"\\xZ1", "", true},
+    {"\\u", "", true},      // bad unicode -> identity
+    {"\\uZZZZ", "", true},
+    {"\\c", "", true},      // \c + non-letter -> literal backslash
+    {"\\c1", "", true},
+    {"(a)\\2", "", true},   // octal escape, not a backreference
+    {"\\00", "", true},
+    {"\\377", "", true},
+    {"[\\d-x]", "", true},  // class-escape range endpoint -> literal '-'
+    {"[\\w-a]", "", true},
+    {"(?=a)*", "", true},   // quantified assertion
+    {"(?=a)+", "", true},
+    {"(?!a)?", "", true},
+    {"\\8", "", true},      // \8, \9 are identity, never octal
+    {"\\9", "", true},
+    // \u{41} without the u flag: identity 'u' then quantifier {41}.
+    {"\\u{41}", "", true},
+    {"\\k", "", true},      // identity when no named groups exist
+    {"\\k<", "", true},
+};
+
+const SyntaxCase UnicodeRejects[] = {
+    // The same sources under the u flag: all SyntaxErrors.
+    {"a{,2}", "u", false},
+    {"{", "u", false},
+    {"}", "u", false},
+    {"]", "u", false},
+    {"a{1", "u", false},
+    {"\\q", "u", false},
+    {"\\x", "u", false},
+    {"\\xZ1", "u", false},
+    {"\\u", "u", false},
+    {"\\uZZZZ", "u", false},
+    {"\\c", "u", false},
+    {"\\c1", "u", false},
+    {"(a)\\2", "u", false},
+    {"\\00", "u", false},
+    {"\\377", "u", false},
+    {"[\\d-x]", "u", false},
+    {"[\\w-a]", "u", false},
+    {"(?=a)*", "u", false},
+    {"(?=a)+", "u", false},
+    {"(?!a)?", "u", false},
+    {"\\k", "u", false},
+    {"\\k<x>", "u", false}, // no group named x
+    {"\\u{110000}", "u", false}, // beyond U+10FFFF
+    {"\\u{}", "u", false},
+    {"\\u{zz}", "u", false},
+};
+
+const SyntaxCase BothModesReject[] = {
+    {"*a", "", false},
+    {"*a", "u", false},
+    {"+", "", false},
+    {"?", "", false},
+    {"a**", "", false},
+    {"a*+", "", false}, // no possessive quantifiers in ECMAScript
+    {"a{5,2}", "", false},
+    {"(", "", false},
+    {"(?:a", "", false},
+    {"(?", "", false},
+    {"(?*", "", false},
+    {"(?P<n>x)", "", false}, // Python syntax is not ES
+    {"a)", "", false},
+    {"[a", "", false},
+    {"[z-a]", "", false},
+    {"[z-a]", "u", false},
+    {"^*", "", false},
+    {"$?", "", false},
+    {"\\b*", "", false},
+    {"\\B{1}", "", false},
+    {"(?<=a)*", "", false}, // lookbehind is never quantifiable
+    {"(?<!a)?", "", false},
+    {"(?<>x)", "", false},  // empty group name
+    {"(?<9>x)", "", false}, // name cannot start with a digit
+    {"(?<a>x)(?<a>y)", "", false}, // duplicate names
+    {"(?<a>x)\\k<b>", "", false},  // unknown name with named groups present
+};
+
+const SyntaxCase BothModesAccept[] = {
+    {"", "", true},
+    {"|", "", true},       // empty alternatives are legal
+    {"a||b", "", true},
+    {"()", "", true},
+    {"(?:)", "", true},
+    {"(?=)", "", true},
+    {"(?<=)", "", true},
+    {"[^]", "", true},
+    {"[]", "", true},
+    {"a{0}", "", true},
+    {"a{0,0}", "", true},
+    {"a{2,2}", "", true},
+    {"\\0", "", true},     // NUL escape (no digit follows)
+    {"\\0", "u", true},
+    {"\\$", "u", true},    // syntax-character identity escapes stay legal
+    {"\\.", "u", true},
+    {"\\/", "u", true},
+    {"\\u0041", "u", true},
+    {"\\u{41}", "u", true},
+    {"\\u{10FFFF}", "u", true},
+    {"(?<name>x)\\k<name>", "", true},
+    {"(?<name>x)\\k<name>", "u", true},
+    {"(?<=a)b", "u", true}, // lookbehind itself is fine under u
+    {"(?<$x>y)", "", true}, // $ and _ in names
+    {"(?<_>y)", "", true},
+};
+
+INSTANTIATE_TEST_SUITE_P(AnnexBAccepts, SyntaxMatrix,
+                         ::testing::ValuesIn(AnnexBAccepts));
+INSTANTIATE_TEST_SUITE_P(UnicodeRejects, SyntaxMatrix,
+                         ::testing::ValuesIn(UnicodeRejects));
+INSTANTIATE_TEST_SUITE_P(BothModesReject, SyntaxMatrix,
+                         ::testing::ValuesIn(BothModesReject));
+INSTANTIATE_TEST_SUITE_P(BothModesAccept, SyntaxMatrix,
+                         ::testing::ValuesIn(BothModesAccept));
+
+//===----------------------------------------------------------------------===//
+// Error reporting quality
+//===----------------------------------------------------------------------===//
+
+TEST(ParserErrors, MessagesNamePositionAndCause) {
+  auto R = Regex::parse("ab(", "");
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().find("position"), std::string::npos) << R.error();
+  EXPECT_NE(R.error().find("unterminated group"), std::string::npos)
+      << R.error();
+
+  auto R2 = Regex::parse("a{3,1}", "");
+  ASSERT_FALSE(bool(R2));
+  EXPECT_NE(R2.error().find("out of order"), std::string::npos)
+      << R2.error();
+
+  auto R3 = Regex::parse("[b-a]", "");
+  ASSERT_FALSE(bool(R3));
+  EXPECT_NE(R3.error().find("range out of order"), std::string::npos)
+      << R3.error();
+}
+
+TEST(ParserErrors, TrailingBackslash) {
+  auto R = Regex::parse("abc\\", "");
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().find("trailing backslash"), std::string::npos)
+      << R.error();
+}
+
+//===----------------------------------------------------------------------===//
+// Literal form /pattern/flags
+//===----------------------------------------------------------------------===//
+
+TEST(ParseLiteral, EscapedSlashInsideBody) {
+  auto R = Regex::parseLiteral("/a\\/b/");
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_EQ(R->numCaptures(), 0u);
+}
+
+TEST(ParseLiteral, SlashInsideClassIsNotTerminator) {
+  auto R = Regex::parseLiteral("/[/]/g");
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_TRUE(R->flags().Global);
+}
+
+TEST(ParseLiteral, EmptyBodyPrintsNonEmpty) {
+  auto R = Regex::parseLiteral("//");
+  ASSERT_TRUE(bool(R)) << R.error();
+  // An empty pattern must not print as "//" (that is a comment in JS).
+  EXPECT_EQ(R->str(), "/(?:)/");
+}
+
+TEST(ParseLiteral, AllFlagsRoundTrip) {
+  auto R = Regex::parseLiteral("/a/gimsuy");
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_EQ(R->flags().str(), "gimsuy");
+  EXPECT_FALSE(bool(Regex::parseLiteral("/a/gg")));
+  EXPECT_FALSE(bool(Regex::parseLiteral("/a/x")));
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- tests/parser_test.cpp - ES6 regex parser ----------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+const RegexNode &root(const Regex &R) { return R.root(); }
+
+TEST(Parser, SimpleLiteral) {
+  auto R = Regex::parse("abc", "");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->numCaptures(), 0u);
+  ASSERT_EQ(root(*R).kind(), NodeKind::Concat);
+  EXPECT_EQ(cast<ConcatNode>(root(*R)).Parts.size(), 3u);
+}
+
+TEST(Parser, CaptureNumbering) {
+  // Paper §2.2: /a|((b)*c)*d/ numbers groups by opening parenthesis.
+  auto R = Regex::parse("a|((b)*c)*d", "");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->numCaptures(), 2u);
+  std::vector<uint32_t> Indices;
+  forEachNode(root(*R), [&](const RegexNode &N) {
+    if (const auto *G = dynCast<GroupNode>(&N))
+      if (G->isCapturing())
+        Indices.push_back(G->CaptureIndex);
+  });
+  EXPECT_EQ(Indices, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(Parser, NonCapturingGroup) {
+  auto R = Regex::parse("(?:ab)+(c)", "");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->numCaptures(), 1u);
+}
+
+TEST(Parser, QuantifierForms) {
+  for (const char *P : {"a*", "a+", "a?", "a{2}", "a{2,}", "a{2,5}",
+                        "a*?", "a+?", "a??", "a{2,5}?"}) {
+    auto R = Regex::parse(P, "");
+    ASSERT_TRUE(bool(R)) << P;
+  }
+  auto R = Regex::parse("a{3,7}?", "");
+  ASSERT_TRUE(bool(R));
+  const auto &Q = cast<QuantifierNode>(root(*R));
+  EXPECT_EQ(Q.Min, 3u);
+  EXPECT_EQ(Q.Max, 7u);
+  EXPECT_FALSE(Q.Greedy);
+}
+
+TEST(Parser, QuantifierErrors) {
+  EXPECT_FALSE(bool(Regex::parse("*a", "")));
+  EXPECT_FALSE(bool(Regex::parse("a{5,2}", "")));
+  EXPECT_FALSE(bool(Regex::parse("^*", "")));
+  EXPECT_FALSE(bool(Regex::parse("\\b+", "")));
+}
+
+TEST(Parser, AnnexBLiteralBraces) {
+  // Non-unicode mode allows unmatched braces as literals.
+  auto R = Regex::parse("a{,2}", "");
+  ASSERT_TRUE(bool(R)); // '{,2}' is literal text
+  EXPECT_FALSE(bool(Regex::parse("a{,2}", "u")));
+  EXPECT_TRUE(bool(Regex::parse("}", "")));
+  EXPECT_FALSE(bool(Regex::parse("}", "u")));
+}
+
+TEST(Parser, BackreferenceVsOctal) {
+  // \1 with one group = backreference.
+  auto R = Regex::parse("(a)\\1", "");
+  ASSERT_TRUE(bool(R));
+  bool SawBackref = false;
+  forEachNode(root(*R), [&](const RegexNode &N) {
+    SawBackref |= N.kind() == NodeKind::Backreference;
+  });
+  EXPECT_TRUE(SawBackref);
+
+  // \2 with one group: Annex B legacy octal (matches "\x02").
+  auto R2 = Regex::parse("(a)\\2", "");
+  ASSERT_TRUE(bool(R2));
+  bool SawOctal = false;
+  forEachNode(root(*R2), [&](const RegexNode &N) {
+    if (const auto *C = dynCast<CharClassNode>(&N))
+      SawOctal |= C->Base.contains(2) && C->Base.size() == 1;
+  });
+  EXPECT_TRUE(SawOctal);
+
+  // In unicode mode the same pattern is a SyntaxError.
+  EXPECT_FALSE(bool(Regex::parse("(a)\\2", "u")));
+}
+
+TEST(Parser, ForwardBackreferenceCounts) {
+  // Group count is computed over the whole pattern, so \1 before (a) is a
+  // (necessarily-empty) backreference, not an octal escape.
+  auto R = Regex::parse("\\1(a)", "");
+  ASSERT_TRUE(bool(R));
+  bool SawBackref = false;
+  forEachNode(root(*R), [&](const RegexNode &N) {
+    SawBackref |= N.kind() == NodeKind::Backreference;
+  });
+  EXPECT_TRUE(SawBackref);
+}
+
+TEST(Parser, CharacterClasses) {
+  auto R = Regex::parse("[a-fA-F0-9_]", "");
+  ASSERT_TRUE(bool(R));
+  const auto &C = cast<CharClassNode>(root(*R));
+  EXPECT_TRUE(C.FromExplicitClass);
+  EXPECT_TRUE(C.HasRange);
+  EXPECT_FALSE(C.Negated);
+  EXPECT_TRUE(C.Base.contains('d'));
+  EXPECT_TRUE(C.Base.contains('F'));
+  EXPECT_TRUE(C.Base.contains('_'));
+  EXPECT_FALSE(C.Base.contains('g'));
+}
+
+TEST(Parser, NegatedClassSemantics) {
+  auto R = Regex::parse("[^\\d]", "");
+  ASSERT_TRUE(bool(R));
+  const auto &C = cast<CharClassNode>(root(*R));
+  EXPECT_TRUE(C.Negated);
+  CharSet Eff = C.effectiveSet(false, false);
+  EXPECT_FALSE(Eff.contains('5'));
+  EXPECT_TRUE(Eff.contains('a'));
+}
+
+TEST(Parser, ClassEscapes) {
+  auto R = Regex::parse("[\\b\\-\\]\\\\]", "");
+  ASSERT_TRUE(bool(R));
+  const auto &C = cast<CharClassNode>(root(*R));
+  EXPECT_TRUE(C.Base.contains(0x08)); // \b inside class = backspace
+  EXPECT_TRUE(C.Base.contains('-'));
+  EXPECT_TRUE(C.Base.contains(']'));
+  EXPECT_TRUE(C.Base.contains('\\'));
+}
+
+TEST(Parser, ClassRangeErrors) {
+  EXPECT_FALSE(bool(Regex::parse("[z-a]", "")));
+  EXPECT_FALSE(bool(Regex::parse("[a", "")));
+  // Annex B: class-escape endpoint makes '-' literal in non-unicode mode.
+  auto R = Regex::parse("[\\d-x]", "");
+  ASSERT_TRUE(bool(R));
+  const auto &C = cast<CharClassNode>(root(*R));
+  EXPECT_TRUE(C.Base.contains('-'));
+  EXPECT_TRUE(C.Base.contains('x'));
+  EXPECT_TRUE(C.Base.contains('7'));
+  EXPECT_FALSE(bool(Regex::parse("[\\d-x]", "u")));
+}
+
+TEST(Parser, Escapes) {
+  auto R = Regex::parse("\\n\\t\\x41\\u0042\\cA\\0", "");
+  ASSERT_TRUE(bool(R));
+  std::vector<CodePoint> Chars;
+  forEachNode(root(*R), [&](const RegexNode &N) {
+    if (const auto *C = dynCast<CharClassNode>(&N))
+      Chars.push_back(*C->Base.first());
+  });
+  EXPECT_EQ(Chars,
+            (std::vector<CodePoint>{'\n', '\t', 'A', 'B', 1, 0}));
+}
+
+TEST(Parser, UnicodeEscapes) {
+  auto R = Regex::parse("\\u{1F600}", "u");
+  ASSERT_TRUE(bool(R));
+  const auto &C = cast<CharClassNode>(root(*R));
+  EXPECT_TRUE(C.Base.contains(0x1F600));
+  // Surrogate pair in non-u mode stays two units; in u mode it combines.
+  auto R2 = Regex::parse("\\uD83D\\uDE00", "u");
+  ASSERT_TRUE(bool(R2));
+  const auto &C2 = cast<CharClassNode>(root(*R2));
+  EXPECT_TRUE(C2.Base.contains(0x1F600));
+}
+
+TEST(Parser, Lookaheads) {
+  auto R = Regex::parse("(?=ab)(?!cd)x", "");
+  ASSERT_TRUE(bool(R));
+  unsigned Pos = 0, Neg = 0;
+  forEachNode(root(*R), [&](const RegexNode &N) {
+    if (const auto *L = dynCast<LookaheadNode>(&N))
+      (L->Negated ? Neg : Pos)++;
+  });
+  EXPECT_EQ(Pos, 1u);
+  EXPECT_EQ(Neg, 1u);
+  // Annex B: quantified lookahead allowed without u, rejected with u.
+  EXPECT_TRUE(bool(Regex::parse("(?=a)*", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?=a)*", "u")));
+}
+
+TEST(Parser, GroupErrors) {
+  EXPECT_FALSE(bool(Regex::parse("(a", "")));
+  EXPECT_FALSE(bool(Regex::parse("a)", "")));
+  EXPECT_FALSE(bool(Regex::parse("(?<a)", ""))); // lookbehind: not in ES6
+}
+
+TEST(Parser, Flags) {
+  auto R = Regex::parse("a", "gimuy");
+  ASSERT_TRUE(bool(R));
+  EXPECT_TRUE(R->flags().Global);
+  EXPECT_TRUE(R->flags().IgnoreCase);
+  EXPECT_TRUE(R->flags().Multiline);
+  EXPECT_TRUE(R->flags().Unicode);
+  EXPECT_TRUE(R->flags().Sticky);
+  EXPECT_FALSE(bool(Regex::parse("a", "gg")));
+  EXPECT_FALSE(bool(Regex::parse("a", "x")));
+}
+
+TEST(Parser, ParseLiteral) {
+  auto R = Regex::parseLiteral("/go+d/i");
+  ASSERT_TRUE(bool(R));
+  EXPECT_TRUE(R->flags().IgnoreCase);
+  EXPECT_EQ(toUTF8(R->pattern()), "go+d");
+  // '/' inside a class does not close the literal.
+  auto R2 = Regex::parseLiteral("/[/]x/");
+  ASSERT_TRUE(bool(R2));
+  EXPECT_FALSE(bool(Regex::parseLiteral("/abc")));
+  EXPECT_FALSE(bool(Regex::parseLiteral("abc/")));
+}
+
+TEST(Parser, PrintRoundTrip) {
+  for (const char *P :
+       {"abc", "a|b|c", "(a(b)c)*", "a{2,5}?", "[a-z0-9]+", "(?:ab)?",
+        "(?=x)y", "(?!x)y", "\\bfoo\\b", "^a.c$", "(a)\\1",
+        "a|((b)*c)*d"}) {
+    auto R = Regex::parse(P, "");
+    ASSERT_TRUE(bool(R)) << P;
+    std::string Printed = R->root().str();
+    auto R2 = Regex::parse(Printed, "");
+    ASSERT_TRUE(bool(R2)) << P << " -> " << Printed;
+    // Idempotent after one round.
+    EXPECT_EQ(R2->root().str(), Printed) << P;
+  }
+}
+
+TEST(Parser, DeepNesting) {
+  std::string P;
+  for (int I = 0; I < 40; ++I)
+    P += "(a|";
+  P += "b";
+  for (int I = 0; I < 40; ++I)
+    P += ")";
+  auto R = Regex::parse(P, "");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->numCaptures(), 40u);
+}
+
+} // namespace

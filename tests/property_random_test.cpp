@@ -1,0 +1,221 @@
+//===- tests/property_random_test.cpp - Randomized property suites ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded random property tests tying the layers together:
+//  1. generated regexes + generated words: whenever the concrete matcher
+//     accepts, the model (pinned to the matcher's captures) is Sat — the
+//     §5.4 overapproximation invariant, on inputs nobody hand-picked;
+//  2. the regular approximation t̂ accepts every matcher-accepted word;
+//  3. random pattern strings never crash the parser, and every accepted
+//     pattern round-trips through the printer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "automata/Automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace recap;
+
+namespace {
+
+/// Random regex over a small grammar. Depth-bounded; may include captures,
+/// alternation, quantifiers, classes, anchors and (rarely) backrefs.
+std::string randomPattern(std::mt19937_64 &Rng, int Depth,
+                          unsigned &Groups) {
+  auto Pick = [&](int N) { return static_cast<int>(Rng() % N); };
+  if (Depth <= 0) {
+    switch (Pick(6)) {
+    case 0:
+      return "a";
+    case 1:
+      return "b";
+    case 2:
+      return "[ab]";
+    case 3:
+      return "[a-c]";
+    case 4:
+      return "0";
+    default:
+      return ".";
+    }
+  }
+  switch (Pick(9)) {
+  case 0:
+    return randomPattern(Rng, Depth - 1, Groups) +
+           randomPattern(Rng, Depth - 1, Groups);
+  case 1:
+    return "(?:" + randomPattern(Rng, Depth - 1, Groups) + "|" +
+           randomPattern(Rng, Depth - 1, Groups) + ")";
+  case 2: {
+    ++Groups;
+    return "(" + randomPattern(Rng, Depth - 1, Groups) + ")";
+  }
+  case 3:
+    return "(?:" + randomPattern(Rng, Depth - 1, Groups) + ")*";
+  case 4:
+    return "(?:" + randomPattern(Rng, Depth - 1, Groups) + ")+";
+  case 5:
+    return "(?:" + randomPattern(Rng, Depth - 1, Groups) + ")?";
+  case 6:
+    return "(?:" + randomPattern(Rng, Depth - 1, Groups) + "){1,2}";
+  case 7:
+    if (Groups > 0 && Pick(3) == 0)
+      return "\\1";
+    return randomPattern(Rng, Depth - 1, Groups);
+  default:
+    return randomPattern(Rng, Depth - 1, Groups);
+  }
+}
+
+UString randomWord(std::mt19937_64 &Rng, size_t MaxLen) {
+  static const char Alpha[] = {'a', 'b', 'c', '0'};
+  UString W;
+  size_t Len = Rng() % (MaxLen + 1);
+  for (size_t I = 0; I < Len; ++I)
+    W.push_back(Alpha[Rng() % 4]);
+  return W;
+}
+
+class RandomDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDifferential, ModelAdmitsMatcherResults) {
+  std::mt19937_64 Rng(GetParam() * 7919 + 13);
+  auto Backend = makeZ3Backend();
+  TermEvaluator Eval;
+
+  for (int Iter = 0; Iter < 6; ++Iter) {
+    unsigned Groups = 0;
+    std::string Pattern = randomPattern(Rng, 3, Groups);
+    auto R = Regex::parse(Pattern, "");
+    if (!R)
+      continue; // generator occasionally emits Annex-B edge cases
+    RegExpObject Oracle(R->clone());
+
+    for (int W = 0; W < 4; ++W) {
+      UString In = randomWord(Rng, 5);
+      auto Exec = Oracle.exec(In);
+      if (Exec.Status != MatchStatus::Match)
+        continue;
+      const MatchResult &MR = *Exec.Result;
+
+      SymbolicRegExp Sym(R->clone(),
+                         "p" + std::to_string(GetParam()) + "_" +
+                             std::to_string(Iter) + "_" +
+                             std::to_string(W));
+      TermRef Input = mkStrVar("in");
+      auto Q = Sym.exec(Input, mkIntConst(0));
+      std::vector<TermRef> As = {
+          Q->Decoration, Q->Position, Q->Model.MatchConstraint,
+          mkEq(Input, mkStrConst(In)),
+          mkEq(Q->Model.MatchStart,
+               mkIntConst(static_cast<int64_t>(MR.Index) + 1))};
+      As.push_back(mkEq(Q->Model.C0.Value, mkStrConst(MR.Match)));
+      for (size_t I = 0; I < Q->Model.Captures.size(); ++I) {
+        const CaptureVar &CV = Q->Model.Captures[I];
+        if (I < MR.Captures.size() && MR.Captures[I]) {
+          As.push_back(CV.Defined);
+          As.push_back(mkEq(CV.Value, mkStrConst(*MR.Captures[I])));
+        } else {
+          As.push_back(mkNot(CV.Defined));
+        }
+      }
+      Assignment M;
+      SolverLimits L;
+      L.TimeoutMs = 20000;
+      SolveStatus St = Backend->solve(As, M, L);
+      EXPECT_NE(St, SolveStatus::Unsat)
+          << "/" << Pattern << "/ on '" << toUTF8(In)
+          << "': model rejects the concrete match (soundness bug)";
+    }
+  }
+}
+
+TEST_P(RandomDifferential, ApproxContainsMatcherLanguage) {
+  std::mt19937_64 Rng(GetParam() * 104729 + 5);
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    unsigned Groups = 0;
+    std::string Pattern = "^(?:" + randomPattern(Rng, 3, Groups) + ")$";
+    auto R = Regex::parse(Pattern, "");
+    if (!R)
+      continue;
+    ApproxOptions Opts;
+    Opts.ExcludeMetaChars = false;
+    CRegexRef Hat = approximateRegular(R->root(), *R, Opts);
+    Result<Automaton> A = Automaton::compile(Hat);
+    if (!A)
+      continue; // state limit: skip
+    RegExpObject Oracle(R->clone());
+    for (int W = 0; W < 12; ++W) {
+      UString In = randomWord(Rng, 6);
+      if (Oracle.test(In)) {
+        // Anchored pattern: the approximation of ^..$ drops the anchors,
+        // so check against the inner language with full-width words.
+        EXPECT_TRUE(A->accepts(In))
+            << "/" << Pattern << "/ matches '" << toUTF8(In)
+            << "' but t̂ rejects it";
+      }
+    }
+  }
+}
+
+TEST_P(RandomDifferential, ParserNeverCrashesAndRoundTrips) {
+  std::mt19937_64 Rng(GetParam() * 31337 + 1);
+  static const char Chars[] = "ab01()[]{}|*+?.\\^$-,:=!<>";
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    std::string Pattern;
+    size_t Len = Rng() % 14;
+    for (size_t I = 0; I < Len; ++I)
+      Pattern.push_back(Chars[Rng() % (sizeof(Chars) - 1)]);
+    auto R = Regex::parse(Pattern, Rng() % 2 ? "" : "i");
+    if (!R)
+      continue; // rejected is fine; crashing is not
+    std::string Printed = R->root().str();
+    auto R2 = Regex::parse(Printed, "");
+    ASSERT_TRUE(bool(R2)) << "'" << Pattern << "' printed as '" << Printed
+                          << "' which no longer parses";
+    EXPECT_EQ(R2->root().str(), Printed)
+        << "printer not idempotent for '" << Pattern << "'";
+  }
+}
+
+TEST_P(RandomDifferential, MatcherAgreesWithAutomatonOnPlainPatterns) {
+  // For plain-regular patterns the t̂ language is exact: the matcher
+  // (anchored) and the automaton must agree on *every* word, both ways.
+  std::mt19937_64 Rng(GetParam() * 65537 + 3);
+  for (int Iter = 0; Iter < 6; ++Iter) {
+    unsigned Groups = 0;
+    std::string Inner = randomPattern(Rng, 2, Groups);
+    if (Inner.find("\\1") != std::string::npos)
+      continue;
+    std::string Pattern = "^(?:" + Inner + ")$";
+    auto R = Regex::parse(Pattern, "");
+    if (!R)
+      continue;
+    ApproxOptions Opts;
+    Opts.ExcludeMetaChars = false;
+    RegularApprox Hat = approximateRegularEx(
+        *cast<ConcatNode>(R->root()).Parts[1], *R, Opts);
+    if (!Hat.Exact)
+      continue;
+    Result<Automaton> A = Automaton::compile(Hat.Re);
+    if (!A)
+      continue;
+    RegExpObject Oracle(R->clone());
+    for (int W = 0; W < 16; ++W) {
+      UString In = randomWord(Rng, 5);
+      EXPECT_EQ(Oracle.test(In), A->accepts(In))
+          << "/" << Pattern << "/ vs automaton on '" << toUTF8(In) << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferential, ::testing::Range(0, 12));
+
+} // namespace

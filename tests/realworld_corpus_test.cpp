@@ -1,0 +1,168 @@
+//===- tests/realworld_corpus_test.cpp - Real-world regex corpus -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A curated corpus of real-world regex idioms (the kinds the §7.1 survey
+// found on NPM), each with a known-matching and known-rejecting input.
+// Every entry runs through the full pipeline:
+//   parse -> concrete match polarity -> regular approximation accepts the
+//   match -> capturing-language model admits the match (Z3).
+// This is the closest thing to "point the system at NPM" that an offline
+// reproduction can test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "automata/Automaton.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+struct Idiom {
+  const char *Name;
+  const char *Literal; ///< /pattern/flags
+  const char *Accepts;
+  const char *Rejects;
+};
+
+const Idiom Corpus[] = {
+    {"trim", "/^\\s+|\\s+$/", "  x", "x"},
+    {"collapse-ws", "/\\s+/", "a b", "ab"},
+    {"integer", "/^-?\\d+$/", "-42", "4.2"},
+    {"float", "/^-?\\d*\\.\\d+$/", "-0.5", "5"},
+    {"hex-color", "/^#?([a-f0-9]{6}|[a-f0-9]{3})$/i", "#A1B2C3", "#12"},
+    {"semver", "/^v?(\\d+)\\.(\\d+)\\.(\\d+)$/", "v1.2.3", "1.2"},
+    {"semver-pre", "/^(\\d+)\\.(\\d+)\\.(\\d+)(?:-([0-9A-Za-z.-]+))?$/",
+     "1.0.0-rc.1", "1.0"},
+    {"ipv4", "/^(?:\\d{1,3}\\.){3}\\d{1,3}$/", "192.168.0.1", "192.168.0"},
+    {"email", "/^[^@\\s]+@[^@\\s]+\\.[a-z]{2,}$/i", "a.b@example.COM",
+     "a@b"},
+    {"url-scheme", "/^https?:\\/\\//", "https://x.y", "ftp://x.y"},
+    {"uuid-prefix", "/^[0-9a-f]{8}-[0-9a-f]{4}$/", "deadbeef-cafe",
+     "deadbeef-caf"},
+    {"camel-split", "/([a-z])([A-Z])/", "fooBar", "foobar"},
+    {"xml-tag", "/<(\\w+)>(.*?)<\\/\\1>/", "<b>hi</b>", "<b>hi</i>"},
+    {"quoted", "/(['\"])(?:(?!\\1).)*\\1/", "'it'", "'it\""},
+    {"mustache", "/\\{\\{([^}]+)\\}\\}/", "a {{name}} b", "a {name} b"},
+    {"query-pair", "/^([^=]+)=(.*)$/", "k=v", "kv"},
+    {"csv-field", "/^([^,]*),(.*)$/", "a,b,c", "abc"},
+    {"leading-dash", "/^--?([a-z][a-z-]*)$/", "--dry-run", "dry-run"},
+    {"indent", "/^(\\t| {2,})/m", "x\n  y", "x\ny"},
+    {"word", "/\\bconst\\b/", "a const b", "constant"},
+    {"doubled-word", "/\\b(\\w+)\\s+\\1\\b/", "the the end", "the then"},
+    {"iso-date", "/^(\\d{4})-(\\d{2})-(\\d{2})$/", "2019-06-22",
+     "22-06-2019"},
+    {"time-hm", "/^([01]\\d|2[0-3]):([0-5]\\d)$/", "23:59", "24:00"},
+    {"digits-grouped", "/(\\d)(?=(\\d{3})+$)/", "1000000", "100"},
+    {"yes-no", "/^(?:y|yes|true|1)$/i", "YES", "maybe"},
+    {"comment-line", "/^\\s*\\/\\//", "  // x", "x // y"},
+    {"ansi-escape", "/\\x1b\\[[0-9;]*m/", "\x1b[31mred", "red"},
+    {"repeated-char", "/(.)\\1{2,}/", "aaab", "abab"},
+    {"no-digits", "/^\\D*$/", "abc!", "ab1c"},
+    {"starts-upper", "/^[A-Z]/", "Word", "word"},
+    // Modern (ES2018) idioms: lookbehind, named groups, dotAll.
+    {"money", "/(?<=\\$)\\d+(?:\\.\\d{2})?/", "price $9.99", "9.99"},
+    {"unescaped-quote", "/(?<!\\\\)\"/", "say \"hi\"", "\\\""},
+    {"mention", "/(?<!\\w)@\\w+/", "hi @user", "a@b"},
+    {"named-date", "/^(?<y>\\d{4})-(?<m>\\d{2})$/", "2019-06", "06-2019"},
+    {"named-quote-pair", "/(?<q>['\"]).*?\\k<q>/", "'it'", "'it\""},
+    {"html-comment", "/<!--.*-->/s", "<!-- a\nb -->", "<!-- a"},
+    {"md-bold", "/\\*\\*.+?\\*\\*/s", "**a\nb**", "**a"},
+    {"password-policy", "/^(?=.*\\d)(?=.*[a-z]).{6,}$/", "abc123",
+     "abcdef"},
+    {"thousands", "/\\B(?=(\\d{3})+(?!\\d))/", "1000", "100"},
+    {"camel-boundary", "/(?<=[a-z])(?=[A-Z])/", "fooBar", "foobar"},
+    {"no-exe", "/^(?!.*\\.exe$).+$/", "notes.txt", "setup.exe"},
+};
+
+class RealWorld : public ::testing::TestWithParam<Idiom> {};
+
+TEST_P(RealWorld, ParsesAndClassifies) {
+  const Idiom &I = GetParam();
+  auto R = Regex::parseLiteral(I.Literal);
+  ASSERT_TRUE(bool(R)) << I.Name << ": " << R.error();
+  // Printer round-trip parses again.
+  auto R2 = Regex::parse(R->root().str(), "");
+  EXPECT_TRUE(bool(R2)) << I.Name;
+}
+
+TEST_P(RealWorld, MatchPolarity) {
+  const Idiom &I = GetParam();
+  auto R = Regex::parseLiteral(I.Literal);
+  ASSERT_TRUE(bool(R)) << I.Name;
+  RegExpObject Obj(R.take());
+  EXPECT_TRUE(Obj.test(fromUTF8(I.Accepts)))
+      << I.Name << " must accept '" << I.Accepts << "'";
+  RegExpObject Obj2(Regex::parseLiteral(I.Literal).take());
+  EXPECT_FALSE(Obj2.test(fromUTF8(I.Rejects)))
+      << I.Name << " must reject '" << I.Rejects << "'";
+}
+
+TEST_P(RealWorld, ApproxCoversAcceptedInput) {
+  const Idiom &I = GetParam();
+  auto R = Regex::parseLiteral(I.Literal);
+  ASSERT_TRUE(bool(R)) << I.Name;
+  // The wrapped approximation Σ* t̂ Σ* must accept any string the regex
+  // matches somewhere.
+  ApproxOptions Opts;
+  Opts.IgnoreCase = R->flags().IgnoreCase;
+  Opts.ExcludeMetaChars = false;
+  CRegexRef Wrapped = cConcat(
+      {cAnyStar(), approximateRegular(R->root(), *R, Opts), cAnyStar()});
+  Result<Automaton> A = Automaton::compile(Wrapped, 200000);
+  if (!A)
+    GTEST_SKIP() << "state limit";
+  EXPECT_TRUE(A->accepts(fromUTF8(I.Accepts))) << I.Name;
+}
+
+TEST_P(RealWorld, ModelAdmitsConcreteMatch) {
+  const Idiom &I = GetParam();
+  auto R = Regex::parseLiteral(I.Literal);
+  ASSERT_TRUE(bool(R)) << I.Name;
+  UString In = fromUTF8(I.Accepts);
+  RegExpObject Oracle(R->clone());
+  auto Exec = Oracle.exec(In);
+  ASSERT_EQ(Exec.Status, MatchStatus::Match) << I.Name;
+  const MatchResult &MR = *Exec.Result;
+
+  SymbolicRegExp Sym(R->clone(), std::string("rw_") + I.Name);
+  TermRef Input = mkStrVar("in");
+  auto Q = Sym.exec(Input, mkIntConst(0));
+  std::vector<TermRef> As = {
+      Q->Decoration, Q->Position, Q->Model.MatchConstraint,
+      mkEq(Input, mkStrConst(In)),
+      mkEq(Q->Model.C0.Value, mkStrConst(MR.Match))};
+  for (size_t C = 0; C < Q->Model.Captures.size(); ++C) {
+    const CaptureVar &CV = Q->Model.Captures[C];
+    if (C < MR.Captures.size() && MR.Captures[C]) {
+      As.push_back(CV.Defined);
+      As.push_back(mkEq(CV.Value, mkStrConst(*MR.Captures[C])));
+    } else {
+      As.push_back(mkNot(CV.Defined));
+    }
+  }
+  auto B = makeZ3Backend();
+  Assignment M;
+  SolverLimits L;
+  L.TimeoutMs = 20000;
+  SolveStatus St = B->solve(As, M, L);
+  EXPECT_NE(St, SolveStatus::Unsat)
+      << I.Name << ": model rejects the concrete match";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RealWorld, ::testing::ValuesIn(Corpus),
+    [](const ::testing::TestParamInfo<Idiom> &Info) {
+      std::string N = Info.param.Name;
+      for (char &C : N)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return N;
+    });
+
+} // namespace

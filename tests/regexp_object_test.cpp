@@ -1,0 +1,93 @@
+//===- tests/regexp_object_test.cpp - exec/test/lastIndex semantics --------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matcher/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+RegExpObject make(const char *P, const char *F) {
+  auto R = Regex::parse(P, F);
+  EXPECT_TRUE(bool(R)) << P;
+  return RegExpObject(R.take());
+}
+
+TEST(RegExpObject, NonGlobalIgnoresLastIndex) {
+  RegExpObject R = make("a", "");
+  R.LastIndex = 100;
+  EXPECT_TRUE(R.test(fromUTF8("xa")));
+  EXPECT_EQ(R.LastIndex, 100); // untouched without g/y
+}
+
+TEST(RegExpObject, StickySemantics) {
+  // Paper §2.1 example: /goo+d/y on "goood" twice.
+  RegExpObject R = make("goo+d", "y");
+  EXPECT_TRUE(R.test(fromUTF8("goood")));
+  EXPECT_EQ(R.LastIndex, 5);
+  EXPECT_FALSE(R.test(fromUTF8("goood")));
+  EXPECT_EQ(R.LastIndex, 0);
+}
+
+TEST(RegExpObject, StickyRequiresExactPosition) {
+  RegExpObject R = make("b", "y");
+  EXPECT_FALSE(R.test(fromUTF8("ab"))); // match exists but not at 0
+  R.LastIndex = 1;
+  EXPECT_TRUE(R.test(fromUTF8("ab")));
+}
+
+TEST(RegExpObject, GlobalAdvancesThroughMatches) {
+  RegExpObject R = make("\\d+", "g");
+  UString In = fromUTF8("a12b345c");
+  auto M1 = R.exec(In);
+  ASSERT_TRUE(M1.Result);
+  EXPECT_EQ(toUTF8(M1.Result->Match), "12");
+  EXPECT_EQ(R.LastIndex, 3);
+  auto M2 = R.exec(In);
+  ASSERT_TRUE(M2.Result);
+  EXPECT_EQ(toUTF8(M2.Result->Match), "345");
+  EXPECT_EQ(R.LastIndex, 7);
+  auto M3 = R.exec(In);
+  EXPECT_FALSE(M3.Result);
+  EXPECT_EQ(R.LastIndex, 0); // reset on failure
+}
+
+TEST(RegExpObject, GlobalSearchesPastLastIndex) {
+  RegExpObject R = make("x", "g");
+  R.LastIndex = 2;
+  auto M = R.exec(fromUTF8("x__x"));
+  ASSERT_TRUE(M.Result);
+  EXPECT_EQ(M.Result->Index, 3u);
+}
+
+TEST(RegExpObject, LastIndexBeyondLengthFails) {
+  RegExpObject R = make("a", "g");
+  R.LastIndex = 99;
+  EXPECT_FALSE(R.test(fromUTF8("aaa")));
+  EXPECT_EQ(R.LastIndex, 0);
+}
+
+TEST(RegExpObject, ExecResultFields) {
+  RegExpObject R = make("(b)(c)?", "");
+  auto M = R.exec(fromUTF8("abd"));
+  ASSERT_TRUE(M.Result);
+  EXPECT_EQ(M.Result->Index, 1u);
+  EXPECT_EQ(toUTF8(M.Result->Match), "b");
+  ASSERT_EQ(M.Result->Captures.size(), 2u);
+  EXPECT_TRUE(M.Result->Captures[0].has_value());
+  EXPECT_FALSE(M.Result->Captures[1].has_value());
+}
+
+TEST(RegExpObject, EmptyMatchAdvancesViaCaller) {
+  RegExpObject R = make("", "g");
+  auto M = R.exec(fromUTF8("ab"));
+  ASSERT_TRUE(M.Result);
+  EXPECT_EQ(M.Result->matchLength(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- tests/solver_test.cpp - Z3 and local backend behavior ---------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized over both backends: every Sat answer is re-checked with
+// the independent TermEvaluator, so these tests validate backend models,
+// not just status codes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+class SolverBehavior : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<SolverBackend> B =
+      std::string(GetParam()) == "z3" ? makeZ3Backend() : makeLocalBackend();
+  SolverLimits Limits;
+  TermEvaluator Eval;
+
+  SolveStatus solve(std::vector<TermRef> As, Assignment &M) {
+    SolveStatus S = B->solve(As, M, Limits);
+    if (S == SolveStatus::Sat) {
+      for (const TermRef &A : As) {
+        auto V = Eval.evalBool(A, M);
+        EXPECT_TRUE(V.has_value() && *V)
+            << B->name() << " model does not satisfy " << A->str();
+      }
+    }
+    return S;
+  }
+};
+
+TEST_P(SolverBehavior, SimpleMembership) {
+  TermRef S = mkStrVar("s");
+  Assignment M;
+  EXPECT_EQ(solve({mkInRe(S, cPlus(cChar('a')))}, M), SolveStatus::Sat);
+  EXPECT_FALSE(M.str("s").empty());
+}
+
+TEST_P(SolverBehavior, UnsatIntersection) {
+  TermRef S = mkStrVar("s");
+  std::vector<TermRef> As = {mkInRe(S, cPlus(cChar('a'))),
+                             mkInRe(S, cPlus(cChar('b')))};
+  Assignment M;
+  EXPECT_EQ(solve(As, M), SolveStatus::Unsat);
+}
+
+TEST_P(SolverBehavior, ConcatSplit) {
+  TermRef S = mkStrVar("s"), A = mkStrVar("a"), Bv = mkStrVar("b");
+  std::vector<TermRef> As = {
+      mkEq(S, mkConcat(A, Bv)),
+      mkInRe(A, cPlus(cChar('x'))),
+      mkInRe(Bv, cPlus(cChar('y'))),
+      mkEq(S, mkStrConst(fromUTF8("xxyy"))),
+  };
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_EQ(toUTF8(M.str("a")), "xx");
+  EXPECT_EQ(toUTF8(M.str("b")), "yy");
+}
+
+TEST_P(SolverBehavior, Disequality) {
+  TermRef S = mkStrVar("s");
+  std::vector<TermRef> As = {
+      mkInRe(S, cUnion(cLiteral(fromUTF8("aa")), cLiteral(fromUTF8("bb")))),
+      mkNe(S, mkStrConst(fromUTF8("aa")))};
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_EQ(toUTF8(M.str("s")), "bb");
+}
+
+TEST_P(SolverBehavior, NegatedMembership) {
+  TermRef S = mkStrVar("s");
+  std::vector<TermRef> As = {
+      mkNotInRe(S, cStar(cChar('a'))),
+      mkInRe(S, cStar(cClass(CharSet::range('a', 'b'))))};
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_NE(M.str("s").find('b'), UString::npos);
+}
+
+TEST_P(SolverBehavior, BooleanStructure) {
+  TermRef S = mkStrVar("s");
+  TermRef P = mkBoolVar("p");
+  // p => s = "yes";  !p => s in b+;  s = "yes" impossible when b+ forced.
+  std::vector<TermRef> As = {
+      mkImplies(P, mkEq(S, mkStrConst(fromUTF8("yes")))),
+      mkImplies(mkNot(P), mkInRe(S, cPlus(cChar('b')))),
+      mkNe(S, mkStrConst(fromUTF8("yes"))),
+  };
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_FALSE(M.boolean("p"));
+}
+
+TEST_P(SolverBehavior, LengthConstraints) {
+  TermRef S = mkStrVar("s");
+  std::vector<TermRef> As = {
+      mkInRe(S, cStar(cChar('a'))),
+      mkEq(mkStrLen(S), mkIntConst(3)),
+  };
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_EQ(M.str("s").size(), 3u);
+}
+
+TEST_P(SolverBehavior, ImplicationWithConstantAntecedent) {
+  // The CEGAR refinement shape: (s = w) => (c = v).
+  TermRef S = mkStrVar("s"), C = mkStrVar("c");
+  std::vector<TermRef> As = {
+      mkInRe(S, cPlus(cChar('a'))),
+      mkImplies(mkEq(S, mkStrConst(fromUTF8("a"))),
+                mkEq(C, mkStrConst(fromUTF8("fixed")))),
+      mkEq(S, mkStrConst(fromUTF8("a"))),
+  };
+  Assignment M;
+  ASSERT_EQ(solve(As, M), SolveStatus::Sat);
+  EXPECT_EQ(toUTF8(M.str("c")), "fixed");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SolverBehavior,
+                         ::testing::Values("z3", "local"));
+
+TEST(Z3Backend, ControlCharacterRoundTrip) {
+  auto B = makeZ3Backend();
+  TermRef S = mkStrVar("s");
+  UString Decorated;
+  Decorated.push_back(MetaStart);
+  Decorated += fromUTF8("ab");
+  Decorated.push_back(MetaEnd);
+  Assignment M;
+  SolverLimits L;
+  ASSERT_EQ(B->solve({mkEq(S, mkStrConst(Decorated))}, M, L),
+            SolveStatus::Sat);
+  EXPECT_EQ(M.str("s"), Decorated);
+}
+
+TEST(Z3Backend, IntersectionAndComplementInRe) {
+  auto B = makeZ3Backend();
+  TermRef S = mkStrVar("s");
+  // s in (a|b)+ and s not in .*a.* -> all b's.
+  CRegexRef AB = cPlus(cClass(CharSet::range('a', 'b')));
+  CRegexRef HasA = cConcat({cAnyStar(), cChar('a'), cAnyStar()});
+  Assignment M;
+  SolverLimits L;
+  ASSERT_EQ(B->solve({mkInRe(S, cIntersect(AB, cComplement(HasA)))}, M, L),
+            SolveStatus::Sat);
+  UString V = M.str("s");
+  EXPECT_FALSE(V.empty());
+  for (CodePoint C : V)
+    EXPECT_EQ(uint32_t(C), uint32_t('b'));
+}
+
+TEST(LocalBackend, ReportsUnknownOnHardProblems) {
+  auto B = makeLocalBackend();
+  // Long mandatory word beyond the candidate length bound.
+  TermRef S = mkStrVar("s");
+  std::vector<TermRef> As = {
+      mkInRe(S, cRepeat(cChar('a'), 40)),
+      mkNe(S, mkStrConst(UString(40, 'a'))),
+  };
+  Assignment M;
+  SolverLimits L;
+  L.MaxWordLength = 8;
+  SolveStatus St = B->solve(As, M, L);
+  EXPECT_NE(St, SolveStatus::Sat); // Unsat (emptiness) or Unknown
+}
+
+TEST(SolverStats, Recorded) {
+  auto B = makeZ3Backend();
+  Assignment M;
+  SolverLimits L;
+  B->solve({mkTrue()}, M, L);
+  B->solve({mkFalse()}, M, L);
+  EXPECT_EQ(B->stats().Queries, 2u);
+  EXPECT_EQ(B->stats().Sat, 1u);
+  EXPECT_EQ(B->stats().Unsat, 1u);
+}
+
+} // namespace

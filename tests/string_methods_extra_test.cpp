@@ -1,0 +1,255 @@
+//===- tests/string_methods_extra_test.cpp - Extended method coverage ------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage for the String.prototype surface beyond the paper's §6.1
+// minimum: the full GetSubstitution template ($`, $', $nn, $<name>),
+// match/matchAll/replaceAll concrete semantics, and the symbolic replace
+// model's agreement with the concrete implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/StringMethods.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+RegExpObject make(const char *Pattern, const char *Flags = "") {
+  auto R = Regex::parse(Pattern, Flags);
+  EXPECT_TRUE(bool(R)) << Pattern << " : " << R.error();
+  return RegExpObject(R.take());
+}
+
+std::string replaceStr(const char *Pattern, const char *Flags,
+                       const char *Input, const char *Tmpl) {
+  RegExpObject Re = make(Pattern, Flags);
+  return toUTF8(concreteReplace(Re, fromUTF8(Input), fromUTF8(Tmpl)));
+}
+
+//===----------------------------------------------------------------------===//
+// GetSubstitution templates
+//===----------------------------------------------------------------------===//
+
+TEST(Substitution, DollarBacktickAndQuote) {
+  // $` is the part before the match, $' the part after.
+  EXPECT_EQ(replaceStr("b", "", "abc", "[$`]"), "a[a]c");
+  EXPECT_EQ(replaceStr("b", "", "abc", "[$']"), "a[c]c");
+  EXPECT_EQ(replaceStr("b", "", "abc", "$`$'"), "aacc");
+}
+
+TEST(Substitution, DollarAmpAndEscape) {
+  EXPECT_EQ(replaceStr("goo+d", "", "so goood!", "<$&>"), "so <goood>!");
+  EXPECT_EQ(replaceStr("a", "", "a", "$$"), "$");
+  EXPECT_EQ(replaceStr("a", "", "a", "$$&"), "$&");
+}
+
+TEST(Substitution, NumberedCaptures) {
+  EXPECT_EQ(replaceStr("(\\w+) (\\w+)", "", "hello world", "$2 $1"),
+            "world hello");
+  // Undefined capture substitutes as empty.
+  EXPECT_EQ(replaceStr("(a)|(b)", "", "b", "[$1][$2]"), "[][b]");
+  // $0 is not a capture reference: renders literally.
+  EXPECT_EQ(replaceStr("a", "", "a", "$0"), "$0");
+  // Reference beyond the group count renders literally.
+  EXPECT_EQ(replaceStr("(a)", "", "a", "$2"), "$2");
+}
+
+TEST(Substitution, TwoDigitCaptures) {
+  // Build a 12-group pattern; $10..$12 must bind to the long form.
+  std::string Pat;
+  for (int I = 0; I < 12; ++I)
+    Pat += "(" + std::string(1, static_cast<char>('a' + I)) + ")";
+  RegExpObject Re = make(Pat.c_str());
+  UString Out = concreteReplace(Re, fromUTF8("abcdefghijkl"),
+                                fromUTF8("$12$11$10"));
+  EXPECT_EQ(toUTF8(Out), "lkj");
+  // $13 does not exist: GetSubstitution falls back to $1 followed by '3'.
+  UString Out2 = concreteReplace(Re, fromUTF8("abcdefghijkl"),
+                                 fromUTF8("$13"));
+  EXPECT_EQ(toUTF8(Out2), "a3");
+}
+
+TEST(Substitution, NamedCaptureTemplates) {
+  EXPECT_EQ(replaceStr("(?<first>\\w+) (?<last>\\w+)", "", "ada lovelace",
+                       "$<last>, $<first>"),
+            "lovelace, ada");
+  // Unknown or malformed names render literally.
+  EXPECT_EQ(replaceStr("(?<x>a)", "", "a", "$<y>"), "$<y>");
+  EXPECT_EQ(replaceStr("(?<x>a)", "", "a", "$<x"), "$<x");
+  // Unmatched named group substitutes as empty.
+  EXPECT_EQ(replaceStr("(?<a>x)|(?<b>y)", "", "y", "[$<a>]"), "[]");
+}
+
+TEST(Substitution, GlobalReplaceTemplates) {
+  EXPECT_EQ(replaceStr("(\\d)", "g", "a1b2", "<$1>"), "a<1>b<2>");
+  EXPECT_EQ(replaceStr("", "g", "ab", "-"), "-a-b-");
+}
+
+//===----------------------------------------------------------------------===//
+// match / matchAll / replaceAll
+//===----------------------------------------------------------------------===//
+
+TEST(Match, NonGlobalReturnsFirst) {
+  RegExpObject Re = make("\\d+");
+  bool Matched = false;
+  auto Out = concreteMatch(Re, fromUTF8("a1 b22"), Matched);
+  ASSERT_TRUE(Matched);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(toUTF8(Out[0]), "1");
+}
+
+TEST(Match, GlobalReturnsAll) {
+  RegExpObject Re = make("\\d+", "g");
+  bool Matched = false;
+  auto Out = concreteMatch(Re, fromUTF8("a1 b22 c333"), Matched);
+  ASSERT_TRUE(Matched);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(toUTF8(Out[2]), "333");
+  EXPECT_EQ(Re.LastIndex, 0); // restored
+}
+
+TEST(Match, GlobalEmptyMatchesTerminate) {
+  // /x*/g on "ab" matches "" at 0, 1, 2 — AdvanceStringIndex must
+  // guarantee progress rather than looping forever.
+  RegExpObject Re = make("x*", "g");
+  bool Matched = false;
+  auto Out = concreteMatch(Re, fromUTF8("ab"), Matched);
+  ASSERT_TRUE(Matched);
+  EXPECT_EQ(Out.size(), 3u);
+  for (const UString &S : Out)
+    EXPECT_TRUE(S.empty());
+}
+
+TEST(Match, NoMatchReportsFalse) {
+  RegExpObject Re = make("z", "g");
+  bool Matched = true;
+  auto Out = concreteMatch(Re, fromUTF8("abc"), Matched);
+  EXPECT_FALSE(Matched);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(MatchAll, CapturesAndIndices) {
+  RegExpObject Re = make("(\\w)(\\d)", "g");
+  auto Out = concreteMatchAll(Re, fromUTF8("a1 b2 c3"));
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].Index, 0u);
+  EXPECT_EQ(toUTF8(*Out[1].Captures[0]), "b");
+  EXPECT_EQ(toUTF8(*Out[2].Captures[1]), "3");
+}
+
+TEST(MatchAll, EmptyMatchAdvance) {
+  RegExpObject Re = make("\\b", "g");
+  auto Out = concreteMatchAll(Re, fromUTF8("ab cd"));
+  // Word boundaries: positions 0, 2, 3, 5.
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0].Index, 0u);
+  EXPECT_EQ(Out[1].Index, 2u);
+  EXPECT_EQ(Out[2].Index, 3u);
+  EXPECT_EQ(Out[3].Index, 5u);
+}
+
+TEST(ReplaceAll, IgnoresMissingGlobalFlag) {
+  RegExpObject Re = make("a"); // no g flag
+  EXPECT_EQ(toUTF8(concreteReplaceAll(Re, fromUTF8("banana"),
+                                      fromUTF8("o"))),
+            "bonono");
+  // Plain replace with the same regex touches only the first.
+  EXPECT_EQ(toUTF8(concreteReplace(Re, fromUTF8("banana"), fromUTF8("o"))),
+            "bonana");
+}
+
+TEST(ReplaceAll, WithTemplates) {
+  RegExpObject Re = make("(\\d+)");
+  EXPECT_EQ(toUTF8(concreteReplaceAll(Re, fromUTF8("1 and 22"),
+                                      fromUTF8("[$1]"))),
+            "[1] and [22]");
+}
+
+//===----------------------------------------------------------------------===//
+// Split with limit and captures (spec SplitMatch)
+//===----------------------------------------------------------------------===//
+
+TEST(SplitExtra, LimitTruncatesIncludingCaptures) {
+  RegExpObject Re = make("(,)");
+  auto Full = concreteSplit(Re, fromUTF8("a,b,c"));
+  // Fields and separators interleave: a , b , c
+  ASSERT_EQ(Full.size(), 5u);
+  EXPECT_EQ(toUTF8(Full[1]), ",");
+  auto Limited = concreteSplit(Re, fromUTF8("a,b,c"), 2);
+  ASSERT_EQ(Limited.size(), 2u);
+  EXPECT_EQ(toUTF8(Limited[0]), "a");
+  EXPECT_EQ(toUTF8(Limited[1]), ",");
+}
+
+TEST(SplitExtra, UndefinedCaptureBecomesEmptyField) {
+  RegExpObject Re = make("(x)|(,)");
+  auto Out = concreteSplit(Re, fromUTF8("a,b"));
+  // Fields: "a", undefined->"" and "," spliced, then "b".
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(toUTF8(Out[0]), "a");
+  EXPECT_EQ(toUTF8(Out[1]), "");
+  EXPECT_EQ(toUTF8(Out[2]), ",");
+  EXPECT_EQ(toUTF8(Out[3]), "b");
+}
+
+TEST(SplitExtra, ZeroLimitIsEmpty) {
+  RegExpObject Re = make(",");
+  EXPECT_TRUE(concreteSplit(Re, fromUTF8("a,b"), 0).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic replace agrees with the concrete implementation
+//===----------------------------------------------------------------------===//
+
+TEST(SymbolicReplaceExtra, TemplatesSolveAndAgree) {
+  // Ask the solver for an input whose replacement output equals a target,
+  // then confirm the concrete replace produces exactly that output.
+  auto R = Regex::parse("(?<d>\\d+)", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "s");
+  SymbolicStringMethods Methods(Sym);
+  TermRef Input = mkStrVar("in");
+  SymbolicReplace Rep =
+      Methods.replace(Input, fromUTF8("[$<d>|$`|$']"));
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Rep.Query, true),
+       PathClause::plain(
+           mkEq(Rep.Replaced, mkStrConst(fromUTF8("x[7|x|y]y"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto In = Eval.evalString(Rep.Query->Input, Res.Model);
+  ASSERT_TRUE(In.has_value());
+  RegExpObject Oracle(R->clone());
+  EXPECT_EQ(toUTF8(concreteReplace(Oracle, *In, fromUTF8("[$<d>|$`|$']"))),
+            "x[7|x|y]y")
+      << "input was '" << toUTF8(*In) << "'";
+}
+
+TEST(SymbolicReplaceExtra, DollarBacktickSymbolic) {
+  auto R = Regex::parse("-", "");
+  ASSERT_TRUE(bool(R));
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(R->clone(), "s");
+  SymbolicStringMethods Methods(Sym);
+  TermRef Input = mkStrVar("in");
+  SymbolicReplace Rep = Methods.replace(Input, fromUTF8("$`"));
+  // replace("-" -> "$`") duplicates the prefix: "ab-cd" -> "abab" + "cd".
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Rep.Query, true),
+       PathClause::plain(mkEq(Input, mkStrConst(fromUTF8("ab-cd"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto Out = Eval.evalString(Rep.Replaced, Res.Model);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(toUTF8(*Out), "ababcd");
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/string_methods_test.cpp - String.prototype method models ------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/StringMethods.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+RegExpObject make(const char *P, const char *F) {
+  auto R = Regex::parse(P, F);
+  EXPECT_TRUE(bool(R)) << P;
+  return RegExpObject(R.take());
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete semantics (differential against known V8 behavior)
+//===----------------------------------------------------------------------===//
+
+TEST(ConcreteReplace, FirstOccurrence) {
+  RegExpObject R = make("goo+d", "");
+  EXPECT_EQ(toUTF8(concreteReplace(R, fromUTF8("so goood and good"),
+                                   fromUTF8("better"))),
+            "so better and good");
+}
+
+TEST(ConcreteReplace, GlobalReplacesAll) {
+  RegExpObject R = make("o", "g");
+  EXPECT_EQ(toUTF8(concreteReplace(R, fromUTF8("foo boo"), fromUTF8("0"))),
+            "f00 b00");
+}
+
+TEST(ConcreteReplace, CaptureTemplates) {
+  RegExpObject R = make("(\\w+) (\\w+)", "");
+  EXPECT_EQ(toUTF8(concreteReplace(R, fromUTF8("john smith"),
+                                   fromUTF8("$2, $1"))),
+            "smith, john");
+}
+
+TEST(ConcreteReplace, DollarEscapes) {
+  RegExpObject R = make("x", "");
+  EXPECT_EQ(toUTF8(concreteReplace(R, fromUTF8("axb"), fromUTF8("$$&"))),
+            "a$&b"); // $$ is a literal dollar; & then literal
+  RegExpObject R2 = make("x", "");
+  EXPECT_EQ(
+      toUTF8(concreteReplace(R2, fromUTF8("axb"), fromUTF8("[$&]"))),
+      "a[x]b");
+}
+
+TEST(ConcreteReplace, UndefinedCaptureSubstitutesEmpty) {
+  RegExpObject R = make("(a)|(b)", "");
+  EXPECT_EQ(toUTF8(concreteReplace(R, fromUTF8("b!"), fromUTF8("<$1$2>"))),
+            "<b>!");
+}
+
+TEST(ConcreteReplace, EmptyMatchGlobalProgress) {
+  RegExpObject R = make("q*", "g");
+  // Must terminate and interleave replacements like V8's "-a-b-".
+  UString Out = concreteReplace(R, fromUTF8("ab"), fromUTF8("-"));
+  EXPECT_EQ(toUTF8(Out), "-a-b-");
+}
+
+TEST(ConcreteSearch, IndexOrMinusOne) {
+  RegExpObject R = make("[0-9]+", "");
+  EXPECT_EQ(concreteSearch(R, fromUTF8("ab12cd")), 2);
+  EXPECT_EQ(concreteSearch(R, fromUTF8("abcd")), -1);
+}
+
+TEST(ConcreteSplit, BasicFields) {
+  RegExpObject R = make(",", "");
+  auto F = concreteSplit(R, fromUTF8("a,b,c"));
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(toUTF8(F[0]), "a");
+  EXPECT_EQ(toUTF8(F[2]), "c");
+}
+
+TEST(ConcreteSplit, RegexSeparatorAndCaptures) {
+  RegExpObject R = make("\\s*(;)\\s*", "");
+  auto F = concreteSplit(R, fromUTF8("a ; b;c"));
+  // V8: ["a", ";", "b", ";", "c"] — captures splice in.
+  ASSERT_EQ(F.size(), 5u);
+  EXPECT_EQ(toUTF8(F[0]), "a");
+  EXPECT_EQ(toUTF8(F[1]), ";");
+  EXPECT_EQ(toUTF8(F[4]), "c");
+}
+
+TEST(ConcreteSplit, LimitAndEmptyInput) {
+  RegExpObject R = make(",", "");
+  auto F = concreteSplit(R, fromUTF8("a,b,c"), 2);
+  ASSERT_EQ(F.size(), 2u);
+  RegExpObject R2 = make(",", "");
+  auto E = concreteSplit(R2, UString());
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_TRUE(E[0].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic models
+//===----------------------------------------------------------------------===//
+
+struct Fixture {
+  std::unique_ptr<SolverBackend> Backend = makeZ3Backend();
+  TermEvaluator Eval;
+};
+
+TEST(SymbolicReplaceModel, OutputEqualsTarget) {
+  // Find an input whose replacement output is exactly "hello better !".
+  Fixture F;
+  auto R = Regex::parse("goo+d", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "sr");
+  SymbolicStringMethods Methods(Sym);
+  TermRef In = mkStrVar("in");
+  SymbolicReplace Rep = Methods.replace(In, fromUTF8("better"));
+
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Rep.Query, true),
+       PathClause::plain(mkEq(Rep.Replaced,
+                              mkStrConst(fromUTF8("hello better !"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString Input = Res.Model.str("in");
+  RegExpObject Oracle(R->clone());
+  EXPECT_EQ(toUTF8(concreteReplace(Oracle, Input, fromUTF8("better"))),
+            "hello better !")
+      << "input was '" << toUTF8(Input) << "'";
+}
+
+TEST(SymbolicReplaceModel, CaptureTemplateSubstitution) {
+  Fixture F;
+  auto R = Regex::parse("(a+)-(b+)", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "sc");
+  SymbolicStringMethods Methods(Sym);
+  TermRef In = mkStrVar("in");
+  SymbolicReplace Rep = Methods.replace(In, fromUTF8("$2/$1"));
+
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Rep.Query, true),
+       PathClause::plain(
+           mkEq(In, mkStrConst(fromUTF8("xaa-bbby"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  auto Out = F.Eval.evalString(Rep.Replaced, Res.Model);
+  EXPECT_EQ(toUTF8(*Out), "xbbb/aay");
+}
+
+TEST(SymbolicSearchModel, IndexConstraint) {
+  // Find an input where the first digit run starts at index 3.
+  Fixture F;
+  auto R = Regex::parse("[0-9]+", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "ss");
+  SymbolicStringMethods Methods(Sym);
+  TermRef In = mkStrVar("in");
+  SymbolicSearch Search = Methods.search(In);
+
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Search.Query, true),
+       PathClause::plain(mkEq(Search.FoundIndex, mkIntConst(3)))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  UString Input = Res.Model.str("in");
+  RegExpObject Oracle(R->clone());
+  EXPECT_EQ(concreteSearch(Oracle, Input), 3)
+      << "input was '" << toUTF8(Input) << "'";
+}
+
+TEST(SymbolicSplitModel, HeadConstraint) {
+  Fixture F;
+  auto R = Regex::parse(",", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "sp");
+  SymbolicStringMethods Methods(Sym);
+  TermRef In = mkStrVar("in");
+  SymbolicSplit Split = Methods.split(In);
+
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Split.Query, true),
+       PathClause::plain(mkEq(Split.Head, mkStrConst(fromUTF8("key")))),
+       PathClause::plain(mkEq(Split.Tail, mkStrConst(fromUTF8("val"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  EXPECT_EQ(toUTF8(Res.Model.str("in")), "key,val");
+}
+
+TEST(SymbolicMatchModel, NonGlobalIsExec) {
+  Fixture F;
+  auto R = Regex::parse("(b+)", "");
+  ASSERT_TRUE(bool(R));
+  SymbolicRegExp Sym(R->clone(), "sm");
+  SymbolicStringMethods Methods(Sym);
+  TermRef In = mkStrVar("in");
+  auto Q = Methods.match(In);
+  CegarSolver Solver(*F.Backend);
+  CegarResult Res = Solver.solve(
+      {PathClause::regex(Q, true),
+       PathClause::plain(mkEq(Q->Model.Captures[0].Value,
+                              mkStrConst(fromUTF8("bbb"))))});
+  ASSERT_EQ(Res.Status, SolveStatus::Sat);
+  RegExpObject Oracle(R->clone());
+  auto M = Oracle.exec(Res.Model.str("in"));
+  ASSERT_TRUE(M.Result);
+  EXPECT_EQ(toUTF8(*M.Result->Captures[0]), "bbb");
+}
+
+} // namespace

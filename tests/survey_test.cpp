@@ -1,0 +1,138 @@
+//===- tests/survey_test.cpp - Regex extraction and survey -----------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/CorpusGen.h"
+#include "survey/Survey.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+TEST(Extractor, FindsSimpleLiterals) {
+  auto L = extractRegexLiterals("var re = /ab+c/gi; x = /d/.test(s);");
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0], "/ab+c/gi");
+  EXPECT_EQ(L[1], "/d/");
+}
+
+TEST(Extractor, SkipsComments) {
+  auto L = extractRegexLiterals("// not /a regex/\n"
+                                "/* nor /this/ */\n"
+                                "var re = /real/;");
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "/real/");
+}
+
+TEST(Extractor, SkipsStrings) {
+  auto L = extractRegexLiterals("var s = 'a/b/c'; var t = \"/x/\";"
+                                "var u = `tpl /y/`; var re = /z/;");
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "/z/");
+}
+
+TEST(Extractor, DivisionIsNotARegex) {
+  auto L = extractRegexLiterals("var x = a / b / c;");
+  EXPECT_TRUE(L.empty());
+  auto L2 = extractRegexLiterals("var y = (n + 1) / 2;");
+  EXPECT_TRUE(L2.empty());
+}
+
+TEST(Extractor, KeywordPositionIsARegex) {
+  auto L = extractRegexLiterals("return /ok/.test(s);");
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "/ok/");
+}
+
+TEST(Extractor, ClassWithSlash) {
+  auto L = extractRegexLiterals("var re = /[/]x/;");
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "/[/]x/");
+}
+
+TEST(Extractor, EscapedSlash) {
+  auto L = extractRegexLiterals("var re = /a\\/b/;");
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "/a\\/b/");
+}
+
+TEST(Survey, PackageAggregation) {
+  Survey S;
+  S.addPackage({"var a = /x(y)z/; var b = /plain/;"});
+  S.addPackage({"var c = /(q)\\1/;"});
+  S.addPackage({});                    // no sources
+  S.addPackage({"var noRegex = 1/2;"}); // sources, no regex
+  EXPECT_EQ(S.Packages, 4u);
+  EXPECT_EQ(S.WithSource, 3u);
+  EXPECT_EQ(S.WithRegex, 2u);
+  EXPECT_EQ(S.WithCaptures, 2u);
+  EXPECT_EQ(S.WithBackrefs, 1u);
+  EXPECT_EQ(S.WithQuantifiedBackrefs, 0u);
+  EXPECT_EQ(S.TotalRegexes, 3u);
+  EXPECT_EQ(S.UniqueRegexes, 3u);
+}
+
+TEST(Survey, DuplicatesCountOnceInUnique) {
+  Survey S;
+  S.addPackage({"var a = /dup/g;"});
+  S.addPackage({"var b = /dup/g;"});
+  EXPECT_EQ(S.TotalRegexes, 2u);
+  EXPECT_EQ(S.UniqueRegexes, 1u);
+  EXPECT_EQ(S.Features["Global Flag"].Total, 2u);
+  EXPECT_EQ(S.Features["Global Flag"].Unique, 1u);
+}
+
+TEST(Survey, QuantifiedBackrefDetected) {
+  Survey S;
+  S.addPackage({"var re = /((a|b)\\2)+/;"});
+  EXPECT_EQ(S.WithQuantifiedBackrefs, 1u);
+  EXPECT_EQ(S.Features["Quantified BRefs"].Total, 1u);
+}
+
+TEST(Corpus, GeneratesRequestedPackages) {
+  CorpusOptions Opts;
+  Opts.NumPackages = 100;
+  Opts.Seed = 7;
+  auto Pkgs = generateCorpus(Opts);
+  EXPECT_EQ(Pkgs.size(), 100u);
+  size_t WithFiles = 0;
+  for (const auto &P : Pkgs)
+    WithFiles += !P.Files.empty();
+  EXPECT_GT(WithFiles, 80u); // ~91.9%
+  EXPECT_LT(WithFiles, 100u);
+}
+
+TEST(Corpus, SurveyShapesMatchTable4) {
+  CorpusOptions Opts;
+  Opts.NumPackages = 800;
+  auto Pkgs = generateCorpus(Opts);
+  Survey S;
+  for (const auto &P : Pkgs)
+    S.addPackage(P.Files);
+  // Table 4 shape: regex < source, captures < regex, backrefs << captures.
+  EXPECT_GT(S.WithRegex, 0u);
+  EXPECT_LT(S.WithRegex, S.WithSource);
+  EXPECT_LT(S.WithCaptures, S.WithRegex);
+  EXPECT_LT(S.WithBackrefs, S.WithCaptures);
+  EXPECT_LE(S.WithQuantifiedBackrefs, S.WithBackrefs);
+  // Table 5 shape: captures are the most common structural feature.
+  EXPECT_GT(S.Features["Capture Groups"].Unique, 0u);
+  EXPECT_GT(S.Features["Kleene+"].Unique, 0u);
+}
+
+TEST(Corpus, Deterministic) {
+  CorpusOptions Opts;
+  Opts.NumPackages = 20;
+  Opts.Seed = 123;
+  auto A = generateCorpus(Opts);
+  auto B = generateCorpus(Opts);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Files, B[I].Files);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/term_test.cpp - Constraint IR builders and evaluator ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+namespace {
+
+TEST(Term, AndOrSimplification) {
+  TermRef A = mkBoolVar("a");
+  EXPECT_EQ(mkAnd({A, mkTrue()}).get(), A.get());
+  EXPECT_EQ(mkAnd({A, mkFalse()})->Kind, TermKind::BoolConst);
+  EXPECT_FALSE(mkAnd({A, mkFalse()})->BoolVal);
+  EXPECT_EQ(mkOr({A, mkFalse()}).get(), A.get());
+  EXPECT_TRUE(mkOr({A, mkTrue()})->BoolVal);
+  // Flattening.
+  TermRef B = mkBoolVar("b"), C = mkBoolVar("c");
+  TermRef Nested = mkAnd(mkAnd(A, B), C);
+  EXPECT_EQ(Nested->Kids.size(), 3u);
+}
+
+TEST(Term, NotSimplification) {
+  TermRef A = mkBoolVar("a");
+  EXPECT_EQ(mkNot(mkNot(A)).get(), A.get());
+  EXPECT_FALSE(mkNot(mkTrue())->BoolVal);
+}
+
+TEST(Term, ConcatNormalization) {
+  TermRef X = mkStrVar("x");
+  TermRef C = mkConcat({mkStrConst(fromUTF8("ab")), mkStrConst(fromUTF8("cd")),
+                        X, mkStrConst(UString())});
+  ASSERT_EQ(C->Kind, TermKind::Concat);
+  EXPECT_EQ(C->Kids.size(), 2u); // merged constant + var
+  EXPECT_EQ(toUTF8(C->Kids[0]->StrVal), "abcd");
+  // Single element collapses.
+  EXPECT_EQ(mkConcat({X}).get(), X.get());
+  // All-constant folds.
+  TermRef K = mkConcat(mkStrConst(fromUTF8("a")), mkStrConst(fromUTF8("b")));
+  EXPECT_EQ(K->Kind, TermKind::StrConst);
+}
+
+TEST(Term, EqConstantFolding) {
+  EXPECT_TRUE(mkEq(mkStrConst(fromUTF8("a")), mkStrConst(fromUTF8("a")))
+                  ->BoolVal);
+  EXPECT_FALSE(mkEq(mkIntConst(1), mkIntConst(2))->BoolVal);
+  EXPECT_EQ(mkStrLen(mkStrConst(fromUTF8("abc")))->IntVal, 3);
+}
+
+TEST(Term, CollectVars) {
+  TermRef F = mkAnd({mkEq(mkStrVar("s"), mkConcat(mkStrVar("t"),
+                                                  mkStrConst(fromUTF8("x")))),
+                     mkBoolVar("b"),
+                     mkLt(mkIntVar("i"), mkStrLen(mkStrVar("s")))});
+  VarSet V = collectVars({F});
+  EXPECT_EQ(V.Strings, (std::vector<std::string>{"s", "t"}));
+  EXPECT_EQ(V.Bools, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(V.Ints, (std::vector<std::string>{"i"}));
+}
+
+TEST(TermEvaluator, StringsAndInts) {
+  Assignment M;
+  M.Strings["s"] = fromUTF8("abc");
+  M.Ints["i"] = 2;
+  TermEvaluator E;
+  auto V = E.evalString(mkConcat(mkStrVar("s"), mkStrConst(fromUTF8("d"))), M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(toUTF8(*V), "abcd");
+  auto L = E.evalInt(mkAdd(mkStrLen(mkStrVar("s")), mkIntVar("i")), M);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(*L, 5);
+}
+
+TEST(TermEvaluator, BoolStructure) {
+  Assignment M;
+  M.Bools["b"] = true;
+  M.Strings["s"] = fromUTF8("zz");
+  TermEvaluator E;
+  TermRef F = mkImplies(mkBoolVar("b"),
+                        mkEq(mkStrVar("s"), mkStrConst(fromUTF8("zz"))));
+  auto V = E.evalBool(F, M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(*V);
+  auto W = E.evalBool(mkNot(F), M);
+  EXPECT_FALSE(*W);
+}
+
+TEST(TermEvaluator, Membership) {
+  Assignment M;
+  M.Strings["s"] = fromUTF8("aaa");
+  TermEvaluator E;
+  TermRef In = mkInRe(mkStrVar("s"), cStar(cChar('a')));
+  EXPECT_TRUE(*E.evalBool(In, M));
+  M.Strings["s"] = fromUTF8("ab");
+  EXPECT_FALSE(*E.evalBool(In, M));
+  // Negated membership through mkNotInRe.
+  TermRef NotIn = mkNotInRe(mkStrVar("s"), cStar(cChar('a')));
+  EXPECT_TRUE(*E.evalBool(NotIn, M));
+}
+
+TEST(TermEvaluator, DefaultsForMissingVars) {
+  Assignment M;
+  TermEvaluator E;
+  EXPECT_EQ(toUTF8(*E.evalString(mkStrVar("missing"), M)), "");
+  EXPECT_EQ(*E.evalInt(mkIntVar("missing"), M), 0);
+  EXPECT_FALSE(*E.evalBool(mkBoolVar("missing"), M));
+}
+
+TEST(Term, Printing) {
+  TermRef F = mkEq(mkStrVar("s"), mkConcat(mkStrVar("t"),
+                                           mkStrConst(fromUTF8("x"))));
+  std::string S = F->str();
+  EXPECT_NE(S.find("str.++"), std::string::npos);
+  EXPECT_NE(S.find("\"x\""), std::string::npos);
+}
+
+} // namespace

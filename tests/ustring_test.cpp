@@ -1,0 +1,73 @@
+//===- tests/ustring_test.cpp - Unicode string helpers ---------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UString.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+
+TEST(UString, Utf8RoundTripAscii) {
+  std::string S = "hello, world!";
+  EXPECT_EQ(toUTF8(fromUTF8(S)), S);
+}
+
+TEST(UString, Utf8RoundTripMultibyte) {
+  std::string S = "straße \xE2\x82\xAC \xF0\x9F\x98\x80"; // €, emoji
+  UString U = fromUTF8(S);
+  EXPECT_EQ(U.size(), 10u); // code points, not bytes
+  EXPECT_EQ(toUTF8(U), S);
+}
+
+TEST(UString, Utf8EncodesBoundaries) {
+  UString U;
+  U.push_back(0x7F);
+  U.push_back(0x80);
+  U.push_back(0x7FF);
+  U.push_back(0x800);
+  U.push_back(0xFFFF);
+  U.push_back(0x10000);
+  U.push_back(0x10FFFF);
+  EXPECT_EQ(fromUTF8(toUTF8(U)), U);
+}
+
+TEST(UString, EscapeRendersControls) {
+  UString U;
+  U.push_back('a');
+  U.push_back('\n');
+  U.push_back(MetaStart);
+  std::string E = escape(U);
+  EXPECT_NE(E.find("\\n"), std::string::npos);
+  EXPECT_EQ(E.substr(0, 1), "a");
+}
+
+TEST(UString, Predicates) {
+  EXPECT_TRUE(isWordChar('_'));
+  EXPECT_TRUE(isWordChar('Z'));
+  EXPECT_FALSE(isWordChar('-'));
+  EXPECT_TRUE(isDigit('7'));
+  EXPECT_FALSE(isDigit('a'));
+  EXPECT_TRUE(isWhitespace('\t'));
+  EXPECT_TRUE(isWhitespace(0xA0));
+  EXPECT_FALSE(isWhitespace('x'));
+  EXPECT_TRUE(isLineTerminator(0x2029));
+  EXPECT_FALSE(isLineTerminator(' '));
+}
+
+TEST(UString, CanonicalizeFolding) {
+  EXPECT_EQ(uint32_t(canonicalize('a', false)), uint32_t('A'));
+  EXPECT_EQ(uint32_t(canonicalize('A', false)), uint32_t('A'));
+  EXPECT_EQ(uint32_t(canonicalize('0', false)), uint32_t('0'));
+  EXPECT_EQ(uint32_t(canonicalize(0xE9, false)), 0xC9u); // é -> É
+  EXPECT_EQ(uint32_t(canonicalize(0xF7, false)), 0xF7u); // ÷ unchanged
+  EXPECT_EQ(uint32_t(canonicalize(0xFF, false)), 0x178u); // ÿ -> Ÿ
+}
+
+TEST(UString, UserDefinedLiteral) {
+  UString U = "abc"_u;
+  EXPECT_EQ(U.size(), 3u);
+  EXPECT_EQ(uint32_t(U[0]), uint32_t('a'));
+}
