@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "matcher/Matcher.h"
+#include "runtime/RegexRuntime.h"
 
 #include <benchmark/benchmark.h>
 
@@ -71,6 +72,57 @@ void BM_ParseRegex(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ParseRegex);
+
+// Compile-once pipeline: cold = parse + wrap every time (what every call
+// site paid before the runtime existed), warm = interned lookup. The warm
+// run must report >0 cache hits and beat the cold run.
+
+void BM_RuntimeCompileCold(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexRuntime RT;
+    benchmark::DoNotOptimize(
+        RT.get("^(?:([a-z]+)|\\d{2,3})(?=x)\\1?$", "im"));
+  }
+}
+BENCHMARK(BM_RuntimeCompileCold);
+
+void BM_RuntimeCompileWarm(benchmark::State &State) {
+  RegexRuntime RT;
+  (void)RT.get("^(?:([a-z]+)|\\d{2,3})(?=x)\\1?$", "im");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        RT.get("^(?:([a-z]+)|\\d{2,3})(?=x)\\1?$", "im"));
+  State.counters["intern_hits"] =
+      static_cast<double>(RT.stats().InternHits);
+  State.counters["intern_misses"] =
+      static_cast<double>(RT.stats().InternMisses);
+}
+BENCHMARK(BM_RuntimeCompileWarm);
+
+void BM_ExecColdCompile(benchmark::State &State) {
+  // Fresh parse + object per exec: the repeated-pattern worst case.
+  UString In = fromUTF8("prefix <timeout>500</timeout> suffix");
+  for (auto _ : State) {
+    RegExpObject Obj(Regex::parse("<(\\w+)>([0-9]*)<\\/\\1>", "").take());
+    benchmark::DoNotOptimize(Obj.exec(In).Result.has_value());
+  }
+}
+BENCHMARK(BM_ExecColdCompile);
+
+void BM_ExecSharedCompiled(benchmark::State &State) {
+  // Object per exec as above, but over one interned CompiledRegex: the
+  // matcher's per-class set resolution runs once, not per object.
+  RegexRuntime RT;
+  auto C = RT.get("<(\\w+)>([0-9]*)<\\/\\1>", "");
+  UString In = fromUTF8("prefix <timeout>500</timeout> suffix");
+  for (auto _ : State) {
+    RegExpObject Obj(*C);
+    benchmark::DoNotOptimize(Obj.exec(In).Result.has_value());
+  }
+  State.counters["matcher_hits"] =
+      static_cast<double>(RT.stats().MatcherHits);
+}
+BENCHMARK(BM_ExecSharedCompiled);
 
 void BM_MatchLookbehind(benchmark::State &State) {
   // ES2018 extension: right-to-left matching inside the assertion.

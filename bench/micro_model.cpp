@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/SymbolicRegExp.h"
+#include "runtime/RegexRuntime.h"
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +40,24 @@ void BM_BuildModelComplex(benchmark::State &State) {
 }
 BENCHMARK(BM_BuildModelComplex);
 
+void BM_BuildModelComplexWarm(benchmark::State &State) {
+  // Same model as BM_BuildModelComplex, instantiated from the cached
+  // template instead of rebuilt: no re-analysis, shared classical-regex
+  // payloads, fresh variables only.
+  CompiledRegex C(
+      Regex::parse("^(?=[a-z])(\\w+)-(\\d{2,4})(?:\\.(\\w+)\\3)?$", "i")
+          .take());
+  TermRef In = mkStrVar("in");
+  (void)C.instantiate(In, "m#0"); // build the template outside the loop
+  unsigned I = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        C.instantiate(In, "m#" + std::to_string(I++)));
+  State.counters["template_hits"] =
+      static_cast<double>(C.stats().TemplateHits);
+}
+BENCHMARK(BM_BuildModelComplexWarm);
+
 void BM_SolveMembership(benchmark::State &State) {
   auto R = Regex::parse("(a+)(b+)", "");
   auto Backend = makeZ3Backend();
@@ -51,6 +70,27 @@ void BM_SolveMembership(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SolveMembership)->Unit(benchmark::kMillisecond);
+
+void BM_SolveMembershipWarmCache(benchmark::State &State) {
+  // Repeated-pattern workload over one solver: every iteration issues a
+  // fresh query (fresh model variables), but the α-invariant query cache
+  // recognizes the problem and skips the backend entirely.
+  auto R = Regex::parse("(a+)(b+)", "");
+  auto Backend = makeZ3Backend();
+  CegarSolver Solver(*Backend);
+  SymbolicRegExp Sym(std::make_shared<CompiledRegex>(R->clone()), "s");
+  for (auto _ : State) {
+    auto Q = Sym.exec(mkStrVar("in"), mkIntConst(0));
+    benchmark::DoNotOptimize(Solver.solve({PathClause::regex(Q, true)}));
+  }
+  State.counters["query_hits"] =
+      static_cast<double>(Solver.stats().CacheHits);
+  State.counters["query_misses"] =
+      static_cast<double>(Solver.stats().CacheMisses);
+  State.counters["template_hits"] = static_cast<double>(
+      Sym.compiled()->stats().TemplateHits);
+}
+BENCHMARK(BM_SolveMembershipWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_SolveWithRefinement(benchmark::State &State) {
   // The paper's §3.4 example: needs one refinement round.

@@ -10,17 +10,22 @@ using namespace recap;
 
 SymbolicRegExp::SymbolicRegExp(Regex R, std::string VarPrefix,
                                ModelOptions Opts)
-    : R(std::move(R)), VarPrefix(std::move(VarPrefix)), Opts(Opts) {}
+    : C(std::make_shared<CompiledRegex>(std::move(R))),
+      VarPrefix(std::move(VarPrefix)), Opts(Opts) {}
+
+SymbolicRegExp::SymbolicRegExp(std::shared_ptr<CompiledRegex> Compiled,
+                               std::string VarPrefix, ModelOptions Opts)
+    : C(std::move(Compiled)), VarPrefix(std::move(VarPrefix)), Opts(Opts) {}
 
 std::shared_ptr<RegexQuery> SymbolicRegExp::makeQuery(TermRef Input,
                                                       TermRef LastIndex,
                                                       bool ForExec) {
   std::string Prefix = VarPrefix + "#" + std::to_string(CallCounter++);
-  ModelBuilder Builder(R, Prefix, Opts);
+  const Regex &R = C->regex();
 
   auto Q = std::make_shared<RegexQuery>();
-  Q->Oracle = std::make_shared<RegExpObject>(R.clone());
-  Q->Model = Builder.build(Input);
+  Q->Oracle = std::make_shared<RegExpObject>(C);
+  Q->Model = C->instantiate(Input, Prefix, Opts);
   Q->Input = Input;
   Q->LastIndex = LastIndex;
   Q->ValidateCaptures = ForExec;

@@ -19,16 +19,34 @@
 #define RECAP_API_SYMBOLICREGEXP_H
 
 #include "cegar/CegarSolver.h"
+#include "runtime/CompiledRegex.h"
 
 namespace recap {
 
 /// The symbolic mirror of one RegExp object. Create one per regex literal;
 /// each exec/test call site with a fresh input produces a RegexQuery.
+///
+/// Backed by a shared CompiledRegex: each query instantiates the cached
+/// symbolic-match template (fresh variables, shared structure) and wraps
+/// the shared concrete matcher as its oracle — the parser and model
+/// generator run at most once per (pattern, flags, options).
 class SymbolicRegExp {
 public:
   /// \p VarPrefix namespaces the model's fresh variables; distinct call
   /// sites must use distinct prefixes.
   SymbolicRegExp(Regex R, std::string VarPrefix, ModelOptions Opts = {});
+
+  /// Shares an interned compiled regex (e.g. from a RegexRuntime).
+  SymbolicRegExp(std::shared_ptr<CompiledRegex> Compiled,
+                 std::string VarPrefix, ModelOptions Opts = {});
+
+  // Not copyable: a copy would duplicate CallCounter and mint the same
+  // "prefix#N" fresh-variable names as the original, silently violating
+  // the distinct-prefix invariant. Moves are fine.
+  SymbolicRegExp(const SymbolicRegExp &) = delete;
+  SymbolicRegExp &operator=(const SymbolicRegExp &) = delete;
+  SymbolicRegExp(SymbolicRegExp &&) = default;
+  SymbolicRegExp &operator=(SymbolicRegExp &&) = default;
 
   /// Symbolic RegExp.exec(Input) when lastIndex = LastIndex.
   /// The returned query exposes the full capture model.
@@ -46,13 +64,14 @@ public:
   /// match).
   static CaptureVar capture(const RegexQuery &Q, size_t I);
 
-  const Regex &regex() const { return R; }
+  const Regex &regex() const { return C->regex(); }
+  const std::shared_ptr<CompiledRegex> &compiled() const { return C; }
 
 private:
   std::shared_ptr<RegexQuery> makeQuery(TermRef Input, TermRef LastIndex,
                                         bool ForExec);
 
-  Regex R;
+  std::shared_ptr<CompiledRegex> C;
   std::string VarPrefix;
   ModelOptions Opts;
   unsigned CallCounter = 0;

@@ -29,7 +29,7 @@ TermRef RegexQuery::negativeAssertion() const {
 }
 
 CegarSolver::CegarSolver(SolverBackend &Backend, CegarOptions Opts)
-    : Backend(Backend), Opts(Opts) {}
+    : Backend(Backend), Opts(Opts), Cache(Opts.QueryCacheCapacity) {}
 
 namespace {
 
@@ -71,6 +71,62 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
       HasCaptures = true;
   if (HasCaptures)
     ++Stats.QueriesWithCaptures;
+
+  // Query-result cache: canonicalize the problem up to variable renaming.
+  // The key also pins each regex clause's source, polarity and validation
+  // mode, since validation consults the concrete matcher, not the terms.
+  std::string Key;
+  std::vector<std::string> VarNames;
+  if (Opts.QueryCacheCapacity != 0) {
+    for (const PathClause &C : Clauses)
+      if (C.Query) {
+        // Length-prefixed so patterns containing the delimiters cannot
+        // make two different clause lists serialize identically. The
+        // oracle's step budget is part of validation behavior (a
+        // budget-limited oracle can give up where the default succeeds),
+        // so it is pinned too.
+        std::string Src = C.Query->Oracle->regex().str();
+        Key += "[" + std::to_string(Src.size()) + ":" + Src +
+               (C.Polarity ? "+" : "-") +
+               (C.Query->ValidateCaptures ? "v" : "") + "b" +
+               std::to_string(C.Query->Oracle->matcher().stepBudget()) +
+               "]";
+      }
+    Key += canonicalTermKey(P, &VarNames);
+    // The identical key guarantees a positional variable bijection; a
+    // size mismatch would mean a key collision, so treat it as a miss
+    // rather than replaying a foreign model.
+    CacheEntry *E = Cache.find(Key);
+    if (E && E->VarOrder.size() == VarNames.size()) {
+      ++Stats.CacheHits;
+      CegarResult Hit;
+      Hit.Status = E->Status;
+      Hit.Refinements = E->Refinements;
+      if (E->Status == SolveStatus::Sat) {
+        // α-rename the stored model onto this problem's variables.
+        for (size_t I = 0; I < VarNames.size(); ++I) {
+          const std::string &SN = E->VarOrder[I];
+          const std::string &NN = VarNames[I];
+          if (auto B = E->Model.Bools.find(SN); B != E->Model.Bools.end())
+            Hit.Model.Bools[NN] = B->second;
+          if (auto S = E->Model.Strings.find(SN);
+              S != E->Model.Strings.end())
+            Hit.Model.Strings[NN] = S->second;
+          if (auto N = E->Model.Ints.find(SN); N != E->Model.Ints.end())
+            Hit.Model.Ints[NN] = N->second;
+        }
+      }
+      // Hits are visible through CacheHits; the per-query time buckets
+      // keep describing real backend solves only, so Table-8 style
+      // distributions are not flooded with microsecond replays.
+      Stats.SolverSeconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        T0)
+              .count();
+      return Hit;
+    }
+    ++Stats.CacheMisses;
+  }
 
   CegarResult Out;
   bool Refined = false;
@@ -167,6 +223,19 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
       ++Stats.QueriesHitLimit;
       break;
     }
+  }
+
+  // Memoize decisive results (Unknown stays retryable by design). A key
+  // collision (see above) would re-insert an existing key; skip it.
+  if (Opts.QueryCacheCapacity != 0 && Out.Status != SolveStatus::Unknown &&
+      !Cache.find(Key)) {
+    CacheEntry E;
+    E.Status = Out.Status;
+    E.Model = Out.Model;
+    E.Refinements = Out.Refinements;
+    E.VarOrder = std::move(VarNames);
+    if (Cache.insert(std::move(Key), std::move(E)))
+      ++Stats.CacheEvictions;
   }
 
   if (Refined)

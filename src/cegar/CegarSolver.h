@@ -20,9 +20,11 @@
 #include "matcher/Matcher.h"
 #include "model/ModelBuilder.h"
 #include "smt/Solver.h"
+#include "support/LruMap.h"
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 namespace recap {
 
@@ -86,6 +88,14 @@ struct CegarOptions {
   /// the "+ Captures & Backreferences" support level of Table 7 (the model
   /// without the refinement scheme) and the ablation baseline.
   bool Validate = true;
+  /// Capacity of the query-result cache (0 disables it). Solved problems
+  /// are keyed on the α-renaming-canonicalized assertion set plus each
+  /// regex clause's source/polarity/validation mode, so repeated
+  /// path-condition prefixes — whose models differ only in the fresh
+  /// variable names minted per call site — skip the backend and the whole
+  /// refinement loop. Only Sat/Unsat results are cached: Unknown stays
+  /// retryable (solve times on hard regex queries vary run to run).
+  size_t QueryCacheCapacity = 256;
   SolverLimits Limits;
 };
 
@@ -124,6 +134,10 @@ struct CegarStats {
   uint64_t QueriesRefined = 0;
   uint64_t QueriesHitLimit = 0;
   uint64_t TotalRefinements = 0;
+  // Query-result cache counters (see CegarOptions::QueryCacheCapacity).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
   double SolverSeconds = 0;
   double MaxQuerySeconds = 0;
 
@@ -141,6 +155,9 @@ struct CegarStats {
     QueriesRefined += O.QueriesRefined;
     QueriesHitLimit += O.QueriesHitLimit;
     TotalRefinements += O.TotalRefinements;
+    CacheHits += O.CacheHits;
+    CacheMisses += O.CacheMisses;
+    CacheEvictions += O.CacheEvictions;
     SolverSeconds += O.SolverSeconds;
     MaxQuerySeconds = std::max(MaxQuerySeconds, O.MaxQuerySeconds);
     AllQueries.merge(O.AllQueries);
@@ -158,24 +175,41 @@ struct CegarResult {
   bool HitRefinementLimit = false;
 };
 
-/// Algorithm 1. Satisfiability modulo ES6 matching precedence.
+/// Algorithm 1. Satisfiability modulo ES6 matching precedence, with a
+/// result cache over canonicalized problems (see CegarOptions).
 class CegarSolver {
 public:
   explicit CegarSolver(SolverBackend &Backend, CegarOptions Opts = {});
 
   /// Solves a path condition. On Sat, the assignment is guaranteed to be
-  /// consistent with the concrete matcher on every regex clause.
+  /// consistent with the concrete matcher on every regex clause. A cached
+  /// Sat result is α-renamed back onto the current problem's variables;
+  /// CegarResult::Refinements then reports the original solve's rounds
+  /// (the problem's difficulty) without re-running them.
   CegarResult solve(const std::vector<PathClause> &Clauses);
 
   const CegarStats &stats() const { return Stats; }
   void resetStats() { Stats = CegarStats(); }
   SolverBackend &backend() { return Backend; }
 
+  /// Drops all cached query results (stats survive).
+  void clearCache() { Cache.clear(); }
+
 private:
+  struct CacheEntry {
+    SolveStatus Status = SolveStatus::Unknown;
+    Assignment Model;
+    unsigned Refinements = 0;
+    /// Variable names of the original problem in canonical (key) order;
+    /// positional bijection with any α-equivalent problem's variables.
+    std::vector<std::string> VarOrder;
+  };
+
   SolverBackend &Backend;
   CegarOptions Opts;
   CegarStats Stats;
   TermEvaluator Eval;
+  LruMap<CacheEntry> Cache;
 };
 
 } // namespace recap

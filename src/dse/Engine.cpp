@@ -52,7 +52,12 @@ EngineResult DseEngine::run(const Program &P) {
   EngineResult Out;
   Out.TotalStmts = P.NumStmts;
 
-  SymbolicContext Ctx(Opts.Level);
+  std::shared_ptr<RegexRuntime> Runtime =
+      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
+  // A supplied runtime is cumulative across runs; report this run's
+  // window only.
+  RuntimeStats RuntimeBefore = Runtime->stats();
+  SymbolicContext Ctx(Opts.Level, Runtime);
   Interpreter Interp(Ctx, Opts.MaxWhileIterations);
   CegarSolver Solver(Backend, Opts.Cegar);
   std::mt19937_64 Rng(Opts.Seed);
@@ -145,5 +150,6 @@ EngineResult DseEngine::run(const Program &P) {
   Out.Seconds = Elapsed();
   Out.Cegar = Solver.stats();
   Out.Solver = Backend.stats();
+  Out.Runtime = Runtime->stats().since(RuntimeBefore);
   return Out;
 }

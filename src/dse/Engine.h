@@ -31,6 +31,10 @@ struct EngineOptions {
   CegarOptions Cegar;
   uint64_t Seed = 1;
   size_t MaxWhileIterations = 32;
+  /// Shared compiled-regex runtime. When null, each run creates a private
+  /// one; supply a runtime to share compilation work across programs
+  /// (e.g. a whole survey corpus or bench suite).
+  std::shared_ptr<RegexRuntime> Runtime;
 
   EngineOptions() {
     // Backreference queries with pinned capture constants can take Z3
@@ -48,6 +52,7 @@ struct EngineResult {
   std::vector<int> FailedAsserts; ///< stmt ids of violated assertions
   CegarStats Cegar;
   SolverStats Solver;
+  RuntimeStats Runtime; ///< compiled-regex pipeline cache counters
 
   double coveragePercent() const {
     return TotalStmts == 0

@@ -16,17 +16,25 @@ SymbolicRegExp *SymbolicContext::regexFor(const MiniExpr &Site) {
   auto It = Regexes.find(&Site);
   if (It != Regexes.end())
     return It->second.get();
-  Result<Regex> R = Regex::parseLiteral(Site.RegexSource);
-  if (!R) {
+  Result<std::shared_ptr<CompiledRegex>> C =
+      Runtime->literal(Site.RegexSource);
+  if (!C) {
     Regexes.emplace(&Site, nullptr);
     return nullptr;
   }
   std::string Prefix = "re" + std::to_string(Regexes.size());
-  auto Sym = std::make_unique<SymbolicRegExp>(R.take(), Prefix,
-                                              modelOptions());
+  auto Sym =
+      std::make_unique<SymbolicRegExp>(C.take(), Prefix, modelOptions());
   SymbolicRegExp *Out = Sym.get();
   Regexes.emplace(&Site, std::move(Sym));
   return Out;
+}
+
+std::shared_ptr<CompiledRegex>
+SymbolicContext::compiledFor(const MiniExpr &Site) {
+  Result<std::shared_ptr<CompiledRegex>> C =
+      Runtime->literal(Site.RegexSource);
+  return C ? C.take() : nullptr;
 }
 
 TermRef SymbolicContext::inputVar(const std::string &Param) {
@@ -224,10 +232,9 @@ private:
     auto It = Oracles.find(&Site);
     if (It != Oracles.end())
       return It->second;
-    Result<Regex> R = Regex::parseLiteral(Site.RegexSource);
     std::shared_ptr<RegExpObject> O;
-    if (R)
-      O = std::make_shared<RegExpObject>(R.take());
+    if (std::shared_ptr<CompiledRegex> C = Ctx.compiledFor(Site))
+      O = std::make_shared<RegExpObject>(std::move(C));
     Oracles.emplace(&Site, O);
     return O;
   }

@@ -24,6 +24,7 @@
 
 #include "api/SymbolicRegExp.h"
 #include "dse/MiniJS.h"
+#include "runtime/RegexRuntime.h"
 
 #include <map>
 #include <set>
@@ -54,10 +55,17 @@ struct Trace {
 using InputMap = std::map<std::string, UString>;
 
 /// Per-program symbolic state shared across runs (symbolic regexes keyed
-/// by call site so variable prefixes stay stable).
+/// by call site so variable prefixes stay stable). All regex compilation
+/// goes through one RegexRuntime, so distinct call sites naming the same
+/// (pattern, flags) pair share a single CompiledRegex — parser, matcher
+/// and model template run once per pattern per execution, not per site or
+/// per test case.
 class SymbolicContext {
 public:
-  explicit SymbolicContext(SupportLevel Level) : Level(Level) {}
+  explicit SymbolicContext(SupportLevel Level,
+                           std::shared_ptr<RegexRuntime> RT = nullptr)
+      : Level(Level),
+        Runtime(RT ? std::move(RT) : std::make_shared<RegexRuntime>()) {}
 
   SupportLevel level() const { return Level; }
   ModelOptions modelOptions() const {
@@ -67,10 +75,15 @@ public:
   }
 
   SymbolicRegExp *regexFor(const MiniExpr &Site);
+  /// Shared compiled regex for \p Site's literal (null on parse errors).
+  std::shared_ptr<CompiledRegex> compiledFor(const MiniExpr &Site);
   TermRef inputVar(const std::string &Param);
+
+  const std::shared_ptr<RegexRuntime> &runtime() const { return Runtime; }
 
 private:
   SupportLevel Level;
+  std::shared_ptr<RegexRuntime> Runtime;
   std::map<const MiniExpr *, std::unique_ptr<SymbolicRegExp>> Regexes;
   std::map<std::string, TermRef> InputVars;
 };

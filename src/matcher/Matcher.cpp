@@ -22,6 +22,8 @@
 
 #include "matcher/Matcher.h"
 
+#include "runtime/CompiledRegex.h"
+
 #include <cassert>
 
 using namespace recap;
@@ -306,10 +308,26 @@ MatchStatus Matcher::search(const UString &Input, size_t Start,
   return MatchStatus::NoMatch;
 }
 
+RegExpObject::RegExpObject(Regex Re, uint64_t StepBudget)
+    : RegExpObject(std::make_shared<CompiledRegex>(std::move(Re)),
+                   StepBudget) {}
+
+RegExpObject::RegExpObject(std::shared_ptr<CompiledRegex> Compiled,
+                           uint64_t StepBudget)
+    : C(std::move(Compiled)), R(&C->regex()) {
+  M = StepBudget == Matcher::DefaultStepBudget
+          ? C->sharedMatcher()
+          : std::make_shared<const Matcher>(*R, StepBudget);
+}
+
+RegExpObject::RegExpObject(RegExpObject &&) noexcept = default;
+RegExpObject &RegExpObject::operator=(RegExpObject &&) noexcept = default;
+RegExpObject::~RegExpObject() = default;
+
 RegExpObject::ExecOutcome RegExpObject::exec(const UString &Input) {
   ExecOutcome Out;
-  bool Anchored = R.flags().Sticky;
-  bool UsesLastIndex = R.flags().Global || R.flags().Sticky;
+  bool Anchored = R->flags().Sticky;
+  bool UsesLastIndex = R->flags().Global || R->flags().Sticky;
   int64_t Start = UsesLastIndex ? LastIndex : 0;
   if (Start < 0 || static_cast<size_t>(Start) > Input.size()) {
     if (UsesLastIndex)
@@ -319,8 +337,8 @@ RegExpObject::ExecOutcome RegExpObject::exec(const UString &Input) {
   }
   MatchResult R1;
   MatchStatus S = Anchored
-                      ? M.matchAt(Input, static_cast<size_t>(Start), R1)
-                      : M.search(Input, static_cast<size_t>(Start), R1);
+                      ? M->matchAt(Input, static_cast<size_t>(Start), R1)
+                      : M->search(Input, static_cast<size_t>(Start), R1);
   Out.Status = S;
   if (S == MatchStatus::Match) {
     if (UsesLastIndex)

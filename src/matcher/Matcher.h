@@ -52,11 +52,15 @@ enum class MatchStatus : uint8_t {
 std::optional<UString> namedCapture(const Regex &R, const MatchResult &M,
                                     const std::string &Name);
 
+class CompiledRegex;
+
 /// Backtracking matcher for one compiled regex. Stateless and reusable;
 /// the stateful exec/test API with lastIndex lives in RegExpObject.
 class Matcher {
 public:
-  explicit Matcher(const Regex &R, uint64_t StepBudget = 4'000'000);
+  static constexpr uint64_t DefaultStepBudget = 4'000'000;
+
+  explicit Matcher(const Regex &R, uint64_t StepBudget = DefaultStepBudget);
 
   /// Attempts a match starting exactly at \p Start (no searching).
   MatchStatus matchAt(const UString &Input, size_t Start,
@@ -67,6 +71,7 @@ public:
                      MatchResult &Out) const;
 
   const Regex &regex() const { return *R; }
+  uint64_t stepBudget() const { return StepBudget; }
 
 private:
   const Regex *R;
@@ -80,10 +85,25 @@ private:
 /// Stateful ES6 RegExp object: exec/test with lastIndex per the spec's
 /// RegExpBuiltinExec (used concretely by programs and as the CEGAR oracle,
 /// Algorithm 2 of the paper models this function symbolically).
+///
+/// The object is a thin stateful view over a shared CompiledRegex: the AST
+/// and (for the default step budget) the Matcher are compile-once
+/// artifacts, so constructing a RegExpObject from an interned
+/// CompiledRegex costs two shared_ptr copies — no AST clone, no per-node
+/// class resolution.
 class RegExpObject {
 public:
-  explicit RegExpObject(Regex R, uint64_t StepBudget = 4'000'000)
-      : R(std::move(R)), M(this->R, StepBudget) {}
+  /// Wraps \p R in a standalone CompiledRegex (compatibility entry point;
+  /// prefer the CompiledRegex overload to share compilation work).
+  explicit RegExpObject(Regex R,
+                        uint64_t StepBudget = Matcher::DefaultStepBudget);
+  /// Shares \p Compiled's artifacts. With the default budget the matcher
+  /// is shared too; a custom budget builds a private Matcher.
+  explicit RegExpObject(std::shared_ptr<CompiledRegex> Compiled,
+                        uint64_t StepBudget = Matcher::DefaultStepBudget);
+  RegExpObject(RegExpObject &&) noexcept;
+  RegExpObject &operator=(RegExpObject &&) noexcept;
+  ~RegExpObject();
 
   /// RegExp.prototype.exec. Updates LastIndex for global/sticky regexes.
   /// Status Budget means the matcher gave up (treat as unknown).
@@ -96,15 +116,17 @@ public:
   /// RegExp.prototype.test: exec(s) !== null.
   bool test(const UString &Input);
 
-  const Regex &regex() const { return R; }
-  const Matcher &matcher() const { return M; }
+  const Regex &regex() const { return *R; }
+  const Matcher &matcher() const { return *M; }
+  const std::shared_ptr<CompiledRegex> &compiled() const { return C; }
 
   /// RegExp.lastIndex, user-visible and assignable as in JS.
   int64_t LastIndex = 0;
 
 private:
-  Regex R;
-  Matcher M;
+  std::shared_ptr<CompiledRegex> C; ///< owns the AST
+  const Regex *R = nullptr;         ///< C's regex
+  std::shared_ptr<const Matcher> M;
 };
 
 } // namespace recap

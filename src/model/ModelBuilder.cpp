@@ -643,3 +643,122 @@ SymbolicMatch ModelBuilder::build(TermRef Input) {
   ModelGen Gen(R, VarPrefix, Opts);
   return Gen.run(std::move(Input));
 }
+
+//===----------------------------------------------------------------------===//
+// Template instantiation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Memoized rewrite over the term DAG: renames prefixed variables,
+/// substitutes the placeholder input, shares constants, and rebuilds inner
+/// nodes through the builders.
+class TermInstantiator {
+public:
+  TermInstantiator(const std::string &OldPrefix, const std::string &NewPrefix,
+                   const Term *OldInput, TermRef NewInput)
+      : OldPrefix(OldPrefix), NewPrefix(NewPrefix), OldInput(OldInput),
+        NewInput(std::move(NewInput)) {}
+
+  TermRef rewrite(const TermRef &T) {
+    if (!T)
+      return nullptr;
+    if (T.get() == OldInput)
+      return NewInput;
+    auto It = Memo.find(T.get());
+    if (It != Memo.end())
+      return It->second;
+    TermRef Out = rewriteUncached(T);
+    Memo.emplace(T.get(), Out);
+    return Out;
+  }
+
+private:
+  TermRef rewriteUncached(const TermRef &T) {
+    if (T->isVar()) {
+      if (T->Name.compare(0, OldPrefix.size(), OldPrefix) != 0)
+        return T;
+      std::string Fresh = NewPrefix + T->Name.substr(OldPrefix.size());
+      switch (T->Kind) {
+      case TermKind::BoolVar:
+        return mkBoolVar(std::move(Fresh));
+      case TermKind::StrVar:
+        return mkStrVar(std::move(Fresh));
+      default:
+        return mkIntVar(std::move(Fresh));
+      }
+    }
+    if (T->Kids.empty())
+      return T;
+    std::vector<TermRef> Kids;
+    Kids.reserve(T->Kids.size());
+    bool Changed = false;
+    for (const TermRef &K : T->Kids) {
+      Kids.push_back(rewrite(K));
+      Changed |= Kids.back().get() != K.get();
+    }
+    if (!Changed)
+      return T;
+    switch (T->Kind) {
+    case TermKind::Not:
+      return mkNot(std::move(Kids[0]));
+    case TermKind::And:
+      return mkAnd(std::move(Kids));
+    case TermKind::Or:
+      return mkOr(std::move(Kids));
+    case TermKind::Implies:
+      return mkImplies(std::move(Kids[0]), std::move(Kids[1]));
+    case TermKind::Eq:
+      return mkEq(std::move(Kids[0]), std::move(Kids[1]));
+    case TermKind::InRe:
+      return mkInRe(std::move(Kids[0]), T->Re);
+    case TermKind::Le:
+      return mkLe(std::move(Kids[0]), std::move(Kids[1]));
+    case TermKind::Lt:
+      return mkLt(std::move(Kids[0]), std::move(Kids[1]));
+    case TermKind::Concat:
+      return mkConcat(std::move(Kids));
+    case TermKind::Add:
+      return mkAdd(std::move(Kids[0]), std::move(Kids[1]));
+    case TermKind::StrLen:
+      return mkStrLen(std::move(Kids[0]));
+    default:
+      assert(false && "unexpected term kind during instantiation");
+      return T;
+    }
+  }
+
+  const std::string &OldPrefix;
+  const std::string &NewPrefix;
+  const Term *OldInput;
+  TermRef NewInput;
+  std::map<const Term *, TermRef> Memo;
+};
+
+} // namespace
+
+SymbolicMatch recap::instantiateSymbolicMatch(const SymbolicMatch &Template,
+                                              const std::string &TemplatePrefix,
+                                              const std::string &VarPrefix,
+                                              const TermRef &TemplateInput,
+                                              TermRef Input) {
+  TermInstantiator Inst(TemplatePrefix, VarPrefix, TemplateInput.get(),
+                        std::move(Input));
+  SymbolicMatch Out;
+  Out.Input = Inst.rewrite(Template.Input);
+  Out.Word = Inst.rewrite(Template.Word);
+  Out.Decoration = Inst.rewrite(Template.Decoration);
+  Out.MatchConstraint = Inst.rewrite(Template.MatchConstraint);
+  Out.MatchStart = Inst.rewrite(Template.MatchStart);
+  Out.C0 = {Inst.rewrite(Template.C0.Defined),
+            Inst.rewrite(Template.C0.Value)};
+  Out.Captures.reserve(Template.Captures.size());
+  for (const CaptureVar &C : Template.Captures)
+    Out.Captures.push_back(
+        {Inst.rewrite(C.Defined), Inst.rewrite(C.Value)});
+  Out.Prefix = Inst.rewrite(Template.Prefix);
+  Out.Suffix = Inst.rewrite(Template.Suffix);
+  Out.NegationExact = Template.NegationExact;
+  Out.NoMatchConstraint = Inst.rewrite(Template.NoMatchConstraint);
+  return Out;
+}

@@ -123,6 +123,25 @@ private:
   ModelOptions Opts;
 };
 
+/// Instantiates a cached symbolic-match template: every variable whose name
+/// carries \p TemplatePrefix is renamed to carry \p VarPrefix instead (so
+/// each instantiation gets fresh capture/segment variables), the
+/// placeholder input variable \p TemplateInput is replaced by \p Input, and
+/// inner nodes are rebuilt through the mk* term builders so the usual light
+/// simplification applies. Constants and the classical-regex payloads of
+/// membership atoms are shared with the template, which also lets
+/// per-CRegex solver caches (TermEvaluator, Z3 translation) hit across
+/// instantiations. The result is identical to running
+/// ModelBuilder(R, VarPrefix, Opts).build(Input) from scratch — the
+/// generator's fresh-name counters are deterministic — at a fraction of the
+/// cost (no re-parse, no feature/backreference analysis, no regular
+/// approximation).
+SymbolicMatch instantiateSymbolicMatch(const SymbolicMatch &Template,
+                                       const std::string &TemplatePrefix,
+                                       const std::string &VarPrefix,
+                                       const TermRef &TemplateInput,
+                                       TermRef Input);
+
 } // namespace recap
 
 #endif // RECAP_MODEL_MODELBUILDER_H

@@ -802,9 +802,11 @@ Result<Regex> Regex::parse(const std::string &Pattern,
   return parse(fromUTF8(Pattern), Flags);
 }
 
-Result<Regex> Regex::parseLiteral(const std::string &Literal) {
+Result<std::pair<std::string, std::string>>
+Regex::splitLiteral(const std::string &Literal) {
+  using Split = std::pair<std::string, std::string>;
   if (Literal.size() < 2 || Literal.front() != '/')
-    return Result<Regex>::error("regex literal must start with '/'");
+    return Result<Split>::error("regex literal must start with '/'");
   // Find the closing unescaped '/' outside a character class.
   bool InClass = false;
   size_t End = std::string::npos;
@@ -827,8 +829,15 @@ Result<Regex> Regex::parseLiteral(const std::string &Literal) {
     }
   }
   if (End == std::string::npos)
-    return Result<Regex>::error("unterminated regex literal");
-  return parse(Literal.substr(1, End - 1), Literal.substr(End + 1));
+    return Result<Split>::error("unterminated regex literal");
+  return Split{Literal.substr(1, End - 1), Literal.substr(End + 1)};
+}
+
+Result<Regex> Regex::parseLiteral(const std::string &Literal) {
+  auto Split = splitLiteral(Literal);
+  if (!Split)
+    return Result<Regex>::error(Split.error());
+  return parse(Split->first, Split->second);
 }
 
 std::string Regex::str() const {

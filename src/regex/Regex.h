@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace recap {
 
@@ -37,6 +38,12 @@ public:
 
   /// Parses a full literal like "/goo+d/i".
   static Result<Regex> parseLiteral(const std::string &Literal);
+
+  /// Splits a "/pattern/flags" literal into its pattern and flag strings
+  /// without parsing either. Shared by parseLiteral and the runtime's
+  /// interning so the two can never disagree on literal boundaries.
+  static Result<std::pair<std::string, std::string>>
+  splitLiteral(const std::string &Literal);
 
   const UString &pattern() const { return Pattern; }
   const RegexFlags &flags() const { return Flags; }

@@ -1,0 +1,101 @@
+//===- runtime/CompiledRegex.cpp - Compile-once regex artifact -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompiledRegex.h"
+
+using namespace recap;
+
+namespace {
+
+/// Variable prefix reserved for cached model templates. \x01 cannot occur
+/// in caller-chosen prefixes (they derive from identifiers and counters),
+/// so renaming "<prefix>!..." template variables never captures a
+/// caller-named variable.
+const std::string TemplatePrefix = "\x01T";
+const std::string TemplateInputName = "\x01in";
+
+} // namespace
+
+CompiledRegex::CompiledRegex(Regex R, std::shared_ptr<RuntimeStats> Stats)
+    : R(std::move(R)), Stats(std::move(Stats)) {
+  if (!this->Stats)
+    this->Stats = std::make_shared<RuntimeStats>();
+}
+
+const RegexFeatures &CompiledRegex::features() {
+  if (Feats) {
+    ++Stats->FeatureHits;
+    return *Feats;
+  }
+  ++Stats->FeatureComputes;
+  Feats = analyzeFeatures(R);
+  return *Feats;
+}
+
+const std::map<const BackreferenceNode *, BackrefType> &
+CompiledRegex::backrefTypes() {
+  if (BrTypes) {
+    ++Stats->BackrefHits;
+    return *BrTypes;
+  }
+  ++Stats->BackrefComputes;
+  BrTypes = classifyBackreferences(R);
+  return *BrTypes;
+}
+
+const RegularApprox &CompiledRegex::classicalApprox() {
+  if (Approx) {
+    ++Stats->ApproxHits;
+    return *Approx;
+  }
+  ++Stats->ApproxComputes;
+  ApproxOptions AOpts;
+  AOpts.IgnoreCase = R.flags().IgnoreCase;
+  AOpts.Unicode = R.flags().Unicode;
+  Approx = approximateRegularEx(R.root(), R, AOpts);
+  return *Approx;
+}
+
+std::shared_ptr<const Automaton> CompiledRegex::automaton(size_t StateLimit) {
+  if (DfaDone) {
+    ++Stats->AutomatonHits;
+    return Dfa;
+  }
+  ++Stats->AutomatonComputes;
+  DfaDone = true;
+  Result<Automaton> A = Automaton::compile(classicalApprox().Re, StateLimit);
+  if (A)
+    Dfa = std::make_shared<const Automaton>(A.take());
+  return Dfa;
+}
+
+std::shared_ptr<const Matcher> CompiledRegex::sharedMatcher() {
+  if (M) {
+    ++Stats->MatcherHits;
+    return M;
+  }
+  ++Stats->MatcherComputes;
+  M = std::make_shared<const Matcher>(R);
+  return M;
+}
+
+SymbolicMatch CompiledRegex::instantiate(TermRef Input,
+                                         const std::string &VarPrefix,
+                                         const ModelOptions &Opts) {
+  auto It = Templates.find(modelKey(Opts));
+  if (It == Templates.end()) {
+    ++Stats->TemplateComputes;
+    Template T;
+    T.Input = mkStrVar(TemplateInputName);
+    T.Match = ModelBuilder(R, TemplatePrefix, Opts).build(T.Input);
+    It = Templates.emplace(modelKey(Opts), std::move(T)).first;
+  } else {
+    ++Stats->TemplateHits;
+  }
+  return instantiateSymbolicMatch(It->second.Match, TemplatePrefix,
+                                  VarPrefix, It->second.Input,
+                                  std::move(Input));
+}

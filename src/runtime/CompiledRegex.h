@@ -1,0 +1,196 @@
+//===- runtime/CompiledRegex.h - Compile-once regex artifact ----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CompiledRegex owns the full per-pattern compilation pipeline
+///
+///   parse -> feature analysis -> classical approximation / Automaton
+///         -> concrete Matcher -> SymbolicMatch template
+///
+/// with each stage built lazily on first use and memoized for the lifetime
+/// of the object (cf. the compile-once/reuse `Reprog` pattern of real JS
+/// engines). Every consumer layer — the concrete matcher oracle, the
+/// symbolic RegExp model, the DSE interpreter, the survey — shares one
+/// CompiledRegex per distinct (pattern, flags) pair instead of re-running
+/// the pipeline per call site. Interning lives in RegexRuntime; a
+/// CompiledRegex can also be constructed standalone from a parsed Regex.
+///
+/// Stage results are shared_ptr/shared-structure artifacts: handing them
+/// out does not copy, and downstream per-pointer caches (TermEvaluator's
+/// automaton cache, Z3Backend's translation memo) hit across queries
+/// because instantiated models reuse the template's CRegexRef payloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RUNTIME_COMPILEDREGEX_H
+#define RECAP_RUNTIME_COMPILEDREGEX_H
+
+#include "matcher/Matcher.h"
+#include "model/Approx.h"
+#include "model/ModelBuilder.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+
+namespace recap {
+
+/// Cache hit/miss/eviction counters for the shared compilation pipeline.
+/// One instance is shared by a RegexRuntime and every CompiledRegex it
+/// interns; a standalone CompiledRegex owns a private instance.
+struct RuntimeStats {
+  // Interning (RegexRuntime::get/literal/intern).
+  uint64_t InternHits = 0;
+  uint64_t InternMisses = 0;
+  uint64_t InternEvictions = 0;
+  /// Parse failures, and repeated failures served from the error cache.
+  uint64_t ParseErrors = 0;
+  uint64_t ErrorHits = 0;
+
+  // Per-stage lazy pipeline counters (Computes = cold builds, Hits =
+  // memoized reuses).
+  uint64_t FeatureComputes = 0;
+  uint64_t FeatureHits = 0;
+  uint64_t BackrefComputes = 0;
+  uint64_t BackrefHits = 0;
+  uint64_t ApproxComputes = 0;
+  uint64_t ApproxHits = 0;
+  uint64_t AutomatonComputes = 0;
+  uint64_t AutomatonHits = 0;
+  uint64_t MatcherComputes = 0;
+  uint64_t MatcherHits = 0;
+  uint64_t TemplateComputes = 0;
+  uint64_t TemplateHits = 0;
+
+  uint64_t hits() const {
+    return InternHits + FeatureHits + BackrefHits + ApproxHits +
+           AutomatonHits + MatcherHits + TemplateHits;
+  }
+  uint64_t misses() const {
+    return InternMisses + FeatureComputes + BackrefComputes +
+           ApproxComputes + AutomatonComputes + MatcherComputes +
+           TemplateComputes;
+  }
+
+  /// Counter-wise difference: this snapshot minus the earlier \p O. Use
+  /// to report one run's window over a shared (cumulative) stats block.
+  RuntimeStats since(const RuntimeStats &O) const {
+    RuntimeStats D;
+    D.InternHits = InternHits - O.InternHits;
+    D.InternMisses = InternMisses - O.InternMisses;
+    D.InternEvictions = InternEvictions - O.InternEvictions;
+    D.ParseErrors = ParseErrors - O.ParseErrors;
+    D.ErrorHits = ErrorHits - O.ErrorHits;
+    D.FeatureComputes = FeatureComputes - O.FeatureComputes;
+    D.FeatureHits = FeatureHits - O.FeatureHits;
+    D.BackrefComputes = BackrefComputes - O.BackrefComputes;
+    D.BackrefHits = BackrefHits - O.BackrefHits;
+    D.ApproxComputes = ApproxComputes - O.ApproxComputes;
+    D.ApproxHits = ApproxHits - O.ApproxHits;
+    D.AutomatonComputes = AutomatonComputes - O.AutomatonComputes;
+    D.AutomatonHits = AutomatonHits - O.AutomatonHits;
+    D.MatcherComputes = MatcherComputes - O.MatcherComputes;
+    D.MatcherHits = MatcherHits - O.MatcherHits;
+    D.TemplateComputes = TemplateComputes - O.TemplateComputes;
+    D.TemplateHits = TemplateHits - O.TemplateHits;
+    return D;
+  }
+
+  void merge(const RuntimeStats &O) {
+    InternHits += O.InternHits;
+    InternMisses += O.InternMisses;
+    InternEvictions += O.InternEvictions;
+    ParseErrors += O.ParseErrors;
+    ErrorHits += O.ErrorHits;
+    FeatureComputes += O.FeatureComputes;
+    FeatureHits += O.FeatureHits;
+    BackrefComputes += O.BackrefComputes;
+    BackrefHits += O.BackrefHits;
+    ApproxComputes += O.ApproxComputes;
+    ApproxHits += O.ApproxHits;
+    AutomatonComputes += O.AutomatonComputes;
+    AutomatonHits += O.AutomatonHits;
+    MatcherComputes += O.MatcherComputes;
+    MatcherHits += O.MatcherHits;
+    TemplateComputes += O.TemplateComputes;
+    TemplateHits += O.TemplateHits;
+  }
+};
+
+/// One compiled (pattern, flags) pair. Not thread-safe: a runtime (and its
+/// compiled regexes) belongs to one execution; see DESIGN.md for the
+/// sharding direction.
+class CompiledRegex {
+public:
+  /// Wraps an already-parsed regex. \p Stats may be shared with an owning
+  /// runtime; when null a private stats block is created.
+  explicit CompiledRegex(Regex R,
+                         std::shared_ptr<RuntimeStats> Stats = nullptr);
+
+  const Regex &regex() const { return R; }
+  const UString &pattern() const { return R.pattern(); }
+  const RegexFlags &flags() const { return R.flags(); }
+  /// Canonical "/pattern/flags" source form (the interning key).
+  std::string source() const { return R.str(); }
+
+  /// Feature analysis (Tables 4/5 counters), computed once.
+  const RegexFeatures &features();
+
+  /// Definition-2 backreference classification, computed once.
+  const std::map<const BackreferenceNode *, BackrefType> &backrefTypes();
+
+  /// The paper's t̂: classical regular overapproximation of the whole
+  /// pattern (exactness flag included), computed once.
+  const RegularApprox &classicalApprox();
+
+  /// DFA for classicalApprox(), or null when subset construction exceeds
+  /// \p StateLimit. Compiled once (the first call's limit applies).
+  std::shared_ptr<const Automaton> automaton(size_t StateLimit = 100000);
+
+  /// The shared concrete matcher (default step budget), built once. Safe
+  /// to share between RegExpObjects: Matcher is stateless.
+  std::shared_ptr<const Matcher> sharedMatcher();
+
+  /// Instantiates the memoized SymbolicMatch template for \p Opts with
+  /// fresh \p VarPrefix-prefixed variables over \p Input. The first call
+  /// per distinct ModelOptions runs the model generator; later calls
+  /// rename the cached template (identical result, no re-analysis).
+  SymbolicMatch instantiate(TermRef Input, const std::string &VarPrefix,
+                            const ModelOptions &Opts = {});
+
+  const RuntimeStats &stats() const { return *Stats; }
+  const std::shared_ptr<RuntimeStats> &statsHandle() const { return Stats; }
+
+private:
+  /// ModelOptions projected onto a comparable key.
+  using ModelKey = std::tuple<size_t, size_t, bool, bool, bool, bool>;
+  static ModelKey modelKey(const ModelOptions &O) {
+    return {O.RepetitionUnrollLimit, O.BackrefQuantifierUnroll,
+            O.PaperMutableBackrefRule, O.ModelCaptures,
+            O.EmitLengthEquations, O.FoldLiteralChars};
+  }
+
+  struct Template {
+    SymbolicMatch Match;
+    TermRef Input; ///< the placeholder the template was built over
+  };
+
+  Regex R;
+  std::shared_ptr<RuntimeStats> Stats;
+
+  std::optional<RegexFeatures> Feats;
+  std::optional<std::map<const BackreferenceNode *, BackrefType>> BrTypes;
+  std::optional<RegularApprox> Approx;
+  std::shared_ptr<const Automaton> Dfa;
+  bool DfaDone = false;
+  std::shared_ptr<const Matcher> M;
+  std::map<ModelKey, Template> Templates;
+};
+
+} // namespace recap
+
+#endif // RECAP_RUNTIME_COMPILEDREGEX_H

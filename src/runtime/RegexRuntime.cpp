@@ -1,0 +1,106 @@
+//===- runtime/RegexRuntime.cpp - Interned compiled-regex cache ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RegexRuntime.h"
+
+using namespace recap;
+
+RegexRuntime::RegexRuntime(RuntimeOptions Opts)
+    : Opts(Opts), Stats(std::make_shared<RuntimeStats>()),
+      Entries(Opts.Capacity) {}
+
+std::string RegexRuntime::makeKey(const UString &Pattern,
+                                  const RegexFlags &Flags) {
+  // '\n' cannot occur in a flag string, so the key is unambiguous.
+  return Flags.str() + "\n" + toUTF8(Pattern);
+}
+
+std::shared_ptr<CompiledRegex> *RegexRuntime::lookup(const std::string &Key) {
+  std::shared_ptr<CompiledRegex> *C = Entries.find(Key);
+  if (C)
+    ++Stats->InternHits;
+  return C;
+}
+
+std::shared_ptr<CompiledRegex> RegexRuntime::insert(std::string Key,
+                                                    Regex R) {
+  ++Stats->InternMisses;
+  auto C = std::make_shared<CompiledRegex>(std::move(R), Stats);
+  if (Entries.insert(std::move(Key), C))
+    ++Stats->InternEvictions;
+  return C;
+}
+
+void RegexRuntime::rememberError(const std::string &Key,
+                                 const std::string &Message) {
+  ++Stats->ParseErrors;
+  if (!Opts.CacheParseErrors)
+    return;
+  if (Errors.size() >= Opts.ErrorCapacity)
+    Errors.clear();
+  Errors.emplace(Key, Message);
+}
+
+Result<std::shared_ptr<CompiledRegex>>
+RegexRuntime::get(const UString &Pattern, RegexFlags Flags) {
+  std::string Key = makeKey(Pattern, Flags);
+  if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
+    return *C;
+  auto ErrIt = Errors.find(Key);
+  if (ErrIt != Errors.end()) {
+    ++Stats->ErrorHits;
+    return Result<std::shared_ptr<CompiledRegex>>::error(ErrIt->second);
+  }
+  Result<Regex> R = Regex::parse(Pattern, Flags);
+  if (!R) {
+    rememberError(Key, R.error());
+    return Result<std::shared_ptr<CompiledRegex>>::error(R.error());
+  }
+  return insert(std::move(Key), R.take());
+}
+
+Result<std::shared_ptr<CompiledRegex>>
+RegexRuntime::get(const std::string &Pattern, const std::string &Flags) {
+  RegexFlags F;
+  if (!F.parse(Flags)) {
+    // Negatively cached like pattern errors. The '\x01F' prefix cannot
+    // collide with pattern keys (those start with canonical flags), and
+    // the raw flag string is length-prefixed since it may contain '\n'.
+    std::string Key = std::string("\x01F") + std::to_string(Flags.size()) +
+                      ":" + Flags + "\n" + Pattern;
+    auto It = Errors.find(Key);
+    if (It != Errors.end()) {
+      ++Stats->ErrorHits;
+      return Result<std::shared_ptr<CompiledRegex>>::error(It->second);
+    }
+    std::string Msg = "invalid regular expression flags '" + Flags + "'";
+    rememberError(Key, Msg);
+    return Result<std::shared_ptr<CompiledRegex>>::error(Msg);
+  }
+  return get(fromUTF8(Pattern), F);
+}
+
+Result<std::shared_ptr<CompiledRegex>>
+RegexRuntime::literal(const std::string &Literal) {
+  // The parser's own splitter yields the interning key without running
+  // the full parse.
+  auto Split = Regex::splitLiteral(Literal);
+  if (!Split)
+    return Result<std::shared_ptr<CompiledRegex>>::error(Split.error());
+  return get(Split->first, Split->second);
+}
+
+std::shared_ptr<CompiledRegex> RegexRuntime::intern(Regex R) {
+  std::string Key = makeKey(R.pattern(), R.flags());
+  if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
+    return *C;
+  return insert(std::move(Key), std::move(R));
+}
+
+void RegexRuntime::clear() {
+  Entries.clear();
+  Errors.clear();
+}

@@ -1,0 +1,84 @@
+//===- runtime/RegexRuntime.h - Interned compiled-regex cache ---*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RegexRuntime interns (pattern, flags) pairs: the first request parses
+/// and wraps the pattern in a CompiledRegex, every later request for the
+/// same pair returns the *same* shared artifact, so the lazy pipeline
+/// stages (features, approximation, automaton, matcher, model template)
+/// are computed at most once per distinct pattern per runtime. A bounded
+/// LRU policy caps memory for corpus-scale workloads; parse failures are
+/// negatively cached so malformed literals (common in survey corpora) are
+/// rejected without re-parsing.
+///
+/// One runtime is threaded through an execution (DSE engine run, survey
+/// aggregation, bench loop); independent executions can share a runtime to
+/// share compilation work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RUNTIME_REGEXRUNTIME_H
+#define RECAP_RUNTIME_REGEXRUNTIME_H
+
+#include "runtime/CompiledRegex.h"
+#include "support/LruMap.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace recap {
+
+struct RuntimeOptions {
+  /// Maximum interned patterns; least-recently-used entries are evicted
+  /// beyond it. 0 = unbounded.
+  size_t Capacity = 1024;
+  /// Remember parse errors so repeated bad inputs skip the parser.
+  bool CacheParseErrors = true;
+  /// Bound for the negative cache (cleared wholesale when exceeded).
+  size_t ErrorCapacity = 4096;
+};
+
+class RegexRuntime {
+public:
+  explicit RegexRuntime(RuntimeOptions Opts = {});
+
+  /// Interned lookup; parses on first sight of the (pattern, flags) pair.
+  Result<std::shared_ptr<CompiledRegex>> get(const UString &Pattern,
+                                             RegexFlags Flags = {});
+  /// UTF-8 pattern plus flag string, e.g. get("goo+d", "iy").
+  Result<std::shared_ptr<CompiledRegex>> get(const std::string &Pattern,
+                                             const std::string &Flags = "");
+  /// Full literal like "/goo+d/i".
+  Result<std::shared_ptr<CompiledRegex>> literal(const std::string &Literal);
+
+  /// Interns an already-parsed regex (no parser involvement). Returns the
+  /// existing entry when the (pattern, flags) pair is already present.
+  std::shared_ptr<CompiledRegex> intern(Regex R);
+
+  const RuntimeStats &stats() const { return *Stats; }
+  void resetStats() { *Stats = RuntimeStats(); }
+
+  /// Interned entry count.
+  size_t size() const { return Entries.size(); }
+  /// Drops every interned entry and negative-cache entry (stats survive).
+  void clear();
+
+private:
+  static std::string makeKey(const UString &Pattern,
+                             const RegexFlags &Flags);
+  std::shared_ptr<CompiledRegex> *lookup(const std::string &Key);
+  std::shared_ptr<CompiledRegex> insert(std::string Key, Regex R);
+  void rememberError(const std::string &Key, const std::string &Message);
+
+  RuntimeOptions Opts;
+  std::shared_ptr<RuntimeStats> Stats;
+  LruMap<std::shared_ptr<CompiledRegex>> Entries;
+  std::unordered_map<std::string, std::string> Errors;
+};
+
+} // namespace recap
+
+#endif // RECAP_RUNTIME_REGEXRUNTIME_H

@@ -7,6 +7,7 @@
 #include "smt/Term.h"
 
 #include <cassert>
+#include <cstdio>
 #include <functional>
 
 using namespace recap;
@@ -220,6 +221,165 @@ TermRef recap::mkStrLen(TermRef S) {
   auto T = std::make_shared<Term>(TermKind::StrLen, SortKind::Int);
   T->Kids.push_back(std::move(S));
   return T;
+}
+
+namespace {
+
+/// Injective serialization of a classical regex for cache keys. CRegex's
+/// str() is a debug rendering whose class syntax is ambiguous (e.g. the
+/// set {+,-,/} and the range +../ both print "[+-/]"); here classes are
+/// serialized as their canonical interval lists (sorted, disjoint,
+/// non-adjacent), so distinct languages cannot collide.
+void renderCRegexKey(const CRegex &R, std::string &S) {
+  switch (R.K) {
+  case CRegex::Kind::Empty:
+    S += 'E';
+    return;
+  case CRegex::Kind::Epsilon:
+    S += 'e';
+    return;
+  case CRegex::Kind::Class: {
+    S += 'C';
+    for (const CharSet::Interval &I : R.Cls.intervals()) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "%x-%x,", I.Lo, I.Hi);
+      S += Buf;
+    }
+    S += ';';
+    return;
+  }
+  case CRegex::Kind::Concat:
+    S += '&';
+    break;
+  case CRegex::Kind::Union:
+    S += '|';
+    break;
+  case CRegex::Kind::Star:
+    S += '*';
+    break;
+  case CRegex::Kind::Intersect:
+    S += '^';
+    break;
+  case CRegex::Kind::Complement:
+    S += '!';
+    break;
+  }
+  S += '(';
+  for (const CRegexRef &K : R.Kids)
+    renderCRegexKey(*K, S);
+  S += ')';
+}
+
+} // namespace
+
+std::string recap::canonicalTermKey(const std::vector<TermRef> &Terms,
+                                    std::vector<std::string> *VarOrder) {
+  std::map<std::string, size_t> VarIds;
+  std::map<const Term *, std::string> Memo;
+  std::map<const CRegex *, std::string> ReMemo;
+
+  std::function<const std::string &(const TermRef &)> Walk =
+      [&](const TermRef &T) -> const std::string & {
+    auto It = Memo.find(T.get());
+    if (It != Memo.end())
+      return It->second;
+    std::string S;
+    auto Nary = [&](const char *Op) {
+      S = std::string("(") + Op;
+      for (const TermRef &K : T->Kids) {
+        S += ' ';
+        S += Walk(K);
+      }
+      S += ')';
+    };
+    switch (T->Kind) {
+    case TermKind::BoolConst:
+      S = T->BoolVal ? "true" : "false";
+      break;
+    case TermKind::BoolVar:
+    case TermKind::StrVar:
+    case TermKind::IntVar: {
+      auto [VIt, New] = VarIds.emplace(T->Name, VarIds.size());
+      if (New && VarOrder)
+        VarOrder->push_back(T->Name);
+      char SortC = T->Kind == TermKind::BoolVar  ? 'b'
+                   : T->Kind == TermKind::StrVar ? 's'
+                                                 : 'i';
+      S = '?';
+      S += SortC;
+      S += std::to_string(VIt->second);
+      break;
+    }
+    case TermKind::StrConst:
+      // Unambiguous rendering: escape() leaves '"' raw, which would let a
+      // constant's content mimic token boundaries; hex-escape both quote
+      // and backslash so the quoted segment is self-delimiting.
+      S = '"';
+      for (CodePoint C : T->StrVal) {
+        if (C >= 0x20 && C < 0x7F && C != '"' && C != '\\') {
+          S += static_cast<char>(C);
+        } else {
+          char Buf[16];
+          std::snprintf(Buf, sizeof(Buf), "\\x%X;",
+                        static_cast<unsigned>(C));
+          S += Buf;
+        }
+      }
+      S += '"';
+      break;
+    case TermKind::IntConst:
+      S = std::to_string(T->IntVal);
+      break;
+    case TermKind::InRe: {
+      auto RIt = ReMemo.find(T->Re.get());
+      if (RIt == ReMemo.end()) {
+        std::string Re;
+        renderCRegexKey(*T->Re, Re);
+        RIt = ReMemo.emplace(T->Re.get(), std::move(Re)).first;
+      }
+      S = "(in_re " + Walk(T->Kids[0]) + ' ' + RIt->second + ')';
+      break;
+    }
+    case TermKind::Not:
+      Nary("not");
+      break;
+    case TermKind::And:
+      Nary("and");
+      break;
+    case TermKind::Or:
+      Nary("or");
+      break;
+    case TermKind::Implies:
+      Nary("=>");
+      break;
+    case TermKind::Eq:
+      Nary("=");
+      break;
+    case TermKind::Le:
+      Nary("<=");
+      break;
+    case TermKind::Lt:
+      Nary("<");
+      break;
+    case TermKind::Concat:
+      Nary("++");
+      break;
+    case TermKind::Add:
+      Nary("+");
+      break;
+    case TermKind::StrLen:
+      Nary("len");
+      break;
+    }
+    return Memo.emplace(T.get(), std::move(S)).first->second;
+  };
+
+  std::string Out;
+  for (const TermRef &T : Terms) {
+    Out += Walk(T);
+    Out += ';';
+  }
+  return Out;
 }
 
 VarSet recap::collectVars(const std::vector<TermRef> &Terms) {

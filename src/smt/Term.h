@@ -109,6 +109,17 @@ TermRef mkLe(TermRef A, TermRef B);
 TermRef mkLt(TermRef A, TermRef B);
 TermRef mkStrLen(TermRef S);
 
+/// Renders \p Terms into a canonical string that is invariant under
+/// variable renaming (α-equivalence): every variable is printed as
+/// "?<sort><index>" where the index is its first-occurrence position.
+/// When \p VarOrder is non-null it receives the actual variable names in
+/// that same order, so two α-equivalent term lists yield the same key and
+/// a positional bijection between their variables. Rendering is memoized
+/// per shared subterm and per classical-regex payload, so DAG-shaped
+/// constraints render in time linear in their distinct nodes.
+std::string canonicalTermKey(const std::vector<TermRef> &Terms,
+                             std::vector<std::string> *VarOrder = nullptr);
+
 /// Collects all variables (by name) per sort, in first-occurrence order.
 struct VarSet {
   std::vector<std::string> Bools;

@@ -1,0 +1,77 @@
+//===- support/LruMap.h - String-keyed LRU cache ----------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small bounded map with least-recently-used eviction, shared by the
+/// runtime's pattern interning and the CEGAR query-result cache. Keys are
+/// stored once (the recency list points into the map's nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SUPPORT_LRUMAP_H
+#define RECAP_SUPPORT_LRUMAP_H
+
+#include <cassert>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace recap {
+
+template <typename V> class LruMap {
+public:
+  /// \p Capacity 0 = unbounded.
+  explicit LruMap(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  /// Value for \p Key or null; a hit refreshes the entry's recency.
+  V *find(const std::string &Key) {
+    auto It = Map.find(Key);
+    if (It == Map.end())
+      return nullptr;
+    if (It->second.LruIt != Lru.begin())
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return &It->second.Value;
+  }
+
+  /// Inserts a new entry (\p Key must not be present). Returns true when
+  /// the insertion evicted the least-recently-used entry.
+  bool insert(std::string Key, V Val) {
+    auto [It, New] =
+        Map.emplace(std::move(Key), Entry{std::move(Val), Lru.end()});
+    assert(New && "LruMap::insert on an existing key");
+    Lru.push_front(&It->first);
+    It->second.LruIt = Lru.begin();
+    if (Capacity != 0 && Map.size() > Capacity) {
+      std::string Victim = *Lru.back(); // copy: the node dies in erase
+      Lru.pop_back();
+      Map.erase(Victim);
+      return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return Map.size(); }
+
+  void clear() {
+    Map.clear();
+    Lru.clear();
+  }
+
+private:
+  struct Entry {
+    V Value;
+    typename std::list<const std::string *>::iterator LruIt;
+  };
+
+  size_t Capacity;
+  std::unordered_map<std::string, Entry> Map;
+  std::list<const std::string *> Lru; ///< front = most recently used
+};
+
+} // namespace recap
+
+#endif // RECAP_SUPPORT_LRUMAP_H

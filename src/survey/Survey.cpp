@@ -143,12 +143,8 @@ std::vector<std::string> recap::surveyExtensionFeatureNames() {
   return {"DotAll Flag", "Named Groups", "Lookbehinds", "Named BRefs"};
 }
 
-void Survey::countRegex(const std::string &Literal, bool FirstSeen) {
-  Result<Regex> R = Regex::parseLiteral(Literal);
-  if (!R)
-    return;
-  RegexFeatures F = analyzeFeatures(*R);
-  const RegexFlags &Flags = R->flags();
+void Survey::countRegex(const RegexFeatures &F, const RegexFlags &Flags,
+                        bool FirstSeen) {
 
   auto Bump = [&](const std::string &Name, bool Present) {
     if (!Present)
@@ -194,11 +190,11 @@ void Survey::addPackage(const std::vector<std::string> &JsFiles) {
        HasQBackrefs = false;
   for (const std::string &File : JsFiles) {
     for (const std::string &Lit : extractRegexLiterals(File)) {
-      Result<Regex> R = Regex::parseLiteral(Lit);
-      if (!R)
+      Result<std::shared_ptr<CompiledRegex>> C = Runtime->literal(Lit);
+      if (!C)
         continue;
       HasRegex = true;
-      RegexFeatures F = analyzeFeatures(*R);
+      const RegexFeatures &F = (*C)->features();
       HasCaptures |= F.CaptureGroups > 0;
       HasBackrefs |= F.Backreferences > 0;
       HasQBackrefs |= F.QuantifiedBackreferences > 0;
@@ -207,7 +203,7 @@ void Survey::addPackage(const std::vector<std::string> &JsFiles) {
       bool FirstSeen = Seen.insert(Lit).second;
       if (FirstSeen)
         ++UniqueRegexes;
-      countRegex(Lit, FirstSeen);
+      countRegex(F, (*C)->flags(), FirstSeen);
     }
   }
   WithRegex += HasRegex;

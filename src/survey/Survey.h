@@ -18,8 +18,10 @@
 #define RECAP_SURVEY_SURVEY_H
 
 #include "regex/Features.h"
+#include "runtime/RegexRuntime.h"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,12 +40,22 @@ std::vector<std::string> surveyFeatureNames();
 /// the paper.
 std::vector<std::string> surveyExtensionFeatureNames();
 
-/// Streaming aggregation over packages.
+/// Streaming aggregation over packages. Regex parsing and feature
+/// analysis go through one RegexRuntime: a corpus regex is parsed and
+/// analyzed once no matter how many packages or occurrences repeat it
+/// (and malformed literals are rejected from the negative cache).
 class Survey {
 public:
+  /// Uses a private runtime when \p RT is null; pass one to share
+  /// compilation with other phases (e.g. a DSE run over the same corpus).
+  explicit Survey(std::shared_ptr<RegexRuntime> RT = nullptr)
+      : Runtime(RT ? std::move(RT) : std::make_shared<RegexRuntime>()) {}
+
   /// Adds one package given the contents of its JavaScript files (empty
   /// vector = package without source files).
   void addPackage(const std::vector<std::string> &JsFiles);
+
+  const RegexRuntime &runtime() const { return *Runtime; }
 
   // Table 4 rows.
   uint64_t Packages = 0;
@@ -65,7 +77,9 @@ public:
   std::map<std::string, FeatureCount> Features;
 
 private:
-  void countRegex(const std::string &Literal, bool FirstSeen);
+  void countRegex(const RegexFeatures &F, const RegexFlags &Flags,
+                  bool FirstSeen);
+  std::shared_ptr<RegexRuntime> Runtime;
   std::set<std::string> Seen;
 };
 

@@ -1,0 +1,434 @@
+//===- tests/runtime_cache_test.cpp - Compiled-regex runtime caching -------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage for the src/runtime subsystem and the CEGAR query-result cache:
+// interning identity, pipeline-stage memoization, template instantiation
+// equivalence/freshness, and cache correctness under refinement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "runtime/RegexRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+using namespace recap;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+TEST(RegexRuntime, InterningIdentity) {
+  RegexRuntime RT;
+  auto A = RT.get("(a+)b", "i");
+  auto B = RT.get("(a+)b", "i");
+  ASSERT_TRUE(bool(A));
+  ASSERT_TRUE(bool(B));
+  EXPECT_EQ(A->get(), B->get()) << "same pattern+flags must intern";
+  EXPECT_EQ(RT.stats().InternMisses, 1u);
+  EXPECT_EQ(RT.stats().InternHits, 1u);
+  EXPECT_EQ(RT.size(), 1u);
+}
+
+TEST(RegexRuntime, DistinctFlagsNotConflated) {
+  RegexRuntime RT;
+  auto A = RT.get("a+", "");
+  auto B = RT.get("a+", "i");
+  auto C = RT.get("a+", "gi");
+  ASSERT_TRUE(bool(A) && bool(B) && bool(C));
+  EXPECT_NE(A->get(), B->get());
+  EXPECT_NE(B->get(), C->get());
+  EXPECT_EQ(RT.size(), 3u);
+  EXPECT_TRUE((*B)->flags().IgnoreCase);
+  EXPECT_FALSE((*B)->flags().Global);
+}
+
+TEST(RegexRuntime, DistinctPatternsNotConflated) {
+  RegexRuntime RT;
+  auto A = RT.get("a+", "");
+  auto B = RT.get("a*", "");
+  ASSERT_TRUE(bool(A) && bool(B));
+  EXPECT_NE(A->get(), B->get());
+}
+
+TEST(RegexRuntime, LiteralSharesEntryWithGet) {
+  RegexRuntime RT;
+  auto A = RT.literal("/go+d/i");
+  auto B = RT.get("go+d", "i");
+  ASSERT_TRUE(bool(A) && bool(B));
+  EXPECT_EQ(A->get(), B->get());
+  EXPECT_EQ(RT.stats().InternHits, 1u);
+}
+
+TEST(RegexRuntime, InternParsedRegex) {
+  RegexRuntime RT;
+  auto First = RT.get("x(y)z", "m");
+  ASSERT_TRUE(bool(First));
+  auto R = Regex::parse("x(y)z", "m");
+  ASSERT_TRUE(bool(R));
+  std::shared_ptr<CompiledRegex> Again = RT.intern(R.take());
+  EXPECT_EQ(Again.get(), First->get());
+}
+
+TEST(RegexRuntime, ParseErrorsNegativelyCached) {
+  RegexRuntime RT;
+  auto A = RT.get("(a", "");
+  auto B = RT.get("(a", "");
+  EXPECT_FALSE(bool(A));
+  EXPECT_FALSE(bool(B));
+  EXPECT_EQ(A.error(), B.error());
+  EXPECT_EQ(RT.stats().ParseErrors, 1u) << "second failure from cache";
+  EXPECT_EQ(RT.stats().ErrorHits, 1u);
+}
+
+TEST(RegexRuntime, FlagErrorsNegativelyCached) {
+  RegexRuntime RT;
+  auto A = RT.get("a", "gg");
+  auto B = RT.get("a", "gg");
+  EXPECT_FALSE(bool(A));
+  EXPECT_FALSE(bool(B));
+  EXPECT_EQ(A.error(), B.error());
+  EXPECT_EQ(RT.stats().ParseErrors, 1u);
+  EXPECT_EQ(RT.stats().ErrorHits, 1u);
+  // The same pattern under valid flags is unaffected.
+  EXPECT_TRUE(bool(RT.get("a", "g")));
+}
+
+TEST(RegexRuntime, LruEviction) {
+  RuntimeOptions Opts;
+  Opts.Capacity = 2;
+  RegexRuntime RT(Opts);
+  ASSERT_TRUE(bool(RT.get("a", "")));
+  ASSERT_TRUE(bool(RT.get("b", "")));
+  ASSERT_TRUE(bool(RT.get("a", ""))); // refresh "a"
+  ASSERT_TRUE(bool(RT.get("c", ""))); // evicts "b" (least recent)
+  EXPECT_EQ(RT.size(), 2u);
+  EXPECT_EQ(RT.stats().InternEvictions, 1u);
+  uint64_t Misses = RT.stats().InternMisses;
+  ASSERT_TRUE(bool(RT.get("b", ""))); // must re-parse; evicts "a"
+  EXPECT_EQ(RT.stats().InternMisses, Misses + 1);
+  EXPECT_EQ(RT.stats().InternEvictions, 2u);
+  uint64_t Hits = RT.stats().InternHits;
+  ASSERT_TRUE(bool(RT.get("c", ""))); // still interned
+  EXPECT_EQ(RT.stats().InternHits, Hits + 1);
+  EXPECT_EQ(RT.stats().InternMisses, Misses + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline stage memoization
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledRegex, StagesComputeOnce) {
+  RegexRuntime RT;
+  auto C = RT.get("(ab)+c[d-f]", "");
+  ASSERT_TRUE(bool(C));
+
+  const RegexFeatures &F1 = (*C)->features();
+  const RegexFeatures &F2 = (*C)->features();
+  EXPECT_EQ(&F1, &F2);
+  EXPECT_EQ(RT.stats().FeatureComputes, 1u);
+  EXPECT_EQ(RT.stats().FeatureHits, 1u);
+  EXPECT_EQ(F1.CaptureGroups, 1u);
+
+  auto A1 = (*C)->automaton();
+  auto A2 = (*C)->automaton();
+  ASSERT_TRUE(A1 != nullptr);
+  EXPECT_EQ(A1.get(), A2.get());
+  EXPECT_EQ(RT.stats().AutomatonComputes, 1u);
+  EXPECT_EQ(RT.stats().AutomatonHits, 1u);
+  EXPECT_TRUE(A1->accepts(fromUTF8("ababce")));
+
+  auto M1 = (*C)->sharedMatcher();
+  auto M2 = (*C)->sharedMatcher();
+  EXPECT_EQ(M1.get(), M2.get());
+
+  // The approximation behind the automaton was computed exactly once.
+  EXPECT_EQ(RT.stats().ApproxComputes, 1u);
+}
+
+TEST(CompiledRegex, RegExpObjectsShareMatcher) {
+  RegexRuntime RT;
+  auto C = RT.get("go+d", "g");
+  ASSERT_TRUE(bool(C));
+  RegExpObject O1(*C);
+  RegExpObject O2(*C);
+  EXPECT_EQ(&O1.matcher(), &O2.matcher());
+  EXPECT_EQ(&O1.regex(), &O2.regex());
+  // lastIndex state stays per-object.
+  UString In = fromUTF8("good good");
+  ASSERT_TRUE(O1.test(In));
+  EXPECT_GT(O1.LastIndex, 0);
+  EXPECT_EQ(O2.LastIndex, 0);
+  // A custom step budget gets a private matcher.
+  RegExpObject O3(*C, /*StepBudget=*/1000);
+  EXPECT_NE(&O3.matcher(), &O1.matcher());
+}
+
+//===----------------------------------------------------------------------===//
+// Template instantiation
+//===----------------------------------------------------------------------===//
+
+/// Renders the parts of a symbolic match that determine solver behavior.
+std::string renderMatch(const SymbolicMatch &M) {
+  std::string S = M.MatchConstraint->str() + "|" + M.Decoration->str() +
+                  "|" + M.MatchStart->str() + "|" + M.C0.Value->str() +
+                  "|" + M.NoMatchConstraint->str();
+  for (const CaptureVar &C : M.Captures)
+    S += "|" + C.Defined->str() + ":" + C.Value->str();
+  return S;
+}
+
+TEST(CompiledRegex, TemplateInstantiationMatchesDirectBuild) {
+  // Patterns covering captures, quantifiers, backreferences, lookarounds,
+  // anchors, word boundaries and the i flag — instantiation must
+  // reproduce the from-scratch model bit for bit (deterministic fresh
+  // names), since downstream CEGAR validation depends on the exact terms.
+  const std::pair<const char *, const char *> Cases[] = {
+      {"(a+)(b*)c", ""},    {"^a*(a)?$", ""},
+      {"^(a+)\\1$", ""},    {"(?=ab)(a|b)+", ""},
+      {"\\bword\\b", "m"},  {"(x|y)z{2,4}", "i"},
+      {"(?<q>['\"]).*?\\k<q>", ""},
+  };
+  for (auto [Pattern, Flags] : Cases) {
+    auto R = Regex::parse(Pattern, Flags);
+    ASSERT_TRUE(bool(R)) << Pattern;
+    CompiledRegex C(R->clone());
+    TermRef Input = mkStrVar("in");
+    SymbolicMatch Direct = ModelBuilder(*R, "p#0").build(Input);
+    SymbolicMatch Cold = C.instantiate(Input, "p#0"); // builds template
+    SymbolicMatch Warm = C.instantiate(Input, "p#0"); // from cache
+    EXPECT_EQ(renderMatch(Direct), renderMatch(Cold)) << Pattern;
+    EXPECT_EQ(renderMatch(Direct), renderMatch(Warm)) << Pattern;
+    EXPECT_EQ(C.stats().TemplateComputes, 1u);
+    EXPECT_GE(C.stats().TemplateHits, 1u);
+  }
+}
+
+/// Collects the names of all variables in a term DAG.
+void collectNames(const TermRef &T, std::set<std::string> &Out) {
+  if (T->isVar())
+    Out.insert(T->Name);
+  for (const TermRef &K : T->Kids)
+    collectNames(K, Out);
+}
+
+TEST(CompiledRegex, FreshCaptureVariablesPerInstantiation) {
+  RegexRuntime RT;
+  auto C = RT.get("(a+)(b+)", "");
+  ASSERT_TRUE(bool(C));
+  SymbolicRegExp Sym(*C, "s");
+  TermRef Input = mkStrVar("in");
+  auto Q1 = Sym.exec(Input, mkIntConst(0));
+  auto Q2 = Sym.exec(Input, mkIntConst(0));
+
+  ASSERT_EQ(Q1->Model.Captures.size(), 2u);
+  ASSERT_EQ(Q2->Model.Captures.size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_NE(Q1->Model.Captures[I].Value->Name,
+              Q2->Model.Captures[I].Value->Name);
+    EXPECT_NE(Q1->Model.Captures[I].Defined->Name,
+              Q2->Model.Captures[I].Defined->Name);
+  }
+  // No variable of one instantiation leaks into the other (fresh capture
+  // and segment variables throughout), except the shared input.
+  std::set<std::string> N1, N2;
+  collectNames(Q1->Model.MatchConstraint, N1);
+  collectNames(Q2->Model.MatchConstraint, N2);
+  std::set<std::string> Shared;
+  for (const std::string &N : N1)
+    if (N2.count(N))
+      Shared.insert(N);
+  EXPECT_EQ(Shared, std::set<std::string>{"in"});
+}
+
+/// Collects the classical-regex payload pointers of InRe atoms.
+void collectRes(const TermRef &T, std::set<const CRegex *> &Out) {
+  if (T->Kind == TermKind::InRe)
+    Out.insert(T->Re.get());
+  for (const TermRef &K : T->Kids)
+    collectRes(K, Out);
+}
+
+TEST(CompiledRegex, InstantiationsShareClassicalPayloads) {
+  // Shared structure: the CRegexRef payloads of membership atoms must be
+  // the template's (per-pointer solver caches hit across queries).
+  CompiledRegex C(Regex::parse("(\\w+)-\\d+", "").take());
+  TermRef Input = mkStrVar("in");
+  SymbolicMatch M1 = C.instantiate(Input, "a#0");
+  SymbolicMatch M2 = C.instantiate(Input, "b#0");
+  std::set<const CRegex *> R1, R2;
+  collectRes(M1.MatchConstraint, R1);
+  collectRes(M1.Decoration, R1);
+  collectRes(M2.MatchConstraint, R2);
+  collectRes(M2.Decoration, R2);
+  ASSERT_FALSE(R1.empty());
+  EXPECT_EQ(R1, R2);
+}
+
+TEST(CompiledRegex, TemplatesKeyedByModelOptions) {
+  CompiledRegex C(Regex::parse("(a)\\1", "").take());
+  TermRef Input = mkStrVar("in");
+  ModelOptions WithCaps;
+  ModelOptions NoCaps;
+  NoCaps.ModelCaptures = false;
+  (void)C.instantiate(Input, "a#0", WithCaps);
+  (void)C.instantiate(Input, "b#0", NoCaps);
+  EXPECT_EQ(C.stats().TemplateComputes, 2u);
+  (void)C.instantiate(Input, "c#0", WithCaps);
+  EXPECT_EQ(C.stats().TemplateHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CEGAR query-result cache
+//===----------------------------------------------------------------------===//
+
+struct CacheFixture {
+  std::unique_ptr<SolverBackend> Backend = makeZ3Backend();
+  TermEvaluator Eval;
+};
+
+TEST(CegarQueryCache, RepeatedProblemHitsAndRemapsModel) {
+  CacheFixture F;
+  CegarSolver Solver(*F.Backend);
+  CompiledRegex C(Regex::parse("^(a+)b$", "").take());
+  auto Shared = std::make_shared<CompiledRegex>(C.regex().clone());
+  SymbolicRegExp Sym(Shared, "s");
+  TermRef Input = mkStrVar("in");
+
+  auto Q1 = Sym.exec(Input, mkIntConst(0));
+  CegarResult R1 = Solver.solve({PathClause::regex(Q1, true)});
+  ASSERT_EQ(R1.Status, SolveStatus::Sat);
+  EXPECT_EQ(Solver.stats().CacheHits, 0u);
+  EXPECT_EQ(Solver.stats().CacheMisses, 1u);
+
+  // Same problem from a fresh query: the model's variables are freshly
+  // named, so only the α-invariant key can hit.
+  auto Q2 = Sym.exec(Input, mkIntConst(0));
+  CegarResult R2 = Solver.solve({PathClause::regex(Q2, true)});
+  ASSERT_EQ(R2.Status, SolveStatus::Sat);
+  EXPECT_EQ(Solver.stats().CacheHits, 1u);
+
+  // The remapped model must satisfy the *new* query's constraints: the
+  // oracle agrees on the assignment's input, and Q2's own capture
+  // variables (not Q1's) carry the values.
+  auto In = F.Eval.evalString(Q2->Input, R2.Model);
+  ASSERT_TRUE(In.has_value());
+  RegExpObject Oracle(Shared);
+  EXPECT_TRUE(Oracle.test(*In)) << toUTF8(*In);
+  auto C1 = F.Eval.evalString(Q2->Model.Captures[0].Value, R2.Model);
+  ASSERT_TRUE(C1.has_value());
+  EXPECT_FALSE(C1->empty());
+  auto Pos = F.Eval.evalBool(Q2->positiveAssertion(), R2.Model);
+  ASSERT_TRUE(Pos.has_value());
+  EXPECT_TRUE(*Pos);
+}
+
+TEST(CegarQueryCache, CorrectUnderRefinement) {
+  // The §3.4 greediness example needs a refinement round; the cached
+  // result must replay the *refined* answer, including on a fresh
+  // α-equivalent instance.
+  CacheFixture F;
+  CegarSolver Solver(*F.Backend);
+  auto Shared =
+      std::make_shared<CompiledRegex>(Regex::parse("^a*(a)?$", "").take());
+  SymbolicRegExp Sym(Shared, "r");
+  TermRef Input = mkStrVar("in");
+  TermRef Pin = mkEq(Input, mkStrConst(fromUTF8("aa")));
+
+  auto Q1 = Sym.exec(Input, mkIntConst(0));
+  CegarResult R1 =
+      Solver.solve({PathClause::regex(Q1, true), PathClause::plain(Pin)});
+  ASSERT_EQ(R1.Status, SolveStatus::Sat);
+  ASSERT_GE(R1.Refinements, 1u);
+  uint64_t RefinementsBefore = Solver.stats().TotalRefinements;
+
+  auto Q2 = Sym.exec(Input, mkIntConst(0));
+  CegarResult R2 =
+      Solver.solve({PathClause::regex(Q2, true), PathClause::plain(Pin)});
+  ASSERT_EQ(R2.Status, SolveStatus::Sat);
+  EXPECT_EQ(Solver.stats().CacheHits, 1u);
+  EXPECT_EQ(Solver.stats().TotalRefinements, RefinementsBefore)
+      << "cache hit must not re-run refinement";
+  EXPECT_EQ(R2.Refinements, R1.Refinements)
+      << "hit reports the original difficulty";
+  // Matching precedence is preserved by the replayed model: /^a*(a)?$/ on
+  // "aa" forces C1 = undefined.
+  auto Def = F.Eval.evalBool(Q2->Model.Captures[0].Defined, R2.Model);
+  ASSERT_TRUE(Def.has_value());
+  EXPECT_FALSE(*Def);
+}
+
+TEST(CegarQueryCache, PolarityNotConflated) {
+  CacheFixture F;
+  CegarSolver Solver(*F.Backend);
+  auto Shared =
+      std::make_shared<CompiledRegex>(Regex::parse("^ab$", "").take());
+  SymbolicRegExp Sym(Shared, "p");
+  TermRef Input = mkStrVar("in");
+
+  auto Q1 = Sym.test(Input, mkIntConst(0));
+  CegarResult Pos = Solver.solve({PathClause::regex(Q1, true)});
+  auto Q2 = Sym.test(Input, mkIntConst(0));
+  CegarResult Neg = Solver.solve({PathClause::regex(Q2, false)});
+  ASSERT_EQ(Pos.Status, SolveStatus::Sat);
+  ASSERT_EQ(Neg.Status, SolveStatus::Sat);
+  EXPECT_EQ(Solver.stats().CacheHits, 0u);
+  auto InPos = F.Eval.evalString(Q1->Input, Pos.Model);
+  auto InNeg = F.Eval.evalString(Q2->Input, Neg.Model);
+  EXPECT_EQ(toUTF8(*InPos), "ab");
+  EXPECT_NE(toUTF8(*InNeg), "ab");
+}
+
+TEST(CegarQueryCache, DisabledByCapacityZero) {
+  CacheFixture F;
+  CegarOptions Opts;
+  Opts.QueryCacheCapacity = 0;
+  CegarSolver Solver(*F.Backend, Opts);
+  auto Shared =
+      std::make_shared<CompiledRegex>(Regex::parse("a+", "").take());
+  SymbolicRegExp Sym(Shared, "d");
+  TermRef Input = mkStrVar("in");
+  for (int I = 0; I < 2; ++I) {
+    auto Q = Sym.test(Input, mkIntConst(0));
+    CegarResult R = Solver.solve({PathClause::regex(Q, true)});
+    ASSERT_EQ(R.Status, SolveStatus::Sat);
+  }
+  EXPECT_EQ(Solver.stats().CacheHits, 0u);
+  EXPECT_EQ(Solver.stats().CacheMisses, 0u);
+}
+
+TEST(CegarQueryCache, LruEviction) {
+  CacheFixture F;
+  CegarOptions Opts;
+  Opts.QueryCacheCapacity = 1;
+  CegarSolver Solver(*F.Backend, Opts);
+  auto A = std::make_shared<CompiledRegex>(Regex::parse("a+", "").take());
+  auto B = std::make_shared<CompiledRegex>(Regex::parse("b+", "").take());
+  SymbolicRegExp SymA(A, "a"), SymB(B, "b");
+  TermRef Input = mkStrVar("in");
+  ASSERT_EQ(Solver.solve({PathClause::regex(
+                             SymA.test(Input, mkIntConst(0)), true)})
+                .Status,
+            SolveStatus::Sat);
+  ASSERT_EQ(Solver.solve({PathClause::regex(
+                             SymB.test(Input, mkIntConst(0)), true)})
+                .Status,
+            SolveStatus::Sat); // evicts the a+ entry
+  EXPECT_EQ(Solver.stats().CacheEvictions, 1u);
+  ASSERT_EQ(Solver.solve({PathClause::regex(
+                             SymA.test(Input, mkIntConst(0)), true)})
+                .Status,
+            SolveStatus::Sat);
+  EXPECT_EQ(Solver.stats().CacheHits, 0u) << "evicted entry cannot hit";
+  EXPECT_EQ(Solver.stats().CacheMisses, 3u);
+}
+
+} // namespace
