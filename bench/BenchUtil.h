@@ -10,14 +10,25 @@
 /// values for side-by-side comparison; RECAP_BENCH_SCALE (default 1)
 /// multiplies workload sizes.
 ///
+/// The google-benchmark micro benches additionally emit machine-readable
+/// per-bench timing summaries (median/p90 across repetitions, plus user
+/// counters) to BENCH_<suite>.json via runBenchSuite(), so the perf
+/// trajectory is comparable across PRs and archivable from CI.
+/// RECAP_BENCH_JSON_DIR overrides the output directory (default: cwd).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RECAP_BENCH_BENCHUTIL_H
 #define RECAP_BENCH_BENCHUTIL_H
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace recap::bench {
 
@@ -45,6 +56,122 @@ inline std::string pct(double Num, double Den) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * Num / Den);
   return Buf;
+}
+
+/// Console reporter that additionally collects per-repetition real times
+/// (ns/iteration) and user counters per benchmark, then writes
+/// BENCH_<suite>.json. Median and p90 are computed over the collected
+/// samples — run with --benchmark_repetitions=N for meaningful
+/// percentiles; a single repetition degenerates to median == p90.
+class JsonReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonReporter(std::string Suite) : Suite(std::move(Suite)) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      // Only raw repetition runs carry samples (aggregates are derived;
+      // none of the recap benches use SkipWithError).
+      if (R.run_type == Run::RT_Aggregate)
+        continue;
+      Bench &B = Benches[R.benchmark_name()];
+      if (R.iterations > 0)
+        B.SamplesNs.push_back(R.real_accumulated_time /
+                              static_cast<double>(R.iterations) * 1e9);
+      for (const auto &[Name, Counter] : R.counters)
+        B.Counters[Name] = Counter.value;
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+  /// Writes BENCH_<suite>.json into RECAP_BENCH_JSON_DIR (default cwd).
+  /// Returns false when the file cannot be opened.
+  bool writeJson() const {
+    std::string Dir = ".";
+    if (const char *D = std::getenv("RECAP_BENCH_JSON_DIR"))
+      Dir = D;
+    std::string Path = Dir + "/BENCH_" + Suite + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "{\n  \"suite\": \"%s\",\n  \"benchmarks\": [",
+                 Suite.c_str());
+    bool FirstBench = true;
+    for (const auto &[Name, B] : Benches) {
+      std::vector<double> S = B.SamplesNs;
+      if (S.empty())
+        continue;
+      std::sort(S.begin(), S.end());
+      double Median = S[S.size() / 2];
+      // Nearest-rank p90: ceil(0.9 * N) as a 1-based rank.
+      size_t Rank90 = (S.size() * 9 + 9) / 10; // ceil(N * 0.9)
+      double P90 = S[std::min(S.size() - 1, Rank90 - 1)];
+      double Mean = 0;
+      for (double V : S)
+        Mean += V;
+      Mean /= static_cast<double>(S.size());
+      std::fprintf(F,
+                   "%s\n    {\"name\": \"%s\", \"samples\": %zu, "
+                   "\"median_ns\": %.1f, \"p90_ns\": %.1f, "
+                   "\"mean_ns\": %.1f",
+                   FirstBench ? "" : ",", jsonEscape(Name).c_str(),
+                   S.size(), Median, P90, Mean);
+      FirstBench = false;
+      if (!B.Counters.empty()) {
+        std::fprintf(F, ", \"counters\": {");
+        bool FirstCtr = true;
+        for (const auto &[CName, V] : B.Counters) {
+          std::fprintf(F, "%s\"%s\": %.3f", FirstCtr ? "" : ", ",
+                       jsonEscape(CName).c_str(), V);
+          FirstCtr = false;
+        }
+        std::fprintf(F, "}");
+      }
+      std::fprintf(F, "}");
+    }
+    std::fprintf(F, "\n  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+  /// Collected per-iteration samples (ns) for one benchmark, e.g. for
+  /// in-process speedup summaries.
+  const std::vector<double> *samples(const std::string &Name) const {
+    auto It = Benches.find(Name);
+    return It == Benches.end() ? nullptr : &It->second.SamplesNs;
+  }
+
+private:
+  struct Bench {
+    std::vector<double> SamplesNs;
+    std::map<std::string, double> Counters;
+  };
+
+  static std::string jsonEscape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::string Suite;
+  std::map<std::string, Bench> Benches;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs the registered
+/// benchmarks through a JsonReporter and writes BENCH_<suite>.json.
+inline int runBenchSuite(const std::string &Suite, int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonReporter Reporter(Suite);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  Reporter.writeJson();
+  benchmark::Shutdown();
+  return 0;
 }
 
 } // namespace recap::bench

@@ -1,0 +1,255 @@
+//===- bench/micro_incremental.cpp - Incremental-session microbenches ------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the two solver-interaction patterns this repo's incremental
+// rework (sessions + feature-routed dispatch) exists for, against the
+// *stateless baseline* — CegarSolver(Z3, SessionPolicy::Stateless),
+// which is exactly the pre-sessions configuration of this repository:
+//
+//  1. Refinement (BM_Refine*): a CEGAR problem whose repetition model is
+//     clamped below the pattern's minimum (RepetitionUnrollLimit), so
+//     the solver proposes a deterministic shortest-first stream of
+//     spurious words that validation excludes one by one — refinement
+//     rounds >= 2, ending Sat. The dispatcher routes the classical
+//     problem to the automata lane where each round is microseconds;
+//     the baseline re-solves the grown conjunction through Z3.
+//
+//  2. Sibling flips (BM_SiblingFlips*): the engine's generational
+//     search — problems `C0..C(k-1), ¬Ck` over one trace share
+//     ever-longer prefixes. Dispatch + prefix-pinned sessions solve all
+//     flips on the classical lane reusing cached product automata; the
+//     baseline re-translates and re-solves everything per flip, and
+//     times out on several negated heavy-DFA memberships.
+//
+//  3. BM_LocalFlips* isolates the session-vs-rebuild effect on the
+//     classical lane alone (same backend both sides).
+//
+// Direct Z3-session-vs-Z3-scratch pairs are deliberately absent: probing
+// showed Z3's incremental core is a wash or slower on these seq/re
+// models (DESIGN.md §5.3) — sessions there are kept answer-neutral by
+// the scratch rescue, and the measurable wins come from routing.
+//
+// The CEGAR query cache is disabled throughout (it would replay repeated
+// problems and measure the cache, not the sessions). Counters surface
+// refinement rounds, dispatch fallbacks and prefix reuse; the JSON
+// emitted via runBenchSuite() keeps the trajectory comparable across
+// PRs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "cegar/BackendDispatcher.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace recap;
+
+namespace {
+
+CegarOptions benchOptions(bool Incremental, uint32_t TimeoutMs) {
+  CegarOptions Opts;
+  // Auto = the PR configuration (sessions where the backend profits);
+  // Stateless = the pre-sessions baseline.
+  Opts.Sessions = Incremental ? CegarOptions::SessionPolicy::Auto
+                              : CegarOptions::SessionPolicy::Stateless;
+  Opts.QueryCacheCapacity = 0; // measure sessions, not the query cache
+  Opts.Limits.TimeoutMs = TimeoutMs;
+  return Opts;
+}
+
+/// a^{Lo..Hi} — the length-window language for the refinement stream.
+CRegexRef windowLang(unsigned Lo, unsigned Hi) {
+  return cConcat(cRepeat(cChar('a'), Lo),
+                 cRepeat(cOpt(cChar('a')), Hi - Lo));
+}
+
+// --- 1. Refinement rounds -------------------------------------------------
+//
+// Pattern a{9,12} with RepetitionUnrollLimit = 2 approximates to a^2 a*,
+// so every word a^4..a^8 of the window a^{4..10} is spurious: validation
+// excludes them shortest-first (deterministic on the automata lane)
+// until a^9 — five refinement rounds, then Sat.
+
+void runRefinement(CegarSolver &Solver, CegarStats *StatsOut) {
+  auto R = Regex::parse("a{9,12}", "");
+  ModelOptions MO;
+  MO.RepetitionUnrollLimit = 2;
+  SymbolicRegExp Sym(R->clone(), "ref", MO);
+  TermRef In = mkStrVar("in");
+  std::vector<PathClause> PC = {
+      PathClause::plain(mkInRe(In, windowLang(4, 10))),
+      PathClause::regex(Sym.test(In, mkIntConst(0)), true)};
+  CegarResult Res = Solver.solve(PC);
+  benchmark::DoNotOptimize(Res.Status);
+  if (StatsOut)
+    StatsOut->merge(Solver.stats());
+}
+
+void BM_RefineIncremental(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  CegarStats S;
+  for (auto _ : State) {
+    CegarSolver Solver(D, benchOptions(true, 20000));
+    runRefinement(Solver, &S);
+  }
+  State.counters["rounds"] =
+      State.iterations()
+          ? static_cast<double>(S.TotalRefinements) /
+                static_cast<double>(State.iterations())
+          : 0;
+  State.counters["fallbacks"] = static_cast<double>(S.FallbackSolves);
+}
+BENCHMARK(BM_RefineIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_RefineScratch(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  CegarStats S;
+  for (auto _ : State) {
+    CegarSolver Solver(*Z3, benchOptions(false, 20000));
+    runRefinement(Solver, &S);
+  }
+  State.counters["rounds"] =
+      State.iterations()
+          ? static_cast<double>(S.TotalRefinements) /
+                static_cast<double>(State.iterations())
+          : 0;
+  State.counters["refine_check_ms"] = S.RefineCheckScratch.mean() * 1e3;
+}
+BENCHMARK(BM_RefineScratch)->Unit(benchmark::kMillisecond);
+
+// --- 2. Sibling-flip sequences --------------------------------------------
+//
+// Classical memberships with heavy DFAs (subset construction on
+// (?:a|b)*x(?:a|b)^k suffix automata) on distinct inputs. Clause objects
+// — and their memoized assertions — are reused across flips exactly
+// like dse/Engine reuses Trace clauses; that identity is what lets the
+// pinned session pop to the common prefix. The negated memberships are
+// where the Z3 baseline times out (3s cap per query here) while the
+// automata lane answers all flips.
+
+struct FlipChain {
+  std::vector<std::unique_ptr<SymbolicRegExp>> Syms;
+  std::vector<PathClause> Clauses;
+
+  explicit FlipChain(size_t N) {
+    static const char *Patterns[] = {
+        "(?:a|b)*a(?:a|b){10}", "(?:a|b)*b(?:a|b){9}",
+        "[ab]*a[ab]{8}b",       "(?:a|b)*ab(?:a|b){8}",
+        "[ab]*ba[ab]{7}",       "(?:a|b)*aa(?:a|b){8}",
+    };
+    for (size_t I = 0; I < N; ++I) {
+      auto R = Regex::parse(Patterns[I % (sizeof(Patterns) /
+                                          sizeof(Patterns[0]))],
+                            "");
+      Syms.push_back(std::make_unique<SymbolicRegExp>(
+          R->clone(), "f" + std::to_string(I)));
+      auto Q = Syms.back()->test(mkStrVar("s" + std::to_string(I)),
+                                 mkIntConst(0));
+      Clauses.push_back(PathClause::regex(Q, true));
+    }
+  }
+
+  /// Runs the whole flip sequence; returns how many flips were decisive.
+  int runFlips(CegarSolver &Solver) const {
+    int Decisive = 0;
+    for (size_t Flip = 0; Flip < Clauses.size(); ++Flip) {
+      std::vector<PathClause> Problem(Clauses.begin(),
+                                      Clauses.begin() + Flip);
+      Problem.push_back(Clauses[Flip].negated());
+      if (Solver.solve(Problem).Status != SolveStatus::Unknown)
+        ++Decisive;
+    }
+    return Decisive;
+  }
+};
+
+/// Counters are per flip-sequence (divided by iteration count) so the
+/// JSON stays comparable across machines and runs.
+void reportFlipCounters(benchmark::State &State, const CegarStats &S,
+                        int Decisive) {
+  double N = State.iterations() ? static_cast<double>(State.iterations())
+                                : 1;
+  State.counters["decisive"] = static_cast<double>(Decisive);
+  State.counters["prefix_reused"] =
+      static_cast<double>(S.PrefixScopesReused) / N;
+  State.counters["first_check_ms"] = S.FirstCheck.mean() * 1e3;
+}
+
+void BM_SiblingFlipsIncremental(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  FlipChain Chain(static_cast<size_t>(State.range(0)));
+  CegarStats S;
+  int Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(D, benchOptions(true, 3000));
+    Decisive = Chain.runFlips(Solver);
+    S.merge(Solver.stats());
+  }
+  reportFlipCounters(State, S, Decisive);
+  State.counters["fallbacks"] =
+      static_cast<double>(S.FallbackSolves) /
+      (State.iterations() ? static_cast<double>(State.iterations()) : 1);
+}
+BENCHMARK(BM_SiblingFlipsIncremental)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_SiblingFlipsScratch(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  FlipChain Chain(static_cast<size_t>(State.range(0)));
+  CegarStats S;
+  int Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Z3, benchOptions(false, 3000));
+    Decisive = Chain.runFlips(Solver);
+    S.merge(Solver.stats());
+  }
+  reportFlipCounters(State, S, Decisive);
+}
+BENCHMARK(BM_SiblingFlipsScratch)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// --- 3. Classical lane in isolation ---------------------------------------
+
+void BM_LocalFlipsIncremental(benchmark::State &State) {
+  auto B = makeLocalBackend();
+  FlipChain Chain(static_cast<size_t>(State.range(0)));
+  CegarStats S;
+  int Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*B, benchOptions(true, 10000));
+    Decisive = Chain.runFlips(Solver);
+    S.merge(Solver.stats());
+  }
+  reportFlipCounters(State, S, Decisive);
+  State.counters["candidate_hits"] =
+      static_cast<double>(B->stats().SessionCandidateHits) /
+      (State.iterations() ? static_cast<double>(State.iterations()) : 1);
+}
+BENCHMARK(BM_LocalFlipsIncremental)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_LocalFlipsScratch(benchmark::State &State) {
+  auto B = makeLocalBackend();
+  FlipChain Chain(static_cast<size_t>(State.range(0)));
+  CegarStats S;
+  int Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*B, benchOptions(false, 10000));
+    Decisive = Chain.runFlips(Solver);
+    S.merge(Solver.stats());
+  }
+  reportFlipCounters(State, S, Decisive);
+}
+BENCHMARK(BM_LocalFlipsScratch)->Arg(6)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_incremental", argc, argv);
+}

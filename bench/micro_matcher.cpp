@@ -12,6 +12,8 @@
 #include "matcher/Matcher.h"
 #include "runtime/RegexRuntime.h"
 
+#include "BenchUtil.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace recap;
@@ -146,4 +148,6 @@ BENCHMARK(BM_MatchNamedGroups);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_matcher", argc, argv);
+}

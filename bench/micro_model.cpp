@@ -13,6 +13,8 @@
 #include "api/SymbolicRegExp.h"
 #include "runtime/RegexRuntime.h"
 
+#include "BenchUtil.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace recap;
@@ -138,4 +140,6 @@ BENCHMARK(BM_SolveLookbehind)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_model", argc, argv);
+}

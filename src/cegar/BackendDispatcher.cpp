@@ -1,0 +1,53 @@
+//===- cegar/BackendDispatcher.cpp - Feature-routed backend choice ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/BackendDispatcher.h"
+
+using namespace recap;
+
+BackendDispatcher::BackendDispatcher(SolverBackend &Classical,
+                                     SolverBackend &General,
+                                     std::shared_ptr<RuntimeStats> Stats)
+    : Classical(&Classical), General(&General), Stats(std::move(Stats)) {
+  if (!this->Stats)
+    this->Stats = std::make_shared<RuntimeStats>();
+}
+
+BackendDispatcher::BackendDispatcher(SolverBackend &General,
+                                     std::shared_ptr<RuntimeStats> Stats)
+    : OwnedClassical(makeLocalBackend()), Classical(OwnedClassical.get()),
+      General(&General), Stats(std::move(Stats)) {
+  if (!this->Stats)
+    this->Stats = std::make_shared<RuntimeStats>();
+}
+
+bool BackendDispatcher::isClassicalProblem(
+    const std::vector<PathClause> &Clauses) {
+  bool AnyRegex = false;
+  for (const PathClause &C : Clauses) {
+    if (!C.Query)
+      continue;
+    AnyRegex = true;
+    const std::shared_ptr<CompiledRegex> &CR = C.Query->Oracle->compiled();
+    if (!CR)
+      return false;
+    // Cached on the CompiledRegex: computed once per distinct pattern.
+    const RegexFeatures &F = CR->features();
+    if (!F.isClassical() || F.CaptureGroups != 0)
+      return false;
+  }
+  return AnyRegex;
+}
+
+SolverBackend &BackendDispatcher::route(
+    const std::vector<PathClause> &Clauses) {
+  if (isClassicalProblem(Clauses)) {
+    ++Stats->DispatchClassical;
+    return *Classical;
+  }
+  ++Stats->DispatchGeneral;
+  return *General;
+}

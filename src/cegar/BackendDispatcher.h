@@ -1,0 +1,73 @@
+//===- cegar/BackendDispatcher.h - Feature-routed backend choice -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes each path-condition problem to the solver backend that is best
+/// at it, keyed on the RegexFeatures cached on every clause's
+/// CompiledRegex (computed once per pattern by the runtime pipeline):
+///
+///   every regex clause classical, no capture groups  -> classical lane
+///     (automata-based LocalBackend: membership problems over exact
+///      regular models, solved by product-automaton search)
+///   any capture / backreference / lookaround /       -> general lane
+///     word boundary, or no regex clause at all          (Z3)
+///
+/// Routing is advisory, never semantic: CegarSolver re-runs a problem on
+/// the general lane when the classical lane answers Unknown, so dispatch
+/// can only change solve times, not Sat/Unsat answers
+/// (tests/backend_differential_test.cpp holds this line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_CEGAR_BACKENDDISPATCHER_H
+#define RECAP_CEGAR_BACKENDDISPATCHER_H
+
+#include "cegar/CegarSolver.h"
+#include "runtime/CompiledRegex.h"
+
+namespace recap {
+
+class BackendDispatcher {
+public:
+  /// Routes over externally-owned backends. \p Stats (typically a
+  /// RegexRuntime's shared block) receives the dispatch counters; null
+  /// allocates a private block.
+  BackendDispatcher(SolverBackend &Classical, SolverBackend &General,
+                    std::shared_ptr<RuntimeStats> Stats = nullptr);
+
+  /// Convenience: owns a fresh LocalBackend as the classical lane.
+  explicit BackendDispatcher(SolverBackend &General,
+                             std::shared_ptr<RuntimeStats> Stats = nullptr);
+
+  /// The backend for this problem, per the decision table above.
+  SolverBackend &route(const std::vector<PathClause> &Clauses);
+
+  /// True when every regex clause of \p Clauses stays inside the
+  /// classical fragment (cached features: no captures, backreferences,
+  /// lookarounds or word boundaries) and at least one regex clause
+  /// exists. Pure-boolean/string problems go to the general lane: they
+  /// are cheap there and the classical lane's bounded search adds no
+  /// automata leverage.
+  static bool isClassicalProblem(const std::vector<PathClause> &Clauses);
+
+  SolverBackend &classical() { return *Classical; }
+  SolverBackend &general() { return *General; }
+  const RuntimeStats &stats() const { return *Stats; }
+
+  /// Records a classical-lane Unknown that was re-run on the general
+  /// lane (called by CegarSolver).
+  void noteFallback() { ++Stats->DispatchFallbacks; }
+
+private:
+  std::unique_ptr<SolverBackend> OwnedClassical;
+  SolverBackend *Classical;
+  SolverBackend *General;
+  std::shared_ptr<RuntimeStats> Stats;
+};
+
+} // namespace recap
+
+#endif // RECAP_CEGAR_BACKENDDISPATCHER_H

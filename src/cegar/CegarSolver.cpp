@@ -6,16 +6,22 @@
 
 #include "cegar/CegarSolver.h"
 
+#include "cegar/BackendDispatcher.h"
+
 #include <cassert>
 #include <chrono>
 
 using namespace recap;
 
 TermRef RegexQuery::positiveAssertion() const {
-  return mkAnd({Decoration, Position, Model.MatchConstraint});
+  if (!PosMemo)
+    PosMemo = mkAnd({Decoration, Position, Model.MatchConstraint});
+  return PosMemo;
 }
 
 TermRef RegexQuery::negativeAssertion() const {
+  if (NegMemo)
+    return NegMemo;
   // With a non-trivial position constraint the negation must range over
   // "a match at an allowed position", so the fast path (exact or §4.4
   // schema, baked into NoMatchConstraint) only applies to the trivial
@@ -23,13 +29,19 @@ TermRef RegexQuery::negativeAssertion() const {
   bool TrivialPos =
       Position->Kind == TermKind::BoolConst && Position->BoolVal;
   if (TrivialPos)
-    return mkAnd(Decoration, Model.NoMatchConstraint);
-  return mkAnd(Decoration,
-               mkNot(mkAnd(Position, Model.MatchConstraint)));
+    NegMemo = mkAnd(Decoration, Model.NoMatchConstraint);
+  else
+    NegMemo = mkAnd(Decoration,
+                    mkNot(mkAnd(Position, Model.MatchConstraint)));
+  return NegMemo;
 }
 
 CegarSolver::CegarSolver(SolverBackend &Backend, CegarOptions Opts)
     : Backend(Backend), Opts(Opts), Cache(Opts.QueryCacheCapacity) {}
+
+CegarSolver::CegarSolver(BackendDispatcher &Dispatch, CegarOptions Opts)
+    : Backend(Dispatch.general()), Dispatch(&Dispatch), Opts(Opts),
+      Cache(Opts.QueryCacheCapacity) {}
 
 namespace {
 
@@ -48,11 +60,7 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
   ++Stats.Queries;
 
   std::vector<TermRef> P;
-  struct Tracked {
-    const RegexQuery *Q;
-    bool Positive;
-  };
-  std::vector<Tracked> Regexes;
+  std::vector<TrackedQuery> Regexes;
   for (const PathClause &C : Clauses) {
     if (C.Query) {
       P.push_back(C.Polarity ? C.Query->positiveAssertion()
@@ -60,13 +68,21 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
       Regexes.push_back({C.Query.get(), C.Polarity});
     } else {
       assert(C.Plain && "empty path clause");
-      P.push_back(C.Polarity ? C.Plain : mkNot(C.Plain));
+      if (C.Polarity) {
+        P.push_back(C.Plain);
+      } else {
+        // Stable identity across solves (see NegMemo declaration).
+        TermRef &Neg = NegMemo[C.Plain.get()];
+        if (!Neg)
+          Neg = mkNot(C.Plain);
+        P.push_back(Neg);
+      }
     }
   }
   if (!Regexes.empty())
     ++Stats.QueriesWithRegex;
   bool HasCaptures = false;
-  for (const Tracked &T : Regexes)
+  for (const TrackedQuery &T : Regexes)
     if (T.Q->Oracle->regex().numCaptures() > 0)
       HasCaptures = true;
   if (HasCaptures)
@@ -128,13 +144,122 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
     ++Stats.CacheMisses;
   }
 
+  SolverBackend *B = &Backend;
+  if (Dispatch)
+    B = &Dispatch->route(Clauses);
+  CegarResult Out = runProblem(*B, P, Regexes);
+  if (Dispatch && Out.Status == SolveStatus::Unknown &&
+      B != &Dispatch->general()) {
+    // The classical lane gave up; routing must never lose answers, so
+    // re-run the whole problem on the general backend.
+    ++Stats.FallbackSolves;
+    Dispatch->noteFallback();
+    Out = runProblem(Dispatch->general(), P, Regexes);
+  }
+
+  // Memoize decisive results (Unknown stays retryable by design). A key
+  // collision (see above) would re-insert an existing key; skip it.
+  if (Opts.QueryCacheCapacity != 0 && Out.Status != SolveStatus::Unknown &&
+      !Cache.find(Key)) {
+    CacheEntry E;
+    E.Status = Out.Status;
+    E.Model = Out.Model;
+    E.Refinements = Out.Refinements;
+    E.VarOrder = std::move(VarNames);
+    if (Cache.insert(std::move(Key), std::move(E)))
+      ++Stats.CacheEvictions;
+  }
+
+  if (Out.Refinements > 0)
+    ++Stats.QueriesRefined;
+  double Sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Stats.SolverSeconds += Sec;
+  Stats.MaxQuerySeconds = std::max(Stats.MaxQuerySeconds, Sec);
+  Stats.AllQueries.add(Sec);
+  if (!Regexes.empty())
+    Stats.WithRegex.add(Sec);
+  if (HasCaptures)
+    Stats.WithCaptures.add(Sec);
+  if (Out.Refinements > 0)
+    Stats.WithRefinement.add(Sec);
+  if (Out.HitRefinementLimit)
+    Stats.HitLimit.add(Sec);
+  return Out;
+}
+
+CegarResult CegarSolver::runProblem(SolverBackend &B,
+                                    const std::vector<TermRef> &P,
+                                    const std::vector<TrackedQuery> &Regexes) {
   CegarResult Out;
-  bool Refined = false;
+
+  SolverSession *Sess = nullptr;
+  Pinned *PS = nullptr;
+  std::vector<TermRef> Work; // stateless mode: the grown conjunction
+  bool UseSession =
+      Opts.Sessions == CegarOptions::SessionPolicy::Always ||
+      (Opts.Sessions == CegarOptions::SessionPolicy::Auto &&
+       B.prefersIncremental());
+  if (UseSession) {
+    ++Stats.SessionSolves;
+    PS = &Sessions[&B];
+    if (!PS->S) {
+      PS->S = B.openSession();
+      PS->Scopes.clear();
+    }
+    // Sync the session to this problem's clause prefix: pop down to the
+    // longest common prefix (assertion identity — stable thanks to the
+    // RegexQuery assertion memos), then assert only the new clauses, one
+    // scope each so any of them can become a future pop point.
+    size_t NPrefix = P.empty() ? 0 : P.size() - 1;
+    size_t Common = 0;
+    while (Common < PS->Scopes.size() && Common < NPrefix &&
+           PS->Scopes[Common] == P[Common])
+      ++Common;
+    PS->S->pop(static_cast<unsigned>(PS->Scopes.size() - Common));
+    PS->Scopes.resize(Common);
+    Stats.PrefixScopesReused += Common;
+    for (size_t I = Common; I < NPrefix; ++I) {
+      PS->S->push();
+      PS->S->assertTerm(P[I]);
+      PS->Scopes.push_back(P[I]);
+      ++Stats.PrefixScopesPushed;
+    }
+    // Ephemeral query scope: the final (for the engine: flipped) clause
+    // plus every refinement constraint of this problem; popped when the
+    // problem finishes so the pinned prefix state stays clean.
+    PS->S->push();
+    if (!P.empty())
+      PS->S->assertTerm(P.back());
+    Sess = PS->S.get();
+  } else {
+    ++Stats.StatelessSolves;
+    Work = P;
+  }
+
+  // On Unknown the pinned session is dropped afterwards: the engine
+  // re-queues Unknown flips, and a retry deserves a fresh solver rather
+  // than the exact internal state that just gave up.
+  bool DropSession = false;
   for (unsigned Round = 0;; ++Round) {
     Assignment M;
-    SolveStatus S = Backend.solve(P, M, Opts.Limits);
+    auto C0 = std::chrono::steady_clock::now();
+    SolveStatus S =
+        Sess ? Sess->check(M, Opts.Limits) : B.solve(Work, M, Opts.Limits);
+    double CSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - C0)
+                      .count();
+    if (Round == 0)
+      Stats.FirstCheck.add(CSec);
+    else if (Sess)
+      Stats.RefineCheckIncremental.add(CSec);
+    else
+      Stats.RefineCheckScratch.add(CSec);
+
     if (S != SolveStatus::Sat) {
       Out.Status = S;
+      DropSession = S == SolveStatus::Unknown;
       break;
     }
     if (!Opts.Validate) {
@@ -145,7 +270,8 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
 
     bool Failed = false;
     bool Abort = false;
-    for (const Tracked &T : Regexes) {
+    std::vector<TermRef> Refinements;
+    for (const TrackedQuery &T : Regexes) {
       const RegexQuery &Q = *T.Q;
       std::optional<UString> Input = Eval.evalString(Q.Input, M);
       std::optional<int64_t> LastIndex = Eval.evalInt(Q.LastIndex, M);
@@ -196,17 +322,18 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
         }
         if (Mismatch) {
           Failed = true;
-          P.push_back(mkImplies(Cond, mkAnd(std::move(Pin))));
+          Refinements.push_back(mkImplies(Cond, mkAnd(std::move(Pin))));
         }
       } else if (T.Positive != Matched) {
         // Positive constraint but no concrete match, or negative
         // constraint but the word concretely matches: exclude the word.
         Failed = true;
-        P.push_back(mkNot(Cond));
+        Refinements.push_back(mkNot(Cond));
       }
     }
     if (Abort) {
       Out.Status = SolveStatus::Unknown;
+      DropSession = true;
       break;
     }
     if (!Failed) {
@@ -214,45 +341,29 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
       Out.Model = std::move(M);
       break;
     }
-    Refined = true;
     ++Stats.TotalRefinements;
     Out.Refinements = Round + 1;
     if (Round + 1 >= Opts.RefinementLimit) {
       Out.Status = SolveStatus::Unknown;
       Out.HitRefinementLimit = true;
       ++Stats.QueriesHitLimit;
+      DropSession = true;
       break;
+    }
+    // Push the refinement constraints instead of re-solving from scratch
+    // (incremental), or grow the conjunction (stateless baseline).
+    for (TermRef &C : Refinements) {
+      if (Sess)
+        Sess->assertTerm(std::move(C));
+      else
+        Work.push_back(std::move(C));
     }
   }
 
-  // Memoize decisive results (Unknown stays retryable by design). A key
-  // collision (see above) would re-insert an existing key; skip it.
-  if (Opts.QueryCacheCapacity != 0 && Out.Status != SolveStatus::Unknown &&
-      !Cache.find(Key)) {
-    CacheEntry E;
-    E.Status = Out.Status;
-    E.Model = Out.Model;
-    E.Refinements = Out.Refinements;
-    E.VarOrder = std::move(VarNames);
-    if (Cache.insert(std::move(Key), std::move(E)))
-      ++Stats.CacheEvictions;
+  if (Sess) {
+    PS->S->pop(1); // drop the ephemeral query scope
+    if (DropSession)
+      Sessions.erase(&B);
   }
-
-  if (Refined)
-    ++Stats.QueriesRefined;
-  double Sec =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
-  Stats.SolverSeconds += Sec;
-  Stats.MaxQuerySeconds = std::max(Stats.MaxQuerySeconds, Sec);
-  Stats.AllQueries.add(Sec);
-  if (!Regexes.empty())
-    Stats.WithRegex.add(Sec);
-  if (HasCaptures)
-    Stats.WithCaptures.add(Sec);
-  if (Refined)
-    Stats.WithRefinement.add(Sec);
-  if (Out.HitRefinementLimit)
-    Stats.HitLimit.add(Sec);
   return Out;
 }

@@ -48,10 +48,16 @@ struct RegexQuery {
   /// Validate capture assignments (exec) or only match/no-match (test).
   bool ValidateCaptures = true;
 
-  /// Assertion for (w, C...) ∈ Lc(R) at the required position.
+  /// Assertion for (w, C...) ∈ Lc(R) at the required position. Memoized:
+  /// the engine re-submits the same clause objects across sibling flips,
+  /// and the stable TermRef identity is what lets a prefix-pinned session
+  /// recognize the unchanged path prefix (see CegarSolver).
   TermRef positiveAssertion() const;
   /// Assertion for the negated constraint (§4.4 / exact fast path).
   TermRef negativeAssertion() const;
+
+private:
+  mutable TermRef PosMemo, NegMemo;
 };
 
 /// One clause of a path condition: either a plain boolean term or a regex
@@ -96,6 +102,24 @@ struct CegarOptions {
   /// refinement loop. Only Sat/Unsat results are cached: Unknown stays
   /// retryable (solve times on hard regex queries vary run to run).
   size_t QueryCacheCapacity = 256;
+  /// Incremental backend sessions: one session per problem (refinement
+  /// constraints are pushed instead of re-solving the grown conjunction)
+  /// and one pinned session per backend across problems (consecutive
+  /// problems pop back to the longest common clause prefix instead of
+  /// re-asserting it).
+  enum class SessionPolicy : uint8_t {
+    /// Every round re-solves through SolverBackend::solve — the
+    /// pre-sessions baseline bench/micro_incremental compares against.
+    Stateless,
+    /// Sessions only on backends that profit
+    /// (SolverBackend::prefersIncremental): LocalBackend yes, Z3 no —
+    /// its incremental core loses more preprocessing than the session
+    /// saves (DESIGN.md §5.3).
+    Auto,
+    /// Sessions on every backend (parity tests, experiments).
+    Always,
+  };
+  SessionPolicy Sessions = SessionPolicy::Auto;
   SolverLimits Limits;
 };
 
@@ -138,6 +162,12 @@ struct CegarStats {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
+  // Incremental-session counters (CegarOptions::Sessions).
+  uint64_t SessionSolves = 0;      ///< problems run through a session
+  uint64_t StatelessSolves = 0;    ///< problems run through Backend::solve
+  uint64_t PrefixScopesReused = 0; ///< prefix scopes kept at session sync
+  uint64_t PrefixScopesPushed = 0; ///< prefix scopes newly asserted
+  uint64_t FallbackSolves = 0;     ///< dispatcher re-runs on the general backend
   double SolverSeconds = 0;
   double MaxQuerySeconds = 0;
 
@@ -147,6 +177,15 @@ struct CegarStats {
   TimeBucket WithCaptures;
   TimeBucket WithRefinement;
   TimeBucket HitLimit;
+
+  // Per-backend-check solve times: the first check of each problem vs the
+  // re-checks after a refinement round — incrementally (refinement pushed
+  // into the live session) or from scratch (stateless mode re-solves the
+  // whole grown conjunction). The incremental-vs-scratch gap is the
+  // refinement half of bench/micro_incremental.
+  TimeBucket FirstCheck;
+  TimeBucket RefineCheckIncremental;
+  TimeBucket RefineCheckScratch;
 
   void merge(const CegarStats &O) {
     Queries += O.Queries;
@@ -158,6 +197,11 @@ struct CegarStats {
     CacheHits += O.CacheHits;
     CacheMisses += O.CacheMisses;
     CacheEvictions += O.CacheEvictions;
+    SessionSolves += O.SessionSolves;
+    StatelessSolves += O.StatelessSolves;
+    PrefixScopesReused += O.PrefixScopesReused;
+    PrefixScopesPushed += O.PrefixScopesPushed;
+    FallbackSolves += O.FallbackSolves;
     SolverSeconds += O.SolverSeconds;
     MaxQuerySeconds = std::max(MaxQuerySeconds, O.MaxQuerySeconds);
     AllQueries.merge(O.AllQueries);
@@ -165,6 +209,9 @@ struct CegarStats {
     WithCaptures.merge(O.WithCaptures);
     WithRefinement.merge(O.WithRefinement);
     HitLimit.merge(O.HitLimit);
+    FirstCheck.merge(O.FirstCheck);
+    RefineCheckIncremental.merge(O.RefineCheckIncremental);
+    RefineCheckScratch.merge(O.RefineCheckScratch);
   }
 };
 
@@ -175,11 +222,26 @@ struct CegarResult {
   bool HitRefinementLimit = false;
 };
 
+class BackendDispatcher;
+
 /// Algorithm 1. Satisfiability modulo ES6 matching precedence, with a
-/// result cache over canonicalized problems (see CegarOptions).
+/// result cache over canonicalized problems (see CegarOptions) and, in
+/// incremental mode, one prefix-pinned backend session per backend: the
+/// clause list of each problem is compared (by assertion identity) with
+/// the session's scope stack, the session pops back to the longest common
+/// prefix, asserts only the new clauses, and runs the refinement loop in
+/// an ephemeral scope that is popped when the problem finishes — so the
+/// engine's sibling flips and enumeration-style growing clause lists
+/// reuse all accumulated backend state.
 class CegarSolver {
 public:
   explicit CegarSolver(SolverBackend &Backend, CegarOptions Opts = {});
+
+  /// Routes each problem through \p Dispatch: classical-fragment problems
+  /// to its classical backend, the rest to its general backend, with a
+  /// one-shot fallback to the general backend when the classical lane
+  /// answers Unknown (so routing never loses answers).
+  CegarSolver(BackendDispatcher &Dispatch, CegarOptions Opts = {});
 
   /// Solves a path condition. On Sat, the assignment is guaranteed to be
   /// consistent with the concrete matcher on every regex clause. A cached
@@ -194,6 +256,9 @@ public:
 
   /// Drops all cached query results (stats survive).
   void clearCache() { Cache.clear(); }
+  /// Drops every pinned backend session (frees solver state; the next
+  /// problem re-asserts its prefix from scratch).
+  void clearSessions() { Sessions.clear(); }
 
 private:
   struct CacheEntry {
@@ -205,11 +270,37 @@ private:
     std::vector<std::string> VarOrder;
   };
 
-  SolverBackend &Backend;
+  struct TrackedQuery {
+    const RegexQuery *Q;
+    bool Positive;
+  };
+
+  /// One pinned session: the scope stack mirrors Scopes (one prefix
+  /// assertion per scope) plus, transiently, the ephemeral query scope.
+  struct Pinned {
+    std::unique_ptr<SolverSession> S;
+    std::vector<TermRef> Scopes;
+  };
+
+  /// Runs the refinement loop for one problem on \p B (session or
+  /// stateless per Opts.Sessions). \p P holds one assertion per clause.
+  CegarResult runProblem(SolverBackend &B, const std::vector<TermRef> &P,
+                         const std::vector<TrackedQuery> &Regexes);
+
+  SolverBackend &Backend; ///< the general/default backend
+  BackendDispatcher *Dispatch = nullptr;
   CegarOptions Opts;
   CegarStats Stats;
   TermEvaluator Eval;
   LruMap<CacheEntry> Cache;
+  std::map<SolverBackend *, Pinned> Sessions;
+  /// Memoized negations of plain clauses, keyed by the un-negated term.
+  /// mkNot builds a fresh node per call, which would give a
+  /// negative-polarity prefix clause a different assertion identity on
+  /// every sibling flip and silently defeat the prefix-pinned session
+  /// sync. The value's Kids[0] keeps the key term alive, so keys cannot
+  /// be recycled addresses.
+  std::map<const Term *, TermRef> NegMemo;
 };
 
 } // namespace recap

@@ -6,6 +6,8 @@
 
 #include "dse/Engine.h"
 
+#include "cegar/BackendDispatcher.h"
+
 #include <chrono>
 #include <map>
 
@@ -59,7 +61,22 @@ EngineResult DseEngine::run(const Program &P) {
   RuntimeStats RuntimeBefore = Runtime->stats();
   SymbolicContext Ctx(Opts.Level, Runtime);
   Interpreter Interp(Ctx, Opts.MaxWhileIterations);
-  CegarSolver Solver(Backend, Opts.Cegar);
+  // Optional feature-routed dispatch: classical-fragment problems go to
+  // an engine-owned automata backend, everything else (and every
+  // classical-lane Unknown) to the supplied backend. Counters land in
+  // the runtime's shared stats block, i.e. in Out.Runtime's window.
+  std::unique_ptr<SolverBackend> LocalLane;
+  std::unique_ptr<BackendDispatcher> Dispatcher;
+  std::unique_ptr<CegarSolver> SolverPtr;
+  if (Opts.Dispatch) {
+    LocalLane = makeLocalBackend();
+    Dispatcher = std::make_unique<BackendDispatcher>(
+        *LocalLane, Backend, Runtime->statsHandle());
+    SolverPtr = std::make_unique<CegarSolver>(*Dispatcher, Opts.Cegar);
+  } else {
+    SolverPtr = std::make_unique<CegarSolver>(Backend, Opts.Cegar);
+  }
+  CegarSolver &Solver = *SolverPtr;
   std::mt19937_64 Rng(Opts.Seed);
 
   // CUPA buckets: test cases grouped by the program point whose flipped
@@ -150,6 +167,8 @@ EngineResult DseEngine::run(const Program &P) {
   Out.Seconds = Elapsed();
   Out.Cegar = Solver.stats();
   Out.Solver = Backend.stats();
+  if (LocalLane)
+    Out.LocalSolver = LocalLane->stats();
   Out.Runtime = Runtime->stats().since(RuntimeBefore);
   return Out;
 }

@@ -35,6 +35,13 @@ struct EngineOptions {
   /// one; supply a runtime to share compilation work across programs
   /// (e.g. a whole survey corpus or bench suite).
   std::shared_ptr<RegexRuntime> Runtime;
+  /// Feature-routed multi-backend dispatch: solve classical-fragment
+  /// path conditions on an engine-owned automata LocalBackend and only
+  /// capture/backreference/lookaround problems on the supplied backend,
+  /// falling back to it whenever the classical lane answers Unknown
+  /// (see cegar/BackendDispatcher.h). Dispatch counters land in
+  /// EngineResult::Runtime.
+  bool Dispatch = false;
 
   EngineOptions() {
     // Backreference queries with pinned capture constants can take Z3
@@ -52,7 +59,10 @@ struct EngineResult {
   std::vector<int> FailedAsserts; ///< stmt ids of violated assertions
   CegarStats Cegar;
   SolverStats Solver;
-  RuntimeStats Runtime; ///< compiled-regex pipeline cache counters
+  /// Stats of the engine-owned classical lane (all zero unless
+  /// EngineOptions::Dispatch).
+  SolverStats LocalSolver;
+  RuntimeStats Runtime; ///< pipeline cache + backend dispatch counters
 
   double coveragePercent() const {
     return TotalStmts == 0

@@ -66,6 +66,14 @@ struct RuntimeStats {
   uint64_t TemplateComputes = 0;
   uint64_t TemplateHits = 0;
 
+  // Backend dispatch (cegar/BackendDispatcher): problems routed to the
+  // classical (automata) lane vs the general (Z3) lane per the cached
+  // RegexFeatures, and classical-lane Unknowns re-run on the general
+  // backend.
+  uint64_t DispatchClassical = 0;
+  uint64_t DispatchGeneral = 0;
+  uint64_t DispatchFallbacks = 0;
+
   uint64_t hits() const {
     return InternHits + FeatureHits + BackrefHits + ApproxHits +
            AutomatonHits + MatcherHits + TemplateHits;
@@ -97,6 +105,9 @@ struct RuntimeStats {
     D.MatcherHits = MatcherHits - O.MatcherHits;
     D.TemplateComputes = TemplateComputes - O.TemplateComputes;
     D.TemplateHits = TemplateHits - O.TemplateHits;
+    D.DispatchClassical = DispatchClassical - O.DispatchClassical;
+    D.DispatchGeneral = DispatchGeneral - O.DispatchGeneral;
+    D.DispatchFallbacks = DispatchFallbacks - O.DispatchFallbacks;
     return D;
   }
 
@@ -118,6 +129,9 @@ struct RuntimeStats {
     MatcherHits += O.MatcherHits;
     TemplateComputes += O.TemplateComputes;
     TemplateHits += O.TemplateHits;
+    DispatchClassical += O.DispatchClassical;
+    DispatchGeneral += O.DispatchGeneral;
+    DispatchFallbacks += O.DispatchFallbacks;
   }
 };
 

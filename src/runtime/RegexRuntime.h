@@ -59,6 +59,9 @@ public:
   std::shared_ptr<CompiledRegex> intern(Regex R);
 
   const RuntimeStats &stats() const { return *Stats; }
+  /// The shared stats block itself — for components that contribute
+  /// counters to this runtime's window (e.g. BackendDispatcher).
+  const std::shared_ptr<RuntimeStats> &statsHandle() const { return Stats; }
   void resetStats() { *Stats = RuntimeStats(); }
 
   /// Interned entry count.

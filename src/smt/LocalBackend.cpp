@@ -33,6 +33,7 @@
 #include <cassert>
 #include <chrono>
 #include <functional>
+#include <tuple>
 
 using namespace recap;
 
@@ -43,11 +44,89 @@ struct Literal {
   bool Positive;
 };
 
+/// Search state that is expensive to build and safe to reuse: the product
+/// automata of membership-literal sets and their enumerated candidate
+/// words, plus the term evaluator's per-regex automaton cache. One
+/// instance lives per solve() call (reuse across branches of one search)
+/// or per LocalSession (reuse across checks — the point of incremental
+/// sessions: push/pop never invalidates entries because they are keyed by
+/// the language constraints themselves, not by scope).
+struct LocalSearchCaches {
+  struct CandidateSet {
+    bool Compiled = false; ///< automaton construction succeeded
+    bool Empty = false;    ///< language proven empty
+    std::shared_ptr<Automaton> A;
+    std::vector<UString> Words;
+  };
+
+  /// Membership constraint set for one variable: positive and negative
+  /// regex payloads (by identity) plus the enumeration limits.
+  using Key = std::tuple<std::vector<const CRegex *>,
+                         std::vector<const CRegex *>, size_t, size_t>;
+
+  TermEvaluator Eval;
+  std::map<Key, CandidateSet> Candidates;
+  /// Session counters (null for one-shot solves).
+  SolverStats *Stats = nullptr;
+
+  const CandidateSet &candidates(const std::vector<CRegexRef> &Pos,
+                                 const std::vector<CRegexRef> &Neg,
+                                 const SolverLimits &Limits) {
+    Key K = makeKey(Pos, Neg, Limits);
+    auto It = Candidates.find(K);
+    if (It != Candidates.end()) {
+      if (Stats)
+        ++Stats->SessionCandidateHits;
+      return It->second;
+    }
+    if (Stats)
+      ++Stats->SessionCandidateMisses;
+    return Candidates.emplace(std::move(K), build(Pos, Neg, Limits))
+        .first->second;
+  }
+
+private:
+  static Key makeKey(const std::vector<CRegexRef> &Pos,
+                     const std::vector<CRegexRef> &Neg,
+                     const SolverLimits &Limits) {
+    std::vector<const CRegex *> P, N;
+    for (const CRegexRef &R : Pos)
+      P.push_back(R.get());
+    for (const CRegexRef &R : Neg)
+      N.push_back(R.get());
+    std::sort(P.begin(), P.end());
+    std::sort(N.begin(), N.end());
+    return {std::move(P), std::move(N), Limits.MaxCandidates,
+            Limits.MaxWordLength};
+  }
+
+  static CandidateSet build(const std::vector<CRegexRef> &Pos,
+                            const std::vector<CRegexRef> &Neg,
+                            const SolverLimits &Limits) {
+    CandidateSet Out;
+    std::vector<CRegexRef> All = Pos;
+    for (const CRegexRef &N : Neg)
+      All.push_back(cComplement(N));
+    Result<Automaton> A = Automaton::compile(cIntersect(All));
+    if (!A)
+      return Out; // Compiled stays false -> caller falls back
+    Out.Compiled = true;
+    Out.A = std::make_shared<Automaton>(A.take());
+    if (Out.A->isEmptyLanguage()) {
+      Out.Empty = true;
+      return Out;
+    }
+    Out.Words =
+        Out.A->enumerateWords(Limits.MaxCandidates, Limits.MaxWordLength);
+    return Out;
+  }
+};
+
 class BranchSolver {
 public:
-  BranchSolver(const SolverLimits &Limits, TermEvaluator &Eval,
+  BranchSolver(const SolverLimits &Limits, LocalSearchCaches &Caches,
                uint64_t &Nodes)
-      : Limits(Limits), Eval(Eval), Nodes(Nodes) {}
+      : Limits(Limits), Caches(Caches), Eval(Caches.Eval), Nodes(Nodes) {}
 
   /// Attempts to satisfy the literal conjunction. Returns Sat and fills
   /// Model, or Unsat (with Exhaustive=true if this is a real emptiness
@@ -103,11 +182,6 @@ public:
           continue;
         (L.Positive ? Pos : Neg).push_back(L.Atom->Re);
       }
-      std::vector<CRegexRef> All = Pos;
-      for (const CRegexRef &N : Neg)
-        All.push_back(cComplement(N));
-      CRegexRef Lang = All.empty() ? CRegexRef() : cIntersect(All);
-
       // Constants compared against V are always candidate seeds: word
       // enumeration explores one representative per character class, so
       // equality-relevant words could otherwise be missed.
@@ -125,17 +199,19 @@ public:
       }
 
       std::vector<UString> Words;
-      if (Lang) {
-        Result<Automaton> A = Automaton::compile(Lang);
-        if (A) {
-          if (A->isEmptyLanguage()) {
+      if (!Pos.empty() || !Neg.empty()) {
+        // Product automaton + enumerated words, memoized across branches
+        // and (in sessions) across checks.
+        const LocalSearchCaches::CandidateSet &CS =
+            Caches.candidates(Pos, Neg, Limits);
+        if (CS.Compiled) {
+          if (CS.Empty) {
             Exhaustive = true;
             return SolveStatus::Unsat;
           }
-          Words = A->enumerateWords(Limits.MaxCandidates,
-                                    Limits.MaxWordLength);
+          Words = CS.Words;
           for (const UString &S : Seeds)
-            if (A->accepts(S) &&
+            if (CS.A->accepts(S) &&
                 std::find(Words.begin(), Words.end(), S) == Words.end())
               Words.insert(Words.begin(), S);
         } else {
@@ -158,6 +234,7 @@ public:
 
 private:
   const SolverLimits &Limits;
+  LocalSearchCaches &Caches;
   TermEvaluator &Eval;
   uint64_t &Nodes;
   const std::vector<Literal> *Lits = nullptr;
@@ -288,6 +365,17 @@ class LocalBackend : public SolverBackend {
 public:
   SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &Model,
                     const SolverLimits &Limits) override {
+    // Private caches: reused across the branches of this one search only.
+    LocalSearchCaches Caches;
+    return solveWith(Assertions, Model, Limits, Caches);
+  }
+
+  /// The search over \p Assertions with externally-owned caches — the
+  /// entry point shared by solve() (fresh caches) and LocalSession
+  /// (persistent caches).
+  SolveStatus solveWith(const std::vector<TermRef> &Assertions,
+                        Assignment &Model, const SolverLimits &Limits,
+                        LocalSearchCaches &Caches) {
     auto T0 = std::chrono::steady_clock::now();
     Deadline = T0 + std::chrono::milliseconds(Limits.TimeoutMs);
     Nodes = 0;
@@ -299,8 +387,7 @@ public:
       Work.push_back({*It, true});
     std::vector<Literal> Branch;
     Assignment Out;
-    TermEvaluator Eval;
-    SolveStatus S = explore(Work, Branch, Out, Limits, Eval);
+    SolveStatus S = explore(Work, Branch, Out, Limits, Caches);
     if (S == SolveStatus::Sat)
       Model = std::move(Out);
     if (S == SolveStatus::Unsat && !AllExhaustive)
@@ -312,6 +399,8 @@ public:
     record(S, Sec);
     return S;
   }
+
+  std::unique_ptr<SolverSession> openSession() override;
 
   std::string name() const override { return "local"; }
 
@@ -334,7 +423,8 @@ private:
   /// be decomposed; \p Branch collects atoms.
   SolveStatus explore(std::vector<std::pair<TermRef, bool>> Work,
                       std::vector<Literal> &Branch, Assignment &Model,
-                      const SolverLimits &Limits, TermEvaluator &Eval) {
+                      const SolverLimits &Limits,
+                      LocalSearchCaches &Caches) {
     if (++Nodes > Limits.MaxNodes || timedOut()) {
       AllExhaustive = false;
       return SolveStatus::Unknown;
@@ -342,7 +432,7 @@ private:
     if (Work.empty()) {
       Assignment M;
       bool Exhaustive = false;
-      BranchSolver BS(Limits, Eval, Nodes);
+      BranchSolver BS(Limits, Caches, Nodes);
       SolveStatus S = BS.run(Branch, M, Exhaustive);
       if (S == SolveStatus::Sat) {
         Model = std::move(M);
@@ -359,23 +449,23 @@ private:
     switch (T->Kind) {
     case TermKind::BoolConst:
       if (T->BoolVal == Pol)
-        return explore(std::move(Work), Branch, Model, Limits, Eval);
+        return explore(std::move(Work), Branch, Model, Limits, Caches);
       return SolveStatus::Unsat;
     case TermKind::Not:
       Work.push_back({T->Kids[0], !Pol});
-      return explore(std::move(Work), Branch, Model, Limits, Eval);
+      return explore(std::move(Work), Branch, Model, Limits, Caches);
     case TermKind::And:
     case TermKind::Or: {
       bool Conjunctive = (T->Kind == TermKind::And) == Pol;
       if (Conjunctive) {
         for (const TermRef &K : T->Kids)
           Work.push_back({K, Pol});
-        return explore(std::move(Work), Branch, Model, Limits, Eval);
+        return explore(std::move(Work), Branch, Model, Limits, Caches);
       }
       for (const TermRef &K : T->Kids) {
         std::vector<std::pair<TermRef, bool>> W2 = Work;
         W2.push_back({K, Pol});
-        SolveStatus S = explore(std::move(W2), Branch, Model, Limits, Eval);
+        SolveStatus S = explore(std::move(W2), Branch, Model, Limits, Caches);
         if (S != SolveStatus::Unsat)
           return S;
       }
@@ -390,7 +480,7 @@ private:
           else
             W2.push_back({T->Kids[1], true});
           SolveStatus S =
-              explore(std::move(W2), Branch, Model, Limits, Eval);
+              explore(std::move(W2), Branch, Model, Limits, Caches);
           if (S != SolveStatus::Unsat)
             return S;
         }
@@ -398,7 +488,7 @@ private:
       }
       Work.push_back({T->Kids[0], true});
       Work.push_back({T->Kids[1], false});
-      return explore(std::move(Work), Branch, Model, Limits, Eval);
+      return explore(std::move(Work), Branch, Model, Limits, Caches);
     }
     case TermKind::Eq:
       if (T->Kids[0]->Sort == SortKind::Bool) {
@@ -409,7 +499,7 @@ private:
           W2.push_back({T->Kids[0], Val});
           W2.push_back({T->Kids[1], Val == Pol});
           SolveStatus S =
-              explore(std::move(W2), Branch, Model, Limits, Eval);
+              explore(std::move(W2), Branch, Model, Limits, Caches);
           if (S != SolveStatus::Unsat)
             return S;
         }
@@ -418,13 +508,42 @@ private:
       [[fallthrough]];
     default: {
       Branch.push_back({T, Pol});
-      SolveStatus S = explore(std::move(Work), Branch, Model, Limits, Eval);
+      SolveStatus S = explore(std::move(Work), Branch, Model, Limits, Caches);
       Branch.pop_back();
       return S;
     }
     }
   }
 };
+
+/// Native incremental session: the scope stack lives in the base class;
+/// what persists across checks is LocalSearchCaches — the compiled
+/// product automata, their enumerated candidate words, and the term
+/// evaluator's per-regex automata. A pop never invalidates the caches
+/// (they are keyed by language identity), so re-checking after pop or
+/// after asserting a refinement skips straight past the expensive
+/// complement/product constructions.
+class LocalSession : public SolverSession {
+public:
+  explicit LocalSession(LocalBackend &Owner) : SolverSession(Owner) {
+    Caches.Stats = &ownerStats();
+  }
+
+  SolveStatus checkImpl(Assignment &Model,
+                        const SolverLimits &Limits) override {
+    Model = Assignment();
+    // solveWith records the query into the owner's stats.
+    return static_cast<LocalBackend &>(Owner).solveWith(Assertions, Model,
+                                                        Limits, Caches);
+  }
+
+private:
+  LocalSearchCaches Caches;
+};
+
+std::unique_ptr<SolverSession> LocalBackend::openSession() {
+  return std::unique_ptr<SolverSession>(new LocalSession(*this));
+}
 
 } // namespace
 

@@ -1,0 +1,85 @@
+//===- smt/Session.cpp - Incremental session base + stateless shim ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SolverSession base bookkeeping (the authoritative scope stack of
+/// assertions) and the stateless-compat shim returned by the default
+/// SolverBackend::openSession(): every check re-solves the flattened
+/// assertion list through solve(), so backends without native
+/// incrementality still satisfy the session contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+using namespace recap;
+
+SolverSession::SolverSession(SolverBackend &Owner) : Owner(Owner) {
+  ++Owner.Stats.SessionsOpened;
+}
+
+void SolverSession::push() {
+  Marks.push_back(Assertions.size());
+  onPush();
+}
+
+void SolverSession::pop(unsigned N) {
+  if (N > Marks.size())
+    N = static_cast<unsigned>(Marks.size());
+  if (N == 0)
+    return;
+  size_t NewSize = Marks[Marks.size() - N];
+  Marks.resize(Marks.size() - N);
+  // Keep the popped trees alive: backend memo tables key on node
+  // addresses (see class comment). Deduplicated — a pinned session pops
+  // the same prefix assertions over and over, and retention only needs
+  // each tree once.
+  for (size_t I = NewSize; I < Assertions.size(); ++I)
+    if (RetainedKeys.insert(Assertions[I].get()).second)
+      Retained.push_back(std::move(Assertions[I]));
+  Assertions.resize(NewSize);
+  Owner.Stats.SessionPops += N;
+  onPop(N, NewSize);
+}
+
+void SolverSession::assertTerm(TermRef T) {
+  Assertions.push_back(T);
+  ++Owner.Stats.SessionAsserts;
+  onAssert(Assertions.back());
+}
+
+SolveStatus SolverSession::check(Assignment &Model,
+                                 const SolverLimits &Limits) {
+  ++Owner.Stats.SessionChecks;
+  return checkImpl(Model, Limits);
+}
+
+void SolverSession::recordQuery(SolveStatus S, double Seconds) {
+  Owner.record(S, Seconds);
+}
+
+SolverStats &SolverSession::ownerStats() { return Owner.Stats; }
+
+namespace {
+
+/// The stateless-compat shim: no backend state survives between checks.
+class StatelessSession : public SolverSession {
+public:
+  explicit StatelessSession(SolverBackend &Owner) : SolverSession(Owner) {}
+
+  SolveStatus checkImpl(Assignment &Model,
+                        const SolverLimits &Limits) override {
+    // solve() records the query into the owner's stats itself.
+    Model = Assignment();
+    return Owner.solve(Assertions, Model, Limits);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SolverSession> SolverBackend::openSession() {
+  return std::unique_ptr<SolverSession>(new StatelessSession(*this));
+}

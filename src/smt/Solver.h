@@ -11,6 +11,15 @@
 /// automata-guided bounded search (see DESIGN.md) used as a dependency-free
 /// substrate and ablation baseline.
 ///
+/// Both backends additionally expose an incremental SolverSession
+/// (push/pop/assertTerm/check): the CEGAR loop pushes each refinement
+/// constraint instead of re-solving the whole conjunction, and the DSE
+/// engine pins a session to the current path prefix so sibling clause
+/// flips reuse accumulated backend state (DESIGN.md §5). Backends that do
+/// not override openSession() get a stateless-compat shim that re-solves
+/// the accumulated assertion set through solve() on every check, so the
+/// session API is total across backends.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RECAP_SMT_SOLVER_H
@@ -43,6 +52,85 @@ struct SolverStats {
   uint64_t Unknown = 0;
   double TotalSeconds = 0;
   double MaxSeconds = 0;
+  // Incremental-session counters. Checks issued through sessions also
+  // count into Queries/Sat/Unsat/Unknown above.
+  uint64_t SessionsOpened = 0;
+  uint64_t SessionChecks = 0;
+  uint64_t SessionAsserts = 0;
+  uint64_t SessionPops = 0;
+  /// LocalBackend sessions: candidate-automaton cache effectiveness (the
+  /// complement/product constructions persisted across checks).
+  uint64_t SessionCandidateHits = 0;
+  uint64_t SessionCandidateMisses = 0;
+};
+
+class SolverBackend;
+
+/// One incremental solving scope stack over a backend. Assertions
+/// accumulate per scope; pop(n) discards the n most recent scopes and
+/// every assertion made inside them. check() solves the conjunction of
+/// all live assertions.
+///
+/// The base class keeps the authoritative flattened assertion list and
+/// scope marks; backends mirror state through the on* hooks (Z3 into a
+/// native scoped solver, LocalBackend into persistent search caches, the
+/// default shim nowhere — it re-solves the list per check).
+///
+/// Popped assertion trees are retained for the life of the session: the
+/// backends' per-pointer memo tables (Z3 translation memo, automata
+/// caches) key on Term/CRegex addresses, so releasing a tree could let
+/// the allocator hand the same address to a different term.
+///
+/// Sessions are single-threaded and must not outlive their backend.
+class SolverSession {
+public:
+  virtual ~SolverSession() = default;
+
+  /// Opens a new scope.
+  void push();
+  /// Discards the \p N most recent scopes (clamped to depth()).
+  void pop(unsigned N = 1);
+  /// Asserts \p T in the current scope.
+  void assertTerm(TermRef T);
+  /// Solves the conjunction of all live assertions. On Sat, fills
+  /// \p Model with values for every variable the session has seen (values
+  /// for variables only mentioned in popped scopes are completion
+  /// defaults and harmless).
+  SolveStatus check(Assignment &Model, const SolverLimits &Limits);
+
+  /// Number of open scopes.
+  unsigned depth() const { return static_cast<unsigned>(Marks.size()); }
+  /// Number of live assertions across all scopes.
+  size_t assertionCount() const { return Assertions.size(); }
+  const std::vector<TermRef> &assertions() const { return Assertions; }
+  SolverBackend &backend() { return Owner; }
+
+protected:
+  explicit SolverSession(SolverBackend &Owner);
+
+  virtual void onAssert(const TermRef &T) { (void)T; }
+  virtual void onPush() {}
+  /// Called after the base class dropped the popped assertions;
+  /// \p NewSize is the surviving assertion count.
+  virtual void onPop(unsigned N, size_t NewSize) {
+    (void)N;
+    (void)NewSize;
+  }
+  /// Backend-specific solve over the live assertion state. Implementations
+  /// record Sat/Unsat/Unknown + timing into the owner's SolverStats (the
+  /// shim does so via solve(); native sessions call recordQuery()).
+  virtual SolveStatus checkImpl(Assignment &Model,
+                                const SolverLimits &Limits) = 0;
+
+  /// Stats bridge for native sessions (mirrors SolverBackend::record).
+  void recordQuery(SolveStatus S, double Seconds);
+  SolverStats &ownerStats();
+
+  SolverBackend &Owner;
+  std::vector<TermRef> Assertions; ///< live, in assertion order
+  std::vector<size_t> Marks;       ///< Assertions.size() at each push
+  std::vector<TermRef> Retained;   ///< popped trees kept alive (see above)
+  std::set<const Term *> RetainedKeys; ///< dedups Retained
 };
 
 class SolverBackend {
@@ -53,6 +141,20 @@ public:
   /// values for every variable occurring in the assertions.
   virtual SolveStatus solve(const std::vector<TermRef> &Assertions,
                             Assignment &Model, const SolverLimits &Limits) = 0;
+
+  /// Opens an incremental session. The default implementation is a
+  /// stateless-compat shim (re-solves the accumulated assertions through
+  /// solve() on every check); Z3Backend and LocalBackend override it with
+  /// natively incremental sessions.
+  virtual std::unique_ptr<SolverSession> openSession();
+
+  /// Whether sessions actually make this backend faster. CegarSolver's
+  /// Auto session policy consults this: LocalBackend profits (persistent
+  /// automata caches), while Z3's incremental core is measurably weaker
+  /// on seq/re goals than a scratch solve (DESIGN.md §5.3), so Z3Backend
+  /// returns false and Auto-mode CEGAR keeps solving it statelessly.
+  /// Sessions opened explicitly through openSession() work either way.
+  virtual bool prefersIncremental() const { return true; }
 
   virtual std::string name() const = 0;
 
@@ -74,6 +176,8 @@ protected:
   }
 
   SolverStats Stats;
+
+  friend class SolverSession;
 };
 
 /// Creates the Z3-based backend (the paper's configuration).

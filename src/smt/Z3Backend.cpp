@@ -46,71 +46,8 @@ UString fromLatin1(const std::string &S) {
   return Out;
 }
 
-class Z3Backend : public SolverBackend {
-public:
-  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &Model,
-                    const SolverLimits &Limits) override {
-    auto T0 = std::chrono::steady_clock::now();
-    SolveStatus Status = solveImpl(Assertions, Model, Limits);
-    double Sec = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - T0)
-                     .count();
-    record(Status, Sec);
-    return Status;
-  }
-
-  std::string name() const override { return "z3"; }
-
-private:
-  SolveStatus solveImpl(const std::vector<TermRef> &Assertions,
-                        Assignment &Model, const SolverLimits &Limits) {
-    z3::context Ctx;
-    z3::params P(Ctx);
-    P.set("timeout", Limits.TimeoutMs);
-    z3::solver S(Ctx);
-    S.set(P);
-
-    Translator Tr(Ctx);
-    for (const TermRef &A : Assertions)
-      S.add(Tr.toBool(A));
-    // Latin-1 alphabet constraint on every free string variable (see file
-    // comment).
-    char Lo0 = '\0', Hi0 = static_cast<char>(0xFF);
-    z3::expr AnyLatin1 = z3::star(
-        z3::range(Ctx.string_val(&Lo0, 1), Ctx.string_val(&Hi0, 1)));
-    for (auto &[Name, Var] : Tr.StrVars)
-      S.add(z3::in_re(Var, AnyLatin1));
-
-    switch (S.check()) {
-    case z3::unsat:
-      return SolveStatus::Unsat;
-    case z3::unknown:
-      return SolveStatus::Unknown;
-    case z3::sat:
-      break;
-    }
-    z3::model M = S.get_model();
-    for (auto &[Name, Var] : Tr.StrVars) {
-      z3::expr V = M.eval(Var, /*model_completion=*/true);
-      Model.Strings[Name] = fromLatin1(V.get_string());
-    }
-    for (auto &[Name, Var] : Tr.BoolVars) {
-      z3::expr V = M.eval(Var, true);
-      Model.Bools[Name] = V.is_true();
-    }
-    for (auto &[Name, Var] : Tr.IntVars) {
-      z3::expr V = M.eval(Var, true);
-      int64_t I = 0;
-      if (V.is_numeral_i64(I))
-        Model.Ints[Name] = I;
-      else
-        Model.Ints[Name] = 0;
-    }
-    return SolveStatus::Sat;
-  }
-
-  /// IR -> Z3 expression translation with memoization.
-  struct Translator {
+/// IR -> Z3 expression translation with memoization.
+struct Translator {
     z3::context &Ctx;
     std::map<std::string, z3::expr> StrVars, BoolVars, IntVars;
     std::map<const Term *, z3::expr> Memo;
@@ -283,8 +220,204 @@ private:
       assert(false && "unhandled regex kind");
       return z3::to_re(Ctx.string_val(""));
     }
-  };
 };
+
+/// Σ_latin1* — the alphabet constraint language (see file comment).
+z3::expr anyLatin1(z3::context &Ctx) {
+  char Lo0 = '\0', Hi0 = static_cast<char>(0xFF);
+  return z3::star(
+      z3::range(Ctx.string_val(&Lo0, 1), Ctx.string_val(&Hi0, 1)));
+}
+
+/// Reads values for every variable the translator has seen out of \p M.
+void extractModel(Translator &Tr, z3::model &M, Assignment &Model) {
+  for (auto &[Name, Var] : Tr.StrVars) {
+    z3::expr V = M.eval(Var, /*model_completion=*/true);
+    Model.Strings[Name] = fromLatin1(V.get_string());
+  }
+  for (auto &[Name, Var] : Tr.BoolVars) {
+    z3::expr V = M.eval(Var, true);
+    Model.Bools[Name] = V.is_true();
+  }
+  for (auto &[Name, Var] : Tr.IntVars) {
+    z3::expr V = M.eval(Var, true);
+    int64_t I = 0;
+    if (V.is_numeral_i64(I))
+      Model.Ints[Name] = I;
+    else
+      Model.Ints[Name] = 0;
+  }
+}
+
+class Z3Backend : public SolverBackend {
+public:
+  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &Model,
+                    const SolverLimits &Limits) override {
+    auto T0 = std::chrono::steady_clock::now();
+    SolveStatus Status = solveImpl(Assertions, Model, Limits);
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    record(Status, Sec);
+    return Status;
+  }
+
+  std::unique_ptr<SolverSession> openSession() override;
+
+  /// Measured on the DSE workloads: solving through the scoped solver
+  /// costs throughput (the incremental core forgoes the preprocessing a
+  /// fresh solve gets — see the scratch rescue in Z3Session::checkImpl),
+  /// so Auto-policy callers should keep using solve().
+  bool prefersIncremental() const override { return false; }
+
+  std::string name() const override { return "z3"; }
+
+  /// Scratch solve without stats recording — Z3Session's rescue path
+  /// folds the attempt into its own single recordQuery.
+  SolveStatus solveScratch(const std::vector<TermRef> &Assertions,
+                           Assignment &Model, const SolverLimits &Limits) {
+    return solveImpl(Assertions, Model, Limits);
+  }
+
+private:
+  SolveStatus solveImpl(const std::vector<TermRef> &Assertions,
+                        Assignment &Model, const SolverLimits &Limits) {
+    z3::context Ctx;
+    z3::params P(Ctx);
+    P.set("timeout", Limits.TimeoutMs);
+    z3::solver S(Ctx);
+    S.set(P);
+
+    Translator Tr(Ctx);
+    for (const TermRef &A : Assertions)
+      S.add(Tr.toBool(A));
+    // Latin-1 alphabet constraint on every free string variable (see file
+    // comment).
+    z3::expr AnyLatin1 = anyLatin1(Ctx);
+    for (auto &[Name, Var] : Tr.StrVars)
+      S.add(z3::in_re(Var, AnyLatin1));
+
+    switch (S.check()) {
+    case z3::unsat:
+      return SolveStatus::Unsat;
+    case z3::unknown:
+      return SolveStatus::Unknown;
+    case z3::sat:
+      break;
+    }
+    z3::model M = S.get_model();
+    extractModel(Tr, M, Model);
+    return SolveStatus::Sat;
+  }
+};
+
+/// Native incremental session: one long-lived context + scoped solver.
+/// The translator (and its memo tables) persists across push/pop — Z3
+/// expressions stay valid for the context's lifetime, only *assertions*
+/// are undone by pop. The Latin-1 alphabet constraint is an assertion, so
+/// the session tracks per scope which variables it covered and re-asserts
+/// it when a variable reappears after its constraining scope was popped.
+class Z3Session : public SolverSession {
+public:
+  explicit Z3Session(SolverBackend &Owner)
+      : SolverSession(Owner), S(Ctx), Tr(Ctx),
+        AnyLatin1(anyLatin1(Ctx)) {
+    AlphaByScope.emplace_back(); // base scope
+  }
+
+  void onAssert(const TermRef &T) override {
+    S.add(Tr.toBool(T));
+    // Constrain any string variable this assertion introduced (or whose
+    // previous constraint was popped away).
+    for (auto &[Name, Var] : Tr.StrVars) {
+      if (AlphaDone.count(Name))
+        continue;
+      S.add(z3::in_re(Var, AnyLatin1));
+      AlphaDone.insert(Name);
+      AlphaByScope.back().push_back(Name);
+    }
+  }
+
+  void onPush() override {
+    S.push();
+    AlphaByScope.emplace_back();
+  }
+
+  void onPop(unsigned N, size_t) override {
+    S.pop(N);
+    for (unsigned I = 0; I < N; ++I) {
+      for (const std::string &Name : AlphaByScope.back())
+        AlphaDone.erase(Name);
+      AlphaByScope.pop_back();
+    }
+  }
+
+  SolveStatus checkImpl(Assignment &Model,
+                        const SolverLimits &Limits) override {
+    auto T0 = std::chrono::steady_clock::now();
+    z3::params P(Ctx);
+    P.set("timeout", Limits.TimeoutMs);
+    S.set(P);
+    SolveStatus Status;
+    switch (S.check()) {
+    case z3::unsat:
+      Status = SolveStatus::Unsat;
+      break;
+    case z3::unknown:
+      Status = SolveStatus::Unknown;
+      break;
+    case z3::sat: {
+      Status = SolveStatus::Sat;
+      z3::model M = S.get_model();
+      extractModel(Tr, M, Model);
+      break;
+    }
+    }
+    // Scratch rescue: with scopes open Z3 runs its incremental core,
+    // which is measurably weaker on seq/re goals than the full
+    // preprocessing a fresh solve gets. An Unknown here therefore does
+    // not mean the problem is hard — re-solve the live assertion set
+    // from scratch (fresh context, no scopes) before giving up. The
+    // rescue gets what is left of the per-check budget, floored at 20%
+    // of it so an attempt that burned the whole budget still buys a
+    // meaningful retry (worst case ~1.2x TimeoutMs per check). The
+    // attempt and the rescue are one logical check: recorded once, with
+    // the final status and the combined time.
+    if (Status == SolveStatus::Unknown) {
+      double ElapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+      SolverLimits Rescue = Limits;
+      Rescue.TimeoutMs = std::max<uint32_t>(
+          Limits.TimeoutMs > ElapsedMs
+              ? static_cast<uint32_t>(Limits.TimeoutMs - ElapsedMs)
+              : 0,
+          Limits.TimeoutMs / 5);
+      Model = Assignment();
+      Status = static_cast<Z3Backend &>(Owner).solveScratch(
+          assertions(), Model, Rescue);
+    }
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    recordQuery(Status, Sec);
+    return Status;
+  }
+
+private:
+  z3::context Ctx;
+  z3::solver S;
+  Translator Tr;
+  z3::expr AnyLatin1;
+  std::set<std::string> AlphaDone;
+  /// Names whose alphabet constraint was asserted in each scope
+  /// (index 0 = base, then one entry per open scope).
+  std::vector<std::vector<std::string>> AlphaByScope;
+};
+
+std::unique_ptr<SolverSession> Z3Backend::openSession() {
+  return std::unique_ptr<SolverSession>(new Z3Session(*this));
+}
 
 } // namespace
 

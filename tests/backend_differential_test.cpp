@@ -10,9 +10,14 @@
 // bounded search) but must never contradict Z3, and every Sat model from
 // either backend must satisfy the assertions under the term evaluator.
 //
+// The same probes also run through the feature-routed BackendDispatcher
+// (classical problems to LocalBackend, the rest to Z3, Unknown fallback
+// to Z3): routing may only change solve times, never Sat/Unsat answers.
+//
 //===----------------------------------------------------------------------===//
 
 #include "api/SymbolicRegExp.h"
+#include "cegar/BackendDispatcher.h"
 
 #include <gtest/gtest.h>
 
@@ -33,11 +38,8 @@ TEST_P(BackendDifferential, VerdictsCompatibleAndModelsValid) {
   auto R = Regex::parse(P.Pattern, "");
   ASSERT_TRUE(bool(R)) << P.Pattern;
 
-  auto runWith = [&](SolverBackend &B) {
-    CegarOptions Opts;
-    Opts.Limits.TimeoutMs = 5000;
-    CegarSolver Solver(B, Opts);
-    SymbolicRegExp Sym(R->clone(), std::string("bd") + B.name());
+  auto runSolver = [&](CegarSolver &Solver, const std::string &Name) {
+    SymbolicRegExp Sym(R->clone(), std::string("bd") + Name);
     TermRef In = mkStrVar("in");
     auto Q = Sym.exec(In, mkIntConst(0));
     std::vector<PathClause> PC = {PathClause::regex(Q, P.Positive)};
@@ -53,10 +55,16 @@ TEST_P(BackendDifferential, VerdictsCompatibleAndModelsValid) {
       EXPECT_TRUE(InVal.has_value());
       RegExpObject Oracle(R->clone());
       EXPECT_EQ(Oracle.test(*InVal), P.Positive)
-          << B.name() << " produced '" << toUTF8(*InVal) << "' for /"
+          << Name << " produced '" << toUTF8(*InVal) << "' for /"
           << P.Pattern << "/";
     }
     return Res.Status;
+  };
+  auto runWith = [&](SolverBackend &B) {
+    CegarOptions Opts;
+    Opts.Limits.TimeoutMs = 5000;
+    CegarSolver Solver(B, Opts);
+    return runSolver(Solver, B.name());
   };
 
   auto Z3 = makeZ3Backend();
@@ -68,6 +76,19 @@ TEST_P(BackendDifferential, VerdictsCompatibleAndModelsValid) {
   if (SZ != SolveStatus::Unknown && SL != SolveStatus::Unknown)
     EXPECT_EQ(SZ, SL) << "/" << P.Pattern << "/ polarity "
                       << (P.Positive ? "+" : "-");
+
+  // Dispatcher-enabled: feature routing (+ Unknown fallback to Z3) must
+  // reach the same verdicts as the Z3 reference on every probe.
+  auto Z3Lane = makeZ3Backend();
+  auto LocalLane = makeLocalBackend();
+  BackendDispatcher Dispatch(*LocalLane, *Z3Lane);
+  CegarOptions Opts;
+  Opts.Limits.TimeoutMs = 5000;
+  CegarSolver Routed(Dispatch, Opts);
+  SolveStatus SD = runSolver(Routed, "dispatch");
+  if (SZ != SolveStatus::Unknown && SD != SolveStatus::Unknown)
+    EXPECT_EQ(SZ, SD) << "/" << P.Pattern << "/ polarity "
+                      << (P.Positive ? "+" : "-") << " (dispatched)";
 }
 
 const DiffProbe Probes[] = {

@@ -12,6 +12,8 @@
 
 #include "dse/Engine.h"
 
+#include "CalibrationProbe.h"
+
 #include <gtest/gtest.h>
 
 using namespace recap;
@@ -46,7 +48,11 @@ TEST(Dse, FindsListing1Bug) {
   EngineOptions Opts;
   Opts.Level = SupportLevel::Refinement;
   Opts.MaxTests = 40;
-  Opts.MaxSeconds = 60;
+  // Wall-clock-bound search: scale the budget by measured solver
+  // throughput so load/contention cannot starve the bug hunt (ROADMAP
+  // flaky-test item).
+  Opts.MaxSeconds = testsupport::scaledSeconds(60);
+  Opts.Cegar.Limits.TimeoutMs = testsupport::scaledTimeoutMs(10000);
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);
   EXPECT_TRUE(R.bugFound())
@@ -163,6 +169,31 @@ TEST(Dse, BackreferenceBranch) {
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);
   EXPECT_TRUE(R.bugFound());
+}
+
+TEST(Dse, DispatchedEngineExploresBranches) {
+  // Feature-routed dispatch: the classical /^a+$/ clause goes to the
+  // engine-owned automata lane; coverage and answers must match the
+  // Z3-only run, and the routing counters must be live.
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("hits", integer(0)),
+      if_(test("/^a+$/", var("s")), let_("hits", integer(1)),
+          let_("hits", integer(2))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 10;
+  Opts.MaxSeconds = testsupport::scaledSeconds(30);
+  Opts.Dispatch = true;
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_EQ(R.Covered.size(), static_cast<size_t>(P.NumStmts));
+  EXPECT_GT(R.Runtime.DispatchClassical + R.Runtime.DispatchGeneral, 0u);
+  EXPECT_GT(R.LocalSolver.Queries + R.Solver.Queries, 0u);
 }
 
 TEST(Dse, StatsPlumbed) {

@@ -1,0 +1,369 @@
+//===- tests/solver_session_test.cpp - Incremental session semantics -------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Session contract across all three implementations (Z3 native scoped
+// solver, LocalBackend with persistent automata caches, and the
+// stateless-compat shim): push/pop scoping, model stability across pops,
+// LocalBackend candidate-state persistence, and — randomized — that an
+// incrementally built assertion set answers exactly like the same set
+// solved from scratch. Plus CEGAR-level parity (Incremental on/off) and
+// BackendDispatcher routing invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "cegar/BackendDispatcher.h"
+#include "runtime/RegexRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace recap;
+
+namespace {
+
+/// Delegates solve() to an owned LocalBackend but does NOT override
+/// openSession() — exercises the default stateless-compat shim.
+class ShimBackend : public SolverBackend {
+public:
+  SolveStatus solve(const std::vector<TermRef> &Assertions, Assignment &M,
+                    const SolverLimits &Limits) override {
+    return Inner->solve(Assertions, M, Limits);
+  }
+  std::string name() const override { return "shim"; }
+
+private:
+  std::unique_ptr<SolverBackend> Inner = makeLocalBackend();
+};
+
+CRegexRef langAPlus() { return cPlus(cChar('a')); }
+CRegexRef langAB() {
+  return cStar(cUnion(cChar('a'), cChar('b')));
+}
+
+/// Sat iff Model satisfies every assertion under the term evaluator.
+bool modelSatisfies(const std::vector<TermRef> &Assertions,
+                    const Assignment &M) {
+  TermEvaluator Eval;
+  for (const TermRef &A : Assertions) {
+    std::optional<bool> V = Eval.evalBool(A, M);
+    if (!V || !*V)
+      return false;
+  }
+  return true;
+}
+
+class SessionContract
+    : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<SolverBackend> make() {
+    std::string Which = GetParam();
+    if (Which == "z3")
+      return makeZ3Backend();
+    if (Which == "local")
+      return makeLocalBackend();
+    return std::make_unique<ShimBackend>();
+  }
+};
+
+TEST_P(SessionContract, PushPopScoping) {
+  auto B = make();
+  auto S = B->openSession();
+  SolverLimits Limits;
+
+  TermRef X = mkStrVar("x");
+  S->assertTerm(mkEq(X, mkStrConst(fromUTF8("ab"))));
+  Assignment M;
+  ASSERT_EQ(S->check(M, Limits), SolveStatus::Sat);
+  EXPECT_EQ(M.str("x"), fromUTF8("ab"));
+
+  // Conflicting scope: never Sat inside (Z3 proves Unsat; the bounded
+  // local search may only manage Unknown — it reserves Unsat for
+  // emptiness proofs), Sat again after pop.
+  S->push();
+  S->assertTerm(mkEq(X, mkStrConst(fromUTF8("cd"))));
+  Assignment M2;
+  EXPECT_NE(S->check(M2, Limits), SolveStatus::Sat);
+  EXPECT_EQ(S->depth(), 1u);
+  S->pop();
+  EXPECT_EQ(S->depth(), 0u);
+
+  // Model stability across pops: the base-scope assertion still binds.
+  Assignment M3;
+  ASSERT_EQ(S->check(M3, Limits), SolveStatus::Sat);
+  EXPECT_EQ(M3.str("x"), fromUTF8("ab"));
+}
+
+TEST_P(SessionContract, NestedScopesAndMultiPop) {
+  auto B = make();
+  auto S = B->openSession();
+  SolverLimits Limits;
+
+  TermRef X = mkStrVar("x");
+  S->assertTerm(mkInRe(X, langAB()));
+  S->push();
+  S->assertTerm(mkInRe(X, langAPlus()));
+  S->push();
+  S->assertTerm(mkEq(mkStrLen(X), mkIntConst(2)));
+  Assignment M;
+  ASSERT_EQ(S->check(M, Limits), SolveStatus::Sat);
+  EXPECT_EQ(M.str("x"), fromUTF8("aa"));
+
+  // pop(2) back to the base scope in one call.
+  S->pop(2);
+  EXPECT_EQ(S->depth(), 0u);
+  EXPECT_EQ(S->assertionCount(), 1u);
+  Assignment M2;
+  ASSERT_EQ(S->check(M2, Limits), SolveStatus::Sat);
+  EXPECT_TRUE(modelSatisfies({mkInRe(mkStrVar("x"), langAB())}, M2));
+}
+
+TEST_P(SessionContract, VariableReappearsAfterPop) {
+  // A variable first seen inside a popped scope must stay fully usable
+  // (and alphabet-constrained, for Z3) when re-asserted later.
+  auto B = make();
+  auto S = B->openSession();
+  SolverLimits Limits;
+
+  S->push();
+  S->assertTerm(mkInRe(mkStrVar("y"), langAPlus()));
+  Assignment M;
+  ASSERT_EQ(S->check(M, Limits), SolveStatus::Sat);
+  S->pop();
+
+  S->assertTerm(mkEq(mkStrLen(mkStrVar("y")), mkIntConst(3)));
+  S->assertTerm(mkInRe(mkStrVar("y"), langAPlus()));
+  Assignment M2;
+  ASSERT_EQ(S->check(M2, Limits), SolveStatus::Sat);
+  EXPECT_EQ(M2.str("y"), fromUTF8("aaa"));
+}
+
+TEST_P(SessionContract, RandomizedIncrementalEqualsScratch) {
+  // Random push/pop/assert scripts over a small constraint pool: after
+  // every check, the session's answer must match a from-scratch solve of
+  // its live assertion set (both-decisive comparison; models verified).
+  auto B = make();
+  auto Scratch = make();
+  SolverLimits Limits;
+  std::mt19937_64 Rng(7);
+
+  TermRef X = mkStrVar("x"), Y = mkStrVar("y");
+  const std::vector<TermRef> Pool = {
+      mkInRe(X, langAPlus()),
+      mkInRe(X, langAB()),
+      mkEq(mkStrLen(X), mkIntConst(2)),
+      mkEq(Y, mkConcat(X, mkStrConst(fromUTF8("b")))),
+      mkInRe(Y, langAB()),
+      mkNot(mkEq(X, mkStrConst(fromUTF8("aa")))),
+      mkEq(mkStrLen(Y), mkIntConst(3)),
+  };
+
+  auto S = B->openSession();
+  for (int Step = 0; Step < 40; ++Step) {
+    unsigned Op = Rng() % 4;
+    if (Op == 0) {
+      S->push();
+    } else if (Op == 1 && S->depth() > 0) {
+      S->pop();
+    } else {
+      S->assertTerm(Pool[Rng() % Pool.size()]);
+    }
+    Assignment M;
+    SolveStatus Inc = S->check(M, Limits);
+    Assignment MS;
+    SolveStatus Scr = Scratch->solve(S->assertions(), MS, Limits);
+    if (Inc != SolveStatus::Unknown && Scr != SolveStatus::Unknown)
+      EXPECT_EQ(Inc, Scr) << "step " << Step;
+    if (Inc == SolveStatus::Sat)
+      EXPECT_TRUE(modelSatisfies(S->assertions(), M)) << "step " << Step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SessionContract,
+                         ::testing::Values("z3", "local", "shim"));
+
+TEST(SolverSession, LocalBackendStatePersistsAcrossChecks) {
+  // The product-automaton/candidate constructions must be built once and
+  // hit from then on, across refinement-style re-checks and pops.
+  auto B = makeLocalBackend();
+  auto S = B->openSession();
+  SolverLimits Limits;
+
+  TermRef X = mkStrVar("x");
+  S->assertTerm(mkInRe(X, langAPlus()));
+  S->assertTerm(mkInRe(X, langAB()));
+  Assignment M;
+  ASSERT_EQ(S->check(M, Limits), SolveStatus::Sat);
+  uint64_t MissesAfterFirst = B->stats().SessionCandidateMisses;
+  EXPECT_GT(MissesAfterFirst, 0u);
+
+  for (int I = 0; I < 3; ++I) {
+    S->push();
+    S->assertTerm(mkNot(mkEq(X, mkStrConst(M.str("x")))));
+    Assignment M2;
+    ASSERT_EQ(S->check(M2, Limits), SolveStatus::Sat);
+    S->pop();
+  }
+  // Same membership constraint set every round: no new constructions.
+  EXPECT_EQ(B->stats().SessionCandidateMisses, MissesAfterFirst);
+  EXPECT_GT(B->stats().SessionCandidateHits, 0u);
+}
+
+TEST(SolverSession, StatsPlumbed) {
+  auto B = makeZ3Backend();
+  EXPECT_EQ(B->stats().SessionsOpened, 0u);
+  auto S = B->openSession();
+  EXPECT_EQ(B->stats().SessionsOpened, 1u);
+  S->push();
+  S->assertTerm(mkEq(mkStrVar("x"), mkStrConst(fromUTF8("a"))));
+  Assignment M;
+  SolverLimits Limits;
+  ASSERT_EQ(S->check(M, Limits), SolveStatus::Sat);
+  S->pop();
+  EXPECT_EQ(B->stats().SessionAsserts, 1u);
+  EXPECT_EQ(B->stats().SessionChecks, 1u);
+  EXPECT_EQ(B->stats().SessionPops, 1u);
+  EXPECT_GE(B->stats().Queries, 1u);
+}
+
+// --- CEGAR-level parity and dispatcher routing ----------------------------
+
+std::vector<const char *> parityPatterns() {
+  return {"abc", "a+b", "(a|b)c", "^ab$", "[ab]{2}", "x[ab]*y"};
+}
+
+TEST(CegarIncremental, IncrementalEqualsScratchOnRandomClauseSets) {
+  // Random clause sets (regex memberships both polarities + pinned
+  // inputs): CegarSolver with sessions must answer exactly like the
+  // stateless configuration.
+  auto Patterns = parityPatterns();
+  std::mt19937_64 Rng(11);
+  RegexRuntime RT;
+
+  for (int Case = 0; Case < 12; ++Case) {
+    auto BInc = makeZ3Backend();
+    auto BScr = makeZ3Backend();
+    CegarOptions Inc, Scr;
+    // Always (not Auto): the point is exercising Z3Session inside the
+    // CEGAR loop against the stateless configuration. Short per-query
+    // budget: hard probes answer Unknown (skipped below) instead of
+    // burning the default 10 s per check in the serial CI job.
+    Inc.Sessions = CegarOptions::SessionPolicy::Always;
+    Scr.Sessions = CegarOptions::SessionPolicy::Stateless;
+    Inc.Limits.TimeoutMs = Scr.Limits.TimeoutMs = 3000;
+    Inc.QueryCacheCapacity = Scr.QueryCacheCapacity = 0;
+    CegarSolver SInc(*BInc, Inc), SScr(*BScr, Scr);
+
+    // One shared input variable, 1-3 regex clauses, optional pin.
+    TermRef In = mkStrVar("in");
+    std::vector<PathClause> Clauses;
+    std::vector<std::unique_ptr<SymbolicRegExp>> Syms;
+    size_t NumClauses = 1 + Rng() % 3;
+    for (size_t I = 0; I < NumClauses; ++I) {
+      auto C = RT.get(Patterns[Rng() % Patterns.size()], "");
+      Syms.push_back(std::make_unique<SymbolicRegExp>(
+          *C, "c" + std::to_string(Case) + "_" + std::to_string(I)));
+      auto Q = Syms.back()->test(In, mkIntConst(0));
+      Clauses.push_back(PathClause::regex(Q, (Rng() % 2) == 0));
+    }
+    if (Rng() % 2 == 0) {
+      const char *Pins[] = {"abc", "aab", "", "xy", "ba"};
+      Clauses.push_back(PathClause::plain(
+          mkEq(In, mkStrConst(fromUTF8(Pins[Rng() % 5])))));
+    }
+
+    CegarResult RInc = SInc.solve(Clauses);
+    CegarResult RScr = SScr.solve(Clauses);
+    if (RInc.Status != SolveStatus::Unknown &&
+        RScr.Status != SolveStatus::Unknown)
+      EXPECT_EQ(RInc.Status, RScr.Status) << "case " << Case;
+  }
+}
+
+TEST(Dispatcher, RoutesByCachedFeatures) {
+  RegexRuntime RT;
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3, RT.statsHandle());
+
+  auto Classical = RT.get("a+b", "");
+  auto WithCapture = RT.get("(a+)b", "");
+  auto WithLookahead = RT.get("a(?=b)", "");
+
+  SymbolicRegExp SC(*Classical, "dc");
+  SymbolicRegExp SCap(*WithCapture, "dk");
+  SymbolicRegExp SLa(*WithLookahead, "dl");
+  TermRef In = mkStrVar("in");
+
+  std::vector<PathClause> P1 = {
+      PathClause::regex(SC.test(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(P1), Local.get());
+
+  std::vector<PathClause> P2 = {
+      PathClause::regex(SCap.exec(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(P2), Z3.get());
+
+  std::vector<PathClause> P3 = {
+      PathClause::regex(SLa.test(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(P3), Z3.get());
+
+  // Mixed problems take the general lane; regex-free problems too.
+  std::vector<PathClause> P4 = {
+      PathClause::regex(SC.test(In, mkIntConst(0)), true),
+      PathClause::regex(SCap.exec(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(P4), Z3.get());
+  std::vector<PathClause> P5 = {
+      PathClause::plain(mkEq(In, mkStrConst(fromUTF8("x"))))};
+  EXPECT_EQ(&D.route(P5), Z3.get());
+
+  EXPECT_EQ(RT.stats().DispatchClassical, 1u);
+  EXPECT_EQ(RT.stats().DispatchGeneral, 4u);
+}
+
+TEST(Dispatcher, RoutingParityOnRandomClauseSets) {
+  // Dispatcher-enabled CEGAR must reach the same verdicts as Z3-only
+  // CEGAR — the classical lane may only change solve times, never
+  // answers (Unknowns fall back to the general lane inside CegarSolver).
+  auto Patterns = parityPatterns();
+  std::mt19937_64 Rng(23);
+  RegexRuntime RT;
+
+  for (int Case = 0; Case < 10; ++Case) {
+    auto Z3Only = makeZ3Backend();
+    auto Z3Lane = makeZ3Backend();
+    auto LocalLane = makeLocalBackend();
+    BackendDispatcher D(*LocalLane, *Z3Lane, RT.statsHandle());
+    CegarOptions Opts;
+    Opts.QueryCacheCapacity = 0;
+    Opts.Limits.TimeoutMs = 3000;
+    CegarSolver Ref(*Z3Only, Opts);
+    CegarSolver Routed(D, Opts);
+
+    TermRef In = mkStrVar("in");
+    std::vector<PathClause> Clauses;
+    std::vector<std::unique_ptr<SymbolicRegExp>> Syms;
+    size_t NumClauses = 1 + Rng() % 2;
+    for (size_t I = 0; I < NumClauses; ++I) {
+      auto C = RT.get(Patterns[Rng() % Patterns.size()], "");
+      Syms.push_back(std::make_unique<SymbolicRegExp>(
+          *C, "r" + std::to_string(Case) + "_" + std::to_string(I)));
+      auto Q = Syms.back()->test(In, mkIntConst(0));
+      Clauses.push_back(PathClause::regex(Q, (Rng() % 2) == 0));
+    }
+
+    CegarResult RRef = Ref.solve(Clauses);
+    CegarResult RRouted = Routed.solve(Clauses);
+    if (RRef.Status != SolveStatus::Unknown &&
+        RRouted.Status != SolveStatus::Unknown)
+      EXPECT_EQ(RRef.Status, RRouted.Status) << "case " << Case;
+    // A Sat model from the routed solver must satisfy the oracle — CEGAR
+    // validated it, so just sanity-check the status pairing.
+  }
+  EXPECT_GT(RT.stats().DispatchClassical, 0u);
+}
+
+} // namespace

@@ -7,6 +7,8 @@
 #include "dse/Engine.h"
 #include "dse/Workloads.h"
 
+#include "CalibrationProbe.h"
+
 #include <gtest/gtest.h>
 
 using namespace recap;
@@ -100,7 +102,9 @@ TEST(Workloads, SemverBugReachableAtFullSupport) {
   EngineOptions Opts;
   Opts.Level = SupportLevel::Refinement;
   Opts.MaxTests = 48;
-  Opts.MaxSeconds = 60;
+  // Wall-clock-bound like dse_test.FindsListing1Bug: scale the budget by
+  // measured solver throughput (ROADMAP flaky-test item).
+  Opts.MaxSeconds = testsupport::scaledSeconds(60);
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);
   EXPECT_TRUE(R.bugFound()) << "semver major-version assertion not hit";
