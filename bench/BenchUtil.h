@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -141,6 +142,26 @@ public:
     return It == Benches.end() ? nullptr : &It->second.SamplesNs;
   }
 
+  /// Median of a benchmark's samples (ns), or 0 when absent.
+  double medianNs(const std::string &Name) const {
+    const std::vector<double> *S = samples(Name);
+    if (!S || S->empty())
+      return 0;
+    std::vector<double> Sorted = *S;
+    std::sort(Sorted.begin(), Sorted.end());
+    return Sorted[Sorted.size() / 2];
+  }
+
+  /// Attaches a derived counter to \p BenchName's JSON entry — e.g. a
+  /// cross-bench speedup computed after the run (bench/micro_parallel).
+  /// No-op when the benchmark was never run.
+  void setCounter(const std::string &BenchName, const std::string &Counter,
+                  double V) {
+    auto It = Benches.find(BenchName);
+    if (It != Benches.end())
+      It->second.Counters[Counter] = V;
+  }
+
 private:
   struct Bench {
     std::vector<double> SamplesNs;
@@ -163,12 +184,19 @@ private:
 
 /// Drop-in replacement for BENCHMARK_MAIN()'s body: runs the registered
 /// benchmarks through a JsonReporter and writes BENCH_<suite>.json.
-inline int runBenchSuite(const std::string &Suite, int argc, char **argv) {
+/// \p PostRun (optional) sees the reporter after the benchmarks finish
+/// and before the JSON is written — for derived counters such as
+/// cross-bench speedups.
+inline int runBenchSuite(
+    const std::string &Suite, int argc, char **argv,
+    const std::function<void(JsonReporter &)> &PostRun = nullptr) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
   JsonReporter Reporter(Suite);
   benchmark::RunSpecifiedBenchmarks(&Reporter);
+  if (PostRun)
+    PostRun(Reporter);
   Reporter.writeJson();
   benchmark::Shutdown();
   return 0;

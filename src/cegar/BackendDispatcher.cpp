@@ -36,7 +36,15 @@ bool BackendDispatcher::isClassicalProblem(
       return false;
     // Cached on the CompiledRegex: computed once per distinct pattern.
     const RegexFeatures &F = CR->features();
-    if (!F.isClassical() || F.CaptureGroups != 0)
+    if (!F.isClassical())
+      return false;
+    // Capture-bearing classical patterns stay in the lane for
+    // test()-style clauses: the query never validates captures, so the
+    // bounded search only has to witness membership — the capture
+    // variables are derived from segment equalities and cost it nothing.
+    // exec()-style clauses (ValidateCaptures) still need the general
+    // lane's exact capture assignments.
+    if (F.CaptureGroups != 0 && C.Query->ValidateCaptures)
       return false;
   }
   return AnyRegex;

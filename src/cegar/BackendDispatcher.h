@@ -9,11 +9,12 @@
 /// at it, keyed on the RegexFeatures cached on every clause's
 /// CompiledRegex (computed once per pattern by the runtime pipeline):
 ///
-///   every regex clause classical, no capture groups  -> classical lane
-///     (automata-based LocalBackend: membership problems over exact
-///      regular models, solved by product-automaton search)
-///   any capture / backreference / lookaround /       -> general lane
-///     word boundary, or no regex clause at all          (Z3)
+///   every regex clause classical, and capture groups  -> classical lane
+///     occur only in test()-style clauses that never       (automata-based
+///     validate captures                                   LocalBackend)
+///   any backreference / lookaround / word boundary,   -> general lane
+///     any capture-validating (exec) clause, or no        (Z3)
+///     regex clause at all
 ///
 /// Routing is advisory, never semantic: CegarSolver re-runs a problem on
 /// the general lane when the classical lane answers Unknown, so dispatch
@@ -46,11 +47,12 @@ public:
   SolverBackend &route(const std::vector<PathClause> &Clauses);
 
   /// True when every regex clause of \p Clauses stays inside the
-  /// classical fragment (cached features: no captures, backreferences,
-  /// lookarounds or word boundaries) and at least one regex clause
-  /// exists. Pure-boolean/string problems go to the general lane: they
-  /// are cheap there and the classical lane's bounded search adds no
-  /// automata leverage.
+  /// classical fragment (cached features: no backreferences, lookarounds
+  /// or word boundaries; capture groups allowed only on clauses that do
+  /// not validate captures) and at least one regex clause exists.
+  /// Pure-boolean/string problems go to the general lane: they are cheap
+  /// there and the classical lane's bounded search adds no automata
+  /// leverage.
   static bool isClassicalProblem(const std::vector<PathClause> &Clauses);
 
   SolverBackend &classical() { return *Classical; }

@@ -7,9 +7,14 @@
 #include "dse/Engine.h"
 
 #include "cegar/BackendDispatcher.h"
+#include "parallel/WorkerPool.h"
 
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <map>
+#include <optional>
+#include <thread>
 
 using namespace recap;
 
@@ -41,9 +46,27 @@ struct QueuedTest {
   int Bucket; ///< site id of the flipped clause (CUPA bucket key)
 };
 
+/// Spreads CUPA bucket keys (small site ids, plus the -1 seed bucket)
+/// over shards: a finalizer-style mix so consecutive sites do not all
+/// land on consecutive shards of a small pool.
+size_t shardOf(int Site, size_t Workers) {
+  uint64_t H = static_cast<uint64_t>(static_cast<int64_t>(Site));
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  return static_cast<size_t>(H % Workers);
+}
+
 } // namespace
 
 EngineResult DseEngine::run(const Program &P) {
+  size_t W = WorkerPool::resolveWorkers(Opts.Workers);
+  if (W <= 1)
+    return runSerial(P);
+  return runParallel(P, W);
+}
+
+EngineResult DseEngine::runSerial(const Program &P) {
   auto T0 = std::chrono::steady_clock::now();
   auto Elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -169,6 +192,315 @@ EngineResult DseEngine::run(const Program &P) {
   Out.Solver = Backend.stats();
   if (LocalLane)
     Out.LocalSolver = LocalLane->stats();
+  Out.Runtime = Runtime->stats().since(RuntimeBefore);
+  return Out;
+}
+
+namespace {
+
+/// One shard of the parallel search (DESIGN.md §6): it owns a full
+/// single-threaded solver stack — interpreter + symbolic context,
+/// backend pair, CEGAR solver with its pinned sessions — plus the CUPA
+/// buckets of the sites hashed onto it. Only Mu-guarded members
+/// (Buckets/Access) are touched by other shards (work-stealing); the
+/// rest is private to the owning thread.
+struct Shard {
+  // Queue state, shared with thieves.
+  std::mutex Mu;
+  std::map<int, std::vector<QueuedTest>> Buckets;
+  std::map<int, uint64_t> Access;
+
+  // Thread-private solver stack (created on the shard's own thread —
+  // a Z3 context must never be touched from two threads). Declaration
+  // order doubles as destruction order: Solver (pinned sessions) dies
+  // before the backends it references.
+  std::unique_ptr<SolverBackend> Backend;
+  std::unique_ptr<SolverBackend> LocalLane;
+  std::unique_ptr<BackendDispatcher> Dispatcher;
+  std::unique_ptr<CegarSolver> Solver;
+  std::unique_ptr<SymbolicContext> Ctx;
+  std::unique_ptr<Interpreter> Interp;
+  std::mt19937_64 Rng;
+
+  // Thread-private results, merged after the join.
+  ShardStats Window;
+  std::set<int> Covered;
+  std::vector<int> FailedAsserts;
+};
+
+/// Scheduler state shared by all shards. Pending/Active/RetryPool form
+/// the termination protocol and are guarded by one SchedMu: every
+/// transition (claim, enqueue, deactivate, retry flush) and the
+/// quiescence check happen under it, so "Pending == 0 && Active == 0"
+/// is an exact snapshot, never a racy two-read approximation (a stale
+/// Pending read against another shard's enqueue-then-deactivate could
+/// otherwise drop queued work). Claims occur once per test execution —
+/// seconds of solver work — so the lock is uncontended in practice.
+struct Coordinator {
+  std::atomic<uint64_t> TestsStarted{0};
+  std::atomic<bool> Stop{false};
+
+  std::mutex SchedMu;
+  uint64_t Pending = 0;   ///< queued, not yet claimed
+  int Active = 0;         ///< shards executing a claimed test
+  std::vector<QueuedTest> RetryPool;
+
+  std::mutex AttemptMu;
+  std::set<uint64_t> Attempted;
+};
+
+} // namespace
+
+EngineResult DseEngine::runParallel(const Program &P, size_t W) {
+  // Parallel shards each need their own backend; the single backend
+  // handed to the constructor cannot be shared across threads and is
+  // never silently substituted. Without a factory the run degrades to
+  // the serial path — same solver, same verdicts, WorkersUsed == 1
+  // surfaces the misconfiguration.
+  assert(Opts.BackendFactory &&
+         "EngineOptions::Workers > 1 requires a BackendFactory");
+  if (!Opts.BackendFactory)
+    return runSerial(P);
+
+  auto T0 = std::chrono::steady_clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+        .count();
+  };
+
+  EngineResult Out;
+  Out.TotalStmts = P.NumStmts;
+  Out.WorkersUsed = W;
+
+  std::shared_ptr<RegexRuntime> Runtime =
+      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
+  RuntimeStats RuntimeBefore = Runtime->stats();
+
+  Coordinator Co;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  for (size_t I = 0; I < W; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+
+  // Route a queued test to the shard owning its CUPA bucket. SchedMu
+  // must already be held (lock order: SchedMu, then a shard's Mu).
+  auto EnqueueLocked = [&](QueuedTest T) {
+    Shard &S = *Shards[shardOf(T.Bucket, W)];
+    ++Co.Pending;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Buckets[T.Bucket].push_back(std::move(T));
+  };
+  auto Enqueue = [&](QueuedTest T) {
+    std::lock_guard<std::mutex> Lock(Co.SchedMu);
+    EnqueueLocked(std::move(T));
+  };
+
+  // Serial CUPA policy per shard: least-accessed non-empty local bucket,
+  // random pick within it. Called with SchedMu held (the claim path);
+  // the shard Mu still guards the bucket data against Enqueue.
+  auto PopLocal = [&](Shard &Me) -> std::optional<QueuedTest> {
+    std::lock_guard<std::mutex> Lock(Me.Mu);
+    int Best = INT_MIN;
+    uint64_t BestAccess = UINT64_MAX;
+    for (auto &[Site, Tests] : Me.Buckets) {
+      if (Tests.empty())
+        continue;
+      uint64_t A = Me.Access[Site];
+      if (A < BestAccess) {
+        BestAccess = A;
+        Best = Site;
+      }
+    }
+    if (Best == INT_MIN)
+      return std::nullopt;
+    ++Me.Access[Best];
+    std::vector<QueuedTest> &Q = Me.Buckets[Best];
+    size_t Pick = Me.Rng() % Q.size();
+    QueuedTest T = std::move(Q[Pick]);
+    Q.erase(Q.begin() + Pick);
+    --Co.Pending;
+    return T;
+  };
+
+  // Work-stealing: when a shard's own buckets drain, it takes the back
+  // half of the fullest bucket of the first non-empty victim. The items
+  // keep their bucket key, so CUPA fairness is preserved — ownership of
+  // the site just migrates temporarily.
+  auto Steal = [&](size_t Idx) -> std::optional<QueuedTest> {
+    Shard &Me = *Shards[Idx];
+    for (size_t K = 1; K < W; ++K) {
+      Shard &Victim = *Shards[(Idx + K) % W];
+      std::vector<QueuedTest> Loot;
+      int Site = INT_MIN;
+      {
+        std::lock_guard<std::mutex> Lock(Victim.Mu);
+        size_t Fullest = 0;
+        for (auto &[S, Tests] : Victim.Buckets)
+          if (Tests.size() > Fullest) {
+            Fullest = Tests.size();
+            Site = S;
+          }
+        if (Site == INT_MIN)
+          continue;
+        std::vector<QueuedTest> &Q = Victim.Buckets[Site];
+        size_t Keep = Q.size() / 2;
+        for (size_t I = Keep; I < Q.size(); ++I)
+          Loot.push_back(std::move(Q[I]));
+        Q.resize(Keep);
+      }
+      Me.Window.TestsStolen += Loot.size();
+      {
+        std::lock_guard<std::mutex> Lock(Me.Mu);
+        std::vector<QueuedTest> &Q = Me.Buckets[Site];
+        for (QueuedTest &T : Loot)
+          Q.push_back(std::move(T));
+      }
+      return PopLocal(Me);
+    }
+    return std::nullopt;
+  };
+
+  // One concrete+symbolic execution plus its generational flips; the
+  // mirror of the serial loop body with the shared structures swapped in.
+  auto RunOne = [&](Shard &Me, QueuedTest Test) {
+    Trace Tr = Me.Interp->run(P, Test.Inputs);
+    ++Me.Window.TestsRun;
+    Me.Covered.insert(Tr.Covered.begin(), Tr.Covered.end());
+    for (int Id : Tr.FailedAsserts)
+      Me.FailedAsserts.push_back(Id);
+
+    if (Opts.Level == SupportLevel::Concrete)
+      return;
+
+    for (size_t Flip = 0; Flip < Tr.Path.size(); ++Flip) {
+      if (Co.TestsStarted.load() >= Opts.MaxTests ||
+          Elapsed() >= Opts.MaxSeconds)
+        break;
+      uint64_t Sig = flipSignature(Tr.Path, Flip);
+      {
+        std::lock_guard<std::mutex> Lock(Co.AttemptMu);
+        if (!Co.Attempted.insert(Sig).second)
+          continue;
+      }
+
+      std::vector<PathClause> Problem;
+      for (size_t I = 0; I < Flip; ++I)
+        Problem.push_back(Tr.Path[I].Clause);
+      Problem.push_back(Tr.Path[Flip].Clause.negated());
+
+      CegarResult R = Me.Solver->solve(Problem);
+      if (R.Status == SolveStatus::Unknown) {
+        {
+          std::lock_guard<std::mutex> Lock(Co.AttemptMu);
+          Co.Attempted.erase(Sig);
+        }
+        std::lock_guard<std::mutex> Lock(Co.SchedMu);
+        Co.RetryPool.push_back({Test.Inputs, Test.Bucket});
+        continue;
+      }
+      if (R.Status != SolveStatus::Sat)
+        continue;
+
+      InputMap NewInputs = Test.Inputs;
+      for (const std::string &Param : P.Params) {
+        auto It = R.Model.Strings.find("in!" + Param);
+        if (It != R.Model.Strings.end())
+          NewInputs[Param] = It->second;
+      }
+      int Site = Tr.Path[Flip].SiteId;
+      Enqueue({std::move(NewInputs), Site});
+    }
+  };
+
+  Enqueue({InputMap(), -1});
+
+  WorkerPool::runShards(W, [&](size_t Idx) {
+    Shard &Me = *Shards[Idx];
+    // The whole stack is built on this thread so thread-affine backend
+    // state (Z3 contexts) is born where it is used.
+    Me.Backend = Opts.BackendFactory();
+    if (Opts.Dispatch) {
+      Me.LocalLane = makeLocalBackend();
+      Me.Dispatcher = std::make_unique<BackendDispatcher>(
+          *Me.LocalLane, *Me.Backend, Runtime->statsHandle());
+      Me.Solver = std::make_unique<CegarSolver>(*Me.Dispatcher, Opts.Cegar);
+    } else {
+      Me.Solver = std::make_unique<CegarSolver>(*Me.Backend, Opts.Cegar);
+    }
+    Me.Ctx = std::make_unique<SymbolicContext>(Opts.Level, Runtime);
+    Me.Interp =
+        std::make_unique<Interpreter>(*Me.Ctx, Opts.MaxWhileIterations);
+    Me.Rng.seed(Opts.Seed + 0x9e3779b97f4a7c15ull * (Idx + 1));
+
+    while (!Co.Stop.load()) {
+      if (Elapsed() >= Opts.MaxSeconds) {
+        Co.Stop.store(true);
+        break;
+      }
+      // Claim-or-conclude, atomically under SchedMu: either a test is
+      // claimed (Pending--, Active++), or this shard saw an exact
+      // quiescent snapshot and flushes the retry pool / stops the run.
+      std::optional<QueuedTest> T;
+      {
+        std::lock_guard<std::mutex> Lock(Co.SchedMu);
+        T = PopLocal(Me);
+        if (!T)
+          T = Steal(Idx);
+        if (T) {
+          ++Co.Active;
+        } else if (Co.Pending == 0 && Co.Active == 0) {
+          if (!Co.RetryPool.empty() &&
+              Co.TestsStarted.load() < Opts.MaxTests) {
+            // Global drain with retryable tests left: requeue them
+            // (the serial engine's retry round).
+            for (QueuedTest &R : Co.RetryPool)
+              EnqueueLocked(std::move(R));
+            Co.RetryPool.clear();
+          } else {
+            Co.Stop.store(true);
+            break;
+          }
+        }
+      }
+      if (!T) {
+        // Brief sleep, not a hot spin: an idle shard must not steal CPU
+        // from the shards inside multi-second solver calls.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      auto Deactivate = [&] {
+        std::lock_guard<std::mutex> Lock(Co.SchedMu);
+        --Co.Active;
+      };
+      if (Co.TestsStarted.fetch_add(1) >= Opts.MaxTests) {
+        Deactivate();
+        Co.Stop.store(true);
+        break;
+      }
+      RunOne(Me, std::move(*T));
+      Deactivate();
+    }
+  });
+
+  for (std::unique_ptr<Shard> &SP : Shards) {
+    Shard &S = *SP;
+    Out.TestsRun += S.Window.TestsRun;
+    Out.Covered.insert(S.Covered.begin(), S.Covered.end());
+    Out.FailedAsserts.insert(Out.FailedAsserts.end(),
+                             S.FailedAsserts.begin(),
+                             S.FailedAsserts.end());
+    if (S.Solver)
+      S.Window.Cegar = S.Solver->stats();
+    if (S.Backend)
+      S.Window.Solver = S.Backend->stats();
+    if (S.LocalLane)
+      S.Window.LocalSolver = S.LocalLane->stats();
+    Out.Cegar.merge(S.Window.Cegar);
+    Out.Solver.merge(S.Window.Solver);
+    Out.LocalSolver.merge(S.Window.LocalSolver);
+    Out.Shards.push_back(S.Window);
+  }
+  Out.Seconds = Elapsed();
   Out.Runtime = Runtime->stats().since(RuntimeBefore);
   return Out;
 }

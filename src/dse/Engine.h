@@ -18,6 +18,7 @@
 
 #include "dse/Interpreter.h"
 
+#include <functional>
 #include <random>
 
 namespace recap {
@@ -42,6 +43,20 @@ struct EngineOptions {
   /// (see cegar/BackendDispatcher.h). Dispatch counters land in
   /// EngineResult::Runtime.
   bool Dispatch = false;
+  /// Shard-per-worker parallel search (DESIGN.md §6). 1 (the default)
+  /// runs the single-threaded legacy path bit-identically; 0 = one shard
+  /// per hardware thread; N > 1 runs N shards, each owning its own
+  /// interpreter, backend pair and pinned solver sessions over the
+  /// shared pattern runtime, with the CUPA buckets partitioned by
+  /// site-id hash and work-stealing when a shard's buckets drain.
+  size_t Workers = 1;
+  /// Creates one solver backend per shard — required when Workers != 1:
+  /// solver state is never shared across threads, so the single Backend
+  /// handed to DseEngine cannot serve multiple shards, and it is never
+  /// silently substituted either. Left null with Workers > 1, the run
+  /// degrades to the serial path (same solver, same verdicts) and
+  /// EngineResult::WorkersUsed reports 1 (asserts in debug builds).
+  std::function<std::unique_ptr<SolverBackend>()> BackendFactory;
 
   EngineOptions() {
     // Backreference queries with pinned capture constants can take Z3
@@ -49,6 +64,18 @@ struct EngineOptions {
     // stay retryable (see Engine.cpp).
     Cegar.Limits.TimeoutMs = 10000;
   }
+};
+
+/// One shard's window of the parallel run: its share of the tests plus
+/// the stats of the solver stack it owned. The top-level EngineResult
+/// counters are the associative merge of these windows (tested by
+/// parallel_engine_test: merged == sum of shards).
+struct ShardStats {
+  uint64_t TestsRun = 0;
+  uint64_t TestsStolen = 0; ///< tests taken from another shard's buckets
+  CegarStats Cegar;
+  SolverStats Solver;
+  SolverStats LocalSolver;
 };
 
 struct EngineResult {
@@ -63,6 +90,10 @@ struct EngineResult {
   /// EngineOptions::Dispatch).
   SolverStats LocalSolver;
   RuntimeStats Runtime; ///< pipeline cache + backend dispatch counters
+  /// Per-shard windows (empty on the single-threaded path).
+  std::vector<ShardStats> Shards;
+  /// Actual shard count of this run (1 on the legacy path).
+  size_t WorkersUsed = 1;
 
   double coveragePercent() const {
     return TotalStmts == 0
@@ -83,6 +114,12 @@ public:
   EngineResult run(const Program &P);
 
 private:
+  /// The original single-threaded generational search (Workers == 1).
+  EngineResult runSerial(const Program &P);
+  /// Shard-per-worker search: \p Workers shards over partitioned CUPA
+  /// buckets (DESIGN.md §6).
+  EngineResult runParallel(const Program &P, size_t Workers);
+
   SolverBackend &Backend;
   EngineOptions Opts;
 };

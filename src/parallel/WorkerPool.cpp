@@ -1,0 +1,86 @@
+//===- parallel/WorkerPool.cpp - Shard-per-worker thread pool --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/WorkerPool.h"
+
+using namespace recap;
+
+WorkerPool::WorkerPool(size_t Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (size_t I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Shutdown = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Job));
+  }
+  HasWork.notify_one();
+}
+
+void WorkerPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      HasWork.wait(Lock, [this] { return Shutdown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutdown with a drained queue
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Running;
+      if (Queue.empty() && Running == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+size_t WorkerPool::hardwareWorkers() {
+  unsigned H = std::thread::hardware_concurrency();
+  return H == 0 ? 1 : H;
+}
+
+size_t WorkerPool::resolveWorkers(size_t Requested) {
+  return Requested == 0 ? hardwareWorkers() : Requested;
+}
+
+void WorkerPool::runShards(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Fn(0);
+    return;
+  }
+  std::vector<std::thread> Shards;
+  Shards.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Shards.emplace_back([&Fn, I] { Fn(I); });
+  for (std::thread &T : Shards)
+    T.join();
+}

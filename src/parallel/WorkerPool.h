@@ -1,0 +1,79 @@
+//===- parallel/WorkerPool.h - Shard-per-worker thread pool -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate for shard-per-worker scaling (DESIGN.md §6):
+/// a small fixed-size thread pool with a task queue, plus the fork-join
+/// helpers the DSE engine and the survey use to run one long-lived shard
+/// loop per worker. Shards own all mutable solver state (backends,
+/// sessions, CEGAR caches); the pool only moves closures onto threads —
+/// everything shared between shards synchronizes on its own terms
+/// (RegexRuntime interning, CompiledRegex stage mutexes, the engine's
+/// scheduler locks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_PARALLEL_WORKERPOOL_H
+#define RECAP_PARALLEL_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace recap {
+
+class WorkerPool {
+public:
+  /// Spawns \p Workers threads (at least 1).
+  explicit WorkerPool(size_t Workers);
+  /// Drains the queue, then joins every worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  size_t workers() const { return Threads.size(); }
+
+  /// Enqueues \p Job; some worker runs it eventually. Exceptions escaping
+  /// a job terminate (recap code reports failure through return values).
+  void submit(std::function<void()> Job);
+
+  /// Blocks until the queue is empty and no job is running.
+  void wait();
+
+  /// max(1, std::thread::hardware_concurrency).
+  static size_t hardwareWorkers();
+
+  /// Maps a Workers option to an actual count: 0 = hardwareWorkers(),
+  /// otherwise the request itself (floored at 1).
+  static size_t resolveWorkers(size_t Requested);
+
+  /// Fork-join without a pool: spawns exactly \p N threads running
+  /// Fn(0..N-1) and joins them. This is what shard loops use — each shard
+  /// is a long-lived loop that may idle-wait on other shards' queues, so
+  /// it needs a dedicated thread, not a queue slot that could starve
+  /// behind another shard.
+  static void runShards(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Threads;
+  std::mutex Mu;
+  std::condition_variable HasWork; ///< queue non-empty or shutting down
+  std::condition_variable Idle;    ///< queue empty and nothing running
+  std::deque<std::function<void()>> Queue;
+  size_t Running = 0;
+  bool Shutdown = false;
+};
+
+} // namespace recap
+
+#endif // RECAP_PARALLEL_WORKERPOOL_H

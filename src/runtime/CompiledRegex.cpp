@@ -25,7 +25,15 @@ CompiledRegex::CompiledRegex(Regex R, std::shared_ptr<RuntimeStats> Stats)
     this->Stats = std::make_shared<RuntimeStats>();
 }
 
+// Every stage accessor takes StageMu for the whole build-or-hit: a cold
+// build publishes its artifact before the lock is released, so a
+// concurrent first-toucher either does the build itself or blocks and
+// then reads the finished artifact — never a duplicate, never a tear.
+// The returned references point at immutable storage (optionals are set
+// once and never reset), so callers may keep using them lock-free.
+
 const RegexFeatures &CompiledRegex::features() {
+  std::lock_guard<std::mutex> Lock(StageMu);
   if (Feats) {
     ++Stats->FeatureHits;
     return *Feats;
@@ -37,6 +45,7 @@ const RegexFeatures &CompiledRegex::features() {
 
 const std::map<const BackreferenceNode *, BackrefType> &
 CompiledRegex::backrefTypes() {
+  std::lock_guard<std::mutex> Lock(StageMu);
   if (BrTypes) {
     ++Stats->BackrefHits;
     return *BrTypes;
@@ -46,7 +55,7 @@ CompiledRegex::backrefTypes() {
   return *BrTypes;
 }
 
-const RegularApprox &CompiledRegex::classicalApprox() {
+const RegularApprox &CompiledRegex::approxLocked() {
   if (Approx) {
     ++Stats->ApproxHits;
     return *Approx;
@@ -59,20 +68,27 @@ const RegularApprox &CompiledRegex::classicalApprox() {
   return *Approx;
 }
 
+const RegularApprox &CompiledRegex::classicalApprox() {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  return approxLocked();
+}
+
 std::shared_ptr<const Automaton> CompiledRegex::automaton(size_t StateLimit) {
+  std::lock_guard<std::mutex> Lock(StageMu);
   if (DfaDone) {
     ++Stats->AutomatonHits;
     return Dfa;
   }
   ++Stats->AutomatonComputes;
   DfaDone = true;
-  Result<Automaton> A = Automaton::compile(classicalApprox().Re, StateLimit);
+  Result<Automaton> A = Automaton::compile(approxLocked().Re, StateLimit);
   if (A)
     Dfa = std::make_shared<const Automaton>(A.take());
   return Dfa;
 }
 
 std::shared_ptr<const Matcher> CompiledRegex::sharedMatcher() {
+  std::lock_guard<std::mutex> Lock(StageMu);
   if (M) {
     ++Stats->MatcherHits;
     return M;
@@ -85,17 +101,27 @@ std::shared_ptr<const Matcher> CompiledRegex::sharedMatcher() {
 SymbolicMatch CompiledRegex::instantiate(TermRef Input,
                                          const std::string &VarPrefix,
                                          const ModelOptions &Opts) {
-  auto It = Templates.find(modelKey(Opts));
-  if (It == Templates.end()) {
-    ++Stats->TemplateComputes;
-    Template T;
-    T.Input = mkStrVar(TemplateInputName);
-    T.Match = ModelBuilder(R, TemplatePrefix, Opts).build(T.Input);
-    It = Templates.emplace(modelKey(Opts), std::move(T)).first;
-  } else {
-    ++Stats->TemplateHits;
+  // Only the template lookup/build needs StageMu. The instantiation —
+  // a rename pass over the whole model term DAG, and the per-query hot
+  // path under shard-per-worker DSE — runs outside the lock: entries
+  // are never erased, std::map nodes are stable, and a built Template
+  // is immutable, so the reference stays valid and safe to read while
+  // other shards build templates for different ModelOptions.
+  const Template *T;
+  {
+    std::lock_guard<std::mutex> Lock(StageMu);
+    auto It = Templates.find(modelKey(Opts));
+    if (It == Templates.end()) {
+      ++Stats->TemplateComputes;
+      Template NewT;
+      NewT.Input = mkStrVar(TemplateInputName);
+      NewT.Match = ModelBuilder(R, TemplatePrefix, Opts).build(NewT.Input);
+      It = Templates.emplace(modelKey(Opts), std::move(NewT)).first;
+    } else {
+      ++Stats->TemplateHits;
+    }
+    T = &It->second;
   }
-  return instantiateSymbolicMatch(It->second.Match, TemplatePrefix,
-                                  VarPrefix, It->second.Input,
-                                  std::move(Input));
+  return instantiateSymbolicMatch(T->Match, TemplatePrefix, VarPrefix,
+                                  T->Input, std::move(Input));
 }

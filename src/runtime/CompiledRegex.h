@@ -32,47 +32,86 @@
 #include "model/Approx.h"
 #include "model/ModelBuilder.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <tuple>
 
 namespace recap {
 
+/// A copyable relaxed atomic counter. RuntimeStats blocks are shared by
+/// every CompiledRegex of a runtime, and under shard-per-worker execution
+/// two shards bump the same field through *different* CompiledRegex
+/// objects (guarded by different stage mutexes) — so the counters
+/// themselves must be atomic. Relaxed ordering suffices: they are
+/// monotonic tallies, never used for synchronization. Copying snapshots
+/// the value, which keeps RuntimeStats a plain value type for since() /
+/// merge() / EngineResult.
+class StatCounter {
+public:
+  StatCounter(uint64_t V = 0) : V(V) {}
+  StatCounter(const StatCounter &O) : V(O.load()) {}
+  StatCounter &operator=(const StatCounter &O) {
+    V.store(O.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter &operator=(uint64_t X) {
+    V.store(X, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const { return load(); }
+  uint64_t operator++() {
+    return V.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  StatCounter &operator+=(uint64_t X) {
+    V.fetch_add(X, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t load() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V;
+};
+
 /// Cache hit/miss/eviction counters for the shared compilation pipeline.
 /// One instance is shared by a RegexRuntime and every CompiledRegex it
-/// interns; a standalone CompiledRegex owns a private instance.
+/// interns; a standalone CompiledRegex owns a private instance. Counters
+/// are individually atomic (see StatCounter), so concurrent shards can
+/// contribute to one shared block; reading while writers are live yields
+/// a per-counter-consistent snapshot.
 struct RuntimeStats {
   // Interning (RegexRuntime::get/literal/intern).
-  uint64_t InternHits = 0;
-  uint64_t InternMisses = 0;
-  uint64_t InternEvictions = 0;
+  StatCounter InternHits;
+  StatCounter InternMisses;
+  StatCounter InternEvictions;
   /// Parse failures, and repeated failures served from the error cache.
-  uint64_t ParseErrors = 0;
-  uint64_t ErrorHits = 0;
+  StatCounter ParseErrors;
+  StatCounter ErrorHits;
 
   // Per-stage lazy pipeline counters (Computes = cold builds, Hits =
   // memoized reuses).
-  uint64_t FeatureComputes = 0;
-  uint64_t FeatureHits = 0;
-  uint64_t BackrefComputes = 0;
-  uint64_t BackrefHits = 0;
-  uint64_t ApproxComputes = 0;
-  uint64_t ApproxHits = 0;
-  uint64_t AutomatonComputes = 0;
-  uint64_t AutomatonHits = 0;
-  uint64_t MatcherComputes = 0;
-  uint64_t MatcherHits = 0;
-  uint64_t TemplateComputes = 0;
-  uint64_t TemplateHits = 0;
+  StatCounter FeatureComputes;
+  StatCounter FeatureHits;
+  StatCounter BackrefComputes;
+  StatCounter BackrefHits;
+  StatCounter ApproxComputes;
+  StatCounter ApproxHits;
+  StatCounter AutomatonComputes;
+  StatCounter AutomatonHits;
+  StatCounter MatcherComputes;
+  StatCounter MatcherHits;
+  StatCounter TemplateComputes;
+  StatCounter TemplateHits;
 
   // Backend dispatch (cegar/BackendDispatcher): problems routed to the
   // classical (automata) lane vs the general (Z3) lane per the cached
   // RegexFeatures, and classical-lane Unknowns re-run on the general
   // backend.
-  uint64_t DispatchClassical = 0;
-  uint64_t DispatchGeneral = 0;
-  uint64_t DispatchFallbacks = 0;
+  StatCounter DispatchClassical;
+  StatCounter DispatchGeneral;
+  StatCounter DispatchFallbacks;
 
   uint64_t hits() const {
     return InternHits + FeatureHits + BackrefHits + ApproxHits +
@@ -135,9 +174,12 @@ struct RuntimeStats {
   }
 };
 
-/// One compiled (pattern, flags) pair. Not thread-safe: a runtime (and its
-/// compiled regexes) belongs to one execution; see DESIGN.md for the
-/// sharding direction.
+/// One compiled (pattern, flags) pair. Thread-safe: the lazy pipeline
+/// stages are built under a per-object mutex, so shards sharing an
+/// interned pattern table can first-touch any stage concurrently without
+/// double construction or torn reads (DESIGN.md §6). Stage artifacts are
+/// immutable once built; references handed out stay valid for the
+/// object's lifetime and are safe to read without the lock.
 class CompiledRegex {
 public:
   /// Wraps an already-parsed regex. \p Stats may be shared with an owning
@@ -180,6 +222,10 @@ public:
   const std::shared_ptr<RuntimeStats> &statsHandle() const { return Stats; }
 
 private:
+  /// classicalApprox() body with StageMu already held (automaton() needs
+  /// the approximation while holding the lock).
+  const RegularApprox &approxLocked();
+
   /// ModelOptions projected onto a comparable key.
   using ModelKey = std::tuple<size_t, size_t, bool, bool, bool, bool>;
   static ModelKey modelKey(const ModelOptions &O) {
@@ -195,6 +241,12 @@ private:
 
   Regex R;
   std::shared_ptr<RuntimeStats> Stats;
+
+  /// Serializes lazy stage construction (and the stats bumps) across
+  /// threads. Held for the duration of a cold build: concurrent
+  /// first-touchers of the same pattern block until the artifact exists
+  /// rather than duplicating the work.
+  std::mutex StageMu;
 
   std::optional<RegexFeatures> Feats;
   std::optional<std::map<const BackreferenceNode *, BackrefType>> BrTypes;

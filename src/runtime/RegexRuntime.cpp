@@ -47,15 +47,31 @@ void RegexRuntime::rememberError(const std::string &Key,
 Result<std::shared_ptr<CompiledRegex>>
 RegexRuntime::get(const UString &Pattern, RegexFlags Flags) {
   std::string Key = makeKey(Pattern, Flags);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
+      return *C;
+    auto ErrIt = Errors.find(Key);
+    if (ErrIt != Errors.end()) {
+      ++Stats->ErrorHits;
+      return Result<std::shared_ptr<CompiledRegex>>::error(ErrIt->second);
+    }
+  }
+  // Parse outside the lock: distinct cold patterns must compile in
+  // parallel across shards (holding Mu here would serialize the parse
+  // fraction of a sharded survey at 1x). On a same-key race the loser
+  // re-checks below and adopts the winner's artifact; the duplicated
+  // parse is rare and benign.
+  Result<Regex> R = Regex::parse(Pattern, Flags);
+  std::lock_guard<std::mutex> Lock(Mu);
   if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
     return *C;
-  auto ErrIt = Errors.find(Key);
-  if (ErrIt != Errors.end()) {
-    ++Stats->ErrorHits;
-    return Result<std::shared_ptr<CompiledRegex>>::error(ErrIt->second);
-  }
-  Result<Regex> R = Regex::parse(Pattern, Flags);
   if (!R) {
+    auto ErrIt = Errors.find(Key);
+    if (ErrIt != Errors.end()) {
+      ++Stats->ErrorHits;
+      return Result<std::shared_ptr<CompiledRegex>>::error(ErrIt->second);
+    }
     rememberError(Key, R.error());
     return Result<std::shared_ptr<CompiledRegex>>::error(R.error());
   }
@@ -71,6 +87,7 @@ RegexRuntime::get(const std::string &Pattern, const std::string &Flags) {
     // the raw flag string is length-prefixed since it may contain '\n'.
     std::string Key = std::string("\x01F") + std::to_string(Flags.size()) +
                       ":" + Flags + "\n" + Pattern;
+    std::lock_guard<std::mutex> Lock(Mu);
     auto It = Errors.find(Key);
     if (It != Errors.end()) {
       ++Stats->ErrorHits;
@@ -95,12 +112,30 @@ RegexRuntime::literal(const std::string &Literal) {
 
 std::shared_ptr<CompiledRegex> RegexRuntime::intern(Regex R) {
   std::string Key = makeKey(R.pattern(), R.flags());
+  std::lock_guard<std::mutex> Lock(Mu);
   if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
     return *C;
   return insert(std::move(Key), std::move(R));
 }
 
 void RegexRuntime::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
   Entries.clear();
   Errors.clear();
+}
+
+void RegexRuntime::warm(const std::shared_ptr<CompiledRegex> &C,
+                        unsigned Stages) {
+  if (!C)
+    return;
+  // Each stage accessor is itself synchronized; warming just pays the
+  // build cost here instead of at a worker's first touch.
+  if (Stages & WarmFeatures)
+    C->features();
+  if (Stages & WarmApprox)
+    C->classicalApprox();
+  if (Stages & WarmAutomaton)
+    C->automaton();
+  if (Stages & WarmMatcher)
+    C->sharedMatcher();
 }

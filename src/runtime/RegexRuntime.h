@@ -16,7 +16,11 @@
 ///
 /// One runtime is threaded through an execution (DSE engine run, survey
 /// aggregation, bench loop); independent executions can share a runtime to
-/// share compilation work.
+/// share compilation work. The table is concurrency-safe: interning is
+/// serialized by an internal mutex and the CompiledRegex artifacts it
+/// hands out synchronize their own lazy stages, so shard-per-worker
+/// executions (parallel DSE, sliced survey) share one runtime directly
+/// (DESIGN.md §6).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,7 @@
 #include "runtime/CompiledRegex.h"
 #include "support/LruMap.h"
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -65,9 +70,27 @@ public:
   void resetStats() { *Stats = RuntimeStats(); }
 
   /// Interned entry count.
-  size_t size() const { return Entries.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Entries.size();
+  }
   /// Drops every interned entry and negative-cache entry (stats survive).
   void clear();
+
+  /// Pre-warms \p Stages of an interned pattern from the calling thread
+  /// (parse via get(); then features / approximation / automaton /
+  /// matcher eagerly). Survey slices and DSE shards can warm the table
+  /// before fan-out so workers start on fully built artifacts instead of
+  /// contending on first-touch builds.
+  enum WarmStages : unsigned {
+    WarmFeatures = 1u << 0,
+    WarmApprox = 1u << 1,
+    WarmAutomaton = 1u << 2,
+    WarmMatcher = 1u << 3,
+    WarmAll = WarmFeatures | WarmApprox | WarmAutomaton | WarmMatcher,
+  };
+  void warm(const std::shared_ptr<CompiledRegex> &C,
+            unsigned Stages = WarmAll);
 
 private:
   static std::string makeKey(const UString &Pattern,
@@ -78,6 +101,12 @@ private:
 
   RuntimeOptions Opts;
   std::shared_ptr<RuntimeStats> Stats;
+  /// Guards Entries and Errors (the stats block is atomic per counter and
+  /// CompiledRegex stages synchronize themselves). NOT held across a
+  /// cold-miss parse — distinct patterns parse in parallel; a same-key
+  /// race re-checks the table after parsing and adopts the winner's
+  /// entry.
+  mutable std::mutex Mu;
   LruMap<std::shared_ptr<CompiledRegex>> Entries;
   std::unordered_map<std::string, std::string> Errors;
 };

@@ -62,6 +62,23 @@ struct SolverStats {
   /// complement/product constructions persisted across checks).
   uint64_t SessionCandidateHits = 0;
   uint64_t SessionCandidateMisses = 0;
+
+  /// Associative accumulation of per-shard windows (each shard owns its
+  /// backends, so windows never overlap).
+  void merge(const SolverStats &O) {
+    Queries += O.Queries;
+    Sat += O.Sat;
+    Unsat += O.Unsat;
+    Unknown += O.Unknown;
+    TotalSeconds += O.TotalSeconds;
+    MaxSeconds = MaxSeconds < O.MaxSeconds ? O.MaxSeconds : MaxSeconds;
+    SessionsOpened += O.SessionsOpened;
+    SessionChecks += O.SessionChecks;
+    SessionAsserts += O.SessionAsserts;
+    SessionPops += O.SessionPops;
+    SessionCandidateHits += O.SessionCandidateHits;
+    SessionCandidateMisses += O.SessionCandidateMisses;
+  }
 };
 
 class SolverBackend;

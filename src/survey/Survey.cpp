@@ -6,6 +6,8 @@
 
 #include "survey/Survey.h"
 
+#include "parallel/WorkerPool.h"
+
 #include <cctype>
 
 using namespace recap;
@@ -145,13 +147,19 @@ std::vector<std::string> recap::surveyExtensionFeatureNames() {
 
 void Survey::countRegex(const RegexFeatures &F, const RegexFlags &Flags,
                         bool FirstSeen) {
+  bumpFeatures(F, Flags, /*Total=*/true, /*Unique=*/FirstSeen);
+}
+
+void Survey::bumpFeatures(const RegexFeatures &F, const RegexFlags &Flags,
+                          bool Total, bool Unique) {
 
   auto Bump = [&](const std::string &Name, bool Present) {
     if (!Present)
       return;
     FeatureCount &FC = Features[Name];
-    ++FC.Total;
-    if (FirstSeen)
+    if (Total)
+      ++FC.Total;
+    if (Unique)
       ++FC.Unique;
   };
   Bump("Capture Groups", F.CaptureGroups > 0);
@@ -210,4 +218,66 @@ void Survey::addPackage(const std::vector<std::string> &JsFiles) {
   WithCaptures += HasCaptures;
   WithBackrefs += HasBackrefs;
   WithQuantifiedBackrefs += HasQBackrefs;
+}
+
+void Survey::merge(const Survey &O) {
+  Packages += O.Packages;
+  WithSource += O.WithSource;
+  WithRegex += O.WithRegex;
+  WithCaptures += O.WithCaptures;
+  WithBackrefs += O.WithBackrefs;
+  WithQuantifiedBackrefs += O.WithQuantifiedBackrefs;
+  TotalRegexes += O.TotalRegexes;
+  // Totals are plain sums; unique rows cannot be (a literal first seen in
+  // two windows would double-count), so they are recomputed from the
+  // literal-set union below.
+  for (const auto &[Name, FC] : O.Features)
+    Features[Name].Total += FC.Total;
+  for (const std::string &Lit : O.Seen) {
+    if (!Seen.insert(Lit).second)
+      continue;
+    ++UniqueRegexes;
+    Result<std::shared_ptr<CompiledRegex>> C = Runtime->literal(Lit);
+    if (C) // always interned already when the runtimes are shared
+      bumpFeatures((*C)->features(), (*C)->flags(), /*Total=*/false,
+                   /*Unique=*/true);
+  }
+}
+
+Survey Survey::runParallel(
+    const std::vector<std::vector<std::string>> &Packages, size_t Workers,
+    std::shared_ptr<RegexRuntime> RT) {
+  size_t W = WorkerPool::resolveWorkers(Workers);
+  std::shared_ptr<RegexRuntime> Runtime =
+      RT ? std::move(RT) : std::make_shared<RegexRuntime>();
+  if (W > Packages.size())
+    W = Packages.size() == 0 ? 1 : Packages.size();
+
+  // One private Survey per contiguous slice, all over the shared
+  // (concurrency-safe) runtime: a pattern repeated across slices is
+  // parsed and feature-analyzed once, whichever shard touches it first.
+  // Slices run as pool tasks (they are finite batch jobs, unlike the
+  // engine's long-lived shard loops, which need dedicated threads).
+  std::vector<Survey> Slices;
+  Slices.reserve(W);
+  for (size_t I = 0; I < W; ++I)
+    Slices.emplace_back(Runtime);
+  {
+    WorkerPool Pool(W);
+    for (size_t Idx = 0; Idx < W; ++Idx)
+      Pool.submit([&, Idx] {
+        size_t Begin = Packages.size() * Idx / W;
+        size_t End = Packages.size() * (Idx + 1) / W;
+        for (size_t I = Begin; I < End; ++I)
+          Slices[Idx].addPackage(Packages[I]);
+      });
+    Pool.wait();
+  }
+
+  // Merging in slice order keeps the aggregation deterministic and equal
+  // to the serial result (survey_test.ParallelMatchesSerial).
+  Survey Out(Runtime);
+  for (const Survey &S : Slices)
+    Out.merge(S);
+  return Out;
 }

@@ -44,6 +44,13 @@ std::vector<std::string> surveyExtensionFeatureNames();
 /// analysis go through one RegexRuntime: a corpus regex is parsed and
 /// analyzed once no matter how many packages or occurrences repeat it
 /// (and malformed literals are rejected from the negative cache).
+///
+/// Corpus-scale runs shard the aggregation: runParallel() slices the
+/// package list over N workers, each aggregating into a private Survey
+/// over the *shared* runtime, and merges the slices in order — the
+/// result is equal to the serial aggregation, field for field (totals
+/// are sums; unique counts are recomputed over the union of the
+/// per-slice literal sets at merge time).
 class Survey {
 public:
   /// Uses a private runtime when \p RT is null; pass one to share
@@ -55,7 +62,24 @@ public:
   /// vector = package without source files).
   void addPackage(const std::vector<std::string> &JsFiles);
 
+  /// Folds another survey window into this one. Totals add; literals
+  /// seen by \p O but not by this survey count into the unique rows
+  /// (their features resolve through this survey's runtime — a cache
+  /// hit when both surveys share it, as runParallel's slices do).
+  void merge(const Survey &O);
+
+  /// Shard-per-slice aggregation of \p Packages (outer index = package,
+  /// inner = its JS file contents) over \p Workers threads (0 = one per
+  /// hardware thread). Deterministic: slices merge in slice order and
+  /// the result equals a serial Survey over the same list.
+  static Survey runParallel(
+      const std::vector<std::vector<std::string>> &Packages,
+      size_t Workers, std::shared_ptr<RegexRuntime> RT = nullptr);
+
   const RegexRuntime &runtime() const { return *Runtime; }
+  const std::shared_ptr<RegexRuntime> &runtimeHandle() const {
+    return Runtime;
+  }
 
   // Table 4 rows.
   uint64_t Packages = 0;
@@ -79,6 +103,8 @@ public:
 private:
   void countRegex(const RegexFeatures &F, const RegexFlags &Flags,
                   bool FirstSeen);
+  void bumpFeatures(const RegexFeatures &F, const RegexFlags &Flags,
+                    bool Total, bool Unique);
   std::shared_ptr<RegexRuntime> Runtime;
   std::set<std::string> Seen;
 };

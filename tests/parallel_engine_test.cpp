@@ -1,0 +1,237 @@
+//===- tests/parallel_engine_test.cpp - Sharded DSE vs serial --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ISSUE-3 acceptance gates for shard-per-worker DSE:
+//
+//  - Workers=1 is the bit-identical legacy path: two runs with the same
+//    seed agree on every counter, and EngineResult carries no shard
+//    windows.
+//  - 1-worker and N-worker runs find the same bug set on the dse_test /
+//    workloads_test programs (exploration order may differ; the set of
+//    violated assertions may not).
+//  - The merged CegarStats / SolverStats of a parallel run equal the
+//    sums of the per-shard windows.
+//  - The widened classical lane: capture-bearing classical patterns
+//    route to LocalBackend for test()-style queries, with verdict parity
+//    against Z3-only solving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/BackendDispatcher.h"
+#include "dse/Engine.h"
+#include "dse/Workloads.h"
+
+#include "CalibrationProbe.h"
+
+#include <gtest/gtest.h>
+
+using namespace recap;
+using namespace recap::mjs;
+
+namespace {
+
+std::set<int> bugSet(const EngineResult &R) {
+  return std::set<int>(R.FailedAsserts.begin(), R.FailedAsserts.end());
+}
+
+TEST(ParallelEngine, WorkersOneIsTheLegacyPath) {
+  Program P = listing1Program();
+  auto RunOnce = [&] {
+    auto Backend = makeZ3Backend();
+    EngineOptions Opts;
+    // Small MaxTests with a generous wall budget: both runs must finish
+    // by test count, not by clock, or the counter comparison below would
+    // depend on machine load.
+    Opts.MaxTests = 6;
+    Opts.MaxSeconds = testsupport::scaledSeconds(180);
+    Opts.Cegar.Limits.TimeoutMs = testsupport::scaledTimeoutMs(10000);
+    Opts.Workers = 1;
+    DseEngine Engine(*Backend, Opts);
+    return Engine.run(P);
+  };
+  EngineResult A = RunOnce();
+  EngineResult B = RunOnce();
+  EXPECT_EQ(A.TestsRun, B.TestsRun);
+  EXPECT_EQ(A.Covered, B.Covered);
+  EXPECT_EQ(A.FailedAsserts, B.FailedAsserts);
+  EXPECT_EQ(A.Cegar.Queries, B.Cegar.Queries);
+  EXPECT_EQ(A.Cegar.QueriesWithRegex, B.Cegar.QueriesWithRegex);
+  EXPECT_EQ(A.WorkersUsed, 1u);
+  EXPECT_TRUE(A.Shards.empty()); // no shard windows on the legacy path
+}
+
+TEST(ParallelEngine, SameBugSetOnListing1) {
+  Program P = listing1Program();
+  auto RunWith = [&](size_t Workers) {
+    auto Backend = makeZ3Backend();
+    EngineOptions Opts;
+    Opts.MaxTests = 40;
+    Opts.MaxSeconds = testsupport::scaledSeconds(90);
+    Opts.Cegar.Limits.TimeoutMs = testsupport::scaledTimeoutMs(10000);
+    Opts.Workers = Workers;
+    Opts.BackendFactory = [] { return makeZ3Backend(); };
+    DseEngine Engine(*Backend, Opts);
+    return Engine.run(P);
+  };
+  EngineResult Serial = RunWith(1);
+  EngineResult Par = RunWith(3);
+  EXPECT_TRUE(Serial.bugFound());
+  EXPECT_TRUE(Par.bugFound());
+  EXPECT_EQ(bugSet(Par), bugSet(Serial));
+}
+
+TEST(ParallelEngine, SameBugSetOnSemver) {
+  Program P;
+  for (Program &L : table6Libraries())
+    if (L.Name == "semver")
+      P = std::move(L);
+  auto RunWith = [&](size_t Workers) {
+    auto Backend = makeZ3Backend();
+    EngineOptions Opts;
+    Opts.Level = SupportLevel::Refinement;
+    Opts.MaxTests = 48;
+    Opts.MaxSeconds = testsupport::scaledSeconds(90);
+    Opts.Workers = Workers;
+    Opts.Dispatch = true; // the full PR configuration
+    Opts.BackendFactory = [] { return makeZ3Backend(); };
+    DseEngine Engine(*Backend, Opts);
+    return Engine.run(P);
+  };
+  EngineResult Serial = RunWith(1);
+  EngineResult Par = RunWith(2);
+  EXPECT_TRUE(Serial.bugFound()) << "serial semver bug not found";
+  EXPECT_TRUE(Par.bugFound()) << "parallel semver bug not found";
+  EXPECT_EQ(bugSet(Par), bugSet(Serial));
+}
+
+TEST(ParallelEngine, MergedStatsEqualShardSums) {
+  Program P = listing1Program();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 16;
+  Opts.MaxSeconds = testsupport::scaledSeconds(60);
+  Opts.Workers = 3;
+  Opts.Dispatch = true;
+  Opts.BackendFactory = [] { return makeZ3Backend(); };
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+
+  ASSERT_EQ(R.Shards.size(), 3u);
+  uint64_t Tests = 0, CegarQueries = 0, CegarRefined = 0, CacheHits = 0,
+           SolverQueries = 0, SolverSat = 0, LocalQueries = 0;
+  double SolverSeconds = 0;
+  for (const ShardStats &S : R.Shards) {
+    Tests += S.TestsRun;
+    CegarQueries += S.Cegar.Queries;
+    CegarRefined += S.Cegar.QueriesRefined;
+    CacheHits += S.Cegar.CacheHits;
+    SolverQueries += S.Solver.Queries;
+    SolverSat += S.Solver.Sat;
+    LocalQueries += S.LocalSolver.Queries;
+    SolverSeconds += S.Solver.TotalSeconds;
+  }
+  EXPECT_EQ(R.TestsRun, Tests);
+  EXPECT_EQ(R.Cegar.Queries, CegarQueries);
+  EXPECT_EQ(R.Cegar.QueriesRefined, CegarRefined);
+  EXPECT_EQ(R.Cegar.CacheHits, CacheHits);
+  EXPECT_EQ(R.Solver.Queries, SolverQueries);
+  EXPECT_EQ(R.Solver.Sat, SolverSat);
+  EXPECT_EQ(R.LocalSolver.Queries, LocalQueries);
+  EXPECT_DOUBLE_EQ(R.Solver.TotalSeconds, SolverSeconds);
+  EXPECT_GT(R.Cegar.Queries, 0u);
+}
+
+TEST(ParallelEngine, SharedRuntimeWindowCoversAllShards) {
+  // All shards intern through one pattern table: the run's RuntimeStats
+  // window must show exactly one compile per distinct pattern and hits
+  // from every other shard's touches.
+  Program P = listing1Program();
+  auto Backend = makeZ3Backend();
+  EngineOptions Opts;
+  Opts.MaxTests = 8;
+  Opts.MaxSeconds = testsupport::scaledSeconds(60);
+  Opts.Workers = 3;
+  Opts.BackendFactory = [] { return makeZ3Backend(); };
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  // listing1 has two distinct patterns; each shard that executed at
+  // least one test touched both, but compiles happen once.
+  EXPECT_EQ(R.Runtime.InternMisses.load(), 2u);
+  EXPECT_GT(R.Runtime.InternHits.load(), 0u);
+}
+
+// --- Widened classical lane (satellite) -----------------------------------
+
+TEST(DispatcherWiden, CaptureBearingTestQueriesGoClassical) {
+  RegexRuntime RT;
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3, RT.statsHandle());
+
+  auto WithCapture = RT.get("(a+)b", "");
+  ASSERT_TRUE(bool(WithCapture));
+  SymbolicRegExp SCap(*WithCapture, "wc");
+  TermRef In = mkStrVar("in");
+
+  // test(): captures unobservable -> classical lane.
+  std::vector<PathClause> PTest = {
+      PathClause::regex(SCap.test(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(PTest), Local.get());
+
+  // exec(): capture assignments must be exact -> general lane.
+  std::vector<PathClause> PExec = {
+      PathClause::regex(SCap.exec(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(PExec), Z3.get());
+
+  // Mixed test()-style clauses, one capture-bearing: still classical.
+  auto Plain = RT.get("x+y", "");
+  SymbolicRegExp SPlain(*Plain, "wp");
+  std::vector<PathClause> PMix = {
+      PathClause::regex(SPlain.test(mkStrVar("in2"), mkIntConst(0)), true),
+      PathClause::regex(SCap.test(In, mkIntConst(0)), true)};
+  EXPECT_EQ(&D.route(PMix), Local.get());
+
+  EXPECT_EQ(RT.stats().DispatchClassical.load(), 2u);
+  EXPECT_EQ(RT.stats().DispatchGeneral.load(), 1u);
+}
+
+TEST(DispatcherWiden, CaptureTestVerdictParity) {
+  // Capture-bearing classical test() problems solved through the
+  // dispatcher must reach the same verdicts as Z3-only solving, both
+  // polarities, with the classical lane actually doing the work.
+  const char *Patterns[] = {"(a+)b", "(x|y)(z?)", "a(bc)*d",
+                            "([0-9])([0-9])"};
+  RegexRuntime RT;
+  for (const char *Pat : Patterns) {
+    for (bool Polarity : {true, false}) {
+      auto Z3Only = makeZ3Backend();
+      auto Z3Lane = makeZ3Backend();
+      auto LocalLane = makeLocalBackend();
+      BackendDispatcher D(*LocalLane, *Z3Lane, RT.statsHandle());
+      CegarOptions Opts;
+      Opts.QueryCacheCapacity = 0;
+      Opts.Limits.TimeoutMs = testsupport::scaledTimeoutMs(5000);
+      CegarSolver Ref(*Z3Only, Opts);
+      CegarSolver Routed(D, Opts);
+
+      auto C = RT.get(Pat, "");
+      ASSERT_TRUE(bool(C));
+      SymbolicRegExp Sym(*C, std::string("cp") + (Polarity ? "t" : "f"));
+      std::vector<PathClause> Clauses = {PathClause::regex(
+          Sym.test(mkStrVar("in"), mkIntConst(0)), Polarity)};
+
+      CegarResult RRef = Ref.solve(Clauses);
+      CegarResult RRouted = Routed.solve(Clauses);
+      if (RRef.Status != SolveStatus::Unknown &&
+          RRouted.Status != SolveStatus::Unknown)
+        EXPECT_EQ(RRouted.Status, RRef.Status)
+            << Pat << " polarity " << Polarity;
+    }
+  }
+  EXPECT_GT(RT.stats().DispatchClassical.load(), 0u);
+}
+
+} // namespace

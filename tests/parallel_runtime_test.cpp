@@ -1,0 +1,272 @@
+//===- tests/parallel_runtime_test.cpp - Shard concurrency stress ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Concurrency tests for the shard-per-worker substrate (DESIGN.md §6),
+// deliberately Z3-free so the whole binary is ThreadSanitizer-
+// instrumentable (the CI tsan job runs exactly this test):
+//
+//  - CompiledRegex lazy-pipeline first-touch races: N threads hammer the
+//    same interned pattern's stages; each stage must build exactly once.
+//  - RegexRuntime interning races: concurrent get/literal of overlapping
+//    pattern sets yield one shared artifact per pattern.
+//  - WorkerPool basics (submit/wait/parallelFor).
+//  - Survey::runParallel determinism against the serial aggregation.
+//  - Parallel DSE smoke over the self-contained LocalBackend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Engine.h"
+#include "parallel/WorkerPool.h"
+#include "survey/CorpusGen.h"
+#include "survey/Survey.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace recap;
+using namespace recap::mjs;
+
+namespace {
+
+// More threads than cores on any runner: forces interleaving even on a
+// single-core machine.
+constexpr size_t StressThreads = 8;
+
+TEST(WorkerPool, SubmitAndWait) {
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.workers(), 4u);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 100; ++I)
+    Pool.submit([&Sum, I] { Sum.fetch_add(I); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(WorkerPool, TasksCoverEveryIndexOnce) {
+  WorkerPool Pool(3);
+  std::vector<std::atomic<int>> Hits(257);
+  for (size_t I = 0; I < Hits.size(); ++I)
+    Pool.submit([&Hits, I] { Hits[I].fetch_add(1); });
+  Pool.wait();
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(WorkerPool, ResolveWorkers) {
+  EXPECT_GE(WorkerPool::hardwareWorkers(), 1u);
+  EXPECT_EQ(WorkerPool::resolveWorkers(0), WorkerPool::hardwareWorkers());
+  EXPECT_EQ(WorkerPool::resolveWorkers(1), 1u);
+  EXPECT_EQ(WorkerPool::resolveWorkers(7), 7u);
+}
+
+TEST(ParallelRuntime, StageFirstTouchBuildsOnce) {
+  // All threads release together onto every stage of one artifact; the
+  // per-stage Computes counters must still read exactly 1.
+  RegexRuntime RT;
+  auto C = RT.get("(a|b)+c{2,4}", "i");
+  ASSERT_TRUE(bool(C));
+
+  std::atomic<size_t> Ready{0};
+  std::atomic<bool> Go{false};
+  // runShards blocks the caller, so the starting gun fires from a helper
+  // thread once every shard checked in.
+  std::thread Starter([&] {
+    while (Ready.load() < StressThreads)
+      std::this_thread::yield();
+    Go.store(true);
+  });
+  WorkerPool::runShards(StressThreads, [&](size_t) {
+    Ready.fetch_add(1);
+    while (!Go.load())
+      std::this_thread::yield();
+    for (int Round = 0; Round < 50; ++Round) {
+      (*C)->features();
+      (*C)->classicalApprox();
+      (*C)->automaton();
+      (*C)->sharedMatcher();
+      (*C)->backrefTypes();
+      (*C)->instantiate(mkStrVar("in"), "p");
+    }
+  });
+  Starter.join();
+
+  const RuntimeStats &S = RT.stats();
+  EXPECT_EQ(S.FeatureComputes.load(), 1u);
+  EXPECT_EQ(S.ApproxComputes.load(), 1u);
+  EXPECT_EQ(S.AutomatonComputes.load(), 1u);
+  EXPECT_EQ(S.MatcherComputes.load(), 1u);
+  EXPECT_EQ(S.BackrefComputes.load(), 1u);
+  EXPECT_EQ(S.TemplateComputes.load(), 1u);
+  EXPECT_EQ(S.FeatureHits.load(), StressThreads * 50 - 1);
+}
+
+TEST(ParallelRuntime, ConcurrentInterningSharesArtifacts) {
+  RegexRuntime RT;
+  const std::vector<std::string> Patterns = {
+      "a+b", "x[0-9]{3}", "(foo|bar)*", "^start", "end$", "a+b", // dup
+  };
+  std::vector<std::vector<std::shared_ptr<CompiledRegex>>> PerThread(
+      StressThreads);
+  WorkerPool::runShards(StressThreads, [&](size_t T) {
+    for (int Round = 0; Round < 40; ++Round)
+      for (const std::string &Pat : Patterns) {
+        auto C = RT.get(Pat, "");
+        ASSERT_TRUE(bool(C));
+        PerThread[T].push_back(*C);
+        (void)(*C)->features();
+      }
+  });
+  // Same pattern -> same object, across every thread.
+  for (size_t T = 1; T < StressThreads; ++T)
+    for (size_t I = 0; I < PerThread[T].size(); ++I)
+      EXPECT_EQ(PerThread[T][I].get(), PerThread[0][I].get());
+  EXPECT_EQ(RT.size(), 5u); // "a+b" interned once
+  EXPECT_EQ(RT.stats().FeatureComputes.load(), 5u);
+}
+
+TEST(ParallelRuntime, ConcurrentParseErrorsNegativeCache) {
+  RegexRuntime RT;
+  WorkerPool::runShards(StressThreads, [&](size_t) {
+    for (int Round = 0; Round < 30; ++Round) {
+      auto C = RT.literal("/(unclosed/");
+      EXPECT_FALSE(bool(C));
+    }
+  });
+  const RuntimeStats &S = RT.stats();
+  EXPECT_EQ(S.ParseErrors.load(), 1u);
+  EXPECT_EQ(S.ErrorHits.load(), StressThreads * 30 - 1);
+}
+
+TEST(ParallelRuntime, WarmPrecomputesStages) {
+  RegexRuntime RT;
+  auto C = RT.get("[a-z]+[0-9]*", "");
+  ASSERT_TRUE(bool(C));
+  RT.warm(*C);
+  const RuntimeStats &S = RT.stats();
+  EXPECT_EQ(S.FeatureComputes.load(), 1u);
+  EXPECT_EQ(S.ApproxComputes.load(), 1u);
+  EXPECT_EQ(S.AutomatonComputes.load(), 1u);
+  EXPECT_EQ(S.MatcherComputes.load(), 1u);
+  // Post-warm touches are pure hits.
+  (*C)->features();
+  EXPECT_EQ(S.FeatureComputes.load(), 1u);
+  EXPECT_EQ(S.FeatureHits.load(), 1u);
+}
+
+TEST(ParallelSurvey, MatchesSerialAggregation) {
+  CorpusOptions Opts;
+  Opts.NumPackages = 120;
+  Opts.Seed = 11;
+  auto Pkgs = generateCorpus(Opts);
+  std::vector<std::vector<std::string>> Files;
+  for (const auto &P : Pkgs)
+    Files.push_back(P.Files);
+
+  Survey Serial;
+  for (const auto &F : Files)
+    Serial.addPackage(F);
+
+  for (size_t W : {1u, 2u, 4u}) {
+    Survey Par = Survey::runParallel(Files, W);
+    EXPECT_EQ(Par.Packages, Serial.Packages) << W;
+    EXPECT_EQ(Par.WithSource, Serial.WithSource) << W;
+    EXPECT_EQ(Par.WithRegex, Serial.WithRegex) << W;
+    EXPECT_EQ(Par.WithCaptures, Serial.WithCaptures) << W;
+    EXPECT_EQ(Par.WithBackrefs, Serial.WithBackrefs) << W;
+    EXPECT_EQ(Par.TotalRegexes, Serial.TotalRegexes) << W;
+    EXPECT_EQ(Par.UniqueRegexes, Serial.UniqueRegexes) << W;
+    ASSERT_EQ(Par.Features.size(), Serial.Features.size()) << W;
+    for (const auto &[Name, FC] : Serial.Features) {
+      ASSERT_TRUE(Par.Features.count(Name)) << Name;
+      EXPECT_EQ(Par.Features.at(Name).Total, FC.Total) << Name << " @" << W;
+      EXPECT_EQ(Par.Features.at(Name).Unique, FC.Unique)
+          << Name << " @" << W;
+    }
+  }
+}
+
+TEST(ParallelSurvey, SlicesShareOneRuntime) {
+  // The shared table means a pattern duplicated across slices compiles
+  // once: far fewer InternMisses than total occurrences.
+  CorpusOptions Opts;
+  Opts.NumPackages = 100;
+  auto Pkgs = generateCorpus(Opts);
+  std::vector<std::vector<std::string>> Files;
+  for (const auto &P : Pkgs)
+    Files.push_back(P.Files);
+  auto RT = std::make_shared<RegexRuntime>();
+  Survey S = Survey::runParallel(Files, 4, RT);
+  EXPECT_EQ(RT.get(), S.runtimeHandle().get());
+  // Distinct (pattern, flags) keys can be fewer than distinct literal
+  // spellings, never more.
+  EXPECT_LE(S.runtime().stats().InternMisses.load(), S.UniqueRegexes);
+  EXPECT_GT(S.runtime().stats().InternMisses.load(), 0u);
+  EXPECT_GE(S.runtime().stats().InternHits.load(),
+            S.TotalRegexes - S.UniqueRegexes);
+}
+
+/// A classical-only branching program the LocalBackend solves outright —
+/// keeps this binary Z3-free for the TSan job.
+Program classicalProgram() {
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("kind", integer(0)),
+      if_(test("/^a+$/", var("s")), let_("kind", integer(1)),
+          if_(test("/^[0-9]+$/", var("s")), let_("kind", integer(2)),
+              let_("kind", integer(3)))),
+      if_(eq(var("kind"), integer(2)), assert_(boolean(false))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  return P;
+}
+
+TEST(ParallelEngineLocal, ShardedRunFindsTheSameBug) {
+  Program P = classicalProgram();
+  auto RunWith = [&](size_t Workers) {
+    auto Backend = makeLocalBackend();
+    EngineOptions Opts;
+    Opts.MaxTests = 24;
+    Opts.MaxSeconds = 30;
+    Opts.Workers = Workers;
+    Opts.BackendFactory = [] { return makeLocalBackend(); };
+    DseEngine Engine(*Backend, Opts);
+    return Engine.run(P);
+  };
+  EngineResult Serial = RunWith(1);
+  EngineResult Par = RunWith(4);
+  EXPECT_TRUE(Serial.bugFound());
+  EXPECT_TRUE(Par.bugFound());
+  EXPECT_EQ(Par.WorkersUsed, 4u);
+  EXPECT_EQ(Par.Shards.size(), 4u);
+  // Same bug set (as a set: shard interleaving reorders discovery).
+  std::set<int> A(Serial.FailedAsserts.begin(), Serial.FailedAsserts.end());
+  std::set<int> B(Par.FailedAsserts.begin(), Par.FailedAsserts.end());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Par.Covered, Serial.Covered);
+}
+
+TEST(ParallelEngineLocal, ManyShardsOnTinyWorkTerminates) {
+  // More shards than work: most shards only ever steal or idle; the
+  // termination protocol must still conclude.
+  Program P = classicalProgram();
+  auto Backend = makeLocalBackend();
+  EngineOptions Opts;
+  Opts.MaxTests = 6;
+  Opts.MaxSeconds = 30;
+  Opts.Workers = StressThreads;
+  Opts.BackendFactory = [] { return makeLocalBackend(); };
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_GE(R.TestsRun, 1u);
+  EXPECT_LE(R.TestsRun, 6u);
+  EXPECT_EQ(R.Shards.size(), StressThreads);
+}
+
+} // namespace
