@@ -1,0 +1,200 @@
+//===- bench/micro_corpus.cpp - Two-level corpus scheduling benches --------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the ISSUE-4 corpus machinery (DESIGN.md §7):
+//
+//  1. BM_CorpusDse/W: an N-program corpus through runDseCorpus at 1/2/4
+//     global workers — program-level tasks over one shared WorkerPool
+//     and pattern runtime, each task allowed to borrow one intra-run
+//     shard (ShardsPerTask = 2). Counters: scheduler_tasks,
+//     slots_borrowed, tests.
+//  2. BM_CorpusFirstQueryCold / BM_CorpusFirstQueryWarm: the first query
+//     sweep over a survey corpus's distinct literals, on a cold runtime
+//     vs one warm-started from a RegexRuntime snapshot (the load runs
+//     untimed in setup — the snapshot's job is to move compile cost out
+//     of the query path). Counters: patterns, warm_hits,
+//     snapshot_loaded, snapshot_bytes.
+//
+// The post-run summary derives speedup_vs_1w for the DSE corpus rows and
+// cold_to_warm_speedup for the first-query pair; on a single-core
+// machine the worker scaling degenerates to ~1x (hardware_threads says
+// which regime produced the numbers) while the warm-start win is
+// machine-shape independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Corpus.h"
+#include "dse/Workloads.h"
+#include "parallel/WorkerPool.h"
+#include "survey/CorpusGen.h"
+#include "survey/Survey.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+using namespace recap;
+
+namespace {
+
+// --- 1. Corpus DSE over the two-level scheduler ----------------------------
+
+const std::vector<Program> &corpusPrograms() {
+  static const std::vector<Program> Programs = [] {
+    std::vector<Program> Out;
+    size_t N = static_cast<size_t>(6 * recap::bench::scale());
+    for (uint64_t Seed = 0; Seed < N; ++Seed)
+      Out.push_back(generateMiniPackage(Seed));
+    return Out;
+  }();
+  return Programs;
+}
+
+void BM_CorpusDse(benchmark::State &State) {
+  size_t Workers = static_cast<size_t>(State.range(0));
+  const std::vector<Program> &Programs = corpusPrograms();
+
+  uint64_t Tasks = 0, Borrowed = 0, Tests = 0;
+  for (auto _ : State) {
+    DseCorpusOptions Opts;
+    Opts.Engine.MaxTests = 16;
+    Opts.Engine.MaxSeconds = 20;
+    Opts.Engine.BackendFactory = [] { return makeLocalBackend(); };
+    Opts.Workers = Workers;
+    Opts.ShardsPerTask = 2;
+    // An honest 1/2/4 comparison on any machine shape; the production
+    // default clamps instead.
+    Opts.ClampWorkers = false;
+    DseCorpusResult R = runDseCorpus(Programs, Opts);
+    Tasks = R.Sched.Tasks;
+    Borrowed = R.Sched.SlotsBorrowed;
+    Tests = R.totalTests();
+    benchmark::DoNotOptimize(R.Results.data());
+  }
+  State.counters["workers"] = static_cast<double>(Workers);
+  State.counters["scheduler_tasks"] = static_cast<double>(Tasks);
+  State.counters["slots_borrowed"] = static_cast<double>(Borrowed);
+  State.counters["tests"] = static_cast<double>(Tests);
+}
+BENCHMARK(BM_CorpusDse)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- 2. Snapshot warm start vs cold start ----------------------------------
+
+const std::vector<std::string> &corpusLiterals() {
+  static const std::vector<std::string> Lits = [] {
+    CorpusOptions Opts;
+    Opts.NumPackages = static_cast<size_t>(200 * recap::bench::scale());
+    Opts.Seed = 77;
+    std::set<std::string> Distinct;
+    for (const GeneratedPackage &P : generateCorpus(Opts))
+      for (const std::string &F : P.Files)
+        for (const std::string &L : extractRegexLiterals(F))
+          Distinct.insert(L);
+    return std::vector<std::string>(Distinct.begin(), Distinct.end());
+  }();
+  return Lits;
+}
+
+/// The first-query path of a corpus job: intern every literal and touch
+/// the stages the survey/DSE layers need right away.
+uint64_t querySweep(RegexRuntime &RT) {
+  uint64_t Ok = 0;
+  for (const std::string &Lit : corpusLiterals()) {
+    Result<std::shared_ptr<CompiledRegex>> C = RT.literal(Lit);
+    if (!C)
+      continue;
+    ++Ok;
+    (*C)->features();
+    (*C)->classicalApprox();
+    (*C)->automaton();
+    (*C)->sharedMatcher();
+  }
+  return Ok;
+}
+
+/// Snapshot of a runtime that has seen the whole literal set, built once.
+const std::string &snapshotBytes() {
+  static const std::string Bytes = [] {
+    RegexRuntime RT;
+    querySweep(RT);
+    std::ostringstream OS;
+    RT.save(OS);
+    return OS.str();
+  }();
+  return Bytes;
+}
+
+void BM_CorpusFirstQueryCold(benchmark::State &State) {
+  uint64_t Patterns = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto RT = std::make_unique<RegexRuntime>();
+    State.ResumeTiming();
+    Patterns = querySweep(*RT);
+  }
+  State.counters["patterns"] = static_cast<double>(Patterns);
+}
+BENCHMARK(BM_CorpusFirstQueryCold)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusFirstQueryWarm(benchmark::State &State) {
+  uint64_t Patterns = 0, WarmHits = 0, Loaded = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto RT = std::make_unique<RegexRuntime>();
+    std::istringstream IS(snapshotBytes());
+    SnapshotLoadResult L = RT->load(IS);
+    RuntimeStats Before = RT->stats();
+    State.ResumeTiming();
+    Patterns = querySweep(*RT);
+    Loaded = L.Loaded;
+    WarmHits = RT->stats().since(Before).hits();
+  }
+  State.counters["patterns"] = static_cast<double>(Patterns);
+  State.counters["warm_hits"] = static_cast<double>(WarmHits);
+  State.counters["snapshot_loaded"] = static_cast<double>(Loaded);
+  State.counters["snapshot_bytes"] =
+      static_cast<double>(snapshotBytes().size());
+}
+BENCHMARK(BM_CorpusFirstQueryWarm)->Unit(benchmark::kMillisecond);
+
+void attachDerived(recap::bench::JsonReporter &R) {
+  std::printf("\n=== corpus scheduling (median) ===\n");
+  std::printf("hardware_threads: %zu\n", WorkerPool::hardwareWorkers());
+  double T1 = R.medianNs("BM_CorpusDse/1");
+  for (int W : {1, 2, 4}) {
+    std::string Name = "BM_CorpusDse/" + std::to_string(W);
+    double TW = R.medianNs(Name);
+    double Speedup = TW > 0 && T1 > 0 ? T1 / TW : 0;
+    R.setCounter(Name, "speedup_vs_1w", Speedup);
+    R.setCounter(Name, "hardware_threads",
+                 static_cast<double>(WorkerPool::hardwareWorkers()));
+    if (TW > 0)
+      std::printf("  %-24s %8.1f ms   %.2fx\n", Name.c_str(), TW / 1e6,
+                  Speedup);
+  }
+  double Cold = R.medianNs("BM_CorpusFirstQueryCold");
+  double Warm = R.medianNs("BM_CorpusFirstQueryWarm");
+  double Speedup = Cold > 0 && Warm > 0 ? Cold / Warm : 0;
+  R.setCounter("BM_CorpusFirstQueryWarm", "cold_to_warm_speedup", Speedup);
+  if (Cold > 0 && Warm > 0)
+    std::printf("  first query: cold %.2f ms -> warm %.2f ms   %.1fx\n",
+                Cold / 1e6, Warm / 1e6, Speedup);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_corpus", argc, argv,
+                                     attachDerived);
+}

@@ -98,6 +98,9 @@ void BM_DseShards(benchmark::State &State) {
       Opts.MaxTests = 24;
       Opts.MaxSeconds = 20;
       Opts.Workers = Workers;
+      // An honest 1/2/4 comparison on any machine shape; the production
+      // default clamps to hardware_concurrency() instead.
+      Opts.ClampWorkers = false;
       Opts.Runtime = Runtime;
       Opts.BackendFactory = [] { return makeLocalBackend(); };
       DseEngine Engine(*Anchor, Opts);

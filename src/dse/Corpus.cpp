@@ -1,0 +1,60 @@
+//===- dse/Corpus.cpp - Corpus-scale DSE over the two-level scheduler ------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Corpus.h"
+
+#include <cassert>
+
+using namespace recap;
+
+DseCorpusResult recap::runDseCorpus(const std::vector<Program> &Programs,
+                                    const DseCorpusOptions &Opts) {
+  assert(Opts.Engine.BackendFactory &&
+         "runDseCorpus requires EngineOptions::BackendFactory");
+
+  DseCorpusResult Out;
+  Out.RuntimeHandle =
+      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
+  RuntimeStats Before = Out.RuntimeHandle->stats();
+  if (!Opts.CacheSnapshot.empty())
+    Out.Snapshot = Out.RuntimeHandle->loadOnce(Opts.CacheSnapshot);
+  Out.Results.resize(Programs.size());
+  if (!Opts.Engine.BackendFactory) {
+    Out.Runtime = Out.RuntimeHandle->stats().since(Before);
+    return Out;
+  }
+
+  sched::CorpusSchedulerOptions SchedOpts;
+  SchedOpts.Workers = Opts.Workers;
+  SchedOpts.ShardsPerTask = Opts.ShardsPerTask; // 0 normalized by ctor
+  SchedOpts.ClampToHardware = Opts.ClampWorkers;
+  sched::CorpusScheduler Sched(SchedOpts);
+
+  for (size_t I = 0; I < Programs.size(); ++I)
+    Sched.add([&, I](size_t, size_t Budget) {
+      // The task's whole solver stack is born on this pool thread; the
+      // slot grant becomes the run's shard count (1 = the bit-identical
+      // serial engine), so threads executing across all tasks never
+      // exceed the global budget.
+      EngineOptions E = Opts.Engine;
+      E.Runtime = Out.RuntimeHandle;
+      E.Workers = Budget;
+      // The corpus level already applied the clamp policy to the global
+      // budget; a grant is never above it.
+      E.ClampWorkers = false;
+      // Snapshot handling is corpus-level (loaded once above).
+      E.CacheSnapshot.clear();
+      std::unique_ptr<SolverBackend> Anchor = E.BackendFactory();
+      DseEngine Engine(*Anchor, E);
+      Out.Results[I] = Engine.run(Programs[I]);
+    });
+
+  Out.Sched = Sched.run();
+  Out.Runtime = Out.RuntimeHandle->stats().since(Before);
+  if (!Opts.SaveSnapshot.empty())
+    Out.SnapshotSaved = Out.RuntimeHandle->save(Opts.SaveSnapshot);
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- dse/Corpus.h - Corpus-scale DSE over the two-level scheduler -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// runDseCorpus drives a whole corpus of programs through the DSE engine
+/// as ONE scheduling job (DESIGN.md §7): each program is a task on a
+/// sched::CorpusScheduler over a single global worker budget, every task
+/// shares one RegexRuntime (patterns repeated across programs compile
+/// once), and a task granted more than one budget slot runs its engine
+/// with that many intra-run shards — two-level parallelism under one
+/// worker count, no nested oversubscription. The shared runtime can boot
+/// warm from a snapshot (CacheSnapshot) and persist itself afterwards
+/// (SaveSnapshot), which is what lets corpus jobs start hot across
+/// processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_DSE_CORPUS_H
+#define RECAP_DSE_CORPUS_H
+
+#include "dse/Engine.h"
+#include "sched/CorpusScheduler.h"
+
+namespace recap {
+
+struct DseCorpusOptions {
+  /// Per-program engine configuration. BackendFactory is REQUIRED (each
+  /// task builds its solver stack on its own pool thread); Workers,
+  /// Runtime and CacheSnapshot of this template are overridden by the
+  /// corpus runner (the slot grant, the shared runtime, and the
+  /// corpus-level snapshot below, respectively).
+  EngineOptions Engine;
+  /// Global worker budget for the whole corpus. 0 = hardware threads.
+  size_t Workers = 0;
+  /// Maximum budget slots one program's run may hold (1 = every program
+  /// runs the serial engine; N lets a run borrow up to N-1 extra shards
+  /// when the budget has slack).
+  size_t ShardsPerTask = 1;
+  /// Clamp the global budget to hardware_concurrency() (the per-run
+  /// equivalent of EngineOptions::ClampWorkers; stress tests turn it
+  /// off).
+  bool ClampWorkers = true;
+  /// Warm-start snapshot loaded into the shared runtime before any task
+  /// runs (cold start when empty/absent/corrupt — never an error).
+  std::string CacheSnapshot;
+  /// When non-empty, the shared runtime is saved here after the corpus
+  /// finishes, so the next process starts warm.
+  std::string SaveSnapshot;
+  /// Shared runtime for the whole corpus; created when null.
+  std::shared_ptr<RegexRuntime> Runtime;
+};
+
+struct DseCorpusResult {
+  /// One EngineResult per program, in input order (task interleaving
+  /// never reorders attribution). Caveat: the per-result Runtime stats
+  /// windows are cut over the SHARED runtime, so with concurrent tasks
+  /// they overlap — counters another program generated during this
+  /// one's run land in both windows. Per-program solver/CEGAR/coverage
+  /// fields are exact; for pattern-cache accounting use the corpus-wide
+  /// Runtime window below.
+  std::vector<EngineResult> Results;
+  /// Program-level scheduling counters (tasks, borrowed slots, budget
+  /// high-water).
+  sched::CorpusScheduler::Stats Sched;
+  /// The corpus-wide RuntimeStats window (snapshot loads included).
+  RuntimeStats Runtime;
+  /// Outcome of the CacheSnapshot load (default-constructed when no
+  /// snapshot was named).
+  SnapshotLoadResult Snapshot;
+  /// True when SaveSnapshot was requested and the write succeeded; a
+  /// false with SaveSnapshot set means the next process starts cold
+  /// (unwritable path, full disk) and the caller should say so.
+  bool SnapshotSaved = false;
+  /// The shared runtime, for chaining further phases or saving again.
+  std::shared_ptr<RegexRuntime> RuntimeHandle;
+
+  uint64_t totalTests() const {
+    uint64_t N = 0;
+    for (const EngineResult &R : Results)
+      N += R.TestsRun;
+    return N;
+  }
+  uint64_t bugsFound() const {
+    uint64_t N = 0;
+    for (const EngineResult &R : Results)
+      N += R.bugFound() ? 1 : 0;
+    return N;
+  }
+};
+
+/// Runs every program through DSE over one shared worker budget and one
+/// shared pattern runtime. Requires Opts.Engine.BackendFactory.
+DseCorpusResult runDseCorpus(const std::vector<Program> &Programs,
+                             const DseCorpusOptions &Opts);
+
+} // namespace recap
+
+#endif // RECAP_DSE_CORPUS_H

@@ -8,12 +8,12 @@
 
 #include "cegar/BackendDispatcher.h"
 #include "parallel/WorkerPool.h"
+#include "sched/CupaScheduler.h"
 
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <map>
-#include <optional>
 #include <thread>
 
 using namespace recap;
@@ -46,27 +46,34 @@ struct QueuedTest {
   int Bucket; ///< site id of the flipped clause (CUPA bucket key)
 };
 
-/// Spreads CUPA bucket keys (small site ids, plus the -1 seed bucket)
-/// over shards: a finalizer-style mix so consecutive sites do not all
-/// land on consecutive shards of a small pool.
-size_t shardOf(int Site, size_t Workers) {
-  uint64_t H = static_cast<uint64_t>(static_cast<int64_t>(Site));
-  H ^= H >> 33;
-  H *= 0xff51afd7ed558ccdull;
-  H ^= H >> 33;
-  return static_cast<size_t>(H % Workers);
-}
-
 } // namespace
 
 EngineResult DseEngine::run(const Program &P) {
+  // The runtime, its stats window base, the snapshot warm start and the
+  // worker clamp are resolved once here, shared by both paths.
+  std::shared_ptr<RegexRuntime> Runtime =
+      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
+  // A supplied runtime is cumulative across runs; report this run's
+  // window only (snapshot loads and clamp events included).
+  RuntimeStats Before = Runtime->stats();
+  if (!Opts.CacheSnapshot.empty())
+    Runtime->loadOnce(Opts.CacheSnapshot);
+
   size_t W = WorkerPool::resolveWorkers(Opts.Workers);
+  if (Opts.ClampWorkers) {
+    bool Clamped = false;
+    W = WorkerPool::clampToHardware(W, &Clamped);
+    if (Clamped)
+      ++Runtime->statsHandle()->WorkersClamped;
+  }
   if (W <= 1)
-    return runSerial(P);
-  return runParallel(P, W);
+    return runSerial(P, Runtime, Before);
+  return runParallel(P, W, Runtime, Before);
 }
 
-EngineResult DseEngine::runSerial(const Program &P) {
+EngineResult DseEngine::runSerial(const Program &P,
+                                  const std::shared_ptr<RegexRuntime> &Runtime,
+                                  const RuntimeStats &RuntimeBefore) {
   auto T0 = std::chrono::steady_clock::now();
   auto Elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -77,11 +84,6 @@ EngineResult DseEngine::runSerial(const Program &P) {
   EngineResult Out;
   Out.TotalStmts = P.NumStmts;
 
-  std::shared_ptr<RegexRuntime> Runtime =
-      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
-  // A supplied runtime is cumulative across runs; report this run's
-  // window only.
-  RuntimeStats RuntimeBefore = Runtime->stats();
   SymbolicContext Ctx(Opts.Level, Runtime);
   Interpreter Interp(Ctx, Opts.MaxWhileIterations);
   // Optional feature-routed dispatch: classical-fragment problems go to
@@ -200,16 +202,10 @@ namespace {
 
 /// One shard of the parallel search (DESIGN.md §6): it owns a full
 /// single-threaded solver stack — interpreter + symbolic context,
-/// backend pair, CEGAR solver with its pinned sessions — plus the CUPA
-/// buckets of the sites hashed onto it. Only Mu-guarded members
-/// (Buckets/Access) are touched by other shards (work-stealing); the
-/// rest is private to the owning thread.
+/// backend pair, CEGAR solver with its pinned sessions — and nothing
+/// shared: the queue state (CUPA buckets, access counts, retry pool,
+/// termination protocol) lives in sched::CupaScheduler now.
 struct Shard {
-  // Queue state, shared with thieves.
-  std::mutex Mu;
-  std::map<int, std::vector<QueuedTest>> Buckets;
-  std::map<int, uint64_t> Access;
-
   // Thread-private solver stack (created on the shard's own thread —
   // a Z3 context must never be touched from two threads). Declaration
   // order doubles as destruction order: Solver (pinned sessions) dies
@@ -220,7 +216,6 @@ struct Shard {
   std::unique_ptr<CegarSolver> Solver;
   std::unique_ptr<SymbolicContext> Ctx;
   std::unique_ptr<Interpreter> Interp;
-  std::mt19937_64 Rng;
 
   // Thread-private results, merged after the join.
   ShardStats Window;
@@ -228,30 +223,12 @@ struct Shard {
   std::vector<int> FailedAsserts;
 };
 
-/// Scheduler state shared by all shards. Pending/Active/RetryPool form
-/// the termination protocol and are guarded by one SchedMu: every
-/// transition (claim, enqueue, deactivate, retry flush) and the
-/// quiescence check happen under it, so "Pending == 0 && Active == 0"
-/// is an exact snapshot, never a racy two-read approximation (a stale
-/// Pending read against another shard's enqueue-then-deactivate could
-/// otherwise drop queued work). Claims occur once per test execution —
-/// seconds of solver work — so the lock is uncontended in practice.
-struct Coordinator {
-  std::atomic<uint64_t> TestsStarted{0};
-  std::atomic<bool> Stop{false};
-
-  std::mutex SchedMu;
-  uint64_t Pending = 0;   ///< queued, not yet claimed
-  int Active = 0;         ///< shards executing a claimed test
-  std::vector<QueuedTest> RetryPool;
-
-  std::mutex AttemptMu;
-  std::set<uint64_t> Attempted;
-};
-
 } // namespace
 
-EngineResult DseEngine::runParallel(const Program &P, size_t W) {
+EngineResult DseEngine::runParallel(
+    const Program &P, size_t W,
+    const std::shared_ptr<RegexRuntime> &Runtime,
+    const RuntimeStats &RuntimeBefore) {
   // Parallel shards each need their own backend; the single backend
   // handed to the constructor cannot be shared across threads and is
   // never silently substituted. Without a factory the run degrades to
@@ -260,7 +237,7 @@ EngineResult DseEngine::runParallel(const Program &P, size_t W) {
   assert(Opts.BackendFactory &&
          "EngineOptions::Workers > 1 requires a BackendFactory");
   if (!Opts.BackendFactory)
-    return runSerial(P);
+    return runSerial(P, Runtime, RuntimeBefore);
 
   auto T0 = std::chrono::steady_clock::now();
   auto Elapsed = [&] {
@@ -273,97 +250,24 @@ EngineResult DseEngine::runParallel(const Program &P, size_t W) {
   Out.TotalStmts = P.NumStmts;
   Out.WorkersUsed = W;
 
-  std::shared_ptr<RegexRuntime> Runtime =
-      Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
-  RuntimeStats RuntimeBefore = Runtime->stats();
+  // Queue state — partitioned CUPA buckets, work-stealing, retry pool,
+  // the Pending/Active termination protocol — lives in the reusable
+  // scheduler; the engine keeps the domain policy: flip dedup, the test
+  // budget, the wall clock.
+  sched::CupaScheduler<InputMap> Sched(W, Opts.Seed);
+  std::atomic<uint64_t> TestsStarted{0};
+  std::mutex AttemptMu;
+  std::set<uint64_t> Attempted;
+  auto MayRetry = [&] { return TestsStarted.load() < Opts.MaxTests; };
 
-  Coordinator Co;
   std::vector<std::unique_ptr<Shard>> Shards;
   for (size_t I = 0; I < W; ++I)
     Shards.push_back(std::make_unique<Shard>());
 
-  // Route a queued test to the shard owning its CUPA bucket. SchedMu
-  // must already be held (lock order: SchedMu, then a shard's Mu).
-  auto EnqueueLocked = [&](QueuedTest T) {
-    Shard &S = *Shards[shardOf(T.Bucket, W)];
-    ++Co.Pending;
-    std::lock_guard<std::mutex> Lock(S.Mu);
-    S.Buckets[T.Bucket].push_back(std::move(T));
-  };
-  auto Enqueue = [&](QueuedTest T) {
-    std::lock_guard<std::mutex> Lock(Co.SchedMu);
-    EnqueueLocked(std::move(T));
-  };
-
-  // Serial CUPA policy per shard: least-accessed non-empty local bucket,
-  // random pick within it. Called with SchedMu held (the claim path);
-  // the shard Mu still guards the bucket data against Enqueue.
-  auto PopLocal = [&](Shard &Me) -> std::optional<QueuedTest> {
-    std::lock_guard<std::mutex> Lock(Me.Mu);
-    int Best = INT_MIN;
-    uint64_t BestAccess = UINT64_MAX;
-    for (auto &[Site, Tests] : Me.Buckets) {
-      if (Tests.empty())
-        continue;
-      uint64_t A = Me.Access[Site];
-      if (A < BestAccess) {
-        BestAccess = A;
-        Best = Site;
-      }
-    }
-    if (Best == INT_MIN)
-      return std::nullopt;
-    ++Me.Access[Best];
-    std::vector<QueuedTest> &Q = Me.Buckets[Best];
-    size_t Pick = Me.Rng() % Q.size();
-    QueuedTest T = std::move(Q[Pick]);
-    Q.erase(Q.begin() + Pick);
-    --Co.Pending;
-    return T;
-  };
-
-  // Work-stealing: when a shard's own buckets drain, it takes the back
-  // half of the fullest bucket of the first non-empty victim. The items
-  // keep their bucket key, so CUPA fairness is preserved — ownership of
-  // the site just migrates temporarily.
-  auto Steal = [&](size_t Idx) -> std::optional<QueuedTest> {
-    Shard &Me = *Shards[Idx];
-    for (size_t K = 1; K < W; ++K) {
-      Shard &Victim = *Shards[(Idx + K) % W];
-      std::vector<QueuedTest> Loot;
-      int Site = INT_MIN;
-      {
-        std::lock_guard<std::mutex> Lock(Victim.Mu);
-        size_t Fullest = 0;
-        for (auto &[S, Tests] : Victim.Buckets)
-          if (Tests.size() > Fullest) {
-            Fullest = Tests.size();
-            Site = S;
-          }
-        if (Site == INT_MIN)
-          continue;
-        std::vector<QueuedTest> &Q = Victim.Buckets[Site];
-        size_t Keep = Q.size() / 2;
-        for (size_t I = Keep; I < Q.size(); ++I)
-          Loot.push_back(std::move(Q[I]));
-        Q.resize(Keep);
-      }
-      Me.Window.TestsStolen += Loot.size();
-      {
-        std::lock_guard<std::mutex> Lock(Me.Mu);
-        std::vector<QueuedTest> &Q = Me.Buckets[Site];
-        for (QueuedTest &T : Loot)
-          Q.push_back(std::move(T));
-      }
-      return PopLocal(Me);
-    }
-    return std::nullopt;
-  };
-
   // One concrete+symbolic execution plus its generational flips; the
-  // mirror of the serial loop body with the shared structures swapped in.
-  auto RunOne = [&](Shard &Me, QueuedTest Test) {
-    Trace Tr = Me.Interp->run(P, Test.Inputs);
+  // mirror of the serial loop body with the scheduler swapped in.
+  auto RunOne = [&](Shard &Me, InputMap Inputs, int Bucket) {
+    Trace Tr = Me.Interp->run(P, Inputs);
     ++Me.Window.TestsRun;
     Me.Covered.insert(Tr.Covered.begin(), Tr.Covered.end());
     for (int Id : Tr.FailedAsserts)
@@ -373,13 +277,13 @@ EngineResult DseEngine::runParallel(const Program &P, size_t W) {
       return;
 
     for (size_t Flip = 0; Flip < Tr.Path.size(); ++Flip) {
-      if (Co.TestsStarted.load() >= Opts.MaxTests ||
+      if (TestsStarted.load() >= Opts.MaxTests ||
           Elapsed() >= Opts.MaxSeconds)
         break;
       uint64_t Sig = flipSignature(Tr.Path, Flip);
       {
-        std::lock_guard<std::mutex> Lock(Co.AttemptMu);
-        if (!Co.Attempted.insert(Sig).second)
+        std::lock_guard<std::mutex> Lock(AttemptMu);
+        if (!Attempted.insert(Sig).second)
           continue;
       }
 
@@ -390,29 +294,29 @@ EngineResult DseEngine::runParallel(const Program &P, size_t W) {
 
       CegarResult R = Me.Solver->solve(Problem);
       if (R.Status == SolveStatus::Unknown) {
+        // Solver gave up (timeout / refinement limit); keep the flip
+        // target live and park the test for the scheduler's retry round.
         {
-          std::lock_guard<std::mutex> Lock(Co.AttemptMu);
-          Co.Attempted.erase(Sig);
+          std::lock_guard<std::mutex> Lock(AttemptMu);
+          Attempted.erase(Sig);
         }
-        std::lock_guard<std::mutex> Lock(Co.SchedMu);
-        Co.RetryPool.push_back({Test.Inputs, Test.Bucket});
+        Sched.park(Inputs, Bucket);
         continue;
       }
       if (R.Status != SolveStatus::Sat)
         continue;
 
-      InputMap NewInputs = Test.Inputs;
+      InputMap NewInputs = Inputs;
       for (const std::string &Param : P.Params) {
         auto It = R.Model.Strings.find("in!" + Param);
         if (It != R.Model.Strings.end())
           NewInputs[Param] = It->second;
       }
-      int Site = Tr.Path[Flip].SiteId;
-      Enqueue({std::move(NewInputs), Site});
+      Sched.enqueue(std::move(NewInputs), Tr.Path[Flip].SiteId);
     }
   };
 
-  Enqueue({InputMap(), -1});
+  Sched.enqueue(InputMap(), -1);
 
   WorkerPool::runShards(W, [&](size_t Idx) {
     Shard &Me = *Shards[Idx];
@@ -430,60 +334,36 @@ EngineResult DseEngine::runParallel(const Program &P, size_t W) {
     Me.Ctx = std::make_unique<SymbolicContext>(Opts.Level, Runtime);
     Me.Interp =
         std::make_unique<Interpreter>(*Me.Ctx, Opts.MaxWhileIterations);
-    Me.Rng.seed(Opts.Seed + 0x9e3779b97f4a7c15ull * (Idx + 1));
 
-    while (!Co.Stop.load()) {
+    for (;;) {
       if (Elapsed() >= Opts.MaxSeconds) {
-        Co.Stop.store(true);
+        Sched.stop();
         break;
       }
-      // Claim-or-conclude, atomically under SchedMu: either a test is
-      // claimed (Pending--, Active++), or this shard saw an exact
-      // quiescent snapshot and flushes the retry pool / stops the run.
-      std::optional<QueuedTest> T;
-      {
-        std::lock_guard<std::mutex> Lock(Co.SchedMu);
-        T = PopLocal(Me);
-        if (!T)
-          T = Steal(Idx);
-        if (T) {
-          ++Co.Active;
-        } else if (Co.Pending == 0 && Co.Active == 0) {
-          if (!Co.RetryPool.empty() &&
-              Co.TestsStarted.load() < Opts.MaxTests) {
-            // Global drain with retryable tests left: requeue them
-            // (the serial engine's retry round).
-            for (QueuedTest &R : Co.RetryPool)
-              EnqueueLocked(std::move(R));
-            Co.RetryPool.clear();
-          } else {
-            Co.Stop.store(true);
-            break;
-          }
-        }
-      }
-      if (!T) {
+      InputMap Inputs;
+      int Bucket = -1;
+      auto C = Sched.claim(Idx, Inputs, Bucket, MayRetry);
+      if (C == sched::CupaScheduler<InputMap>::Claim::Stopped)
+        break;
+      if (C == sched::CupaScheduler<InputMap>::Claim::Idle) {
         // Brief sleep, not a hot spin: an idle shard must not steal CPU
         // from the shards inside multi-second solver calls.
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         continue;
       }
-      auto Deactivate = [&] {
-        std::lock_guard<std::mutex> Lock(Co.SchedMu);
-        --Co.Active;
-      };
-      if (Co.TestsStarted.fetch_add(1) >= Opts.MaxTests) {
-        Deactivate();
-        Co.Stop.store(true);
+      if (TestsStarted.fetch_add(1) >= Opts.MaxTests) {
+        Sched.complete();
+        Sched.stop();
         break;
       }
-      RunOne(Me, std::move(*T));
-      Deactivate();
+      RunOne(Me, std::move(Inputs), Bucket);
+      Sched.complete();
     }
   });
 
-  for (std::unique_ptr<Shard> &SP : Shards) {
-    Shard &S = *SP;
+  for (size_t Idx = 0; Idx < Shards.size(); ++Idx) {
+    Shard &S = *Shards[Idx];
+    S.Window.TestsStolen = Sched.stolen(Idx);
     Out.TestsRun += S.Window.TestsRun;
     Out.Covered.insert(S.Covered.begin(), S.Covered.end());
     Out.FailedAsserts.insert(Out.FailedAsserts.end(),

@@ -48,8 +48,20 @@ struct EngineOptions {
   /// per hardware thread; N > 1 runs N shards, each owning its own
   /// interpreter, backend pair and pinned solver sessions over the
   /// shared pattern runtime, with the CUPA buckets partitioned by
-  /// site-id hash and work-stealing when a shard's buckets drain.
+  /// site-id hash and work-stealing when a shard's buckets drain (the
+  /// scheduling substrate lives in sched/CupaScheduler.h).
   size_t Workers = 1;
+  /// Cut Workers down to hardware_concurrency() instead of silently
+  /// oversubscribing on small containers; each cut bumps
+  /// RuntimeStats::WorkersClamped in the run's window. Stress tests that
+  /// deliberately oversubscribe to force interleaving turn this off.
+  bool ClampWorkers = true;
+  /// Path to a RegexRuntime warm-start snapshot (RegexRuntime::save,
+  /// DESIGN.md §7.3). Loaded into the run's runtime before execution —
+  /// once per runtime, so corpus tasks sharing one runtime pay a single
+  /// load. Empty (default) or unreadable/corrupt: cold start, never an
+  /// error.
+  std::string CacheSnapshot;
   /// Creates one solver backend per shard — required when Workers != 1:
   /// solver state is never shared across threads, so the single Backend
   /// handed to DseEngine cannot serve multiple shards, and it is never
@@ -115,10 +127,17 @@ public:
 
 private:
   /// The original single-threaded generational search (Workers == 1).
-  EngineResult runSerial(const Program &P);
-  /// Shard-per-worker search: \p Workers shards over partitioned CUPA
-  /// buckets (DESIGN.md §6).
-  EngineResult runParallel(const Program &P, size_t Workers);
+  /// \p Runtime and \p Before (the runtime's stats window base) are
+  /// resolved by run(), which also applies the worker clamp and the
+  /// snapshot warm start.
+  EngineResult runSerial(const Program &P,
+                         const std::shared_ptr<RegexRuntime> &Runtime,
+                         const RuntimeStats &Before);
+  /// Shard-per-worker search: \p Workers shards over the partitioned
+  /// CUPA scheduler (sched/CupaScheduler.h, DESIGN.md §6).
+  EngineResult runParallel(const Program &P, size_t Workers,
+                           const std::shared_ptr<RegexRuntime> &Runtime,
+                           const RuntimeStats &Before);
 
   SolverBackend &Backend;
   EngineOptions Opts;

@@ -70,6 +70,14 @@ size_t WorkerPool::resolveWorkers(size_t Requested) {
   return Requested == 0 ? hardwareWorkers() : Requested;
 }
 
+size_t WorkerPool::clampToHardware(size_t Workers, bool *WasClamped) {
+  size_t HW = hardwareWorkers();
+  bool Clamp = Workers > HW;
+  if (WasClamped)
+    *WasClamped = Clamp;
+  return Clamp ? HW : Workers;
+}
+
 void WorkerPool::runShards(size_t N, const std::function<void(size_t)> &Fn) {
   if (N == 0)
     return;
@@ -78,9 +86,10 @@ void WorkerPool::runShards(size_t N, const std::function<void(size_t)> &Fn) {
     return;
   }
   std::vector<std::thread> Shards;
-  Shards.reserve(N);
-  for (size_t I = 0; I < N; ++I)
+  Shards.reserve(N - 1);
+  for (size_t I = 1; I < N; ++I)
     Shards.emplace_back([&Fn, I] { Fn(I); });
+  Fn(0);
   for (std::thread &T : Shards)
     T.join();
 }

@@ -55,11 +55,20 @@ public:
   /// otherwise the request itself (floored at 1).
   static size_t resolveWorkers(size_t Requested);
 
-  /// Fork-join without a pool: spawns exactly \p N threads running
-  /// Fn(0..N-1) and joins them. This is what shard loops use — each shard
-  /// is a long-lived loop that may idle-wait on other shards' queues, so
-  /// it needs a dedicated thread, not a queue slot that could starve
-  /// behind another shard.
+  /// Cuts \p Workers down to hardwareWorkers(); sets *\p WasClamped when
+  /// the request exceeded it. The policy half lives with the callers
+  /// (EngineOptions::ClampWorkers, CorpusSchedulerOptions::ClampToHardware
+  /// — both count the event instead of silently oversubscribing).
+  static size_t clampToHardware(size_t Workers, bool *WasClamped = nullptr);
+
+  /// Fork-join without a pool: runs Fn(0) on the calling thread and
+  /// spawns N-1 threads for Fn(1..N-1), then joins them. This is what
+  /// shard loops use — each shard is a long-lived loop that may
+  /// idle-wait on other shards' queues, so it needs a dedicated thread,
+  /// not a queue slot that could starve behind another shard. Running
+  /// one shard on the caller keeps the thread count at exactly N, which
+  /// is what lets a corpus task's slot grant equal its shard count
+  /// (sched/CorpusScheduler budget accounting).
   static void runShards(size_t N, const std::function<void(size_t)> &Fn);
 
 private:

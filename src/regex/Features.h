@@ -65,6 +65,10 @@ struct RegexFeatures {
     return Backreferences == 0 && Lookaheads == 0 && Lookbehinds == 0 &&
            WordBoundaries == 0;
   }
+
+  /// Field-wise equality; snapshot loads verify recorded features against
+  /// the recomputed analysis (runtime/RuntimeSnapshot.cpp).
+  bool operator==(const RegexFeatures &O) const = default;
 };
 
 /// Computes feature counts for \p R.

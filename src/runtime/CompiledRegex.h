@@ -113,6 +113,17 @@ struct RuntimeStats {
   StatCounter DispatchGeneral;
   StatCounter DispatchFallbacks;
 
+  // Warm-start snapshots (RegexRuntime::save/load, DESIGN.md §7.3):
+  // entries restored from a snapshot file, and entries a load rejected
+  // (unparseable pattern or stale metadata disagreeing with the current
+  // pipeline).
+  StatCounter SnapshotLoaded;
+  StatCounter SnapshotRejected;
+
+  // EngineOptions::Workers requests cut down to hardware_concurrency()
+  // instead of silently oversubscribing (EngineOptions::ClampWorkers).
+  StatCounter WorkersClamped;
+
   uint64_t hits() const {
     return InternHits + FeatureHits + BackrefHits + ApproxHits +
            AutomatonHits + MatcherHits + TemplateHits;
@@ -147,6 +158,9 @@ struct RuntimeStats {
     D.DispatchClassical = DispatchClassical - O.DispatchClassical;
     D.DispatchGeneral = DispatchGeneral - O.DispatchGeneral;
     D.DispatchFallbacks = DispatchFallbacks - O.DispatchFallbacks;
+    D.SnapshotLoaded = SnapshotLoaded - O.SnapshotLoaded;
+    D.SnapshotRejected = SnapshotRejected - O.SnapshotRejected;
+    D.WorkersClamped = WorkersClamped - O.WorkersClamped;
     return D;
   }
 
@@ -171,6 +185,9 @@ struct RuntimeStats {
     DispatchClassical += O.DispatchClassical;
     DispatchGeneral += O.DispatchGeneral;
     DispatchFallbacks += O.DispatchFallbacks;
+    SnapshotLoaded += O.SnapshotLoaded;
+    SnapshotRejected += O.SnapshotRejected;
+    WorkersClamped += O.WorkersClamped;
   }
 };
 

@@ -30,11 +30,33 @@
 #include "runtime/CompiledRegex.h"
 #include "support/LruMap.h"
 
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 namespace recap {
+
+/// Outcome of RegexRuntime::load()/loadOnce() (runtime/RuntimeSnapshot.cpp).
+struct SnapshotLoadResult {
+  /// Entries interned and pre-warmed from the snapshot.
+  size_t Loaded = 0;
+  /// Entries the load dropped: unparseable under the current parser, or
+  /// recorded metadata disagreeing with the recomputed pipeline (a stale
+  /// snapshot from an older build). The runtime stays correct either
+  /// way — rejection only loses the warm start for that entry.
+  size_t Rejected = 0;
+  /// The file was absent, truncated, corrupt, or version-mismatched: the
+  /// runtime starts cold (nothing loaded, never an error thrown).
+  bool Cold = false;
+  /// loadOnce() found a prior loadOnce() already succeeded on this
+  /// runtime and did nothing (cold attempts do not latch — they stay
+  /// retryable).
+  bool Skipped = false;
+  std::string Error; ///< why Cold, empty otherwise
+
+  bool warm() const { return Loaded > 0; }
+};
 
 struct RuntimeOptions {
   /// Maximum interned patterns; least-recently-used entries are evicted
@@ -92,6 +114,28 @@ public:
   void warm(const std::shared_ptr<CompiledRegex> &C,
             unsigned Stages = WarmAll);
 
+  /// Persistent warm start (DESIGN.md §7.3): save() serializes every
+  /// interned entry's metadata — pattern, flags, RegexFeatures, approx
+  /// exactness — behind a versioned, checksummed header; load() restores
+  /// a saved table into this runtime, re-interning each entry and
+  /// pre-building its stages through warm(), so a corpus job's first
+  /// queries start on hot artifacts across process boundaries. A load is
+  /// transactional against damage: bad magic, version mismatch,
+  /// truncation, or a checksum failure loads nothing (SnapshotLoadResult
+  /// ::Cold) instead of crashing or half-populating the table. Stats land
+  /// in RuntimeStats::SnapshotLoaded / SnapshotRejected.
+  bool save(std::ostream &OS) const;
+  bool save(const std::string &Path) const;
+  SnapshotLoadResult load(std::istream &IS, unsigned Stages = WarmAll);
+  SnapshotLoadResult load(const std::string &Path,
+                          unsigned Stages = WarmAll);
+  /// load() at most once per runtime: corpus tasks sharing this runtime
+  /// can all name the same EngineOptions::CacheSnapshot and only the
+  /// first *successful* comer pays the load (the rest report Skipped);
+  /// a cold attempt does not latch, so the snapshot can appear later.
+  SnapshotLoadResult loadOnce(const std::string &Path,
+                              unsigned Stages = WarmAll);
+
 private:
   static std::string makeKey(const UString &Pattern,
                              const RegexFlags &Flags);
@@ -109,6 +153,11 @@ private:
   mutable std::mutex Mu;
   LruMap<std::shared_ptr<CompiledRegex>> Entries;
   std::unordered_map<std::string, std::string> Errors;
+
+  /// loadOnce() latch; separate from Mu because load() re-enters the
+  /// interning path (which takes Mu per entry).
+  std::mutex SnapMu;
+  bool SnapshotDone = false;
 };
 
 } // namespace recap

@@ -1,0 +1,300 @@
+//===- runtime/RuntimeSnapshot.cpp - Warm-start snapshot save/load ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RegexRuntime.h"
+#include "runtime/RuntimeSnapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+using namespace recap;
+using namespace recap::snapshot;
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// Bounds-checked little-endian reader over the loaded buffer; any
+/// overrun flips Fail and sticks (the transactional-load contract).
+struct Reader {
+  const unsigned char *Data;
+  size_t N;
+  size_t At = 0;
+  bool Fail = false;
+
+  bool need(size_t K) {
+    if (Fail || N - At < K) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return Data[At++];
+  }
+  std::string str(uint32_t Len) {
+    if (!need(Len))
+      return {};
+    std::string S(reinterpret_cast<const char *>(Data + At), Len);
+    At += Len;
+    return S;
+  }
+};
+
+/// RegexFeatures fields in declaration order — the serialization contract
+/// (SnapshotFeatureWords must equal this list's length).
+std::vector<uint32_t> featureWords(const RegexFeatures &F) {
+  return {F.CaptureGroups,   F.NonCapturingGroups,
+          F.Backreferences,  F.QuantifiedBackreferences,
+          F.MutableBackreferences, F.EmptyBackreferences,
+          F.Lookaheads,      F.Lookbehinds,
+          F.NamedGroups,     F.NamedBackreferences,
+          F.WordBoundaries,  F.Anchors,
+          F.CharacterClasses, F.ClassRanges,
+          F.KleeneStar,      F.KleeneStarLazy,
+          F.KleenePlus,      F.KleenePlusLazy,
+          F.Optional,        F.Repetition,
+          F.RepetitionLazy};
+}
+
+RegexFeatures featuresFromWords(const std::vector<uint32_t> &W) {
+  RegexFeatures F;
+  F.CaptureGroups = W[0];
+  F.NonCapturingGroups = W[1];
+  F.Backreferences = W[2];
+  F.QuantifiedBackreferences = W[3];
+  F.MutableBackreferences = W[4];
+  F.EmptyBackreferences = W[5];
+  F.Lookaheads = W[6];
+  F.Lookbehinds = W[7];
+  F.NamedGroups = W[8];
+  F.NamedBackreferences = W[9];
+  F.WordBoundaries = W[10];
+  F.Anchors = W[11];
+  F.CharacterClasses = W[12];
+  F.ClassRanges = W[13];
+  F.KleeneStar = W[14];
+  F.KleeneStarLazy = W[15];
+  F.KleenePlus = W[16];
+  F.KleenePlusLazy = W[17];
+  F.Optional = W[18];
+  F.Repetition = W[19];
+  F.RepetitionLazy = W[20];
+  return F;
+}
+
+static_assert(SnapshotFeatureWords == 21,
+              "keep featureWords()/featuresFromWords() and the constant "
+              "in sync with RegexFeatures");
+
+struct RawEntry {
+  std::string Flags;
+  std::string Pattern;
+  RegexFeatures Features;
+  bool ApproxExact = false;
+};
+
+} // namespace
+
+bool RegexRuntime::save(std::ostream &OS) const {
+  // Collect artifacts under the intern lock, then force the recorded
+  // stages outside it (a cold features/approx build takes the artifact's
+  // own stage mutex and must not serialize interning behind Mu).
+  std::vector<std::shared_ptr<CompiledRegex>> Artifacts;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Artifacts.reserve(Entries.size());
+    Entries.forEachLru(
+        [&](const std::string &, const std::shared_ptr<CompiledRegex> &C) {
+          Artifacts.push_back(C);
+        });
+  }
+
+  std::string Body;
+  for (const std::shared_ptr<CompiledRegex> &C : Artifacts) {
+    std::string Flags = C->flags().str();
+    std::string Pattern = toUTF8(C->pattern());
+    const RegexFeatures &F = C->features();
+    bool Exact = C->classicalApprox().Exact;
+    putU32(Body, static_cast<uint32_t>(Flags.size()));
+    Body += Flags;
+    putU32(Body, static_cast<uint32_t>(Pattern.size()));
+    Body += Pattern;
+    for (uint32_t W : featureWords(F))
+      putU32(Body, W);
+    Body.push_back(Exact ? 1 : 0);
+  }
+
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  putU32(Out, SnapshotVersion);
+  putU32(Out, SnapshotFeatureWords);
+  putU64(Out, Artifacts.size());
+  Out += Body;
+  putU64(Out, fnv1a(reinterpret_cast<const unsigned char *>(Body.data()),
+                    Body.size()));
+  OS.write(Out.data(), static_cast<std::streamsize>(Out.size()));
+  return static_cast<bool>(OS);
+}
+
+bool RegexRuntime::save(const std::string &Path) const {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS || !save(OS))
+    return false;
+  // Flush before reporting success: a buffered write that only fails at
+  // destruction (disk full) must not report a persisted snapshot.
+  OS.flush();
+  return static_cast<bool>(OS);
+}
+
+SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
+  SnapshotLoadResult Res;
+  auto Cold = [&](const char *Why) {
+    Res.Cold = true;
+    Res.Error = Why;
+    return Res;
+  };
+
+  std::string Buf((std::istreambuf_iterator<char>(IS)),
+                  std::istreambuf_iterator<char>());
+  if (Buf.size() < HeaderBytes + ChecksumBytes)
+    return Cold("snapshot shorter than header");
+  if (std::memcmp(Buf.data(), Magic, sizeof(Magic)) != 0)
+    return Cold("bad snapshot magic");
+
+  Reader R{reinterpret_cast<const unsigned char *>(Buf.data()),
+           Buf.size() - ChecksumBytes, sizeof(Magic)};
+  uint32_t Version = R.u32();
+  uint32_t Words = R.u32();
+  uint64_t Count = R.u64();
+  if (Version != SnapshotVersion)
+    return Cold("snapshot version mismatch");
+  if (Words != SnapshotFeatureWords)
+    return Cold("snapshot feature layout mismatch");
+
+  uint64_t Stored = 0;
+  {
+    Reader Tail{reinterpret_cast<const unsigned char *>(Buf.data()),
+                Buf.size(), Buf.size() - ChecksumBytes};
+    Stored = Tail.u64();
+  }
+  if (fnv1a(reinterpret_cast<const unsigned char *>(Buf.data()) +
+                HeaderBytes,
+            Buf.size() - HeaderBytes - ChecksumBytes) != Stored)
+    return Cold("snapshot checksum mismatch");
+
+  // The count field sits in the header, outside the checksummed entry
+  // region — validate it against the bytes actually present before
+  // sizing anything (a corrupt count must load cold, not throw from
+  // vector::reserve).
+  constexpr uint64_t MinEntryBytes =
+      4 + 4 + 4ull * SnapshotFeatureWords + 1;
+  if (Count > (R.N - R.At) / MinEntryBytes)
+    return Cold("snapshot entry count exceeds file size");
+
+  // Decode everything before touching the table: a malformed entry midway
+  // must not leave a half-loaded runtime.
+  std::vector<RawEntry> Raw;
+  Raw.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    RawEntry E;
+    E.Flags = R.str(R.u32());
+    E.Pattern = R.str(R.u32());
+    std::vector<uint32_t> W(SnapshotFeatureWords);
+    for (uint32_t &V : W)
+      V = R.u32();
+    E.ApproxExact = R.u8() != 0;
+    if (R.Fail)
+      return Cold("snapshot entries truncated");
+    E.Features = featuresFromWords(W);
+    Raw.push_back(std::move(E));
+  }
+  if (R.At != R.N)
+    return Cold("snapshot has trailing bytes");
+
+  for (const RawEntry &E : Raw) {
+    Result<std::shared_ptr<CompiledRegex>> C = get(E.Pattern, E.Flags);
+    if (!C) {
+      ++Res.Rejected;
+      ++Stats->SnapshotRejected;
+      continue;
+    }
+    warm(*C, Stages);
+    // The recorded metadata must agree with the recomputed pipeline; a
+    // stale snapshot (older parser/analyzer) is rejected per entry. The
+    // interned artifact itself is correct either way — only the warm
+    // credit is withheld.
+    if (!((*C)->features() == E.Features) ||
+        (*C)->classicalApprox().Exact != E.ApproxExact) {
+      ++Res.Rejected;
+      ++Stats->SnapshotRejected;
+      continue;
+    }
+    ++Res.Loaded;
+    ++Stats->SnapshotLoaded;
+  }
+  return Res;
+}
+
+SnapshotLoadResult RegexRuntime::load(const std::string &Path,
+                                      unsigned Stages) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    SnapshotLoadResult Res;
+    Res.Cold = true;
+    Res.Error = "cannot open snapshot '" + Path + "'";
+    return Res;
+  }
+  return load(IS, Stages);
+}
+
+SnapshotLoadResult RegexRuntime::loadOnce(const std::string &Path,
+                                          unsigned Stages) {
+  // Serializes concurrent first-comers: one loads, the rest wait on
+  // SnapMu and then skip — so corpus tasks sharing this runtime see a
+  // fully warm table, never a half-loaded race. Only a structurally
+  // valid load latches: a cold attempt (file not written yet, corrupt)
+  // stays retryable, so a long-lived runtime is not permanently locked
+  // out of its warm start by one early miss.
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  if (SnapshotDone) {
+    SnapshotLoadResult Res;
+    Res.Skipped = true;
+    return Res;
+  }
+  SnapshotLoadResult Res = load(Path, Stages);
+  if (!Res.Cold)
+    SnapshotDone = true;
+  return Res;
+}

@@ -1,0 +1,63 @@
+//===- runtime/RuntimeSnapshot.h - Warm-start snapshot format ---*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk layout of the RegexRuntime warm-start snapshot (save()/load(),
+/// DESIGN.md §7.3). All integers little-endian:
+///
+///   [0]   magic            "RECAPSNP" (8 bytes)
+///   [8]   u32 version      SnapshotVersion
+///   [12]  u32 featureWords SnapshotFeatureWords — the number of u32
+///                          RegexFeatures fields per entry; a layout
+///                          change to RegexFeatures changes this and old
+///                          snapshots load cold instead of misparsing
+///   [16]  u64 count        interned entries, least- to most-recently
+///                          used (so a bounded reload evicts the same
+///                          cold tail)
+///   [24]  entries          per entry:
+///                            u32 flagsLen, canonical flag string
+///                            u32 patLen, UTF-8 pattern
+///                            u32[featureWords] feature counts in
+///                              RegexFeatures declaration order
+///                            u8 approxExact (RegularApprox::Exact)
+///   [end-8] u64 checksum   FNV-1a 64 over the entry bytes
+///
+/// Any structural damage — short file, bad magic, wrong version or word
+/// count, checksum mismatch, entry overrunning the buffer — makes load()
+/// return Cold without touching the runtime. The constants live here so
+/// tests can corrupt snapshots surgically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RUNTIME_RUNTIMESNAPSHOT_H
+#define RECAP_RUNTIME_RUNTIMESNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace recap::snapshot {
+
+inline constexpr char Magic[8] = {'R', 'E', 'C', 'A', 'P', 'S', 'N', 'P'};
+inline constexpr uint32_t SnapshotVersion = 1;
+/// u32 fields serialized per RegexFeatures (its declaration-order count).
+inline constexpr uint32_t SnapshotFeatureWords = 21;
+/// magic + version + featureWords + count.
+inline constexpr size_t HeaderBytes = 24;
+/// FNV-1a 64 trailer.
+inline constexpr size_t ChecksumBytes = 8;
+
+inline uint64_t fnv1a(const unsigned char *Data, size_t N) {
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I < N; ++I) {
+    H ^= Data[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace recap::snapshot
+
+#endif // RECAP_RUNTIME_RUNTIMESNAPSHOT_H

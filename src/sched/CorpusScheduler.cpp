@@ -1,0 +1,66 @@
+//===- sched/CorpusScheduler.cpp - Program-level corpus scheduling ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/CorpusScheduler.h"
+
+#include "parallel/WorkerPool.h"
+#include "sched/WorkerBudget.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace recap;
+using namespace recap::sched;
+
+CorpusScheduler::CorpusScheduler(CorpusSchedulerOptions Opts)
+    : Workers(WorkerPool::resolveWorkers(Opts.Workers)),
+      ShardsPerTask(Opts.ShardsPerTask == 0 ? 1 : Opts.ShardsPerTask) {
+  size_t HW = WorkerPool::hardwareWorkers();
+  if (Opts.ClampToHardware && Workers > HW) {
+    Workers = HW;
+    Clamped = true;
+  }
+}
+
+void CorpusScheduler::add(Task T) { Queue.push_back(std::move(T)); }
+
+CorpusScheduler::Stats CorpusScheduler::run() {
+  std::vector<Task> Tasks;
+  Tasks.swap(Queue);
+
+  WorkerBudget Budget(Workers);
+  std::atomic<size_t> Unfinished{Tasks.size()};
+  {
+    WorkerPool Pool(Workers);
+    for (size_t Idx = 0; Idx < Tasks.size(); ++Idx)
+      Pool.submit([&, Idx] {
+        // One atomic grant covers the task's base slot and its shard
+        // borrow; holding the grant for the task's whole run keeps the
+        // two scheduling levels composed under the one budget. The
+        // grant is fair-share capped: with more unfinished tasks than
+        // workers every task runs serially (program-level parallelism
+        // first), and the borrow widens only as the queue drains — a
+        // greedy acquire(ShardsPerTask) would let the first task take
+        // every slot and collapse the corpus to one program at a time.
+        size_t Left = std::max<size_t>(1, Unfinished.load());
+        size_t Fair =
+            std::max<size_t>(1, Workers / std::min(Left, Workers));
+        size_t Got = Budget.acquire(std::min(ShardsPerTask, Fair));
+        Tasks[Idx](Idx, Got);
+        Budget.release(Got);
+        Unfinished.fetch_sub(1);
+      });
+    Pool.wait();
+  }
+
+  Stats S;
+  S.Workers = Workers;
+  S.Clamped = Clamped;
+  S.Tasks = Tasks.size();
+  S.SlotsBorrowed = Budget.borrowed();
+  S.MaxSlotsInUse = Budget.maxInUse();
+  return S;
+}

@@ -1,0 +1,84 @@
+//===- sched/CorpusScheduler.h - Program-level corpus scheduling -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program level of two-level scheduling (DESIGN.md §7): a corpus job
+/// is a queue of tasks (one engine run, one survey slice) executed over
+/// ONE shared WorkerPool whose size is the global worker budget. Each
+/// task, as it starts, is granted between 1 and ShardsPerTask slots from
+/// a WorkerBudget sized to the pool — it runs serially on its pool thread
+/// with a grant of 1, or drives that many intra-run shards with a larger
+/// grant (the engine runs one shard on the granted thread itself), so
+/// worker threads actually executing never exceed the budget no matter
+/// how the two levels mix. Grants are fair-share capped by the number
+/// of unfinished tasks: while the queue is deeper than the budget every
+/// task runs serially, and the shard borrow only widens as the corpus
+/// drains — program-level parallelism comes first. Pool threads that
+/// cannot get a slot park on the budget's condition variable; they burn
+/// no CPU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SCHED_CORPUSSCHEDULER_H
+#define RECAP_SCHED_CORPUSSCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace recap::sched {
+
+struct CorpusSchedulerOptions {
+  /// Global worker budget: pool threads and budget slots. 0 = one per
+  /// hardware thread.
+  size_t Workers = 0;
+  /// Maximum slots one task may hold (1 = every task runs serially).
+  size_t ShardsPerTask = 1;
+  /// Clamp the resolved budget to hardware_concurrency() instead of
+  /// oversubscribing; stress tests that *want* oversubscription on small
+  /// machines turn this off.
+  bool ClampToHardware = true;
+};
+
+class CorpusScheduler {
+public:
+  /// A task receives its queue index and its slot grant (>= 1): the
+  /// number of workers, including the calling thread, it may use.
+  using Task = std::function<void(size_t Index, size_t Budget)>;
+
+  struct Stats {
+    size_t Workers = 0;       ///< resolved global budget
+    bool Clamped = false;     ///< request exceeded hardware and was cut
+    uint64_t Tasks = 0;       ///< tasks executed
+    uint64_t SlotsBorrowed = 0; ///< grants beyond 1, summed over tasks
+    size_t MaxSlotsInUse = 0; ///< high-water of outstanding slots
+  };
+
+  explicit CorpusScheduler(CorpusSchedulerOptions Opts = {});
+
+  /// Appends a task; call before run().
+  void add(Task T);
+  size_t tasks() const { return Queue.size(); }
+  size_t workers() const { return Workers; }
+  bool clamped() const { return Clamped; }
+
+  /// Executes every queued task over the shared pool and blocks until
+  /// all finish. Tasks start in queue order (completion order is up to
+  /// the budget and task durations). The queue is consumed: a second
+  /// run() executes only tasks added since.
+  Stats run();
+
+private:
+  size_t Workers;
+  size_t ShardsPerTask;
+  bool Clamped = false;
+  std::vector<Task> Queue;
+};
+
+} // namespace recap::sched
+
+#endif // RECAP_SCHED_CORPUSSCHEDULER_H

@@ -1,0 +1,254 @@
+//===- sched/CupaScheduler.h - Partitioned CUPA work scheduler --*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling machinery of shard-per-worker search, factored out of
+/// dse/Engine.cpp into a reusable substrate (DESIGN.md §7): per-shard CUPA
+/// buckets partitioned by bucket-id hash, least-recently-served bucket
+/// policy with a random pick inside the bucket, half-bucket work-stealing
+/// when a shard's own buckets drain, a parked retry pool, and the
+/// Pending/Active termination protocol under one scheduler mutex — every
+/// transition (claim, enqueue, complete, retry flush) and the quiescence
+/// check happen under it, so "Pending == 0 && Active == 0" is an exact
+/// snapshot, never a racy two-read approximation.
+///
+/// The scheduler is generic over the queued item type; the DSE engine
+/// instantiates it with its queued test inputs, and sched_test drives it
+/// with plain integers (keeping the TSan target free of solver code).
+/// Domain policy stays with the caller: what an item means, when the run
+/// is over budget, and whether a drained queue may flush retries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SCHED_CUPASCHEDULER_H
+#define RECAP_SCHED_CUPASCHEDULER_H
+
+#include <climits>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <vector>
+
+namespace recap::sched {
+
+/// Spreads CUPA bucket keys (small site ids, plus the -1 seed bucket)
+/// over shards: a finalizer-style mix so consecutive sites do not all
+/// land on consecutive shards of a small pool.
+inline size_t cupaShardOf(int Bucket, size_t Shards) {
+  uint64_t H = static_cast<uint64_t>(static_cast<int64_t>(Bucket));
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  return static_cast<size_t>(H % Shards);
+}
+
+template <typename T> class CupaScheduler {
+public:
+  /// Outcome of a claim attempt.
+  enum class Claim {
+    Claimed, ///< an item was handed out; call complete() when done
+    Idle,    ///< nothing claimable now but other shards are active — back
+             ///< off briefly and try again
+    Stopped, ///< the run concluded (quiescent, or stop() was called)
+  };
+
+  /// \p Shards queues; \p Seed derives each shard's in-bucket pick RNG
+  /// (shard I is seeded Seed + golden-ratio * (I + 1), matching the
+  /// engine's historical per-shard streams).
+  CupaScheduler(size_t Shards, uint64_t Seed) {
+    Queues.reserve(Shards);
+    for (size_t I = 0; I < Shards; ++I) {
+      Queues.push_back(std::make_unique<ShardQueue>());
+      Queues.back()->Rng.seed(Seed + 0x9e3779b97f4a7c15ull * (I + 1));
+    }
+  }
+
+  size_t shards() const { return Queues.size(); }
+
+  /// Queues \p Item under \p Bucket on the shard owning the bucket.
+  void enqueue(T Item, int Bucket) {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    enqueueLocked(std::move(Item), Bucket);
+  }
+
+  /// Parks \p Item for the next retry flush: when the whole scheduler
+  /// drains and the caller's MayRetry predicate allows it, parked items
+  /// are re-queued under their buckets (the serial engine's retry round).
+  void park(T Item, int Bucket) {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    RetryPool.push_back({std::move(Item), Bucket});
+  }
+
+  /// Claim-or-conclude for shard \p Shard, atomically under the scheduler
+  /// mutex: pops from the shard's own least-served bucket, steals the
+  /// back half of the fullest bucket of the first non-empty victim
+  /// otherwise, and on an exact quiescent snapshot either flushes the
+  /// retry pool (\p MayRetry true) or stops the run. On Claimed, \p Out
+  /// and \p Bucket receive the item and its bucket key and the shard
+  /// counts as Active until complete().
+  Claim claim(size_t Shard, T &Out, int &Bucket,
+              const std::function<bool()> &MayRetry) {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    if (StopFlag)
+      return Claim::Stopped;
+    std::optional<Queued> Q = popLocal(Shard);
+    if (!Q)
+      Q = steal(Shard);
+    if (Q) {
+      ++Active;
+      Out = std::move(Q->Item);
+      Bucket = Q->Bucket;
+      return Claim::Claimed;
+    }
+    if (Pending == 0 && Active == 0) {
+      if (!RetryPool.empty() && MayRetry && MayRetry()) {
+        for (Queued &R : RetryPool)
+          enqueueLocked(std::move(R.Item), R.Bucket);
+        RetryPool.clear();
+        return Claim::Idle; // re-claim next round
+      }
+      StopFlag = true;
+      return Claim::Stopped;
+    }
+    return Claim::Idle;
+  }
+
+  /// Marks the shard's claimed item finished (Active--).
+  void complete() {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    --Active;
+  }
+
+  /// Concludes the run for every shard (deadline / test budget hit).
+  void stop() {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    StopFlag = true;
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    return StopFlag;
+  }
+
+  /// Items shard \p Shard took from other shards' buckets.
+  uint64_t stolen(size_t Shard) const {
+    std::lock_guard<std::mutex> Lock(Queues[Shard]->Mu);
+    return Queues[Shard]->Stolen;
+  }
+
+  /// Total enqueue() calls (parked retries re-count when flushed).
+  uint64_t enqueued() const {
+    std::lock_guard<std::mutex> Lock(SchedMu);
+    return Enqueued;
+  }
+
+private:
+  struct Queued {
+    T Item;
+    int Bucket;
+  };
+
+  /// One shard's queue state. Only Mu-guarded members are touched by
+  /// other shards (work-stealing); lock order: SchedMu, then a shard Mu.
+  struct ShardQueue {
+    mutable std::mutex Mu;
+    std::map<int, std::vector<Queued>> Buckets;
+    std::map<int, uint64_t> Access;
+    std::mt19937_64 Rng;
+    uint64_t Stolen = 0;
+  };
+
+  void enqueueLocked(T Item, int Bucket) {
+    ShardQueue &S = *Queues[cupaShardOf(Bucket, Queues.size())];
+    ++Pending;
+    ++Enqueued;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Buckets[Bucket].push_back({std::move(Item), Bucket});
+  }
+
+  /// Serial CUPA policy per shard: least-accessed non-empty local bucket,
+  /// random pick within it. Called with SchedMu held (the claim path);
+  /// the shard Mu still guards the bucket data against enqueues.
+  std::optional<Queued> popLocal(size_t Shard) {
+    ShardQueue &Me = *Queues[Shard];
+    std::lock_guard<std::mutex> Lock(Me.Mu);
+    int Best = INT_MIN;
+    uint64_t BestAccess = UINT64_MAX;
+    for (auto &[Site, Items] : Me.Buckets) {
+      if (Items.empty())
+        continue;
+      uint64_t A = Me.Access[Site];
+      if (A < BestAccess) {
+        BestAccess = A;
+        Best = Site;
+      }
+    }
+    if (Best == INT_MIN)
+      return std::nullopt;
+    ++Me.Access[Best];
+    std::vector<Queued> &Q = Me.Buckets[Best];
+    size_t Pick = Me.Rng() % Q.size();
+    Queued Item = std::move(Q[Pick]);
+    Q.erase(Q.begin() + Pick);
+    --Pending;
+    return Item;
+  }
+
+  /// Work-stealing: the back half of the fullest bucket of the first
+  /// non-empty victim migrates. Items keep their bucket key, so CUPA
+  /// fairness is preserved — ownership of the site just moves.
+  std::optional<Queued> steal(size_t Shard) {
+    ShardQueue &Me = *Queues[Shard];
+    size_t W = Queues.size();
+    for (size_t K = 1; K < W; ++K) {
+      ShardQueue &Victim = *Queues[(Shard + K) % W];
+      std::vector<Queued> Loot;
+      int Site = INT_MIN;
+      {
+        std::lock_guard<std::mutex> Lock(Victim.Mu);
+        size_t Fullest = 0;
+        for (auto &[S, Items] : Victim.Buckets)
+          if (Items.size() > Fullest) {
+            Fullest = Items.size();
+            Site = S;
+          }
+        if (Site == INT_MIN)
+          continue;
+        std::vector<Queued> &Q = Victim.Buckets[Site];
+        size_t Keep = Q.size() / 2;
+        for (size_t I = Keep; I < Q.size(); ++I)
+          Loot.push_back(std::move(Q[I]));
+        Q.resize(Keep);
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Me.Mu);
+        Me.Stolen += Loot.size();
+        std::vector<Queued> &Q = Me.Buckets[Site];
+        for (Queued &Item : Loot)
+          Q.push_back(std::move(Item));
+      }
+      return popLocal(Shard);
+    }
+    return std::nullopt;
+  }
+
+  std::vector<std::unique_ptr<ShardQueue>> Queues;
+
+  mutable std::mutex SchedMu;
+  uint64_t Pending = 0; ///< queued, not yet claimed
+  int Active = 0;       ///< shards executing a claimed item
+  uint64_t Enqueued = 0;
+  bool StopFlag = false;
+  std::vector<Queued> RetryPool;
+};
+
+} // namespace recap::sched
+
+#endif // RECAP_SCHED_CUPASCHEDULER_H

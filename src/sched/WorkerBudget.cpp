@@ -1,0 +1,55 @@
+//===- sched/WorkerBudget.cpp - Global worker-slot budget ------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/WorkerBudget.h"
+
+#include <cassert>
+
+using namespace recap::sched;
+
+WorkerBudget::WorkerBudget(size_t Total) : Slots(Total == 0 ? 1 : Total) {}
+
+size_t WorkerBudget::acquire(size_t Max) {
+  if (Max == 0)
+    Max = 1;
+  std::unique_lock<std::mutex> Lock(Mu);
+  Freed.wait(Lock, [this] { return Used < Slots; });
+  size_t Got = Slots - Used;
+  if (Got > Max)
+    Got = Max;
+  Used += Got;
+  if (Used > HighWater)
+    HighWater = Used;
+  Borrowed += Got - 1;
+  return Got;
+}
+
+void WorkerBudget::release(size_t N) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    // An over-release would let later acquires exceed the budget — the
+    // exact invariant this class exists to enforce — so fail loudly in
+    // debug builds and saturate instead of underflowing in release.
+    assert(N <= Used && "WorkerBudget::release of slots never acquired");
+    Used -= N < Used ? N : Used;
+  }
+  Freed.notify_all();
+}
+
+size_t WorkerBudget::inUse() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Used;
+}
+
+size_t WorkerBudget::maxInUse() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return HighWater;
+}
+
+size_t WorkerBudget::borrowed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Borrowed;
+}

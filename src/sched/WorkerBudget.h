@@ -1,0 +1,65 @@
+//===- sched/WorkerBudget.h - Global worker-slot budget ---------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accounting half of two-level scheduling (DESIGN.md §7): one counter
+/// of worker slots shared by every task of a corpus job. A task holds one
+/// slot while it runs serially and may borrow extra slots for intra-run
+/// shards; the sum of slots ever outstanding never exceeds the budget, so
+/// program-level and shard-level parallelism compose without
+/// oversubscription. acquire() blocks (a parked task costs no CPU),
+/// tryAcquire() is the opportunistic borrow that never waits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SCHED_WORKERBUDGET_H
+#define RECAP_SCHED_WORKERBUDGET_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace recap::sched {
+
+class WorkerBudget {
+public:
+  /// \p Total slots (at least 1).
+  explicit WorkerBudget(size_t Total);
+
+  WorkerBudget(const WorkerBudget &) = delete;
+  WorkerBudget &operator=(const WorkerBudget &) = delete;
+
+  /// Blocks until at least one slot is free, then takes min(\p Max, free)
+  /// slots in one step (so a task's base slot and its shard borrow are a
+  /// single atomic grant, never a partial hold that could deadlock
+  /// against another waiter). Returns the number taken (>= 1).
+  size_t acquire(size_t Max = 1);
+
+  /// Returns \p N slots and wakes waiters.
+  void release(size_t N);
+
+  size_t total() const { return Slots; }
+  /// Snapshot of outstanding slots.
+  size_t inUse() const;
+  /// High-water mark of outstanding slots; never exceeds total() by
+  /// construction — the invariant sched_test pins down.
+  size_t maxInUse() const;
+  /// Total borrow traffic: slots granted beyond the first of each
+  /// acquire().
+  size_t borrowed() const;
+
+private:
+  size_t Slots;
+  mutable std::mutex Mu;
+  std::condition_variable Freed;
+  size_t Used = 0;
+  size_t HighWater = 0;
+  size_t Borrowed = 0;
+};
+
+} // namespace recap::sched
+
+#endif // RECAP_SCHED_WORKERBUDGET_H

@@ -56,6 +56,17 @@ public:
 
   size_t size() const { return Map.size(); }
 
+  /// Visits every entry from least- to most-recently used without
+  /// touching recency. Snapshot writers rely on this order: re-inserting
+  /// entries in visit order reproduces the recency ranking, so a bounded
+  /// reload evicts the same cold tail (runtime/RuntimeSnapshot.cpp).
+  template <typename Fn> void forEachLru(Fn &&F) const {
+    for (auto It = Lru.rbegin(); It != Lru.rend(); ++It) {
+      auto MIt = Map.find(**It);
+      F(MIt->first, MIt->second.Value);
+    }
+  }
+
   void clear() {
     Map.clear();
     Lru.clear();

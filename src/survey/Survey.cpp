@@ -7,6 +7,7 @@
 #include "survey/Survey.h"
 
 #include "parallel/WorkerPool.h"
+#include "sched/CorpusScheduler.h"
 
 #include <cctype>
 
@@ -247,32 +248,53 @@ void Survey::merge(const Survey &O) {
 Survey Survey::runParallel(
     const std::vector<std::vector<std::string>> &Packages, size_t Workers,
     std::shared_ptr<RegexRuntime> RT) {
-  size_t W = WorkerPool::resolveWorkers(Workers);
   std::shared_ptr<RegexRuntime> Runtime =
       RT ? std::move(RT) : std::make_shared<RegexRuntime>();
-  if (W > Packages.size())
-    W = Packages.size() == 0 ? 1 : Packages.size();
+  size_t N = Packages.size();
+  if (N == 0)
+    return Survey(Runtime);
+
+  // Deterministic slice seeding: boundaries depend only on the corpus
+  // size, never on the pool size — package I lands in the same slice
+  // whether the scheduler runs 1 worker or 16, and slices merge in
+  // slice order. The old scheme cut one slice per worker, so the slice
+  // a package seeded moved with the pool size. The slice count scales
+  // with the corpus rather than using a fixed chunk, so small corpora
+  // still fan out to every worker; the cap only bounds slice
+  // bookkeeping on huge corpora and sits far above realistic pool
+  // sizes, so it never idles cores.
+  constexpr size_t MaxSlices = 256;
+  size_t NumSlices = N < MaxSlices ? N : MaxSlices;
 
   // One private Survey per contiguous slice, all over the shared
   // (concurrency-safe) runtime: a pattern repeated across slices is
-  // parsed and feature-analyzed once, whichever shard touches it first.
-  // Slices run as pool tasks (they are finite batch jobs, unlike the
-  // engine's long-lived shard loops, which need dedicated threads).
+  // parsed and feature-analyzed once, whichever task touches it first.
+  // Slices are program-level tasks on the corpus scheduler (finite batch
+  // jobs, each serial — ShardsPerTask stays 1), drawn off the shared
+  // pool in slice order.
   std::vector<Survey> Slices;
-  Slices.reserve(W);
-  for (size_t I = 0; I < W; ++I)
+  Slices.reserve(NumSlices);
+  for (size_t I = 0; I < NumSlices; ++I)
     Slices.emplace_back(Runtime);
-  {
-    WorkerPool Pool(W);
-    for (size_t Idx = 0; Idx < W; ++Idx)
-      Pool.submit([&, Idx] {
-        size_t Begin = Packages.size() * Idx / W;
-        size_t End = Packages.size() * (Idx + 1) / W;
-        for (size_t I = Begin; I < End; ++I)
-          Slices[Idx].addPackage(Packages[I]);
-      });
-    Pool.wait();
-  }
+
+  sched::CorpusSchedulerOptions SchedOpts;
+  SchedOpts.Workers = WorkerPool::resolveWorkers(Workers);
+  if (SchedOpts.Workers > NumSlices)
+    SchedOpts.Workers = NumSlices;
+  SchedOpts.ShardsPerTask = 1;
+  // Callers pick worker counts above the core count on purpose in the
+  // concurrency stress tests; the engine-level clamp satellite does not
+  // apply here.
+  SchedOpts.ClampToHardware = false;
+  sched::CorpusScheduler Sched(SchedOpts);
+  for (size_t Idx = 0; Idx < NumSlices; ++Idx)
+    Sched.add([&, Idx, NumSlices](size_t, size_t) {
+      size_t Begin = N * Idx / NumSlices;
+      size_t End = N * (Idx + 1) / NumSlices;
+      for (size_t I = Begin; I < End; ++I)
+        Slices[Idx].addPackage(Packages[I]);
+    });
+  Sched.run();
 
   // Merging in slice order keeps the aggregation deterministic and equal
   // to the serial result (survey_test.ParallelMatchesSerial).

@@ -45,12 +45,14 @@ std::vector<std::string> surveyExtensionFeatureNames();
 /// analyzed once no matter how many packages or occurrences repeat it
 /// (and malformed literals are rejected from the negative cache).
 ///
-/// Corpus-scale runs shard the aggregation: runParallel() slices the
-/// package list over N workers, each aggregating into a private Survey
-/// over the *shared* runtime, and merges the slices in order — the
-/// result is equal to the serial aggregation, field for field (totals
-/// are sums; unique counts are recomputed over the union of the
-/// per-slice literal sets at merge time).
+/// Corpus-scale runs shard the aggregation: runParallel() cuts the
+/// package list into fixed-size slices (boundaries depend only on the
+/// corpus, never on the pool size), runs each slice as a task on the
+/// program-level corpus scheduler (sched/CorpusScheduler.h) over the
+/// *shared* runtime, and merges the slices in slice order — the result
+/// is equal to the serial aggregation, field for field (totals are
+/// sums; unique counts are recomputed over the union of the per-slice
+/// literal sets at merge time).
 class Survey {
 public:
   /// Uses a private runtime when \p RT is null; pass one to share
@@ -68,10 +70,12 @@ public:
   /// hit when both surveys share it, as runParallel's slices do).
   void merge(const Survey &O);
 
-  /// Shard-per-slice aggregation of \p Packages (outer index = package,
-  /// inner = its JS file contents) over \p Workers threads (0 = one per
-  /// hardware thread). Deterministic: slices merge in slice order and
-  /// the result equals a serial Survey over the same list.
+  /// Sliced aggregation of \p Packages (outer index = package, inner =
+  /// its JS file contents) over \p Workers threads (0 = one per
+  /// hardware thread). Deterministic: slice boundaries are a function
+  /// of the corpus alone (same slice → same shard regardless of pool
+  /// size), slices merge in slice order, and the result equals a serial
+  /// Survey over the same list.
   static Survey runParallel(
       const std::vector<std::vector<std::string>> &Packages,
       size_t Workers, std::shared_ptr<RegexRuntime> RT = nullptr);

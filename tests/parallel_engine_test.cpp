@@ -72,6 +72,8 @@ TEST(ParallelEngine, SameBugSetOnListing1) {
     Opts.MaxSeconds = testsupport::scaledSeconds(90);
     Opts.Cegar.Limits.TimeoutMs = testsupport::scaledTimeoutMs(10000);
     Opts.Workers = Workers;
+    // These tests oversubscribe on purpose (N shards on any core count).
+    Opts.ClampWorkers = false;
     Opts.BackendFactory = [] { return makeZ3Backend(); };
     DseEngine Engine(*Backend, Opts);
     return Engine.run(P);
@@ -95,6 +97,7 @@ TEST(ParallelEngine, SameBugSetOnSemver) {
     Opts.MaxTests = 48;
     Opts.MaxSeconds = testsupport::scaledSeconds(90);
     Opts.Workers = Workers;
+    Opts.ClampWorkers = false;
     Opts.Dispatch = true; // the full PR configuration
     Opts.BackendFactory = [] { return makeZ3Backend(); };
     DseEngine Engine(*Backend, Opts);
@@ -114,6 +117,7 @@ TEST(ParallelEngine, MergedStatsEqualShardSums) {
   Opts.MaxTests = 16;
   Opts.MaxSeconds = testsupport::scaledSeconds(60);
   Opts.Workers = 3;
+  Opts.ClampWorkers = false;
   Opts.Dispatch = true;
   Opts.BackendFactory = [] { return makeZ3Backend(); };
   DseEngine Engine(*Backend, Opts);
@@ -154,6 +158,7 @@ TEST(ParallelEngine, SharedRuntimeWindowCoversAllShards) {
   Opts.MaxTests = 8;
   Opts.MaxSeconds = testsupport::scaledSeconds(60);
   Opts.Workers = 3;
+  Opts.ClampWorkers = false;
   Opts.BackendFactory = [] { return makeZ3Backend(); };
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);

@@ -235,6 +235,8 @@ TEST(ParallelEngineLocal, ShardedRunFindsTheSameBug) {
     Opts.MaxTests = 24;
     Opts.MaxSeconds = 30;
     Opts.Workers = Workers;
+    // Deliberate oversubscription: shard interleaving on any core count.
+    Opts.ClampWorkers = false;
     Opts.BackendFactory = [] { return makeLocalBackend(); };
     DseEngine Engine(*Backend, Opts);
     return Engine.run(P);
@@ -252,6 +254,23 @@ TEST(ParallelEngineLocal, ShardedRunFindsTheSameBug) {
   EXPECT_EQ(Par.Covered, Serial.Covered);
 }
 
+TEST(ParallelEngineLocal, WorkersClampToHardwareByDefault) {
+  // The default configuration cuts an oversubscribing Workers request to
+  // the core count and says so in the run's stats window, instead of
+  // silently running hardware+7 solver stacks on a small container.
+  Program P = classicalProgram();
+  auto Backend = makeLocalBackend();
+  EngineOptions Opts;
+  Opts.MaxTests = 6;
+  Opts.MaxSeconds = 30;
+  Opts.Workers = WorkerPool::hardwareWorkers() + 7;
+  Opts.BackendFactory = [] { return makeLocalBackend(); };
+  DseEngine Engine(*Backend, Opts);
+  EngineResult R = Engine.run(P);
+  EXPECT_EQ(R.WorkersUsed, WorkerPool::hardwareWorkers());
+  EXPECT_EQ(R.Runtime.WorkersClamped.load(), 1u);
+}
+
 TEST(ParallelEngineLocal, ManyShardsOnTinyWorkTerminates) {
   // More shards than work: most shards only ever steal or idle; the
   // termination protocol must still conclude.
@@ -261,6 +280,7 @@ TEST(ParallelEngineLocal, ManyShardsOnTinyWorkTerminates) {
   Opts.MaxTests = 6;
   Opts.MaxSeconds = 30;
   Opts.Workers = StressThreads;
+  Opts.ClampWorkers = false;
   Opts.BackendFactory = [] { return makeLocalBackend(); };
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);

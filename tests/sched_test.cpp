@@ -1,0 +1,354 @@
+//===- tests/sched_test.cpp - Two-level corpus scheduler -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ISSUE-4 scheduling substrate, deliberately Z3-free so the whole
+// binary joins parallel_runtime_test in the ThreadSanitizer CI job:
+//
+//  - WorkerBudget: atomic grants, blocking acquire, the high-water
+//    invariant (outstanding slots never exceed the budget).
+//  - CorpusScheduler: every task runs exactly once, slot grants compose
+//    (program level + borrowed intra-run shards) under one budget, the
+//    hardware clamp is observable.
+//  - CupaScheduler: items drain exactly once across shards, stealing
+//    moves work, the retry flush honors the caller's predicate.
+//  - Survey::runParallel slice seeding: identical aggregation at every
+//    pool size (the deterministic-slicing satellite).
+//  - runDseCorpus: serial-task corpus runs reproduce per-program serial
+//    engine results exactly; budget-borrowing runs stay within the
+//    global budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Corpus.h"
+#include "dse/Workloads.h"
+#include "parallel/WorkerPool.h"
+#include "sched/CupaScheduler.h"
+#include "sched/WorkerBudget.h"
+#include "survey/CorpusGen.h"
+#include "survey/Survey.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+using namespace recap;
+using namespace recap::sched;
+
+namespace {
+
+// --- WorkerBudget ----------------------------------------------------------
+
+TEST(WorkerBudget, GrantsAtMostTheFreeSlots) {
+  WorkerBudget B(4);
+  EXPECT_EQ(B.total(), 4u);
+  EXPECT_EQ(B.acquire(3), 3u); // 3 of 4
+  EXPECT_EQ(B.acquire(3), 1u); // only 1 free: partial grant, no wait
+  EXPECT_EQ(B.inUse(), 4u);
+  EXPECT_EQ(B.borrowed(), 2u); // two grants, 2 + 1 slots beyond the firsts
+  B.release(4);
+  EXPECT_EQ(B.inUse(), 0u);
+  EXPECT_EQ(B.maxInUse(), 4u);
+  EXPECT_EQ(B.acquire(2), 2u);
+  B.release(2);
+}
+
+TEST(WorkerBudget, AcquireBlocksUntilReleased) {
+  WorkerBudget B(1);
+  ASSERT_EQ(B.acquire(1), 1u);
+  std::atomic<bool> Got{false};
+  std::thread Waiter([&] {
+    size_t N = B.acquire(1);
+    Got.store(true);
+    B.release(N);
+  });
+  // The waiter must not get a slot while we hold the only one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Got.load());
+  B.release(1);
+  Waiter.join();
+  EXPECT_TRUE(Got.load());
+  EXPECT_EQ(B.maxInUse(), 1u);
+}
+
+// --- CorpusScheduler -------------------------------------------------------
+
+TEST(CorpusScheduler, RunsEveryTaskExactlyOnce) {
+  CorpusSchedulerOptions Opts;
+  Opts.Workers = 4;
+  Opts.ClampToHardware = false;
+  CorpusScheduler CS(Opts);
+  std::vector<std::atomic<int>> Hits(101);
+  for (size_t I = 0; I < Hits.size(); ++I)
+    CS.add([&Hits](size_t Idx, size_t Budget) {
+      EXPECT_EQ(Budget, 1u); // ShardsPerTask defaults to 1
+      Hits[Idx].fetch_add(1);
+    });
+  CorpusScheduler::Stats S = CS.run();
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "task " << I;
+  EXPECT_EQ(S.Tasks, Hits.size());
+  EXPECT_EQ(S.Workers, 4u);
+  EXPECT_EQ(S.SlotsBorrowed, 0u);
+  EXPECT_LE(S.MaxSlotsInUse, 4u);
+}
+
+TEST(CorpusScheduler, SlotGrantsNeverExceedTheGlobalBudget) {
+  // Tasks may borrow up to 3 slots each over a budget of 4: the summed
+  // outstanding grants — the two-level composition invariant — must
+  // never exceed 4, measured both by the scheduler's own high-water and
+  // by an independent counter the tasks maintain.
+  CorpusSchedulerOptions Opts;
+  Opts.Workers = 4;
+  Opts.ShardsPerTask = 3;
+  Opts.ClampToHardware = false;
+  CorpusScheduler CS(Opts);
+  std::atomic<size_t> Live{0};
+  std::atomic<size_t> MaxLive{0};
+  for (int I = 0; I < 40; ++I)
+    CS.add([&](size_t, size_t Budget) {
+      ASSERT_GE(Budget, 1u);
+      ASSERT_LE(Budget, 3u);
+      size_t Now = Live.fetch_add(Budget) + Budget;
+      size_t Seen = MaxLive.load();
+      while (Now > Seen && !MaxLive.compare_exchange_weak(Seen, Now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      Live.fetch_sub(Budget);
+    });
+  CorpusScheduler::Stats S = CS.run();
+  EXPECT_EQ(S.Tasks, 40u);
+  EXPECT_LE(MaxLive.load(), 4u);
+  EXPECT_LE(S.MaxSlotsInUse, 4u);
+  EXPECT_GE(S.MaxSlotsInUse, 1u);
+}
+
+TEST(CorpusScheduler, ClampToHardwareIsObservable) {
+  CorpusSchedulerOptions Opts;
+  Opts.Workers = WorkerPool::hardwareWorkers() + 5;
+  CorpusScheduler CS(Opts);
+  EXPECT_EQ(CS.workers(), WorkerPool::hardwareWorkers());
+  EXPECT_TRUE(CS.clamped());
+  CS.add([](size_t, size_t) {});
+  CorpusScheduler::Stats S = CS.run();
+  EXPECT_TRUE(S.Clamped);
+  EXPECT_EQ(S.Workers, WorkerPool::hardwareWorkers());
+}
+
+// --- CupaScheduler ---------------------------------------------------------
+
+/// Drives \p Shards claim/complete loops over \p Sched until it stops;
+/// returns every claimed item (thread-safely collected).
+std::vector<int> drain(CupaScheduler<int> &Sched, size_t Shards,
+                       const std::function<bool()> &MayRetry) {
+  std::mutex Mu;
+  std::vector<int> Claimed;
+  WorkerPool::runShards(Shards, [&](size_t Idx) {
+    for (;;) {
+      int Item = 0, Bucket = 0;
+      auto C = Sched.claim(Idx, Item, Bucket, MayRetry);
+      if (C == CupaScheduler<int>::Claim::Stopped)
+        break;
+      if (C == CupaScheduler<int>::Claim::Idle) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Claimed.push_back(Item);
+      }
+      Sched.complete();
+    }
+  });
+  return Claimed;
+}
+
+TEST(CupaScheduler, DrainsEveryItemExactlyOnce) {
+  constexpr size_t Shards = 4;
+  CupaScheduler<int> Sched(Shards, 7);
+  // Buckets spread over many sites, including the -1 seed bucket.
+  for (int I = 0; I < 200; ++I)
+    Sched.enqueue(I, (I % 13) - 1);
+  std::vector<int> Got =
+      drain(Sched, Shards, [] { return false; });
+  ASSERT_EQ(Got.size(), 200u);
+  std::sort(Got.begin(), Got.end());
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(Got[I], I);
+  EXPECT_TRUE(Sched.stopped());
+  EXPECT_EQ(Sched.enqueued(), 200u);
+}
+
+TEST(CupaScheduler, StealingMovesWorkToIdleShards) {
+  // Everything lands in one bucket (= one owning shard); with 4 shards
+  // draining, the other three can only make progress by stealing.
+  constexpr size_t Shards = 4;
+  CupaScheduler<int> Sched(Shards, 7);
+  for (int I = 0; I < 64; ++I)
+    Sched.enqueue(I, 5);
+  std::vector<int> Got = drain(Sched, Shards, [] { return false; });
+  EXPECT_EQ(Got.size(), 64u);
+  uint64_t Stolen = 0;
+  for (size_t I = 0; I < Shards; ++I)
+    Stolen += Sched.stolen(I);
+  // On a single-core box the owner may drain everything before the
+  // other shards wake; stealing just must never lose or duplicate work.
+  EXPECT_LE(Stolen, 64u);
+}
+
+TEST(CupaScheduler, RetryFlushHonorsThePredicate) {
+  CupaScheduler<int> Sched(2, 1);
+  Sched.enqueue(1, 0);
+  int Item = 0, Bucket = 0;
+  ASSERT_EQ(Sched.claim(0, Item, Bucket, [] { return true; }),
+            CupaScheduler<int>::Claim::Claimed);
+  EXPECT_EQ(Item, 1);
+  EXPECT_EQ(Bucket, 0);
+  Sched.park(Item, Bucket); // solver-Unknown analogue
+  Sched.complete();
+  // Quiescent with a parked item and a willing predicate: the claim
+  // reports Idle (flush round), then hands the item back out.
+  EXPECT_EQ(Sched.claim(0, Item, Bucket, [] { return true; }),
+            CupaScheduler<int>::Claim::Idle);
+  ASSERT_EQ(Sched.claim(0, Item, Bucket, [] { return true; }),
+            CupaScheduler<int>::Claim::Claimed);
+  EXPECT_EQ(Item, 1);
+  Sched.park(Item, Bucket);
+  Sched.complete();
+  // Predicate refuses: parked work is dropped and the run concludes.
+  EXPECT_EQ(Sched.claim(0, Item, Bucket, [] { return false; }),
+            CupaScheduler<int>::Claim::Stopped);
+  EXPECT_TRUE(Sched.stopped());
+}
+
+// --- Deterministic survey slicing ------------------------------------------
+
+TEST(SurveySlicing, IdenticalAggregationAtEveryPoolSize) {
+  CorpusOptions Opts;
+  Opts.NumPackages = 60;
+  Opts.Seed = 23;
+  std::vector<std::vector<std::string>> Files;
+  for (GeneratedPackage &P : generateCorpus(Opts))
+    Files.push_back(std::move(P.Files));
+
+  Survey Serial;
+  for (const auto &F : Files)
+    Serial.addPackage(F);
+
+  // Slice boundaries are a function of the corpus alone, so every pool
+  // size must reproduce the serial rows byte-for-byte — the ISSUE-4
+  // acceptance gate.
+  for (size_t W : {1u, 2u, 4u, 8u}) {
+    Survey Par = Survey::runParallel(Files, W);
+    EXPECT_EQ(Par.Packages, Serial.Packages) << W;
+    EXPECT_EQ(Par.WithSource, Serial.WithSource) << W;
+    EXPECT_EQ(Par.WithRegex, Serial.WithRegex) << W;
+    EXPECT_EQ(Par.WithCaptures, Serial.WithCaptures) << W;
+    EXPECT_EQ(Par.WithBackrefs, Serial.WithBackrefs) << W;
+    EXPECT_EQ(Par.WithQuantifiedBackrefs, Serial.WithQuantifiedBackrefs)
+        << W;
+    EXPECT_EQ(Par.TotalRegexes, Serial.TotalRegexes) << W;
+    EXPECT_EQ(Par.UniqueRegexes, Serial.UniqueRegexes) << W;
+    ASSERT_EQ(Par.Features.size(), Serial.Features.size()) << W;
+    for (const auto &[Name, FC] : Serial.Features) {
+      EXPECT_EQ(Par.Features.at(Name).Total, FC.Total) << Name << "@" << W;
+      EXPECT_EQ(Par.Features.at(Name).Unique, FC.Unique)
+          << Name << "@" << W;
+    }
+  }
+}
+
+// --- runDseCorpus ----------------------------------------------------------
+
+std::vector<Program> miniCorpus(size_t N) {
+  std::vector<Program> Out;
+  for (uint64_t Seed = 0; Seed < N; ++Seed)
+    Out.push_back(generateMiniPackage(Seed));
+  return Out;
+}
+
+EngineOptions localEngineOptions() {
+  EngineOptions E;
+  E.MaxTests = 8;
+  E.MaxSeconds = 30;
+  E.BackendFactory = [] { return makeLocalBackend(); };
+  return E;
+}
+
+TEST(DseCorpus, SerialTasksReproducePerProgramSerialRuns) {
+  std::vector<Program> Programs = miniCorpus(4);
+
+  // Reference: one serial engine run per program, private runtimes.
+  std::vector<EngineResult> Ref;
+  for (const Program &P : Programs) {
+    EngineOptions E = localEngineOptions();
+    auto Backend = makeLocalBackend();
+    DseEngine Engine(*Backend, E);
+    Ref.push_back(Engine.run(P));
+  }
+
+  DseCorpusOptions Opts;
+  Opts.Engine = localEngineOptions();
+  Opts.Workers = 4;
+  Opts.ShardsPerTask = 1; // every task is the bit-identical serial engine
+  Opts.ClampWorkers = false;
+  DseCorpusResult R = runDseCorpus(Programs, Opts);
+
+  ASSERT_EQ(R.Results.size(), Programs.size());
+  EXPECT_EQ(R.Sched.Tasks, Programs.size());
+  EXPECT_LE(R.Sched.MaxSlotsInUse, 4u);
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    EXPECT_EQ(R.Results[I].TestsRun, Ref[I].TestsRun) << I;
+    EXPECT_EQ(R.Results[I].Covered, Ref[I].Covered) << I;
+    EXPECT_EQ(R.Results[I].FailedAsserts, Ref[I].FailedAsserts) << I;
+    EXPECT_EQ(R.Results[I].Cegar.Queries, Ref[I].Cegar.Queries) << I;
+    EXPECT_EQ(R.Results[I].WorkersUsed, 1u) << I;
+  }
+}
+
+TEST(DseCorpus, SharedRuntimeCompilesRepeatedPatternsOnce) {
+  // The same program list twice: every pattern of the second half is an
+  // intern hit on the shared corpus runtime.
+  std::vector<Program> Programs = miniCorpus(2);
+  std::vector<Program> Twice = Programs;
+  for (const Program &P : Programs)
+    Twice.push_back(P);
+
+  DseCorpusOptions Opts;
+  Opts.Engine = localEngineOptions();
+  Opts.Workers = 2;
+  Opts.ClampWorkers = false;
+  DseCorpusResult R = runDseCorpus(Twice, Opts);
+  EXPECT_GT(R.Runtime.InternMisses.load(), 0u);
+  EXPECT_GT(R.Runtime.InternHits.load(), 0u);
+  // Distinct patterns across 3 programs bound the misses; the duplicate
+  // half adds none.
+  DseCorpusResult Once = runDseCorpus(Programs, Opts);
+  EXPECT_EQ(R.Runtime.InternMisses.load(),
+            Once.Runtime.InternMisses.load());
+}
+
+TEST(DseCorpus, BorrowedShardsStayWithinTheBudget) {
+  std::vector<Program> Programs = miniCorpus(4);
+  DseCorpusOptions Opts;
+  Opts.Engine = localEngineOptions();
+  Opts.Workers = 4;
+  Opts.ShardsPerTask = 2; // runs may borrow one extra shard
+  Opts.ClampWorkers = false;
+  DseCorpusResult R = runDseCorpus(Programs, Opts);
+  ASSERT_EQ(R.Results.size(), Programs.size());
+  EXPECT_LE(R.Sched.MaxSlotsInUse, 4u);
+  for (const EngineResult &E : R.Results) {
+    EXPECT_GE(E.TestsRun, 1u);
+    EXPECT_LE(E.WorkersUsed, 2u); // grant-capped shard count
+  }
+}
+
+} // namespace

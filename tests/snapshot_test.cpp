@@ -1,0 +1,376 @@
+//===- tests/snapshot_test.cpp - Warm-start snapshot roundtrip -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ISSUE-4 snapshot gates (runtime/RuntimeSnapshot.cpp):
+//
+//  - save → load restores every entry's interned metadata bit-identically
+//    (features field-for-field, approx exactness, flags), and a re-save
+//    reproduces the byte stream.
+//  - Damage never crashes and never half-loads: bad magic, version
+//    mismatch, feature-layout mismatch, truncation at any prefix, a
+//    flipped payload byte, a missing file — all load as cold starts.
+//  - A stale entry (recorded metadata disagreeing with the recomputed
+//    pipeline) is rejected per-entry, not fatally.
+//  - Warm vs cold runtimes produce identical EngineResults, including
+//    through the EngineOptions::CacheSnapshot plumbing.
+//
+// Z3-free (LocalBackend only) so the binary stays TSan-instrumentable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Corpus.h"
+#include "runtime/RegexRuntime.h"
+#include "runtime/RuntimeSnapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace recap;
+using namespace recap::mjs;
+
+namespace {
+
+/// A pattern mix covering the recorded metadata: classical, captures,
+/// an inexact approximation (backreference), flags, repetition.
+const std::vector<std::pair<std::string, std::string>> &patternMix() {
+  static const std::vector<std::pair<std::string, std::string>> P = {
+      {"a+b*c", ""},          {"(foo|bar)([0-9]{2,4})", "i"},
+      {"(\\w+)\\s\\1", "g"},  {"^start.*end$", "m"},
+      {"[a-f]{3}", "giy"},    {"x(?:yz)?(?=q)", ""},
+  };
+  return P;
+}
+
+void internMix(RegexRuntime &RT) {
+  for (const auto &[Pat, Flags] : patternMix())
+    EXPECT_TRUE(bool(RT.get(Pat, Flags))) << Pat;
+}
+
+std::string savedMixBytes() {
+  RegexRuntime RT;
+  internMix(RT);
+  std::ostringstream OS;
+  EXPECT_TRUE(RT.save(OS));
+  return OS.str();
+}
+
+std::string saveToString(const RegexRuntime &RT) {
+  std::ostringstream OS;
+  EXPECT_TRUE(RT.save(OS));
+  return OS.str();
+}
+
+SnapshotLoadResult loadFromString(RegexRuntime &RT, const std::string &S) {
+  std::istringstream IS(S);
+  return RT.load(IS);
+}
+
+/// Rewrites the FNV trailer after a surgical payload edit, so the edit
+/// tests the semantic validation rather than the checksum.
+void fixChecksum(std::string &Snap) {
+  using namespace recap::snapshot;
+  uint64_t H = fnv1a(
+      reinterpret_cast<const unsigned char *>(Snap.data()) + HeaderBytes,
+      Snap.size() - HeaderBytes - ChecksumBytes);
+  for (size_t I = 0; I < 8; ++I)
+    Snap[Snap.size() - ChecksumBytes + I] =
+        static_cast<char>((H >> (8 * I)) & 0xff);
+}
+
+TEST(Snapshot, RoundtripRestoresMetadataBitIdentically) {
+  RegexRuntime A;
+  internMix(A);
+  std::string Bytes = saveToString(A);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, patternMix().size());
+  EXPECT_EQ(R.Rejected, 0u);
+  EXPECT_EQ(B.size(), A.size());
+  EXPECT_EQ(B.stats().SnapshotLoaded.load(), patternMix().size());
+
+  for (const auto &[Pat, Flags] : patternMix()) {
+    auto CA = A.get(Pat, Flags);
+    auto CB = B.get(Pat, Flags);
+    ASSERT_TRUE(bool(CA) && bool(CB)) << Pat;
+    EXPECT_TRUE((*CA)->features() == (*CB)->features()) << Pat;
+    EXPECT_EQ((*CA)->classicalApprox().Exact,
+              (*CB)->classicalApprox().Exact)
+        << Pat;
+    EXPECT_EQ((*CA)->flags().str(), (*CB)->flags().str()) << Pat;
+  }
+
+  // Loading preserved the recency order, so a re-save is byte-identical.
+  EXPECT_EQ(saveToString(B), Bytes);
+}
+
+TEST(Snapshot, LoadedEntriesAreWarm) {
+  std::string Bytes = savedMixBytes();
+  RegexRuntime B;
+  ASSERT_FALSE(loadFromString(B, Bytes).Cold);
+  uint64_t FeatureBuilds = B.stats().FeatureComputes.load();
+  uint64_t ApproxBuilds = B.stats().ApproxComputes.load();
+  uint64_t MatcherBuilds = B.stats().MatcherComputes.load();
+  // First queries after a warm start touch only memoized stages.
+  for (const auto &[Pat, Flags] : patternMix()) {
+    auto C = B.get(Pat, Flags);
+    ASSERT_TRUE(bool(C));
+    (*C)->features();
+    (*C)->classicalApprox();
+    (*C)->sharedMatcher();
+  }
+  EXPECT_EQ(B.stats().FeatureComputes.load(), FeatureBuilds);
+  EXPECT_EQ(B.stats().ApproxComputes.load(), ApproxBuilds);
+  EXPECT_EQ(B.stats().MatcherComputes.load(), MatcherBuilds);
+  EXPECT_GT(B.stats().InternHits.load(), 0u);
+}
+
+TEST(Snapshot, EmptyRuntimeRoundtrips) {
+  RegexRuntime A;
+  std::string Bytes = saveToString(A);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold);
+  EXPECT_EQ(R.Loaded, 0u);
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, BadMagicLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  Bytes[0] = 'X';
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_EQ(R.Loaded, 0u);
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, VersionMismatchLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  Bytes[8] = static_cast<char>(recap::snapshot::SnapshotVersion + 1);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("version"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, FeatureLayoutMismatchLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  Bytes[12] = static_cast<char>(recap::snapshot::SnapshotFeatureWords + 3);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, TruncationAtAnyPrefixLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  for (size_t Keep :
+       {size_t(0), size_t(5), size_t(15), size_t(23), size_t(40),
+        Bytes.size() / 2, Bytes.size() - 9, Bytes.size() - 1}) {
+    RegexRuntime B;
+    SnapshotLoadResult R = loadFromString(B, Bytes.substr(0, Keep));
+    EXPECT_TRUE(R.Cold) << "prefix " << Keep;
+    EXPECT_EQ(R.Loaded, 0u) << "prefix " << Keep;
+    EXPECT_EQ(B.size(), 0u) << "prefix " << Keep;
+  }
+}
+
+TEST(Snapshot, CorruptEntryCountLoadsCold) {
+  // The count field lives in the header, outside the checksummed entry
+  // region: an absurd count must load cold, not throw from a huge
+  // vector::reserve.
+  std::string Bytes = savedMixBytes();
+  for (size_t I = 16; I < 24; ++I)
+    Bytes[I] = static_cast<char>(0xff);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("count"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, CorruptPayloadByteLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  Bytes[recap::snapshot::HeaderBytes + 7] ^= 0x40;
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, MissingFileLoadsCold) {
+  RegexRuntime B;
+  SnapshotLoadResult R = B.load("/nonexistent/recap-snapshot.bin");
+  EXPECT_TRUE(R.Cold);
+  EXPECT_EQ(R.Loaded, 0u);
+}
+
+TEST(Snapshot, StaleMetadataRejectedPerEntry) {
+  // One-entry snapshot whose recorded feature words are edited (with the
+  // checksum fixed up): structurally valid, semantically stale — the
+  // entry is rejected, the load itself is not cold.
+  RegexRuntime A;
+  ASSERT_TRUE(bool(A.get("a+b", "")));
+  std::string Bytes = saveToString(A);
+  // Entry layout: u32 flagsLen(0) | u32 patLen(3) | "a+b" | features...
+  // Bump the first feature word (CaptureGroups) from 0 to 9.
+  size_t FeatureAt = recap::snapshot::HeaderBytes + 4 + 4 + 3;
+  Bytes[FeatureAt] = 9;
+  fixChecksum(Bytes);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, 0u);
+  EXPECT_EQ(R.Rejected, 1u);
+  EXPECT_EQ(B.stats().SnapshotRejected.load(), 1u);
+  // The pattern itself is still interned and correct.
+  auto C = B.get("a+b", "");
+  ASSERT_TRUE(bool(C));
+  EXPECT_EQ((*C)->features().CaptureGroups, 0u);
+}
+
+TEST(Snapshot, LoadOnceLoadsExactlyOnce) {
+  std::string Path =
+      ::testing::TempDir() + "recap_snapshot_loadonce.bin";
+  std::remove(Path.c_str());
+
+  // A cold attempt (file not written yet) must not latch: the warm
+  // start stays available to a later run on the same runtime.
+  RegexRuntime B;
+  SnapshotLoadResult Early = B.loadOnce(Path);
+  EXPECT_TRUE(Early.Cold);
+  EXPECT_FALSE(Early.Skipped);
+
+  {
+    RegexRuntime A;
+    internMix(A);
+    ASSERT_TRUE(A.save(Path));
+  }
+  SnapshotLoadResult First = B.loadOnce(Path);
+  EXPECT_FALSE(First.Cold);
+  EXPECT_EQ(First.Loaded, patternMix().size());
+  SnapshotLoadResult Second = B.loadOnce(Path);
+  EXPECT_TRUE(Second.Skipped);
+  EXPECT_EQ(Second.Loaded, 0u);
+  EXPECT_EQ(B.stats().SnapshotLoaded.load(), patternMix().size());
+  std::remove(Path.c_str());
+}
+
+// --- Warm vs cold engine parity --------------------------------------------
+
+/// The classical branching program parallel_runtime_test uses; solvable
+/// by LocalBackend outright, so this binary stays Z3-free.
+Program classicalProgram() {
+  Program P;
+  P.Params = {"s"};
+  P.Body = block({
+      let_("kind", integer(0)),
+      if_(test("/^a+$/", var("s")), let_("kind", integer(1)),
+          if_(test("/^[0-9]+$/", var("s")), let_("kind", integer(2)),
+              let_("kind", integer(3)))),
+      if_(eq(var("kind"), integer(2)), assert_(boolean(false))),
+      assert_(boolean(true)),
+  });
+  P.finalize();
+  return P;
+}
+
+EngineResult runOnce(const Program &P,
+                     std::shared_ptr<RegexRuntime> Runtime,
+                     const std::string &CacheSnapshot = "") {
+  auto Backend = makeLocalBackend();
+  EngineOptions Opts;
+  Opts.MaxTests = 24;
+  Opts.MaxSeconds = 30;
+  Opts.Runtime = std::move(Runtime);
+  Opts.CacheSnapshot = CacheSnapshot;
+  DseEngine Engine(*Backend, Opts);
+  return Engine.run(P);
+}
+
+TEST(Snapshot, CorpusSaveSnapshotReportsOutcome) {
+  std::vector<Program> Corpus = {classicalProgram()};
+  DseCorpusOptions Opts;
+  Opts.Engine.MaxTests = 4;
+  Opts.Engine.MaxSeconds = 30;
+  Opts.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  Opts.Workers = 1;
+
+  std::string Path = ::testing::TempDir() + "recap_snapshot_corpus.bin";
+  Opts.SaveSnapshot = Path;
+  DseCorpusResult Ok = runDseCorpus(Corpus, Opts);
+  EXPECT_TRUE(Ok.SnapshotSaved);
+  RegexRuntime RT;
+  EXPECT_FALSE(RT.load(Path).Cold);
+  std::remove(Path.c_str());
+
+  // An unwritable path must be reported, not silently swallowed — a
+  // corpus job that thinks it persisted its warm start should know it
+  // did not.
+  Opts.SaveSnapshot = "/nonexistent-dir/recap.bin";
+  DseCorpusResult Bad = runDseCorpus(Corpus, Opts);
+  EXPECT_FALSE(Bad.SnapshotSaved);
+}
+
+TEST(Snapshot, WarmAndColdRuntimesProduceIdenticalEngineResults) {
+  Program P = classicalProgram();
+
+  // Build the snapshot from a priming run's runtime.
+  auto Primer = std::make_shared<RegexRuntime>();
+  runOnce(P, Primer);
+  std::ostringstream OS;
+  ASSERT_TRUE(Primer->save(OS));
+
+  auto ColdRT = std::make_shared<RegexRuntime>();
+  EngineResult Cold = runOnce(P, ColdRT);
+
+  auto WarmRT = std::make_shared<RegexRuntime>();
+  std::istringstream IS(OS.str());
+  SnapshotLoadResult L = WarmRT->load(IS);
+  ASSERT_FALSE(L.Cold);
+  ASSERT_GT(L.Loaded, 0u);
+  EngineResult Warm = runOnce(P, WarmRT);
+
+  EXPECT_EQ(Warm.TestsRun, Cold.TestsRun);
+  EXPECT_EQ(Warm.Covered, Cold.Covered);
+  EXPECT_EQ(Warm.FailedAsserts, Cold.FailedAsserts);
+  EXPECT_EQ(Warm.Cegar.Queries, Cold.Cegar.Queries);
+  EXPECT_EQ(Warm.Solver.Queries, Cold.Solver.Queries);
+  // The warm run compiled nothing: its window shows intern hits where
+  // the cold run shows misses.
+  EXPECT_EQ(Warm.Runtime.InternMisses.load(), 0u);
+  EXPECT_EQ(Cold.Runtime.InternMisses.load(), 2u);
+}
+
+TEST(Snapshot, EngineCacheSnapshotOptionLoadsTheFile) {
+  Program P = classicalProgram();
+  std::string Path = ::testing::TempDir() + "recap_snapshot_engine.bin";
+  {
+    auto Primer = std::make_shared<RegexRuntime>();
+    runOnce(P, Primer);
+    ASSERT_TRUE(Primer->save(Path));
+  }
+  auto RT = std::make_shared<RegexRuntime>();
+  EngineResult R = runOnce(P, RT, Path);
+  EXPECT_GE(R.Runtime.SnapshotLoaded.load(), 2u);
+  // The run's window includes the load itself: the only misses are the
+  // load's re-interning of the two program patterns; every engine touch
+  // afterwards is a hit.
+  EXPECT_EQ(R.Runtime.InternMisses.load(), 2u);
+  EXPECT_GT(R.Runtime.InternHits.load(), 0u);
+  EXPECT_TRUE(R.bugFound());
+  std::remove(Path.c_str());
+}
+
+} // namespace
