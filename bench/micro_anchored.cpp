@@ -1,0 +1,171 @@
+//===- bench/micro_anchored.cpp - Anchored-classical lane microbenches -----===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the anchored product-DFA lane against the Z3-scratch baseline
+// on the query shape it exists for: test()-style memberships of
+// ^…$-anchored patterns — the dominant shape in validator-style traces
+// (PAPER.md §2; every `if (!re.test(s)) throw` guard). Three phases:
+//
+//  1. BM_AnchoredLane / BM_Z3Scratch: the same anchored probe set solved
+//     through the anchored-enabled dispatcher vs a scratch Z3 CegarSolver.
+//     The ISSUE acceptance line — anchored median >= 100x faster, 0%
+//     fallback — is computed in PostRun and attached as JSON counters
+//     (speedup_vs_z3, fallback_rate).
+//
+//  2. BM_AnchoredNegative: the same probes with negated polarity —
+//     complement products stress the density-keyed budget.
+//
+//  3. BM_Race: thresholds forced so every probe races both lanes; the
+//     dispatcher's win/loss/cancel counters land in the JSON.
+//
+// The CEGAR query cache is disabled and every iteration builds a fresh
+// SymbolicRegExp (fresh clause identity) so repeated iterations measure
+// the lane, not a cache. Counters surface lane hits, fallbacks and race
+// outcomes; runBenchSuite() emits BENCH_micro_anchored.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SymbolicRegExp.h"
+#include "cegar/BackendDispatcher.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace recap;
+
+namespace {
+
+// Validator-style anchored probes: each is ^…$-anchored-exact, so the
+// dispatcher must claim every one for the anchored lane (fallback-rate
+// counter asserts 0 in the JSON).
+const char *AnchoredPatterns[] = {
+    "^[a-z]{3,8}$",
+    "^(foo|bar|baz)+$",
+    "^[0-9]{4}-[0-9]{2}$",
+    "^a[ab]*b$",
+    "^(ab|cd)*$",
+};
+constexpr size_t NPatterns =
+    sizeof(AnchoredPatterns) / sizeof(AnchoredPatterns[0]);
+
+CegarOptions benchOptions(uint32_t TimeoutMs) {
+  CegarOptions Opts;
+  Opts.QueryCacheCapacity = 0; // measure the lane, not the query cache
+  Opts.Limits.TimeoutMs = TimeoutMs;
+  return Opts;
+}
+
+/// One pass over the probe set: fresh SymbolicRegExp per probe (fresh
+/// clause identity — no session or cache can short-circuit), test()-
+/// style query, one solve. Returns how many probes were decisive.
+int runProbes(CegarSolver &Solver, bool Positive, int Round) {
+  int Decisive = 0;
+  for (size_t I = 0; I < NPatterns; ++I) {
+    auto R = Regex::parse(AnchoredPatterns[I], "");
+    SymbolicRegExp Sym(R->clone(),
+                       "p" + std::to_string(I) + "r" + std::to_string(Round));
+    auto Q = Sym.test(mkStrVar("in" + std::to_string(I)), mkIntConst(0));
+    CegarResult Res = Solver.solve({PathClause::regex(Q, Positive)});
+    benchmark::DoNotOptimize(Res.Status);
+    if (Res.Status != SolveStatus::Unknown)
+      ++Decisive;
+  }
+  return Decisive;
+}
+
+// --- 1. Anchored lane vs Z3 scratch ---------------------------------------
+
+void BM_AnchoredLane(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  int Round = 0, Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(D, benchOptions(20000));
+    Decisive = runProbes(Solver, /*Positive=*/true, Round++);
+  }
+  double Hits = static_cast<double>(D.stats().AnchoredLaneHit.load());
+  double Falls = static_cast<double>(D.stats().AnchoredFallback.load());
+  State.counters["decisive"] = static_cast<double>(Decisive);
+  State.counters["lane_hits"] = Hits;
+  State.counters["fallbacks"] = Falls;
+  // ISSUE acceptance: 0 on this all-test() anchored probe set.
+  State.counters["fallback_rate"] =
+      Hits + Falls > 0 ? Falls / (Hits + Falls) : 0;
+}
+BENCHMARK(BM_AnchoredLane)->Unit(benchmark::kMillisecond);
+
+void BM_Z3Scratch(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  int Round = 0, Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(*Z3, benchOptions(20000));
+    Decisive = runProbes(Solver, /*Positive=*/true, Round++);
+  }
+  State.counters["decisive"] = static_cast<double>(Decisive);
+}
+BENCHMARK(BM_Z3Scratch)->Unit(benchmark::kMillisecond);
+
+// --- 2. Negated memberships (complement products) -------------------------
+
+void BM_AnchoredNegative(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  int Round = 0, Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(D, benchOptions(20000));
+    Decisive = runProbes(Solver, /*Positive=*/false, Round++);
+  }
+  State.counters["decisive"] = static_cast<double>(Decisive);
+  State.counters["lane_hits"] =
+      static_cast<double>(D.stats().AnchoredLaneHit.load());
+  State.counters["fallbacks"] =
+      static_cast<double>(D.stats().AnchoredFallback.load());
+}
+BENCHMARK(BM_AnchoredNegative)->Unit(benchmark::kMillisecond);
+
+// --- 3. Racing dispatcher --------------------------------------------------
+
+void BM_Race(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  // Thresholds forced so every anchored-eligible probe launches both
+  // lanes — the win/loss/cancel split is the point of this bench.
+  D.policy().Race = true;
+  D.policy().RaceClauseThreshold = 0;
+  D.policy().RaceDensityThreshold = 0.0;
+  int Round = 0, Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(D, benchOptions(20000));
+    Decisive = runProbes(Solver, /*Positive=*/true, Round++);
+  }
+  State.counters["decisive"] = static_cast<double>(Decisive);
+  State.counters["race_classical_won"] =
+      static_cast<double>(D.stats().RaceClassicalWon.load());
+  State.counters["race_z3_won"] =
+      static_cast<double>(D.stats().RaceZ3Won.load());
+  State.counters["race_cancelled"] =
+      static_cast<double>(D.stats().RaceCancelled.load());
+}
+BENCHMARK(BM_Race)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite(
+      "micro_anchored", argc, argv, [](recap::bench::JsonReporter &R) {
+        double Lane = R.medianNs("BM_AnchoredLane");
+        double Z3 = R.medianNs("BM_Z3Scratch");
+        if (Lane > 0 && Z3 > 0) {
+          double Speedup = Z3 / Lane;
+          R.setCounter("BM_AnchoredLane", "speedup_vs_z3", Speedup);
+          std::printf("anchored lane vs Z3 scratch: %.1fx\n", Speedup);
+        }
+      });
+}

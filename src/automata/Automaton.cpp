@@ -104,8 +104,13 @@ struct NFA {
 
 class Builder {
 public:
-  Builder(const Alphabet &A, size_t StateLimit)
-      : A(A), StateLimit(StateLimit) {}
+  Builder(const Alphabet &A, size_t StateLimit,
+          const std::atomic<bool> *Cancel = nullptr)
+      : A(A), StateLimit(StateLimit), Cancel(Cancel) {}
+
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
+  }
 
   /// Returns {start, accept} fragment within N, or nullopt on state blowup.
   struct Frag {
@@ -114,7 +119,7 @@ public:
   };
 
   std::optional<Frag> build(NFA &N, const CRegexRef &R) {
-    if (N.Delta.size() > StateLimit)
+    if (N.Delta.size() > StateLimit || cancelled())
       return std::nullopt;
     switch (R->K) {
     case CRegex::Kind::Empty: {
@@ -241,7 +246,7 @@ public:
 
     D.Start = GetId(Closure({N.Start}));
     for (uint32_t Cur = 0; Cur < StateSets.size(); ++Cur) {
-      if (StateSets.size() > StateLimit)
+      if (StateSets.size() > StateLimit || cancelled())
         return std::nullopt;
       std::vector<uint32_t> Set = StateSets[Cur]; // copy: StateSets grows
       for (size_t C = 0; C < NC; ++C) {
@@ -274,7 +279,7 @@ public:
     };
     D.Start = GetId({X.Start, Y.Start});
     for (uint32_t Cur = 0; Cur < States.size(); ++Cur) {
-      if (States.size() > StateLimit)
+      if (States.size() > StateLimit || cancelled())
         return std::nullopt;
       auto P = States[Cur];
       for (size_t C = 0; C < NC; ++C)
@@ -303,6 +308,7 @@ public:
 private:
   const Alphabet &A;
   size_t StateLimit;
+  const std::atomic<bool> *Cancel;
 };
 
 } // namespace
@@ -311,20 +317,25 @@ private:
 // Automaton
 //===----------------------------------------------------------------------===//
 
-Result<Automaton> Automaton::compile(const CRegexRef &R, size_t StateLimit) {
+Result<Automaton> Automaton::compile(const CRegexRef &R, size_t StateLimit,
+                                     const std::atomic<bool> *Cancel) {
   Automaton Out;
   Out.A = Alphabet::fromRegexes({R});
-  Builder B(Out.A, StateLimit);
+  Builder B(Out.A, StateLimit, Cancel);
   NFA N;
   N.NumClasses = Out.A.numClasses();
   std::optional<Builder::Frag> F = B.build(N, R);
   if (!F)
-    return Result<Automaton>::error("automaton state limit exceeded");
+    return Result<Automaton>::error(B.cancelled()
+                                        ? "automaton construction cancelled"
+                                        : "automaton state limit exceeded");
   N.Start = F->Start;
   N.Accepts = {F->Accept};
   std::optional<DFA> D = B.determinize(N);
   if (!D)
-    return Result<Automaton>::error("automaton state limit exceeded");
+    return Result<Automaton>::error(B.cancelled()
+                                        ? "automaton construction cancelled"
+                                        : "automaton state limit exceeded");
   Out.D = std::move(*D);
   return Out;
 }
@@ -372,11 +383,9 @@ std::optional<UString> Automaton::shortestWord() const {
   return std::nullopt;
 }
 
-std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
-                                               size_t MaxLen) const {
-  std::vector<UString> Out;
-  // Mark co-accessible states (those that can still reach an accept state)
-  // so the search never wanders into dead regions.
+std::vector<bool> Automaton::liveStates() const {
+  // Co-accessible states (those that can still reach an accept state):
+  // searches stay out of dead regions.
   std::vector<std::vector<uint32_t>> Rev(D.numStates());
   for (uint32_t S = 0; S < D.numStates(); ++S)
     for (size_t C = 0; C < D.NumClasses; ++C)
@@ -397,8 +406,42 @@ std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
         RWork.push_back(P);
       }
   }
+  return Live;
+}
 
-  // BFS over (state, word) pairs, shortest first, bounded.
+double Automaton::transitionDensity() const {
+  std::vector<bool> Live = liveStates();
+  uint64_t LiveStates = 0, LiveTrans = 0;
+  for (uint32_t S = 0; S < D.numStates(); ++S) {
+    if (!Live[S])
+      continue;
+    ++LiveStates;
+    for (size_t C = 0; C < D.NumClasses; ++C)
+      if (Live[D.next(S, static_cast<uint32_t>(C))])
+        ++LiveTrans;
+  }
+  uint64_t Total = LiveStates * D.NumClasses;
+  return Total == 0 ? 0.0
+                    : static_cast<double>(LiveTrans) /
+                          static_cast<double>(Total);
+}
+
+std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
+                                               size_t MaxLen) const {
+  EnumOptions O;
+  O.MaxCount = MaxCount;
+  O.MaxLen = MaxLen;
+  return enumerateWordsEx(O).Words;
+}
+
+EnumResult Automaton::enumerateWordsEx(const EnumOptions &Opts) const {
+  EnumResult Res;
+  std::vector<bool> Live = liveStates();
+
+  // BFS over (state, word) pairs, shortest first, bounded. Complete
+  // stays true only if every live path was either fully expanded or
+  // ended in a word we emitted — any truncation (count, node budget,
+  // length cutoff with live continuations, cancel) clears it.
   struct Item {
     uint32_t State;
     UString Word;
@@ -406,15 +449,35 @@ std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
   std::deque<Item> Work;
   if (Live[D.Start])
     Work.push_back({D.Start, {}});
-  size_t Explored = 0;
-  while (!Work.empty() && Out.size() < MaxCount && Explored < 500000) {
+  Res.Complete = true;
+  while (!Work.empty()) {
+    if (Res.Words.size() >= Opts.MaxCount ||
+        Res.Explored >= Opts.MaxExplored) {
+      Res.Complete = false;
+      break;
+    }
+    if ((Res.Explored & 0xFF) == 0 && Opts.Cancel &&
+        Opts.Cancel->load(std::memory_order_relaxed)) {
+      Res.Complete = false;
+      Res.Cancelled = true;
+      break;
+    }
     Item It = std::move(Work.front());
     Work.pop_front();
-    ++Explored;
+    ++Res.Explored;
     if (D.Accept[It.State])
-      Out.push_back(It.Word);
-    if (It.Word.size() >= MaxLen)
+      Res.Words.push_back(It.Word);
+    bool HasLiveNext = false;
+    for (size_t C = 0; C < D.NumClasses; ++C)
+      if (Live[D.next(It.State, static_cast<uint32_t>(C))]) {
+        HasLiveNext = true;
+        break;
+      }
+    if (It.Word.size() >= Opts.MaxLen) {
+      if (HasLiveNext)
+        Res.Complete = false; // longer words exist beyond the bound
       continue;
+    }
     for (size_t C = 0; C < D.NumClasses; ++C) {
       uint32_t T = D.next(It.State, static_cast<uint32_t>(C));
       if (!Live[T])
@@ -424,5 +487,5 @@ std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
       Work.push_back({T, std::move(W)});
     }
   }
-  return Out;
+  return Res;
 }

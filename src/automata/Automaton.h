@@ -21,6 +21,7 @@
 #include "automata/ClassicalRegex.h"
 #include "support/Result.h"
 
+#include <atomic>
 #include <optional>
 
 namespace recap {
@@ -63,13 +64,37 @@ public:
   }
 };
 
+/// Bounds and cancellation for enumerateWordsEx.
+struct EnumOptions {
+  size_t MaxCount = 64;
+  size_t MaxLen = 16;
+  /// BFS node budget (items taken off the frontier).
+  uint64_t MaxExplored = 500000;
+  /// Cooperative cancellation; polled every few hundred nodes.
+  const std::atomic<bool> *Cancel = nullptr;
+};
+
+/// Enumeration outcome with an exhaustiveness certificate: Complete means
+/// the BFS drained every live path without hitting MaxCount, MaxExplored,
+/// the length bound or a cancel — i.e. Words (one representative per
+/// character class along each path) covers the *entire* language shape,
+/// which lets callers turn "no candidate survived" into a real Unsat.
+struct EnumResult {
+  std::vector<UString> Words;
+  bool Complete = false;
+  bool Cancelled = false;
+  uint64_t Explored = 0;
+};
+
 /// A compiled regular language: DFA plus its alphabet.
 class Automaton {
 public:
   /// Compiles \p R; fails if subset construction exceeds \p StateLimit
-  /// states.
+  /// states, or when \p Cancel is raised mid-construction (the error
+  /// message then contains "cancelled").
   static Result<Automaton> compile(const CRegexRef &R,
-                                   size_t StateLimit = 100000);
+                                   size_t StateLimit = 100000,
+                                   const std::atomic<bool> *Cancel = nullptr);
 
   bool accepts(const UString &W) const;
   bool isEmptyLanguage() const;
@@ -77,11 +102,26 @@ public:
   std::optional<UString> shortestWord() const;
   /// Up to \p MaxCount accepted words of length <= MaxLen, shortest first.
   std::vector<UString> enumerateWords(size_t MaxCount, size_t MaxLen) const;
+  /// enumerateWords with an explicit node budget, cooperative
+  /// cancellation and an exhaustiveness certificate.
+  EnumResult enumerateWordsEx(const EnumOptions &Opts) const;
+
+  /// Fraction of transition-table entries that lead into the live
+  /// (co-accessible) part of the DFA, in [0, 1]. This is the branching
+  /// pressure word enumeration faces: the BFS frontier grows roughly
+  /// like (density x numClasses)^depth, so sparse products (typical for
+  /// anchored clause intersections) enumerate deep words cheaply while
+  /// dense ones explode. The anchored lane keys its exploration budget
+  /// on this number.
+  double transitionDensity() const;
 
   const DFA &dfa() const { return D; }
   const Alphabet &alphabet() const { return A; }
 
 private:
+  /// Marks states that can still reach an accept state.
+  std::vector<bool> liveStates() const;
+
   Alphabet A;
   DFA D;
 };

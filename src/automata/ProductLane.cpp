@@ -1,0 +1,65 @@
+//===- automata/ProductLane.cpp - Anchored product-DFA candidates ----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/ProductLane.h"
+
+#include <algorithm>
+
+using namespace recap;
+
+uint64_t recap::anchoredExploreBudget(double Density, uint64_t BaseExplore) {
+  Density = std::clamp(Density, 0.0, 1.0);
+  // Linear in sparsity: a fully dense product stays at the base budget,
+  // a near-empty transition table earns 8x. The exact shape matters less
+  // than the monotonicity — sparse products pay per node what dense ones
+  // pay per frontier layer.
+  double Scale = 1.0 + (1.0 - Density) * 7.0;
+  return static_cast<uint64_t>(static_cast<double>(BaseExplore) * Scale);
+}
+
+AnchoredProduct recap::buildAnchoredProduct(const std::vector<CRegexRef> &Pos,
+                                            const std::vector<CRegexRef> &Neg,
+                                            const CRegexRef &Alphabet,
+                                            const ProductLimits &Limits,
+                                            const std::atomic<bool> *Cancel) {
+  AnchoredProduct Out;
+  std::vector<CRegexRef> All;
+  All.reserve(Pos.size() + Neg.size() + 1);
+  All.push_back(Alphabet);
+  for (const CRegexRef &P : Pos)
+    All.push_back(P);
+  for (const CRegexRef &N : Neg)
+    All.push_back(cComplement(N));
+
+  Result<Automaton> A =
+      Automaton::compile(cIntersect(std::move(All)), Limits.StateLimit, Cancel);
+  if (!A) {
+    Out.Cancelled = Cancel && Cancel->load(std::memory_order_relaxed);
+    return Out; // Compiled stays false -> caller falls back
+  }
+  Out.Compiled = true;
+  Out.A = std::make_shared<Automaton>(A.take());
+  if (Out.A->isEmptyLanguage()) {
+    // Every clause language is exact (the lane's applicability
+    // precondition), so an empty product is a genuine Unsat certificate.
+    Out.Empty = true;
+    Out.Complete = true;
+    return Out;
+  }
+
+  Out.Density = Out.A->transitionDensity();
+  Out.Budget = anchoredExploreBudget(Out.Density, Limits.BaseExplore);
+  EnumOptions EO;
+  EO.MaxCount = Limits.MaxCandidates;
+  EO.MaxLen = Limits.MaxWordLength;
+  EO.MaxExplored = Out.Budget;
+  EO.Cancel = Cancel;
+  EnumResult ER = Out.A->enumerateWordsEx(EO);
+  Out.Words = std::move(ER.Words);
+  Out.Complete = ER.Complete;
+  Out.Cancelled = ER.Cancelled;
+  return Out;
+}

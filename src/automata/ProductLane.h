@@ -1,0 +1,82 @@
+//===- automata/ProductLane.h - Anchored product-DFA candidates -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Candidate generation for the anchored-classical solver lane (DESIGN.md
+/// §8). A `^…$`-anchored test()-style query pins the match to the whole
+/// subject, so the set of inputs satisfying the clause is *exactly* a
+/// classical language — no wrapped-model slack, no prefix/suffix
+/// variables. All clause languages over one input variable therefore
+/// combine into a single product DFA (positive languages intersected,
+/// negative ones complemented), and candidate inputs are enumerated
+/// straight off that product instead of running the generic bounded
+/// search, whose lazy-DNF node budget the anchored membership structure
+/// notoriously exhausts.
+///
+/// The enumeration budget is keyed on the product's transition density:
+/// the BFS frontier grows like (density x numClasses)^depth, so sparse
+/// products — the common case for anchored intersections — may explore
+/// far more nodes for the same cost, while dense products are held near
+/// the base budget so a hopeless enumeration fails fast into the general
+/// lane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_AUTOMATA_PRODUCTLANE_H
+#define RECAP_AUTOMATA_PRODUCTLANE_H
+
+#include "automata/Automaton.h"
+
+namespace recap {
+
+/// Construction/enumeration bounds for one anchored product. Decoupled
+/// from smt/SolverLimits (this layer sits below the solvers); the cegar
+/// lane maps its SolverLimits onto this.
+struct ProductLimits {
+  /// Subset-construction state cap for the product DFA.
+  size_t StateLimit = 20000;
+  /// Maximum candidate words enumerated off the product.
+  size_t MaxCandidates = 64;
+  /// Maximum candidate word length.
+  size_t MaxWordLength = 16;
+  /// Density-1 (fully dense) exploration budget; sparser products scale
+  /// up from here (see exploreBudget).
+  uint64_t BaseExplore = 20000;
+};
+
+/// One input variable's combined anchored language.
+struct AnchoredProduct {
+  bool Compiled = false;  ///< product construction stayed within limits
+  bool Empty = false;     ///< language proven empty (a real Unsat witness)
+  bool Cancelled = false; ///< construction/enumeration saw a cancel
+  /// Enumeration drained every live path (EnumResult::Complete).
+  bool Complete = false;
+  double Density = 0;     ///< transition density of the product DFA
+  uint64_t Budget = 0;    ///< the density-keyed exploration budget used
+  std::shared_ptr<const Automaton> A;
+  std::vector<UString> Words; ///< candidates, shortest first
+};
+
+/// The density-keyed exploration budget: sparse products get up to ~8x
+/// the base (each frontier node has few live successors, so deep words
+/// cost little), dense ones are clamped to it.
+uint64_t anchoredExploreBudget(double Density, uint64_t BaseExplore);
+
+/// Builds the product DFA of `Pos` intersected languages and `Neg`
+/// complemented ones, each additionally intersected with \p Alphabet
+/// (the caller's solver alphabet — for the cegar lane: Latin-1 minus the
+/// meta markers, mirroring the decoration constraint and the Z3
+/// backend's model space so verdicts agree with the general lane), then
+/// enumerates candidates under the density-keyed budget.
+AnchoredProduct
+buildAnchoredProduct(const std::vector<CRegexRef> &Pos,
+                     const std::vector<CRegexRef> &Neg,
+                     const CRegexRef &Alphabet, const ProductLimits &Limits,
+                     const std::atomic<bool> *Cancel = nullptr);
+
+} // namespace recap
+
+#endif // RECAP_AUTOMATA_PRODUCTLANE_H

@@ -1,0 +1,145 @@
+//===- cegar/AnchoredLane.cpp - Anchored-classical solver lane -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/AnchoredLane.h"
+
+#include <map>
+#include <tuple>
+
+using namespace recap;
+
+namespace {
+
+inline bool cancelled(const std::atomic<bool> *Cancel) {
+  return Cancel && Cancel->load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+CegarResult recap::solveAnchored(const std::vector<PathClause> &Clauses,
+                                 const AnchoredPlan &Plan,
+                                 const std::atomic<bool> *Cancel) {
+  CegarResult Out; // Unknown until proven otherwise
+
+  // Unsat certificates first: every clause language is exact and the
+  // product ranges over the whole solver alphabet, so an empty product
+  // means no assignment of that variable satisfies its clauses — the
+  // conjunction is unsatisfiable no matter what the rest says. This
+  // fires even when another variable's product failed to build.
+  for (const AnchoredVarPlan &V : Plan.Vars)
+    if (V.Product && V.Product->Compiled && V.Product->Empty) {
+      Out.Status = SolveStatus::Unsat;
+      return Out;
+    }
+
+  // Boolean-literal pre-pass over the plain clauses: forced literals
+  // become part of the model, a literal forced both ways is a sound
+  // Unsat, and anything non-literal is kept for per-candidate
+  // evaluation.
+  std::map<std::string, bool> Forced;
+  std::vector<TermRef> Residual;
+  for (const PathClause &C : Clauses) {
+    if (C.Query)
+      continue;
+    const Term *T = C.Plain.get();
+    bool Pol = C.Polarity;
+    while (T->Kind == TermKind::Not) {
+      Pol = !Pol;
+      T = T->Kids[0].get();
+    }
+    if (T->Kind == TermKind::BoolConst) {
+      if (T->BoolVal != Pol) {
+        Out.Status = SolveStatus::Unsat;
+        return Out;
+      }
+      continue;
+    }
+    if (T->Kind == TermKind::BoolVar) {
+      auto [It, New] = Forced.emplace(T->Name, Pol);
+      if (!New && It->second != Pol) {
+        Out.Status = SolveStatus::Unsat;
+        return Out;
+      }
+      continue;
+    }
+    Residual.push_back(C.Polarity ? C.Plain : mkNot(C.Plain));
+  }
+
+  if (!Plan.Viable || Plan.Vars.empty())
+    return Out; // a product failed or found nothing — fall back
+
+  // Per-variable filtering: keep the product words the concrete matcher
+  // accepts with every clause's polarity. With exact clause languages
+  // the oracle should agree with the product on every word; the check is
+  // the lane's parity guard (and what makes a Sat answer a *validated*
+  // model, same as a CEGAR round would). Fresh oracles throughout:
+  // RegExpObject::LastIndex is mutable state, and in racing mode the
+  // clause's shared oracle belongs to the general worker.
+  TermEvaluator Eval;
+  std::vector<std::vector<const UString *>> Words(Plan.Vars.size());
+  for (size_t I = 0; I < Plan.Vars.size(); ++I) {
+    const AnchoredVarPlan &V = Plan.Vars[I];
+    std::vector<RegExpObject> Oracles;
+    Oracles.reserve(V.Queries.size());
+    for (const RegexQuery *Q : V.Queries)
+      Oracles.emplace_back(Q->Oracle->compiled(),
+                           Q->Oracle->matcher().stepBudget());
+    for (const UString &W : V.Product->Words) {
+      if (cancelled(Cancel))
+        return Out;
+      bool Ok = true;
+      for (size_t QI = 0; QI < V.Queries.size() && Ok; ++QI) {
+        Oracles[QI].LastIndex = 0;
+        RegExpObject::ExecOutcome E = Oracles[QI].exec(W);
+        if (E.Status == MatchStatus::Budget)
+          return Out; // oracle gave up; this lane cannot decide
+        Ok = (E.Status == MatchStatus::Match) == V.Polarity[QI];
+      }
+      if (Ok)
+        Words[I].push_back(&W);
+    }
+    if (Words[I].empty())
+      return Out; // enumeration found no validated word — fall back
+  }
+
+  // Cross-variable combination, bounded: walk the odometer over the
+  // filtered word lists and evaluate the residual plain clauses under
+  // each combined assignment. Regex clauses are already satisfied by
+  // construction of the filtered lists.
+  const uint64_t EvalBudget = 4096;
+  uint64_t Evals = 0;
+  std::vector<size_t> Idx(Plan.Vars.size(), 0);
+  for (;;) {
+    if (cancelled(Cancel) || Evals++ >= EvalBudget)
+      return Out;
+    Assignment M;
+    for (const auto &[Name, Val] : Forced)
+      M.Bools[Name] = Val;
+    for (size_t I = 0; I < Plan.Vars.size(); ++I)
+      M.Strings[Plan.Vars[I].Var] = *Words[I][Idx[I]];
+    bool Ok = true;
+    for (const TermRef &R : Residual) {
+      std::optional<bool> B = Eval.evalBool(R, M);
+      if (!B || !*B) {
+        Ok = false;
+        break;
+      }
+    }
+    if (Ok) {
+      Out.Status = SolveStatus::Sat;
+      Out.Model = std::move(M);
+      return Out;
+    }
+    size_t K = 0;
+    for (; K < Idx.size(); ++K) {
+      if (++Idx[K] < Words[K].size())
+        break;
+      Idx[K] = 0;
+    }
+    if (K == Idx.size())
+      return Out; // combination space exhausted without a model
+  }
+}

@@ -1,0 +1,72 @@
+//===- cegar/AnchoredLane.h - Anchored-classical solver lane ----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The anchored-classical lane (DESIGN.md §8): path conditions whose
+/// regex clauses are all `^…$`-anchored test()-style memberships with an
+/// anchored-exact language (model/Approx.h anchoredExactLanguage) are
+/// answered from product DFAs instead of the CEGAR loop. Per input
+/// variable, the clause languages (negatives complemented) intersect into
+/// one product automaton over the solver alphabet; an empty product is an
+/// Unsat certificate, and enumerated product words — validated against
+/// the concrete matcher and the problem's plain clauses — yield Sat
+/// models with zero refinement rounds. Everything else returns Unknown
+/// and the caller falls back to the general dispatch path, so the lane
+/// can only change solve times, never verdicts.
+///
+/// The lane touches no SMT backend and no shared mutable state: it is
+/// safe to run on a worker thread against a read-only AnchoredPlan while
+/// the general lane races it (BackendDispatcher's racing mode), with
+/// cooperative cancellation through an atomic flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_CEGAR_ANCHOREDLANE_H
+#define RECAP_CEGAR_ANCHOREDLANE_H
+
+#include "automata/ProductLane.h"
+#include "cegar/CegarSolver.h"
+
+#include <atomic>
+
+namespace recap {
+
+/// One input variable's slice of an anchored problem: the regex clauses
+/// constraining it and their combined product.
+struct AnchoredVarPlan {
+  std::string Var; ///< the input StrVar's name
+  std::vector<const RegexQuery *> Queries;
+  std::vector<bool> Polarity; ///< parallel to Queries
+  std::shared_ptr<const AnchoredProduct> Product;
+};
+
+/// The dispatcher's prepared plan for one anchored problem
+/// (BackendDispatcher::decide). Products are built (and cached) by the
+/// dispatcher; the plan itself is immutable input to solveAnchored.
+struct AnchoredPlan {
+  std::vector<AnchoredVarPlan> Vars;
+  /// Every product compiled within limits, uncancelled, and non-empty
+  /// products enumerated at least one candidate. A non-viable plan can
+  /// still carry an Unsat certificate (an Empty product), which
+  /// solveAnchored honours before giving up.
+  bool Viable = false;
+};
+
+/// Solves an anchored problem from \p Plan: Unsat iff some variable's
+/// product language is empty or the plain clauses force a boolean
+/// contradiction; Sat when a combination of enumerated product words
+/// passes the concrete matcher on every regex clause and evaluates every
+/// plain clause true (under Assignment defaults for unmentioned
+/// variables — the same defaults backend models carry). Unknown
+/// otherwise; the caller falls back. \p Cancel, when set, is polled
+/// cooperatively (racing mode).
+CegarResult solveAnchored(const std::vector<PathClause> &Clauses,
+                          const AnchoredPlan &Plan,
+                          const std::atomic<bool> *Cancel = nullptr);
+
+} // namespace recap
+
+#endif // RECAP_CEGAR_ANCHOREDLANE_H

@@ -6,6 +6,8 @@
 
 #include "cegar/BackendDispatcher.h"
 
+#include <algorithm>
+
 using namespace recap;
 
 BackendDispatcher::BackendDispatcher(SolverBackend &Classical,
@@ -50,6 +52,33 @@ bool BackendDispatcher::isClassicalProblem(
   return AnyRegex;
 }
 
+bool BackendDispatcher::isAnchoredProblem(
+    const std::vector<PathClause> &Clauses) {
+  bool AnyRegex = false;
+  for (const PathClause &C : Clauses) {
+    if (!C.Query)
+      continue;
+    AnyRegex = true;
+    const RegexQuery &Q = *C.Query;
+    // test()-style only: the lane produces words, not capture tuples.
+    if (Q.ValidateCaptures)
+      return false;
+    // A non-trivial position constraint (sticky/global) couples the
+    // match to lastIndex; the whole-string equivalence needs match-
+    // anywhere semantics.
+    if (Q.Position->Kind != TermKind::BoolConst || !Q.Position->BoolVal)
+      return false;
+    // The product is built per input *variable*; compound input terms
+    // would need the general model's decomposition.
+    if (Q.Input->Kind != TermKind::StrVar)
+      return false;
+    const std::shared_ptr<CompiledRegex> &CR = Q.Oracle->compiled();
+    if (!CR || !CR->anchoredLanguage())
+      return false;
+  }
+  return AnyRegex;
+}
+
 SolverBackend &BackendDispatcher::route(
     const std::vector<PathClause> &Clauses) {
   if (isClassicalProblem(Clauses)) {
@@ -58,4 +87,86 @@ SolverBackend &BackendDispatcher::route(
   }
   ++Stats->DispatchGeneral;
   return *General;
+}
+
+std::shared_ptr<const AnchoredProduct>
+BackendDispatcher::productFor(const AnchoredVarPlan &V) {
+  ProductKey Key;
+  Key.reserve(V.Queries.size());
+  for (size_t I = 0; I < V.Queries.size(); ++I) {
+    const std::optional<CRegexRef> &L =
+        V.Queries[I]->Oracle->compiled()->anchoredLanguage();
+    Key.emplace_back(*L, V.Polarity[I]);
+  }
+  std::sort(Key.begin(), Key.end());
+  auto It = Products.find(Key);
+  if (It != Products.end())
+    return It->second;
+
+  if (!AnchoredAlphabet)
+    AnchoredAlphabet =
+        cStar(cClass(CharSet::range(0, 0xFF).minus(CharSet::metas())));
+  std::vector<CRegexRef> Pos, Neg;
+  for (size_t I = 0; I < V.Queries.size(); ++I) {
+    const CRegexRef &L = *V.Queries[I]->Oracle->compiled()->anchoredLanguage();
+    (V.Polarity[I] ? Pos : Neg).push_back(L);
+  }
+  auto P = std::make_shared<const AnchoredProduct>(
+      buildAnchoredProduct(Pos, Neg, AnchoredAlphabet, Policy.Product));
+  Products.emplace(std::move(Key), P);
+  return P;
+}
+
+DispatchDecision
+BackendDispatcher::decide(const std::vector<PathClause> &Clauses) {
+  DispatchDecision D;
+  if (Policy.AnchoredLane && isAnchoredProblem(Clauses)) {
+    D.Lane = DispatchLane::Anchored;
+    // Group the regex clauses by input variable.
+    std::map<std::string, size_t> VarIdx;
+    size_t NRegex = 0;
+    for (const PathClause &C : Clauses) {
+      if (!C.Query)
+        continue;
+      ++NRegex;
+      const std::string &Name = C.Query->Input->Name;
+      auto [It, New] = VarIdx.emplace(Name, D.Plan.Vars.size());
+      if (New)
+        D.Plan.Vars.emplace_back().Var = Name;
+      AnchoredVarPlan &V = D.Plan.Vars[It->second];
+      V.Queries.push_back(C.Query.get());
+      V.Polarity.push_back(C.Polarity);
+    }
+    D.Plan.Viable = true;
+    bool Ambiguous = NRegex >= Policy.RaceClauseThreshold;
+    for (AnchoredVarPlan &V : D.Plan.Vars) {
+      V.Product = productFor(V);
+      if (!V.Product->Compiled || V.Product->Cancelled) {
+        D.Plan.Viable = false;
+      } else if (!V.Product->Empty) {
+        if (V.Product->Density >= Policy.RaceDensityThreshold ||
+            !V.Product->Complete)
+          Ambiguous = true;
+        if (V.Product->Words.empty())
+          D.Plan.Viable = false;
+      }
+    }
+    // Race only when the anchored lane has something to race with: a
+    // non-viable plan (short of an Unsat certificate) answers Unknown
+    // immediately, which the plain fallback path handles without the
+    // thread fan-out.
+    if (Policy.Race && D.Plan.Viable && Ambiguous)
+      D.Lane = DispatchLane::Race;
+    return D;
+  }
+  if (isClassicalProblem(Clauses)) {
+    ++Stats->DispatchClassical;
+    D.Lane = DispatchLane::Classical;
+    D.Backend = Classical;
+  } else {
+    ++Stats->DispatchGeneral;
+    D.Lane = DispatchLane::General;
+    D.Backend = General;
+  }
+  return D;
 }

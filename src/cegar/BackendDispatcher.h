@@ -5,10 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Routes each path-condition problem to the solver backend that is best
-/// at it, keyed on the RegexFeatures cached on every clause's
-/// CompiledRegex (computed once per pattern by the runtime pipeline):
+/// Routes each path-condition problem to the solver lane that is best at
+/// it, keyed on the RegexFeatures and anchored-exact language cached on
+/// every clause's CompiledRegex (computed once per pattern by the runtime
+/// pipeline):
 ///
+///   every regex clause `^…$`-anchored, test()-style,  -> anchored lane
+///     trivially positioned, with an anchored-exact       (product DFAs,
+///     language                                           no SMT at all)
+///   …and cost-ambiguous (many clauses, near-budget    -> racing mode
+///     density, incomplete enumeration), when enabled     (both lanes,
+///                                                        first decisive
+///                                                        answer wins)
 ///   every regex clause classical, and capture groups  -> classical lane
 ///     occur only in test()-style clauses that never       (automata-based
 ///     validate captures                                   LocalBackend)
@@ -17,8 +25,8 @@
 ///     regex clause at all
 ///
 /// Routing is advisory, never semantic: CegarSolver re-runs a problem on
-/// the general lane when the classical lane answers Unknown, so dispatch
-/// can only change solve times, not Sat/Unsat answers
+/// the next lane down when a specialised lane answers Unknown, so
+/// dispatch can only change solve times, not Sat/Unsat answers
 /// (tests/backend_differential_test.cpp holds this line).
 ///
 //===----------------------------------------------------------------------===//
@@ -26,10 +34,41 @@
 #ifndef RECAP_CEGAR_BACKENDDISPATCHER_H
 #define RECAP_CEGAR_BACKENDDISPATCHER_H
 
+#include "cegar/AnchoredLane.h"
 #include "cegar/CegarSolver.h"
 #include "runtime/CompiledRegex.h"
 
 namespace recap {
+
+/// Which lane a problem was assigned to (see file comment for the table).
+enum class DispatchLane : uint8_t { Classical, General, Anchored, Race };
+
+/// Lane-selection knobs. The product limits feed straight into
+/// automata/ProductLane; the race thresholds mark the
+/// classically-solvable-but-cost-ambiguous region where launching both
+/// lanes and cancelling the loser beats committing to either.
+struct DispatchPolicy {
+  /// Consider the anchored product-DFA lane at all.
+  bool AnchoredLane = true;
+  /// Race the anchored lane against the general backend on
+  /// cost-ambiguous problems instead of committing to the anchored lane.
+  bool Race = false;
+  /// A problem with at least this many regex clauses is cost-ambiguous.
+  unsigned RaceClauseThreshold = 6;
+  /// A product at or above this transition density (its enumeration
+  /// budget near the base, see anchoredExploreBudget) is cost-ambiguous.
+  double RaceDensityThreshold = 0.5;
+  /// Construction/enumeration bounds for the anchored products.
+  ProductLimits Product;
+};
+
+/// decide()'s verdict: the lane, the backend to run on (classical and
+/// general lanes), and the prepared product plan (anchored and race).
+struct DispatchDecision {
+  DispatchLane Lane = DispatchLane::General;
+  SolverBackend *Backend = nullptr;
+  AnchoredPlan Plan;
+};
 
 class BackendDispatcher {
 public:
@@ -43,8 +82,16 @@ public:
   explicit BackendDispatcher(SolverBackend &General,
                              std::shared_ptr<RuntimeStats> Stats = nullptr);
 
-  /// The backend for this problem, per the decision table above.
+  /// The backend for this problem, per the two-backend half of the
+  /// decision table (no anchored-lane consideration). Kept for callers
+  /// that only want a backend reference; CegarSolver uses decide().
   SolverBackend &route(const std::vector<PathClause> &Clauses);
+
+  /// Full lane selection: anchored/race when the policy allows and every
+  /// regex clause qualifies (products built and cached here), otherwise
+  /// the classical/general routing of route(). Not thread-safe — each
+  /// engine shard owns its dispatcher (DESIGN.md §6).
+  DispatchDecision decide(const std::vector<PathClause> &Clauses);
 
   /// True when every regex clause of \p Clauses stays inside the
   /// classical fragment (cached features: no backreferences, lookarounds
@@ -55,19 +102,55 @@ public:
   /// leverage.
   static bool isClassicalProblem(const std::vector<PathClause> &Clauses);
 
+  /// True when every regex clause is eligible for the anchored lane:
+  /// test()-style (no capture validation), trivial position constraint,
+  /// a plain StrVar input, and an anchored-exact language on the cached
+  /// CompiledRegex — and at least one regex clause exists.
+  static bool isAnchoredProblem(const std::vector<PathClause> &Clauses);
+
   SolverBackend &classical() { return *Classical; }
   SolverBackend &general() { return *General; }
   const RuntimeStats &stats() const { return *Stats; }
+  DispatchPolicy &policy() { return Policy; }
 
   /// Records a classical-lane Unknown that was re-run on the general
   /// lane (called by CegarSolver).
   void noteFallback() { ++Stats->DispatchFallbacks; }
+  /// Records an anchored-lane problem answered decisively.
+  void noteAnchoredHit() { ++Stats->AnchoredLaneHit; }
+  /// Records an anchored-lane Unknown that fell back to normal routing.
+  void noteAnchoredFallback() { ++Stats->AnchoredFallback; }
+  /// Records a resolved race: who won, and whether the loser was still
+  /// running and had its check cancelled.
+  void noteRace(bool ClassicalWon, bool CancelledLoser) {
+    if (ClassicalWon)
+      ++Stats->RaceClassicalWon;
+    else
+      ++Stats->RaceZ3Won;
+    if (CancelledLoser)
+      ++Stats->RaceCancelled;
+  }
 
 private:
+  /// Cached product lookup for one variable's clause set. Keyed on the
+  /// clause languages' node identities plus polarity (CRegexRef payloads
+  /// are interned per CompiledRegex, so pointer identity is pattern
+  /// identity) — sibling flips and re-solves reuse the built product.
+  /// The key holds strong refs: a cached language node must never be
+  /// freed, or a later pattern allocated at the same address would
+  /// collide with the stale entry and serve the wrong product.
+  std::shared_ptr<const AnchoredProduct>
+  productFor(const AnchoredVarPlan &V);
+
   std::unique_ptr<SolverBackend> OwnedClassical;
   SolverBackend *Classical;
   SolverBackend *General;
   std::shared_ptr<RuntimeStats> Stats;
+  DispatchPolicy Policy;
+
+  using ProductKey = std::vector<std::pair<CRegexRef, bool>>;
+  std::map<ProductKey, std::shared_ptr<const AnchoredProduct>> Products;
+  CRegexRef AnchoredAlphabet; ///< Latin-1 minus the meta markers, starred
 };
 
 } // namespace recap

@@ -6,10 +6,14 @@
 
 #include "cegar/CegarSolver.h"
 
+#include "cegar/AnchoredLane.h"
 #include "cegar/BackendDispatcher.h"
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
+#include <future>
+#include <mutex>
 
 using namespace recap;
 
@@ -145,16 +149,47 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
   }
 
   SolverBackend *B = &Backend;
-  if (Dispatch)
-    B = &Dispatch->route(Clauses);
-  CegarResult Out = runProblem(*B, P, Regexes);
-  if (Dispatch && Out.Status == SolveStatus::Unknown &&
-      B != &Dispatch->general()) {
-    // The classical lane gave up; routing must never lose answers, so
-    // re-run the whole problem on the general backend.
-    ++Stats.FallbackSolves;
-    Dispatch->noteFallback();
-    Out = runProblem(Dispatch->general(), P, Regexes);
+  CegarResult Out;
+  bool Done = false;
+  if (Dispatch) {
+    DispatchDecision Dec = Dispatch->decide(Clauses);
+    switch (Dec.Lane) {
+    case DispatchLane::Anchored:
+      // Product-DFA lane: no SMT check, no refinement rounds. Unknown
+      // (lane inapplicable after all, enumeration exhausted, oracle
+      // budget) falls through to normal routing below.
+      Out = solveAnchored(Clauses, Dec.Plan);
+      if (Out.Status != SolveStatus::Unknown) {
+        Dispatch->noteAnchoredHit();
+        Done = true;
+      } else {
+        Dispatch->noteAnchoredFallback();
+        B = &Dispatch->route(Clauses);
+      }
+      break;
+    case DispatchLane::Race:
+      Out = raceProblem(Clauses, Dec.Plan, P, Regexes);
+      if (Out.Status != SolveStatus::Unknown)
+        Done = true;
+      else
+        B = &Dispatch->route(Clauses);
+      break;
+    case DispatchLane::Classical:
+    case DispatchLane::General:
+      B = Dec.Backend;
+      break;
+    }
+  }
+  if (!Done) {
+    Out = runProblem(*B, P, Regexes);
+    if (Dispatch && Out.Status == SolveStatus::Unknown &&
+        B != &Dispatch->general()) {
+      // The classical lane gave up; routing must never lose answers, so
+      // re-run the whole problem on the general backend.
+      ++Stats.FallbackSolves;
+      Dispatch->noteFallback();
+      Out = runProblem(Dispatch->general(), P, Regexes);
+    }
   }
 
   // Memoize decisive results (Unknown stays retryable by design). A key
@@ -268,75 +303,15 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
       break;
     }
 
-    bool Failed = false;
-    bool Abort = false;
-    std::vector<TermRef> Refinements;
-    for (const TrackedQuery &T : Regexes) {
-      const RegexQuery &Q = *T.Q;
-      std::optional<UString> Input = Eval.evalString(Q.Input, M);
-      std::optional<int64_t> LastIndex = Eval.evalInt(Q.LastIndex, M);
-      if (!Input || !LastIndex) {
-        Abort = true;
-        break;
-      }
-      Q.Oracle->LastIndex = *LastIndex;
-      RegExpObject::ExecOutcome Exec = Q.Oracle->exec(*Input);
-      if (Exec.Status == MatchStatus::Budget) {
-        Abort = true;
-        break;
-      }
-      bool Matched = Exec.Status == MatchStatus::Match;
-      TermRef InputConst = mkStrConst(*Input);
-      TermRef Cond = mkAnd(mkEq(Q.Input, InputConst),
-                           mkEq(Q.LastIndex, mkIntConst(*LastIndex)));
-
-      if (T.Positive && Matched) {
-        if (!Q.ValidateCaptures)
-          continue;
-        const MatchResult &R = *Exec.Result;
-        // Compare the model's captures with the concrete ones.
-        bool Mismatch = false;
-        std::vector<TermRef> Pin;
-        // Match start (decorated coordinates: input index + 1).
-        int64_t WantStart = static_cast<int64_t>(R.Index) + 1;
-        std::optional<int64_t> GotStart = Eval.evalInt(Q.Model.MatchStart, M);
-        Mismatch |= !GotStart || *GotStart != WantStart;
-        Pin.push_back(mkEq(Q.Model.MatchStart, mkIntConst(WantStart)));
-        // C0.
-        std::optional<UString> GotC0 = Eval.evalString(Q.Model.C0.Value, M);
-        Mismatch |= !GotC0 || *GotC0 != R.Match;
-        Pin.push_back(mkEq(Q.Model.C0.Value, mkStrConst(R.Match)));
-        // C1..Cn.
-        for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
-          const CaptureVar &CV = Q.Model.Captures[I];
-          bool WantDef = I < R.Captures.size() && R.Captures[I].has_value();
-          std::optional<bool> GotDef = Eval.evalBool(CV.Defined, M);
-          std::optional<UString> GotVal = Eval.evalString(CV.Value, M);
-          UString WantVal = WantDef ? *R.Captures[I] : UString();
-          bool CapOk = GotDef && *GotDef == WantDef &&
-                       (!WantDef || (GotVal && *GotVal == WantVal));
-          Mismatch |= !CapOk;
-          Pin.push_back(WantDef ? TermRef(CV.Defined)
-                                : mkNot(CV.Defined));
-          Pin.push_back(mkEq(CV.Value, mkStrConst(WantVal)));
-        }
-        if (Mismatch) {
-          Failed = true;
-          Refinements.push_back(mkImplies(Cond, mkAnd(std::move(Pin))));
-        }
-      } else if (T.Positive != Matched) {
-        // Positive constraint but no concrete match, or negative
-        // constraint but the word concretely matches: exclude the word.
-        Failed = true;
-        Refinements.push_back(mkNot(Cond));
-      }
-    }
-    if (Abort) {
+    CandidateValidation V = validateCandidate(
+        Regexes, M, Eval,
+        [](const RegexQuery &Q) -> RegExpObject & { return *Q.Oracle; });
+    if (V.Abort) {
       Out.Status = SolveStatus::Unknown;
       DropSession = true;
       break;
     }
-    if (!Failed) {
+    if (!V.Failed) {
       Out.Status = SolveStatus::Sat;
       Out.Model = std::move(M);
       break;
@@ -352,7 +327,7 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
     }
     // Push the refinement constraints instead of re-solving from scratch
     // (incremental), or grow the conjunction (stateless baseline).
-    for (TermRef &C : Refinements) {
+    for (TermRef &C : V.Refinements) {
       if (Sess)
         Sess->assertTerm(std::move(C));
       else
@@ -366,4 +341,223 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
       Sessions.erase(&B);
   }
   return Out;
+}
+
+CegarSolver::CandidateValidation CegarSolver::validateCandidate(
+    const std::vector<TrackedQuery> &Regexes, const Assignment &M,
+    TermEvaluator &Eval,
+    const std::function<RegExpObject &(const RegexQuery &)> &OracleFor) {
+  CandidateValidation Out;
+  for (const TrackedQuery &T : Regexes) {
+    const RegexQuery &Q = *T.Q;
+    std::optional<UString> Input = Eval.evalString(Q.Input, M);
+    std::optional<int64_t> LastIndex = Eval.evalInt(Q.LastIndex, M);
+    if (!Input || !LastIndex) {
+      Out.Abort = true;
+      return Out;
+    }
+    RegExpObject &Oracle = OracleFor(Q);
+    Oracle.LastIndex = *LastIndex;
+    RegExpObject::ExecOutcome Exec = Oracle.exec(*Input);
+    if (Exec.Status == MatchStatus::Budget) {
+      Out.Abort = true;
+      return Out;
+    }
+    bool Matched = Exec.Status == MatchStatus::Match;
+    TermRef InputConst = mkStrConst(*Input);
+    TermRef Cond = mkAnd(mkEq(Q.Input, InputConst),
+                         mkEq(Q.LastIndex, mkIntConst(*LastIndex)));
+
+    if (T.Positive && Matched) {
+      if (!Q.ValidateCaptures)
+        continue;
+      const MatchResult &R = *Exec.Result;
+      // Compare the model's captures with the concrete ones.
+      bool Mismatch = false;
+      std::vector<TermRef> Pin;
+      // Match start (decorated coordinates: input index + 1).
+      int64_t WantStart = static_cast<int64_t>(R.Index) + 1;
+      std::optional<int64_t> GotStart = Eval.evalInt(Q.Model.MatchStart, M);
+      Mismatch |= !GotStart || *GotStart != WantStart;
+      Pin.push_back(mkEq(Q.Model.MatchStart, mkIntConst(WantStart)));
+      // C0.
+      std::optional<UString> GotC0 = Eval.evalString(Q.Model.C0.Value, M);
+      Mismatch |= !GotC0 || *GotC0 != R.Match;
+      Pin.push_back(mkEq(Q.Model.C0.Value, mkStrConst(R.Match)));
+      // C1..Cn.
+      for (size_t I = 0; I < Q.Model.Captures.size(); ++I) {
+        const CaptureVar &CV = Q.Model.Captures[I];
+        bool WantDef = I < R.Captures.size() && R.Captures[I].has_value();
+        std::optional<bool> GotDef = Eval.evalBool(CV.Defined, M);
+        std::optional<UString> GotVal = Eval.evalString(CV.Value, M);
+        UString WantVal = WantDef ? *R.Captures[I] : UString();
+        bool CapOk = GotDef && *GotDef == WantDef &&
+                     (!WantDef || (GotVal && *GotVal == WantVal));
+        Mismatch |= !CapOk;
+        Pin.push_back(WantDef ? TermRef(CV.Defined) : mkNot(CV.Defined));
+        Pin.push_back(mkEq(CV.Value, mkStrConst(WantVal)));
+      }
+      if (Mismatch) {
+        Out.Failed = true;
+        Out.Refinements.push_back(mkImplies(Cond, mkAnd(std::move(Pin))));
+      }
+    } else if (T.Positive != Matched) {
+      // Positive constraint but no concrete match, or negative
+      // constraint but the word concretely matches: exclude the word.
+      Out.Failed = true;
+      Out.Refinements.push_back(mkNot(Cond));
+    }
+  }
+  return Out;
+}
+
+CegarResult CegarSolver::refineOnSession(
+    SolverSession &Sess, const std::vector<TermRef> &P,
+    const std::vector<TrackedQuery> &Regexes, const CegarOptions &Opts) {
+  CegarResult Out;
+  for (const TermRef &T : P)
+    Sess.assertTerm(T);
+  // Worker-private oracles: the clauses' shared RegExpObjects carry
+  // mutable lastIndex state and may be in use by the thread that
+  // launched the race. CompiledRegex itself is thread-safe to share.
+  TermEvaluator Eval;
+  std::map<const RegexQuery *, RegExpObject> Oracles;
+  auto OracleFor = [&Oracles](const RegexQuery &Q) -> RegExpObject & {
+    auto It = Oracles.find(&Q);
+    if (It == Oracles.end())
+      It = Oracles
+               .emplace(std::piecewise_construct, std::forward_as_tuple(&Q),
+                        std::forward_as_tuple(Q.Oracle->compiled(),
+                                              Q.Oracle->matcher().stepBudget()))
+               .first;
+    return It->second;
+  };
+  for (unsigned Round = 0;; ++Round) {
+    Assignment M;
+    SolveStatus S = Sess.check(M, Opts.Limits);
+    if (S != SolveStatus::Sat) {
+      Out.Status = S;
+      return Out;
+    }
+    if (Sess.cancelRequested()) {
+      // A cancel that lands right as the check returns Sat: the
+      // coordinator already committed to the other lane's answer.
+      Out.Status = SolveStatus::Unknown;
+      return Out;
+    }
+    if (!Opts.Validate) {
+      Out.Status = SolveStatus::Sat;
+      Out.Model = std::move(M);
+      return Out;
+    }
+    CandidateValidation V = validateCandidate(Regexes, M, Eval, OracleFor);
+    if (V.Abort)
+      return Out;
+    if (!V.Failed) {
+      Out.Status = SolveStatus::Sat;
+      Out.Model = std::move(M);
+      return Out;
+    }
+    Out.Refinements = Round + 1;
+    if (Round + 1 >= Opts.RefinementLimit) {
+      Out.HitRefinementLimit = true;
+      return Out;
+    }
+    for (TermRef &C : V.Refinements)
+      Sess.assertTerm(std::move(C));
+  }
+}
+
+CegarResult CegarSolver::raceProblem(const std::vector<PathClause> &Clauses,
+                                     const AnchoredPlan &Plan,
+                                     const std::vector<TermRef> &P,
+                                     const std::vector<TrackedQuery> &Regexes) {
+  // Two workers, one problem: the anchored lane (pure automata + oracle,
+  // cancelled through an atomic flag) and an ephemeral general-backend
+  // session (cancelled through SolverSession::cancel, which interrupts
+  // an in-flight Z3 check). The coordinator takes the first decisive
+  // answer and cancels the loser. The general session is created *on*
+  // its worker thread and published under a mutex, honouring the solver
+  // threading contract: the owning thread runs checks, the coordinator
+  // only ever calls cancel().
+  std::atomic<bool> ClassicalCancel{false};
+  std::atomic<bool> GeneralStop{false};
+  std::mutex SessMu;
+  SolverSession *GeneralSess = nullptr;
+
+  auto ClassicalFut = std::async(std::launch::async, [&] {
+    return solveAnchored(Clauses, Plan, &ClassicalCancel);
+  });
+  auto GeneralFut = std::async(std::launch::async, [&] {
+    std::unique_ptr<SolverSession> S = Dispatch->general().openSession();
+    {
+      std::lock_guard<std::mutex> L(SessMu);
+      GeneralSess = S.get();
+    }
+    // A stop that raced session creation: the coordinator may have seen
+    // a null pointer, so self-cancel (the mutex orders the publication
+    // against the coordinator's read).
+    if (GeneralStop.load(std::memory_order_relaxed))
+      S->cancel();
+    CegarResult R = refineOnSession(*S, P, Regexes, Opts);
+    {
+      std::lock_guard<std::mutex> L(SessMu);
+      GeneralSess = nullptr;
+    }
+    return R;
+  });
+
+  CegarResult Classical, General;
+  bool CDone = false, GDone = false;
+  bool ClassicalWon = false, GeneralWon = false;
+  const auto Tick = std::chrono::milliseconds(1);
+  for (;;) {
+    if (!CDone &&
+        ClassicalFut.wait_for(Tick) == std::future_status::ready) {
+      Classical = ClassicalFut.get();
+      CDone = true;
+      if (Classical.Status != SolveStatus::Unknown) {
+        ClassicalWon = true;
+        break;
+      }
+    }
+    if (!GDone && GeneralFut.wait_for(Tick) == std::future_status::ready) {
+      General = GeneralFut.get();
+      GDone = true;
+      if (General.Status != SolveStatus::Unknown) {
+        GeneralWon = true;
+        break;
+      }
+    }
+    if (CDone && GDone)
+      break;
+  }
+
+  bool CancelledLoser = false;
+  if (ClassicalWon && !GDone) {
+    GeneralStop.store(true, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(SessMu);
+      if (GeneralSess)
+        GeneralSess->cancel();
+    }
+    General = GeneralFut.get();
+    GDone = true;
+    CancelledLoser = true;
+  } else if (GeneralWon && !CDone) {
+    ClassicalCancel.store(true, std::memory_order_relaxed);
+    Classical = ClassicalFut.get();
+    CDone = true;
+    CancelledLoser = true;
+  }
+
+  if (ClassicalWon || GeneralWon) {
+    Dispatch->noteRace(ClassicalWon, CancelledLoser);
+    if (ClassicalWon)
+      Dispatch->noteAnchoredHit();
+    return ClassicalWon ? std::move(Classical) : std::move(General);
+  }
+  // Both lanes gave up; return the general side (it carries refinement
+  // telemetry) and let the caller fall back to normal routing.
+  return General;
 }

@@ -23,10 +23,13 @@
 #include "support/LruMap.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 
 namespace recap {
+
+struct AnchoredPlan;
 
 /// One capturing-language membership constraint
 /// (w, C0..Cn) ⊡ Lc(R) occurring in a path condition, bundled with
@@ -286,6 +289,42 @@ private:
   /// stateless per Opts.Sessions). \p P holds one assertion per clause.
   CegarResult runProblem(SolverBackend &B, const std::vector<TermRef> &P,
                          const std::vector<TrackedQuery> &Regexes);
+
+  /// One candidate model measured against the concrete matcher.
+  struct CandidateValidation {
+    bool Failed = false; ///< at least one clause disagreed; refine
+    bool Abort = false;  ///< evaluation/oracle gave up; the round is void
+    std::vector<TermRef> Refinements;
+  };
+
+  /// Algorithm 1's validation step for one backend model: every regex
+  /// clause is re-run on the concrete matcher and disagreements become
+  /// refinement constraints (capture pinning or word exclusion).
+  /// Stateless; \p OracleFor supplies the RegExpObject to consult — the
+  /// clause's shared oracle on the main path, a per-thread clone inside
+  /// a race worker (RegExpObject carries mutable lastIndex state).
+  static CandidateValidation validateCandidate(
+      const std::vector<TrackedQuery> &Regexes, const Assignment &M,
+      TermEvaluator &Eval,
+      const std::function<RegExpObject &(const RegexQuery &)> &OracleFor);
+
+  /// The race's general-lane worker body: asserts \p P on \p Sess and
+  /// runs the refinement loop with per-call oracles and evaluator, no
+  /// CegarSolver state touched (safe on a worker thread). Returns
+  /// Unknown promptly once the session is cancelled.
+  static CegarResult refineOnSession(SolverSession &Sess,
+                                     const std::vector<TermRef> &P,
+                                     const std::vector<TrackedQuery> &Regexes,
+                                     const CegarOptions &Opts);
+
+  /// Racing mode (DESIGN.md §8): runs the anchored lane and an ephemeral
+  /// general-backend session concurrently, returns the first decisive
+  /// answer and cancels the loser. Both-Unknown returns Unknown and the
+  /// caller falls back to normal routing.
+  CegarResult raceProblem(const std::vector<PathClause> &Clauses,
+                          const AnchoredPlan &Plan,
+                          const std::vector<TermRef> &P,
+                          const std::vector<TrackedQuery> &Regexes);
 
   SolverBackend &Backend; ///< the general/default backend
   BackendDispatcher *Dispatch = nullptr;

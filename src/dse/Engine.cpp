@@ -97,6 +97,8 @@ EngineResult DseEngine::runSerial(const Program &P,
     LocalLane = makeLocalBackend();
     Dispatcher = std::make_unique<BackendDispatcher>(
         *LocalLane, Backend, Runtime->statsHandle());
+    Dispatcher->policy().AnchoredLane = Opts.DispatchAnchored;
+    Dispatcher->policy().Race = Opts.DispatchRacing;
     SolverPtr = std::make_unique<CegarSolver>(*Dispatcher, Opts.Cegar);
   } else {
     SolverPtr = std::make_unique<CegarSolver>(Backend, Opts.Cegar);
@@ -327,6 +329,8 @@ EngineResult DseEngine::runParallel(
       Me.LocalLane = makeLocalBackend();
       Me.Dispatcher = std::make_unique<BackendDispatcher>(
           *Me.LocalLane, *Me.Backend, Runtime->statsHandle());
+      Me.Dispatcher->policy().AnchoredLane = Opts.DispatchAnchored;
+      Me.Dispatcher->policy().Race = Opts.DispatchRacing;
       Me.Solver = std::make_unique<CegarSolver>(*Me.Dispatcher, Opts.Cegar);
     } else {
       Me.Solver = std::make_unique<CegarSolver>(*Me.Backend, Opts.Cegar);

@@ -43,6 +43,15 @@ struct EngineOptions {
   /// (see cegar/BackendDispatcher.h). Dispatch counters land in
   /// EngineResult::Runtime.
   bool Dispatch = false;
+  /// With Dispatch on: answer `^…$`-anchored test()-style path
+  /// conditions straight off product DFAs (DESIGN.md §8), falling back
+  /// to normal routing when the lane answers Unknown.
+  bool DispatchAnchored = true;
+  /// With Dispatch on: race the anchored lane against the general
+  /// backend on cost-ambiguous anchored problems, taking the first
+  /// decisive answer and cancelling the loser. Off by default — each
+  /// race spends two extra threads.
+  bool DispatchRacing = false;
   /// Shard-per-worker parallel search (DESIGN.md §6). 1 (the default)
   /// runs the single-threaded legacy path bit-identically; 0 = one shard
   /// per hardware thread; N > 1 runs N shards, each owning its own

@@ -135,3 +135,35 @@ CRegexRef recap::approximateRegular(const Regex &R,
   Opts.RepetitionUnrollLimit = RepetitionUnrollLimit;
   return approximateRegular(R.root(), R, Opts);
 }
+
+std::optional<CRegexRef>
+recap::anchoredExactLanguage(const Regex &R, const ApproxOptions &Opts) {
+  // Under the m flag ^/$ also match at line breaks, so `^core$` no
+  // longer pins the whole subject.
+  if (R.flags().Multiline)
+    return std::nullopt;
+  const auto *C = dynCast<ConcatNode>(&R.root());
+  if (!C || C->Parts.size() < 2)
+    return std::nullopt;
+  const auto *Head = dynCast<AnchorNode>(C->Parts.front().get());
+  const auto *Tail = dynCast<AnchorNode>(C->Parts.back().get());
+  if (!Head || Head->Which != AnchorKind::Caret || !Tail ||
+      Tail->Which != AnchorKind::Dollar)
+    return std::nullopt;
+
+  // Approximate the core between the anchors and require exactness:
+  // any nested anchor, lookaround, backreference, word boundary, or
+  // clamped repetition flips Exact off, and each of those breaks the
+  // match-anywhere ⟺ whole-string-membership equivalence.
+  std::vector<CRegexRef> Core;
+  Core.reserve(C->Parts.size() - 2);
+  for (size_t I = 1; I + 1 < C->Parts.size(); ++I) {
+    RegularApprox A = approximateRegularEx(*C->Parts[I], R, Opts);
+    if (!A.Exact)
+      return std::nullopt;
+    Core.push_back(std::move(A.Re));
+  }
+  if (Core.empty())
+    return cEpsilon(); // the /^$/ family: only the empty string
+  return cConcat(std::move(Core));
+}

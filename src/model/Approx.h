@@ -56,6 +56,19 @@ CRegexRef approximateRegular(const RegexNode &N, const Regex &WholeRegex,
 CRegexRef approximateRegular(const Regex &R,
                              size_t RepetitionUnrollLimit = 24);
 
+/// The anchored-exact language of \p R, if it has one: for a `^core$`
+/// pattern (top-level concat bracketed by Caret/Dollar, no m flag)
+/// whose core approximates *exactly* — no assertion dropped, no
+/// backreference widened, no repetition clamped — match-anywhere
+/// semantics collapse to whole-string membership, and the returned
+/// classical regex satisfies  R matches s  ⟺  s ∈ L(core).  That
+/// equivalence is what lets the anchored solver lane (DESIGN.md §8)
+/// answer from a product DFA with no CEGAR refinement. Returns nullopt
+/// for every shape where the equivalence does not hold; callers must
+/// fall back to the wrapped overapproximation model.
+std::optional<CRegexRef> anchoredExactLanguage(const Regex &R,
+                                               const ApproxOptions &Opts);
+
 } // namespace recap
 
 #endif // RECAP_MODEL_APPROX_H

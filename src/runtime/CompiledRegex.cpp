@@ -87,6 +87,18 @@ std::shared_ptr<const Automaton> CompiledRegex::automaton(size_t StateLimit) {
   return Dfa;
 }
 
+const std::optional<CRegexRef> &CompiledRegex::anchoredLanguage() {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  if (AnchDone)
+    return AnchLang;
+  AnchDone = true;
+  ApproxOptions AOpts;
+  AOpts.IgnoreCase = R.flags().IgnoreCase;
+  AOpts.Unicode = R.flags().Unicode;
+  AnchLang = anchoredExactLanguage(R, AOpts);
+  return AnchLang;
+}
+
 std::shared_ptr<const Matcher> CompiledRegex::sharedMatcher() {
   std::lock_guard<std::mutex> Lock(StageMu);
   if (M) {

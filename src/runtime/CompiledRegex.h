@@ -113,6 +113,16 @@ struct RuntimeStats {
   StatCounter DispatchGeneral;
   StatCounter DispatchFallbacks;
 
+  // Anchored-classical lane and lane racing (DESIGN.md §8): problems the
+  // anchored product-DFA lane answered decisively; races won by each
+  // side; checks a race coordinator cancelled on the losing side; and
+  // anchored-lane Unknowns that fell back to the general lane.
+  StatCounter AnchoredLaneHit;
+  StatCounter RaceClassicalWon;
+  StatCounter RaceZ3Won;
+  StatCounter RaceCancelled;
+  StatCounter AnchoredFallback;
+
   // Warm-start snapshots (RegexRuntime::save/load, DESIGN.md §7.3):
   // entries restored from a snapshot file, and entries a load rejected
   // (unparseable pattern or stale metadata disagreeing with the current
@@ -158,6 +168,11 @@ struct RuntimeStats {
     D.DispatchClassical = DispatchClassical - O.DispatchClassical;
     D.DispatchGeneral = DispatchGeneral - O.DispatchGeneral;
     D.DispatchFallbacks = DispatchFallbacks - O.DispatchFallbacks;
+    D.AnchoredLaneHit = AnchoredLaneHit - O.AnchoredLaneHit;
+    D.RaceClassicalWon = RaceClassicalWon - O.RaceClassicalWon;
+    D.RaceZ3Won = RaceZ3Won - O.RaceZ3Won;
+    D.RaceCancelled = RaceCancelled - O.RaceCancelled;
+    D.AnchoredFallback = AnchoredFallback - O.AnchoredFallback;
     D.SnapshotLoaded = SnapshotLoaded - O.SnapshotLoaded;
     D.SnapshotRejected = SnapshotRejected - O.SnapshotRejected;
     D.WorkersClamped = WorkersClamped - O.WorkersClamped;
@@ -185,6 +200,11 @@ struct RuntimeStats {
     DispatchClassical += O.DispatchClassical;
     DispatchGeneral += O.DispatchGeneral;
     DispatchFallbacks += O.DispatchFallbacks;
+    AnchoredLaneHit += O.AnchoredLaneHit;
+    RaceClassicalWon += O.RaceClassicalWon;
+    RaceZ3Won += O.RaceZ3Won;
+    RaceCancelled += O.RaceCancelled;
+    AnchoredFallback += O.AnchoredFallback;
     SnapshotLoaded += O.SnapshotLoaded;
     SnapshotRejected += O.SnapshotRejected;
     WorkersClamped += O.WorkersClamped;
@@ -223,6 +243,13 @@ public:
   /// DFA for classicalApprox(), or null when subset construction exceeds
   /// \p StateLimit. Compiled once (the first call's limit applies).
   std::shared_ptr<const Automaton> automaton(size_t StateLimit = 100000);
+
+  /// The anchored-exact language (model/Approx.h anchoredExactLanguage)
+  /// with solver-side options (meta markers excluded), or nullopt when
+  /// the pattern has no such language. Computed once; the result feeds
+  /// the dispatcher's anchored-lane eligibility test, so it shares the
+  /// compile-once discipline of the other stages.
+  const std::optional<CRegexRef> &anchoredLanguage();
 
   /// The shared concrete matcher (default step budget), built once. Safe
   /// to share between RegExpObjects: Matcher is stateless.
@@ -270,6 +297,8 @@ private:
   std::optional<RegularApprox> Approx;
   std::shared_ptr<const Automaton> Dfa;
   bool DfaDone = false;
+  std::optional<CRegexRef> AnchLang;
+  bool AnchDone = false;
   std::shared_ptr<const Matcher> M;
   std::map<ModelKey, Template> Templates;
 };

@@ -53,8 +53,9 @@ struct Literal {
 /// the language constraints themselves, not by scope).
 struct LocalSearchCaches {
   struct CandidateSet {
-    bool Compiled = false; ///< automaton construction succeeded
-    bool Empty = false;    ///< language proven empty
+    bool Compiled = false;  ///< automaton construction succeeded
+    bool Empty = false;     ///< language proven empty
+    bool Cancelled = false; ///< a cancel aborted the construction
     std::shared_ptr<Automaton> A;
     std::vector<UString> Words;
   };
@@ -68,6 +69,9 @@ struct LocalSearchCaches {
   std::map<Key, CandidateSet> Candidates;
   /// Session counters (null for one-shot solves).
   SolverStats *Stats = nullptr;
+  /// Holding slot for cancelled (uncacheable) builds; valid until the
+  /// next candidates() call, which is as long as any caller uses it.
+  CandidateSet Scratch;
 
   const CandidateSet &candidates(const std::vector<CRegexRef> &Pos,
                                  const std::vector<CRegexRef> &Neg,
@@ -81,8 +85,16 @@ struct LocalSearchCaches {
     }
     if (Stats)
       ++Stats->SessionCandidateMisses;
-    return Candidates.emplace(std::move(K), build(Pos, Neg, Limits))
-        .first->second;
+    CandidateSet CS = build(Pos, Neg, Limits);
+    if (CS.Cancelled) {
+      // A cancelled construction is not a fact about the language —
+      // caching it would degrade this (possibly long-lived session's)
+      // key to fallback candidates forever. Hand it back uncached; the
+      // next uncancelled check rebuilds it for real.
+      Scratch = std::move(CS);
+      return Scratch;
+    }
+    return Candidates.emplace(std::move(K), std::move(CS)).first->second;
   }
 
 private:
@@ -107,17 +119,29 @@ private:
     std::vector<CRegexRef> All = Pos;
     for (const CRegexRef &N : Neg)
       All.push_back(cComplement(N));
-    Result<Automaton> A = Automaton::compile(cIntersect(All));
-    if (!A)
+    // The product-DFA walk honors the check's cooperative cancel flag:
+    // this construction is where a LocalBackend check spends unbounded
+    // time, so it is the main cancellation point (Solver.h).
+    Result<Automaton> A =
+        Automaton::compile(cIntersect(All), 100000, Limits.Cancel);
+    if (!A) {
+      Out.Cancelled =
+          Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed);
       return Out; // Compiled stays false -> caller falls back
+    }
     Out.Compiled = true;
     Out.A = std::make_shared<Automaton>(A.take());
     if (Out.A->isEmptyLanguage()) {
       Out.Empty = true;
       return Out;
     }
-    Out.Words =
-        Out.A->enumerateWords(Limits.MaxCandidates, Limits.MaxWordLength);
+    EnumOptions EO;
+    EO.MaxCount = Limits.MaxCandidates;
+    EO.MaxLen = Limits.MaxWordLength;
+    EO.Cancel = Limits.Cancel;
+    EnumResult ER = Out.A->enumerateWordsEx(EO);
+    Out.Words = std::move(ER.Words);
+    Out.Cancelled = ER.Cancelled;
     return Out;
   }
 };
@@ -381,6 +405,7 @@ public:
     Nodes = 0;
     AllExhaustive = true;
     SawSatBranch = false;
+    Cancel = Limits.Cancel;
 
     std::vector<std::pair<TermRef, bool>> Work;
     for (auto It = Assertions.rbegin(); It != Assertions.rend(); ++It)
@@ -409,10 +434,17 @@ private:
   uint64_t Nodes = 0;
   bool AllExhaustive = true;
   bool SawSatBranch = false;
+  const std::atomic<bool> *Cancel = nullptr;
+
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
+  }
 
   bool timedOut() {
+    // One poll covers both abort sources; a cancel is just an external
+    // deadline. Checked every 256 nodes like the clock.
     if ((Nodes & 0xFF) == 0 &&
-        std::chrono::steady_clock::now() > Deadline) {
+        (cancelled() || std::chrono::steady_clock::now() > Deadline)) {
       AllExhaustive = false;
       return true;
     }

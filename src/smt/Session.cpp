@@ -54,7 +54,38 @@ void SolverSession::assertTerm(TermRef T) {
 SolveStatus SolverSession::check(Assignment &Model,
                                  const SolverLimits &Limits) {
   ++Owner.Stats.SessionChecks;
-  return checkImpl(Model, Limits);
+  // A pending cancel short-circuits before the backend runs: the racing
+  // coordinator may decide a winner between two refinement rounds of the
+  // loser, and the flag is sticky until resetCancel().
+  if (cancelRequested()) {
+    ++Owner.Stats.CancelledChecks;
+    return SolveStatus::Unknown;
+  }
+  SolverLimits L = Limits;
+  if (!L.Cancel)
+    L.Cancel = &CancelFlag;
+  SolveStatus S = checkImpl(Model, L);
+  if (S == SolveStatus::Unknown && cancelRequested())
+    ++Owner.Stats.CancelledChecks;
+  return S;
+}
+
+void SolverSession::cancel() {
+  CancelFlag.store(true, std::memory_order_relaxed);
+  onCancel();
+}
+
+std::unique_ptr<SolverSession::AsyncCheck>
+SolverSession::checkAsync(const SolverLimits &Limits) {
+  // The model lives on the heap so the handle can own it while the
+  // worker fills it; the future's shared state sequences the write
+  // (worker) before the read (AsyncCheck::model after get()).
+  auto Model = std::make_unique<Assignment>();
+  Assignment *M = Model.get();
+  SolverLimits L = Limits;
+  std::future<SolveStatus> F =
+      std::async(std::launch::async, [this, M, L] { return check(*M, L); });
+  return std::make_unique<AsyncCheck>(std::move(F), std::move(Model));
 }
 
 void SolverSession::recordQuery(SolveStatus S, double Seconds) {

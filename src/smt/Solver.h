@@ -27,7 +27,9 @@
 
 #include "smt/Term.h"
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 
 namespace recap {
@@ -43,6 +45,12 @@ struct SolverLimits {
   size_t MaxCandidates = 64;
   /// LocalBackend: total search node budget.
   uint64_t MaxNodes = 200000;
+  /// Cooperative cancellation flag, polled by LocalBackend inside its
+  /// product-DFA walks (candidate automaton construction, word
+  /// enumeration, branch search). Owned by the caller; null = never
+  /// cancelled. Not part of any cache key: it describes the check, not
+  /// the problem.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 struct SolverStats {
@@ -62,6 +70,9 @@ struct SolverStats {
   /// complement/product constructions persisted across checks).
   uint64_t SessionCandidateHits = 0;
   uint64_t SessionCandidateMisses = 0;
+  /// Session checks that returned Unknown because a cancel() was pending
+  /// (racing: the losing lane's aborted checks land here).
+  uint64_t CancelledChecks = 0;
 
   /// Associative accumulation of per-shard windows (each shard owns its
   /// backends, so windows never overlap).
@@ -78,6 +89,7 @@ struct SolverStats {
     SessionPops += O.SessionPops;
     SessionCandidateHits += O.SessionCandidateHits;
     SessionCandidateMisses += O.SessionCandidateMisses;
+    CancelledChecks += O.CancelledChecks;
   }
 };
 
@@ -98,10 +110,47 @@ class SolverBackend;
 /// caches) key on Term/CRegex addresses, so releasing a tree could let
 /// the allocator hand the same address to a different term.
 ///
-/// Sessions are single-threaded and must not outlive their backend.
+/// Sessions are single-threaded and must not outlive their backend, with
+/// one exception: while a checkAsync() is in flight the owning thread may
+/// call cancel() — and nothing else — concurrently. A backend and its
+/// sessions still belong to one thread overall; checkAsync moves the
+/// check (and the stats recording it does) onto its worker thread, so
+/// two sessions of the *same* backend must never have overlapping
+/// checks from different threads.
 class SolverSession {
 public:
   virtual ~SolverSession() = default;
+
+  /// Handle for one in-flight checkAsync(). Joins the worker on
+  /// destruction, so dropping the handle is a safe way to abandon a
+  /// cancelled check (the session outlives the handle by contract).
+  class AsyncCheck {
+  public:
+    AsyncCheck(std::future<SolveStatus> F, std::unique_ptr<Assignment> M)
+        : Fut(std::move(F)), Model(std::move(M)) {}
+
+    /// True once the check finished (does not consume the result).
+    bool ready(std::chrono::milliseconds Wait = {}) {
+      return Fut.wait_for(Wait) == std::future_status::ready;
+    }
+    /// Blocks until the check finishes and returns its status
+    /// (idempotent).
+    SolveStatus get() {
+      if (!Got) {
+        Status = Fut.get();
+        Got = true;
+      }
+      return Status;
+    }
+    /// The model of a Sat check; valid after get().
+    const Assignment &model() const { return *Model; }
+
+  private:
+    std::future<SolveStatus> Fut;
+    std::unique_ptr<Assignment> Model;
+    bool Got = false;
+    SolveStatus Status = SolveStatus::Unknown;
+  };
 
   /// Opens a new scope.
   void push();
@@ -112,8 +161,31 @@ public:
   /// Solves the conjunction of all live assertions. On Sat, fills
   /// \p Model with values for every variable the session has seen (values
   /// for variables only mentioned in popped scopes are completion
-  /// defaults and harmless).
+  /// defaults and harmless). Returns Unknown without solving when a
+  /// cancel() is pending (see cancel()).
   SolveStatus check(Assignment &Model, const SolverLimits &Limits);
+
+  /// check() on a worker thread. The caller may only touch the session
+  /// through cancel() (and the returned handle) until the handle reports
+  /// ready; the session's scope stack is untouched by the in-flight
+  /// check, so push/pop/assert resume normally afterwards. The handle
+  /// joins the worker on destruction.
+  std::unique_ptr<AsyncCheck> checkAsync(const SolverLimits &Limits);
+
+  /// Requests cancellation of the in-flight (or next) check: the check
+  /// returns Unknown as soon as the backend notices — Z3 via
+  /// context interrupt, LocalBackend at its next cooperative poll. The
+  /// flag is sticky until resetCancel(): a winner-decided race must stay
+  /// cancelled even if the request lands between two refinement rounds.
+  /// Cancellation never perturbs session state: the scope stack, the
+  /// live assertions and every backend cache survive exactly as they
+  /// were before the cancelled check (PR 2 session-state guarantees).
+  void cancel();
+  /// Re-arms the session for further checks after a cancel().
+  void resetCancel() { CancelFlag.store(false, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return CancelFlag.load(std::memory_order_relaxed);
+  }
 
   /// Number of open scopes.
   unsigned depth() const { return static_cast<unsigned>(Marks.size()); }
@@ -136,8 +208,15 @@ protected:
   /// Backend-specific solve over the live assertion state. Implementations
   /// record Sat/Unsat/Unknown + timing into the owner's SolverStats (the
   /// shim does so via solve(); native sessions call recordQuery()).
+  /// Limits.Cancel points at this session's flag when a cancel source
+  /// exists (check() wires it), so cooperative backends poll it.
   virtual SolveStatus checkImpl(Assignment &Model,
                                 const SolverLimits &Limits) = 0;
+  /// Backend hook for cancel(): interrupt a natively blocking check
+  /// (Z3Session calls the context interrupt). Cooperative backends need
+  /// nothing — they poll Limits.Cancel. May be called from a thread
+  /// other than the session's while a check is in flight.
+  virtual void onCancel() {}
 
   /// Stats bridge for native sessions (mirrors SolverBackend::record).
   void recordQuery(SolveStatus S, double Seconds);
@@ -148,6 +227,8 @@ protected:
   std::vector<size_t> Marks;       ///< Assertions.size() at each push
   std::vector<TermRef> Retained;   ///< popped trees kept alive (see above)
   std::set<const Term *> RetainedKeys; ///< dedups Retained
+  /// Sticky cancellation request (see cancel()).
+  std::atomic<bool> CancelFlag{false};
 };
 
 class SolverBackend {

@@ -281,7 +281,7 @@ public:
 
 private:
   SolveStatus solveImpl(const std::vector<TermRef> &Assertions,
-                        Assignment &Model, const SolverLimits &Limits) {
+                        Assignment &Model, const SolverLimits &Limits) try {
     z3::context Ctx;
     z3::params P(Ctx);
     P.set("timeout", Limits.TimeoutMs);
@@ -308,6 +308,10 @@ private:
     z3::model M = S.get_model();
     extractModel(Tr, M, Model);
     return SolveStatus::Sat;
+  } catch (const z3::exception &) {
+    // Z3 raises (rather than returns unknown) on some interrupted or
+    // resource-limited paths; a solver error is an Unknown, not a crash.
+    return SolveStatus::Unknown;
   }
 };
 
@@ -317,12 +321,28 @@ private:
 /// are undone by pop. The Latin-1 alphabet constraint is an assertion, so
 /// the session tracks per scope which variables it covered and re-asserts
 /// it when a variable reappears after its constraining scope was popped.
+///
+/// The scoped solver is built from a tactic pipeline
+/// (simplify | solve-eqs | smt) rather than the plain incremental
+/// solver: a tactic-built solver re-applies its preprocessing to the
+/// *whole* live assertion set on every check, which is exactly the
+/// preprocessing Z3's incremental core forgoes on seq/re goals — so
+/// re-checks after push/pop win inside Z3 instead of relying solely on
+/// the scratch rescue below. Per-check params are selected from the live
+/// assertion mix (see checkImpl).
+///
+/// cancel() maps to the context interrupt: the in-flight check returns
+/// unknown within milliseconds, the solver and all scopes stay usable.
 class Z3Session : public SolverSession {
 public:
   explicit Z3Session(SolverBackend &Owner)
-      : SolverSession(Owner), S(Ctx), Tr(Ctx),
-        AnyLatin1(anyLatin1(Ctx)) {
+      : SolverSession(Owner),
+        S((z3::tactic(Ctx, "simplify") & z3::tactic(Ctx, "solve-eqs") &
+           z3::tactic(Ctx, "smt"))
+              .mk_solver()),
+        Tr(Ctx), AnyLatin1(anyLatin1(Ctx)) {
     AlphaByScope.emplace_back(); // base scope
+    ReByScope.push_back(0);
   }
 
   void onAssert(const TermRef &T) override {
@@ -336,11 +356,16 @@ public:
       AlphaDone.insert(Name);
       AlphaByScope.back().push_back(Name);
     }
+    if (containsInRe(T)) {
+      ++ReLive;
+      ++ReByScope.back();
+    }
   }
 
   void onPush() override {
     S.push();
     AlphaByScope.emplace_back();
+    ReByScope.push_back(0);
   }
 
   void onPop(unsigned N, size_t) override {
@@ -349,14 +374,35 @@ public:
       for (const std::string &Name : AlphaByScope.back())
         AlphaDone.erase(Name);
       AlphaByScope.pop_back();
+      ReLive -= ReByScope.back();
+      ReByScope.pop_back();
     }
   }
 
+  void onCancel() override {
+    // Safe from another thread while this session's check is in flight
+    // (the documented Z3 use); the interrupted check returns unknown and
+    // the scoped solver stays usable.
+    Ctx.interrupt();
+  }
+
   SolveStatus checkImpl(Assignment &Model,
-                        const SolverLimits &Limits) override {
+                        const SolverLimits &Limits) override try {
     auto T0 = std::chrono::steady_clock::now();
+    // Per-check params, selected from the live assertion mix: regex
+    // membership goals get the full budget plus length-based sequence
+    // splitting pinned on (the decisive strategy for the model's
+    // membership+length-arithmetic combination); re-free goals — pure
+    // bool/int/string-equality path fragments — are cheap, so they are
+    // clamped to a fraction of the budget rather than being allowed to
+    // starve the regex checks behind them.
     z3::params P(Ctx);
-    P.set("timeout", Limits.TimeoutMs);
+    uint32_t Budget = ReLive > 0
+                          ? Limits.TimeoutMs
+                          : std::min<uint32_t>(Limits.TimeoutMs, 2000);
+    P.set("timeout", Budget);
+    if (ReLive > 0)
+      P.set("seq.split_w_len", true);
     S.set(P);
     SolveStatus Status;
     switch (S.check()) {
@@ -373,17 +419,18 @@ public:
       break;
     }
     }
-    // Scratch rescue: with scopes open Z3 runs its incremental core,
-    // which is measurably weaker on seq/re goals than the full
-    // preprocessing a fresh solve gets. An Unknown here therefore does
-    // not mean the problem is hard — re-solve the live assertion set
-    // from scratch (fresh context, no scopes) before giving up. The
-    // rescue gets what is left of the per-check budget, floored at 20%
-    // of it so an attempt that burned the whole budget still buys a
-    // meaningful retry (worst case ~1.2x TimeoutMs per check). The
-    // attempt and the rescue are one logical check: recorded once, with
-    // the final status and the combined time.
-    if (Status == SolveStatus::Unknown) {
+    // Scratch rescue: even with the tactic pipeline re-preprocessing
+    // every check, the smt core underneath still runs incrementally, so
+    // an Unknown here does not yet mean the problem is hard — re-solve
+    // the live assertion set from scratch (fresh context, no scopes)
+    // before giving up. The rescue gets what is left of the per-check
+    // budget, floored at 20% of it so an attempt that burned the whole
+    // budget still buys a meaningful retry (worst case ~1.2x TimeoutMs
+    // per check). The attempt and the rescue are one logical check:
+    // recorded once, with the final status and the combined time.
+    // A cancelled check skips the rescue — the caller decided this
+    // answer no longer matters, and the rescue is not interruptible.
+    if (Status == SolveStatus::Unknown && !cancelRequested()) {
       double ElapsedMs = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - T0)
                              .count();
@@ -402,9 +449,30 @@ public:
                      .count();
     recordQuery(Status, Sec);
     return Status;
+  } catch (const z3::exception &) {
+    // Interrupted or resource-limited paths can raise instead of
+    // returning unknown; the session (and its scopes) stays usable.
+    recordQuery(SolveStatus::Unknown, 0);
+    return SolveStatus::Unknown;
   }
 
 private:
+  /// Whether \p T contains a regular-membership atom, memoized per node
+  /// (assertions share subtrees across refinement rounds).
+  bool containsInRe(const TermRef &T) {
+    auto It = InReMemo.find(T.get());
+    if (It != InReMemo.end())
+      return It->second;
+    bool Found = T->Kind == TermKind::InRe;
+    for (const TermRef &K : T->Kids) {
+      if (Found)
+        break;
+      Found = containsInRe(K);
+    }
+    InReMemo.emplace(T.get(), Found);
+    return Found;
+  }
+
   z3::context Ctx;
   z3::solver S;
   Translator Tr;
@@ -413,6 +481,11 @@ private:
   /// Names whose alphabet constraint was asserted in each scope
   /// (index 0 = base, then one entry per open scope).
   std::vector<std::vector<std::string>> AlphaByScope;
+  /// Live InRe-bearing assertions, total and per scope (same layout as
+  /// AlphaByScope) — the input to per-check param selection.
+  unsigned ReLive = 0;
+  std::vector<unsigned> ReByScope;
+  std::map<const Term *, bool> InReMemo;
 };
 
 std::unique_ptr<SolverSession> Z3Backend::openSession() {

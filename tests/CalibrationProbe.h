@@ -66,9 +66,46 @@ inline double solverBudgetScale() {
   return Scale;
 }
 
+/// Z3-free variant of solverBudgetScale for tests that must never
+/// execute Z3 (the TSan job runs LocalBackend-only suites; Z3 is not
+/// built with TSan and would drown the run in false positives). The
+/// probe times LocalBackend membership solves through a session —
+/// automaton construction plus the bounded search, the same work the
+/// cancellation tests race against.
+inline double localBudgetScale() {
+  static const double Scale = [] {
+    auto Backend = makeLocalBackend();
+    auto R = Regex::parse("(a|b)*a(a|b){9}", "");
+    if (!R)
+      return 1.0;
+    auto T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I < 3; ++I) {
+      auto S = Backend->openSession();
+      S->assertTerm(mkInRe(mkStrVar("cal" + std::to_string(I)),
+                           approximateRegular(*R)));
+      Assignment M;
+      SolverLimits L;
+      L.TimeoutMs = 20000;
+      (void)S->check(M, L);
+    }
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    // Unloaded reference machine: the three probe solves take ~0.05s.
+    constexpr double ReferenceSec = 0.05;
+    return std::clamp(Sec / ReferenceSec, 1.0, 10.0);
+  }();
+  return Scale;
+}
+
 /// \p Budget seconds scaled by the measured slowdown.
 inline double scaledSeconds(double Budget) {
   return Budget * solverBudgetScale();
+}
+
+/// \p Budget seconds scaled by the Z3-free LocalBackend slowdown.
+inline double localScaledSeconds(double Budget) {
+  return Budget * localBudgetScale();
 }
 
 /// \p TimeoutMs scaled by the measured slowdown.

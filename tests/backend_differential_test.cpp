@@ -13,6 +13,11 @@
 // The same probes also run through the feature-routed BackendDispatcher
 // (classical problems to LocalBackend, the rest to Z3, Unknown fallback
 // to Z3): routing may only change solve times, never Sat/Unsat answers.
+// A second pass re-runs every probe test()-style through the anchored
+// product-DFA lane and through the racing dispatcher (thresholds forced
+// so every eligible problem races), holding the same parity line; a
+// randomized sweep of generated ^…$ patterns pins the anchored lane
+// against Z3 scratch on verdicts and model validity.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +25,8 @@
 #include "cegar/BackendDispatcher.h"
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 using namespace recap;
 
@@ -89,6 +96,146 @@ TEST_P(BackendDifferential, VerdictsCompatibleAndModelsValid) {
   if (SZ != SolveStatus::Unknown && SD != SolveStatus::Unknown)
     EXPECT_EQ(SZ, SD) << "/" << P.Pattern << "/ polarity "
                       << (P.Positive ? "+" : "-") << " (dispatched)";
+}
+
+TEST_P(BackendDifferential, AnchoredAndRacingLanesAgree) {
+  const DiffProbe &P = GetParam();
+  auto R = Regex::parse(P.Pattern, "");
+  ASSERT_TRUE(bool(R)) << P.Pattern;
+
+  // test()-style clauses: the anchored lane's eligibility shape. Probes
+  // whose pattern is not ^…$-anchored-exact simply route normally — the
+  // parity assertion covers both outcomes.
+  auto runTestStyle = [&](CegarSolver &Solver, const std::string &Name) {
+    SymbolicRegExp Sym(R->clone(), std::string("bt") + Name);
+    TermRef In = mkStrVar("in");
+    auto Q = Sym.test(In, mkIntConst(0));
+    std::vector<PathClause> PC = {PathClause::regex(Q, P.Positive)};
+    if (P.PinnedInput)
+      PC.push_back(PathClause::plain(
+          mkEq(In, mkStrConst(fromUTF8(P.PinnedInput)))));
+    CegarResult Res = Solver.solve(PC);
+    if (Res.Status == SolveStatus::Sat) {
+      TermEvaluator Eval;
+      auto InVal = Eval.evalString(Q->Input, Res.Model);
+      EXPECT_TRUE(InVal.has_value());
+      RegExpObject Oracle(R->clone());
+      EXPECT_EQ(Oracle.test(*InVal), P.Positive)
+          << Name << " produced '" << toUTF8(*InVal) << "' for /"
+          << P.Pattern << "/";
+    }
+    return Res.Status;
+  };
+
+  CegarOptions Opts;
+  Opts.Limits.TimeoutMs = 5000;
+
+  // Z3 scratch reference for the test()-style problem.
+  auto Z3Ref = makeZ3Backend();
+  CegarSolver Ref(*Z3Ref, Opts);
+  SolveStatus SZ = runTestStyle(Ref, "z3");
+
+  // Anchored lane on (the default policy), Unknown falls back to
+  // routing — so a decisive Z3 verdict must be matched.
+  auto Z3A = makeZ3Backend();
+  auto LocalA = makeLocalBackend();
+  BackendDispatcher DA(*LocalA, *Z3A);
+  CegarSolver Anchored(DA, Opts);
+  SolveStatus SA = runTestStyle(Anchored, "anchored");
+  if (SZ != SolveStatus::Unknown && SA != SolveStatus::Unknown)
+    EXPECT_EQ(SZ, SA) << "/" << P.Pattern << "/ polarity "
+                      << (P.Positive ? "+" : "-") << " (anchored lane)";
+
+  // Racing dispatcher: thresholds forced to zero so every anchored-
+  // eligible problem launches both lanes. First decisive answer wins,
+  // loser is cancelled — the verdict must still match Z3 scratch.
+  auto Z3R = makeZ3Backend();
+  auto LocalR = makeLocalBackend();
+  BackendDispatcher DR(*LocalR, *Z3R);
+  DR.policy().Race = true;
+  DR.policy().RaceClauseThreshold = 0;
+  DR.policy().RaceDensityThreshold = 0.0;
+  CegarSolver Raced(DR, Opts);
+  SolveStatus SR = runTestStyle(Raced, "race");
+  if (SZ != SolveStatus::Unknown && SR != SolveStatus::Unknown)
+    EXPECT_EQ(SZ, SR) << "/" << P.Pattern << "/ polarity "
+                      << (P.Positive ? "+" : "-") << " (racing)";
+}
+
+// Randomized anchored-pattern parity: generated ^…$ cores, both
+// polarities, anchored lane vs Z3 scratch. Seeded — failures reproduce.
+TEST(AnchoredRandomized, ParityWithZ3Scratch) {
+  std::mt19937 Rng(0xA11C0);
+  auto atom = [&Rng]() -> std::string {
+    switch (Rng() % 6) {
+    case 0: {
+      std::string S(1 + Rng() % 3, 'a');
+      for (char &C : S)
+        C = static_cast<char>('a' + Rng() % 4);
+      return S;
+    }
+    case 1:
+      return "[a-d]";
+    case 2:
+      return "(ab|cd|d)";
+    case 3:
+      return "[bc]*";
+    case 4:
+      return "(a|b)+";
+    default:
+      return "c?";
+    }
+  };
+  for (int I = 0; I < 32; ++I) {
+    std::string Pattern = "^";
+    unsigned NAtoms = 1 + Rng() % 4;
+    for (unsigned K = 0; K < NAtoms; ++K)
+      Pattern += atom();
+    Pattern += "$";
+    bool Positive = (Rng() % 2) == 0;
+
+    auto R = Regex::parse(Pattern, "");
+    ASSERT_TRUE(bool(R)) << Pattern;
+    CegarOptions Opts;
+    Opts.Limits.TimeoutMs = 5000;
+
+    auto solveWith = [&](CegarSolver &Solver,
+                         const std::string &Tag) -> SolveStatus {
+      SymbolicRegExp Sym(R->clone(), Tag + std::to_string(I));
+      TermRef In = mkStrVar("in");
+      auto Q = Sym.test(In, mkIntConst(0));
+      CegarResult Res = Solver.solve({PathClause::regex(Q, Positive)});
+      if (Res.Status == SolveStatus::Sat) {
+        TermEvaluator Eval;
+        auto InVal = Eval.evalString(Q->Input, Res.Model);
+        EXPECT_TRUE(InVal.has_value()) << Pattern;
+        RegExpObject Oracle(R->clone());
+        EXPECT_EQ(Oracle.test(*InVal), Positive)
+            << Tag << " produced '" << toUTF8(*InVal) << "' for /"
+            << Pattern << "/";
+      }
+      return Res.Status;
+    };
+
+    auto Z3 = makeZ3Backend();
+    CegarSolver Scratch(*Z3, Opts);
+    SolveStatus SZ = solveWith(Scratch, "rz");
+
+    auto Z3F = makeZ3Backend();
+    auto Local = makeLocalBackend();
+    BackendDispatcher DA(*Local, *Z3F);
+    CegarSolver Anchored(DA, Opts);
+    SolveStatus SA = solveWith(Anchored, "ra");
+
+    if (SZ != SolveStatus::Unknown && SA != SolveStatus::Unknown)
+      EXPECT_EQ(SZ, SA) << "/" << Pattern << "/ polarity "
+                        << (Positive ? "+" : "-");
+    // The generated patterns are all anchored-exact: the lane must have
+    // answered every one itself (ISSUE acceptance: 0% fallback on
+    // all-test() anchored probes).
+    EXPECT_EQ(DA.stats().AnchoredFallback.load(), 0u) << Pattern;
+    EXPECT_GE(DA.stats().AnchoredLaneHit.load(), 1u) << Pattern;
+  }
 }
 
 const DiffProbe Probes[] = {

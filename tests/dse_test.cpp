@@ -172,9 +172,10 @@ TEST(Dse, BackreferenceBranch) {
 }
 
 TEST(Dse, DispatchedEngineExploresBranches) {
-  // Feature-routed dispatch: the classical /^a+$/ clause goes to the
-  // engine-owned automata lane; coverage and answers must match the
-  // Z3-only run, and the routing counters must be live.
+  // Feature-routed dispatch: the anchored-exact /^a+$/ test() clause is
+  // claimed by the anchored product-DFA lane (which answers without a
+  // backend query); coverage and answers must match the Z3-only run,
+  // and the lane counters must be live.
   Program P;
   P.Params = {"s"};
   P.Body = block({
@@ -192,8 +193,12 @@ TEST(Dse, DispatchedEngineExploresBranches) {
   DseEngine Engine(*Backend, Opts);
   EngineResult R = Engine.run(P);
   EXPECT_EQ(R.Covered.size(), static_cast<size_t>(P.NumStmts));
-  EXPECT_GT(R.Runtime.DispatchClassical + R.Runtime.DispatchGeneral, 0u);
-  EXPECT_GT(R.LocalSolver.Queries + R.Solver.Queries, 0u);
+  EXPECT_GT(R.Runtime.DispatchClassical + R.Runtime.DispatchGeneral +
+                R.Runtime.AnchoredLaneHit,
+            0u);
+  EXPECT_GT(R.LocalSolver.Queries + R.Solver.Queries +
+                R.Runtime.AnchoredLaneHit,
+            0u);
 }
 
 TEST(Dse, StatsPlumbed) {

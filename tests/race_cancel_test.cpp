@@ -1,0 +1,169 @@
+//===- tests/race_cancel_test.cpp - checkAsync/cancel stress (Z3-free) -----===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Cancellation semantics of the async check primitive on LocalBackend
+// sessions — deliberately Z3-free so the suite can run under TSan (the
+// TSan CI job, alongside sched_test/snapshot_test) and hammer the
+// cross-thread cancel paths: the sticky atomic flag, the cooperative
+// polls inside automaton construction and the bounded search, and the
+// PR-2 session-state guarantees across cancelled checks (a cancelled
+// check must never poison session caches or the scope stack).
+//
+// Threading contract under test (smt/Solver.h): the owning thread runs
+// checks; while a checkAsync is in flight, any thread may call cancel()
+// — and nothing else. Each racing thread owns its own backend; SolverStats
+// fields are plain counters.
+//
+// Wall-clock assertions scale through the Z3-free localBudgetScale
+// (tests/CalibrationProbe.h) so loaded CI runners do not flake them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CalibrationProbe.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace recap;
+using namespace recap::testsupport;
+
+namespace {
+
+CRegexRef lang(const char *Pattern) {
+  auto R = Regex::parse(Pattern, "");
+  EXPECT_TRUE(bool(R)) << Pattern;
+  return approximateRegular(*R);
+}
+
+/// An Unsat problem whose proof is out of LocalBackend's reach: the two
+/// languages pin the same position (18th from the end) to 'a' and 'b'
+/// respectively, but each DFA needs 2^18 subset states — past the
+/// candidate builder's state limit — so the backend can only walk its
+/// bounded search until the deadline. Uncancelled, a check runs for the
+/// whole TimeoutMs; cancellation must cut it short.
+void assertHardUnsat(SolverSession &S, const std::string &Var) {
+  S.assertTerm(mkInRe(mkStrVar(Var), lang("(a|b)*a(a|b){17}")));
+  S.assertTerm(mkInRe(mkStrVar(Var), lang("(a|b)*b(a|b){17}")));
+}
+
+TEST(RaceCancel, CancelBeforeCheckShortCircuits) {
+  auto B = makeLocalBackend();
+  auto S = B->openSession();
+  S->assertTerm(mkInRe(mkStrVar("x"), lang("ab*c")));
+  S->cancel();
+  Assignment M;
+  SolverLimits L;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(S->check(M, L), SolveStatus::Unknown);
+  double Sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  // A pending cancel short-circuits before any solving starts.
+  EXPECT_LT(Sec, localScaledSeconds(1.0));
+  EXPECT_GE(B->stats().CancelledChecks, 1u);
+  // The flag is sticky until re-armed; after resetCancel the same
+  // session must answer decisively.
+  EXPECT_EQ(S->check(M, L), SolveStatus::Unknown);
+  S->resetCancel();
+  EXPECT_EQ(S->check(M, L), SolveStatus::Sat);
+}
+
+TEST(RaceCancel, CancelInterruptsInFlightCheck) {
+  auto B = makeLocalBackend();
+  auto S = B->openSession();
+  assertHardUnsat(*S, "x");
+  SolverLimits L;
+  L.TimeoutMs = 120000; // uncancelled, the search would run ~2 minutes
+  L.MaxNodes = static_cast<uint64_t>(1) << 50;
+  auto T0 = std::chrono::steady_clock::now();
+  auto A = S->checkAsync(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  S->cancel();
+  EXPECT_EQ(A->get(), SolveStatus::Unknown);
+  double Sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  // Far below the 120s deadline: the cancel, not the timeout, ended it.
+  EXPECT_LT(Sec, localScaledSeconds(20.0));
+  EXPECT_GE(B->stats().CancelledChecks, 1u);
+}
+
+TEST(RaceCancel, SessionStateSurvivesCancelledCheck) {
+  auto B = makeLocalBackend();
+  auto S = B->openSession();
+  // Scoped state: a satisfiable base layer plus a pushed refinement.
+  S->assertTerm(mkInRe(mkStrVar("x"), lang("a*b")));
+  S->push();
+  S->assertTerm(mkInRe(mkStrVar("x"), lang("(a|b)+")));
+  SolverLimits L;
+  // Cancel mid-flight (or before the walk starts — both must be safe).
+  auto A = S->checkAsync(L);
+  S->cancel();
+  SolveStatus Cancelled = A->get();
+  EXPECT_NE(Cancelled, SolveStatus::Unsat); // never a wrong verdict
+  // Re-armed, the same session with the same scopes answers decisively:
+  // a cancelled check left no poisoned candidate caches behind.
+  S->resetCancel();
+  Assignment M;
+  ASSERT_EQ(S->check(M, L), SolveStatus::Sat);
+  TermEvaluator Eval;
+  auto V = Eval.evalBool(mkInRe(mkStrVar("x"), lang("a*b")), M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(*V);
+  // Scope stack intact: popping the refinement keeps the base solvable.
+  S->pop(1);
+  EXPECT_EQ(S->check(M, L), SolveStatus::Sat);
+}
+
+TEST(RaceCancel, ConcurrentRacersOneBackendPerThread) {
+  // The racing dispatcher's shape: N independent sessions in flight at
+  // once, each cancelled from outside its owning thread. One backend
+  // per thread — SolverStats counters are not atomic, so two sessions
+  // of the same backend must never have overlapping checks.
+  constexpr int N = 4;
+  struct Racer {
+    std::unique_ptr<SolverBackend> B;
+    std::unique_ptr<SolverSession> S;
+    std::unique_ptr<SolverSession::AsyncCheck> A;
+  };
+  std::vector<Racer> Racers(N);
+  for (int I = 0; I < N; ++I) {
+    Racers[I].B = makeLocalBackend();
+    Racers[I].S = Racers[I].B->openSession();
+    assertHardUnsat(*Racers[I].S, "x" + std::to_string(I));
+    SolverLimits L;
+    L.TimeoutMs = 120000;
+    L.MaxNodes = static_cast<uint64_t>(1) << 50;
+    Racers[I].A = Racers[I].S->checkAsync(L);
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  // Staggered cross-thread cancels, the TSan-visible window.
+  for (int I = 0; I < N; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 * I));
+    Racers[I].S->cancel();
+  }
+  for (Racer &R : Racers)
+    EXPECT_EQ(R.A->get(), SolveStatus::Unknown);
+  double Sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  EXPECT_LT(Sec, localScaledSeconds(30.0));
+  // Every racer's check was accounted as cancelled, and every session
+  // stays usable afterwards.
+  for (Racer &R : Racers) {
+    EXPECT_GE(R.B->stats().CancelledChecks, 1u);
+    R.S->resetCancel();
+    Assignment M;
+    SolverLimits Quick;
+    Quick.TimeoutMs = 200;
+    EXPECT_NE(R.S->check(M, Quick), SolveStatus::Sat); // still unsat-ish
+  }
+}
+
+} // namespace
