@@ -155,6 +155,42 @@ void BM_Race(benchmark::State &State) {
 }
 BENCHMARK(BM_Race)->Unit(benchmark::kMillisecond);
 
+// --- 4. Reliability layer overhead -----------------------------------------
+
+// The same anchored probe set with the DESIGN.md §9 guard enabled and no
+// fault injected: guarded sessions, breakers and quarantine on the hot
+// path must be near-free (the ISSUE acceptance bounds the healthy-path
+// overhead), and every reliability counter must read zero — a nonzero
+// guard_timeouts on this bench means deadlines are misconfigured, not
+// that the machine is slow.
+void BM_GuardedAnchoredLane(benchmark::State &State) {
+  auto Z3 = makeZ3Backend();
+  auto Local = makeLocalBackend();
+  BackendDispatcher D(*Local, *Z3);
+  auto Stats = std::make_shared<RuntimeStats>();
+  CegarOptions Opts = benchOptions(20000);
+  Opts.Reliability.Enabled = true;
+  Opts.Reliability.CheckDeadlineMs = 20000;
+  Opts.Reliability.Stats = Stats;
+  int Round = 0, Decisive = 0;
+  for (auto _ : State) {
+    CegarSolver Solver(D, Opts);
+    Decisive = runProbes(Solver, /*Positive=*/true, Round++);
+  }
+  State.counters["decisive"] = static_cast<double>(Decisive);
+  State.counters["guard_timeouts"] =
+      static_cast<double>(Stats->GuardTimeouts.load());
+  State.counters["guard_retries"] =
+      static_cast<double>(Stats->GuardRetries.load());
+  State.counters["breaker_opens"] =
+      static_cast<double>(Stats->BreakerOpens.load());
+  State.counters["breaker_reroutes"] =
+      static_cast<double>(D.stats().BreakerReroutes.load());
+  State.counters["quarantined"] =
+      static_cast<double>(Stats->Quarantined.load());
+}
+BENCHMARK(BM_GuardedAnchoredLane)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -166,6 +202,13 @@ int main(int argc, char **argv) {
           double Speedup = Z3 / Lane;
           R.setCounter("BM_AnchoredLane", "speedup_vs_z3", Speedup);
           std::printf("anchored lane vs Z3 scratch: %.1fx\n", Speedup);
+        }
+        double Guarded = R.medianNs("BM_GuardedAnchoredLane");
+        if (Lane > 0 && Guarded > 0) {
+          double Overhead = Guarded / Lane - 1.0;
+          R.setCounter("BM_GuardedAnchoredLane", "guard_overhead", Overhead);
+          std::printf("reliability guard overhead on anchored lane: %.1f%%\n",
+                      Overhead * 100.0);
         }
       });
 }

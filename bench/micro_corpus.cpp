@@ -89,6 +89,47 @@ BENCHMARK(BM_CorpusDse)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// --- 1b. Corpus DSE with the reliability layer on --------------------------
+
+// The BM_CorpusDse/2 configuration plus DESIGN.md §9 guards (watchdog
+// deadlines, breakers, quarantine), no fault injected: the healthy-path
+// cost of the layer at corpus scale, with the corpus-wide reliability
+// counters in the JSON. All of them should read zero here; the derived
+// guard_overhead against the unguarded 2-worker row is the number the
+// ISSUE acceptance bounds.
+void BM_CorpusDseGuarded(benchmark::State &State) {
+  const std::vector<Program> &Programs = corpusPrograms();
+  uint64_t Tests = 0;
+  RuntimeStats Window;
+  for (auto _ : State) {
+    DseCorpusOptions Opts;
+    Opts.Engine.MaxTests = 16;
+    Opts.Engine.MaxSeconds = 20;
+    Opts.Engine.BackendFactory = [] { return makeLocalBackend(); };
+    Opts.Engine.Cegar.Reliability.Enabled = true;
+    Opts.Engine.Cegar.Reliability.CheckDeadlineMs = 20000;
+    Opts.Workers = 2;
+    Opts.ShardsPerTask = 2;
+    Opts.ClampWorkers = false;
+    DseCorpusResult R = runDseCorpus(Programs, Opts);
+    Tests = R.totalTests();
+    Window = R.Runtime;
+    benchmark::DoNotOptimize(R.Results.data());
+  }
+  State.counters["tests"] = static_cast<double>(Tests);
+  State.counters["guard_timeouts"] =
+      static_cast<double>(Window.GuardTimeouts.load());
+  State.counters["guard_retries"] =
+      static_cast<double>(Window.GuardRetries.load());
+  State.counters["breaker_opens"] =
+      static_cast<double>(Window.BreakerOpens.load());
+  State.counters["quarantined"] =
+      static_cast<double>(Window.Quarantined.load());
+  State.counters["worker_spawn_fallbacks"] =
+      static_cast<double>(Window.WorkerSpawnFallbacks.load());
+}
+BENCHMARK(BM_CorpusDseGuarded)->Unit(benchmark::kMillisecond);
+
 // --- 2. Snapshot warm start vs cold start ----------------------------------
 
 const std::vector<std::string> &corpusLiterals() {
@@ -182,6 +223,14 @@ void attachDerived(recap::bench::JsonReporter &R) {
     if (TW > 0)
       std::printf("  %-24s %8.1f ms   %.2fx\n", Name.c_str(), TW / 1e6,
                   Speedup);
+  }
+  double T2 = R.medianNs("BM_CorpusDse/2");
+  double Guarded = R.medianNs("BM_CorpusDseGuarded");
+  if (T2 > 0 && Guarded > 0) {
+    double Overhead = Guarded / T2 - 1.0;
+    R.setCounter("BM_CorpusDseGuarded", "guard_overhead", Overhead);
+    std::printf("  reliability guard overhead at 2 workers: %.1f%%\n",
+                Overhead * 100.0);
   }
   double Cold = R.medianNs("BM_CorpusFirstQueryCold");
   double Warm = R.medianNs("BM_CorpusFirstQueryWarm");

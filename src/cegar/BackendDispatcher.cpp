@@ -79,6 +79,53 @@ bool BackendDispatcher::isAnchoredProblem(
   return AnyRegex;
 }
 
+void BackendDispatcher::configureBreakers(CircuitBreaker::Options Opts,
+                                          StatCounter *Opens) {
+  BreakClassical = std::make_unique<CircuitBreaker>(Opts, Opens);
+  BreakGeneral = std::make_unique<CircuitBreaker>(Opts, Opens);
+}
+
+CircuitBreaker *BackendDispatcher::breakerFor(SolverBackend *B) {
+  if (B == Classical)
+    return BreakClassical.get();
+  if (B == General)
+    return BreakGeneral.get();
+  return nullptr;
+}
+
+bool BackendDispatcher::laneOpen(SolverBackend *B) {
+  CircuitBreaker *Br = breakerFor(B);
+  return Br && Br->isOpen();
+}
+
+void BackendDispatcher::degradeForBreakers(DispatchDecision &D) {
+  if (!BreakClassical && !BreakGeneral)
+    return;
+  if (D.Lane == DispatchLane::Classical && laneOpen(Classical)) {
+    if (!laneOpen(General)) {
+      D.Lane = DispatchLane::General;
+      D.Backend = General;
+      ++Stats->BreakerReroutes;
+    } else {
+      D.Lane = DispatchLane::Degraded;
+      D.Backend = nullptr;
+    }
+  } else if (D.Lane == DispatchLane::General && laneOpen(General)) {
+    if (!laneOpen(Classical)) {
+      // Sound detour: the classical lane solves the same term-level
+      // problem over the same classical approximations — its Sat models
+      // still go through CEGAR validation, its Unsat only comes from an
+      // exhaustive proof, and anything else is Unknown.
+      D.Lane = DispatchLane::Classical;
+      D.Backend = Classical;
+      ++Stats->BreakerReroutes;
+    } else {
+      D.Lane = DispatchLane::Degraded;
+      D.Backend = nullptr;
+    }
+  }
+}
+
 SolverBackend &BackendDispatcher::route(
     const std::vector<PathClause> &Clauses) {
   if (isClassicalProblem(Clauses)) {
@@ -154,8 +201,9 @@ BackendDispatcher::decide(const std::vector<PathClause> &Clauses) {
     // Race only when the anchored lane has something to race with: a
     // non-viable plan (short of an Unsat certificate) answers Unknown
     // immediately, which the plain fallback path handles without the
-    // thread fan-out.
-    if (Policy.Race && D.Plan.Viable && Ambiguous)
+    // thread fan-out. An open general-lane breaker also suppresses the
+    // race — its half of the fan-out would be burning a known-bad lane.
+    if (Policy.Race && D.Plan.Viable && Ambiguous && !laneOpen(General))
       D.Lane = DispatchLane::Race;
     return D;
   }
@@ -168,5 +216,6 @@ BackendDispatcher::decide(const std::vector<PathClause> &Clauses) {
     D.Lane = DispatchLane::General;
     D.Backend = General;
   }
+  degradeForBreakers(D);
   return D;
 }

@@ -36,12 +36,17 @@
 
 #include "cegar/AnchoredLane.h"
 #include "cegar/CegarSolver.h"
+#include "reliability/CircuitBreaker.h"
 #include "runtime/CompiledRegex.h"
 
 namespace recap {
 
 /// Which lane a problem was assigned to (see file comment for the table).
-enum class DispatchLane : uint8_t { Classical, General, Anchored, Race };
+/// Degraded only appears when breakers are configured (reliability layer)
+/// and every lane's breaker is open: the problem is answered Unknown
+/// without touching a backend — sound, since Unknown is always sound —
+/// until a cooldown lets a lane probe again.
+enum class DispatchLane : uint8_t { Classical, General, Anchored, Race, Degraded };
 
 /// Lane-selection knobs. The product limits feed straight into
 /// automata/ProductLane; the race thresholds mark the
@@ -111,7 +116,23 @@ public:
   SolverBackend &classical() { return *Classical; }
   SolverBackend &general() { return *General; }
   const RuntimeStats &stats() const { return *Stats; }
+  const std::shared_ptr<RuntimeStats> &statsHandle() const { return Stats; }
   DispatchPolicy &policy() { return Policy; }
+
+  /// Attaches one circuit breaker per lane (reliability layer; DESIGN.md
+  /// §9). Once configured, decide() degrades away from an open lane:
+  /// classical-open reroutes to the general lane, general-open reroutes
+  /// to the classical lane (sound — the classical lane solves the same
+  /// term-level problem, worst case Unknown), both-open yields
+  /// DispatchLane::Degraded, and racing is suppressed while the general
+  /// lane is open. \p Opens (optional) receives breaker-trip counts.
+  void configureBreakers(CircuitBreaker::Options Opts,
+                         StatCounter *Opens = nullptr);
+  /// The breaker guarding \p B's lane, or null when not configured (or
+  /// \p B is neither lane's backend).
+  CircuitBreaker *breakerFor(SolverBackend *B);
+  /// True when \p B's lane has a breaker and it is currently open.
+  bool laneOpen(SolverBackend *B);
 
   /// Records a classical-lane Unknown that was re-run on the general
   /// lane (called by CegarSolver).
@@ -142,11 +163,19 @@ private:
   std::shared_ptr<const AnchoredProduct>
   productFor(const AnchoredVarPlan &V);
 
+  /// Post-routing breaker pass: reroutes a Classical/General decision off
+  /// an open lane (or to Degraded when every lane is open). No-op until
+  /// configureBreakers().
+  void degradeForBreakers(DispatchDecision &D);
+
   std::unique_ptr<SolverBackend> OwnedClassical;
   SolverBackend *Classical;
   SolverBackend *General;
   std::shared_ptr<RuntimeStats> Stats;
   DispatchPolicy Policy;
+  /// Per-lane breakers (null until configureBreakers). Single-threaded
+  /// like the dispatcher itself: each shard owns its own.
+  std::unique_ptr<CircuitBreaker> BreakClassical, BreakGeneral;
 
   using ProductKey = std::vector<std::pair<CRegexRef, bool>>;
   std::map<ProductKey, std::shared_ptr<const AnchoredProduct>> Products;

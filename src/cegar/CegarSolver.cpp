@@ -8,6 +8,7 @@
 
 #include "cegar/AnchoredLane.h"
 #include "cegar/BackendDispatcher.h"
+#include "reliability/GuardedSession.h"
 
 #include <atomic>
 #include <cassert>
@@ -41,11 +42,49 @@ TermRef RegexQuery::negativeAssertion() const {
 }
 
 CegarSolver::CegarSolver(SolverBackend &Backend, CegarOptions Opts)
-    : Backend(Backend), Opts(Opts), Cache(Opts.QueryCacheCapacity) {}
+    : Backend(Backend), Opts(Opts), Cache(Opts.QueryCacheCapacity) {
+  if (this->Opts.Reliability.Enabled) {
+    RelStats = this->Opts.Reliability.Stats;
+    if (!RelStats)
+      RelStats = std::make_shared<RuntimeStats>();
+    Quar = this->Opts.Reliability.SharedQuarantine;
+    if (!Quar)
+      Quar = std::make_shared<Quarantine>(
+          this->Opts.Reliability.QuarantinePolicy);
+    SoloBreaker = std::make_unique<CircuitBreaker>(
+        this->Opts.Reliability.Breaker, &RelStats->BreakerOpens);
+  }
+}
 
 CegarSolver::CegarSolver(BackendDispatcher &Dispatch, CegarOptions Opts)
     : Backend(Dispatch.general()), Dispatch(&Dispatch), Opts(Opts),
-      Cache(Opts.QueryCacheCapacity) {}
+      Cache(Opts.QueryCacheCapacity) {
+  if (this->Opts.Reliability.Enabled) {
+    RelStats = this->Opts.Reliability.Stats;
+    if (!RelStats)
+      RelStats = Dispatch.statsHandle();
+    Quar = this->Opts.Reliability.SharedQuarantine;
+    if (!Quar)
+      Quar = std::make_shared<Quarantine>(
+          this->Opts.Reliability.QuarantinePolicy);
+    Dispatch.configureBreakers(this->Opts.Reliability.Breaker,
+                               &RelStats->BreakerOpens);
+  }
+}
+
+std::unique_ptr<SolverSession> CegarSolver::openGuarded(SolverBackend &B) {
+  std::unique_ptr<SolverSession> S = B.openSession();
+  if (!Opts.Reliability.Enabled)
+    return S;
+  return std::make_unique<GuardedSession>(B, std::move(S), Opts.Reliability,
+                                          breakerFor(&B), RelStats);
+}
+
+CircuitBreaker *CegarSolver::breakerFor(SolverBackend *B) {
+  if (Dispatch)
+    return Dispatch->breakerFor(B);
+  return SoloBreaker.get();
+}
 
 namespace {
 
@@ -95,9 +134,13 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
   // Query-result cache: canonicalize the problem up to variable renaming.
   // The key also pins each regex clause's source, polarity and validation
   // mode, since validation consults the concrete matcher, not the terms.
+  // The quarantine shares the key (α-equivalent restatements of a tarpit
+  // share a burn count), so it is also built when only that needs it.
   std::string Key;
   std::vector<std::string> VarNames;
-  if (Opts.QueryCacheCapacity != 0) {
+  const bool WantKey =
+      Opts.QueryCacheCapacity != 0 || (Opts.Reliability.Enabled && Quar);
+  if (WantKey) {
     for (const PathClause &C : Clauses)
       if (C.Query) {
         // Length-prefixed so patterns containing the delimiters cannot
@@ -116,7 +159,8 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
     // The identical key guarantees a positional variable bijection; a
     // size mismatch would mean a key collision, so treat it as a miss
     // rather than replaying a foreign model.
-    CacheEntry *E = Cache.find(Key);
+    CacheEntry *E =
+        Opts.QueryCacheCapacity != 0 ? Cache.find(Key) : nullptr;
     if (E && E->VarOrder.size() == VarNames.size()) {
       ++Stats.CacheHits;
       CegarResult Hit;
@@ -145,7 +189,24 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
               .count();
       return Hit;
     }
-    ++Stats.CacheMisses;
+    if (Opts.QueryCacheCapacity != 0)
+      ++Stats.CacheMisses;
+  }
+
+  // Quarantined problems (repeat deadline-burners, see recordBurn below)
+  // are skipped outright: Unknown with a reason, no backend touched. A
+  // cached decisive result above still wins — it is already validated.
+  if (Opts.Reliability.Enabled && Quar && WantKey && Quar->shouldSkip(Key)) {
+    if (RelStats)
+      ++RelStats->QuarantineHits;
+    CegarResult Out;
+    Out.Status = SolveStatus::Unknown;
+    Out.Reason = "quarantined";
+    double Sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    Stats.SolverSeconds += Sec;
+    return Out;
   }
 
   SolverBackend *B = &Backend;
@@ -178,19 +239,42 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
     case DispatchLane::General:
       B = Dec.Backend;
       break;
+    case DispatchLane::Degraded:
+      // Every lane's breaker is open: answer Unknown without burning
+      // time on a known-bad backend. Sound — Unknown is always sound —
+      // and annotated so callers can tell degradation from a genuine
+      // solver Unknown.
+      Out.Status = SolveStatus::Unknown;
+      Out.Reason = "breaker-degraded";
+      if (RelStats)
+        ++RelStats->BreakerShortCircuits;
+      Done = true;
+      break;
     }
   }
   if (!Done) {
     Out = runProblem(*B, P, Regexes);
     if (Dispatch && Out.Status == SolveStatus::Unknown &&
-        B != &Dispatch->general()) {
+        B != &Dispatch->general() &&
+        !Dispatch->laneOpen(&Dispatch->general())) {
       // The classical lane gave up; routing must never lose answers, so
-      // re-run the whole problem on the general backend.
+      // re-run the whole problem on the general backend (unless its
+      // breaker is open — then Unknown stands until the cooldown).
       ++Stats.FallbackSolves;
       Dispatch->noteFallback();
+      unsigned Burns = Out.GuardBurns;
       Out = runProblem(Dispatch->general(), P, Regexes);
+      Out.GuardBurns += Burns;
     }
   }
+
+  // Quarantine bookkeeping — before the cache insert below, which moves
+  // Key. One burn mark per solve() call that hit a watchdog deadline:
+  // the threshold then means "distinct runs burned", not "retries within
+  // one run".
+  if (Opts.Reliability.Enabled && Quar && WantKey && Out.GuardBurns > 0 &&
+      Quar->recordBurn(Key) && RelStats)
+    ++RelStats->Quarantined;
 
   // Memoize decisive results (Unknown stays retryable by design). A key
   // collision (see above) would re-insert an existing key; skip it.
@@ -232,15 +316,18 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
   SolverSession *Sess = nullptr;
   Pinned *PS = nullptr;
   std::vector<TermRef> Work; // stateless mode: the grown conjunction
+  // Reliability forces sessions on: a guarded check must be cancellable
+  // from the watchdog thread, which a scratch Backend::solve is not.
   bool UseSession =
       Opts.Sessions == CegarOptions::SessionPolicy::Always ||
       (Opts.Sessions == CegarOptions::SessionPolicy::Auto &&
-       B.prefersIncremental());
+       B.prefersIncremental()) ||
+      Opts.Reliability.Enabled;
   if (UseSession) {
     ++Stats.SessionSolves;
     PS = &Sessions[&B];
     if (!PS->S) {
-      PS->S = B.openSession();
+      PS->S = openGuarded(B);
       PS->Scopes.clear();
     }
     // Sync the session to this problem's clause prefix: pop down to the
@@ -272,6 +359,14 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
     ++Stats.StatelessSolves;
     Work = P;
   }
+
+  // Watchdog-burn window for this problem (feeds the quarantine): the
+  // pinned session is guarded exactly when the layer is enabled.
+  GuardedSession *G =
+      Opts.Reliability.Enabled && Sess
+          ? static_cast<GuardedSession *>(PS->S.get())
+          : nullptr;
+  uint64_t Burns0 = G ? G->timeouts() : 0;
 
   // On Unknown the pinned session is dropped afterwards: the engine
   // re-queues Unknown flips, and a retry deserves a fresh solver rather
@@ -336,6 +431,9 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
   }
 
   if (Sess) {
+    // Read the burn delta before the erase below can destroy the session.
+    if (G)
+      Out.GuardBurns = static_cast<unsigned>(G->timeouts() - Burns0);
     PS->S->pop(1); // drop the ephemeral query scope
     if (DropSession)
       Sessions.erase(&B);
@@ -489,6 +587,11 @@ CegarResult CegarSolver::raceProblem(const std::vector<PathClause> &Clauses,
     return solveAnchored(Clauses, Plan, &ClassicalCancel);
   });
   auto GeneralFut = std::async(std::launch::async, [&] {
+    // Deliberately unguarded even with the reliability layer on: the race
+    // coordinator already owns this session's cancellation (the loser is
+    // cancelled the moment a winner lands), so a watchdog would only
+    // fight it; and decide() suppresses racing while the general lane's
+    // breaker is open.
     std::unique_ptr<SolverSession> S = Dispatch->general().openSession();
     {
       std::lock_guard<std::mutex> L(SessMu);

@@ -19,6 +19,7 @@
 
 #include "matcher/Matcher.h"
 #include "model/ModelBuilder.h"
+#include "reliability/Reliability.h"
 #include "smt/Solver.h"
 #include "support/LruMap.h"
 
@@ -124,6 +125,12 @@ struct CegarOptions {
   };
   SessionPolicy Sessions = SessionPolicy::Auto;
   SolverLimits Limits;
+  /// Reliability layer (DESIGN.md §9): when Enabled, every problem runs
+  /// through a watchdog-guarded session (which implies sessions on every
+  /// backend — a guarded check must be cancellable, and a scratch
+  /// Backend::solve is not), lane breakers steer dispatch away from
+  /// misbehaving backends, and repeat deadline-burners are quarantined.
+  ReliabilityOptions Reliability;
 };
 
 /// Min/max/mean accumulation for one query category (Table 8 rows).
@@ -223,6 +230,11 @@ struct CegarResult {
   Assignment Model;
   unsigned Refinements = 0;
   bool HitRefinementLimit = false;
+  /// Reliability annotations (empty/zero unless the layer is enabled):
+  /// why an Unknown was degraded ("quarantined", "all lanes open") and
+  /// how many watchdog deadlines this problem burned.
+  std::string Reason;
+  unsigned GuardBurns = 0;
 };
 
 class BackendDispatcher;
@@ -290,6 +302,13 @@ private:
   CegarResult runProblem(SolverBackend &B, const std::vector<TermRef> &P,
                          const std::vector<TrackedQuery> &Regexes);
 
+  /// Opens a session on \p B, wrapped in a GuardedSession when the
+  /// reliability layer is enabled.
+  std::unique_ptr<SolverSession> openGuarded(SolverBackend &B);
+  /// The breaker guarding \p B: the dispatcher's lane breaker, or the
+  /// solo breaker of a dispatcher-less solver. Null when disabled.
+  CircuitBreaker *breakerFor(SolverBackend *B);
+
   /// One candidate model measured against the concrete matcher.
   struct CandidateValidation {
     bool Failed = false; ///< at least one clause disagreed; refine
@@ -330,6 +349,13 @@ private:
   BackendDispatcher *Dispatch = nullptr;
   CegarOptions Opts;
   CegarStats Stats;
+  /// Reliability state (all null when the layer is disabled): counter
+  /// destination, the quarantine table (shared or private), and the
+  /// breaker for the dispatcher-less single-backend configuration (with
+  /// a dispatcher the per-lane breakers live there).
+  std::shared_ptr<RuntimeStats> RelStats;
+  std::shared_ptr<Quarantine> Quar;
+  std::unique_ptr<CircuitBreaker> SoloBreaker;
   TermEvaluator Eval;
   LruMap<CacheEntry> Cache;
   std::map<SolverBackend *, Pinned> Sessions;

@@ -27,6 +27,19 @@ DseCorpusResult recap::runDseCorpus(const std::vector<Program> &Programs,
     return Out;
   }
 
+  // One quarantine for the whole corpus (reliability layer, DESIGN.md
+  // §9): a query that burned its deadline under program A is skipped when
+  // program B reaches the same α-canonical key. Persisted like the
+  // pattern snapshot so the skip list survives across processes.
+  std::shared_ptr<Quarantine> Quar =
+      Opts.Engine.Cegar.Reliability.SharedQuarantine;
+  if (Opts.Engine.Cegar.Reliability.Enabled && !Quar) {
+    Quar =
+        std::make_shared<Quarantine>(Opts.Engine.Cegar.Reliability.QuarantinePolicy);
+    if (!Opts.QuarantineSnapshot.empty())
+      Quar->load(Opts.QuarantineSnapshot); // absent/corrupt = empty
+  }
+
   sched::CorpusSchedulerOptions SchedOpts;
   SchedOpts.Workers = Opts.Workers;
   SchedOpts.ShardsPerTask = Opts.ShardsPerTask; // 0 normalized by ctor
@@ -47,14 +60,32 @@ DseCorpusResult recap::runDseCorpus(const std::vector<Program> &Programs,
       E.ClampWorkers = false;
       // Snapshot handling is corpus-level (loaded once above).
       E.CacheSnapshot.clear();
-      std::unique_ptr<SolverBackend> Anchor = E.BackendFactory();
-      DseEngine Engine(*Anchor, E);
-      Out.Results[I] = Engine.run(Programs[I]);
+      // Every task's shards burn into (and skip from) the same list.
+      if (Quar)
+        E.Cegar.Reliability.SharedQuarantine = Quar;
+      try {
+        std::unique_ptr<SolverBackend> Anchor = E.BackendFactory();
+        DseEngine Engine(*Anchor, E);
+        Out.Results[I] = Engine.run(Programs[I]);
+      } catch (const std::exception &Ex) {
+        // A task that cannot even build its anchor backend yields an
+        // empty result for its program; the rest of the corpus runs.
+        Out.Results[I].Errors.push_back(
+            {EngineErrorKind::BackendConstruction, -1, Ex.what()});
+      } catch (...) {
+        Out.Results[I].Errors.push_back({EngineErrorKind::BackendConstruction,
+                                         -1, "non-standard exception"});
+      }
     });
 
   Out.Sched = Sched.run();
   Out.Runtime = Out.RuntimeHandle->stats().since(Before);
   if (!Opts.SaveSnapshot.empty())
     Out.SnapshotSaved = Out.RuntimeHandle->save(Opts.SaveSnapshot);
+  if (Quar) {
+    Out.QuarantinedKeys = Quar->quarantined();
+    if (!Opts.QuarantineSnapshot.empty())
+      Out.QuarantineSaved = Quar->save(Opts.QuarantineSnapshot);
+  }
   return Out;
 }

@@ -49,6 +49,12 @@ struct DseCorpusOptions {
   /// When non-empty, the shared runtime is saved here after the corpus
   /// finishes, so the next process starts warm.
   std::string SaveSnapshot;
+  /// With Engine.Cegar.Reliability.Enabled: quarantine sidecar path.
+  /// Loaded into the corpus-wide shared Quarantine before any task runs
+  /// (burn counts merge by max; corrupt/absent = empty, never an error)
+  /// and saved back afterwards, so queries that repeatedly burned their
+  /// deadline are skipped across processes, like the pattern snapshot.
+  std::string QuarantineSnapshot;
   /// Shared runtime for the whole corpus; created when null.
   std::shared_ptr<RegexRuntime> Runtime;
 };
@@ -74,6 +80,11 @@ struct DseCorpusResult {
   /// false with SaveSnapshot set means the next process starts cold
   /// (unwritable path, full disk) and the caller should say so.
   bool SnapshotSaved = false;
+  /// Keys quarantined by the end of the corpus (0 when the reliability
+  /// layer is off).
+  size_t QuarantinedKeys = 0;
+  /// SnapshotSaved's analogue for QuarantineSnapshot.
+  bool QuarantineSaved = false;
   /// The shared runtime, for chaining further phases or saving again.
   std::shared_ptr<RegexRuntime> RuntimeHandle;
 

@@ -46,6 +46,15 @@ struct QueuedTest {
   int Bucket; ///< site id of the flipped clause (CUPA bucket key)
 };
 
+/// Per-run/per-shard cap on recorded EngineErrors — diagnostics, not a
+/// log: past this the errors repeat and only the first few matter.
+constexpr size_t MaxEngineErrors = 8;
+
+/// A shard that throws this many times in a row is aborted (its
+/// partition is served by work-stealing): the stack is likely wedged
+/// beyond what clearSessions() repairs.
+constexpr unsigned MaxConsecutiveThrows = 8;
+
 } // namespace
 
 EngineResult DseEngine::run(const Program &P) {
@@ -53,11 +62,16 @@ EngineResult DseEngine::run(const Program &P) {
   // worker clamp are resolved once here, shared by both paths.
   std::shared_ptr<RegexRuntime> Runtime =
       Opts.Runtime ? Opts.Runtime : std::make_shared<RegexRuntime>();
+  // Guarded-check counters (timeouts, retries, breaker trips) belong in
+  // the same window as everything else the run reports.
+  if (Opts.Cegar.Reliability.Enabled && !Opts.Cegar.Reliability.Stats)
+    Opts.Cegar.Reliability.Stats = Runtime->statsHandle();
   // A supplied runtime is cumulative across runs; report this run's
   // window only (snapshot loads and clamp events included).
   RuntimeStats Before = Runtime->stats();
+  SnapshotLoadResult Snap;
   if (!Opts.CacheSnapshot.empty())
-    Runtime->loadOnce(Opts.CacheSnapshot);
+    Snap = Runtime->loadOnce(Opts.CacheSnapshot);
 
   size_t W = WorkerPool::resolveWorkers(Opts.Workers);
   if (Opts.ClampWorkers) {
@@ -66,9 +80,14 @@ EngineResult DseEngine::run(const Program &P) {
     if (Clamped)
       ++Runtime->statsHandle()->WorkersClamped;
   }
-  if (W <= 1)
-    return runSerial(P, Runtime, Before);
-  return runParallel(P, W, Runtime, Before);
+  EngineResult Out =
+      W <= 1 ? runSerial(P, Runtime, Before) : runParallel(P, W, Runtime, Before);
+  // A cold load is a degradation worth reporting, not an error to die on
+  // (the run simply paid full compilation cost).
+  if (Snap.Cold)
+    Out.Errors.push_back(
+        {EngineErrorKind::SnapshotError, -1, Snap.Error});
+  return Out;
 }
 
 EngineResult DseEngine::runSerial(const Program &P,
@@ -168,7 +187,26 @@ EngineResult DseEngine::runSerial(const Program &P,
         Problem.push_back(Tr.Path[I].Clause);
       Problem.push_back(Tr.Path[Flip].Clause.negated());
 
-      CegarResult R = Solver.solve(Problem);
+      CegarResult R;
+      try {
+        R = Solver.solve(Problem);
+      } catch (const std::exception &E) {
+        // A throw past the CEGAR layer (backend bug, injected fault) must
+        // not take the whole run down: drop this flip — the result is the
+        // same as a non-retryable Unknown — and reset the pinned sessions,
+        // whose ephemeral scopes the aborted solve may have left
+        // desynchronized from the backend.
+        if (Out.Errors.size() < MaxEngineErrors)
+          Out.Errors.push_back({EngineErrorKind::SolverThrow, -1, E.what()});
+        Solver.clearSessions();
+        continue;
+      } catch (...) {
+        if (Out.Errors.size() < MaxEngineErrors)
+          Out.Errors.push_back(
+              {EngineErrorKind::SolverThrow, -1, "non-standard exception"});
+        Solver.clearSessions();
+        continue;
+      }
       if (R.Status == SolveStatus::Unknown) {
         // Solver gave up (timeout / refinement limit); a later attempt
         // often succeeds, so keep the flip target live and queue this
@@ -223,6 +261,10 @@ struct Shard {
   ShardStats Window;
   std::set<int> Covered;
   std::vector<int> FailedAsserts;
+  // Contained failures (DESIGN.md §9): solver throws survived, or the
+  // reason this shard aborted. Merged into EngineResult::Errors.
+  std::vector<EngineError> Errors;
+  unsigned ConsecutiveThrows = 0;
 };
 
 } // namespace
@@ -320,24 +362,53 @@ EngineResult DseEngine::runParallel(
 
   Sched.enqueue(InputMap(), -1);
 
-  WorkerPool::runShards(W, [&](size_t Idx) {
+  size_t Fallbacks = WorkerPool::runShards(W, [&](size_t Idx) {
     Shard &Me = *Shards[Idx];
     // The whole stack is built on this thread so thread-affine backend
-    // state (Z3 contexts) is born where it is used.
-    Me.Backend = Opts.BackendFactory();
-    if (Opts.Dispatch) {
-      Me.LocalLane = makeLocalBackend();
-      Me.Dispatcher = std::make_unique<BackendDispatcher>(
-          *Me.LocalLane, *Me.Backend, Runtime->statsHandle());
-      Me.Dispatcher->policy().AnchoredLane = Opts.DispatchAnchored;
-      Me.Dispatcher->policy().Race = Opts.DispatchRacing;
-      Me.Solver = std::make_unique<CegarSolver>(*Me.Dispatcher, Opts.Cegar);
-    } else {
-      Me.Solver = std::make_unique<CegarSolver>(*Me.Backend, Opts.Cegar);
+    // state (Z3 contexts) is born where it is used. Construction failure
+    // (factory throw, backend init) costs only this shard — its
+    // partition is served by the other shards' work-stealing.
+    try {
+      Me.Backend = Opts.BackendFactory();
+      if (Opts.Dispatch) {
+        Me.LocalLane = makeLocalBackend();
+        Me.Dispatcher = std::make_unique<BackendDispatcher>(
+            *Me.LocalLane, *Me.Backend, Runtime->statsHandle());
+        Me.Dispatcher->policy().AnchoredLane = Opts.DispatchAnchored;
+        Me.Dispatcher->policy().Race = Opts.DispatchRacing;
+        Me.Solver = std::make_unique<CegarSolver>(*Me.Dispatcher, Opts.Cegar);
+      } else {
+        Me.Solver = std::make_unique<CegarSolver>(*Me.Backend, Opts.Cegar);
+      }
+      Me.Ctx = std::make_unique<SymbolicContext>(Opts.Level, Runtime);
+      Me.Interp =
+          std::make_unique<Interpreter>(*Me.Ctx, Opts.MaxWhileIterations);
+    } catch (const std::exception &E) {
+      Me.Errors.push_back(
+          {EngineErrorKind::ShardFailure, static_cast<int>(Idx),
+           std::string("shard stack construction failed: ") + E.what()});
+      return;
+    } catch (...) {
+      Me.Errors.push_back(
+          {EngineErrorKind::ShardFailure, static_cast<int>(Idx),
+           "shard stack construction failed: non-standard exception"});
+      return;
     }
-    Me.Ctx = std::make_unique<SymbolicContext>(Opts.Level, Runtime);
-    Me.Interp =
-        std::make_unique<Interpreter>(*Me.Ctx, Opts.MaxWhileIterations);
+
+    auto RecordThrow = [&](const char *What) {
+      if (Me.Errors.size() < MaxEngineErrors)
+        Me.Errors.push_back(
+            {EngineErrorKind::SolverThrow, static_cast<int>(Idx), What});
+      // The aborted solve may have left pinned ephemeral scopes
+      // desynchronized from the backend; rebuild them next problem.
+      Me.Solver->clearSessions();
+      if (++Me.ConsecutiveThrows < MaxConsecutiveThrows)
+        return true;
+      Me.Errors.push_back(
+          {EngineErrorKind::ShardFailure, static_cast<int>(Idx),
+           "shard aborted after repeated solver throws"});
+      return false;
+    };
 
     for (;;) {
       if (Elapsed() >= Opts.MaxSeconds) {
@@ -360,10 +431,29 @@ EngineResult DseEngine::runParallel(
         Sched.stop();
         break;
       }
-      RunOne(Me, std::move(Inputs), Bucket);
+      bool Ok = true;
+      try {
+        RunOne(Me, std::move(Inputs), Bucket);
+        Me.ConsecutiveThrows = 0;
+      } catch (const std::exception &E) {
+        Ok = RecordThrow(E.what());
+      } catch (...) {
+        Ok = RecordThrow("non-standard exception");
+      }
+      // Exactly one complete() per claim, throw or not — the
+      // Pending/Active termination protocol counts on it.
       Sched.complete();
+      if (!Ok)
+        break;
     }
   });
+  if (Fallbacks > 0) {
+    Runtime->statsHandle()->WorkerSpawnFallbacks += Fallbacks;
+    Out.Errors.push_back(
+        {EngineErrorKind::WorkerSpawn, -1,
+         std::to_string(Fallbacks) + " shard(s) ran inline after thread "
+                                     "spawn failure"});
+  }
 
   for (size_t Idx = 0; Idx < Shards.size(); ++Idx) {
     Shard &S = *Shards[Idx];
@@ -382,6 +472,7 @@ EngineResult DseEngine::runParallel(
     Out.Cegar.merge(S.Window.Cegar);
     Out.Solver.merge(S.Window.Solver);
     Out.LocalSolver.merge(S.Window.LocalSolver);
+    Out.Errors.insert(Out.Errors.end(), S.Errors.begin(), S.Errors.end());
     Out.Shards.push_back(S.Window);
   }
   Out.Seconds = Elapsed();

@@ -87,6 +87,35 @@ struct EngineOptions {
   }
 };
 
+/// What went wrong inside a run that the engine contained instead of
+/// propagating (DESIGN.md §9). Every kind is a degradation, never a
+/// wrong answer: the affected test/shard contributes Unknown/nothing and
+/// the rest of the run proceeds.
+enum class EngineErrorKind : uint8_t {
+  /// A solver call threw past the CEGAR layer; the flip was dropped
+  /// (treated as Unknown) and the solver's pinned sessions were reset.
+  SolverThrow,
+  /// A shard's stack could not be built or the shard aborted after
+  /// repeated throws; its partition was served by work-stealing.
+  ShardFailure,
+  /// std::thread construction failed (or was injected to fail); the
+  /// affected shards ran inline on the caller after the spawned ones.
+  WorkerSpawn,
+  /// The warm-start snapshot failed to load (run went cold) or save.
+  SnapshotError,
+  /// BackendFactory threw while building a task's anchor backend
+  /// (corpus runner); the program's result is empty.
+  BackendConstruction,
+};
+
+/// One contained failure: the kind, the shard it happened on (-1 for
+/// run-level), and a human-readable detail string.
+struct EngineError {
+  EngineErrorKind Kind;
+  int Shard = -1;
+  std::string Detail;
+};
+
 /// One shard's window of the parallel run: its share of the tests plus
 /// the stats of the solver stack it owned. The top-level EngineResult
 /// counters are the associative merge of these windows (tested by
@@ -115,6 +144,9 @@ struct EngineResult {
   std::vector<ShardStats> Shards;
   /// Actual shard count of this run (1 on the legacy path).
   size_t WorkersUsed = 1;
+  /// Failures the engine contained (capped per shard; see
+  /// EngineErrorKind). Empty on a healthy run.
+  std::vector<EngineError> Errors;
 
   double coveragePercent() const {
     return TotalStmts == 0

@@ -6,14 +6,40 @@
 
 #include "parallel/WorkerPool.h"
 
+#include "reliability/FaultInjector.h"
+
 using namespace recap;
+
+namespace {
+
+/// One attempted thread spawn: consults the chaos harness first (a fired
+/// FaultSite::ThreadSpawn models std::thread throwing system_error on
+/// resource exhaustion), then the real construction. Returns false —
+/// never throws — when the thread could not be built.
+bool trySpawn(std::vector<std::thread> &Threads,
+              std::function<void()> Body) {
+  if (FaultInjector *FI = FaultInjector::active())
+    if (FI->fire(FaultSite::ThreadSpawn, nullptr))
+      return false;
+  try {
+    Threads.emplace_back(std::move(Body));
+    return true;
+  } catch (const std::exception &) {
+    // std::system_error from thread construction: the process ran out of
+    // threads/VM. The caller degrades to fewer workers instead of dying.
+    return false;
+  }
+}
+
+} // namespace
 
 WorkerPool::WorkerPool(size_t Workers) {
   if (Workers == 0)
     Workers = 1;
   Threads.reserve(Workers);
   for (size_t I = 0; I < Workers; ++I)
-    Threads.emplace_back([this] { workerLoop(); });
+    if (!trySpawn(Threads, [this] { workerLoop(); }))
+      ++SpawnFailures;
 }
 
 WorkerPool::~WorkerPool() {
@@ -27,6 +53,12 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::submit(std::function<void()> Job) {
+  if (Threads.empty()) {
+    // Inline mode: every spawn failed, so no worker will ever drain the
+    // queue — run the job here. Slower, never stuck.
+    Job();
+    return;
+  }
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Queue.push_back(std::move(Job));
@@ -35,6 +67,8 @@ void WorkerPool::submit(std::function<void()> Job) {
 }
 
 void WorkerPool::wait() {
+  if (Threads.empty())
+    return; // inline mode: submit() already ran everything
   std::unique_lock<std::mutex> Lock(Mu);
   Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
 }
@@ -78,18 +112,27 @@ size_t WorkerPool::clampToHardware(size_t Workers, bool *WasClamped) {
   return Clamp ? HW : Workers;
 }
 
-void WorkerPool::runShards(size_t N, const std::function<void(size_t)> &Fn) {
+size_t WorkerPool::runShards(size_t N, const std::function<void(size_t)> &Fn) {
   if (N == 0)
-    return;
+    return 0;
   if (N == 1) {
     Fn(0);
-    return;
+    return 0;
   }
   std::vector<std::thread> Shards;
   Shards.reserve(N - 1);
+  std::vector<size_t> Inline;
   for (size_t I = 1; I < N; ++I)
-    Shards.emplace_back([&Fn, I] { Fn(I); });
+    if (!trySpawn(Shards, [&Fn, I] { Fn(I); }))
+      Inline.push_back(I);
   Fn(0);
+  // Shards whose thread could not be built run here, after shard 0 has
+  // reached quiescence (its loop only returns once the scheduler is
+  // stopped or drained) — so an inline shard sees the stop flag or
+  // steals leftovers instead of waiting on work only it could produce.
+  for (size_t I : Inline)
+    Fn(I);
   for (std::thread &T : Shards)
     T.join();
+  return Inline.size();
 }

@@ -31,7 +31,11 @@ namespace recap {
 
 class WorkerPool {
 public:
-  /// Spawns \p Workers threads (at least 1).
+  /// Spawns \p Workers threads (at least 1). Thread construction failure
+  /// (resource exhaustion) is tolerated: the pool keeps whatever threads
+  /// it got — spawnFailures() reports the shortfall — and with zero
+  /// threads it degrades to inline mode, where submit() runs the job
+  /// synchronously on the caller. Work is never dropped either way.
   explicit WorkerPool(size_t Workers);
   /// Drains the queue, then joins every worker.
   ~WorkerPool();
@@ -41,8 +45,13 @@ public:
 
   size_t workers() const { return Threads.size(); }
 
+  /// Threads requested but not spawned (std::thread construction threw).
+  size_t spawnFailures() const { return SpawnFailures; }
+
   /// Enqueues \p Job; some worker runs it eventually. Exceptions escaping
   /// a job terminate (recap code reports failure through return values).
+  /// With zero live threads (every spawn failed) the job runs inline,
+  /// synchronously, on the calling thread instead.
   void submit(std::function<void()> Job);
 
   /// Blocks until the queue is empty and no job is running.
@@ -69,12 +78,22 @@ public:
   /// one shard on the caller keeps the thread count at exactly N, which
   /// is what lets a corpus task's slot grant equal its shard count
   /// (sched/CorpusScheduler budget accounting).
-  static void runShards(size_t N, const std::function<void(size_t)> &Fn);
+  ///
+  /// Thread construction failure (real resource exhaustion, or the
+  /// FaultSite::ThreadSpawn chaos site) degrades instead of throwing:
+  /// the shards that could not get a thread run inline on the caller
+  /// AFTER Fn(0) returns. That ordering is safe for shard loops — Fn(0)
+  /// only returns at quiescence (scheduler stopped or drained), so a
+  /// late inline shard observes the stop flag or steals leftovers, it
+  /// never deadlocks waiting on itself. Returns the number of shards
+  /// that fell back to inline execution (0 on a healthy run).
+  static size_t runShards(size_t N, const std::function<void(size_t)> &Fn);
 
 private:
   void workerLoop();
 
   std::vector<std::thread> Threads;
+  size_t SpawnFailures = 0; ///< ctor-time thread construction failures
   std::mutex Mu;
   std::condition_variable HasWork; ///< queue non-empty or shutting down
   std::condition_variable Idle;    ///< queue empty and nothing running

@@ -1,0 +1,111 @@
+//===- reliability/CircuitBreaker.h - Per-lane failure breaker --*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic three-state circuit breaker, one per solver lane:
+///
+///            Threshold consecutive failures
+///   Closed ---------------------------------> Open
+///     ^                                        | CooldownMs elapsed
+///     | success                                v
+///     +----------------------------------- HalfOpen
+///                      failure: back to Open (fresh cooldown)
+///
+/// A "failure" is a guarded check that burned its watchdog deadline or
+/// threw (GuardedSession reports both); a completed check — including a
+/// genuine Unknown, which is an answer, not a malfunction — is a success.
+/// BackendDispatcher::decide() consults isOpen() to steer problems away
+/// from a tripped lane; HalfOpen lets the next problem probe the lane so
+/// a recovered backend closes the circuit again.
+///
+/// Not thread-safe by design: breakers live per shard, next to the
+/// dispatcher and sessions they protect (DESIGN.md §6). The optional
+/// Opens counter may point into a shared RuntimeStats block — that
+/// counter is atomic on its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_CIRCUITBREAKER_H
+#define RECAP_RELIABILITY_CIRCUITBREAKER_H
+
+#include "runtime/CompiledRegex.h"
+
+#include <chrono>
+
+namespace recap {
+
+class CircuitBreaker {
+public:
+  enum class State : uint8_t { Closed, Open, HalfOpen };
+
+  struct Options {
+    /// Consecutive failures that trip the breaker.
+    unsigned Threshold = 3;
+    /// How long an open breaker blocks the lane before allowing a probe.
+    uint32_t CooldownMs = 5000;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options Opts, StatCounter *Opens = nullptr)
+      : Opts(Opts), Opens(Opens) {
+    if (this->Opts.Threshold == 0)
+      this->Opts.Threshold = 1;
+  }
+
+  /// True while the lane should not be used. An Open breaker whose
+  /// cooldown has elapsed transitions to HalfOpen here and answers false:
+  /// the caller's very next check is the probe.
+  bool isOpen() {
+    if (St != State::Open)
+      return false;
+    if (std::chrono::steady_clock::now() - OpenedAt <
+        std::chrono::milliseconds(Opts.CooldownMs))
+      return true;
+    St = State::HalfOpen;
+    return false;
+  }
+
+  void recordFailure() {
+    if (St == State::HalfOpen) {
+      trip(); // the probe failed: straight back to Open, fresh cooldown
+      return;
+    }
+    if (St == State::Open)
+      return; // failures while open (late async results) change nothing
+    if (++Streak >= Opts.Threshold)
+      trip();
+  }
+
+  void recordSuccess() {
+    Streak = 0;
+    St = State::Closed;
+  }
+
+  State state() const { return St; }
+  unsigned streak() const { return Streak; }
+  uint64_t trips() const { return Trips; }
+
+private:
+  void trip() {
+    St = State::Open;
+    Streak = 0;
+    OpenedAt = std::chrono::steady_clock::now();
+    ++Trips;
+    if (Opens)
+      ++*Opens;
+  }
+
+  Options Opts;
+  StatCounter *Opens; ///< optional shared RuntimeStats::BreakerOpens
+  State St = State::Closed;
+  unsigned Streak = 0;
+  uint64_t Trips = 0;
+  std::chrono::steady_clock::time_point OpenedAt{};
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_CIRCUITBREAKER_H

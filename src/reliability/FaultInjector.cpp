@@ -1,0 +1,105 @@
+//===- reliability/FaultInjector.cpp - Deterministic chaos harness ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reliability/FaultInjector.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace recap;
+
+std::atomic<FaultInjector *> FaultInjector::Active{nullptr};
+
+namespace {
+
+/// splitmix64: the draw for (seed, site, ordinal) — stateless, so the
+/// fault script is a pure function of the seed and per-site call order.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+FaultKind FaultInjector::sample(FaultSite S) {
+  const FaultRates &R = Rates[idx(S)];
+  if (R.UnknownRate <= 0 && R.HangRate <= 0 && R.ThrowRate <= 0)
+    return FaultKind::None;
+  if (injectedAt(S) >= R.MaxFaults)
+    return FaultKind::None;
+  uint64_t N = Ordinal[idx(S)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t H = mix(Seed ^ mix((static_cast<uint64_t>(S) << 56) | N));
+  double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+  if (U < R.UnknownRate)
+    return FaultKind::Unknown;
+  if (U < R.UnknownRate + R.HangRate)
+    return FaultKind::Hang;
+  if (U < R.UnknownRate + R.HangRate + R.ThrowRate)
+    return FaultKind::Throw;
+  return FaultKind::None;
+}
+
+bool FaultInjector::fire(FaultSite S, const std::atomic<bool> *Cancel) {
+  FaultKind K = sample(S);
+  if (K == FaultKind::None)
+    return false;
+  ++Counts[idx(S)][static_cast<size_t>(K)];
+  switch (K) {
+  case FaultKind::Unknown:
+    return true;
+  case FaultKind::Throw:
+    throw FaultInjected("injected fault");
+  case FaultKind::Hang: {
+    // Cooperative stall: the millisecond poll keeps the hang cancellable
+    // the same way LocalBackend's search is, so the watchdog's cancel()
+    // is observed promptly rather than at HangMs granularity.
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Rates[idx(S)].HangMs);
+    while (std::chrono::steady_clock::now() < Until) {
+      if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+        ++HangsCancelled;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The hang ran its course uncancelled: a transient stall, not a
+    // wedge — let the real operation proceed.
+    return false;
+  }
+  case FaultKind::None:
+    break;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::injectedAt(FaultSite S) const {
+  uint64_t N = 0;
+  for (size_t K = 0; K < NumFaultKinds; ++K)
+    N += Counts[idx(S)][K].load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t FaultInjector::totalInjected() const {
+  uint64_t N = 0;
+  for (size_t S = 0; S < NumFaultSites; ++S)
+    N += injectedAt(static_cast<FaultSite>(S));
+  return N;
+}
+
+FaultInjector::ScopedInstall::ScopedInstall(FaultInjector &FI) {
+  FaultInjector *Expected = nullptr;
+  bool Installed =
+      Active.compare_exchange_strong(Expected, &FI, std::memory_order_release);
+  assert(Installed && "nested FaultInjector installs");
+  (void)Installed;
+}
+
+FaultInjector::ScopedInstall::~ScopedInstall() {
+  Active.store(nullptr, std::memory_order_release);
+}

@@ -1,0 +1,123 @@
+//===- reliability/FaultInjector.h - Deterministic chaos harness -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault-injection harness: instrumented call
+/// sites (solver checks, the LocalBackend bounded search, the Z3 scratch
+/// solve, snapshot loads, thread spawns) consult the process-global
+/// injector — when one is installed — and receive a scripted fault:
+///
+///   Unknown  the operation reports failure without running
+///            (solver: Unknown verdict; thread spawn: construction fails)
+///   Hang     the call site stalls, polling its cancellation flag, until
+///            HangMs elapses or it is cancelled — exactly the shape of a
+///            wedged SMT query, and exactly what the Watchdog must break
+///   Throw    FaultInjected (a std::runtime_error) is thrown, modelling
+///            z3::exception escaping an unhardened path
+///
+/// Faults are decided by hashing (seed, site, per-site call ordinal), so
+/// a single-threaded test replays the identical fault script on every
+/// run; no real flaky solver is needed to cover the reliability layer in
+/// CI. No injector installed (the default) costs one relaxed atomic load
+/// per site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_FAULTINJECTOR_H
+#define RECAP_RELIABILITY_FAULTINJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace recap {
+
+/// Instrumented call sites (one ordinal stream per site).
+enum class FaultSite : uint8_t {
+  SessionCheck, ///< SolverSession::check, any backend (smt/Session.cpp)
+  LocalSolve,   ///< LocalBackend bounded search entry
+  Z3Solve,      ///< Z3Backend scratch solve (fresh-context path)
+  SnapshotLoad, ///< RegexRuntime snapshot load
+  ThreadSpawn,  ///< WorkerPool thread construction (Unknown = spawn fails)
+};
+constexpr size_t NumFaultSites = 5;
+constexpr size_t NumFaultKinds = 4;
+
+enum class FaultKind : uint8_t { None, Unknown, Hang, Throw };
+
+/// What an injected Throw looks like to the code under test.
+struct FaultInjected : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-site fault script: rates are evaluated in Unknown/Hang/Throw order
+/// against one uniform draw, so they must sum to at most 1.
+struct FaultRates {
+  double UnknownRate = 0;
+  double HangRate = 0;
+  double ThrowRate = 0;
+  /// Synthetic hang length; a hang ends early when the site's
+  /// cancellation flag trips (that is the scenario under test).
+  uint32_t HangMs = 1000;
+  /// Stop injecting at this site after this many faults (tests script
+  /// "first check hangs, retry succeeds" with MaxFaults = 1).
+  uint64_t MaxFaults = UINT64_MAX;
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed) : Seed(Seed) {}
+
+  FaultRates &rates(FaultSite S) { return Rates[idx(S)]; }
+
+  /// The call-site entry point: draws this site's next scripted fault and
+  /// executes it. Returns true when the operation should report failure
+  /// (forced Unknown, or a hang that ended by cancellation), false when
+  /// it should proceed normally (no fault, or a hang that ran its course
+  /// — a transient stall). Throws FaultInjected for a Throw fault.
+  /// \p Cancel is the site's cancellation flag (null = uncancellable).
+  bool fire(FaultSite S, const std::atomic<bool> *Cancel);
+
+  /// Faults executed so far, by site and kind (kind None is never
+  /// counted).
+  uint64_t injected(FaultSite S, FaultKind K) const {
+    return Counts[idx(S)][static_cast<size_t>(K)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t injectedAt(FaultSite S) const;
+  uint64_t totalInjected() const;
+  /// Hangs that ended by cancellation (the watchdog doing its job).
+  uint64_t hangsCancelled() const {
+    return HangsCancelled.load(std::memory_order_relaxed);
+  }
+
+  /// The installed process-global injector, or null (the default).
+  static FaultInjector *active() {
+    return Active.load(std::memory_order_acquire);
+  }
+
+  /// RAII install/uninstall for tests; nesting is a bug.
+  struct ScopedInstall {
+    explicit ScopedInstall(FaultInjector &FI);
+    ~ScopedInstall();
+  };
+
+private:
+  static size_t idx(FaultSite S) { return static_cast<size_t>(S); }
+  FaultKind sample(FaultSite S);
+
+  uint64_t Seed;
+  FaultRates Rates[NumFaultSites];
+  std::atomic<uint64_t> Ordinal[NumFaultSites] = {};
+  std::atomic<uint64_t> Counts[NumFaultSites][NumFaultKinds] = {};
+  std::atomic<uint64_t> HangsCancelled{0};
+
+  static std::atomic<FaultInjector *> Active;
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_FAULTINJECTOR_H

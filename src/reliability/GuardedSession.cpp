@@ -1,0 +1,136 @@
+//===- reliability/GuardedSession.cpp - Deadline-guarded session -----------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reliability/GuardedSession.h"
+
+#include "reliability/Watchdog.h"
+
+#include <thread>
+
+using namespace recap;
+
+GuardedSession::GuardedSession(SolverBackend &Owner,
+                               std::unique_ptr<SolverSession> Inner,
+                               const ReliabilityOptions &Opts,
+                               CircuitBreaker *Breaker,
+                               std::shared_ptr<RuntimeStats> Stats)
+    : SolverSession(Owner, /*Passthrough=*/true), Inner(std::move(Inner)),
+      Opts(Opts), Breaker(Breaker), Stats(std::move(Stats)) {}
+
+GuardedSession::~GuardedSession() = default;
+
+void GuardedSession::onCancel() {
+  std::lock_guard<std::mutex> Lock(CurMu);
+  if (Current)
+    Current->cancel();
+}
+
+SolveStatus GuardedSession::attempt(SolverSession &S, Assignment &Model,
+                                    const SolverLimits &Limits, bool &Fired,
+                                    bool &Threw) {
+  {
+    std::lock_guard<std::mutex> Lock(CurMu);
+    Current = &S;
+    // An external cancel that landed between attempts (Current was null,
+    // nothing to forward to) must reach this attempt before it starts.
+    if (cancelRequested())
+      S.cancel();
+  }
+  Watchdog::Token T = Watchdog::global().arm(
+      std::chrono::milliseconds(Opts.CheckDeadlineMs), [&S] { S.cancel(); });
+  SolveStatus St = SolveStatus::Unknown;
+  try {
+    St = S.check(Model, Limits);
+  } catch (...) {
+    // z3::exception, FaultInjected, anything: the attempt failed, the
+    // retry loop decides what happens next. Nothing escapes past the
+    // guard into the CEGAR loop.
+    Threw = true;
+  }
+  // disarm() blocks out a mid-flight callback, so after this line nothing
+  // references S from the watchdog thread and a scratch can be destroyed.
+  Fired = Watchdog::global().disarm(T);
+  {
+    std::lock_guard<std::mutex> Lock(CurMu);
+    Current = nullptr;
+  }
+  return St;
+}
+
+SolveStatus GuardedSession::checkImpl(Assignment &Model,
+                                      const SolverLimits &Limits) {
+  SolverLimits L = Limits;
+  // The base check() wired L.Cancel at *our* CancelFlag — a flag no
+  // backend run through the inner session would ever poll. Null it so
+  // each attempt's session wires its own flag, the one its backend
+  // honours and the one the watchdog's cancel() sets. External
+  // cancellation reaches the attempt through onCancel() forwarding;
+  // guarded checks require cancel(), not a caller-owned Limits.Cancel.
+  L.Cancel = nullptr;
+
+  const unsigned MaxAttempts = Opts.MaxAttempts < 1 ? 1 : Opts.MaxAttempts;
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    // Retries run on a fresh scratch session replaying the live
+    // assertions — never on the possibly-wedged original, whose caches
+    // stay unpoisoned either way (PR 2 scratch-rescue discipline).
+    std::unique_ptr<SolverSession> Scratch;
+    SolverSession *S = Inner.get();
+    if (Attempt > 0) {
+      ++Retries;
+      if (Stats)
+        ++Stats->GuardRetries;
+      Scratch = Owner.openSession();
+      for (const TermRef &T : assertions())
+        Scratch->assertTerm(T);
+      S = Scratch.get();
+    }
+
+    bool Fired = false, Threw = false;
+    Assignment M;
+    SolveStatus St = attempt(*S, M, L, Fired, Threw);
+    if (Fired) {
+      // Re-arm the session: the sticky cancel belongs to this attempt,
+      // not to the session's future (the pinned inner session may serve
+      // many more problems).
+      S->resetCancel();
+      ++Timeouts;
+      if (Stats)
+        ++Stats->GuardTimeouts;
+    }
+    if (Threw && Stats)
+      ++Stats->GuardThrows;
+
+    // Accept any verdict the backend actually produced: Sat/Unsat always
+    // (even at the deadline wire), and Unknown when no deadline fired —
+    // a genuine Unknown is an answer, not a malfunction, and retrying it
+    // would burn budget on a problem the backend already weighed in on.
+    if (!Threw && (St != SolveStatus::Unknown || !Fired)) {
+      if (Breaker)
+        Breaker->recordSuccess();
+      Model = std::move(M);
+      return St;
+    }
+
+    if (Breaker)
+      Breaker->recordFailure();
+    if (Attempt + 1 >= MaxAttempts || cancelRequested() ||
+        (Breaker && Breaker->isOpen()))
+      break;
+
+    // Exponential backoff, polling for an external cancel: a racing
+    // lane's loser must not sit out a full backoff before noticing.
+    uint64_t Ms = Opts.BackoffBaseMs;
+    for (unsigned I = 0; I < Attempt && Ms < Opts.BackoffCapMs; ++I)
+      Ms *= 2;
+    if (Ms > Opts.BackoffCapMs)
+      Ms = Opts.BackoffCapMs;
+    auto Until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+    while (std::chrono::steady_clock::now() < Until && !cancelRequested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return SolveStatus::Unknown;
+}

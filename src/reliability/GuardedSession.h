@@ -1,0 +1,91 @@
+//===- reliability/GuardedSession.h - Deadline-guarded session --*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SolverSession decorator enforcing per-check deadlines with retry:
+/// scope operations forward straight to the wrapped inner session, while
+/// check() arms the shared Watchdog to fire the inner session's cancel()
+/// if the backend wedges past ReliabilityOptions::CheckDeadlineMs.
+///
+/// A check that burned its deadline (or threw) is retried — up to
+/// MaxAttempts, with cancel-aware exponential backoff — on a *fresh
+/// scratch session* replaying the live assertion list, never on the
+/// possibly-wedged original: the PR 2 scratch-rescue discipline, which
+/// keeps the pinned session's caches unpoisoned whatever the retry does.
+/// A genuine Unknown (the backend answered in time) is an answer, not a
+/// failure: it is returned as-is without burning retry budget.
+///
+/// Every outcome is reported to the lane's CircuitBreaker (when one is
+/// attached), and the burn count is exposed so CegarSolver can feed the
+/// quarantine. Soundness: the guard only ever converts "no answer yet"
+/// into Unknown; Sat/Unsat verdicts pass through untouched, so guarded
+/// and unguarded runs can only differ where a deadline actually fired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_GUARDEDSESSION_H
+#define RECAP_RELIABILITY_GUARDEDSESSION_H
+
+#include "reliability/Reliability.h"
+#include "smt/Solver.h"
+
+#include <mutex>
+
+namespace recap {
+
+class CircuitBreaker;
+
+class GuardedSession : public SolverSession {
+public:
+  /// Wraps \p Inner (a session of \p Owner) under \p Opts. \p Breaker
+  /// (optional) receives per-check success/failure; \p Stats (optional)
+  /// receives the GuardTimeouts/GuardRetries/GuardThrows counters.
+  GuardedSession(SolverBackend &Owner, std::unique_ptr<SolverSession> Inner,
+                 const ReliabilityOptions &Opts,
+                 CircuitBreaker *Breaker = nullptr,
+                 std::shared_ptr<RuntimeStats> Stats = nullptr);
+  ~GuardedSession() override;
+
+  /// Deadline burns / scratch retries this session has seen (CegarSolver
+  /// reads the delta per problem to drive the quarantine).
+  uint64_t timeouts() const { return Timeouts; }
+  uint64_t retries() const { return Retries; }
+
+protected:
+  void onAssert(const TermRef &T) override { Inner->assertTerm(T); }
+  void onPush() override { Inner->push(); }
+  void onPop(unsigned N, size_t NewSize) override {
+    (void)NewSize;
+    Inner->pop(N);
+  }
+  SolveStatus checkImpl(Assignment &Model, const SolverLimits &Limits) override;
+  /// Forwards an external cancel (race coordinator) to whichever session
+  /// is currently executing the check, so the losing lane still stops
+  /// promptly even mid-retry.
+  void onCancel() override;
+
+private:
+  /// One watchdog-supervised attempt on \p S. Returns the status;
+  /// \p Fired reports a burned deadline, \p Threw an escaped exception.
+  SolveStatus attempt(SolverSession &S, Assignment &Model,
+                      const SolverLimits &Limits, bool &Fired, bool &Threw);
+
+  std::unique_ptr<SolverSession> Inner;
+  ReliabilityOptions Opts;
+  CircuitBreaker *Breaker;
+  std::shared_ptr<RuntimeStats> Stats;
+
+  /// The session executing the current attempt, for onCancel() forwarding.
+  std::mutex CurMu;
+  SolverSession *Current = nullptr;
+
+  uint64_t Timeouts = 0;
+  uint64_t Retries = 0;
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_GUARDEDSESSION_H

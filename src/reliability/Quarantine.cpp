@@ -1,0 +1,173 @@
+//===- reliability/Quarantine.cpp - Tarpit problem quarantine --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reliability/Quarantine.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+using namespace recap;
+
+namespace {
+
+constexpr char Magic[8] = {'R', 'E', 'C', 'A', 'P', 'Q', 'U', 'A'};
+constexpr uint32_t Version = 1;
+
+uint64_t fnv1a(const char *Data, size_t N, uint64_t H = 0xcbf29ce484222325ull) {
+  for (size_t I = 0; I < N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+template <typename T> void put(std::string &Out, T V) {
+  char Buf[sizeof(T)];
+  for (size_t I = 0; I < sizeof(T); ++I)
+    Buf[I] = static_cast<char>((V >> (8 * I)) & 0xff);
+  Out.append(Buf, sizeof(T));
+}
+
+template <typename T> bool get(const std::string &In, size_t &Pos, T &V) {
+  if (Pos + sizeof(T) > In.size())
+    return false;
+  V = 0;
+  for (size_t I = 0; I < sizeof(T); ++I)
+    V |= static_cast<T>(static_cast<unsigned char>(In[Pos + I])) << (8 * I);
+  Pos += sizeof(T);
+  return true;
+}
+
+} // namespace
+
+bool Quarantine::shouldSkip(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Burns.find(Key);
+  return It != Burns.end() && It->second >= Opts.Threshold;
+}
+
+bool Quarantine::recordBurn(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Burns.find(Key);
+  if (It == Burns.end()) {
+    if (Burns.size() >= Opts.MaxEntries)
+      return false; // full: drop on the floor, costs time not soundness
+    It = Burns.emplace(Key, 0u).first;
+  }
+  ++It->second;
+  if (It->second == Opts.Threshold) {
+    ++NumQuarantined;
+    return true;
+  }
+  return false;
+}
+
+size_t Quarantine::quarantined() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NumQuarantined;
+}
+
+size_t Quarantine::tracked() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Burns.size();
+}
+
+bool Quarantine::save(const std::string &Path) const {
+  std::string Body;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Body.append(Magic, sizeof(Magic));
+    put<uint32_t>(Body, Version);
+    put<uint64_t>(Body, Burns.size());
+    for (const auto &[Key, N] : Burns) {
+      put<uint64_t>(Body, Key.size());
+      Body.append(Key);
+      put<uint32_t>(Body, N);
+    }
+  }
+  put<uint64_t>(Body, fnv1a(Body.data(), Body.size()));
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS.write(Body.data(), static_cast<std::streamsize>(Body.size()));
+    OS.flush();
+    if (!OS) {
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool Quarantine::load(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return false;
+  std::string In((std::istreambuf_iterator<char>(IS)),
+                 std::istreambuf_iterator<char>());
+  if (In.size() < sizeof(Magic) + sizeof(uint32_t) + 2 * sizeof(uint64_t))
+    return false;
+
+  size_t Pos = In.size() - sizeof(uint64_t);
+  uint64_t Want = 0;
+  if (!get<uint64_t>(In, Pos, Want))
+    return false;
+  if (fnv1a(In.data(), In.size() - sizeof(uint64_t)) != Want)
+    return false;
+
+  Pos = 0;
+  if (In.compare(0, sizeof(Magic), Magic, sizeof(Magic)) != 0)
+    return false;
+  Pos = sizeof(Magic);
+  uint32_t V = 0;
+  uint64_t Count = 0;
+  if (!get<uint32_t>(In, Pos, V) || V != Version ||
+      !get<uint64_t>(In, Pos, Count))
+    return false;
+
+  // Decode fully before touching state: a truncated body mid-way through
+  // must not leave a half-merged table.
+  std::vector<std::pair<std::string, uint32_t>> Entries;
+  Entries.reserve(Count < 65536 ? static_cast<size_t>(Count) : 65536);
+  const size_t BodyEnd = In.size() - sizeof(uint64_t);
+  for (uint64_t I = 0; I < Count; ++I) {
+    uint64_t Len = 0;
+    if (!get<uint64_t>(In, Pos, Len) || Pos + Len > BodyEnd)
+      return false;
+    std::string Key = In.substr(Pos, static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    uint32_t N = 0;
+    if (!get<uint32_t>(In, Pos, N))
+      return false;
+    Entries.emplace_back(std::move(Key), N);
+  }
+  if (Pos != BodyEnd)
+    return false;
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Key, N] : Entries) {
+    auto It = Burns.find(Key);
+    if (It == Burns.end()) {
+      if (Burns.size() >= Opts.MaxEntries)
+        continue;
+      It = Burns.emplace(std::move(Key), 0u).first;
+    }
+    uint32_t Before = It->second;
+    if (N > It->second)
+      It->second = N;
+    if (Before < Opts.Threshold && It->second >= Opts.Threshold)
+      ++NumQuarantined;
+  }
+  return true;
+}

@@ -1,0 +1,78 @@
+//===- reliability/Quarantine.h - Tarpit problem quarantine -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Problems that repeatedly burn their watchdog deadline are tarpits:
+/// re-attempting them on every corpus pass wastes the whole budget the
+/// scheduler meant for fresh work. The quarantine records burn counts per
+/// α-canonical problem key (the same key the CEGAR query cache uses, so
+/// α-equivalent restatements of one tarpit share an entry) and, once a
+/// key crosses the threshold, answers shouldSkip() — the solver then
+/// returns Unknown immediately, which is sound: a quarantined verdict is
+/// never anything but "don't know, and stopped paying to find out".
+///
+/// The table persists through a small checksummed sidecar next to the
+/// runtime snapshot, so a corpus re-run skips known tarpits from minute
+/// zero. Loads merge (max of burn counts); corrupt or truncated sidecars
+/// are rejected wholesale, leaving in-memory state untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_QUARANTINE_H
+#define RECAP_RELIABILITY_QUARANTINE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace recap {
+
+class Quarantine {
+public:
+  struct Options {
+    /// Deadline burns before a key is quarantined. A single burn can be
+    /// bad luck (machine load, cold solver); two in a row is a pattern.
+    unsigned Threshold = 2;
+    /// Hard cap on tracked keys; new keys are dropped once full (losing
+    /// a tarpit costs time, not soundness).
+    size_t MaxEntries = 4096;
+  };
+
+  Quarantine() : Quarantine(Options()) {}
+  explicit Quarantine(Options Opts) : Opts(Opts) {
+    if (this->Opts.Threshold == 0)
+      this->Opts.Threshold = 1;
+  }
+
+  /// True when \p Key has crossed the burn threshold.
+  bool shouldSkip(const std::string &Key) const;
+
+  /// Records one deadline burn against \p Key; returns true when this
+  /// burn newly crossed the threshold (the caller counts Quarantined).
+  bool recordBurn(const std::string &Key);
+
+  /// Keys currently at or past the threshold.
+  size_t quarantined() const;
+  /// All tracked keys (telemetry).
+  size_t tracked() const;
+
+  /// Sidecar persistence. save() writes atomically (temp + rename);
+  /// load() validates magic/version/checksum and merges entries by max
+  /// burn count, returning false (state unchanged) on any corruption.
+  bool save(const std::string &Path) const;
+  bool load(const std::string &Path);
+
+private:
+  Options Opts;
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, uint32_t> Burns;
+  size_t NumQuarantined = 0; ///< entries at/past threshold, kept in sync
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_QUARANTINE_H

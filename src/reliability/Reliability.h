@@ -1,0 +1,60 @@
+//===- reliability/Reliability.h - Reliability layer options ----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One options struct threading the reliability layer (DESIGN.md §9)
+/// through CegarOptions → DseEngineOptions → DseCorpusOptions: watchdog
+/// deadlines and retry policy for GuardedSession, breaker policy for
+/// BackendDispatcher lanes, quarantine policy plus the shared table a
+/// corpus run hands every engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_RELIABILITY_H
+#define RECAP_RELIABILITY_RELIABILITY_H
+
+#include "reliability/CircuitBreaker.h"
+#include "reliability/Quarantine.h"
+
+#include <memory>
+
+namespace recap {
+
+struct ReliabilityOptions {
+  /// Master switch. Off (the default) costs nothing: sessions are opened
+  /// bare, the dispatcher never consults breakers, no quarantine exists.
+  bool Enabled = false;
+
+  /// Watchdog deadline per individual check. Distinct from
+  /// SolverLimits.TimeoutMs (the budget a backend is *asked* to respect):
+  /// the watchdog is the enforcement for backends that wedge past it.
+  uint32_t CheckDeadlineMs = 2000;
+  /// Total attempts per check (first try + retries on a fresh scratch
+  /// session replaying the live assertions).
+  unsigned MaxAttempts = 3;
+  /// Exponential backoff between attempts: Base, 2*Base, 4*Base, ...
+  /// capped at Cap. The wait polls cancellation so a racing lane's
+  /// cancel() is not held up by backoff.
+  uint32_t BackoffBaseMs = 10;
+  uint32_t BackoffCapMs = 1000;
+
+  CircuitBreaker::Options Breaker;
+  Quarantine::Options QuarantinePolicy;
+
+  /// Shared across engines of one corpus run (runDseCorpus creates and
+  /// persists it); null = each CegarSolver keeps its own private table.
+  std::shared_ptr<Quarantine> SharedQuarantine;
+
+  /// Destination for the Guard*/Breaker*/Quarantine counters. DseEngine
+  /// points this at its RegexRuntime's shared block; null lets the
+  /// CegarSolver fall back to its dispatcher's block (or a private one),
+  /// so the counters always land somewhere.
+  std::shared_ptr<RuntimeStats> Stats;
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_RELIABILITY_H

@@ -1,0 +1,98 @@
+//===- reliability/Watchdog.cpp - Shared deadline thread -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reliability/Watchdog.h"
+
+using namespace recap;
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  Cv.notify_all();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+Watchdog::Token Watchdog::arm(std::chrono::milliseconds Deadline,
+                              std::function<void()> Fire) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Token T = NextToken++;
+  Entry &E = Armed[T];
+  E.When = std::chrono::steady_clock::now() + Deadline;
+  E.Fire = std::move(Fire);
+  if (!Started) {
+    Started = true;
+    Thread = std::thread([this] { loop(); });
+  }
+  Cv.notify_all();
+  return T;
+}
+
+bool Watchdog::disarm(Token T) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto It = Armed.find(T);
+  if (It == Armed.end())
+    return false;
+  // A callback caught mid-flight: wait it out so the caller can destroy
+  // the callback's target the moment disarm() returns.
+  Cv.wait(Lock, [&] { return !It->second.Running; });
+  bool Fired = It->second.Fired;
+  Armed.erase(It);
+  return Fired;
+}
+
+size_t Watchdog::armed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Armed.size();
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Stop)
+      return;
+    // Earliest un-fired deadline decides the sleep; fired entries wait
+    // for their disarm() and need no further attention.
+    auto Next = std::chrono::steady_clock::time_point::max();
+    Token NextT = 0;
+    for (auto &[T, E] : Armed) {
+      if (!E.Fired && E.When < Next) {
+        Next = E.When;
+        NextT = T;
+      }
+    }
+    if (NextT == 0) {
+      Cv.wait(Lock);
+      continue;
+    }
+    if (std::chrono::steady_clock::now() < Next) {
+      Cv.wait_until(Lock, Next);
+      continue; // re-derive: arms/disarms may have changed the picture
+    }
+    Entry &E = Armed[NextT];
+    E.Fired = true;
+    E.Running = true;
+    // Run outside the lock: the callback (session cancel) is cheap but
+    // may take backend-internal locks of its own.
+    std::function<void()> Fire = E.Fire;
+    Lock.unlock();
+    Fire();
+    Lock.lock();
+    // The entry may not have moved (disarm blocks on Running), but
+    // re-find anyway: map iterators are stable, paranoia is free here.
+    auto It = Armed.find(NextT);
+    if (It != Armed.end())
+      It->second.Running = false;
+    Cv.notify_all();
+  }
+}
+
+Watchdog &Watchdog::global() {
+  static Watchdog W;
+  return W;
+}

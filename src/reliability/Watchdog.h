@@ -1,0 +1,87 @@
+//===- reliability/Watchdog.h - Shared deadline thread ----------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shared deadline thread for the whole process: callers arm() a
+/// callback against a wall-clock deadline around a potentially-hanging
+/// operation and disarm() it when the operation returns. If the deadline
+/// passes first, the watchdog thread invokes the callback — for
+/// GuardedSession that is SolverSession::cancel(), which a backend honours
+/// from another thread by contract (Z3 context interrupt, LocalBackend
+/// cooperative poll). Callbacks must therefore be cheap and thread-safe;
+/// the watchdog is a metronome, not a worker pool.
+///
+/// disarm() is a synchronization point: it blocks while the callback is
+/// mid-flight and reports whether it ran at all, so the caller can both
+/// distinguish "deadline burned" from "returned in time" and safely
+/// destroy whatever the callback targets immediately afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RELIABILITY_WATCHDOG_H
+#define RECAP_RELIABILITY_WATCHDOG_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace recap {
+
+class Watchdog {
+public:
+  /// Handle for one armed deadline (see arm()/disarm()).
+  using Token = uint64_t;
+
+  Watchdog() = default;
+  /// Joins the deadline thread; every token must be disarmed first.
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Schedules \p Fire to run on the watchdog thread once \p Deadline
+  /// elapses, unless disarmed first. The thread is started lazily on the
+  /// first arm().
+  Token arm(std::chrono::milliseconds Deadline, std::function<void()> Fire);
+
+  /// Retires \p T and returns whether its callback fired. Blocks until a
+  /// concurrently-running callback completes, so after disarm() returns
+  /// the callback's target can be destroyed safely.
+  bool disarm(Token T);
+
+  /// Number of currently armed deadlines (tests/telemetry).
+  size_t armed() const;
+
+  /// The process-wide instance every GuardedSession shares: one thread
+  /// supervises all shards' checks, however many are in flight.
+  static Watchdog &global();
+
+private:
+  void loop();
+
+  struct Entry {
+    std::chrono::steady_clock::time_point When;
+    std::function<void()> Fire;
+    bool Fired = false;   ///< callback ran (or is running)
+    bool Running = false; ///< callback currently executing
+  };
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::map<Token, Entry> Armed; ///< small: one entry per in-flight check
+  Token NextToken = 1;
+  std::thread Thread;
+  bool Started = false;
+  bool Stop = false;
+};
+
+} // namespace recap
+
+#endif // RECAP_RELIABILITY_WATCHDOG_H

@@ -134,6 +134,26 @@ struct RuntimeStats {
   // instead of silently oversubscribing (EngineOptions::ClampWorkers).
   StatCounter WorkersClamped;
 
+  // Reliability layer (DESIGN.md §9). Guard*: checks whose watchdog
+  // deadline fired / scratch retries launched / exceptions swallowed by
+  // GuardedSession. Breaker*: lane breakers tripped open, problems
+  // rerouted off an open lane, problems answered Unknown because every
+  // lane was open. Quarantine*: keys newly quarantined, and problems
+  // skipped because their key was quarantined. SnapshotRecovered: runs
+  // where a snapshot load failed and a later load succeeded.
+  // WorkerSpawnFallbacks: shards run inline because std::thread
+  // construction failed.
+  StatCounter GuardTimeouts;
+  StatCounter GuardRetries;
+  StatCounter GuardThrows;
+  StatCounter BreakerOpens;
+  StatCounter BreakerReroutes;
+  StatCounter BreakerShortCircuits;
+  StatCounter Quarantined;
+  StatCounter QuarantineHits;
+  StatCounter SnapshotRecovered;
+  StatCounter WorkerSpawnFallbacks;
+
   uint64_t hits() const {
     return InternHits + FeatureHits + BackrefHits + ApproxHits +
            AutomatonHits + MatcherHits + TemplateHits;
@@ -176,6 +196,16 @@ struct RuntimeStats {
     D.SnapshotLoaded = SnapshotLoaded - O.SnapshotLoaded;
     D.SnapshotRejected = SnapshotRejected - O.SnapshotRejected;
     D.WorkersClamped = WorkersClamped - O.WorkersClamped;
+    D.GuardTimeouts = GuardTimeouts - O.GuardTimeouts;
+    D.GuardRetries = GuardRetries - O.GuardRetries;
+    D.GuardThrows = GuardThrows - O.GuardThrows;
+    D.BreakerOpens = BreakerOpens - O.BreakerOpens;
+    D.BreakerReroutes = BreakerReroutes - O.BreakerReroutes;
+    D.BreakerShortCircuits = BreakerShortCircuits - O.BreakerShortCircuits;
+    D.Quarantined = Quarantined - O.Quarantined;
+    D.QuarantineHits = QuarantineHits - O.QuarantineHits;
+    D.SnapshotRecovered = SnapshotRecovered - O.SnapshotRecovered;
+    D.WorkerSpawnFallbacks = WorkerSpawnFallbacks - O.WorkerSpawnFallbacks;
     return D;
   }
 
@@ -208,6 +238,16 @@ struct RuntimeStats {
     SnapshotLoaded += O.SnapshotLoaded;
     SnapshotRejected += O.SnapshotRejected;
     WorkersClamped += O.WorkersClamped;
+    GuardTimeouts += O.GuardTimeouts;
+    GuardRetries += O.GuardRetries;
+    GuardThrows += O.GuardThrows;
+    BreakerOpens += O.BreakerOpens;
+    BreakerReroutes += O.BreakerReroutes;
+    BreakerShortCircuits += O.BreakerShortCircuits;
+    Quarantined += O.Quarantined;
+    QuarantineHits += O.QuarantineHits;
+    SnapshotRecovered += O.SnapshotRecovered;
+    WorkerSpawnFallbacks += O.WorkerSpawnFallbacks;
   }
 };
 

@@ -158,6 +158,9 @@ private:
   /// interning path (which takes Mu per entry).
   std::mutex SnapMu;
   bool SnapshotDone = false;
+  /// A loadOnce() attempt came back cold at some point; a later warm
+  /// load then counts RuntimeStats::SnapshotRecovered (under SnapMu).
+  bool SnapColdSeen = false;
 };
 
 } // namespace recap

@@ -7,6 +7,9 @@
 #include "runtime/RegexRuntime.h"
 #include "runtime/RuntimeSnapshot.h"
 
+#include "reliability/FaultInjector.h"
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -169,13 +172,31 @@ bool RegexRuntime::save(std::ostream &OS) const {
 }
 
 bool RegexRuntime::save(const std::string &Path) const {
-  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
-  if (!OS || !save(OS))
+  // Write-then-rename: a crash (or disk-full) mid-save must never leave a
+  // truncated file at Path where the next run's loadOnce() would find it —
+  // the load would go cold and the previous good snapshot would be gone.
+  // rename(2) on the same filesystem swaps the complete temp file in
+  // atomically; any failure leaves Path untouched.
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS || !save(OS)) {
+      std::remove(Tmp.c_str());
+      return false;
+    }
+    // Flush before reporting success: a buffered write that only fails at
+    // destruction (disk full) must not report a persisted snapshot.
+    OS.flush();
+    if (!OS) {
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
     return false;
-  // Flush before reporting success: a buffered write that only fails at
-  // destruction (disk full) must not report a persisted snapshot.
-  OS.flush();
-  return static_cast<bool>(OS);
+  }
+  return true;
 }
 
 SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
@@ -185,6 +206,13 @@ SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
     Res.Error = Why;
     return Res;
   };
+
+  // Chaos harness: a scripted fault models a corrupt/unreadable snapshot
+  // (the load goes cold, exactly as a checksum mismatch would).
+  if (FaultInjector *FI = FaultInjector::active()) {
+    if (FI->fire(FaultSite::SnapshotLoad, nullptr))
+      return Cold("injected snapshot fault");
+  }
 
   std::string Buf((std::istreambuf_iterator<char>(IS)),
                   std::istreambuf_iterator<char>());
@@ -276,7 +304,17 @@ SnapshotLoadResult RegexRuntime::load(const std::string &Path,
     Res.Error = "cannot open snapshot '" + Path + "'";
     return Res;
   }
-  return load(IS, Stages);
+  try {
+    return load(IS, Stages);
+  } catch (const std::exception &E) {
+    // A load must never take the run down (an injected Throw, or an
+    // allocation failure on adversarial sizes): it goes cold instead —
+    // the same contract as any other form of damage.
+    SnapshotLoadResult Res;
+    Res.Cold = true;
+    Res.Error = E.what();
+    return Res;
+  }
 }
 
 SnapshotLoadResult RegexRuntime::loadOnce(const std::string &Path,
@@ -294,7 +332,15 @@ SnapshotLoadResult RegexRuntime::loadOnce(const std::string &Path,
     return Res;
   }
   SnapshotLoadResult Res = load(Path, Stages);
-  if (!Res.Cold)
+  if (!Res.Cold) {
+    // A warm load after an earlier cold attempt is a recovery (the
+    // snapshot appeared, or transient damage cleared): count it so runs
+    // that healed are visible in the stats.
+    if (SnapColdSeen)
+      ++Stats->SnapshotRecovered;
     SnapshotDone = true;
+  } else {
+    SnapColdSeen = true;
+  }
   return Res;
 }

@@ -29,6 +29,8 @@
 
 #include "smt/Solver.h"
 
+#include "reliability/FaultInjector.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -401,6 +403,17 @@ public:
                         Assignment &Model, const SolverLimits &Limits,
                         LocalSearchCaches &Caches) {
     auto T0 = std::chrono::steady_clock::now();
+    // Chaos harness: a scripted fault may force Unknown, stall (polling
+    // Limits.Cancel exactly like the real search), or throw here.
+    if (FaultInjector *FI = FaultInjector::active()) {
+      if (FI->fire(FaultSite::LocalSolve, Limits.Cancel)) {
+        double Sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+                .count();
+        record(SolveStatus::Unknown, Sec);
+        return SolveStatus::Unknown;
+      }
+    }
     Deadline = T0 + std::chrono::milliseconds(Limits.TimeoutMs);
     Nodes = 0;
     AllExhaustive = true;

@@ -15,10 +15,14 @@
 
 #include "smt/Solver.h"
 
+#include "reliability/FaultInjector.h"
+
 using namespace recap;
 
-SolverSession::SolverSession(SolverBackend &Owner) : Owner(Owner) {
-  ++Owner.Stats.SessionsOpened;
+SolverSession::SolverSession(SolverBackend &Owner, bool Passthrough)
+    : Owner(Owner), Passthrough(Passthrough) {
+  if (!Passthrough)
+    ++Owner.Stats.SessionsOpened;
 }
 
 void SolverSession::push() {
@@ -41,25 +45,40 @@ void SolverSession::pop(unsigned N) {
     if (RetainedKeys.insert(Assertions[I].get()).second)
       Retained.push_back(std::move(Assertions[I]));
   Assertions.resize(NewSize);
-  Owner.Stats.SessionPops += N;
+  if (!Passthrough)
+    Owner.Stats.SessionPops += N;
   onPop(N, NewSize);
 }
 
 void SolverSession::assertTerm(TermRef T) {
   Assertions.push_back(T);
-  ++Owner.Stats.SessionAsserts;
+  if (!Passthrough)
+    ++Owner.Stats.SessionAsserts;
   onAssert(Assertions.back());
 }
 
 SolveStatus SolverSession::check(Assignment &Model,
                                  const SolverLimits &Limits) {
-  ++Owner.Stats.SessionChecks;
+  if (!Passthrough)
+    ++Owner.Stats.SessionChecks;
   // A pending cancel short-circuits before the backend runs: the racing
   // coordinator may decide a winner between two refinement rounds of the
   // loser, and the flag is sticky until resetCancel().
   if (cancelRequested()) {
     ++Owner.Stats.CancelledChecks;
     return SolveStatus::Unknown;
+  }
+  // Chaos harness: a scripted fault may force Unknown or stall here as if
+  // the backend misbehaved. GuardedSession passthrough skips the site so a
+  // guarded check draws exactly one fault (in the inner session).
+  if (!Passthrough) {
+    if (FaultInjector *FI = FaultInjector::active()) {
+      if (FI->fire(FaultSite::SessionCheck, &CancelFlag)) {
+        if (cancelRequested())
+          ++Owner.Stats.CancelledChecks;
+        return SolveStatus::Unknown;
+      }
+    }
   }
   SolverLimits L = Limits;
   if (!L.Cancel)

@@ -195,7 +195,11 @@ public:
   SolverBackend &backend() { return Owner; }
 
 protected:
-  explicit SolverSession(SolverBackend &Owner);
+  /// \p Passthrough marks a wrapper session that forwards every operation
+  /// to an inner session of the same backend (reliability/GuardedSession):
+  /// the base class then skips its per-operation stats accounting and the
+  /// fault-injection site, so each wrapped operation counts exactly once.
+  explicit SolverSession(SolverBackend &Owner, bool Passthrough = false);
 
   virtual void onAssert(const TermRef &T) { (void)T; }
   virtual void onPush() {}
@@ -223,6 +227,7 @@ protected:
   SolverStats &ownerStats();
 
   SolverBackend &Owner;
+  const bool Passthrough; ///< wrapper session: see the constructor
   std::vector<TermRef> Assertions; ///< live, in assertion order
   std::vector<size_t> Marks;       ///< Assertions.size() at each push
   std::vector<TermRef> Retained;   ///< popped trees kept alive (see above)

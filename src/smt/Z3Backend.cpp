@@ -16,6 +16,8 @@
 
 #include "smt/Solver.h"
 
+#include "reliability/FaultInjector.h"
+
 #include <z3++.h>
 
 #include <cassert>
@@ -282,6 +284,14 @@ public:
 private:
   SolveStatus solveImpl(const std::vector<TermRef> &Assertions,
                         Assignment &Model, const SolverLimits &Limits) try {
+    // Chaos harness: a scripted fault may force Unknown, stall, or throw
+    // here. An injected Throw is a std::runtime_error, NOT a
+    // z3::exception, so it deliberately escapes the catch below — that is
+    // the unhardened-escape scenario the reliability layer must contain.
+    if (FaultInjector *FI = FaultInjector::active()) {
+      if (FI->fire(FaultSite::Z3Solve, Limits.Cancel))
+        return SolveStatus::Unknown;
+    }
     z3::context Ctx;
     z3::params P(Ctx);
     P.set("timeout", Limits.TimeoutMs);
@@ -346,15 +356,27 @@ public:
   }
 
   void onAssert(const TermRef &T) override {
-    S.add(Tr.toBool(T));
-    // Constrain any string variable this assertion introduced (or whose
-    // previous constraint was popped away).
-    for (auto &[Name, Var] : Tr.StrVars) {
-      if (AlphaDone.count(Name))
-        continue;
-      S.add(z3::in_re(Var, AnyLatin1));
-      AlphaDone.insert(Name);
-      AlphaByScope.back().push_back(Name);
+    // A z3 error mid-mirroring (translation or add) marks the session
+    // Broken instead of escaping: the native solver can no longer be
+    // trusted to track the base scope stack, so every further check is
+    // Unknown and callers fall back (scratch retry / session drop). The
+    // scope bookkeeping below the try still runs — it mirrors the base
+    // class, not the solver, and must stay in sync for the pops to come.
+    if (!Broken) {
+      try {
+        S.add(Tr.toBool(T));
+        // Constrain any string variable this assertion introduced (or
+        // whose previous constraint was popped away).
+        for (auto &[Name, Var] : Tr.StrVars) {
+          if (AlphaDone.count(Name))
+            continue;
+          S.add(z3::in_re(Var, AnyLatin1));
+          AlphaDone.insert(Name);
+          AlphaByScope.back().push_back(Name);
+        }
+      } catch (const z3::exception &) {
+        Broken = true;
+      }
     }
     if (containsInRe(T)) {
       ++ReLive;
@@ -363,13 +385,25 @@ public:
   }
 
   void onPush() override {
-    S.push();
+    if (!Broken) {
+      try {
+        S.push();
+      } catch (const z3::exception &) {
+        Broken = true;
+      }
+    }
     AlphaByScope.emplace_back();
     ReByScope.push_back(0);
   }
 
   void onPop(unsigned N, size_t) override {
-    S.pop(N);
+    if (!Broken) {
+      try {
+        S.pop(N);
+      } catch (const z3::exception &) {
+        Broken = true;
+      }
+    }
     for (unsigned I = 0; I < N; ++I) {
       for (const std::string &Name : AlphaByScope.back())
         AlphaDone.erase(Name);
@@ -388,6 +422,13 @@ public:
 
   SolveStatus checkImpl(Assignment &Model,
                         const SolverLimits &Limits) override try {
+    if (Broken) {
+      // The native solver desynced from the scope stack on an earlier z3
+      // error (see onAssert): answering anything but Unknown could
+      // reflect the wrong assertion set.
+      recordQuery(SolveStatus::Unknown, 0);
+      return SolveStatus::Unknown;
+    }
     auto T0 = std::chrono::steady_clock::now();
     // Per-check params, selected from the live assertion mix: regex
     // membership goals get the full budget plus length-based sequence
@@ -486,10 +527,20 @@ private:
   unsigned ReLive = 0;
   std::vector<unsigned> ReByScope;
   std::map<const Term *, bool> InReMemo;
+  /// Set on the first z3 error during state mirroring; checks on a
+  /// broken session answer Unknown without touching the solver.
+  bool Broken = false;
 };
 
 std::unique_ptr<SolverSession> Z3Backend::openSession() {
-  return std::unique_ptr<SolverSession>(new Z3Session(*this));
+  try {
+    return std::unique_ptr<SolverSession>(new Z3Session(*this));
+  } catch (const z3::exception &) {
+    // Context or tactic construction failed (resource pressure): fall
+    // back to the stateless shim, which defers every z3 touch to solve()
+    // — where errors are already contained per check.
+    return SolverBackend::openSession();
+  }
 }
 
 } // namespace

@@ -24,6 +24,8 @@
 #include "api/SymbolicRegExp.h"
 #include "cegar/BackendDispatcher.h"
 
+#include "CalibrationProbe.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -160,6 +162,49 @@ TEST_P(BackendDifferential, AnchoredAndRacingLanesAgree) {
   if (SZ != SolveStatus::Unknown && SR != SolveStatus::Unknown)
     EXPECT_EQ(SZ, SR) << "/" << P.Pattern << "/ polarity "
                       << (P.Positive ? "+" : "-") << " (racing)";
+}
+
+TEST_P(BackendDifferential, GuardedSolverKeepsParity) {
+  // Reliability layer on (DESIGN.md §9) with no fault injector: guarded
+  // sessions, breakers and quarantine must be invisible — every probe
+  // reaches the same verdict as the unguarded Z3 reference, with zero
+  // deadline burns and no degradation reason.
+  const DiffProbe &P = GetParam();
+  auto R = Regex::parse(P.Pattern, "");
+  ASSERT_TRUE(bool(R)) << P.Pattern;
+
+  auto solveWith = [&](CegarSolver &Solver, const std::string &Name) {
+    SymbolicRegExp Sym(R->clone(), std::string("gd") + Name);
+    TermRef In = mkStrVar("in");
+    auto Q = Sym.exec(In, mkIntConst(0));
+    std::vector<PathClause> PC = {PathClause::regex(Q, P.Positive)};
+    if (P.PinnedInput)
+      PC.push_back(PathClause::plain(
+          mkEq(In, mkStrConst(fromUTF8(P.PinnedInput)))));
+    return Solver.solve(PC);
+  };
+
+  CegarOptions Plain;
+  Plain.Limits.TimeoutMs = 5000;
+  auto Z3 = makeZ3Backend();
+  CegarSolver Ref(*Z3, Plain);
+  SolveStatus SZ = solveWith(Ref, "ref").Status;
+
+  CegarOptions Guarded = Plain;
+  Guarded.Reliability.Enabled = true;
+  // Generous deadline (load-scaled): healthy Z3 solves must never burn.
+  Guarded.Reliability.CheckDeadlineMs = testsupport::scaledTimeoutMs(10000);
+  auto Z3G = makeZ3Backend();
+  auto LocalG = makeLocalBackend();
+  BackendDispatcher Dispatch(*LocalG, *Z3G);
+  CegarSolver Watched(Dispatch, Guarded);
+  CegarResult RG = solveWith(Watched, "guard");
+
+  if (SZ != SolveStatus::Unknown && RG.Status != SolveStatus::Unknown)
+    EXPECT_EQ(SZ, RG.Status) << "/" << P.Pattern << "/ polarity "
+                             << (P.Positive ? "+" : "-") << " (guarded)";
+  EXPECT_EQ(RG.GuardBurns, 0u) << P.Pattern;
+  EXPECT_TRUE(RG.Reason.empty()) << P.Pattern << ": " << RG.Reason;
 }
 
 // Randomized anchored-pattern parity: generated ^…$ cores, both
