@@ -1,0 +1,269 @@
+//===- bench/micro_service.cpp - Resident analysis service benches ---------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the ISSUE-8 resident service (DESIGN.md §10):
+//
+//  1. BM_ServiceSubmitToFirstResult: submit -> first streamed unit of a
+//     survey job on a warm resident service — the interactive-latency
+//     number the admission path and dispatcher add on top of the work
+//     itself. Counters: first_result_ms (service-measured), units.
+//  2. BM_ServiceThroughput/S: S submitter threads each pushing a stream
+//     of small survey jobs through one shared 2-worker service;
+//     items_per_second is jobs/s. Counters: submitters, jobs.
+//  3. BM_ServiceDseJob: one mini-program DSE job end to end, the
+//     service-tax companion to micro_corpus's BM_CorpusDse (same local
+//     backend, one unit). Counters: tests, results_streamed.
+//  4. BM_ServiceAdmissionChurn: a 3-tenant burst against a deliberately
+//     tiny queue with immediate cancels and 1ms deadlines — the
+//     reject/cancel/deadline bookkeeping path, not the analysis itself.
+//     Counters: rejected, cancelled, deadline, completed.
+//  5. BM_ServiceDrain: drain() over a freshly submitted batch — how long
+//     "finish what was promised" takes at shutdown (service build and
+//     job submission run untimed). Counter: drained_jobs.
+//
+// The post-run summary derives jobs/s scaling across submitter counts
+// (contention on the single service mutex + dispatcher, not worker
+// scaling — the pool stays at 2 workers throughout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Workloads.h"
+#include "parallel/WorkerPool.h"
+#include "service/AnalysisService.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace recap;
+
+namespace {
+
+/// Service policy shared by every bench: local (Z3-free) backend, fixed
+/// 2-worker pool with clamping off so the numbers mean the same thing on
+/// any runner shape.
+ServiceOptions benchService(size_t Workers = 2) {
+  ServiceOptions O;
+  O.Workers = Workers;
+  O.ClampWorkers = false;
+  O.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  O.Engine.MaxTests = 4;
+  O.Engine.MaxSeconds = 20;
+  return O;
+}
+
+std::vector<std::vector<std::string>> surveyPackages(size_t N) {
+  std::vector<std::vector<std::string>> Out;
+  for (size_t I = 0; I < N; ++I) {
+    std::string Src = "var a = /ab+c/g; var b = 'no /regex/ here';\n"
+                      "if (x) { var c = /p" +
+                      std::to_string(I) + "[0-9]+/i; }\n";
+    Out.push_back({Src});
+  }
+  return Out;
+}
+
+JobSpec surveyJob(size_t Packages, std::string Tenant = "bench") {
+  JobSpec S;
+  S.Kind = JobKind::Survey;
+  S.Tenant = std::move(Tenant);
+  S.Packages = surveyPackages(Packages);
+  return S;
+}
+
+// --- 1. Submit -> first streamed unit --------------------------------------
+
+void BM_ServiceSubmitToFirstResult(benchmark::State &State) {
+  AnalysisService Svc(benchService());
+  size_t Packages = static_cast<size_t>(8 * recap::bench::scale());
+  if (Packages < 2)
+    Packages = 2;
+  double FirstMs = 0;
+  uint64_t Units = 0;
+  for (auto _ : State) {
+    Result<JobHandle> H = Svc.submit(surveyJob(Packages));
+    JobUnitResult U;
+    bool Got = (*H).nextResult(U);
+    benchmark::DoNotOptimize(Got);
+    // Let the rest of the job drain untimed so the next iteration starts
+    // from an idle service.
+    State.PauseTiming();
+    (*H).wait();
+    JobResult R = (*H).result();
+    FirstMs = R.FirstResultSeconds * 1e3;
+    Units = R.Results.size() + (R.SurveyOut ? 1 : 0);
+    State.ResumeTiming();
+  }
+  State.counters["first_result_ms"] = FirstMs;
+  State.counters["units"] = static_cast<double>(Units);
+}
+BENCHMARK(BM_ServiceSubmitToFirstResult)->Unit(benchmark::kMillisecond);
+
+// --- 2. Throughput at 1/2/4 submitter threads ------------------------------
+
+void BM_ServiceThroughput(benchmark::State &State) {
+  size_t Submitters = static_cast<size_t>(State.range(0));
+  AnalysisService Svc(benchService());
+  size_t JobsPer = static_cast<size_t>(6 * recap::bench::scale());
+  if (JobsPer < 2)
+    JobsPer = 2;
+  uint64_t Jobs = 0;
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    for (size_t T = 0; T < Submitters; ++T)
+      Threads.emplace_back([&Svc, T, JobsPer] {
+        for (size_t J = 0; J < JobsPer; ++J) {
+          Result<JobHandle> H =
+              Svc.submit(surveyJob(3, "t" + std::to_string(T)));
+          if (H)
+            (*H).wait();
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    Jobs += Submitters * JobsPer;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Jobs));
+  State.counters["submitters"] = static_cast<double>(Submitters);
+  State.counters["jobs"] = static_cast<double>(Jobs);
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- 3. One DSE job end to end ---------------------------------------------
+
+void BM_ServiceDseJob(benchmark::State &State) {
+  AnalysisService Svc(benchService());
+  uint64_t Tests = 0, Streamed = 0;
+  for (auto _ : State) {
+    JobSpec S;
+    S.Kind = JobKind::Dse;
+    S.Tenant = "bench";
+    S.Programs = {generateMiniPackage(1)};
+    // Per-job knobs (only BackendFactory is merged from the service
+    // template); keep the unit small — this row prices the service path,
+    // not the search.
+    S.Engine.MaxTests = 2;
+    S.Engine.MaxSeconds = 5;
+    Result<JobHandle> H = Svc.submit(std::move(S));
+    (*H).wait();
+    JobResult R = (*H).result();
+    Tests = 0;
+    for (const EngineResult &ER : R.Results)
+      Tests += ER.TestsRun;
+    benchmark::DoNotOptimize(R.Status);
+  }
+  Streamed = Svc.stats().ResultsStreamed.load();
+  State.counters["tests"] = static_cast<double>(Tests);
+  State.counters["results_streamed"] = static_cast<double>(Streamed);
+}
+BENCHMARK(BM_ServiceDseJob)->Unit(benchmark::kMillisecond);
+
+// --- 4. Admission/cancel/deadline churn ------------------------------------
+
+void BM_ServiceAdmissionChurn(benchmark::State &State) {
+  ServiceOptions O = benchService(1);
+  O.MaxQueuedJobs = 4;
+  O.TenantMaxQueued = 2;
+  AnalysisService Svc(O);
+  uint64_t Rejected = 0, Cancelled = 0, Deadline = 0, Completed = 0;
+  for (auto _ : State) {
+    const ServiceStats &St = Svc.stats();
+    uint64_t Rej0 = St.RejectedQueueFull.load() +
+                    St.RejectedTenantQueue.load();
+    uint64_t Can0 = St.JobsCancelled.load();
+    uint64_t Dl0 = St.JobsDeadline.load();
+    uint64_t Cmp0 = St.JobsCompleted.load();
+    std::vector<JobHandle> Handles;
+    for (size_t J = 0; J < 12; ++J) {
+      JobSpec S = surveyJob(2, "churn" + std::to_string(J % 3));
+      if (J % 4 == 3)
+        S.DeadlineMs = 1; // expires before the single worker reaches it
+      Result<JobHandle> H = Svc.submit(std::move(S));
+      if (!H)
+        continue;
+      if (J % 4 == 2)
+        (*H).cancel();
+      Handles.push_back(*H);
+    }
+    for (JobHandle &H : Handles)
+      H.wait();
+    Rejected = St.RejectedQueueFull.load() +
+               St.RejectedTenantQueue.load() - Rej0;
+    Cancelled = St.JobsCancelled.load() - Can0;
+    Deadline = St.JobsDeadline.load() - Dl0;
+    Completed = St.JobsCompleted.load() - Cmp0;
+  }
+  State.counters["rejected"] = static_cast<double>(Rejected);
+  State.counters["cancelled"] = static_cast<double>(Cancelled);
+  State.counters["deadline"] = static_cast<double>(Deadline);
+  State.counters["completed"] = static_cast<double>(Completed);
+}
+BENCHMARK(BM_ServiceAdmissionChurn)->Unit(benchmark::kMillisecond);
+
+// --- 5. Drain over in-flight work ------------------------------------------
+
+void BM_ServiceDrain(benchmark::State &State) {
+  size_t Batch = static_cast<size_t>(4 * recap::bench::scale());
+  if (Batch < 2)
+    Batch = 2;
+  uint64_t Drained = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Svc = std::make_unique<AnalysisService>(benchService());
+    std::vector<JobHandle> Handles;
+    for (size_t J = 0; J < Batch; ++J) {
+      Result<JobHandle> H = Svc->submit(surveyJob(4));
+      if (H)
+        Handles.push_back(*H);
+    }
+    State.ResumeTiming();
+    Svc->drain();
+    State.PauseTiming();
+    Drained = Svc->stats().JobsCompleted.load();
+    Svc->shutdown();
+    Svc.reset();
+    State.ResumeTiming();
+  }
+  State.counters["drained_jobs"] = static_cast<double>(Drained);
+}
+BENCHMARK(BM_ServiceDrain)->Unit(benchmark::kMillisecond);
+
+void attachDerived(recap::bench::JsonReporter &R) {
+  std::printf("\n=== resident service (median) ===\n");
+  std::printf("hardware_threads: %zu\n", WorkerPool::hardwareWorkers());
+  double T1 = R.medianNs("BM_ServiceThroughput/1");
+  for (int S : {1, 2, 4}) {
+    std::string Name = "BM_ServiceThroughput/" + std::to_string(S);
+    double TS = R.medianNs(Name);
+    double Speedup = TS > 0 && T1 > 0 ? T1 / TS : 0;
+    R.setCounter(Name, "speedup_vs_1s", Speedup);
+    if (TS > 0)
+      std::printf("  %-28s %8.1f ms   %.2fx\n", Name.c_str(), TS / 1e6,
+                  Speedup);
+  }
+  double First = R.medianNs("BM_ServiceSubmitToFirstResult");
+  if (First > 0)
+    std::printf("  submit -> first result: %.2f ms\n", First / 1e6);
+  double Drain = R.medianNs("BM_ServiceDrain");
+  if (Drain > 0)
+    std::printf("  drain over a batch: %.2f ms\n", Drain / 1e6);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_service", argc, argv,
+                                     attachDerived);
+}

@@ -102,6 +102,17 @@ CegarResult CegarSolver::solve(const std::vector<PathClause> &Clauses) {
   auto T0 = std::chrono::steady_clock::now();
   ++Stats.Queries;
 
+  // A cancelled run (job deadline, service shutdown) drains here without
+  // touching a backend: Unknown is always sound, and the reason tells
+  // callers this was a stop, not a solver give-up.
+  if (Opts.Limits.Cancel &&
+      Opts.Limits.Cancel->load(std::memory_order_relaxed)) {
+    CegarResult Cancelled;
+    Cancelled.Status = SolveStatus::Unknown;
+    Cancelled.Reason = "cancelled";
+    return Cancelled;
+  }
+
   std::vector<TermRef> P;
   std::vector<TrackedQuery> Regexes;
   for (const PathClause &C : Clauses) {
@@ -373,6 +384,16 @@ CegarResult CegarSolver::runProblem(SolverBackend &B,
   // than the exact internal state that just gave up.
   bool DropSession = false;
   for (unsigned Round = 0;; ++Round) {
+    // Between refinement rounds is the drain point guarded checks cannot
+    // provide: their per-check watchdog bounds one check, this bounds the
+    // loop (a cancelled run must not start round N+1).
+    if (Opts.Limits.Cancel &&
+        Opts.Limits.Cancel->load(std::memory_order_relaxed)) {
+      Out.Status = SolveStatus::Unknown;
+      Out.Reason = "cancelled";
+      DropSession = true;
+      break;
+    }
     Assignment M;
     auto C0 = std::chrono::steady_clock::now();
     SolveStatus S =

@@ -79,13 +79,22 @@ DseCorpusResult recap::runDseCorpus(const std::vector<Program> &Programs,
     });
 
   Out.Sched = Sched.run();
-  Out.Runtime = Out.RuntimeHandle->stats().since(Before);
   if (!Opts.SaveSnapshot.empty())
     Out.SnapshotSaved = Out.RuntimeHandle->save(Opts.SaveSnapshot);
   if (Quar) {
     Out.QuarantinedKeys = Quar->quarantined();
-    if (!Opts.QuarantineSnapshot.empty())
+    // One corpus pass = one quarantine generation; the sidecar save then
+    // evicts entries idle past MaxAgeGenerations (no-op by default).
+    Quar->bumpGeneration();
+    if (!Opts.QuarantineSnapshot.empty()) {
+      uint64_t ExpBefore = Quar->expired();
       Out.QuarantineSaved = Quar->save(Opts.QuarantineSnapshot);
+      Out.RuntimeHandle->statsHandle()->QuarantineExpired +=
+          Quar->expired() - ExpBefore;
+    }
   }
+  // The window is cut after the save/eviction tail so QuarantineExpired
+  // (and any save-path counters) land in this run's report.
+  Out.Runtime = Out.RuntimeHandle->stats().since(Before);
   return Out;
 }

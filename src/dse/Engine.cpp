@@ -66,6 +66,12 @@ EngineResult DseEngine::run(const Program &P) {
   // the same window as everything else the run reports.
   if (Opts.Cegar.Reliability.Enabled && !Opts.Cegar.Reliability.Stats)
     Opts.Cegar.Reliability.Stats = Runtime->statsHandle();
+  // Run-level cancellation reaches in-flight solver work through the
+  // existing SolverLimits::Cancel path (unguarded sessions and the CEGAR
+  // refinement loop poll it; guarded checks are bounded by their own
+  // watchdog deadline instead). Never overrides a caller-owned flag.
+  if (Opts.Cancel && !Opts.Cegar.Limits.Cancel)
+    Opts.Cegar.Limits.Cancel = Opts.Cancel;
   // A supplied runtime is cumulative across runs; report this run's
   // window only (snapshot loads and clamp events included).
   RuntimeStats Before = Runtime->stats();
@@ -137,7 +143,11 @@ EngineResult DseEngine::runSerial(const Program &P,
 
   Buckets[-1].push_back({InputMap(), -1});
 
-  while (Out.TestsRun < Opts.MaxTests && Elapsed() < Opts.MaxSeconds) {
+  auto Cancelled = [this] {
+    return Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed);
+  };
+  while (Out.TestsRun < Opts.MaxTests && Elapsed() < Opts.MaxSeconds &&
+         !Cancelled()) {
     // Pick the least-accessed non-empty bucket.
     int Best = INT_MIN;
     uint64_t BestAccess = UINT64_MAX;
@@ -176,7 +186,8 @@ EngineResult DseEngine::runSerial(const Program &P,
 
     // Generational search: flip each clause of the path condition.
     for (size_t Flip = 0; Flip < Tr.Path.size(); ++Flip) {
-      if (Out.TestsRun + 0 >= Opts.MaxTests || Elapsed() >= Opts.MaxSeconds)
+      if (Out.TestsRun + 0 >= Opts.MaxTests || Elapsed() >= Opts.MaxSeconds ||
+          Cancelled())
         break;
       uint64_t Sig = flipSignature(Tr.Path, Flip);
       if (!Attempted.insert(Sig).second)
@@ -289,6 +300,9 @@ EngineResult DseEngine::runParallel(
                                          T0)
         .count();
   };
+  auto Cancelled = [this] {
+    return Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed);
+  };
 
   EngineResult Out;
   Out.TotalStmts = P.NumStmts;
@@ -322,7 +336,7 @@ EngineResult DseEngine::runParallel(
 
     for (size_t Flip = 0; Flip < Tr.Path.size(); ++Flip) {
       if (TestsStarted.load() >= Opts.MaxTests ||
-          Elapsed() >= Opts.MaxSeconds)
+          Elapsed() >= Opts.MaxSeconds || Cancelled())
         break;
       uint64_t Sig = flipSignature(Tr.Path, Flip);
       {
@@ -411,7 +425,7 @@ EngineResult DseEngine::runParallel(
     };
 
     for (;;) {
-      if (Elapsed() >= Opts.MaxSeconds) {
+      if (Elapsed() >= Opts.MaxSeconds || Cancelled()) {
         Sched.stop();
         break;
       }

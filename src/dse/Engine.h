@@ -78,6 +78,13 @@ struct EngineOptions {
   /// degrades to the serial path (same solver, same verdicts) and
   /// EngineResult::WorkersUsed reports 1 (asserts in debug builds).
   std::function<std::unique_ptr<SolverBackend>()> BackendFactory;
+  /// Cooperative run-level cancellation (service tier, DESIGN.md §10).
+  /// Polled between concrete tests and between clause flips on every
+  /// shard, and threaded into Cegar.Limits.Cancel (when that is unset) so
+  /// in-flight LocalBackend searches drain too; tripping it ends the run
+  /// with whatever results exist, exactly like MaxSeconds expiring. Null
+  /// (the default) costs nothing.
+  const std::atomic<bool> *Cancel = nullptr;
 
   EngineOptions() {
     // Backreference queries with pinned capture constants can take Z3

@@ -7,7 +7,8 @@
 /// \file
 /// A deterministic, seeded fault-injection harness: instrumented call
 /// sites (solver checks, the LocalBackend bounded search, the Z3 scratch
-/// solve, snapshot loads, thread spawns) consult the process-global
+/// solve, snapshot loads and saves, thread spawns, service job admission
+/// and dispatch) consult the process-global
 /// injector — when one is installed — and receive a scripted fault:
 ///
 ///   Unknown  the operation reports failure without running
@@ -42,8 +43,12 @@ enum class FaultSite : uint8_t {
   Z3Solve,      ///< Z3Backend scratch solve (fresh-context path)
   SnapshotLoad, ///< RegexRuntime snapshot load
   ThreadSpawn,  ///< WorkerPool thread construction (Unknown = spawn fails)
+  JobAdmit,     ///< AnalysisService::submit admission (Unknown = reject)
+  JobDispatch,  ///< service unit dispatch onto a pool thread; a Hang here
+                ///< is the wedged-job shape the per-job watchdog breaks
+  SnapshotSave, ///< runtime snapshot / quarantine sidecar write
 };
-constexpr size_t NumFaultSites = 5;
+constexpr size_t NumFaultSites = 8;
 constexpr size_t NumFaultKinds = 4;
 
 enum class FaultKind : uint8_t { None, Unknown, Hang, Throw };

@@ -6,6 +6,8 @@
 
 #include "reliability/Quarantine.h"
 
+#include "reliability/FaultInjector.h"
+
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -15,7 +17,11 @@ using namespace recap;
 namespace {
 
 constexpr char Magic[8] = {'R', 'E', 'C', 'A', 'P', 'Q', 'U', 'A'};
-constexpr uint32_t Version = 1;
+// Version 2 adds a per-entry age (generations since last burn) so a
+// resident process's aging clock survives shutdown. Version-1 sidecars
+// are rejected like any other mismatch: a cold quarantine costs time,
+// not soundness.
+constexpr uint32_t Version = 2;
 
 uint64_t fnv1a(const char *Data, size_t N, uint64_t H = 0xcbf29ce484222325ull) {
   for (size_t I = 0; I < N; ++I) {
@@ -46,20 +52,21 @@ template <typename T> bool get(const std::string &In, size_t &Pos, T &V) {
 
 bool Quarantine::shouldSkip(const std::string &Key) const {
   std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Burns.find(Key);
-  return It != Burns.end() && It->second >= Opts.Threshold;
+  auto It = Entries.find(Key);
+  return It != Entries.end() && It->second.Burns >= Opts.Threshold;
 }
 
 bool Quarantine::recordBurn(const std::string &Key) {
   std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Burns.find(Key);
-  if (It == Burns.end()) {
-    if (Burns.size() >= Opts.MaxEntries)
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    if (Entries.size() >= Opts.MaxEntries)
       return false; // full: drop on the floor, costs time not soundness
-    It = Burns.emplace(Key, 0u).first;
+    It = Entries.emplace(Key, Entry{}).first;
   }
-  ++It->second;
-  if (It->second == Opts.Threshold) {
+  ++It->second.Burns;
+  It->second.Gen = CurGen;
+  if (It->second.Burns == Opts.Threshold) {
     ++NumQuarantined;
     return true;
   }
@@ -73,20 +80,56 @@ size_t Quarantine::quarantined() const {
 
 size_t Quarantine::tracked() const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return Burns.size();
+  return Entries.size();
 }
 
-bool Quarantine::save(const std::string &Path) const {
+uint64_t Quarantine::expired() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NumExpired;
+}
+
+void Quarantine::bumpGeneration() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++CurGen;
+}
+
+bool Quarantine::save(const std::string &Path) {
+  if (FaultInjector *FI = FaultInjector::active()) {
+    try {
+      if (FI->fire(FaultSite::SnapshotSave, nullptr))
+        return false;
+    } catch (const FaultInjected &) {
+      return false; // an injected throw mid-save is still just a failed save
+    }
+  }
+
   std::string Body;
   {
     std::lock_guard<std::mutex> Lock(Mu);
+    // Aging eviction happens here, not on every burn: save() marks the
+    // end of a pass/cycle, the natural moment to drop stale entries.
+    if (Opts.MaxAgeGenerations > 0) {
+      for (auto It = Entries.begin(); It != Entries.end();) {
+        if (CurGen - It->second.Gen > Opts.MaxAgeGenerations) {
+          if (It->second.Burns >= Opts.Threshold)
+            --NumQuarantined;
+          ++NumExpired;
+          It = Entries.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
     Body.append(Magic, sizeof(Magic));
     put<uint32_t>(Body, Version);
-    put<uint64_t>(Body, Burns.size());
-    for (const auto &[Key, N] : Burns) {
+    put<uint64_t>(Body, Entries.size());
+    for (const auto &[Key, E] : Entries) {
       put<uint64_t>(Body, Key.size());
       Body.append(Key);
-      put<uint32_t>(Body, N);
+      put<uint32_t>(Body, E.Burns);
+      uint64_t Age = CurGen - E.Gen;
+      put<uint32_t>(Body, Age > UINT32_MAX ? UINT32_MAX
+                                           : static_cast<uint32_t>(Age));
     }
   }
   put<uint64_t>(Body, fnv1a(Body.data(), Body.size()));
@@ -138,8 +181,13 @@ bool Quarantine::load(const std::string &Path) {
 
   // Decode fully before touching state: a truncated body mid-way through
   // must not leave a half-merged table.
-  std::vector<std::pair<std::string, uint32_t>> Entries;
-  Entries.reserve(Count < 65536 ? static_cast<size_t>(Count) : 65536);
+  struct Decoded {
+    std::string Key;
+    uint32_t Burns;
+    uint32_t Age;
+  };
+  std::vector<Decoded> Loaded;
+  Loaded.reserve(Count < 65536 ? static_cast<size_t>(Count) : 65536);
   const size_t BodyEnd = In.size() - sizeof(uint64_t);
   for (uint64_t I = 0; I < Count; ++I) {
     uint64_t Len = 0;
@@ -147,26 +195,31 @@ bool Quarantine::load(const std::string &Path) {
       return false;
     std::string Key = In.substr(Pos, static_cast<size_t>(Len));
     Pos += static_cast<size_t>(Len);
-    uint32_t N = 0;
-    if (!get<uint32_t>(In, Pos, N))
+    uint32_t N = 0, Age = 0;
+    if (!get<uint32_t>(In, Pos, N) || !get<uint32_t>(In, Pos, Age))
       return false;
-    Entries.emplace_back(std::move(Key), N);
+    Loaded.push_back({std::move(Key), N, Age});
   }
   if (Pos != BodyEnd)
     return false;
 
   std::lock_guard<std::mutex> Lock(Mu);
-  for (auto &[Key, N] : Entries) {
-    auto It = Burns.find(Key);
-    if (It == Burns.end()) {
-      if (Burns.size() >= Opts.MaxEntries)
+  for (auto &D : Loaded) {
+    // A saved age of K means "last burn K generations before the save";
+    // re-anchor it against the loader's clock, clamping at generation 0.
+    uint64_t Gen = CurGen > D.Age ? CurGen - D.Age : 0;
+    auto It = Entries.find(D.Key);
+    if (It == Entries.end()) {
+      if (Entries.size() >= Opts.MaxEntries)
         continue;
-      It = Burns.emplace(std::move(Key), 0u).first;
+      It = Entries.emplace(std::move(D.Key), Entry{}).first;
     }
-    uint32_t Before = It->second;
-    if (N > It->second)
-      It->second = N;
-    if (Before < Opts.Threshold && It->second >= Opts.Threshold)
+    uint32_t Before = It->second.Burns;
+    if (D.Burns > It->second.Burns)
+      It->second.Burns = D.Burns;
+    if (Gen > It->second.Gen)
+      It->second.Gen = Gen;
+    if (Before < Opts.Threshold && It->second.Burns >= Opts.Threshold)
       ++NumQuarantined;
   }
   return true;

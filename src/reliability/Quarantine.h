@@ -19,6 +19,13 @@
 /// zero. Loads merge (max of burn counts); corrupt or truncated sidecars
 /// are rejected wholesale, leaving in-memory state untouched.
 ///
+/// Entries age in generations: bumpGeneration() marks one corpus pass or
+/// service snapshot cycle, a burn refreshes its entry's stamp, and save()
+/// evicts entries idle for more than MaxAgeGenerations — so a resident
+/// process re-probes a once-pathological pattern eventually instead of
+/// banning it forever. A skip hit deliberately does NOT refresh the
+/// stamp: only fresh evidence (a burn) keeps an entry alive.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RECAP_RELIABILITY_QUARANTINE_H
@@ -40,6 +47,11 @@ public:
     /// Hard cap on tracked keys; new keys are dropped once full (losing
     /// a tarpit costs time, not soundness).
     size_t MaxEntries = 4096;
+    /// Entries whose last burn is more than this many generations old
+    /// are evicted on save() (0 = aging disabled). Generations advance
+    /// only via explicit bumpGeneration() calls, so batch users that
+    /// never bump keep today's ban-forever behavior.
+    unsigned MaxAgeGenerations = 0;
   };
 
   Quarantine() : Quarantine(Options()) {}
@@ -59,18 +71,32 @@ public:
   size_t quarantined() const;
   /// All tracked keys (telemetry).
   size_t tracked() const;
+  /// Entries evicted by aging so far (feeds RuntimeStats::QuarantineExpired).
+  uint64_t expired() const;
 
-  /// Sidecar persistence. save() writes atomically (temp + rename);
-  /// load() validates magic/version/checksum and merges entries by max
-  /// burn count, returning false (state unchanged) on any corruption.
-  bool save(const std::string &Path) const;
+  /// Advances the aging clock by one generation (one corpus pass / one
+  /// service snapshot cycle).
+  void bumpGeneration();
+
+  /// Sidecar persistence. save() evicts aged-out entries first, then
+  /// writes atomically (temp + rename); load() validates
+  /// magic/version/checksum and merges entries by max burn count and
+  /// newest stamp, returning false (state unchanged) on any corruption.
+  bool save(const std::string &Path);
   bool load(const std::string &Path);
 
 private:
+  struct Entry {
+    uint32_t Burns = 0;
+    uint64_t Gen = 0; ///< generation of the most recent burn
+  };
+
   Options Opts;
   mutable std::mutex Mu;
-  std::unordered_map<std::string, uint32_t> Burns;
+  std::unordered_map<std::string, Entry> Entries;
   size_t NumQuarantined = 0; ///< entries at/past threshold, kept in sync
+  uint64_t CurGen = 0;
+  uint64_t NumExpired = 0;
 };
 
 } // namespace recap

@@ -151,6 +151,9 @@ struct RuntimeStats {
   StatCounter BreakerShortCircuits;
   StatCounter Quarantined;
   StatCounter QuarantineHits;
+  // Quarantine entries evicted by generation aging on sidecar save
+  // (Quarantine::Options::MaxAgeGenerations).
+  StatCounter QuarantineExpired;
   StatCounter SnapshotRecovered;
   StatCounter WorkerSpawnFallbacks;
 
@@ -204,6 +207,7 @@ struct RuntimeStats {
     D.BreakerShortCircuits = BreakerShortCircuits - O.BreakerShortCircuits;
     D.Quarantined = Quarantined - O.Quarantined;
     D.QuarantineHits = QuarantineHits - O.QuarantineHits;
+    D.QuarantineExpired = QuarantineExpired - O.QuarantineExpired;
     D.SnapshotRecovered = SnapshotRecovered - O.SnapshotRecovered;
     D.WorkerSpawnFallbacks = WorkerSpawnFallbacks - O.WorkerSpawnFallbacks;
     return D;
@@ -246,6 +250,7 @@ struct RuntimeStats {
     BreakerShortCircuits += O.BreakerShortCircuits;
     Quarantined += O.Quarantined;
     QuarantineHits += O.QuarantineHits;
+    QuarantineExpired += O.QuarantineExpired;
     SnapshotRecovered += O.SnapshotRecovered;
     WorkerSpawnFallbacks += O.WorkerSpawnFallbacks;
   }

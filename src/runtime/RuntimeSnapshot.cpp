@@ -172,6 +172,17 @@ bool RegexRuntime::save(std::ostream &OS) const {
 }
 
 bool RegexRuntime::save(const std::string &Path) const {
+  // Chaos harness: a scripted fault models an unwritable disk — the save
+  // reports failure and Path keeps whatever good snapshot it had.
+  if (FaultInjector *FI = FaultInjector::active()) {
+    try {
+      if (FI->fire(FaultSite::SnapshotSave, nullptr))
+        return false;
+    } catch (const FaultInjected &) {
+      return false;
+    }
+  }
+
   // Write-then-rename: a crash (or disk-full) mid-save must never leave a
   // truncated file at Path where the next run's loadOnce() would find it —
   // the load would go cold and the previous good snapshot would be gone.

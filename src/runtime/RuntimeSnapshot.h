@@ -37,6 +37,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace recap::snapshot {
 
@@ -56,6 +57,27 @@ inline uint64_t fnv1a(const unsigned char *Data, size_t N) {
     H *= 1099511628211ull;
   }
   return H;
+}
+
+/// File name (no directory) for one tenant's runtime snapshot under a
+/// service state directory. Tenant ids are arbitrary strings; anything
+/// outside [A-Za-z0-9_-] folds to '_', and an FNV-1a suffix of the raw
+/// id keeps distinct tenants from colliding after the fold.
+inline std::string tenantSnapshotFile(const std::string &Tenant) {
+  std::string Safe;
+  Safe.reserve(Tenant.size());
+  for (char C : Tenant) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == '-';
+    Safe.push_back(Ok ? C : '_');
+  }
+  uint64_t H = fnv1a(reinterpret_cast<const unsigned char *>(Tenant.data()),
+                     Tenant.size());
+  char Hex[17];
+  for (int I = 15; I >= 0; --I, H >>= 4)
+    Hex[I] = "0123456789abcdef"[H & 0xf];
+  Hex[16] = '\0';
+  return "runtime_" + Safe + "_" + Hex + ".snap";
 }
 
 } // namespace recap::snapshot

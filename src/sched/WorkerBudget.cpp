@@ -27,6 +27,34 @@ size_t WorkerBudget::acquire(size_t Max) {
   return Got;
 }
 
+size_t WorkerBudget::acquire(size_t Max,
+                             const std::function<size_t(size_t)> &Claim,
+                             const std::atomic<bool> *Cancel) {
+  if (Max == 0)
+    Max = 1;
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      return 0;
+    if (Used < Slots) {
+      size_t Avail = Slots - Used;
+      if (Avail > Max)
+        Avail = Max;
+      size_t Got = Claim ? Claim(Avail) : Avail;
+      if (Got > Avail)
+        Got = Avail; // a buggy claim must not break the budget invariant
+      if (Got > 0) {
+        Used += Got;
+        if (Used > HighWater)
+          HighWater = Used;
+        Borrowed += Got - 1;
+        return Got;
+      }
+    }
+    Freed.wait(Lock);
+  }
+}
+
 void WorkerBudget::release(size_t N) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -36,6 +64,25 @@ void WorkerBudget::release(size_t N) {
     assert(N <= Used && "WorkerBudget::release of slots never acquired");
     Used -= N < Used ? N : Used;
   }
+  Freed.notify_all();
+}
+
+void WorkerBudget::release(size_t N, const std::function<void()> &Under) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(N <= Used && "WorkerBudget::release of slots never acquired");
+    Used -= N < Used ? N : Used;
+    if (Under)
+      Under();
+  }
+  Freed.notify_all();
+}
+
+void WorkerBudget::wake() {
+  // Empty critical section on purpose: it orders the notify after any
+  // state change the caller just published, so a waiter mid-predicate
+  // cannot miss it.
+  { std::lock_guard<std::mutex> Lock(Mu); }
   Freed.notify_all();
 }
 

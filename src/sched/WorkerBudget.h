@@ -18,8 +18,10 @@
 #ifndef RECAP_SCHED_WORKERBUDGET_H
 #define RECAP_SCHED_WORKERBUDGET_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 
 namespace recap::sched {
@@ -38,8 +40,31 @@ public:
   /// against another waiter). Returns the number taken (>= 1).
   size_t acquire(size_t Max = 1);
 
+  /// Slot-grant hook (service tier, DESIGN.md §10): a claim callback
+  /// decides — and records, in the same critical section — how much of an
+  /// available grant the caller may take. \p Claim runs under the budget
+  /// lock with min(Max, free) and returns the slots actually claimed
+  /// (0 parks the caller until the next release()/wake() re-evaluates);
+  /// per-tenant accounting therefore can never race a concurrent grant.
+  /// \p Cancel, when set and tripped, unparks the caller with a grant of
+  /// 0 — the only case this returns 0 — so a cancelled job's parked
+  /// shard acquisition drains instead of waiting for slots it will never
+  /// use. Claim must not touch the budget re-entrantly.
+  size_t acquire(size_t Max, const std::function<size_t(size_t)> &Claim,
+                 const std::atomic<bool> *Cancel = nullptr);
+
   /// Returns \p N slots and wakes waiters.
   void release(size_t N);
+
+  /// release() variant running \p Under beneath the budget lock before
+  /// waiters re-evaluate their claims, so external (per-tenant) slot
+  /// accounting and the budget's own counter move as one step.
+  void release(size_t N, const std::function<void()> &Under);
+
+  /// Wakes every parked acquire() so grant claims are re-evaluated after
+  /// external state changed without a slot release (a tenant finished its
+  /// last job, a job was cancelled).
+  void wake();
 
   size_t total() const { return Slots; }
   /// Snapshot of outstanding slots.

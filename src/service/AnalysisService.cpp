@@ -1,0 +1,607 @@
+//===- service/AnalysisService.cpp - Resident analysis service -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Concurrency layout (DESIGN.md §10). Threads: callers (submit, handle
+// waits, cancel), ONE dispatcher (claims units, finalizes jobs), pool
+// workers (run units), the shared watchdog (deadline callbacks). Locks,
+// in acquisition order:
+//
+//   SMu          queue + active set + tenant runtimes + per-job
+//                dispatcher state; may take Quota's or a job's mutex
+//                beneath it, never the reverse
+//   Budget lock  inside WorkerBudget; the claim/release hooks take
+//                Quota's mutex beneath it
+//   Quota / JMu  leaf mutexes — no callouts while held
+//
+// Watchdog disarm happens outside SMu (the callback takes no service
+// lock, but disarm blocks on a mid-flight callback and must not do so
+// while holding the lock the rest of the service needs). Deadline and
+// cancel callbacks capture only shared_ptrs (JobState, which owns the
+// signals and budget refs) — never the service — so a JobHandle that
+// outlives the service stays safe to cancel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "reliability/FaultInjector.h"
+#include "reliability/Watchdog.h"
+#include "runtime/RuntimeSnapshot.h"
+
+#include <algorithm>
+
+using namespace recap;
+
+namespace {
+
+/// Survey jobs fan out to at most this many units; slice boundaries
+/// depend only on the corpus (Survey::runParallel's rule), so the merged
+/// result equals a serial survey regardless of worker count.
+constexpr size_t MaxSurveyUnits = 64;
+
+int64_t steadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+} // namespace
+
+AnalysisService::AnalysisService(ServiceOptions O) : Opts(std::move(O)) {
+  Workers_ = WorkerPool::resolveWorkers(Opts.Workers);
+  if (Opts.ClampWorkers)
+    Workers_ = WorkerPool::clampToHardware(Workers_);
+  Stats_ = std::make_shared<ServiceStats>();
+  Sig = std::make_shared<ServiceSignals>();
+  Budget_ = std::make_shared<sched::WorkerBudget>(Workers_);
+  Pool = std::make_unique<WorkerPool>(Workers_);
+
+  Quarantine::Options QPol = Opts.Engine.Cegar.Reliability.QuarantinePolicy;
+  if (QPol.MaxAgeGenerations == 0)
+    QPol.MaxAgeGenerations = Opts.QuarantineMaxAgeGenerations;
+  Quar_ = std::make_shared<Quarantine>(QPol);
+  if (!Opts.StateDir.empty() &&
+      Quar_->load(Opts.StateDir + "/" + QuarantineSidecar))
+    ++Stats_->WarmBoots;
+
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+AnalysisService::~AnalysisService() {
+  if (Phase_.load(std::memory_order_relaxed) != Stopped)
+    shutdown(0);
+}
+
+std::shared_ptr<RegexRuntime>
+AnalysisService::tenantRuntime(const std::string &T) {
+  auto It = Runtimes.find(T);
+  if (It != Runtimes.end())
+    return It->second;
+  auto RT = std::make_shared<RegexRuntime>(Opts.Runtime);
+  if (!Opts.StateDir.empty()) {
+    SnapshotLoadResult LR =
+        RT->loadOnce(Opts.StateDir + "/" + snapshot::tenantSnapshotFile(T));
+    if (LR.warm())
+      ++Stats_->WarmBoots;
+  }
+  Runtimes.emplace(T, RT);
+  return RT;
+}
+
+Result<JobHandle> AnalysisService::submit(JobSpec Spec) {
+  ++Stats_->Submitted;
+  if (Spec.Tenant.empty())
+    Spec.Tenant = "default";
+  if (!Spec.Engine.BackendFactory)
+    Spec.Engine.BackendFactory = Opts.Engine.BackendFactory;
+
+  size_t Units = Spec.Kind == JobKind::Dse
+                     ? Spec.Programs.size()
+                     : std::min(Spec.Packages.size(), MaxSurveyUnits);
+  if (Units == 0) {
+    ++Stats_->RejectedInvalid;
+    return Result<JobHandle>::error(
+        "rejected: empty job (no programs/packages)");
+  }
+  if (Spec.Kind == JobKind::Dse && !Spec.Engine.BackendFactory) {
+    ++Stats_->RejectedInvalid;
+    return Result<JobHandle>::error(
+        "rejected: DSE job needs a BackendFactory (per spec or service "
+        "default)");
+  }
+
+  // Chaos site: a faulted admission rejects with a reason — never a
+  // half-admitted job (nothing exists yet at this point).
+  if (FaultInjector *FI = FaultInjector::active()) {
+    static std::atomic<bool> NoCancel{false};
+    try {
+      if (FI->fire(FaultSite::JobAdmit, &NoCancel)) {
+        ++Stats_->RejectedFault;
+        return Result<JobHandle>::error("rejected: admission fault");
+      }
+    } catch (const FaultInjected &E) {
+      ++Stats_->RejectedFault;
+      return Result<JobHandle>::error(std::string("rejected: ") + E.what());
+    }
+  }
+
+  // Deadline clamps: a job that promises DeadlineMs must be able to
+  // drain in-flight work within it. The engine's wall budget, the solver
+  // timeout, and — through guarded checks, which null the caller's
+  // cancel flag by design — the per-check watchdog deadline are all cut
+  // to fit, so no single blocking primitive can outlive the deadline by
+  // more than one check.
+  if (Spec.DeadlineMs) {
+    double DeadlineS = Spec.DeadlineMs / 1000.0;
+    if (Spec.Engine.MaxSeconds > DeadlineS)
+      Spec.Engine.MaxSeconds = DeadlineS;
+    auto &Limits = Spec.Engine.Cegar.Limits;
+    if (Limits.TimeoutMs == 0 || Limits.TimeoutMs > Spec.DeadlineMs)
+      Limits.TimeoutMs = Spec.DeadlineMs;
+    auto &Rel = Spec.Engine.Cegar.Reliability;
+    if (Rel.Enabled) {
+      uint32_t PerCheck =
+          Spec.DeadlineMs / (Rel.MaxAttempts ? Rel.MaxAttempts : 1);
+      if (PerCheck == 0)
+        PerCheck = 1;
+      if (Rel.CheckDeadlineMs > PerCheck)
+        Rel.CheckDeadlineMs = PerCheck;
+    }
+  }
+
+  std::shared_ptr<JobState> JS;
+  {
+    std::lock_guard<std::mutex> Lock(SMu);
+    if (Phase_.load(std::memory_order_relaxed) != Running) {
+      ++Stats_->RejectedDraining;
+      return Result<JobHandle>::error("rejected: service draining");
+    }
+    if (Opts.MaxQueuedJobs && Queue.queuedJobs() >= Opts.MaxQueuedJobs) {
+      ++Stats_->RejectedQueueFull;
+      return Result<JobHandle>::error("rejected: queue full");
+    }
+    if (!Quota.tryAdmit(Spec.Tenant, Opts.TenantMaxQueued)) {
+      ++Stats_->RejectedTenantQueue;
+      return Result<JobHandle>::error(
+          "rejected: tenant queued-job quota exhausted");
+    }
+
+    JS = std::make_shared<JobState>();
+    JS->Id = NextJobId++;
+    JS->Units = Units;
+    JS->SubmitAt = std::chrono::steady_clock::now();
+    JS->Runtime = tenantRuntime(Spec.Tenant);
+    JS->Signals = Sig;
+    JS->Budget = Budget_;
+    JS->Spec = std::move(Spec);
+    if (JS->Spec.Kind == JobKind::Dse)
+      JS->Result.Results.resize(Units);
+    else
+      JS->Slices.resize(Units);
+
+    if (JS->Spec.DeadlineMs) {
+      std::shared_ptr<JobState> ForFire = JS;
+      JS->DeadlineToken = Watchdog::global().arm(
+          std::chrono::milliseconds(JS->Spec.DeadlineMs), [ForFire] {
+            ForFire->DeadlineFired.store(true, std::memory_order_relaxed);
+            ForFire->requestCancel();
+          });
+      JS->DeadlineArmed = true;
+    }
+
+    Queue.push(JS);
+    Active.emplace(JS->Id, JS);
+    ++Stats_->Admitted;
+  }
+  Sig->poke();
+  return JobHandle(std::move(JS));
+}
+
+void AnalysisService::dispatchLoop() {
+  uint64_t LastTick = 0;
+  for (;;) {
+    pump();
+    std::unique_lock<std::mutex> Lock(Sig->Mu);
+    Sig->Cv.wait(Lock, [&] {
+      return Sig->Ticks != LastTick ||
+             StopDispatch.load(std::memory_order_relaxed);
+    });
+    LastTick = Sig->Ticks;
+    if (StopDispatch.load(std::memory_order_relaxed))
+      return;
+  }
+}
+
+void AnalysisService::pump() {
+  std::vector<std::shared_ptr<JobState>> ToFinalize;
+  {
+    std::lock_guard<std::mutex> Lock(SMu);
+
+    // Cancelled jobs leave the queue at once; they finalize below as
+    // soon as their already-launched units drain.
+    Queue.sweepCancelled();
+
+    // Jobs stay in Active until finalize() completes (it erases them):
+    // drain()/shutdown() must not observe an empty service before the
+    // last job's result is written and its counters bumped.
+    for (const auto &[Id, JSp] : Active) {
+      JobState &JS = *JSp;
+      if (JS.Exhausted && !JS.Finalized &&
+          JS.UnitsFinished.load(std::memory_order_acquire) ==
+              JS.UnitsLaunched.load(std::memory_order_acquire)) {
+        JS.Finalized = true;
+        ToFinalize.push_back(JSp);
+      }
+    }
+
+    // Dispatch gating: at most Workers_ units occupy the pool, so a
+    // parked budget acquire always has running slot-holders ahead of it
+    // and the per-tenant unit cap bounds how much of the pool one
+    // tenant's units can sit on.
+    while (InflightUnits.load(std::memory_order_relaxed) < Workers_) {
+      size_t Cap = tenantUnitCap();
+      size_t Unit = 0;
+      std::shared_ptr<JobState> JSp = Queue.claimUnit(
+          [&](const JobState &J) {
+            // Doomed units are claimed unconditionally: runUnit no-ops
+            // them, which is how a cancelled job's queue share drains.
+            return J.CancelFlag.load(std::memory_order_relaxed) ||
+                   Quota.inflight(J.Spec.Tenant) < Cap;
+          },
+          Unit);
+      if (!JSp)
+        break;
+      if (!JSp->Started) {
+        JSp->Started = true;
+        Quota.jobStarted(JSp->Spec.Tenant);
+        std::lock_guard<std::mutex> JLock(JSp->Mu);
+        JSp->Status = JobStatus::Running;
+      }
+      Quota.unitLaunched(JSp->Spec.Tenant);
+      InflightUnits.fetch_add(1, std::memory_order_relaxed);
+      JSp->UnitsLaunched.fetch_add(1, std::memory_order_release);
+      ++Stats_->UnitsDispatched;
+      Pool->submit([this, JSp, Unit] { runUnit(JSp, Unit); });
+    }
+  }
+  for (const std::shared_ptr<JobState> &JS : ToFinalize)
+    finalize(JS);
+}
+
+size_t AnalysisService::tenantUnitCap() const {
+  if (Opts.TenantMaxInflight)
+    return Opts.TenantMaxInflight;
+  size_t A = Quota.activeTenants();
+  size_t Cap = Workers_ / (A ? A : 1);
+  return Cap ? Cap : 1;
+}
+
+size_t AnalysisService::tenantSlotCap() const {
+  size_t UnitCap = tenantUnitCap();
+  size_t Cap = Opts.TenantMaxSlots ? Opts.TenantMaxSlots : UnitCap;
+  // Every dispatched unit must be able to hold its base slot, or a
+  // tenant at its unit cap could park all of its units forever.
+  return Cap > UnitCap ? Cap : UnitCap;
+}
+
+void AnalysisService::runUnit(std::shared_ptr<JobState> JS, size_t Unit) {
+  const std::string &Tenant = JS->Spec.Tenant;
+  const bool IsDse = JS->Spec.Kind == JobKind::Dse;
+
+  bool Skipped = JS->CancelFlag.load(std::memory_order_relaxed);
+  bool Faulted = false;
+  std::set<std::string> UnitReasons;
+
+  // Chaos site: dispatch faults degrade exactly one unit. A Hang here
+  // polls the job's cancel flag — the wedged-dispatch shape the per-job
+  // watchdog breaks — and a hang that ran its course is a transient
+  // stall, not a fault.
+  if (!Skipped) {
+    if (FaultInjector *FI = FaultInjector::active()) {
+      try {
+        if (FI->fire(FaultSite::JobDispatch, &JS->CancelFlag))
+          Faulted = true;
+      } catch (const FaultInjected &) {
+        Faulted = true;
+      }
+    }
+    if (JS->CancelFlag.load(std::memory_order_relaxed)) {
+      Skipped = true;
+      Faulted = false;
+    } else if (Faulted) {
+      UnitReasons.insert("dispatch-fault");
+    }
+  }
+
+  // Borrow slots: the claim hook charges the tenant atomically with the
+  // grant; a cancelled job's parked acquire unparks with 0.
+  size_t Got = 0;
+  if (!Skipped && !Faulted) {
+    size_t Want = JS->Spec.ShardsPerUnit ? JS->Spec.ShardsPerUnit : 1;
+    size_t SlotCap = tenantSlotCap();
+    Got = Budget_->acquire(
+        Want,
+        [&](size_t Avail) { return Quota.claimSlots(Tenant, Avail, SlotCap); },
+        &JS->CancelFlag);
+    if (Got == 0)
+      Skipped = true;
+  }
+
+  EngineResult ER;
+  std::shared_ptr<Survey> Slice;
+  if (!Skipped && !Faulted) {
+    if (IsDse) {
+      EngineOptions EO = JS->Spec.Engine;
+      EO.Runtime = JS->Runtime;
+      EO.Workers = Got;
+      EO.ClampWorkers = false; // Got is already within the budget
+      EO.Cancel = &JS->CancelFlag;
+      EO.CacheSnapshot.clear(); // the service warm-boots tenant runtimes
+      EO.Cegar.Reliability.SharedQuarantine = Quar_;
+      std::unique_ptr<SolverBackend> Backend;
+      try {
+        Backend = EO.BackendFactory();
+      } catch (...) {
+      }
+      if (!Backend) {
+        Faulted = true;
+        UnitReasons.insert("backend-construction");
+        noteDegraded();
+      } else {
+        DseEngine Engine(*Backend, EO);
+        ER = Engine.run(JS->Spec.Programs[Unit]);
+        const RuntimeStats &W = ER.Runtime;
+        if (W.BreakerShortCircuits.load())
+          UnitReasons.insert("breaker-degraded");
+        if (W.QuarantineHits.load())
+          UnitReasons.insert("quarantined");
+        if (W.GuardTimeouts.load())
+          UnitReasons.insert("guard-timeout");
+        if (W.BreakerOpens.load() || W.WorkerSpawnFallbacks.load())
+          noteDegraded();
+        if (!ER.Errors.empty()) {
+          UnitReasons.insert("engine-degraded");
+          noteDegraded();
+        }
+      }
+    } else {
+      Slice = std::make_shared<Survey>(JS->Runtime);
+      size_t N = JS->Spec.Packages.size();
+      size_t Begin = N * Unit / JS->Units;
+      size_t End = N * (Unit + 1) / JS->Units;
+      size_t Added =
+          Slice->addPackages(JS->Spec.Packages, Begin, End, &JS->CancelFlag);
+      if (Added < End - Begin)
+        Skipped = JS->CancelFlag.load(std::memory_order_relaxed);
+    }
+  }
+
+  bool Streamed = !Skipped && !Faulted;
+  double FirstAt = secondsSince(JS->SubmitAt);
+  {
+    std::lock_guard<std::mutex> JLock(JS->Mu);
+    JS->ReasonSet.insert(UnitReasons.begin(), UnitReasons.end());
+    if (Streamed) {
+      JobUnitResult U;
+      U.Unit = Unit;
+      if (IsDse) {
+        JS->Result.Results[Unit] = ER;
+        U.Dse = std::move(ER);
+      } else {
+        JS->Slices[Unit] = Slice;
+        U.Slice = std::move(Slice);
+      }
+      JS->Stream.push_back(std::move(U));
+      if (JS->FirstResultSeconds < 0)
+        JS->FirstResultSeconds = FirstAt;
+      ++Stats_->ResultsStreamed;
+    }
+  }
+  JS->Cv.notify_all();
+
+  if (Got)
+    Budget_->release(Got, [&] { Quota.releaseSlots(Tenant, Got); });
+  Quota.unitFinished(Tenant);
+  InflightUnits.fetch_sub(1, std::memory_order_relaxed);
+  if (Skipped)
+    ++Stats_->UnitsSkipped;
+  if (Faulted)
+    ++Stats_->UnitsFaulted;
+  JS->UnitsFinished.fetch_add(1, std::memory_order_release);
+  Sig->poke();
+}
+
+void AnalysisService::finalize(const std::shared_ptr<JobState> &JS) {
+  // Outside SMu: disarm blocks on a mid-flight deadline callback, and
+  // the callback path never takes a service lock.
+  if (JS->DeadlineArmed) {
+    Watchdog::global().disarm(JS->DeadlineToken);
+    JS->DeadlineArmed = false;
+  }
+
+  JobStatus Final = JobStatus::Completed;
+  if (JS->DeadlineFired.load(std::memory_order_relaxed))
+    Final = JobStatus::Deadline;
+  else if (JS->CancelFlag.load(std::memory_order_relaxed))
+    Final = JobStatus::Cancelled;
+
+  // Counters and quota move before Done is published: a caller whose
+  // wait() returns must observe the finished job everywhere.
+  switch (Final) {
+  case JobStatus::Completed:
+    ++Stats_->JobsCompleted;
+    break;
+  case JobStatus::Cancelled:
+    ++Stats_->JobsCancelled;
+    break;
+  case JobStatus::Deadline:
+    ++Stats_->JobsDeadline;
+    break;
+  default:
+    break;
+  }
+  Quota.jobFinished(JS->Spec.Tenant, JS->Started);
+
+  double Secs = secondsSince(JS->SubmitAt);
+  ServiceHealth H = health();
+  {
+    std::lock_guard<std::mutex> JLock(JS->Mu);
+    if (Final == JobStatus::Deadline)
+      JS->ReasonSet.insert("deadline: job deadline expired");
+    else if (Final == JobStatus::Cancelled)
+      JS->ReasonSet.insert(JS->ShutdownCancel.load(std::memory_order_relaxed)
+                               ? "cancelled: service shutdown"
+                               : "cancelled: caller request");
+    if (JS->Spec.Kind == JobKind::Survey) {
+      // Slice-order merge: equal to a serial Survey over the same
+      // packages when no slice was cut short.
+      auto Out = std::make_shared<Survey>(JS->Runtime);
+      for (const std::shared_ptr<Survey> &S : JS->Slices)
+        if (S)
+          Out->merge(*S);
+      JS->Result.SurveyOut = std::move(Out);
+    }
+    JS->Result.Status = Final;
+    JS->Result.Health = H;
+    JS->Result.Reasons.assign(JS->ReasonSet.begin(), JS->ReasonSet.end());
+    JS->Result.Seconds = Secs;
+    JS->Result.FirstResultSeconds = JS->FirstResultSeconds;
+    JS->Status = Final;
+    JS->Done = true;
+  }
+  JS->Cv.notify_all();
+
+  {
+    std::lock_guard<std::mutex> Lock(SMu);
+    Active.erase(JS->Id);
+  }
+  DrainCv.notify_all();
+}
+
+void AnalysisService::noteDegraded() {
+  LastDegradedMs.store(steadyMs(), std::memory_order_relaxed);
+}
+
+ServiceHealth AnalysisService::health() const {
+  if (Phase_.load(std::memory_order_relaxed) != Running)
+    return ServiceHealth::Draining;
+  int64_t Last = LastDegradedMs.load(std::memory_order_relaxed);
+  if (Last >= 0 && steadyMs() - Last <
+                       static_cast<int64_t>(Opts.DegradedCooldownMs))
+    return ServiceHealth::Degraded;
+  return ServiceHealth::Healthy;
+}
+
+size_t AnalysisService::activeJobs() const {
+  std::lock_guard<std::mutex> Lock(SMu);
+  return Active.size();
+}
+
+size_t AnalysisService::queuedJobs() const {
+  std::lock_guard<std::mutex> Lock(SMu);
+  return Queue.queuedJobs();
+}
+
+RuntimeStats AnalysisService::runtimeStats() const {
+  std::lock_guard<std::mutex> Lock(SMu);
+  RuntimeStats Out;
+  for (const auto &[T, RT] : Runtimes)
+    Out.merge(RT->stats());
+  return Out;
+}
+
+void AnalysisService::drain() {
+  std::lock_guard<std::mutex> LG(LifecycleMu);
+  int Expected = Running;
+  Phase_.compare_exchange_strong(Expected, Draining);
+  Sig->poke();
+  std::unique_lock<std::mutex> Lock(SMu);
+  DrainCv.wait(Lock, [this] { return Active.empty(); });
+}
+
+ShutdownReport AnalysisService::shutdown(uint32_t GraceMs) {
+  auto Start = std::chrono::steady_clock::now();
+  ShutdownReport Rep;
+  std::lock_guard<std::mutex> LG(LifecycleMu);
+  if (Phase_.load(std::memory_order_relaxed) == Stopped)
+    return Rep;
+  Phase_.store(Draining, std::memory_order_relaxed);
+  Sig->poke();
+
+  if (GraceMs) {
+    std::unique_lock<std::mutex> Lock(SMu);
+    DrainCv.wait_for(Lock, std::chrono::milliseconds(GraceMs),
+                     [this] { return Active.empty(); });
+  }
+
+  // Grace expired (or none): cancel the stragglers cooperatively. The
+  // cancel lattice (engine/CEGAR/survey polls, clamped solver timeouts,
+  // budget-park unparking) bounds how long the wait below can take.
+  std::vector<std::shared_ptr<JobState>> Stragglers;
+  {
+    std::lock_guard<std::mutex> Lock(SMu);
+    for (const auto &[Id, JS] : Active)
+      Stragglers.push_back(JS);
+  }
+  Rep.CancelledJobs = Stragglers.size();
+  Rep.Clean = Stragglers.empty();
+  for (const std::shared_ptr<JobState> &JS : Stragglers) {
+    JS->ShutdownCancel.store(true, std::memory_order_relaxed);
+    JS->requestCancel();
+  }
+  {
+    std::unique_lock<std::mutex> Lock(SMu);
+    DrainCv.wait(Lock, [this] { return Active.empty(); });
+  }
+
+  StopDispatch.store(true, std::memory_order_relaxed);
+  Sig->poke();
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+  Pool->wait();
+
+  if (!Opts.StateDir.empty()) {
+    std::vector<std::pair<std::string, std::shared_ptr<RegexRuntime>>> RTs;
+    {
+      std::lock_guard<std::mutex> Lock(SMu);
+      RTs.assign(Runtimes.begin(), Runtimes.end());
+    }
+    for (const auto &[T, RT] : RTs) {
+      if (RT->save(Opts.StateDir + "/" + snapshot::tenantSnapshotFile(T))) {
+        ++Stats_->SnapshotSaves;
+        ++Rep.SnapshotsSaved;
+      } else {
+        ++Stats_->SnapshotSaveFailures;
+        ++Rep.SnapshotFailures;
+      }
+    }
+    // One generation per shutdown cycle: keys that stopped burning for
+    // QuarantineMaxAgeGenerations cycles age out of the sidecar here.
+    Quar_->bumpGeneration();
+    uint64_t ExpiredBefore = Quar_->expired();
+    bool SidecarOk = Quar_->save(Opts.StateDir + "/" + QuarantineSidecar);
+    Stats_->QuarantineExpired += Quar_->expired() - ExpiredBefore;
+    if (SidecarOk) {
+      ++Stats_->SnapshotSaves;
+      ++Rep.SnapshotsSaved;
+    } else {
+      ++Stats_->SnapshotSaveFailures;
+      ++Rep.SnapshotFailures;
+    }
+  }
+
+  Phase_.store(Stopped, std::memory_order_relaxed);
+  Rep.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  return Rep;
+}

@@ -1,0 +1,202 @@
+//===- service/AnalysisService.h - Resident analysis service ----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident, multi-tenant front door of the library (DESIGN.md §10):
+/// callers submit DSE or survey jobs and get a JobHandle; the service
+/// multiplexes every job onto ONE worker pool + slot budget, with
+/// admission control (bounded queue, per-tenant quotas, reject with
+/// reason), end-to-end deadlines enforced by the shared watchdog plus the
+/// cooperative cancel lattice (engine test/flip polls, CEGAR round polls,
+/// survey package polls, budget-park unparking), per-tenant runtime-cache
+/// partitioning, breaker/quarantine health surfacing, and graceful
+/// drain/shutdown with snapshot-on-shutdown / warm-boot.
+///
+/// The robustness contract mirrors the reliability layer's: every
+/// degraded edge is *contained and reported*, never a wrong answer — a
+/// reject returns an error before any state exists, a deadline or cancel
+/// finalizes with the finished units' real verdicts plus a reason, and
+/// breaker/quarantine degradation inside a unit surfaces as Unknown
+/// verdicts with the reason echoed on the job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_ANALYSISSERVICE_H
+#define RECAP_SERVICE_ANALYSISSERVICE_H
+
+#include "parallel/WorkerPool.h"
+#include "service/Job.h"
+#include "service/JobQueue.h"
+#include "service/TenantQuota.h"
+#include "support/Result.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace recap {
+
+struct ServiceOptions {
+  /// Pool threads == budget slots (0 = one per hardware thread).
+  size_t Workers = 0;
+  /// Cut Workers down to hardware_concurrency() (tests oversubscribing on
+  /// purpose turn this off, like EngineOptions::ClampWorkers).
+  bool ClampWorkers = true;
+  /// Jobs admitted but not yet started, across all tenants; the next
+  /// submission is rejected (queue-full) beyond it. 0 = unbounded.
+  size_t MaxQueuedJobs = 256;
+  /// Same bound per tenant. 0 = unbounded.
+  size_t TenantMaxQueued = 64;
+  /// Units of one tenant dispatched concurrently. 0 = fair share:
+  /// max(1, Workers / active tenants), recomputed at every claim.
+  size_t TenantMaxInflight = 0;
+  /// Budget slots one tenant may hold concurrently. 0 = fair share.
+  /// Clamped up to the tenant's unit cap so every dispatched unit can
+  /// hold its base slot (deadlock freedom).
+  size_t TenantMaxSlots = 0;
+  /// State directory for warm boots: per-tenant runtime snapshots
+  /// (snapshot::tenantSnapshotFile) and the quarantine sidecar, loaded at
+  /// construction and written by shutdown(). Empty = no persistence.
+  std::string StateDir;
+  /// Per-tenant runtime construction policy.
+  RuntimeOptions Runtime;
+  /// Engine defaults merged into each JobSpec::Engine at submit:
+  /// BackendFactory fills in when the spec leaves it null; the
+  /// reliability block seeds the shared quarantine policy. Runtime,
+  /// Workers, ClampWorkers, Cancel and CacheSnapshot in here are
+  /// ignored — those are substrate policy the service owns.
+  EngineOptions Engine;
+  /// Default applied to the quarantine policy's MaxAgeGenerations when
+  /// the Engine template leaves it 0: one generation per service
+  /// shutdown cycle, so keys that stop burning age out of the sidecar
+  /// instead of pinning it forever.
+  unsigned QuarantineMaxAgeGenerations = 8;
+  /// How long after the last observed degradation (breaker open, worker
+  /// spawn fallback) health() keeps reporting Degraded.
+  uint32_t DegradedCooldownMs = 5000;
+};
+
+/// Service-level counters (all atomic; see RuntimeStats for the engine
+/// tiers below).
+struct ServiceStats {
+  StatCounter Submitted;
+  StatCounter Admitted;
+  StatCounter RejectedQueueFull;
+  StatCounter RejectedTenantQueue;
+  StatCounter RejectedDraining;
+  StatCounter RejectedInvalid;
+  StatCounter RejectedFault; ///< FaultSite::JobAdmit injections
+  StatCounter UnitsDispatched;
+  StatCounter UnitsSkipped; ///< claimed but never run (cancel/deadline)
+  StatCounter UnitsFaulted; ///< FaultSite::JobDispatch injections
+  StatCounter JobsCompleted;
+  StatCounter JobsCancelled;
+  StatCounter JobsDeadline;
+  StatCounter ResultsStreamed;
+  StatCounter SnapshotSaves;
+  StatCounter SnapshotSaveFailures;
+  StatCounter QuarantineExpired; ///< aged out on shutdown sidecar save
+  StatCounter WarmBoots; ///< quarantine/runtime state restored at boot
+};
+
+/// What shutdown() did.
+struct ShutdownReport {
+  bool Clean = true;          ///< no job had to be cancelled
+  size_t CancelledJobs = 0;   ///< jobs cancelled when the grace expired
+  size_t SnapshotsSaved = 0;  ///< runtime snapshots + sidecar written
+  size_t SnapshotFailures = 0;
+  double Seconds = 0;         ///< shutdown() entry to completion
+};
+
+/// The resident service. Construction spawns the pool and the dispatcher
+/// thread and (with a StateDir) warm-boots persisted state; destruction
+/// runs shutdown(0) if the caller did not. All public methods are
+/// thread-safe.
+class AnalysisService {
+public:
+  explicit AnalysisService(ServiceOptions Opts = {});
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService &) = delete;
+  AnalysisService &operator=(const AnalysisService &) = delete;
+
+  /// Admission: validates the spec, applies engine defaults and deadline
+  /// clamps, checks queue bounds and tenant quotas (and the JobAdmit
+  /// chaos site), arms the deadline watchdog, and enqueues. Returns the
+  /// handle, or the rejection reason — a reject has no side effects
+  /// beyond its counter.
+  Result<JobHandle> submit(JobSpec Spec);
+
+  /// Stops admitting (health turns Draining) and blocks until every
+  /// in-flight job finalizes naturally. Queued jobs still run: drain is
+  /// "finish what was promised", shutdown is "stop now".
+  void drain();
+
+  /// Graceful stop: drains for up to \p GraceMs (0 = none), cancels
+  /// whatever is still running, waits for the cancels to drain
+  /// (cooperative polls bound this), joins the dispatcher and pool, and
+  /// — with a StateDir — persists per-tenant runtime snapshots and the
+  /// aged quarantine sidecar for the next boot. Idempotent.
+  ShutdownReport shutdown(uint32_t GraceMs = 0);
+
+  ServiceHealth health() const;
+  const ServiceStats &stats() const { return *Stats_; }
+  size_t activeJobs() const;
+  size_t queuedJobs() const;
+  size_t workers() const { return Workers_; }
+  size_t slotsInUse() const { return Budget_->inUse(); }
+  /// Merged runtime window across every tenant runtime.
+  RuntimeStats runtimeStats() const;
+  const std::shared_ptr<Quarantine> &quarantine() const { return Quar_; }
+
+  /// Sidecar file name under StateDir (shared with tests).
+  static constexpr const char *QuarantineSidecar = "quarantine.sidecar";
+
+private:
+  enum Phase : int { Running, Draining, Stopped };
+
+  std::shared_ptr<RegexRuntime> tenantRuntime(const std::string &T);
+  size_t tenantUnitCap() const;
+  size_t tenantSlotCap() const;
+  void dispatchLoop();
+  void pump();
+  void runUnit(std::shared_ptr<JobState> JS, size_t Unit);
+  void finalize(const std::shared_ptr<JobState> &JS);
+  void noteDegraded();
+
+  ServiceOptions Opts;
+  size_t Workers_ = 1;
+  std::shared_ptr<ServiceStats> Stats_;
+  std::shared_ptr<ServiceSignals> Sig;
+  std::shared_ptr<sched::WorkerBudget> Budget_;
+  std::unique_ptr<WorkerPool> Pool;
+  std::shared_ptr<Quarantine> Quar_;
+
+  std::atomic<int> Phase_{Running};
+  std::atomic<bool> StopDispatch{false};
+  std::atomic<size_t> InflightUnits{0};
+  std::atomic<int64_t> LastDegradedMs{-1}; ///< steady ms; -1 = never
+
+  /// Service mutex: queue, active set, tenant runtimes, job dispatcher
+  /// state. Order: SMu -> TenantQuota/JobState mutexes, never the
+  /// reverse; watchdog disarm happens outside SMu.
+  mutable std::mutex SMu;
+  std::condition_variable DrainCv; ///< waits on Active emptying, on SMu
+  JobQueue Queue;
+  std::map<uint64_t, std::shared_ptr<JobState>> Active;
+  std::map<std::string, std::shared_ptr<RegexRuntime>> Runtimes;
+  uint64_t NextJobId = 1;
+
+  TenantQuota Quota;
+
+  std::mutex LifecycleMu; ///< serializes drain()/shutdown()
+  std::thread Dispatcher;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_ANALYSISSERVICE_H

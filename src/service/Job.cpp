@@ -1,0 +1,63 @@
+//===- service/Job.cpp - Job handle blocking operations --------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Job.h"
+
+using namespace recap;
+
+const char *recap::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Queued:
+    return "queued";
+  case JobStatus::Running:
+    return "running";
+  case JobStatus::Completed:
+    return "completed";
+  case JobStatus::Cancelled:
+    return "cancelled";
+  case JobStatus::Deadline:
+    return "deadline";
+  }
+  return "?";
+}
+
+const char *recap::serviceHealthName(ServiceHealth H) {
+  switch (H) {
+  case ServiceHealth::Healthy:
+    return "healthy";
+  case ServiceHealth::Degraded:
+    return "degraded";
+  case ServiceHealth::Draining:
+    return "draining";
+  }
+  return "?";
+}
+
+bool JobHandle::wait(uint32_t TimeoutMs) const {
+  std::unique_lock<std::mutex> Lock(S->Mu);
+  auto Finalized = [this] { return S->Done; };
+  if (TimeoutMs == 0) {
+    S->Cv.wait(Lock, Finalized);
+    return true;
+  }
+  return S->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                        Finalized);
+}
+
+bool JobHandle::nextResult(JobUnitResult &Out, uint32_t TimeoutMs) {
+  std::unique_lock<std::mutex> Lock(S->Mu);
+  auto Ready = [this] { return !S->Stream.empty() || S->Done; };
+  if (TimeoutMs == 0)
+    S->Cv.wait(Lock, Ready);
+  else if (!S->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                           Ready))
+    return false;
+  if (S->Stream.empty())
+    return false;
+  Out = std::move(S->Stream.front());
+  S->Stream.pop_front();
+  return true;
+}

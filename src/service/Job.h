@@ -1,0 +1,245 @@
+//===- service/Job.h - Analysis service job types ---------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The job vocabulary of the resident analysis service (DESIGN.md §10):
+/// what callers submit (JobSpec), what they hold while it runs
+/// (JobHandle), what they get back (JobResult, streamed per-unit as
+/// JobUnitResult), and the shared per-job state the service, queue and
+/// handle all see (JobState). A "unit" is the dispatch granule — one
+/// program of a DSE job, one package slice of a survey job — so results
+/// stream as they finish and a heavy job interleaves with light ones on
+/// the shared pool instead of holding it hostage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_JOB_H
+#define RECAP_SERVICE_JOB_H
+
+#include "dse/Engine.h"
+#include "sched/WorkerBudget.h"
+#include "survey/Survey.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+enum class JobKind : uint8_t {
+  Dse,    ///< DSE over JobSpec::Programs (one unit per program)
+  Survey, ///< survey over JobSpec::Packages (one unit per package slice)
+};
+
+/// One analysis job as submitted. The service overrides the fields that
+/// are substrate policy (Engine.Runtime, Engine.Workers, snapshot paths);
+/// everything else in Engine is the per-job knob surface the ROADMAP's
+/// "one substrate, many policies" architecture calls for.
+struct JobSpec {
+  JobKind Kind = JobKind::Dse;
+  /// Tenant id: quota accounting, fair-share caps and cache partitioning
+  /// key. Empty folds to "default".
+  std::string Tenant;
+  /// DSE corpus (Kind == Dse); one unit per program.
+  std::vector<Program> Programs;
+  /// Survey corpus (Kind == Survey): outer index = package, inner = its
+  /// JS file contents. Sliced deterministically like Survey::runParallel.
+  std::vector<std::vector<std::string>> Packages;
+  /// Per-job engine policy. BackendFactory defaults to the service's;
+  /// with a deadline set, check deadlines and solver timeouts are
+  /// clamped so in-flight work drains within the job deadline.
+  EngineOptions Engine;
+  /// End-to-end deadline from admission (queue wait included); 0 = none.
+  /// Expiry cancels the job cooperatively and reports JobStatus::Deadline.
+  uint32_t DeadlineMs = 0;
+  /// Higher dispatches first; ties dispatch FIFO.
+  int Priority = 0;
+  /// Budget slots one unit may borrow for intra-unit shards (floored at
+  /// 1; also capped by the tenant's fair-share slot cap at grant time).
+  size_t ShardsPerUnit = 1;
+};
+
+enum class JobStatus : uint8_t {
+  Queued,
+  Running,
+  Completed, ///< every unit ran (possibly with contained degradations)
+  Cancelled, ///< caller cancel() or service shutdown
+  Deadline,  ///< JobSpec::DeadlineMs expired first
+};
+
+const char *jobStatusName(JobStatus S);
+
+/// Service health, derived from the reliability layer's counters
+/// (breaker opens, worker-spawn fallbacks) observed in finished units.
+enum class ServiceHealth : uint8_t { Healthy, Degraded, Draining };
+
+const char *serviceHealthName(ServiceHealth H);
+
+/// One finished unit, streamed through JobHandle::nextResult in
+/// completion order.
+struct JobUnitResult {
+  size_t Unit = 0;
+  /// Kind == Dse: the unit's engine window (empty when the unit was
+  /// skipped or faulted — degradation is Unknown-with-reason, never a
+  /// made-up verdict).
+  EngineResult Dse;
+  /// Kind == Survey: the unit's slice window.
+  std::shared_ptr<Survey> Slice;
+};
+
+/// Final job outcome. Degraded edges keep the soundness contract: a
+/// reject never produces a handle, a deadline/cancel leaves the finished
+/// units' real verdicts plus a reason, and breaker/quarantine degradation
+/// surfaces as Unknown verdicts inside the unit results with a reason
+/// echoed here — never a wrong Sat/Unsat.
+struct JobResult {
+  JobStatus Status = JobStatus::Queued;
+  ServiceHealth Health = ServiceHealth::Healthy;
+  /// Human-readable degradation reasons ("deadline: ...", "cancelled:
+  /// ...", "breaker-degraded", "quarantined", injected-fault notes, ...).
+  /// Empty on a clean run.
+  std::vector<std::string> Reasons;
+  /// Kind == Dse: per-program results, indexed like JobSpec::Programs.
+  /// Units that never ran stay empty (TestsRun == 0).
+  std::vector<EngineResult> Results;
+  /// Kind == Survey: the slice merge (slice order, so it equals a serial
+  /// Survey over the same packages when nothing was cancelled).
+  std::shared_ptr<Survey> SurveyOut;
+  /// Admission to finalization.
+  double Seconds = 0;
+  /// Admission to first streamed unit; negative when nothing streamed.
+  double FirstResultSeconds = -1;
+};
+
+/// Cross-thread wakeup hub shared by the service's dispatcher and every
+/// job: submissions, unit completions, cancellations and deadline firings
+/// all poke() it. Jobs hold it by shared_ptr so a JobHandle outliving the
+/// service can still cancel() safely.
+struct ServiceSignals {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  uint64_t Ticks = 0;
+
+  void poke() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Ticks;
+    }
+    Cv.notify_all();
+  }
+};
+
+/// Shared state of one job. Internal to the service machinery — callers
+/// interact through JobHandle — but defined here so AnalysisService,
+/// JobQueue and JobHandle agree on one object. Locking: the "dispatcher
+/// state" block is owned by the service dispatcher under the service
+/// mutex; the "result state" block is guarded by Mu (never held while
+/// taking a service lock); the atomics are free-threaded.
+struct JobState {
+  // Immutable after admission.
+  uint64_t Id = 0;
+  JobSpec Spec;
+  size_t Units = 0;
+  std::chrono::steady_clock::time_point SubmitAt;
+  std::shared_ptr<RegexRuntime> Runtime; ///< the tenant's runtime
+  std::shared_ptr<ServiceSignals> Signals;
+  std::shared_ptr<sched::WorkerBudget> Budget;
+
+  // Dispatcher state (under the service mutex).
+  size_t NextUnit = 0;      ///< units handed to the pool so far
+  size_t SkippedUnits = 0;  ///< units never dispatched (cancel/expiry)
+  bool Exhausted = false;   ///< no further units will be dispatched
+  bool Started = false;     ///< left the queued state (first unit claimed)
+  bool Finalized = false;
+  uint64_t DeadlineToken = 0;
+  bool DeadlineArmed = false;
+
+  // Free-threaded.
+  std::atomic<bool> CancelFlag{false};
+  std::atomic<bool> DeadlineFired{false};
+  std::atomic<bool> ShutdownCancel{false};
+  std::atomic<size_t> UnitsLaunched{0};
+  std::atomic<size_t> UnitsFinished{0};
+
+  // Result state (under Mu).
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  JobStatus Status = JobStatus::Queued;
+  bool Done = false;
+  JobResult Result;
+  std::deque<JobUnitResult> Stream;
+  std::vector<std::shared_ptr<Survey>> Slices;
+  std::set<std::string> ReasonSet;
+  double FirstResultSeconds = -1;
+
+  /// Requests cooperative cancellation and wakes everything that might be
+  /// parked on this job's behalf. Idempotent; safe after the service died.
+  void requestCancel() {
+    CancelFlag.store(true, std::memory_order_relaxed);
+    if (Budget)
+      Budget->wake();
+    if (Signals)
+      Signals->poke();
+    Cv.notify_all();
+  }
+};
+
+/// Caller-side view of a submitted job: poll, wait, cancel, stream.
+/// Copyable; all copies observe the same job. Thread-safe, except that
+/// concurrent nextResult() callers race for stream elements (each unit
+/// is delivered to exactly one of them).
+class JobHandle {
+public:
+  JobHandle() = default;
+  explicit JobHandle(std::shared_ptr<JobState> S) : S(std::move(S)) {}
+
+  bool valid() const { return S != nullptr; }
+  uint64_t id() const { return S->Id; }
+
+  JobStatus status() const {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    return S->Status;
+  }
+  bool done() const {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    return S->Done;
+  }
+
+  /// Blocks until the job finalizes, at most \p TimeoutMs (0 = forever).
+  /// Returns whether it finalized.
+  bool wait(uint32_t TimeoutMs = 0) const;
+
+  /// Requests cooperative cancellation: queued units are skipped, running
+  /// units drain at their next poll point, and the job finalizes as
+  /// Cancelled (or Deadline, if that raced and won). Idempotent; a job
+  /// that already completed is unaffected.
+  void cancel() { S->requestCancel(); }
+
+  /// Pops the next finished unit, blocking up to \p TimeoutMs (0 =
+  /// forever) for one to arrive. False when the stream is exhausted (job
+  /// finalized and every streamed unit consumed) or the timeout expired.
+  bool nextResult(JobUnitResult &Out, uint32_t TimeoutMs = 0);
+
+  /// Snapshot of the final result; meaningful once wait() returned true
+  /// (before that it reports the in-flight status with partial results).
+  JobResult result() const {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    return S->Result;
+  }
+
+private:
+  std::shared_ptr<JobState> S;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_JOB_H

@@ -1,0 +1,55 @@
+//===- service/JobQueue.cpp - Priority job/unit queue ----------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JobQueue.h"
+
+using namespace recap;
+
+void JobQueue::push(std::shared_ptr<JobState> JS) {
+  Q.emplace(keyOf(*JS), std::move(JS));
+}
+
+std::shared_ptr<JobState>
+JobQueue::claimUnit(const std::function<bool(const JobState &)> &TenantOk,
+                    size_t &Unit) {
+  for (auto It = Q.begin(); It != Q.end(); ++It) {
+    JobState &JS = *It->second;
+    if (TenantOk && !TenantOk(JS))
+      continue;
+    Unit = JS.NextUnit++;
+    std::shared_ptr<JobState> Out = It->second;
+    if (JS.NextUnit >= JS.Units) {
+      JS.Exhausted = true;
+      Q.erase(It);
+    }
+    return Out;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<JobState>> JobQueue::sweepCancelled() {
+  std::vector<std::shared_ptr<JobState>> Removed;
+  for (auto It = Q.begin(); It != Q.end();) {
+    JobState &JS = *It->second;
+    if (!JS.CancelFlag.load(std::memory_order_relaxed)) {
+      ++It;
+      continue;
+    }
+    JS.SkippedUnits += JS.Units - JS.NextUnit;
+    JS.NextUnit = JS.Units;
+    JS.Exhausted = true;
+    Removed.push_back(It->second);
+    It = Q.erase(It);
+  }
+  return Removed;
+}
+
+size_t JobQueue::queuedJobs() const {
+  size_t N = 0;
+  for (const auto &[K, JS] : Q)
+    N += JS->NextUnit == 0;
+  return N;
+}

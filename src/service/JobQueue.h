@@ -1,0 +1,71 @@
+//===- service/JobQueue.h - Priority job/unit queue -------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch queue of the analysis service: jobs ordered by
+/// (priority desc, admission seq asc), claimed one *unit* at a time so a
+/// large job never monopolizes the pool. Externally synchronized — every
+/// method runs under the service mutex; the queue itself holds no lock
+/// (it sits inside the dispatcher's critical section and must not
+/// introduce a second ordering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_JOBQUEUE_H
+#define RECAP_SERVICE_JOBQUEUE_H
+
+#include "service/Job.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace recap {
+
+/// Priority queue over admitted, non-exhausted jobs. A job leaves the
+/// queue when its last unit is claimed (Exhausted) or when a sweep
+/// removes it (cancel/deadline); finished-unit bookkeeping lives in
+/// JobState, not here.
+class JobQueue {
+public:
+  /// Admits a job (must have Units > 0 and not be exhausted).
+  void push(std::shared_ptr<JobState> JS);
+
+  /// Claims the next unit in priority order whose tenant passes
+  /// \p TenantOk, advancing the job's NextUnit. When the claim exhausts
+  /// the job it is popped and marked Exhausted. Returns the job and sets
+  /// \p Unit; null when nothing is claimable.
+  std::shared_ptr<JobState>
+  claimUnit(const std::function<bool(const JobState &)> &TenantOk,
+            size_t &Unit);
+
+  /// Removes every queued job whose CancelFlag is set, marking its
+  /// remaining units skipped and the job exhausted. Returns the removed
+  /// jobs so the caller can count them toward finalization.
+  std::vector<std::shared_ptr<JobState>> sweepCancelled();
+
+  /// Jobs that have not started (no unit claimed yet).
+  size_t queuedJobs() const;
+
+  /// Jobs present in the queue (started or not).
+  size_t size() const { return Q.size(); }
+  bool empty() const { return Q.empty(); }
+
+private:
+  /// Key orders by priority desc then admission seq asc.
+  using Key = std::pair<int, uint64_t>;
+  static Key keyOf(const JobState &JS) {
+    return {-JS.Spec.Priority, JS.Id};
+  }
+
+  std::map<Key, std::shared_ptr<JobState>> Q;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_JOBQUEUE_H

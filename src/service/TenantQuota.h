@@ -1,0 +1,149 @@
+//===- service/TenantQuota.h - Per-tenant admission accounting --*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant accounting for the analysis service: queued jobs, inflight
+/// units and borrowed budget slots, keyed by tenant id. The quota table
+/// has its own mutex and sits at the bottom of the service's lock order —
+/// it never calls out while locked, so it is safe to consult from the
+/// WorkerBudget claim hook (which runs under the budget lock) as well as
+/// from the service mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_TENANTQUOTA_H
+#define RECAP_SERVICE_TENANTQUOTA_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace recap {
+
+/// Tracks, per tenant: jobs waiting in the queue, jobs admitted overall,
+/// units currently running, and budget slots currently borrowed. All
+/// methods are thread-safe and non-blocking (one leaf mutex, no
+/// callouts).
+class TenantQuota {
+public:
+  /// Admission check: returns false when the tenant already has
+  /// \p MaxQueued jobs queued (0 = unlimited); otherwise records the new
+  /// queued job and returns true.
+  bool tryAdmit(const std::string &T, size_t MaxQueued) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Row &R = Rows[T];
+    if (MaxQueued && R.Queued >= MaxQueued)
+      return false;
+    ++R.Queued;
+    return true;
+  }
+
+  /// The job's first unit was claimed: it moved from queued to running.
+  void jobStarted(const std::string &T) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Row &R = Rows[T];
+    if (R.Queued)
+      --R.Queued;
+    ++R.Running;
+  }
+
+  /// The job finalized. \p EverStarted says which counter it occupies.
+  void jobFinished(const std::string &T, bool EverStarted) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Rows.find(T);
+    if (It == Rows.end())
+      return;
+    Row &R = It->second;
+    size_t &C = EverStarted ? R.Running : R.Queued;
+    if (C)
+      --C;
+    eraseIfIdle(It);
+  }
+
+  void unitLaunched(const std::string &T) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Rows[T].Inflight;
+  }
+
+  void unitFinished(const std::string &T) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Rows.find(T);
+    if (It == Rows.end())
+      return;
+    if (It->second.Inflight)
+      --It->second.Inflight;
+    eraseIfIdle(It);
+  }
+
+  /// Units of this tenant currently dispatched to the pool.
+  size_t inflight(const std::string &T) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Rows.find(T);
+    return It == Rows.end() ? 0 : It->second.Inflight;
+  }
+
+  /// Tenants with any queued or running presence — the denominator of
+  /// the fair-share cap, so an idle tenant never dilutes active ones.
+  size_t activeTenants() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    size_t N = 0;
+    for (const auto &[T, R] : Rows)
+      N += (R.Queued + R.Running + R.Inflight) > 0;
+    return N;
+  }
+
+  /// Budget claim hook (runs under the WorkerBudget lock): grants
+  /// min(\p Avail, room under \p SlotCap) slots to \p T and records the
+  /// grant atomically with the decision, so concurrent claimants cannot
+  /// jointly overshoot the cap. Returns the grant (0 = park).
+  size_t claimSlots(const std::string &T, size_t Avail, size_t SlotCap) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Row &R = Rows[T];
+    size_t Room = SlotCap > R.Slots ? SlotCap - R.Slots : 0;
+    size_t Got = Avail < Room ? Avail : Room;
+    R.Slots += Got;
+    return Got;
+  }
+
+  /// Budget release hook (under the WorkerBudget lock, paired with
+  /// claimSlots).
+  void releaseSlots(const std::string &T, size_t N) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Rows.find(T);
+    if (It == Rows.end())
+      return;
+    It->second.Slots = It->second.Slots > N ? It->second.Slots - N : 0;
+    eraseIfIdle(It);
+  }
+
+  size_t slots(const std::string &T) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Rows.find(T);
+    return It == Rows.end() ? 0 : It->second.Slots;
+  }
+
+private:
+  struct Row {
+    size_t Queued = 0;   ///< jobs admitted, not yet started
+    size_t Running = 0;  ///< jobs started, not yet finalized
+    size_t Inflight = 0; ///< units dispatched to the pool
+    size_t Slots = 0;    ///< budget slots currently borrowed
+  };
+
+  void eraseIfIdle(std::unordered_map<std::string, Row>::iterator It) {
+    const Row &R = It->second;
+    if (R.Queued == 0 && R.Running == 0 && R.Inflight == 0 && R.Slots == 0)
+      Rows.erase(It);
+  }
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Row> Rows;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_TENANTQUOTA_H

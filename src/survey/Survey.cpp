@@ -245,6 +245,21 @@ void Survey::merge(const Survey &O) {
   }
 }
 
+size_t Survey::addPackages(
+    const std::vector<std::vector<std::string>> &Packages, size_t Begin,
+    size_t End, const std::atomic<bool> *Cancel) {
+  if (End > Packages.size())
+    End = Packages.size();
+  size_t Added = 0;
+  for (size_t I = Begin; I < End; ++I) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      break;
+    addPackage(Packages[I]);
+    ++Added;
+  }
+  return Added;
+}
+
 Survey Survey::runParallel(
     const std::vector<std::vector<std::string>> &Packages, size_t Workers,
     std::shared_ptr<RegexRuntime> RT) {
@@ -291,8 +306,7 @@ Survey Survey::runParallel(
     Sched.add([&, Idx, NumSlices](size_t, size_t) {
       size_t Begin = N * Idx / NumSlices;
       size_t End = N * (Idx + 1) / NumSlices;
-      for (size_t I = Begin; I < End; ++I)
-        Slices[Idx].addPackage(Packages[I]);
+      Slices[Idx].addPackages(Packages, Begin, End);
     });
   Sched.run();
 

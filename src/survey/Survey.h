@@ -20,6 +20,7 @@
 #include "regex/Features.h"
 #include "runtime/RegexRuntime.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -63,6 +64,15 @@ public:
   /// Adds one package given the contents of its JavaScript files (empty
   /// vector = package without source files).
   void addPackage(const std::vector<std::string> &JsFiles);
+
+  /// Adds packages [\p Begin, \p End) of \p Packages, polling \p Cancel
+  /// between packages (service tier: a deadline-expired survey job drains
+  /// at package granularity). Returns the number actually added — less
+  /// than the range length iff cancelled, leaving a valid partial window
+  /// that still merges cleanly.
+  size_t addPackages(const std::vector<std::vector<std::string>> &Packages,
+                     size_t Begin, size_t End,
+                     const std::atomic<bool> *Cancel = nullptr);
 
   /// Folds another survey window into this one. Totals add; literals
   /// seen by \p O but not by this survey count into the unique rows

@@ -1,0 +1,664 @@
+//===- tests/service_test.cpp - Resident analysis service suite ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The DESIGN.md §10 resident service, deliberately Z3-free (LocalBackend
+// only) so the binary can join the ThreadSanitizer CI job:
+//
+//  - Basics: DSE and survey jobs complete and stream per-unit results;
+//    the survey merge equals a serial Survey; invalid specs reject.
+//  - Admission: bounded queue, per-tenant queued-job quotas and the
+//    draining phase all reject with a reason and a counter, never a
+//    half-admitted job.
+//  - Tenancy: three tenants share the pool under per-tenant caps; a
+//    light tenant's latency under flood stays within 2x its solo
+//    latency (ServiceLatency — excluded from TSan, timing-sensitive).
+//  - Cancel/deadline: a mid-job cancel or deadline drains cooperatively
+//    (no leaked budget slots, the job finalizes within 2x the deadline)
+//    and later jobs run unimpeded.
+//  - Drain/shutdown: drain finishes promised work; shutdown persists
+//    per-tenant runtime snapshots plus the aged quarantine sidecar, and
+//    the next boot is warm; a torn sidecar cold-starts clean.
+//  - Chaos (ServiceChaos): with admission/dispatch/solver faults
+//    injected, every job finalizes and each job that reports no
+//    degradation matches its fault-free verdicts bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Workloads.h"
+#include "reliability/FaultInjector.h"
+#include "service/AnalysisService.h"
+
+#include "CalibrationProbe.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace recap;
+
+namespace {
+
+// Prime the memoized scale probe before any test installs an injector
+// (see reliability_test.cpp for the rationale).
+const double PrimedScale = testsupport::localBudgetScale();
+
+uint32_t localDeadlineMs(uint32_t Ms) {
+  return static_cast<uint32_t>(Ms * testsupport::localBudgetScale());
+}
+
+double elapsedSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Service over LocalBackend with clamping off (CI runners are small).
+ServiceOptions localService(size_t Workers) {
+  ServiceOptions O;
+  O.Workers = Workers;
+  O.ClampWorkers = false;
+  O.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  O.Engine.MaxTests = 3;
+  O.Engine.MaxSeconds = testsupport::localScaledSeconds(20);
+  return O;
+}
+
+JobSpec dseJob(std::vector<Program> Programs, std::string Tenant = "") {
+  JobSpec S;
+  S.Kind = JobKind::Dse;
+  S.Tenant = std::move(Tenant);
+  S.Programs = std::move(Programs);
+  return S;
+}
+
+std::vector<std::vector<std::string>> surveyPackages(size_t N) {
+  std::vector<std::vector<std::string>> Out;
+  for (size_t I = 0; I < N; ++I) {
+    std::string Src = "var a = /ab+c/g; var b = 'no /regex/ here';\n"
+                      "if (x) { var c = /p" +
+                      std::to_string(I) + "[0-9]+/i; }\n";
+    Out.push_back({Src});
+  }
+  return Out;
+}
+
+JobSpec surveyJob(std::vector<std::vector<std::string>> Packages,
+                  std::string Tenant = "") {
+  JobSpec S;
+  S.Kind = JobKind::Survey;
+  S.Tenant = std::move(Tenant);
+  S.Packages = std::move(Packages);
+  return S;
+}
+
+/// Fresh state directory under the test temp dir.
+std::string freshStateDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "recap_service_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+//===----------------------------------------------------------------------===//
+// Basics
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceBasics, DseJobCompletesAndStreamsUnits) {
+  AnalysisService Svc(localService(2));
+  std::vector<Program> Programs;
+  for (uint64_t Seed = 0; Seed < 3; ++Seed)
+    Programs.push_back(generateMiniPackage(Seed));
+
+  Result<JobHandle> H = Svc.submit(dseJob(Programs));
+  ASSERT_TRUE(bool(H)) << H.error();
+
+  std::set<size_t> Units;
+  JobUnitResult U;
+  while (H->nextResult(U))
+    Units.insert(U.Unit);
+  EXPECT_EQ(Units.size(), 3u);
+
+  ASSERT_TRUE(H->wait(0));
+  JobResult R = H->result();
+  EXPECT_EQ(R.Status, JobStatus::Completed);
+  EXPECT_TRUE(R.Reasons.empty())
+      << "unexpected reason: " << R.Reasons.front();
+  ASSERT_EQ(R.Results.size(), 3u);
+  for (const EngineResult &ER : R.Results)
+    EXPECT_GE(ER.TestsRun, 1u);
+  EXPECT_GE(R.FirstResultSeconds, 0.0);
+  EXPECT_GE(R.Seconds, R.FirstResultSeconds);
+  EXPECT_EQ(Svc.stats().JobsCompleted.load(), 1u);
+  EXPECT_EQ(Svc.stats().ResultsStreamed.load(), 3u);
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+}
+
+TEST(ServiceBasics, SurveyJobMatchesSerialSurvey) {
+  auto Packages = surveyPackages(23);
+
+  Survey Serial;
+  for (const auto &P : Packages)
+    Serial.addPackage(P);
+
+  AnalysisService Svc(localService(4));
+  Result<JobHandle> H = Svc.submit(surveyJob(Packages));
+  ASSERT_TRUE(bool(H)) << H.error();
+  ASSERT_TRUE(H->wait(0));
+  JobResult R = H->result();
+  EXPECT_EQ(R.Status, JobStatus::Completed);
+  ASSERT_TRUE(R.SurveyOut != nullptr);
+  EXPECT_EQ(R.SurveyOut->Packages, Serial.Packages);
+  EXPECT_EQ(R.SurveyOut->WithRegex, Serial.WithRegex);
+  EXPECT_EQ(R.SurveyOut->TotalRegexes, Serial.TotalRegexes);
+  EXPECT_EQ(R.SurveyOut->UniqueRegexes, Serial.UniqueRegexes);
+  ASSERT_EQ(R.SurveyOut->Features.size(), Serial.Features.size());
+  for (const auto &[Name, FC] : Serial.Features) {
+    auto It = R.SurveyOut->Features.find(Name);
+    ASSERT_NE(It, R.SurveyOut->Features.end()) << Name;
+    EXPECT_EQ(It->second.Total, FC.Total) << Name;
+    EXPECT_EQ(It->second.Unique, FC.Unique) << Name;
+  }
+}
+
+TEST(ServiceBasics, InvalidSpecsRejectWithReason) {
+  AnalysisService Svc(localService(1));
+
+  Result<JobHandle> Empty = Svc.submit(dseJob({}));
+  EXPECT_FALSE(bool(Empty));
+  EXPECT_NE(Empty.error().find("empty job"), std::string::npos);
+
+  ServiceOptions NoBackend;
+  NoBackend.Workers = 1;
+  NoBackend.ClampWorkers = false;
+  AnalysisService Bare(NoBackend);
+  Result<JobHandle> NoFactory =
+      Bare.submit(dseJob({generateMiniPackage(0)}));
+  EXPECT_FALSE(bool(NoFactory));
+  EXPECT_NE(NoFactory.error().find("BackendFactory"), std::string::npos);
+  EXPECT_EQ(Bare.stats().RejectedInvalid.load(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(Admission, QueueAndTenantQuotasReject) {
+  // One worker, and the first dispatched unit hangs (polling its cancel
+  // flag) so the queue backs up deterministically.
+  FaultInjector FI(21);
+  FaultRates &R = FI.rates(FaultSite::JobDispatch);
+  R.HangRate = 1.0;
+  R.HangMs = 60000;
+  R.MaxFaults = 1;
+  FaultInjector::ScopedInstall Install(FI);
+
+  ServiceOptions O = localService(1);
+  O.MaxQueuedJobs = 2;
+  O.TenantMaxQueued = 1;
+  AnalysisService Svc(O);
+
+  Program P = generateMiniPackage(0);
+  Result<JobHandle> Blocker = Svc.submit(dseJob({P}, "hog"));
+  ASSERT_TRUE(bool(Blocker)) << Blocker.error();
+  // Wait for the blocker's unit to occupy the worker.
+  auto T0 = std::chrono::steady_clock::now();
+  while (Svc.stats().UnitsDispatched.load() < 1 && elapsedSince(T0) < 30.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(Svc.stats().UnitsDispatched.load(), 1u);
+
+  Result<JobHandle> QueuedA = Svc.submit(dseJob({P}, "a"));
+  ASSERT_TRUE(bool(QueuedA)) << QueuedA.error();
+
+  // Same tenant again: per-tenant queued quota (1) trips first.
+  Result<JobHandle> TenantReject = Svc.submit(dseJob({P}, "a"));
+  EXPECT_FALSE(bool(TenantReject));
+  EXPECT_NE(TenantReject.error().find("tenant"), std::string::npos);
+  EXPECT_EQ(Svc.stats().RejectedTenantQueue.load(), 1u);
+
+  // A second queued job fills the global bound (2): next tenant rejects
+  // queue-full.
+  Result<JobHandle> QueuedB = Svc.submit(dseJob({P}, "b"));
+  ASSERT_TRUE(bool(QueuedB)) << QueuedB.error();
+  Result<JobHandle> FullReject = Svc.submit(dseJob({P}, "c"));
+  EXPECT_FALSE(bool(FullReject));
+  EXPECT_NE(FullReject.error().find("queue full"), std::string::npos);
+  EXPECT_EQ(Svc.stats().RejectedQueueFull.load(), 1u);
+
+  // Unblock: cancelling the hog ends its hang at the next cancel poll;
+  // the queued jobs then run to completion.
+  Blocker->cancel();
+  EXPECT_TRUE(Blocker->wait(0));
+  EXPECT_EQ(Blocker->status(), JobStatus::Cancelled);
+  EXPECT_TRUE(QueuedA->wait(0));
+  EXPECT_TRUE(QueuedB->wait(0));
+  EXPECT_EQ(QueuedA->status(), JobStatus::Completed);
+  EXPECT_EQ(QueuedB->status(), JobStatus::Completed);
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+}
+
+TEST(Admission, DrainingRejectsNewJobs) {
+  AnalysisService Svc(localService(1));
+  Result<JobHandle> H = Svc.submit(surveyJob(surveyPackages(3)));
+  ASSERT_TRUE(bool(H)) << H.error();
+  Svc.drain(); // finishes promised work, stops admitting
+  EXPECT_EQ(H->status(), JobStatus::Completed);
+  EXPECT_EQ(Svc.health(), ServiceHealth::Draining);
+
+  Result<JobHandle> Late = Svc.submit(surveyJob(surveyPackages(1)));
+  EXPECT_FALSE(bool(Late));
+  EXPECT_NE(Late.error().find("draining"), std::string::npos);
+  EXPECT_EQ(Svc.stats().RejectedDraining.load(), 1u);
+}
+
+TEST(Admission, AdmissionFaultSiteRejectsCleanly) {
+  FaultInjector FI(22);
+  FI.rates(FaultSite::JobAdmit).UnknownRate = 1.0;
+  FaultInjector::ScopedInstall Install(FI);
+
+  AnalysisService Svc(localService(1));
+  Result<JobHandle> H = Svc.submit(surveyJob(surveyPackages(1)));
+  EXPECT_FALSE(bool(H));
+  EXPECT_NE(H.error().find("fault"), std::string::npos);
+  EXPECT_EQ(Svc.stats().RejectedFault.load(), 1u);
+  EXPECT_EQ(Svc.activeJobs(), 0u); // a reject admits nothing
+}
+
+//===----------------------------------------------------------------------===//
+// Tenant isolation
+//===----------------------------------------------------------------------===//
+
+TEST(Tenancy, ThreeTenantsShareThePoolUnderCaps) {
+  ServiceOptions O = localService(4);
+  O.TenantMaxInflight = 2;
+  AnalysisService Svc(O);
+
+  std::vector<JobHandle> Handles;
+  for (const char *T : {"alpha", "beta", "gamma"}) {
+    Result<JobHandle> H =
+        Svc.submit(surveyJob(surveyPackages(16), T));
+    ASSERT_TRUE(bool(H)) << H.error();
+    Handles.push_back(*H);
+  }
+  for (JobHandle &H : Handles) {
+    ASSERT_TRUE(H.wait(0));
+    JobResult R = H.result();
+    EXPECT_EQ(R.Status, JobStatus::Completed);
+    EXPECT_TRUE(R.SurveyOut != nullptr);
+    EXPECT_EQ(R.SurveyOut->Packages, 16u);
+  }
+  EXPECT_EQ(Svc.stats().JobsCompleted.load(), 3u);
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+  // Tenant-partitioned runtimes: three private caches were populated.
+  RuntimeStats RS = Svc.runtimeStats();
+  EXPECT_GE(RS.InternMisses.load(), 3u);
+}
+
+// Timing-sensitive (excluded from the TSan job): a tenant submitting one
+// light job while two others flood must see latency within 2x its solo
+// latency (plus a scheduling floor so loaded CI runners don't flake).
+TEST(ServiceLatency, LightTenantNotStarvedByFloods) {
+  auto LightJob = [] { return surveyJob(surveyPackages(2), "light"); };
+
+  // Solo baseline: worst of three runs.
+  double SoloWorst = 0;
+  {
+    AnalysisService Svc(localService(4));
+    for (int I = 0; I < 3; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      Result<JobHandle> H = Svc.submit(LightJob());
+      ASSERT_TRUE(bool(H)) << H.error();
+      ASSERT_TRUE(H->wait(0));
+      SoloWorst = std::max(SoloWorst, elapsedSince(T0));
+    }
+  }
+
+  // Contended: two tenants flood with large jobs, then the light tenant
+  // submits. The fair-share unit cap is what keeps the floods from
+  // owning all four workers.
+  AnalysisService Svc(localService(4));
+  std::vector<JobHandle> Floods;
+  for (const char *T : {"flood1", "flood2"})
+    for (int J = 0; J < 3; ++J) {
+      Result<JobHandle> H = Svc.submit(surveyJob(surveyPackages(160), T));
+      ASSERT_TRUE(bool(H)) << H.error();
+      Floods.push_back(*H);
+    }
+  double ContendedWorst = 0;
+  for (int I = 0; I < 3; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Result<JobHandle> H = Svc.submit(LightJob());
+    ASSERT_TRUE(bool(H)) << H.error();
+    ASSERT_TRUE(H->wait(0));
+    ContendedWorst = std::max(ContendedWorst, elapsedSince(T0));
+  }
+  for (JobHandle &H : Floods)
+    ASSERT_TRUE(H.wait(0));
+
+  double Floor = 0.5 * testsupport::localBudgetScale();
+  EXPECT_LE(ContendedWorst, 2.0 * SoloWorst + Floor)
+      << "light tenant starved: solo " << SoloWorst << "s vs contended "
+      << ContendedWorst << "s";
+}
+
+//===----------------------------------------------------------------------===//
+// Cancel and deadline
+//===----------------------------------------------------------------------===//
+
+TEST(Cancel, MidJobCancelReleasesEverySlot) {
+  // The second unit hangs until cancelled; the first completes normally.
+  FaultInjector FI(23);
+  FaultRates &R = FI.rates(FaultSite::JobDispatch);
+  R.HangRate = 1.0;
+  R.HangMs = 60000;
+  R.MaxFaults = 1;
+  FaultInjector::ScopedInstall Install(FI);
+
+  AnalysisService Svc(localService(1));
+  std::vector<Program> Programs = {generateMiniPackage(0),
+                                   generateMiniPackage(1)};
+  Result<JobHandle> H = Svc.submit(dseJob(Programs));
+  ASSERT_TRUE(bool(H)) << H.error();
+
+  auto T0 = std::chrono::steady_clock::now();
+  while (Svc.stats().UnitsDispatched.load() < 1 && elapsedSince(T0) < 30.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  H->cancel();
+  ASSERT_TRUE(H->wait(0));
+
+  JobResult Res = H->result();
+  EXPECT_EQ(Res.Status, JobStatus::Cancelled);
+  ASSERT_FALSE(Res.Reasons.empty());
+  bool SawCancelReason = false;
+  for (const std::string &Reason : Res.Reasons)
+    SawCancelReason |= Reason.find("cancelled") != std::string::npos;
+  EXPECT_TRUE(SawCancelReason);
+
+  // No leaked budget: every slot returned, and a later job runs.
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+  EXPECT_GE(Svc.stats().UnitsSkipped.load(), 1u);
+  Result<JobHandle> After = Svc.submit(dseJob({generateMiniPackage(2)}));
+  ASSERT_TRUE(bool(After)) << After.error();
+  ASSERT_TRUE(After->wait(0));
+  EXPECT_EQ(After->status(), JobStatus::Completed);
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+}
+
+TEST(Deadline, ExpiresMidJobWithinTwiceTheDeadline) {
+  // The job's only unit hangs far past its deadline, polling its cancel
+  // flag: the watchdog must fire at the deadline and the hang must drain
+  // at the very next poll — end to end well under 2x the deadline.
+  FaultInjector FI(24);
+  FaultRates &R = FI.rates(FaultSite::JobDispatch);
+  R.HangRate = 1.0;
+  R.HangMs = 600000;
+  R.MaxFaults = 1;
+  FaultInjector::ScopedInstall Install(FI);
+
+  AnalysisService Svc(localService(1));
+  JobSpec S = dseJob({generateMiniPackage(0)});
+  S.DeadlineMs = localDeadlineMs(800);
+  auto T0 = std::chrono::steady_clock::now();
+  Result<JobHandle> H = Svc.submit(std::move(S));
+  ASSERT_TRUE(bool(H)) << H.error();
+  ASSERT_TRUE(H->wait(0));
+  double Elapsed = elapsedSince(T0);
+
+  JobResult Res = H->result();
+  EXPECT_EQ(Res.Status, JobStatus::Deadline);
+  bool SawDeadlineReason = false;
+  for (const std::string &Reason : Res.Reasons)
+    SawDeadlineReason |= Reason.find("deadline") != std::string::npos;
+  EXPECT_TRUE(SawDeadlineReason);
+  EXPECT_LE(Elapsed, 2.0 * (localDeadlineMs(800) / 1000.0))
+      << "job overstayed its deadline";
+  EXPECT_EQ(Svc.stats().JobsDeadline.load(), 1u);
+  EXPECT_EQ(Svc.slotsInUse(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain and shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(Drain, FinishesInflightWorkWithoutCancelling) {
+  AnalysisService Svc(localService(2));
+  Result<JobHandle> H = Svc.submit(surveyJob(surveyPackages(40)));
+  ASSERT_TRUE(bool(H)) << H.error();
+  Svc.drain();
+  EXPECT_EQ(Svc.activeJobs(), 0u);
+  EXPECT_EQ(H->status(), JobStatus::Completed);
+  EXPECT_EQ(Svc.stats().JobsCancelled.load(), 0u);
+
+  ShutdownReport Rep = Svc.shutdown(0);
+  EXPECT_TRUE(Rep.Clean);
+  EXPECT_EQ(Rep.CancelledJobs, 0u);
+}
+
+TEST(Shutdown, CancelsStragglersAfterGrace) {
+  FaultInjector FI(25);
+  FaultRates &R = FI.rates(FaultSite::JobDispatch);
+  R.HangRate = 1.0;
+  R.HangMs = 600000;
+  R.MaxFaults = 1;
+  FaultInjector::ScopedInstall Install(FI);
+
+  AnalysisService Svc(localService(1));
+  Result<JobHandle> H = Svc.submit(dseJob({generateMiniPackage(0)}));
+  ASSERT_TRUE(bool(H)) << H.error();
+  auto T0 = std::chrono::steady_clock::now();
+  while (Svc.stats().UnitsDispatched.load() < 1 && elapsedSince(T0) < 30.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  ShutdownReport Rep = Svc.shutdown(/*GraceMs=*/10);
+  EXPECT_FALSE(Rep.Clean);
+  EXPECT_EQ(Rep.CancelledJobs, 1u);
+  EXPECT_TRUE(H->done());
+  EXPECT_EQ(H->status(), JobStatus::Cancelled);
+  bool SawShutdownReason = false;
+  for (const std::string &Reason : H->result().Reasons)
+    SawShutdownReason |= Reason.find("shutdown") != std::string::npos;
+  EXPECT_TRUE(SawShutdownReason);
+}
+
+TEST(Shutdown, StatePersistsAcrossBootAndWarmStarts) {
+  std::string Dir = freshStateDir("warmboot");
+
+  {
+    ServiceOptions O = localService(2);
+    O.StateDir = Dir;
+    AnalysisService Svc(O);
+    Result<JobHandle> H =
+        Svc.submit(dseJob({generateMiniPackage(0)}, "tenant-a"));
+    ASSERT_TRUE(bool(H)) << H.error();
+    ASSERT_TRUE(H->wait(0));
+    EXPECT_EQ(H->status(), JobStatus::Completed);
+
+    ShutdownReport Rep = Svc.shutdown(/*GraceMs=*/60000);
+    EXPECT_TRUE(Rep.Clean);
+    // tenant-a's runtime snapshot + the quarantine sidecar.
+    EXPECT_GE(Rep.SnapshotsSaved, 2u);
+    EXPECT_EQ(Rep.SnapshotFailures, 0u);
+  }
+
+  {
+    ServiceOptions O = localService(2);
+    O.StateDir = Dir;
+    AnalysisService Svc(O);
+    EXPECT_GE(Svc.stats().WarmBoots.load(), 1u); // sidecar restored
+    Result<JobHandle> H =
+        Svc.submit(dseJob({generateMiniPackage(0)}, "tenant-a"));
+    ASSERT_TRUE(bool(H)) << H.error();
+    ASSERT_TRUE(H->wait(0));
+    EXPECT_EQ(H->status(), JobStatus::Completed);
+    // tenant-a's runtime warm-started from its snapshot.
+    EXPECT_GE(Svc.stats().WarmBoots.load(), 2u);
+    EXPECT_GE(Svc.runtimeStats().SnapshotLoaded.load(), 1u);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(Shutdown, TornSidecarColdStartsClean) {
+  std::string Dir = freshStateDir("torn");
+  {
+    std::ofstream OS(Dir + "/" + AnalysisService::QuarantineSidecar,
+                     std::ios::binary);
+    OS << "RQRN torn to pieces"; // right magic-ish prefix, garbage body
+  }
+
+  ServiceOptions O = localService(1);
+  O.StateDir = Dir;
+  AnalysisService Svc(O);
+  EXPECT_EQ(Svc.quarantine()->quarantined(), 0u);
+  EXPECT_EQ(Svc.stats().WarmBoots.load(), 0u);
+
+  Result<JobHandle> H = Svc.submit(surveyJob(surveyPackages(2)));
+  ASSERT_TRUE(bool(H)) << H.error();
+  ASSERT_TRUE(H->wait(0));
+  EXPECT_EQ(H->status(), JobStatus::Completed);
+
+  // Shutdown rewrites a valid sidecar over the torn one.
+  Svc.shutdown(60000);
+  Quarantine Q;
+  EXPECT_TRUE(Q.load(Dir + "/" + AnalysisService::QuarantineSidecar));
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine aging
+//===----------------------------------------------------------------------===//
+
+TEST(QuarantineAging, IdleEntriesExpireOnSaveAfterMaxAge) {
+  Quarantine::Options QO;
+  QO.Threshold = 2;
+  QO.MaxAgeGenerations = 2;
+  Quarantine Q(QO);
+  Q.recordBurn("stale-key");
+  Q.recordBurn("stale-key"); // quarantined at generation 0
+  EXPECT_EQ(Q.quarantined(), 1u);
+
+  std::string Path = ::testing::TempDir() + "recap_aging.sidecar";
+  // Within the age window the entry survives a save.
+  Q.bumpGeneration();
+  ASSERT_TRUE(Q.save(Path));
+  EXPECT_EQ(Q.quarantined(), 1u);
+  EXPECT_EQ(Q.expired(), 0u);
+
+  // Past it, save evicts and counts the expiry; a fresh burn elsewhere
+  // keeps its (refreshed) entry.
+  Q.bumpGeneration();
+  Q.bumpGeneration();
+  Q.recordBurn("fresh-key");
+  ASSERT_TRUE(Q.save(Path));
+  EXPECT_EQ(Q.quarantined(), 0u);
+  EXPECT_EQ(Q.expired(), 1u);
+  EXPECT_FALSE(Q.shouldSkip("stale-key"));
+
+  Quarantine Reloaded;
+  ASSERT_TRUE(Reloaded.load(Path));
+  EXPECT_FALSE(Reloaded.shouldSkip("stale-key"));
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: fault-free parity
+//===----------------------------------------------------------------------===//
+
+/// Verdict fingerprint of one DSE job for bit-for-bit comparison.
+struct Verdicts {
+  std::vector<std::vector<int>> FailedAsserts;
+  std::vector<uint64_t> TestsRun;
+  std::vector<std::set<int>> Covered;
+
+  static Verdicts of(const JobResult &R) {
+    Verdicts V;
+    for (const EngineResult &ER : R.Results) {
+      V.FailedAsserts.push_back(ER.FailedAsserts);
+      V.TestsRun.push_back(ER.TestsRun);
+      V.Covered.push_back(ER.Covered);
+    }
+    return V;
+  }
+  bool operator==(const Verdicts &O) const {
+    return FailedAsserts == O.FailedAsserts && TestsRun == O.TestsRun &&
+           Covered == O.Covered;
+  }
+};
+
+/// Runs one job per program, each under a private tenant (private
+/// runtime, serial unit) so verdicts attribute exactly per job.
+std::vector<JobResult> runCorpusJobs(size_t Programs) {
+  ServiceOptions O = localService(2);
+  AnalysisService Svc(O);
+  std::vector<JobHandle> Handles;
+  for (uint64_t Seed = 0; Seed < Programs; ++Seed) {
+    JobSpec S = dseJob({generateMiniPackage(Seed)},
+                       "chaos-" + std::to_string(Seed));
+    Result<JobHandle> H = Svc.submit(std::move(S));
+    EXPECT_TRUE(bool(H)) << H.error();
+    if (H)
+      Handles.push_back(*H);
+  }
+  std::vector<JobResult> Out;
+  for (JobHandle &H : Handles) {
+    EXPECT_TRUE(H.wait(0));
+    Out.push_back(H.result());
+  }
+  return Out;
+}
+
+TEST(ServiceChaos, NonFaultedJobsKeepFaultFreeVerdicts) {
+  constexpr size_t NumPrograms = 6;
+
+  // Baseline: fault-free service run.
+  std::vector<JobResult> Baseline = runCorpusJobs(NumPrograms);
+  ASSERT_EQ(Baseline.size(), NumPrograms);
+  for (const JobResult &R : Baseline) {
+    ASSERT_EQ(R.Status, JobStatus::Completed);
+    ASSERT_TRUE(R.Reasons.empty());
+  }
+
+  // Chaos: >=5% hangs and throws across dispatch and solver checks.
+  // Dispatch faults mark their job with a reason; a solver throw is
+  // contained by the engine (EngineErrors -> "engine-degraded"); a
+  // solver hang merely stalls and changes no verdict.
+  FaultInjector FI(26);
+  FaultRates &D = FI.rates(FaultSite::JobDispatch);
+  D.HangRate = 0.10;
+  D.ThrowRate = 0.10;
+  D.HangMs = 200;
+  // Solver-check throws are kept rare: each job issues dozens of checks,
+  // and a throw anywhere degrades the whole job out of the parity set.
+  FaultRates &C = FI.rates(FaultSite::SessionCheck);
+  C.HangRate = 0.05;
+  C.ThrowRate = 0.01;
+  C.HangMs = 100;
+  FaultInjector::ScopedInstall Install(FI);
+
+  std::vector<JobResult> Chaos = runCorpusJobs(NumPrograms);
+  ASSERT_EQ(Chaos.size(), NumPrograms);
+  EXPECT_GT(FI.totalInjected(), 0u);
+
+  size_t CleanJobs = 0;
+  for (size_t I = 0; I < NumPrograms; ++I) {
+    const JobResult &R = Chaos[I];
+    // Robustness: every job finalizes — degraded at worst, never hung.
+    EXPECT_EQ(R.Status, JobStatus::Completed) << "job " << I;
+    bool EngineErrors = false;
+    for (const EngineResult &ER : R.Results)
+      EngineErrors |= !ER.Errors.empty();
+    if (!R.Reasons.empty() || EngineErrors)
+      continue; // faulted: degradation reported, verdicts not comparable
+    ++CleanJobs;
+    EXPECT_TRUE(Verdicts::of(R) == Verdicts::of(Baseline[I]))
+        << "non-faulted job " << I << " diverged from fault-free verdicts";
+  }
+  // The fault script shouldn't have touched every single job.
+  EXPECT_GE(CleanJobs, 1u);
+}
+
+} // namespace
