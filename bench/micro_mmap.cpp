@@ -1,0 +1,203 @@
+//===- bench/micro_mmap.cpp - Zero-copy artifact store benches -------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the ISSUE-9 mmap artifact store (DESIGN.md §11): what the
+// first query pays for its automata under three boot modes, over an
+// automaton-heavy corpus of anchored patterns (bounded counting over
+// alternations — exactly the shapes whose determinization dominates
+// compile cost).
+//
+//  1. BM_MmapFirstQueryCold: fresh runtime, the sweep pays parse +
+//     features + approximation + determinization + live-set BFS.
+//  2. BM_MmapFirstQueryMetadataWarm: runtime warm-booted from the
+//     snapshot with artifact adoption OFF (the v1 behaviour): metadata
+//     stages are memoized, but every automaton is still determinized on
+//     first touch.
+//  3. BM_MmapFirstQueryMappedWarm: the same snapshot with the artifact
+//     arena mmapped and adopted: automata are served as zero-copy views,
+//     densities and live counts ride along precomputed — the sweep
+//     touches no determinization at all (automaton_computes stays 0).
+//
+// Both warm lanes warm the same metadata stages at load (untimed), so
+// the mapped-vs-metadata delta is purely what the artifact section
+// saves. The post-run summary derives mapped_vs_metadata_speedup and
+// cold_vs_mapped_speedup; the ISSUE acceptance gates the former at 3x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RegexRuntime.h"
+#include "runtime/RuntimeSnapshot.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace recap;
+
+namespace {
+
+// --- The automaton-heavy corpus --------------------------------------------
+
+/// ~24 anchored patterns built around bounded repetition of small
+/// alternations: each one determinizes to hundreds-to-thousands of
+/// states, so the automaton stage dominates the cold first query.
+const std::vector<std::string> &heavyPatterns() {
+  static const std::vector<std::string> Pats = [] {
+    std::vector<std::string> Out;
+    const char *Cores[] = {"ab|ba", "ab|bc|ca", "a|bb|ccc",
+                           "ab|abb|bab", "aa|ab|ba", "abc|cba|bac"};
+    size_t N = static_cast<size_t>(24 * recap::bench::scale());
+    for (size_t I = 0; I < N; ++I) {
+      const char *Core = Cores[I % 6];
+      unsigned Lo = 3 + static_cast<unsigned>(I % 4);
+      unsigned Hi = Lo + 4 + static_cast<unsigned>(I % 3);
+      // The tail bound grows with I so every pattern is distinct (the
+      // core/lo/hi combination alone cycles with period 12).
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "^(%s){%u,%u}[a-f]{2,%u}$", Core, Lo,
+                    Hi, 2 + static_cast<unsigned>(I));
+      Out.push_back(Buf);
+    }
+    return Out;
+  }();
+  return Pats;
+}
+
+/// The first-query path an anchored-lane consumer takes: intern, then
+/// touch the automaton and its density (the lane's budget key).
+uint64_t querySweep(RegexRuntime &RT) {
+  uint64_t Ok = 0;
+  for (const std::string &P : heavyPatterns()) {
+    Result<std::shared_ptr<CompiledRegex>> C = RT.get(P, "");
+    if (!C)
+      continue;
+    std::shared_ptr<const Automaton> A = (*C)->automaton();
+    if (!A)
+      continue;
+    ++Ok;
+    benchmark::DoNotOptimize(A->transitionDensity());
+    benchmark::DoNotOptimize(A->liveStateCount());
+  }
+  return Ok;
+}
+
+/// Snapshot (with artifact arena) of a runtime that compiled the whole
+/// corpus, written once to a real file so the mapped lane can mmap it.
+const std::string &snapshotPath() {
+  static const std::string Path = [] {
+    std::string P = "micro_mmap_corpus.snap";
+    RegexRuntime RT;
+    querySweep(RT);
+    if (!RT.save(P))
+      std::fprintf(stderr, "micro_mmap: cannot write %s\n", P.c_str());
+    return P;
+  }();
+  return Path;
+}
+
+/// Metadata stages both warm lanes pre-warm at load; the automaton stage
+/// is deliberately NOT in the set — it is what the lanes differ on.
+constexpr unsigned MetadataStages = RegexRuntime::WarmFeatures |
+                                    RegexRuntime::WarmApprox |
+                                    RegexRuntime::WarmMatcher;
+
+// --- 1. Cold ----------------------------------------------------------------
+
+void BM_MmapFirstQueryCold(benchmark::State &State) {
+  (void)snapshotPath(); // build the corpus once, outside the timing loop
+  uint64_t Patterns = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto RT = std::make_unique<RegexRuntime>();
+    State.ResumeTiming();
+    Patterns = querySweep(*RT);
+  }
+  State.counters["patterns"] = static_cast<double>(Patterns);
+}
+BENCHMARK(BM_MmapFirstQueryCold)->Unit(benchmark::kMillisecond);
+
+// --- 2. Metadata-warm (v1 behaviour) ----------------------------------------
+
+void BM_MmapFirstQueryMetadataWarm(benchmark::State &State) {
+  uint64_t Patterns = 0, Loaded = 0, Determinized = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto RT = std::make_unique<RegexRuntime>();
+    SnapshotLoadResult L =
+        RT->load(snapshotPath(), MetadataStages, /*AdoptArtifacts=*/false);
+    RuntimeStats Before = RT->stats();
+    State.ResumeTiming();
+    Patterns = querySweep(*RT);
+    Loaded = L.Loaded;
+    Determinized = RT->stats().since(Before).AutomatonComputes.load();
+  }
+  State.counters["patterns"] = static_cast<double>(Patterns);
+  State.counters["snapshot_loaded"] = static_cast<double>(Loaded);
+  State.counters["automaton_computes"] = static_cast<double>(Determinized);
+}
+BENCHMARK(BM_MmapFirstQueryMetadataWarm)->Unit(benchmark::kMillisecond);
+
+// --- 3. Mapped-warm (zero-copy views) ----------------------------------------
+
+void BM_MmapFirstQueryMappedWarm(benchmark::State &State) {
+  uint64_t Patterns = 0, Mapped = 0, BytesShared = 0, Determinized = 0;
+  bool ZeroCopy = false;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto RT = std::make_unique<RegexRuntime>();
+    SnapshotLoadResult L =
+        RT->load(snapshotPath(), MetadataStages, /*AdoptArtifacts=*/true);
+    RuntimeStats Before = RT->stats();
+    State.ResumeTiming();
+    Patterns = querySweep(*RT);
+    Mapped = L.ArtifactsMapped;
+    BytesShared = L.BytesShared;
+    ZeroCopy = L.ZeroCopy;
+    Determinized = RT->stats().since(Before).AutomatonComputes.load();
+  }
+  State.counters["patterns"] = static_cast<double>(Patterns);
+  State.counters["artifacts_mapped"] = static_cast<double>(Mapped);
+  State.counters["bytes_shared"] = static_cast<double>(BytesShared);
+  State.counters["zero_copy"] = ZeroCopy ? 1 : 0;
+  State.counters["automaton_computes"] = static_cast<double>(Determinized);
+}
+BENCHMARK(BM_MmapFirstQueryMappedWarm)->Unit(benchmark::kMillisecond);
+
+// --- Derived summary --------------------------------------------------------
+
+void attachDerived(recap::bench::JsonReporter &R) {
+  double Cold = R.medianNs("BM_MmapFirstQueryCold");
+  double Meta = R.medianNs("BM_MmapFirstQueryMetadataWarm");
+  double Mapped = R.medianNs("BM_MmapFirstQueryMappedWarm");
+  double MappedVsMeta = Mapped > 0 && Meta > 0 ? Meta / Mapped : 0;
+  double ColdVsMapped = Mapped > 0 && Cold > 0 ? Cold / Mapped : 0;
+  R.setCounter("BM_MmapFirstQueryMappedWarm", "mapped_vs_metadata_speedup",
+               MappedVsMeta);
+  R.setCounter("BM_MmapFirstQueryMappedWarm", "cold_vs_mapped_speedup",
+               ColdVsMapped);
+
+  recap::bench::header("mmap artifact store (median first-query sweep)");
+  std::printf("cold:          %10.2f ms\n", Cold / 1e6);
+  std::printf("metadata-warm: %10.2f ms\n", Meta / 1e6);
+  std::printf("mapped-warm:   %10.2f ms\n", Mapped / 1e6);
+  std::printf("mapped vs metadata speedup: %.1fx  (acceptance gate: 3x)\n",
+              MappedVsMeta);
+  std::printf("cold vs mapped speedup:     %.1fx\n", ColdVsMapped);
+  std::remove(snapshotPath().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_mmap", argc, argv,
+                                     attachDerived);
+}

@@ -49,6 +49,18 @@ Alphabet Alphabet::fromRegexes(const std::vector<CRegexRef> &Roots) {
   return A;
 }
 
+Alphabet Alphabet::fromClassBounds(const std::vector<CodePoint> &Bounds) {
+  Alphabet A;
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    CodePoint Lo = Bounds[I];
+    CodePoint Hi = I + 1 < Bounds.size() ? Bounds[I + 1] - 1 : MaxCodePoint;
+    A.Classes.push_back(CharSet::range(Lo, Hi));
+    A.Bounds.push_back(Lo);
+    A.BoundClass.push_back(static_cast<uint32_t>(A.Classes.size() - 1));
+  }
+  return A;
+}
+
 size_t Alphabet::classOf(CodePoint C) const {
   auto It = std::upper_bound(Bounds.begin(), Bounds.end(), C);
   assert(It != Bounds.begin() && "code point below the first class");
@@ -272,7 +284,7 @@ public:
       auto [It, New] = Ids.try_emplace(P, States.size());
       if (New) {
         States.push_back(P);
-        D.Accept.push_back(X.Accept[P.first] && Y.Accept[P.second]);
+        D.Accept.push_back(X.accept(P.first) && Y.accept(P.second));
         D.Trans.resize(D.Accept.size() * NC, 0);
       }
       return It->second;
@@ -299,7 +311,7 @@ public:
     for (uint32_t S = 0; S < D.numStates(); ++S) {
       for (size_t C = 0; C < A.numClasses(); ++C)
         N.Delta[Base + S][C].push_back(Base + D.next(S, C));
-      if (D.Accept[S])
+      if (D.accept(S))
         N.Eps[Base + S].push_back(AcceptAll);
     }
     return {Base + D.Start, AcceptAll};
@@ -340,11 +352,26 @@ Result<Automaton> Automaton::compile(const CRegexRef &R, size_t StateLimit,
   return Out;
 }
 
+Automaton Automaton::fromParts(Alphabet A, DFA D, double Density,
+                               std::vector<bool> Live, size_t LiveCount,
+                               std::shared_ptr<const void> Pin) {
+  Automaton Out;
+  Out.A = std::move(A);
+  Out.D = std::move(D);
+  Out.Pin = std::move(Pin);
+  auto Info = std::make_shared<LiveInfo>();
+  Info->Live = std::move(Live);
+  Info->Count = LiveCount;
+  Info->Density = Density;
+  Out.LiveCache = std::move(Info);
+  return Out;
+}
+
 bool Automaton::accepts(const UString &W) const {
   uint32_t S = D.Start;
   for (CodePoint C : W)
     S = D.next(S, static_cast<uint32_t>(A.classOf(C)));
-  return D.Accept[S];
+  return D.accept(S);
 }
 
 bool Automaton::isEmptyLanguage() const { return !shortestWord().has_value(); }
@@ -360,7 +387,7 @@ std::optional<UString> Automaton::shortestWord() const {
   while (!Work.empty()) {
     uint32_t S = Work.front();
     Work.pop_front();
-    if (D.Accept[S]) {
+    if (D.accept(S)) {
       UString W;
       uint32_t Cur = S;
       while (Pred[Cur] != -1) {
@@ -383,7 +410,11 @@ std::optional<UString> Automaton::shortestWord() const {
   return std::nullopt;
 }
 
-std::vector<bool> Automaton::liveStates() const {
+std::shared_ptr<const Automaton::LiveInfo> Automaton::liveInfo() const {
+  if (std::shared_ptr<const LiveInfo> Hit = std::atomic_load(&LiveCache))
+    return Hit;
+
+  auto Info = std::make_shared<LiveInfo>();
   // Co-accessible states (those that can still reach an accept state):
   // searches stay out of dead regions.
   std::vector<std::vector<uint32_t>> Rev(D.numStates());
@@ -393,7 +424,7 @@ std::vector<bool> Automaton::liveStates() const {
   std::vector<bool> Live(D.numStates(), false);
   std::deque<uint32_t> RWork;
   for (uint32_t S = 0; S < D.numStates(); ++S)
-    if (D.Accept[S]) {
+    if (D.accept(S)) {
       Live[S] = true;
       RWork.push_back(S);
     }
@@ -406,11 +437,7 @@ std::vector<bool> Automaton::liveStates() const {
         RWork.push_back(P);
       }
   }
-  return Live;
-}
 
-double Automaton::transitionDensity() const {
-  std::vector<bool> Live = liveStates();
   uint64_t LiveStates = 0, LiveTrans = 0;
   for (uint32_t S = 0; S < D.numStates(); ++S) {
     if (!Live[S])
@@ -421,10 +448,19 @@ double Automaton::transitionDensity() const {
         ++LiveTrans;
   }
   uint64_t Total = LiveStates * D.NumClasses;
-  return Total == 0 ? 0.0
-                    : static_cast<double>(LiveTrans) /
-                          static_cast<double>(Total);
+  Info->Live = std::move(Live);
+  Info->Count = static_cast<size_t>(LiveStates);
+  Info->Density = Total == 0 ? 0.0
+                             : static_cast<double>(LiveTrans) /
+                                   static_cast<double>(Total);
+  std::atomic_store(&LiveCache,
+                    std::shared_ptr<const LiveInfo>(std::move(Info)));
+  return std::atomic_load(&LiveCache);
 }
+
+double Automaton::transitionDensity() const { return liveInfo()->Density; }
+
+size_t Automaton::liveStateCount() const { return liveInfo()->Count; }
 
 std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
                                                size_t MaxLen) const {
@@ -436,7 +472,8 @@ std::vector<UString> Automaton::enumerateWords(size_t MaxCount,
 
 EnumResult Automaton::enumerateWordsEx(const EnumOptions &Opts) const {
   EnumResult Res;
-  std::vector<bool> Live = liveStates();
+  std::shared_ptr<const LiveInfo> Info = liveInfo();
+  const std::vector<bool> &Live = Info->Live;
 
   // BFS over (state, word) pairs, shortest first, bounded. Complete
   // stays true only if every live path was either fully expanded or
@@ -465,7 +502,7 @@ EnumResult Automaton::enumerateWordsEx(const EnumOptions &Opts) const {
     Item It = std::move(Work.front());
     Work.pop_front();
     ++Res.Explored;
-    if (D.Accept[It.State])
+    if (D.accept(It.State))
       Res.Words.push_back(It.Word);
     bool HasLiveNext = false;
     for (size_t C = 0; C < D.NumClasses; ++C)

@@ -33,6 +33,12 @@ public:
   /// Builds the minterm partition of all Class sets in \p Roots.
   static Alphabet fromRegexes(const std::vector<CRegexRef> &Roots);
 
+  /// Rebuilds a partition from per-class lower bounds (strictly
+  /// increasing, first element 0). Every class fromRegexes() produces is
+  /// one contiguous range, so the bounds are the partition's complete
+  /// serialization (runtime/ArtifactStore.cpp).
+  static Alphabet fromClassBounds(const std::vector<CodePoint> &Bounds);
+
   size_t numClasses() const { return Classes.size(); }
   const CharSet &charsOf(size_t Class) const { return Classes[Class]; }
   /// Equivalence class of one code point.
@@ -49,7 +55,13 @@ private:
   std::vector<uint32_t> BoundClass;
 };
 
-/// Deterministic, complete automaton over an Alphabet.
+/// Deterministic, complete automaton over an Alphabet. Two storage
+/// representations behind one accessor surface: construction fills the
+/// owning vectors; a snapshot-mapped DFA instead points straight into the
+/// mmapped artifact arena (view mode) so N processes share one copy of
+/// the transition table. All readers go through accept()/next()/
+/// numStates(), which makes match/enumerate/density code
+/// representation-agnostic.
 class DFA {
 public:
   uint32_t Start = 0;
@@ -58,9 +70,21 @@ public:
   std::vector<uint32_t> Trans;
   size_t NumClasses = 0;
 
-  size_t numStates() const { return Accept.size(); }
+  /// View mode: non-null ViewTrans switches every accessor to the mapped
+  /// bytes (one u8 per state for accept, the flat u32 table for Trans).
+  /// Lifetime of the pointed-to memory is the owning Automaton's Pin.
+  const uint8_t *ViewAccept = nullptr;
+  const uint32_t *ViewTrans = nullptr;
+  size_t ViewStates = 0;
+
+  bool isView() const { return ViewTrans != nullptr; }
+  size_t numStates() const { return isView() ? ViewStates : Accept.size(); }
+  bool accept(uint32_t State) const {
+    return isView() ? ViewAccept[State] != 0
+                    : static_cast<bool>(Accept[State]);
+  }
   uint32_t next(uint32_t State, uint32_t Class) const {
-    return Trans[State * NumClasses + Class];
+    return (isView() ? ViewTrans : Trans.data())[State * NumClasses + Class];
   }
 };
 
@@ -96,6 +120,15 @@ public:
                                    size_t StateLimit = 100000,
                                    const std::atomic<bool> *Cancel = nullptr);
 
+  /// Reassembles an automaton from deserialized parts. \p Live /
+  /// \p Density / \p LiveCount were computed at save time and pre-seed
+  /// the co-accessibility cache, so a mapped automaton never re-runs the
+  /// reverse BFS. \p Pin keeps the backing storage (a MappedArtifactStore)
+  /// alive for view-mode DFAs; owned DFAs pass null.
+  static Automaton fromParts(Alphabet A, DFA D, double Density,
+                             std::vector<bool> Live, size_t LiveCount,
+                             std::shared_ptr<const void> Pin = nullptr);
+
   bool accepts(const UString &W) const;
   bool isEmptyLanguage() const;
   /// Shortest accepted word (ties broken towards printable characters).
@@ -115,15 +148,36 @@ public:
   /// on this number.
   double transitionDensity() const;
 
+  /// Number of live (co-accessible) states. Serialized alongside the
+  /// density so EnumOptions sizing on mapped automata skips the reverse
+  /// BFS too.
+  size_t liveStateCount() const;
+
+  /// Copy of the live-state mask (snapshot writers; one bit per state).
+  std::vector<bool> liveMask() const { return liveInfo()->Live; }
+
   const DFA &dfa() const { return D; }
   const Alphabet &alphabet() const { return A; }
 
 private:
-  /// Marks states that can still reach an accept state.
-  std::vector<bool> liveStates() const;
+  /// Live set + the numbers derived from it, computed once per automaton
+  /// (or adopted from a snapshot record) and shared by density queries
+  /// and every enumeration.
+  struct LiveInfo {
+    std::vector<bool> Live;
+    size_t Count = 0;
+    double Density = 0;
+  };
+  /// Build-or-hit on LiveCache. Published with shared_ptr atomic ops:
+  /// concurrent first-touchers may both compute (identical, immutable
+  /// result; last writer wins) but never tear.
+  std::shared_ptr<const LiveInfo> liveInfo() const;
 
   Alphabet A;
   DFA D;
+  /// Keeps a mapped artifact store alive while a view-mode D exists.
+  std::shared_ptr<const void> Pin;
+  mutable std::shared_ptr<const LiveInfo> LiveCache;
 };
 
 } // namespace recap

@@ -150,6 +150,19 @@ BackendDispatcher::productFor(const AnchoredVarPlan &V) {
   if (It != Products.end())
     return It->second;
 
+  // The dominant key shape — one positive anchored pattern — delegates to
+  // the CompiledRegex memo, so the product is shared across dispatcher
+  // shards and adopted from snapshots (zero-copy across processes). A
+  // limits mismatch returns null and we build locally as before.
+  if (V.Queries.size() == 1 && V.Polarity[0]) {
+    if (std::shared_ptr<const AnchoredProduct> P =
+            V.Queries[0]->Oracle->compiled()->anchoredProduct(
+                Policy.Product)) {
+      Products.emplace(std::move(Key), P);
+      return P;
+    }
+  }
+
   if (!AnchoredAlphabet)
     AnchoredAlphabet =
         cStar(cClass(CharSet::range(0, 0xFF).minus(CharSet::metas())));

@@ -79,8 +79,15 @@ DseCorpusResult recap::runDseCorpus(const std::vector<Program> &Programs,
     });
 
   Out.Sched = Sched.run();
-  if (!Opts.SaveSnapshot.empty())
-    Out.SnapshotSaved = Out.RuntimeHandle->save(Opts.SaveSnapshot);
+  if (!Opts.SaveSnapshot.empty()) {
+    // One corpus pass = one snapshot generation: entries this run touched
+    // are stamped current; the save then ages out entries idle past
+    // SnapshotMaxAgeGenerations (no-op by default).
+    Out.RuntimeHandle->bumpGeneration();
+    SnapshotSaveOptions SaveOpts;
+    SaveOpts.MaxAgeGenerations = Opts.SnapshotMaxAgeGenerations;
+    Out.SnapshotSaved = Out.RuntimeHandle->save(Opts.SaveSnapshot, SaveOpts);
+  }
   if (Quar) {
     Out.QuarantinedKeys = Quar->quarantined();
     // One corpus pass = one quarantine generation; the sidecar save then

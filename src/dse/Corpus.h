@@ -49,6 +49,11 @@ struct DseCorpusOptions {
   /// When non-empty, the shared runtime is saved here after the corpus
   /// finishes, so the next process starts warm.
   std::string SaveSnapshot;
+  /// Snapshot aging: one corpus run = one runtime generation; entries
+  /// untouched for more than this many generations are dropped from the
+  /// SaveSnapshot write (RuntimeStats::AgedOut), so one-off patterns stop
+  /// accumulating across runs. 0 = keep everything.
+  uint64_t SnapshotMaxAgeGenerations = 0;
   /// With Engine.Cegar.Reliability.Enabled: quarantine sidecar path.
   /// Loaded into the corpus-wide shared Quarantine before any task runs
   /// (burn counts merge by max; corrupt/absent = empty, never an error)

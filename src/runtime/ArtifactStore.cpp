@@ -1,0 +1,690 @@
+//===- runtime/ArtifactStore.cpp - Zero-copy snapshot artifacts ------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArtifactStore.h"
+#include "runtime/RuntimeSnapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define RECAP_HAVE_MMAP 1
+#else
+#define RECAP_HAVE_MMAP 0
+#endif
+
+using namespace recap;
+using namespace recap::snapshot;
+
+namespace {
+
+// Record flag bits.
+constexpr uint32_t RecHasAutomaton = 1u << 0;
+constexpr uint32_t RecAnchoredComputed = 1u << 1;
+constexpr uint32_t RecAnchoredPresent = 1u << 2;
+constexpr uint32_t RecHasProduct = 1u << 3;
+constexpr uint32_t RecKnownFlags =
+    RecHasAutomaton | RecAnchoredComputed | RecAnchoredPresent | RecHasProduct;
+
+// Decode-side sanity caps. These are far above anything the pipeline
+// produces (DFA StateLimit defaults to 100000, candidate words to 64),
+// so they only ever reject corrupt or adversarial records — cheaply,
+// before any allocation is sized from untrusted lengths.
+constexpr uint32_t MaxClasses = 1u << 16;
+constexpr uint32_t MaxStates = 1u << 24;
+constexpr uint64_t MaxTransWords = 1ull << 28;
+constexpr uint32_t MaxIntervals = 1u << 20;
+constexpr size_t MaxRegexNodes = 1u << 20;
+constexpr size_t MaxRegexDepth = 512;
+constexpr uint32_t MaxWords = 1u << 16;
+constexpr uint32_t MaxWordLen = 1u << 16;
+constexpr uint64_t MaxLimitValue = 1ull << 32;
+
+bool hostIsLittleEndian() {
+  const uint32_t Probe = 1;
+  return *reinterpret_cast<const unsigned char *>(&Probe) == 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian writers
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putF64(std::string &Out, double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds-checked little-endian reader
+//===----------------------------------------------------------------------===//
+
+struct Reader {
+  const unsigned char *Data;
+  size_t N;
+  size_t At = 0;
+  bool Fail = false;
+
+  bool need(size_t K) {
+    if (Fail || N - At < K) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return Data[At++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double D;
+    std::memcpy(&D, &Bits, sizeof(D));
+    return D;
+  }
+  /// Pointer to the next \p K raw bytes (null on underrun).
+  const unsigned char *bytes(size_t K) {
+    if (!need(K))
+      return nullptr;
+    const unsigned char *P = Data + At;
+    At += K;
+    return P;
+  }
+  /// Skips to the next 4-aligned position (relative to Data, whose base
+  /// is 8-aligned within the arena); pad bytes must be zero.
+  void align4() {
+    while (!Fail && At % 4 != 0)
+      if (u8() != 0)
+        Fail = true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ClassicalRegex blobs: preorder, u8 kind tag per node
+//===----------------------------------------------------------------------===//
+
+void putCRegex(std::string &Out, const CRegexRef &R) {
+  Out.push_back(static_cast<char>(R->K));
+  switch (R->K) {
+  case CRegex::Kind::Empty:
+  case CRegex::Kind::Epsilon:
+    break;
+  case CRegex::Kind::Class: {
+    const std::vector<CharSet::Interval> &Iv = R->Cls.intervals();
+    putU32(Out, static_cast<uint32_t>(Iv.size()));
+    for (const CharSet::Interval &I : Iv) {
+      putU32(Out, static_cast<uint32_t>(I.Lo));
+      putU32(Out, static_cast<uint32_t>(I.Hi));
+    }
+    break;
+  }
+  default:
+    putU32(Out, static_cast<uint32_t>(R->Kids.size()));
+    for (const CRegexRef &Kid : R->Kids)
+      putCRegex(Out, Kid);
+    break;
+  }
+}
+
+/// Rebuilds raw CRegex nodes (no simplifying builders: the decoded tree
+/// is bit-for-bit what the writer walked, so re-saving an adopted entry
+/// round-trips). \p Budget bounds total nodes, \p Depth the recursion.
+CRegexRef readCRegex(Reader &R, size_t Depth, size_t &Budget) {
+  if (R.Fail || Depth > MaxRegexDepth || Budget == 0) {
+    R.Fail = true;
+    return nullptr;
+  }
+  --Budget;
+  uint8_t KByte = R.u8();
+  if (R.Fail || KByte > static_cast<uint8_t>(CRegex::Kind::Complement)) {
+    R.Fail = true;
+    return nullptr;
+  }
+  auto Node = std::make_shared<CRegex>(static_cast<CRegex::Kind>(KByte));
+  switch (Node->K) {
+  case CRegex::Kind::Empty:
+  case CRegex::Kind::Epsilon:
+    break;
+  case CRegex::Kind::Class: {
+    uint32_t NI = R.u32();
+    if (R.Fail || NI > MaxIntervals) {
+      R.Fail = true;
+      return nullptr;
+    }
+    CharSet S;
+    CodePoint PrevHi = 0;
+    bool First = true;
+    for (uint32_t I = 0; I < NI; ++I) {
+      uint32_t Lo = R.u32();
+      uint32_t Hi = R.u32();
+      if (R.Fail)
+        return nullptr;
+      // Sorted, disjoint, non-adjacent — CharSet's normal form, so the
+      // re-encoded set is byte-identical.
+      if (Lo > Hi || Hi > static_cast<uint32_t>(MaxCodePoint) ||
+          (!First && Lo <= static_cast<uint32_t>(PrevHi) + 1)) {
+        R.Fail = true;
+        return nullptr;
+      }
+      S.addRange(Lo, Hi);
+      PrevHi = Hi;
+      First = false;
+    }
+    Node->Cls = std::move(S);
+    break;
+  }
+  default: {
+    uint32_t NK = R.u32();
+    if (R.Fail)
+      return nullptr;
+    bool ExactlyOne =
+        Node->K == CRegex::Kind::Star || Node->K == CRegex::Kind::Complement;
+    if (ExactlyOne ? NK != 1 : NK == 0) {
+      R.Fail = true;
+      return nullptr;
+    }
+    if (NK > Budget) {
+      R.Fail = true;
+      return nullptr;
+    }
+    Node->Kids.reserve(NK);
+    for (uint32_t I = 0; I < NK; ++I) {
+      CRegexRef Kid = readCRegex(R, Depth + 1, Budget);
+      if (!Kid)
+        return nullptr;
+      Node->Kids.push_back(std::move(Kid));
+    }
+    break;
+  }
+  }
+  if (R.Fail)
+    return nullptr;
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Automaton blobs
+//===----------------------------------------------------------------------===//
+
+bool automatonFitsRecord(const Automaton &A) {
+  size_t NC = A.alphabet().numClasses();
+  size_t NS = A.dfa().numStates();
+  return NC <= MaxClasses && NS <= MaxStates &&
+         static_cast<uint64_t>(NS) * NC <= MaxTransWords;
+}
+
+void putAutomaton(std::string &Out, const Automaton &A) {
+  const Alphabet &AB = A.alphabet();
+  const DFA &D = A.dfa();
+  const size_t NC = AB.numClasses();
+  const size_t NS = D.numStates();
+  putU32(Out, static_cast<uint32_t>(NC));
+  // Every minterm class is one contiguous range; its lower bound is the
+  // whole partition's serialization (Alphabet::fromClassBounds).
+  for (size_t C = 0; C < NC; ++C)
+    putU32(Out, static_cast<uint32_t>(AB.charsOf(C).intervals().front().Lo));
+  putU32(Out, static_cast<uint32_t>(NS));
+  putU32(Out, D.Start);
+  putF64(Out, A.transitionDensity());
+  putU32(Out, static_cast<uint32_t>(A.liveStateCount()));
+  std::vector<bool> Live = A.liveMask();
+  for (size_t S = 0; S < NS; ++S)
+    Out.push_back(D.accept(static_cast<uint32_t>(S)) ? 1 : 0);
+  for (size_t S = 0; S < NS; ++S)
+    Out.push_back(Live[S] ? 1 : 0);
+  // The payload base is 8-aligned in the arena, so padding Out to a
+  // multiple of 4 lands the transition table on a 4-byte boundary — the
+  // alignment a view-mode DFA needs to serve it in place.
+  while (Out.size() % 4 != 0)
+    Out.push_back(0);
+  for (size_t S = 0; S < NS; ++S)
+    for (size_t C = 0; C < NC; ++C)
+      putU32(Out, D.next(static_cast<uint32_t>(S), static_cast<uint32_t>(C)));
+}
+
+struct AutomatonParts {
+  std::shared_ptr<const Automaton> A;
+  bool StartLive = false;
+};
+
+/// Decodes and fully validates one automaton blob. With a non-null
+/// \p Pin (and a little-endian host and 4-aligned table) the DFA serves
+/// accept/transition data straight from the arena; otherwise it copies.
+AutomatonParts readAutomaton(Reader &R, const std::shared_ptr<const void> &Pin,
+                             uint64_t &SharedBytes, const char *&Err) {
+  AutomatonParts Out;
+  auto Bad = [&](const char *Why) {
+    R.Fail = true;
+    Err = Why;
+    return AutomatonParts{};
+  };
+  uint32_t NC = R.u32();
+  if (R.Fail || NC == 0 || NC > MaxClasses)
+    return Bad("artifact alphabet class count out of range");
+  std::vector<CodePoint> Bounds(NC);
+  for (uint32_t C = 0; C < NC; ++C) {
+    uint32_t Lo = R.u32();
+    if (R.Fail || Lo > static_cast<uint32_t>(MaxCodePoint) ||
+        (C == 0 ? Lo != 0 : Lo <= static_cast<uint32_t>(Bounds[C - 1])))
+      return Bad("artifact alphabet bounds not strictly increasing from 0");
+    Bounds[C] = Lo;
+  }
+  uint32_t NS = R.u32();
+  if (R.Fail || NS == 0 || NS > MaxStates)
+    return Bad("artifact state count out of range");
+  uint32_t Start = R.u32();
+  if (R.Fail || Start >= NS)
+    return Bad("artifact start state out of range");
+  double Density = R.f64();
+  if (R.Fail || !(Density >= 0.0 && Density <= 1.0)) // NaN fails too
+    return Bad("artifact density out of range");
+  uint32_t LiveCount = R.u32();
+  if (R.Fail || LiveCount > NS)
+    return Bad("artifact live count exceeds state count");
+  const unsigned char *AcceptB = R.bytes(NS);
+  const unsigned char *LiveB = R.bytes(NS);
+  R.align4();
+  const uint64_t TW = static_cast<uint64_t>(NS) * NC;
+  if (TW > MaxTransWords)
+    return Bad("artifact transition table too large");
+  const unsigned char *TransB = R.bytes(static_cast<size_t>(TW) * 4);
+  if (R.Fail)
+    return Bad("artifact automaton truncated");
+
+  std::vector<bool> Live(NS);
+  size_t LiveSeen = 0;
+  for (uint32_t S = 0; S < NS; ++S) {
+    if (AcceptB[S] > 1 || LiveB[S] > 1)
+      return Bad("artifact state bitmap byte not 0/1");
+    if (AcceptB[S] && !LiveB[S])
+      return Bad("artifact accepting state marked dead");
+    if (LiveB[S]) {
+      Live[S] = true;
+      ++LiveSeen;
+    }
+  }
+  if (LiveSeen != LiveCount)
+    return Bad("artifact live count mismatch");
+
+  auto TransAt = [&](uint64_t I) {
+    const unsigned char *P = TransB + I * 4;
+    return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+           (static_cast<uint32_t>(P[2]) << 16) |
+           (static_cast<uint32_t>(P[3]) << 24);
+  };
+  // Every target in range; live-set locally consistent: a live
+  // non-accepting state must step towards acceptance, i.e. have at least
+  // one live successor. (Full co-accessibility would need the reverse BFS
+  // the record exists to avoid; local consistency is enough to keep the
+  // enumeration pruner from wandering into a dead subgraph or, worse,
+  // dropping words of a tampered record's language.)
+  for (uint32_t S = 0; S < NS; ++S) {
+    bool HasLiveSucc = false;
+    for (uint32_t C = 0; C < NC; ++C) {
+      uint32_t T = TransAt(static_cast<uint64_t>(S) * NC + C);
+      if (T >= NS)
+        return Bad("artifact transition target out of range");
+      if (Live[T])
+        HasLiveSucc = true;
+    }
+    if (Live[S] && !AcceptB[S] && !HasLiveSucc)
+      return Bad("artifact live state has no live successor");
+  }
+
+  DFA D;
+  D.Start = Start;
+  D.NumClasses = NC;
+  bool View = Pin != nullptr && hostIsLittleEndian() &&
+              reinterpret_cast<uintptr_t>(TransB) % alignof(uint32_t) == 0;
+  if (View) {
+    D.ViewAccept = AcceptB;
+    D.ViewTrans = reinterpret_cast<const uint32_t *>(TransB);
+    D.ViewStates = NS;
+    SharedBytes += NS + TW * 4;
+  } else {
+    D.Accept.resize(NS);
+    for (uint32_t S = 0; S < NS; ++S)
+      D.Accept[S] = AcceptB[S] != 0;
+    D.Trans.resize(static_cast<size_t>(TW));
+    for (uint64_t I = 0; I < TW; ++I)
+      D.Trans[static_cast<size_t>(I)] = TransAt(I);
+  }
+  Out.StartLive = Live[Start];
+  Out.A = std::make_shared<const Automaton>(
+      Automaton::fromParts(Alphabet::fromClassBounds(Bounds), std::move(D),
+                           Density, std::move(Live), LiveCount,
+                           View ? Pin : nullptr));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Anchored product blobs
+//===----------------------------------------------------------------------===//
+
+void putProduct(std::string &Out, const AnchoredProduct &P,
+                const ProductLimits &L) {
+  uint8_t Flags = (P.Empty ? 1 : 0) | (P.Complete ? 2 : 0);
+  Out.push_back(static_cast<char>(Flags));
+  putF64(Out, P.Density);
+  putU64(Out, P.Budget);
+  putU64(Out, L.StateLimit);
+  putU64(Out, L.MaxCandidates);
+  putU64(Out, L.MaxWordLength);
+  putU64(Out, L.BaseExplore);
+  putU32(Out, static_cast<uint32_t>(P.Words.size()));
+  for (const UString &W : P.Words) {
+    putU32(Out, static_cast<uint32_t>(W.size()));
+    for (CodePoint C : W)
+      putU32(Out, static_cast<uint32_t>(C));
+  }
+  putAutomaton(Out, *P.A);
+}
+
+std::shared_ptr<const AnchoredProduct>
+readProduct(Reader &R, const std::shared_ptr<const void> &Pin,
+            uint64_t &SharedBytes, ProductLimits &Lims, const char *&Err) {
+  auto Bad = [&](const char *Why) {
+    R.Fail = true;
+    Err = Why;
+    return std::shared_ptr<const AnchoredProduct>();
+  };
+  uint8_t Flags = R.u8();
+  if (R.Fail || (Flags & ~3u) != 0)
+    return Bad("artifact product flags unknown");
+  double Density = R.f64();
+  if (R.Fail || !(Density >= 0.0 && Density <= 1.0))
+    return Bad("artifact product density out of range");
+  uint64_t Budget = R.u64();
+  uint64_t RawLims[4];
+  for (uint64_t &V : RawLims) {
+    V = R.u64();
+    if (R.Fail || V > MaxLimitValue)
+      return Bad("artifact product limits out of range");
+  }
+  Lims.StateLimit = static_cast<size_t>(RawLims[0]);
+  Lims.MaxCandidates = static_cast<size_t>(RawLims[1]);
+  Lims.MaxWordLength = static_cast<size_t>(RawLims[2]);
+  Lims.BaseExplore = RawLims[3];
+  uint32_t NW = R.u32();
+  if (R.Fail || NW > MaxWords)
+    return Bad("artifact product word count out of range");
+  std::vector<UString> Words;
+  Words.reserve(NW);
+  for (uint32_t W = 0; W < NW; ++W) {
+    uint32_t Len = R.u32();
+    if (R.Fail || Len > MaxWordLen)
+      return Bad("artifact product word length out of range");
+    UString S;
+    S.reserve(Len);
+    for (uint32_t I = 0; I < Len; ++I) {
+      uint32_t C = R.u32();
+      if (R.Fail || C > static_cast<uint32_t>(MaxCodePoint))
+        return Bad("artifact product word code point out of range");
+      S.push_back(static_cast<CodePoint>(C));
+    }
+    Words.push_back(std::move(S));
+  }
+  AutomatonParts AP = readAutomaton(R, Pin, SharedBytes, Err);
+  if (R.Fail || !AP.A)
+    return nullptr;
+
+  auto P = std::make_shared<AnchoredProduct>();
+  P->Compiled = true;
+  P->Cancelled = false;
+  P->Empty = (Flags & 1) != 0;
+  P->Complete = (Flags & 2) != 0;
+  P->Density = Density;
+  P->Budget = Budget;
+  P->A = AP.A;
+  P->Words = std::move(Words);
+  // Cross-checks tying the summary flags to the automaton they describe:
+  // an "empty" product whose start state is live (or vice versa) is
+  // tampered, as is a stored candidate its own DFA rejects — the product
+  // lane's Unsat verdicts lean on exactly these invariants.
+  if (P->Empty == AP.StartLive)
+    return Bad("artifact product emptiness contradicts live set");
+  if (P->Empty && !P->Words.empty())
+    return Bad("artifact empty product carries candidate words");
+  for (const UString &W : P->Words)
+    if (!P->A->accepts(W))
+      return Bad("artifact product candidate rejected by its DFA");
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Record framing
+//===----------------------------------------------------------------------===//
+
+uint64_t snapshot::appendArtifactRecord(std::string &Arena, CompiledRegex &C) {
+  while (Arena.size() % 8 != 0)
+    Arena.push_back('\0');
+  const uint64_t Off = Arena.size();
+
+  uint32_t Flags = 0;
+  // The 8-byte record header (u32 size + u32 flags) keeps the payload
+  // base at Off + 8, still 8-aligned — the invariant the automaton
+  // padding math assumes.
+  std::string P;
+  const RegularApprox &Ap = C.classicalApprox();
+  putCRegex(P, Ap.Re);
+  P.push_back(Ap.Exact ? 1 : 0);
+  if (std::shared_ptr<const Automaton> A = C.automaton();
+      A && automatonFitsRecord(*A)) {
+    Flags |= RecHasAutomaton;
+    putAutomaton(P, *A);
+  }
+  Flags |= RecAnchoredComputed;
+  const std::optional<CRegexRef> &Anch = C.anchoredLanguage();
+  if (Anch) {
+    Flags |= RecAnchoredPresent;
+    putCRegex(P, *Anch);
+    if (std::shared_ptr<const AnchoredProduct> Pr = C.anchoredProductIfBuilt();
+        Pr && Pr->Compiled && !Pr->Cancelled && Pr->A &&
+        automatonFitsRecord(*Pr->A) && Pr->Words.size() <= MaxWords) {
+      Flags |= RecHasProduct;
+      putProduct(P, *Pr, C.anchoredProductLimits());
+    }
+  }
+  if (P.size() > (1u << 30)) // record would not frame in a u32; skip it
+    return NoArtifact;
+  putU32(Arena, static_cast<uint32_t>(8 + P.size()));
+  putU32(Arena, Flags);
+  Arena += P;
+  return Off;
+}
+
+snapshot::DecodedArtifacts
+snapshot::decodeArtifactRecord(const unsigned char *Arena, size_t ArenaBytes,
+                               uint64_t Off, std::shared_ptr<const void> Pin) {
+  auto Invalid = [](const char *Why) {
+    DecodedArtifacts Bad;
+    Bad.Error = Why;
+    return Bad;
+  };
+  try {
+    if (Arena == nullptr || Off % 8 != 0 || Off >= ArenaBytes ||
+        ArenaBytes - Off < 8)
+      return Invalid("artifact record offset out of bounds");
+    Reader R{Arena, ArenaBytes, static_cast<size_t>(Off)};
+    uint32_t RecBytes = R.u32();
+    if (RecBytes < 8 || RecBytes > ArenaBytes - Off)
+      return Invalid("artifact record size out of bounds");
+    R.N = static_cast<size_t>(Off) + RecBytes; // sub-bound: record only
+    uint32_t Flags = R.u32();
+    if ((Flags & ~RecKnownFlags) != 0)
+      return Invalid("artifact record flags unknown");
+    if ((Flags & RecAnchoredPresent) && !(Flags & RecAnchoredComputed))
+      return Invalid("artifact anchored flags inconsistent");
+    if ((Flags & RecHasProduct) && !(Flags & RecAnchoredPresent))
+      return Invalid("artifact product without anchored language");
+
+    DecodedArtifacts Out;
+    const char *Err = "artifact record truncated";
+    size_t Budget = MaxRegexNodes;
+    CRegexRef ApproxRe = readCRegex(R, 0, Budget);
+    uint8_t Exact = R.u8();
+    if (R.Fail || !ApproxRe || Exact > 1)
+      return Invalid("artifact approximation malformed");
+    Out.Stages.Approx = RegularApprox{ApproxRe, Exact != 0};
+
+    uint64_t Shared = 0;
+    if (Flags & RecHasAutomaton) {
+      AutomatonParts AP = readAutomaton(R, Pin, Shared, Err);
+      if (R.Fail || !AP.A)
+        return Invalid(Err);
+      Out.Stages.Dfa = AP.A;
+    }
+    Out.Stages.AnchoredComputed = (Flags & RecAnchoredComputed) != 0;
+    if (Flags & RecAnchoredPresent) {
+      Budget = MaxRegexNodes;
+      CRegexRef Lang = readCRegex(R, 0, Budget);
+      if (R.Fail || !Lang)
+        return Invalid("artifact anchored language malformed");
+      Out.Stages.Anchored = Lang;
+    }
+    if (Flags & RecHasProduct) {
+      std::shared_ptr<const AnchoredProduct> Pr =
+          readProduct(R, Pin, Shared, Out.Stages.ProductLimitsUsed, Err);
+      if (R.Fail || !Pr)
+        return Invalid(Err);
+      Out.Stages.Product = Pr;
+    }
+    if (R.Fail || R.At != static_cast<size_t>(Off) + RecBytes)
+      return Invalid("artifact record has trailing bytes");
+    Out.SharedBytes = Shared;
+    Out.Valid = true;
+    return Out;
+  } catch (const std::exception &) {
+    return Invalid("artifact record decode failed");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MappedArtifactStore
+//===----------------------------------------------------------------------===//
+
+MappedArtifactStore::OpenOutcome
+MappedArtifactStore::open(const std::string &Path) {
+  OpenOutcome Out;
+  std::shared_ptr<MappedArtifactStore> S(new MappedArtifactStore());
+#if RECAP_HAVE_MMAP
+  int FD = ::open(Path.c_str(), O_RDONLY);
+  if (FD < 0) {
+    Out.Error = "cannot open snapshot '" + Path + "'";
+    return Out; // absent file: not damage, the caller just goes cold
+  }
+  struct stat St = {};
+  if (::fstat(FD, &St) == 0 && St.st_size > 0) {
+    void *M = ::mmap(nullptr, static_cast<size_t>(St.st_size), PROT_READ,
+                     MAP_SHARED, FD, 0);
+    if (M != MAP_FAILED) {
+      S->Base = static_cast<const unsigned char *>(M);
+      S->Bytes = static_cast<size_t>(St.st_size);
+      S->Mapped = true;
+    }
+  }
+  ::close(FD);
+#endif
+  if (!S->Mapped) {
+    std::ifstream IS(Path, std::ios::binary);
+    if (!IS) {
+      Out.Error = "cannot open snapshot '" + Path + "'";
+      return Out;
+    }
+    S->Owned.assign(std::istreambuf_iterator<char>(IS),
+                    std::istreambuf_iterator<char>());
+    S->Base = reinterpret_cast<const unsigned char *>(S->Owned.data());
+    S->Bytes = S->Owned.size();
+  }
+
+  auto Damaged = [&](std::string Why) {
+    OpenOutcome D;
+    D.Damaged = true;
+    D.Error = std::move(Why);
+    return D;
+  };
+  auto ReadU32 = [&](size_t At) {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(S->Base[At + I]) << (8 * I);
+    return V;
+  };
+  auto ReadU64 = [&](size_t At) {
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(S->Base[At + I]) << (8 * I);
+    return V;
+  };
+  if (S->Bytes < HeaderBytes + ChecksumBytes)
+    return Damaged("snapshot shorter than header");
+  if (std::memcmp(S->Base, Magic, sizeof(Magic)) != 0)
+    return Damaged("bad snapshot magic");
+  if (ReadU32(OffVersion) != SnapshotVersion)
+    return Damaged("snapshot version mismatch");
+  uint64_t ArtOff = ReadU64(OffArtifactOffset);
+  uint64_t ArtLen = ReadU64(OffArtifactBytes);
+  if (ArtOff == 0) {
+    if (ArtLen != 0)
+      return Damaged("snapshot artifact section out of bounds");
+  } else if (ArtOff % 8 != 0 || ArtOff < HeaderBytes ||
+             ArtOff > S->Bytes - ChecksumBytes ||
+             ArtLen != S->Bytes - ChecksumBytes - ArtOff) {
+    return Damaged("snapshot artifact section out of bounds");
+  }
+  uint64_t Stored = ReadU64(S->Bytes - ChecksumBytes);
+  if (fnv1a(S->Base + 8, S->Bytes - 8 - ChecksumBytes) != Stored)
+    return Damaged("snapshot checksum mismatch");
+  S->ArenaOff = ArtOff;
+  S->ArenaLen = ArtLen;
+  Out.Store = std::move(S);
+  return Out;
+}
+
+MappedArtifactStore::~MappedArtifactStore() {
+#if RECAP_HAVE_MMAP
+  if (Mapped)
+    ::munmap(const_cast<unsigned char *>(Base), Bytes);
+#endif
+}
+
+snapshot::DecodedArtifacts MappedArtifactStore::decode(uint64_t RelOff) const {
+  return snapshot::decodeArtifactRecord(arena(), arenaBytes(), RelOff,
+                                        shared_from_this());
+}

@@ -1,0 +1,114 @@
+//===- runtime/ArtifactStore.h - Zero-copy snapshot artifacts --*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snapshot v2 artifact arena (DESIGN.md §11): flat, offset-based
+/// records serializing each interned pattern's heavy pipeline stages —
+/// classical approximation, alphabet partition, compiled DFA (with the
+/// saved transition density and live-state data), anchored-exact
+/// language, and the memoized anchored product. The layout is designed to
+/// be adopted straight out of an mmap: DFA accept/transition tables are
+/// stored exactly as the in-memory representation expects them, so a
+/// MappedArtifactStore hands out view-mode automata whose tables point
+/// into the single shared file mapping instead of per-process copies.
+///
+/// Every decode validates the record it reads (kind tags, class/state
+/// counts, transition targets, live-set invariants, bounds) and returns
+/// Valid=false instead of throwing, so one damaged record costs one
+/// entry's warm start, never the load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_RUNTIME_ARTIFACTSTORE_H
+#define RECAP_RUNTIME_ARTIFACTSTORE_H
+
+#include "runtime/CompiledRegex.h"
+
+#include <memory>
+#include <string>
+
+namespace recap {
+
+namespace snapshot {
+
+/// One entry's decoded artifact record.
+struct DecodedArtifacts {
+  bool Valid = false;
+  std::string Error; ///< why !Valid, empty otherwise
+  /// The decoded stages, ready for CompiledRegex::adoptStages().
+  AdoptedStages Stages;
+  /// Bytes of accept/transition tables adopted as views into the backing
+  /// storage (0 when everything was copied out).
+  uint64_t SharedBytes = 0;
+};
+
+/// Serializes \p C's stages as one flat record appended to \p Arena
+/// (8-aligned), forcing the approximation, automaton and anchored
+/// language; the anchored product is recorded only if already built.
+/// Returns the record's arena-relative offset.
+uint64_t appendArtifactRecord(std::string &Arena, CompiledRegex &C);
+
+/// Decodes and validates the record at arena-relative \p Off. With a
+/// non-null \p Pin the DFA tables become views into \p Arena (zero-copy;
+/// the pin is held by each adopted Automaton); with a null Pin everything
+/// is copied out (stream loads). Never throws; damage => Valid=false.
+DecodedArtifacts decodeArtifactRecord(const unsigned char *Arena,
+                                      size_t ArenaBytes, uint64_t Off,
+                                      std::shared_ptr<const void> Pin);
+
+} // namespace snapshot
+
+/// One process-wide read-only mapping of a v2 snapshot file. open()
+/// validates the header, artifact-section bounds and the whole-file
+/// checksum before any record is trusted; decode() then hands out
+/// artifact views whose lifetime is pinned to this store via shared_ptr,
+/// so the mapping stays valid for as long as any adopted automaton lives
+/// — even after the store handle itself is dropped.
+class MappedArtifactStore
+    : public std::enable_shared_from_this<MappedArtifactStore> {
+public:
+  struct OpenOutcome {
+    std::shared_ptr<MappedArtifactStore> Store; ///< null on any failure
+    /// The file exists but is structurally bad (short, bad magic/version,
+    /// checksum or bounds failure): the caller must go cold. False with a
+    /// null Store means the file is simply absent/unreadable.
+    bool Damaged = false;
+    std::string Error;
+  };
+  static OpenOutcome open(const std::string &Path);
+
+  ~MappedArtifactStore();
+  MappedArtifactStore(const MappedArtifactStore &) = delete;
+  MappedArtifactStore &operator=(const MappedArtifactStore &) = delete;
+
+  const unsigned char *fileData() const { return Base; }
+  size_t fileSize() const { return Bytes; }
+  const unsigned char *arena() const { return Base + ArenaOff; }
+  size_t arenaBytes() const { return static_cast<size_t>(ArenaLen); }
+
+  /// True when the file is really mmapped (pages shared across every
+  /// process mapping it); false when mmap was unavailable and open()
+  /// fell back to a private read — views still work, nothing is shared.
+  bool zeroCopy() const { return Mapped; }
+
+  /// decodeArtifactRecord over this store's arena, views pinned to the
+  /// mapping.
+  snapshot::DecodedArtifacts decode(uint64_t RelOff) const;
+
+private:
+  MappedArtifactStore() = default;
+
+  const unsigned char *Base = nullptr;
+  size_t Bytes = 0;
+  uint64_t ArenaOff = 0;
+  uint64_t ArenaLen = 0;
+  bool Mapped = false;
+  std::string Owned; ///< fallback storage when !Mapped
+};
+
+} // namespace recap
+
+#endif // RECAP_RUNTIME_ARTIFACTSTORE_H

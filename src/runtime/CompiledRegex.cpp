@@ -87,8 +87,7 @@ std::shared_ptr<const Automaton> CompiledRegex::automaton(size_t StateLimit) {
   return Dfa;
 }
 
-const std::optional<CRegexRef> &CompiledRegex::anchoredLanguage() {
-  std::lock_guard<std::mutex> Lock(StageMu);
+const std::optional<CRegexRef> &CompiledRegex::anchoredLocked() {
   if (AnchDone)
     return AnchLang;
   AnchDone = true;
@@ -97,6 +96,73 @@ const std::optional<CRegexRef> &CompiledRegex::anchoredLanguage() {
   AOpts.Unicode = R.flags().Unicode;
   AnchLang = anchoredExactLanguage(R, AOpts);
   return AnchLang;
+}
+
+const std::optional<CRegexRef> &CompiledRegex::anchoredLanguage() {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  return anchoredLocked();
+}
+
+std::shared_ptr<const AnchoredProduct>
+CompiledRegex::anchoredProduct(const ProductLimits &Limits) {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  const std::optional<CRegexRef> &Lang = anchoredLocked();
+  if (!Lang)
+    return nullptr;
+  auto SameLimits = [&](const ProductLimits &A, const ProductLimits &B) {
+    return A.StateLimit == B.StateLimit &&
+           A.MaxCandidates == B.MaxCandidates &&
+           A.MaxWordLength == B.MaxWordLength &&
+           A.BaseExplore == B.BaseExplore;
+  };
+  if (ProdDone)
+    return SameLimits(ProdLims, Limits) ? Prod : nullptr;
+  ProdDone = true;
+  ProdLims = Limits;
+  // Same alphabet as BackendDispatcher's product lane: Latin-1 minus the
+  // meta markers, mirroring the Z3 backend's model space so verdicts
+  // agree across lanes.
+  CRegexRef Alpha =
+      cStar(cClass(CharSet::range(0, 0xFF).minus(CharSet::metas())));
+  Prod = std::make_shared<const AnchoredProduct>(
+      buildAnchoredProduct({*Lang}, {}, Alpha, Limits));
+  return Prod;
+}
+
+std::shared_ptr<const AnchoredProduct> CompiledRegex::anchoredProductIfBuilt() {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  return ProdDone ? Prod : nullptr;
+}
+
+ProductLimits CompiledRegex::anchoredProductLimits() {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  return ProdLims;
+}
+
+size_t CompiledRegex::adoptStages(const AdoptedStages &S) {
+  std::lock_guard<std::mutex> Lock(StageMu);
+  size_t Installed = 0;
+  if (S.Approx && !Approx) {
+    Approx = *S.Approx;
+    ++Installed;
+  }
+  if (S.Dfa && !DfaDone) {
+    DfaDone = true;
+    Dfa = S.Dfa;
+    ++Installed;
+  }
+  if (S.AnchoredComputed && !AnchDone) {
+    AnchDone = true;
+    AnchLang = S.Anchored;
+    ++Installed;
+  }
+  if (S.Product && !ProdDone) {
+    ProdDone = true;
+    ProdLims = S.ProductLimitsUsed;
+    Prod = S.Product;
+    ++Installed;
+  }
+  return Installed;
 }
 
 std::shared_ptr<const Matcher> CompiledRegex::sharedMatcher() {

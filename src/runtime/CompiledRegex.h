@@ -28,6 +28,7 @@
 #ifndef RECAP_RUNTIME_COMPILEDREGEX_H
 #define RECAP_RUNTIME_COMPILEDREGEX_H
 
+#include "automata/ProductLane.h"
 #include "matcher/Matcher.h"
 #include "model/Approx.h"
 #include "model/ModelBuilder.h"
@@ -130,6 +131,18 @@ struct RuntimeStats {
   StatCounter SnapshotLoaded;
   StatCounter SnapshotRejected;
 
+  // Zero-copy artifact store (snapshot v2, DESIGN.md §11): serialized
+  // artifact records adopted into CompiledRegex stages at load, records
+  // dropped by the per-record validation pass (the entry still loads
+  // metadata-warm), bytes of DFA accept/transition tables served as views
+  // into the shared file mapping instead of per-process copies, and
+  // entries the snapshot aging policy skipped at save
+  // (SnapshotSaveOptions::MaxAgeGenerations).
+  StatCounter ArtifactsMapped;
+  StatCounter ArtifactsRejected;
+  StatCounter ArtifactBytesShared;
+  StatCounter AgedOut;
+
   // EngineOptions::Workers requests cut down to hardware_concurrency()
   // instead of silently oversubscribing (EngineOptions::ClampWorkers).
   StatCounter WorkersClamped;
@@ -198,6 +211,10 @@ struct RuntimeStats {
     D.AnchoredFallback = AnchoredFallback - O.AnchoredFallback;
     D.SnapshotLoaded = SnapshotLoaded - O.SnapshotLoaded;
     D.SnapshotRejected = SnapshotRejected - O.SnapshotRejected;
+    D.ArtifactsMapped = ArtifactsMapped - O.ArtifactsMapped;
+    D.ArtifactsRejected = ArtifactsRejected - O.ArtifactsRejected;
+    D.ArtifactBytesShared = ArtifactBytesShared - O.ArtifactBytesShared;
+    D.AgedOut = AgedOut - O.AgedOut;
     D.WorkersClamped = WorkersClamped - O.WorkersClamped;
     D.GuardTimeouts = GuardTimeouts - O.GuardTimeouts;
     D.GuardRetries = GuardRetries - O.GuardRetries;
@@ -241,6 +258,10 @@ struct RuntimeStats {
     AnchoredFallback += O.AnchoredFallback;
     SnapshotLoaded += O.SnapshotLoaded;
     SnapshotRejected += O.SnapshotRejected;
+    ArtifactsMapped += O.ArtifactsMapped;
+    ArtifactsRejected += O.ArtifactsRejected;
+    ArtifactBytesShared += O.ArtifactBytesShared;
+    AgedOut += O.AgedOut;
     WorkersClamped += O.WorkersClamped;
     GuardTimeouts += O.GuardTimeouts;
     GuardRetries += O.GuardRetries;
@@ -254,6 +275,24 @@ struct RuntimeStats {
     SnapshotRecovered += O.SnapshotRecovered;
     WorkerSpawnFallbacks += O.WorkerSpawnFallbacks;
   }
+};
+
+/// Pre-built pipeline stages decoded from a snapshot v2 artifact record
+/// (runtime/ArtifactStore), offered to CompiledRegex::adoptStages().
+/// Every field is optional: absent stages are simply rebuilt lazily.
+struct AdoptedStages {
+  std::optional<RegularApprox> Approx;
+  /// Automaton for Approx.Re (possibly a zero-copy view whose Pin keeps
+  /// the mapped store alive). Null = the record carried none.
+  std::shared_ptr<const Automaton> Dfa;
+  /// The anchored-language stage was computed at save time; Anchored is
+  /// its value (nullopt = the pattern has no anchored-exact language).
+  bool AnchoredComputed = false;
+  std::optional<CRegexRef> Anchored;
+  /// The memoized single-pattern anchored product, with the limits it
+  /// was built under (adoption keys the product cache on them).
+  std::shared_ptr<const AnchoredProduct> Product;
+  ProductLimits ProductLimitsUsed;
 };
 
 /// One compiled (pattern, flags) pair. Thread-safe: the lazy pipeline
@@ -300,6 +339,27 @@ public:
   /// to share between RegExpObjects: Matcher is stateless.
   std::shared_ptr<const Matcher> sharedMatcher();
 
+  /// The single-pattern positive-polarity anchored product over the
+  /// solver alphabet (Latin-1 minus the meta markers) — the dominant
+  /// product-lane cache key, memoized here so every dispatcher shard and
+  /// every snapshot-warmed process shares one build. The first call's
+  /// \p Limits stick; a later call with different limits returns null and
+  /// the caller builds its own (results must never silently change with
+  /// the knobs). Null also when the pattern has no anchored language.
+  std::shared_ptr<const AnchoredProduct>
+  anchoredProduct(const ProductLimits &Limits);
+  /// The memoized product if one exists (no build) — snapshot writers.
+  std::shared_ptr<const AnchoredProduct> anchoredProductIfBuilt();
+  /// The limits the memoized product was built under (meaningful only
+  /// when anchoredProductIfBuilt() is non-null).
+  ProductLimits anchoredProductLimits();
+
+  /// Installs snapshot-decoded stages that are not already built (an
+  /// existing stage always wins — first-call semantics are preserved, so
+  /// warm and cold runs stay bit-identical). Returns the number of
+  /// stages installed.
+  size_t adoptStages(const AdoptedStages &S);
+
   /// Instantiates the memoized SymbolicMatch template for \p Opts with
   /// fresh \p VarPrefix-prefixed variables over \p Input. The first call
   /// per distinct ModelOptions runs the model generator; later calls
@@ -314,6 +374,9 @@ private:
   /// classicalApprox() body with StageMu already held (automaton() needs
   /// the approximation while holding the lock).
   const RegularApprox &approxLocked();
+  /// anchoredLanguage() body with StageMu already held (anchoredProduct()
+  /// needs the language while holding the lock).
+  const std::optional<CRegexRef> &anchoredLocked();
 
   /// ModelOptions projected onto a comparable key.
   using ModelKey = std::tuple<size_t, size_t, bool, bool, bool, bool>;
@@ -344,6 +407,9 @@ private:
   bool DfaDone = false;
   std::optional<CRegexRef> AnchLang;
   bool AnchDone = false;
+  std::shared_ptr<const AnchoredProduct> Prod;
+  bool ProdDone = false;
+  ProductLimits ProdLims;
   std::shared_ptr<const Matcher> M;
   std::map<ModelKey, Template> Templates;
 };

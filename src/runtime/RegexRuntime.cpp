@@ -18,20 +18,28 @@ std::string RegexRuntime::makeKey(const UString &Pattern,
   return Flags.str() + "\n" + toUTF8(Pattern);
 }
 
-std::shared_ptr<CompiledRegex> *RegexRuntime::lookup(const std::string &Key) {
-  std::shared_ptr<CompiledRegex> *C = Entries.find(Key);
-  if (C)
+RegexRuntime::Interned *RegexRuntime::lookup(const std::string &Key) {
+  Interned *E = Entries.find(Key);
+  if (E) {
     ++Stats->InternHits;
-  return C;
+    E->LastGen = Generation;
+  }
+  return E;
 }
 
 std::shared_ptr<CompiledRegex> RegexRuntime::insert(std::string Key,
                                                     Regex R) {
   ++Stats->InternMisses;
   auto C = std::make_shared<CompiledRegex>(std::move(R), Stats);
-  if (Entries.insert(std::move(Key), C))
+  if (Entries.insert(std::move(Key), Interned{C, Generation}))
     ++Stats->InternEvictions;
   return C;
+}
+
+void RegexRuntime::setEntryGeneration(const std::string &Key, uint64_t Gen) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Interned *E = Entries.find(Key))
+    E->LastGen = Gen;
 }
 
 void RegexRuntime::rememberError(const std::string &Key,
@@ -49,8 +57,8 @@ RegexRuntime::get(const UString &Pattern, RegexFlags Flags) {
   std::string Key = makeKey(Pattern, Flags);
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
-      return *C;
+    if (Interned *E = lookup(Key))
+      return E->C;
     auto ErrIt = Errors.find(Key);
     if (ErrIt != Errors.end()) {
       ++Stats->ErrorHits;
@@ -64,8 +72,8 @@ RegexRuntime::get(const UString &Pattern, RegexFlags Flags) {
   // parse is rare and benign.
   Result<Regex> R = Regex::parse(Pattern, Flags);
   std::lock_guard<std::mutex> Lock(Mu);
-  if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
-    return *C;
+  if (Interned *E = lookup(Key))
+    return E->C;
   if (!R) {
     auto ErrIt = Errors.find(Key);
     if (ErrIt != Errors.end()) {
@@ -113,8 +121,8 @@ RegexRuntime::literal(const std::string &Literal) {
 std::shared_ptr<CompiledRegex> RegexRuntime::intern(Regex R) {
   std::string Key = makeKey(R.pattern(), R.flags());
   std::lock_guard<std::mutex> Lock(Mu);
-  if (std::shared_ptr<CompiledRegex> *C = lookup(Key))
-    return *C;
+  if (Interned *E = lookup(Key))
+    return E->C;
   return insert(std::move(Key), std::move(R));
 }
 

@@ -37,6 +37,8 @@
 
 namespace recap {
 
+class MappedArtifactStore;
+
 /// Outcome of RegexRuntime::load()/loadOnce() (runtime/RuntimeSnapshot.cpp).
 struct SnapshotLoadResult {
   /// Entries interned and pre-warmed from the snapshot.
@@ -46,6 +48,18 @@ struct SnapshotLoadResult {
   /// snapshot from an older build). The runtime stays correct either
   /// way — rejection only loses the warm start for that entry.
   size_t Rejected = 0;
+  /// Artifact records adopted into entries (DFA/approximation/product
+  /// stages installed from the snapshot instead of rebuilt).
+  size_t ArtifactsMapped = 0;
+  /// Artifact records that failed validation and were dropped; the entry
+  /// itself still loads metadata-warm.
+  size_t ArtifactsRejected = 0;
+  /// Accept/transition-table bytes served as views into the shared file
+  /// mapping (0 for stream loads or mmap-unavailable fallbacks).
+  uint64_t BytesShared = 0;
+  /// The artifact section was really mmapped (pages shared between
+  /// processes), not privately read.
+  bool ZeroCopy = false;
   /// The file was absent, truncated, corrupt, or version-mismatched: the
   /// runtime starts cold (nothing loaded, never an error thrown).
   bool Cold = false;
@@ -56,6 +70,19 @@ struct SnapshotLoadResult {
   std::string Error; ///< why Cold, empty otherwise
 
   bool warm() const { return Loaded > 0; }
+};
+
+/// Knobs for RegexRuntime::save().
+struct SnapshotSaveOptions {
+  /// Age out entries untouched for more than this many generations
+  /// (see RegexRuntime::bumpGeneration()): they are skipped at save time
+  /// and counted in RuntimeStats::AgedOut, so one-off patterns stop
+  /// riding along in every future snapshot. 0 = keep everything.
+  uint64_t MaxAgeGenerations = 0;
+  /// Serialize the artifact arena (compiled DFAs, approximations,
+  /// anchored products). Off = metadata-only v2 snapshot (still loads
+  /// everywhere, just without zero-copy warm starts).
+  bool IncludeArtifacts = true;
 };
 
 struct RuntimeOptions {
@@ -114,45 +141,82 @@ public:
   void warm(const std::shared_ptr<CompiledRegex> &C,
             unsigned Stages = WarmAll);
 
-  /// Persistent warm start (DESIGN.md §7.3): save() serializes every
+  /// Persistent warm start (DESIGN.md §7.3, §11): save() serializes every
   /// interned entry's metadata — pattern, flags, RegexFeatures, approx
-  /// exactness — behind a versioned, checksummed header; load() restores
-  /// a saved table into this runtime, re-interning each entry and
-  /// pre-building its stages through warm(), so a corpus job's first
-  /// queries start on hot artifacts across process boundaries. A load is
-  /// transactional against damage: bad magic, version mismatch,
+  /// exactness — plus an arena of compiled artifacts (DFAs, anchored
+  /// products) behind a versioned, checksummed header; load() restores a
+  /// saved table into this runtime, re-interning each entry, adopting its
+  /// artifact record when valid (zero-copy via mmap for Path loads) and
+  /// pre-building remaining stages through warm(), so a corpus job's
+  /// first queries start on hot artifacts across process boundaries. A
+  /// load is transactional against damage: bad magic, version mismatch,
   /// truncation, or a checksum failure loads nothing (SnapshotLoadResult
-  /// ::Cold) instead of crashing or half-populating the table. Stats land
-  /// in RuntimeStats::SnapshotLoaded / SnapshotRejected.
-  bool save(std::ostream &OS) const;
-  bool save(const std::string &Path) const;
-  SnapshotLoadResult load(std::istream &IS, unsigned Stages = WarmAll);
-  SnapshotLoadResult load(const std::string &Path,
-                          unsigned Stages = WarmAll);
+  /// ::Cold) instead of crashing or half-populating the table; damage
+  /// confined to one artifact record drops only that record. Stats land
+  /// in RuntimeStats::SnapshotLoaded / SnapshotRejected /
+  /// ArtifactsMapped / ArtifactsRejected / ArtifactBytesShared.
+  bool save(std::ostream &OS, const SnapshotSaveOptions &SOpts = {}) const;
+  bool save(const std::string &Path,
+            const SnapshotSaveOptions &SOpts = {}) const;
+  SnapshotLoadResult load(std::istream &IS, unsigned Stages = WarmAll,
+                          bool AdoptArtifacts = true);
+  SnapshotLoadResult load(const std::string &Path, unsigned Stages = WarmAll,
+                          bool AdoptArtifacts = true);
   /// load() at most once per runtime: corpus tasks sharing this runtime
   /// can all name the same EngineOptions::CacheSnapshot and only the
   /// first *successful* comer pays the load (the rest report Skipped);
   /// a cold attempt does not latch, so the snapshot can appear later.
   SnapshotLoadResult loadOnce(const std::string &Path,
-                              unsigned Stages = WarmAll);
+                              unsigned Stages = WarmAll,
+                              bool AdoptArtifacts = true);
+
+  /// Snapshot-aging clock. Callers mark epochs (one corpus run, one
+  /// service session) by bumping; every intern hit/miss stamps the entry
+  /// with the current generation, and save() can age out entries
+  /// untouched for SnapshotSaveOptions::MaxAgeGenerations epochs.
+  void bumpGeneration() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Generation;
+  }
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Generation;
+  }
 
 private:
+  /// An interned entry plus the generation it was last touched
+  /// (snapshot aging).
+  struct Interned {
+    std::shared_ptr<CompiledRegex> C;
+    uint64_t LastGen = 0;
+  };
+
   static std::string makeKey(const UString &Pattern,
                              const RegexFlags &Flags);
-  std::shared_ptr<CompiledRegex> *lookup(const std::string &Key);
+  Interned *lookup(const std::string &Key);
   std::shared_ptr<CompiledRegex> insert(std::string Key, Regex R);
   void rememberError(const std::string &Key, const std::string &Message);
+  /// Restores a snapshot entry's saved LastGen without counting an
+  /// intern hit (keeps save->load->save byte-identical).
+  void setEntryGeneration(const std::string &Key, uint64_t Gen);
+  /// Shared core of the stream and mmap load paths
+  /// (runtime/RuntimeSnapshot.cpp).
+  SnapshotLoadResult
+  loadBuffer(const unsigned char *Data, size_t N, unsigned Stages,
+             bool AdoptArtifacts,
+             const std::shared_ptr<const MappedArtifactStore> &Store);
 
   RuntimeOptions Opts;
   std::shared_ptr<RuntimeStats> Stats;
-  /// Guards Entries and Errors (the stats block is atomic per counter and
-  /// CompiledRegex stages synchronize themselves). NOT held across a
-  /// cold-miss parse — distinct patterns parse in parallel; a same-key
-  /// race re-checks the table after parsing and adopts the winner's
-  /// entry.
+  /// Guards Entries, Errors and Generation (the stats block is atomic per
+  /// counter and CompiledRegex stages synchronize themselves). NOT held
+  /// across a cold-miss parse — distinct patterns parse in parallel; a
+  /// same-key race re-checks the table after parsing and adopts the
+  /// winner's entry.
   mutable std::mutex Mu;
-  LruMap<std::shared_ptr<CompiledRegex>> Entries;
+  LruMap<Interned> Entries;
   std::unordered_map<std::string, std::string> Errors;
+  uint64_t Generation = 0;
 
   /// loadOnce() latch; separate from Mu because load() re-enters the
   /// interning path (which takes Mu per entry).

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "runtime/ArtifactStore.h"
 #include "runtime/RegexRuntime.h"
 #include "runtime/RuntimeSnapshot.h"
 
@@ -126,30 +127,64 @@ struct RawEntry {
   std::string Pattern;
   RegexFeatures Features;
   bool ApproxExact = false;
+  uint64_t LastGen = 0;
+  uint64_t RecOff = NoArtifact;
 };
 
 } // namespace
 
-bool RegexRuntime::save(std::ostream &OS) const {
+bool RegexRuntime::save(std::ostream &OS,
+                        const SnapshotSaveOptions &SOpts) const {
   // Collect artifacts under the intern lock, then force the recorded
   // stages outside it (a cold features/approx build takes the artifact's
   // own stage mutex and must not serialize interning behind Mu).
-  std::vector<std::shared_ptr<CompiledRegex>> Artifacts;
+  struct Saved {
+    std::shared_ptr<CompiledRegex> C;
+    uint64_t LastGen = 0;
+  };
+  std::vector<Saved> Artifacts;
+  uint64_t Gen = 0;
   {
     std::lock_guard<std::mutex> Lock(Mu);
+    Gen = Generation;
     Artifacts.reserve(Entries.size());
-    Entries.forEachLru(
-        [&](const std::string &, const std::shared_ptr<CompiledRegex> &C) {
-          Artifacts.push_back(C);
-        });
+    Entries.forEachLru([&](const std::string &, const Interned &E) {
+      Artifacts.push_back({E.C, E.LastGen});
+    });
   }
 
+  // Aging happens before any stage forcing: an entry about to be dropped
+  // must not cost an automaton build first.
+  if (SOpts.MaxAgeGenerations != 0) {
+    std::vector<Saved> Kept;
+    Kept.reserve(Artifacts.size());
+    for (Saved &S : Artifacts) {
+      if (Gen - S.LastGen > SOpts.MaxAgeGenerations) {
+        ++Stats->AgedOut;
+        continue;
+      }
+      Kept.push_back(std::move(S));
+    }
+    Artifacts = std::move(Kept);
+  }
+
+  // Arena first: each entry's record offset goes into its body fields.
+  // appendArtifactRecord forces the approximation / automaton / anchored
+  // stages (the product only if already built), so a save doubles as a
+  // full warm of the surviving entries.
+  std::string Arena;
+  std::vector<uint64_t> RecOffs(Artifacts.size(), NoArtifact);
+  if (SOpts.IncludeArtifacts)
+    for (size_t I = 0; I < Artifacts.size(); ++I)
+      RecOffs[I] = appendArtifactRecord(Arena, *Artifacts[I].C);
+
   std::string Body;
-  for (const std::shared_ptr<CompiledRegex> &C : Artifacts) {
-    std::string Flags = C->flags().str();
-    std::string Pattern = toUTF8(C->pattern());
-    const RegexFeatures &F = C->features();
-    bool Exact = C->classicalApprox().Exact;
+  for (size_t I = 0; I < Artifacts.size(); ++I) {
+    CompiledRegex &C = *Artifacts[I].C;
+    std::string Flags = C.flags().str();
+    std::string Pattern = toUTF8(C.pattern());
+    const RegexFeatures &F = C.features();
+    bool Exact = C.classicalApprox().Exact;
     putU32(Body, static_cast<uint32_t>(Flags.size()));
     Body += Flags;
     putU32(Body, static_cast<uint32_t>(Pattern.size()));
@@ -157,6 +192,8 @@ bool RegexRuntime::save(std::ostream &OS) const {
     for (uint32_t W : featureWords(F))
       putU32(Body, W);
     Body.push_back(Exact ? 1 : 0);
+    putU64(Body, Artifacts[I].LastGen);
+    putU64(Body, RecOffs[I]);
   }
 
   std::string Out;
@@ -164,14 +201,26 @@ bool RegexRuntime::save(std::ostream &OS) const {
   putU32(Out, SnapshotVersion);
   putU32(Out, SnapshotFeatureWords);
   putU64(Out, Artifacts.size());
+  putU64(Out, Gen);
+  uint64_t ArtOff = 0;
+  if (!Arena.empty())
+    ArtOff = (HeaderBytes + Body.size() + 7) & ~uint64_t(7);
+  putU64(Out, ArtOff);
+  putU64(Out, ArtOff == 0 ? 0 : Arena.size());
   Out += Body;
-  putU64(Out, fnv1a(reinterpret_cast<const unsigned char *>(Body.data()),
-                    Body.size()));
+  if (ArtOff != 0) {
+    while (Out.size() < ArtOff)
+      Out.push_back(0);
+    Out += Arena;
+  }
+  putU64(Out, fnv1a(reinterpret_cast<const unsigned char *>(Out.data()) + 8,
+                    Out.size() - 8));
   OS.write(Out.data(), static_cast<std::streamsize>(Out.size()));
   return static_cast<bool>(OS);
 }
 
-bool RegexRuntime::save(const std::string &Path) const {
+bool RegexRuntime::save(const std::string &Path,
+                        const SnapshotSaveOptions &SOpts) const {
   // Chaos harness: a scripted fault models an unwritable disk — the save
   // reports failure and Path keeps whatever good snapshot it had.
   if (FaultInjector *FI = FaultInjector::active()) {
@@ -191,7 +240,7 @@ bool RegexRuntime::save(const std::string &Path) const {
   std::string Tmp = Path + ".tmp";
   {
     std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OS || !save(OS)) {
+    if (!OS || !save(OS, SOpts)) {
       std::remove(Tmp.c_str());
       return false;
     }
@@ -210,7 +259,9 @@ bool RegexRuntime::save(const std::string &Path) const {
   return true;
 }
 
-SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
+SnapshotLoadResult RegexRuntime::loadBuffer(
+    const unsigned char *Data, size_t N, unsigned Stages, bool AdoptArtifacts,
+    const std::shared_ptr<const MappedArtifactStore> &Store) {
   SnapshotLoadResult Res;
   auto Cold = [&](const char *Why) {
     Res.Cold = true;
@@ -219,51 +270,64 @@ SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
   };
 
   // Chaos harness: a scripted fault models a corrupt/unreadable snapshot
-  // (the load goes cold, exactly as a checksum mismatch would).
+  // (the load goes cold, exactly as a checksum mismatch would). Shared by
+  // the stream and mmap paths.
   if (FaultInjector *FI = FaultInjector::active()) {
     if (FI->fire(FaultSite::SnapshotLoad, nullptr))
       return Cold("injected snapshot fault");
   }
 
-  std::string Buf((std::istreambuf_iterator<char>(IS)),
-                  std::istreambuf_iterator<char>());
-  if (Buf.size() < HeaderBytes + ChecksumBytes)
+  if (N < HeaderBytes + ChecksumBytes)
     return Cold("snapshot shorter than header");
-  if (std::memcmp(Buf.data(), Magic, sizeof(Magic)) != 0)
+  if (std::memcmp(Data, Magic, sizeof(Magic)) != 0)
     return Cold("bad snapshot magic");
 
-  Reader R{reinterpret_cast<const unsigned char *>(Buf.data()),
-           Buf.size() - ChecksumBytes, sizeof(Magic)};
-  uint32_t Version = R.u32();
-  uint32_t Words = R.u32();
-  uint64_t Count = R.u64();
+  Reader H{Data, HeaderBytes, sizeof(Magic)};
+  uint32_t Version = H.u32();
+  uint32_t Words = H.u32();
+  uint64_t Count = H.u64();
+  uint64_t StoredGen = H.u64();
+  uint64_t ArtOff = H.u64();
+  uint64_t ArtLen = H.u64();
   if (Version != SnapshotVersion)
     return Cold("snapshot version mismatch");
   if (Words != SnapshotFeatureWords)
     return Cold("snapshot feature layout mismatch");
 
+  // Arena bounds before anything is sized from them: the arena must butt
+  // exactly against the checksum trailer (so a truncated file can never
+  // pass as a shorter-but-valid one).
+  if (ArtOff == 0) {
+    if (ArtLen != 0)
+      return Cold("snapshot artifact section out of bounds");
+  } else if (ArtOff % 8 != 0 || ArtOff < HeaderBytes ||
+             ArtOff > N - ChecksumBytes ||
+             ArtLen != N - ChecksumBytes - ArtOff) {
+    return Cold("snapshot artifact section out of bounds");
+  }
+  const size_t EntriesEnd =
+      ArtOff != 0 ? static_cast<size_t>(ArtOff) : N - ChecksumBytes;
+
+  // The count field must fit the bytes actually present before sizing
+  // anything (a corrupt count must load cold, not throw from
+  // vector::reserve). Checked before the checksum so the error names the
+  // real problem.
+  constexpr uint64_t MinEntryBytes =
+      4 + 4 + 4ull * SnapshotFeatureWords + 1 + 8 + 8;
+  if (Count > (EntriesEnd - HeaderBytes) / MinEntryBytes)
+    return Cold("snapshot entry count exceeds file size");
+
   uint64_t Stored = 0;
   {
-    Reader Tail{reinterpret_cast<const unsigned char *>(Buf.data()),
-                Buf.size(), Buf.size() - ChecksumBytes};
+    Reader Tail{Data, N, N - ChecksumBytes};
     Stored = Tail.u64();
   }
-  if (fnv1a(reinterpret_cast<const unsigned char *>(Buf.data()) +
-                HeaderBytes,
-            Buf.size() - HeaderBytes - ChecksumBytes) != Stored)
+  if (fnv1a(Data + 8, N - 8 - ChecksumBytes) != Stored)
     return Cold("snapshot checksum mismatch");
-
-  // The count field sits in the header, outside the checksummed entry
-  // region — validate it against the bytes actually present before
-  // sizing anything (a corrupt count must load cold, not throw from
-  // vector::reserve).
-  constexpr uint64_t MinEntryBytes =
-      4 + 4 + 4ull * SnapshotFeatureWords + 1;
-  if (Count > (R.N - R.At) / MinEntryBytes)
-    return Cold("snapshot entry count exceeds file size");
 
   // Decode everything before touching the table: a malformed entry midway
   // must not leave a half-loaded runtime.
+  Reader R{Data, EntriesEnd, HeaderBytes};
   std::vector<RawEntry> Raw;
   Raw.reserve(static_cast<size_t>(Count));
   for (uint64_t I = 0; I < Count; ++I) {
@@ -274,14 +338,22 @@ SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
     for (uint32_t &V : W)
       V = R.u32();
     E.ApproxExact = R.u8() != 0;
+    E.LastGen = R.u64();
+    E.RecOff = R.u64();
     if (R.Fail)
       return Cold("snapshot entries truncated");
     E.Features = featuresFromWords(W);
     Raw.push_back(std::move(E));
   }
-  if (R.At != R.N)
+  // Up to 7 zero bytes of arena alignment may follow the entries; more,
+  // or non-zero bytes, is damage.
+  if (EntriesEnd - R.At >= 8)
     return Cold("snapshot has trailing bytes");
+  for (size_t I = R.At; I < EntriesEnd; ++I)
+    if (Data[I] != 0)
+      return Cold("snapshot has trailing bytes");
 
+  Res.ZeroCopy = Store != nullptr && Store->zeroCopy();
   for (const RawEntry &E : Raw) {
     Result<std::shared_ptr<CompiledRegex>> C = get(E.Pattern, E.Flags);
     if (!C) {
@@ -289,34 +361,96 @@ SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages) {
       ++Stats->SnapshotRejected;
       continue;
     }
-    warm(*C, Stages);
     // The recorded metadata must agree with the recomputed pipeline; a
-    // stale snapshot (older parser/analyzer) is rejected per entry. The
-    // interned artifact itself is correct either way — only the warm
+    // stale snapshot (older parser/analyzer) is rejected per entry —
+    // before any artifact adoption, so stale records can't be installed.
+    // The interned artifact itself is correct either way — only the warm
     // credit is withheld.
-    if (!((*C)->features() == E.Features) ||
-        (*C)->classicalApprox().Exact != E.ApproxExact) {
+    if (!((*C)->features() == E.Features)) {
       ++Res.Rejected;
       ++Stats->SnapshotRejected;
       continue;
     }
+    bool Adopted = false;
+    if (AdoptArtifacts && E.RecOff != NoArtifact) {
+      DecodedArtifacts DA =
+          Store ? Store->decode(E.RecOff)
+                : decodeArtifactRecord(ArtLen != 0 ? Data + ArtOff : nullptr,
+                                       static_cast<size_t>(ArtLen), E.RecOff,
+                                       nullptr);
+      // The record's own exactness bit must match the entry metadata —
+      // one more cross-check tying arena and entry together.
+      if (DA.Valid && DA.Stages.Approx &&
+          DA.Stages.Approx->Exact == E.ApproxExact) {
+        (*C)->adoptStages(DA.Stages);
+        Adopted = true;
+        ++Res.ArtifactsMapped;
+        ++Stats->ArtifactsMapped;
+        if (Res.ZeroCopy) {
+          Res.BytesShared += DA.SharedBytes;
+          Stats->ArtifactBytesShared += DA.SharedBytes;
+        }
+      } else {
+        ++Res.ArtifactsRejected;
+        ++Stats->ArtifactsRejected;
+      }
+    }
+    warm(*C, Stages);
+    if (!Adopted && (*C)->classicalApprox().Exact != E.ApproxExact) {
+      ++Res.Rejected;
+      ++Stats->SnapshotRejected;
+      continue;
+    }
+    setEntryGeneration(makeKey((*C)->pattern(), (*C)->flags()), E.LastGen);
     ++Res.Loaded;
     ++Stats->SnapshotLoaded;
+  }
+
+  // Restored after the entry loop so every setEntryGeneration() above
+  // wrote the saved stamp verbatim (save->load->save stays
+  // byte-identical).
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (StoredGen > Generation)
+      Generation = StoredGen;
   }
   return Res;
 }
 
+SnapshotLoadResult RegexRuntime::load(std::istream &IS, unsigned Stages,
+                                      bool AdoptArtifacts) {
+  std::string Buf((std::istreambuf_iterator<char>(IS)),
+                  std::istreambuf_iterator<char>());
+  return loadBuffer(reinterpret_cast<const unsigned char *>(Buf.data()),
+                    Buf.size(), Stages, AdoptArtifacts, nullptr);
+}
+
 SnapshotLoadResult RegexRuntime::load(const std::string &Path,
-                                      unsigned Stages) {
-  std::ifstream IS(Path, std::ios::binary);
-  if (!IS) {
-    SnapshotLoadResult Res;
-    Res.Cold = true;
-    Res.Error = "cannot open snapshot '" + Path + "'";
-    return Res;
-  }
+                                      unsigned Stages, bool AdoptArtifacts) {
   try {
-    return load(IS, Stages);
+    if (AdoptArtifacts) {
+      // mmap path: one shared mapping serves every process loading this
+      // snapshot; adopted DFA tables are views into it.
+      MappedArtifactStore::OpenOutcome O = MappedArtifactStore::open(Path);
+      if (O.Store)
+        return loadBuffer(O.Store->fileData(), O.Store->fileSize(), Stages,
+                          true, O.Store);
+      if (O.Damaged) {
+        SnapshotLoadResult Res;
+        Res.Cold = true;
+        Res.Error = O.Error;
+        return Res;
+      }
+      // Absent/unreadable: fall through for the canonical cold result.
+    }
+    std::ifstream IS(Path, std::ios::binary);
+    if (!IS) {
+      SnapshotLoadResult Res;
+      Res.Cold = true;
+      Res.Error = "cannot open snapshot '" + Path + "'";
+      return Res;
+    }
+    return load(IS, Stages, AdoptArtifacts);
   } catch (const std::exception &E) {
     // A load must never take the run down (an injected Throw, or an
     // allocation failure on adversarial sizes): it goes cold instead —
@@ -329,7 +463,8 @@ SnapshotLoadResult RegexRuntime::load(const std::string &Path,
 }
 
 SnapshotLoadResult RegexRuntime::loadOnce(const std::string &Path,
-                                          unsigned Stages) {
+                                          unsigned Stages,
+                                          bool AdoptArtifacts) {
   // Serializes concurrent first-comers: one loads, the rest wait on
   // SnapMu and then skip — so corpus tasks sharing this runtime see a
   // fully warm table, never a half-loaded race. Only a structurally
@@ -342,7 +477,7 @@ SnapshotLoadResult RegexRuntime::loadOnce(const std::string &Path,
     Res.Skipped = true;
     return Res;
   }
-  SnapshotLoadResult Res = load(Path, Stages);
+  SnapshotLoadResult Res = load(Path, Stages, AdoptArtifacts);
   if (!Res.Cold) {
     // A warm load after an earlier cold attempt is a recovery (the
     // snapshot appeared, or transient damage cleared): count it so runs

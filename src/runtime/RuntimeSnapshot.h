@@ -6,29 +6,49 @@
 ///
 /// \file
 /// On-disk layout of the RegexRuntime warm-start snapshot (save()/load(),
-/// DESIGN.md §7.3). All integers little-endian:
+/// DESIGN.md §7.3 and §11). All integers little-endian:
 ///
-///   [0]   magic            "RECAPSNP" (8 bytes)
-///   [8]   u32 version      SnapshotVersion
-///   [12]  u32 featureWords SnapshotFeatureWords — the number of u32
-///                          RegexFeatures fields per entry; a layout
-///                          change to RegexFeatures changes this and old
-///                          snapshots load cold instead of misparsing
-///   [16]  u64 count        interned entries, least- to most-recently
-///                          used (so a bounded reload evicts the same
-///                          cold tail)
-///   [24]  entries          per entry:
-///                            u32 flagsLen, canonical flag string
-///                            u32 patLen, UTF-8 pattern
-///                            u32[featureWords] feature counts in
-///                              RegexFeatures declaration order
-///                            u8 approxExact (RegularApprox::Exact)
-///   [end-8] u64 checksum   FNV-1a 64 over the entry bytes
+///   [0]   magic              "RECAPSNP" (8 bytes)
+///   [8]   u32 version        SnapshotVersion
+///   [12]  u32 featureWords   SnapshotFeatureWords — the number of u32
+///                            RegexFeatures fields per entry; a layout
+///                            change to RegexFeatures changes this and
+///                            old snapshots load cold instead of
+///                            misparsing
+///   [16]  u64 count          interned entries, least- to most-recently
+///                            used (so a bounded reload evicts the same
+///                            cold tail)
+///   [24]  u64 generation     the runtime's save-time generation counter
+///                            (snapshot aging; see RegexRuntime)
+///   [32]  u64 artifactOffset byte offset of the artifact arena, 8-aligned,
+///                            0 when the snapshot carries no artifacts
+///   [40]  u64 artifactBytes  arena length; artifactOffset+artifactBytes
+///                            must land exactly on the checksum trailer
+///   [48]  entries            per entry:
+///                              u32 flagsLen, canonical flag string
+///                              u32 patLen, UTF-8 pattern
+///                              u32[featureWords] feature counts in
+///                                RegexFeatures declaration order
+///                              u8 approxExact (RegularApprox::Exact)
+///                              u64 lastGen — generation the entry was
+///                                last touched (aging)
+///                              u64 artifactRelOffset — arena-relative
+///                                offset of the entry's artifact record,
+///                                ~0 when none
+///   pad   up to 7 zero bytes aligning the arena to 8
+///   arena 8-aligned artifact records (runtime/ArtifactStore.h); DFA
+///         tables inside are positioned so an mmap of the file serves
+///         them in place, zero-copy
+///   [end-8] u64 checksum     FNV-1a 64 over file bytes [8, end-8) —
+///                            everything after the magic, entries and
+///                            arena included
 ///
 /// Any structural damage — short file, bad magic, wrong version or word
-/// count, checksum mismatch, entry overrunning the buffer — makes load()
-/// return Cold without touching the runtime. The constants live here so
-/// tests can corrupt snapshots surgically.
+/// count, bad arena bounds, checksum mismatch, entry overrunning the
+/// buffer — makes load() return Cold without touching the runtime. Damage
+/// confined to one artifact record only loses that record: the entry
+/// still warm-starts from its metadata and ArtifactsRejected counts it.
+/// The constants live here so tests can corrupt snapshots surgically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,13 +62,25 @@
 namespace recap::snapshot {
 
 inline constexpr char Magic[8] = {'R', 'E', 'C', 'A', 'P', 'S', 'N', 'P'};
-inline constexpr uint32_t SnapshotVersion = 1;
+inline constexpr uint32_t SnapshotVersion = 2;
 /// u32 fields serialized per RegexFeatures (its declaration-order count).
 inline constexpr uint32_t SnapshotFeatureWords = 21;
-/// magic + version + featureWords + count.
-inline constexpr size_t HeaderBytes = 24;
+/// magic + version + featureWords + count + generation + artifact bounds.
+inline constexpr size_t HeaderBytes = 48;
 /// FNV-1a 64 trailer.
 inline constexpr size_t ChecksumBytes = 8;
+
+/// Header field byte offsets (for surgical corruption in tests and for
+/// MappedArtifactStore's pre-flight validation).
+inline constexpr size_t OffVersion = 8;
+inline constexpr size_t OffFeatureWords = 12;
+inline constexpr size_t OffCount = 16;
+inline constexpr size_t OffGeneration = 24;
+inline constexpr size_t OffArtifactOffset = 32;
+inline constexpr size_t OffArtifactBytes = 40;
+
+/// Entry artifactRelOffset value meaning "no record".
+inline constexpr uint64_t NoArtifact = ~0ull;
 
 inline uint64_t fnv1a(const unsigned char *Data, size_t N) {
   uint64_t H = 1469598103934665603ull;

@@ -575,8 +575,14 @@ ShutdownReport AnalysisService::shutdown(uint32_t GraceMs) {
       std::lock_guard<std::mutex> Lock(SMu);
       RTs.assign(Runtimes.begin(), Runtimes.end());
     }
+    SnapshotSaveOptions SaveOpts;
+    SaveOpts.MaxAgeGenerations = Opts.SnapshotMaxAgeGenerations;
     for (const auto &[T, RT] : RTs) {
-      if (RT->save(Opts.StateDir + "/" + snapshot::tenantSnapshotFile(T))) {
+      // One service session = one snapshot generation, mirroring the
+      // quarantine sidecar's aging clock below.
+      RT->bumpGeneration();
+      if (RT->save(Opts.StateDir + "/" + snapshot::tenantSnapshotFile(T),
+                   SaveOpts)) {
         ++Stats_->SnapshotSaves;
         ++Rep.SnapshotsSaved;
       } else {

@@ -75,6 +75,11 @@ struct ServiceOptions {
   /// shutdown cycle, so keys that stop burning age out of the sidecar
   /// instead of pinning it forever.
   unsigned QuarantineMaxAgeGenerations = 8;
+  /// Snapshot aging for the per-tenant runtime snapshots: one generation
+  /// per service session (bumped at shutdown before the save), entries
+  /// untouched longer than this many sessions are dropped from the write
+  /// (RuntimeStats::AgedOut). 0 = keep everything.
+  uint64_t SnapshotMaxAgeGenerations = 0;
   /// How long after the last observed degradation (breaker open, worker
   /// spawn fallback) health() keeps reporting Degraded.
   uint32_t DegradedCooldownMs = 5000;

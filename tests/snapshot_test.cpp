@@ -72,15 +72,24 @@ SnapshotLoadResult loadFromString(RegexRuntime &RT, const std::string &S) {
 }
 
 /// Rewrites the FNV trailer after a surgical payload edit, so the edit
-/// tests the semantic validation rather than the checksum.
+/// tests the semantic validation rather than the checksum. v2 checksums
+/// everything after the magic: file bytes [8, end-8).
 void fixChecksum(std::string &Snap) {
   using namespace recap::snapshot;
-  uint64_t H = fnv1a(
-      reinterpret_cast<const unsigned char *>(Snap.data()) + HeaderBytes,
-      Snap.size() - HeaderBytes - ChecksumBytes);
+  uint64_t H =
+      fnv1a(reinterpret_cast<const unsigned char *>(Snap.data()) + 8,
+            Snap.size() - 8 - ChecksumBytes);
   for (size_t I = 0; I < 8; ++I)
     Snap[Snap.size() - ChecksumBytes + I] =
         static_cast<char>((H >> (8 * I)) & 0xff);
+}
+
+uint64_t readU64At(const std::string &Snap, size_t At) {
+  uint64_t V = 0;
+  for (size_t I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(Snap[At + I]))
+         << (8 * I);
+  return V;
 }
 
 TEST(Snapshot, RoundtripRestoresMetadataBitIdentically) {
@@ -206,6 +215,255 @@ TEST(Snapshot, CorruptPayloadByteLoadsCold) {
   EXPECT_TRUE(R.Cold);
   EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
   EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, CorruptGenerationFieldLoadsCold) {
+  // The generation header field is inside the checksummed region: a flip
+  // there is caught by the trailer, never silently adopted as a clock.
+  std::string Bytes = savedMixBytes();
+  for (size_t I = recap::snapshot::OffGeneration;
+       I < recap::snapshot::OffGeneration + 8; ++I)
+    Bytes[I] = static_cast<char>(0xff);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, CorruptArtifactOffsetLoadsCold) {
+  std::string Bytes = savedMixBytes();
+  for (size_t I = recap::snapshot::OffArtifactOffset;
+       I < recap::snapshot::OffArtifactOffset + 8; ++I)
+    Bytes[I] = static_cast<char>(0xff);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("artifact"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, CorruptArtifactBytesLoadsCold) {
+  // The arena length must land the arena exactly on the checksum
+  // trailer; any skew is structural damage.
+  std::string Bytes = savedMixBytes();
+  Bytes[recap::snapshot::OffArtifactBytes] ^= 0x01;
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("artifact"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, V1SnapshotLoadsCold) {
+  // A hand-crafted, internally consistent v1 file (24-byte header, entry
+  // checksum only): the version gate must reject it before any v2 field
+  // is even read — cold with a version error, not a crash or misparse.
+  std::string V1;
+  V1.append(recap::snapshot::Magic, sizeof(recap::snapshot::Magic));
+  auto PutU32 = [&](uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      V1.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  };
+  auto PutU64 = [&](uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      V1.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  };
+  PutU32(1); // SnapshotVersion as of v1
+  PutU32(recap::snapshot::SnapshotFeatureWords);
+  PutU64(1); // count
+  // One v1 entry: flagsLen=0, pattern "a", zeroed feature words, exact.
+  size_t EntriesAt = V1.size();
+  PutU32(0);
+  PutU32(1);
+  V1.push_back('a');
+  for (uint32_t I = 0; I < recap::snapshot::SnapshotFeatureWords; ++I)
+    PutU32(0);
+  V1.push_back(1);
+  // v1 trailer: FNV over the entry section only.
+  PutU64(recap::snapshot::fnv1a(
+      reinterpret_cast<const unsigned char *>(V1.data()) + EntriesAt,
+      V1.size() - EntriesAt));
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, V1);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_NE(R.Error.find("version"), std::string::npos) << R.Error;
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, TruncatedArenaLoadsCold) {
+  // Cutting bytes out of the arena breaks the artifact-offset/length/
+  // trailer equation before anything else is trusted.
+  std::string Bytes = savedMixBytes();
+  uint64_t ArtOff = readU64At(Bytes, recap::snapshot::OffArtifactOffset);
+  ASSERT_NE(ArtOff, 0u);
+  ASSERT_GT(Bytes.size(), ArtOff + 16 + recap::snapshot::ChecksumBytes);
+  Bytes.erase(static_cast<size_t>(ArtOff) + 8, 16);
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_TRUE(R.Cold);
+  EXPECT_EQ(R.Loaded, 0u);
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(Snapshot, CorruptArtifactRecordRejectedPerRecord) {
+  // Damage confined to one arena record (here: unknown record flags,
+  // checksum fixed up) must cost exactly that record: every entry still
+  // loads metadata-warm, the other records still adopt.
+  std::string Bytes = savedMixBytes();
+  uint64_t ArtOff = readU64At(Bytes, recap::snapshot::OffArtifactOffset);
+  ASSERT_NE(ArtOff, 0u);
+  // First record starts at arena offset 0: u32 recordBytes | u32 flags.
+  Bytes[static_cast<size_t>(ArtOff) + 4] = static_cast<char>(0xff);
+  fixChecksum(Bytes);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, patternMix().size());
+  EXPECT_EQ(R.Rejected, 0u);
+  EXPECT_EQ(R.ArtifactsRejected, 1u);
+  EXPECT_EQ(R.ArtifactsMapped, patternMix().size() - 1);
+  EXPECT_EQ(B.stats().ArtifactsRejected.load(), 1u);
+  // Every pattern is still present and correct.
+  for (const auto &[Pat, Flags] : patternMix())
+    EXPECT_TRUE(bool(B.get(Pat, Flags))) << Pat;
+}
+
+TEST(Snapshot, CorruptRecordPayloadRejectsOnlyThatRecord) {
+  // Damage deep inside a record's payload (here: the record's final u32,
+  // forced to 0xffffffff — an out-of-range value wherever it lands in
+  // the encoding) trips the per-record validation, never a crash and
+  // never a wrong verdict: the record is dropped, the entry warm-starts
+  // from metadata and rebuilds its automaton.
+  RegexRuntime A;
+  ASSERT_TRUE(bool(A.get("abc+", "")));
+  std::string Bytes = saveToString(A);
+  uint64_t ArtOff = readU64At(Bytes, recap::snapshot::OffArtifactOffset);
+  ASSERT_NE(ArtOff, 0u);
+  size_t RecEnd = Bytes.size() - recap::snapshot::ChecksumBytes;
+  for (size_t I = RecEnd - 4; I < RecEnd; ++I)
+    Bytes[I] = static_cast<char>(0xff);
+  fixChecksum(Bytes);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, 1u);
+  EXPECT_EQ(R.ArtifactsRejected, 1u);
+  EXPECT_EQ(R.ArtifactsMapped, 0u);
+  auto C = B.get("abc+", "");
+  ASSERT_TRUE(bool(C));
+  // The rebuilt automaton is fully functional.
+  auto DFA = (*C)->automaton();
+  ASSERT_TRUE(DFA != nullptr);
+  EXPECT_TRUE(DFA->accepts(U"abc"));
+  EXPECT_FALSE(DFA->accepts(U"ab"));
+}
+
+TEST(Snapshot, MetadataOnlySaveStillLoadsWarm) {
+  RegexRuntime A;
+  internMix(A);
+  std::ostringstream OS;
+  SnapshotSaveOptions SOpts;
+  SOpts.IncludeArtifacts = false;
+  ASSERT_TRUE(A.save(OS, SOpts));
+  std::string Bytes = OS.str();
+  EXPECT_EQ(readU64At(Bytes, recap::snapshot::OffArtifactOffset), 0u);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, patternMix().size());
+  EXPECT_EQ(R.ArtifactsMapped, 0u);
+  EXPECT_EQ(R.ArtifactsRejected, 0u);
+}
+
+TEST(Snapshot, LoadCanDeclineArtifacts) {
+  std::string Bytes = savedMixBytes();
+  RegexRuntime B;
+  std::istringstream IS(Bytes);
+  SnapshotLoadResult R =
+      B.load(IS, RegexRuntime::WarmAll, /*AdoptArtifacts=*/false);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, patternMix().size());
+  EXPECT_EQ(R.ArtifactsMapped, 0u);
+  EXPECT_EQ(B.stats().ArtifactsMapped.load(), 0u);
+}
+
+TEST(Snapshot, StreamLoadAdoptsArtifactsByCopy) {
+  std::string Bytes = savedMixBytes();
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, Bytes);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_GT(R.ArtifactsMapped, 0u);
+  // A stream has no mapping to share: adoption copies, nothing is
+  // zero-copy.
+  EXPECT_FALSE(R.ZeroCopy);
+  EXPECT_EQ(R.BytesShared, 0u);
+  // Every record adopted: the warm pass and all first queries ride the
+  // deserialized automata — zero per-process DFA determinizations.
+  EXPECT_EQ(R.ArtifactsMapped, patternMix().size());
+  EXPECT_EQ(B.stats().AutomatonComputes.load(), 0u);
+  for (const auto &[Pat, Flags] : patternMix())
+    (void)(*B.get(Pat, Flags))->automaton();
+  EXPECT_EQ(B.stats().AutomatonComputes.load(), 0u);
+}
+
+TEST(Snapshot, PathLoadMapsArtifactsZeroCopy) {
+  std::string Path = ::testing::TempDir() + "recap_snapshot_mmap.bin";
+  {
+    RegexRuntime A;
+    internMix(A);
+    ASSERT_TRUE(A.save(Path));
+  }
+  RegexRuntime B;
+  SnapshotLoadResult R = B.load(Path);
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, patternMix().size());
+  EXPECT_GT(R.ArtifactsMapped, 0u);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(R.ZeroCopy);
+  EXPECT_GT(R.BytesShared, 0u);
+  EXPECT_EQ(B.stats().ArtifactBytesShared.load(), R.BytesShared);
+#endif
+  std::remove(Path.c_str());
+}
+
+TEST(Snapshot, AgingEvictsEntriesUntouchedForGenerations) {
+  RegexRuntime A;
+  ASSERT_TRUE(bool(A.get("stale+", "")));
+  A.bumpGeneration();
+  A.bumpGeneration();
+  A.bumpGeneration();
+  ASSERT_TRUE(bool(A.get("fresh+", "")));
+
+  std::ostringstream OS;
+  SnapshotSaveOptions SOpts;
+  SOpts.MaxAgeGenerations = 2;
+  ASSERT_TRUE(A.save(OS, SOpts));
+  EXPECT_EQ(A.stats().AgedOut.load(), 1u);
+
+  RegexRuntime B;
+  SnapshotLoadResult R = loadFromString(B, OS.str());
+  EXPECT_FALSE(R.Cold) << R.Error;
+  EXPECT_EQ(R.Loaded, 1u);
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_TRUE(bool(B.get("fresh+", "")));
+  // The generation clock survives the roundtrip.
+  EXPECT_EQ(B.generation(), 3u);
+}
+
+TEST(Snapshot, AgingOffKeepsEverything) {
+  RegexRuntime A;
+  ASSERT_TRUE(bool(A.get("old+", "")));
+  for (int I = 0; I < 10; ++I)
+    A.bumpGeneration();
+  std::ostringstream OS;
+  ASSERT_TRUE(A.save(OS)); // MaxAgeGenerations = 0: keep everything
+  EXPECT_EQ(A.stats().AgedOut.load(), 0u);
+  RegexRuntime B;
+  EXPECT_EQ(loadFromString(B, OS.str()).Loaded, 1u);
 }
 
 TEST(Snapshot, MissingFileLoadsCold) {
