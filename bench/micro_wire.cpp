@@ -1,0 +1,233 @@
+//===- bench/micro_wire.cpp - Wire protocol tax benches --------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Prices the ISSUE-10 wire layer (DESIGN.md §12) against the in-process
+// service it fronts:
+//
+//  1. BM_WireHealthz: one request/response round trip over a Unix socket
+//     — the protocol floor (framing + JSON + router, no analysis).
+//  2. BM_InProcessSubmitToFirstResult: submit -> first streamed unit of a
+//     small survey job, calling AnalysisService directly. The reference.
+//  3. BM_WireSubmitToFirstResult: the identical job driven by a second
+//     connection through ServiceServer — what a remote client actually
+//     observes.
+//  4. BM_WireSubmitJournaled: same again with a StateDir, so the
+//     journal-before-admission fsync-free append is priced separately.
+//
+// The post-run summary derives protocol_tax_ms = (3) - (2): the cost of
+// crossing the wire for a real job, attached as a counter on the wire
+// bench so BENCH_micro_wire.json tracks it across PRs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "wire/ServiceClient.h"
+#include "wire/ServiceServer.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace recap;
+using namespace recap::wire;
+
+namespace {
+
+ServiceOptions benchService() {
+  ServiceOptions O;
+  O.Workers = 2;
+  O.ClampWorkers = false;
+  O.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  O.Engine.MaxTests = 4;
+  O.Engine.MaxSeconds = 20;
+  return O;
+}
+
+std::string benchDir(const std::string &Name) {
+  std::string Dir = "/tmp/recap_bench_wire_" + std::to_string(::getpid()) +
+                    "_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// The shared workload: a small survey job, identical whether submitted
+/// in-process or over the wire.
+constexpr size_t NumPackages = 8;
+
+JobSpec surveyJobSpec() {
+  JobSpec S;
+  S.Kind = JobKind::Survey;
+  S.Tenant = "bench";
+  for (size_t I = 0; I < NumPackages; ++I)
+    S.Packages.push_back({"var a = /ab+c/g; var b = 'no /regex/ here';\n"
+                          "if (x) { var c = /p" +
+                          std::to_string(I) + "[0-9]+/i; }\n"});
+  return S;
+}
+
+Json surveyJobJson() {
+  JobSpec S = surveyJobSpec();
+  Json Spec = Json::object();
+  Spec.set("kind", "survey");
+  Spec.set("tenant", "bench");
+  Json Pkgs = Json::array();
+  for (const auto &Files : S.Packages) {
+    Json P = Json::array();
+    for (const std::string &Src : Files)
+      P.push(Src);
+    Pkgs.push(std::move(P));
+  }
+  Spec.set("packages", std::move(Pkgs));
+  return Spec;
+}
+
+/// A resident server + connected client, built untimed.
+struct WireRig {
+  std::string Dir;
+  AnalysisService Svc;
+  ServiceServer Server;
+  ServiceClient Client;
+
+  explicit WireRig(const std::string &Name, bool Journal)
+      : Dir(benchDir(Name)), Svc(benchService()), Server(Svc, [&] {
+          WireServerOptions WO;
+          WO.UnixPath = Dir + "/s.sock";
+          if (Journal)
+            WO.StateDir = Dir;
+          return WO;
+        }()) {
+    std::string Err;
+    if (!Server.start(Err)) {
+      std::fprintf(stderr, "micro_wire: %s\n", Err.c_str());
+      std::abort();
+    }
+    if (!Client.connectUnixSocket(Dir + "/s.sock", Err)) {
+      std::fprintf(stderr, "micro_wire: %s\n", Err.c_str());
+      std::abort();
+    }
+  }
+  ~WireRig() {
+    Client.close();
+    Server.stop();
+    Svc.shutdown(0);
+    std::filesystem::remove_all(Dir);
+  }
+};
+
+// --- 1. Protocol floor -------------------------------------------------------
+
+void BM_WireHealthz(benchmark::State &State) {
+  WireRig Rig("healthz", /*Journal=*/false);
+  uint64_t Frames = 0;
+  for (auto _ : State) {
+    Result<Json> R = Rig.Client.healthz();
+    if (!R)
+      State.SkipWithError(R.error().c_str());
+    benchmark::DoNotOptimize(R);
+    ++Frames;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Frames));
+  State.counters["frames"] =
+      static_cast<double>(Rig.Server.stats().FramesRead.load());
+}
+BENCHMARK(BM_WireHealthz)->Unit(benchmark::kMicrosecond);
+
+// --- 2. In-process reference -------------------------------------------------
+
+void BM_InProcessSubmitToFirstResult(benchmark::State &State) {
+  AnalysisService Svc(benchService());
+  for (auto _ : State) {
+    Result<JobHandle> H = Svc.submit(surveyJobSpec());
+    JobUnitResult U;
+    bool Got = H && (*H).nextResult(U);
+    benchmark::DoNotOptimize(Got);
+    State.PauseTiming();
+    if (H)
+      (*H).wait(); // drain untimed: next iteration starts idle
+    State.ResumeTiming();
+  }
+  Svc.shutdown(0);
+}
+BENCHMARK(BM_InProcessSubmitToFirstResult)->Unit(benchmark::kMillisecond);
+
+// --- 3./4. The same first-result path over the wire --------------------------
+
+void wireSubmitBench(benchmark::State &State, bool Journal) {
+  WireRig Rig(Journal ? "journaled" : "plain", Journal);
+  Json Spec = surveyJobJson();
+  std::vector<uint64_t> Done;
+  for (auto _ : State) {
+    Result<uint64_t> Job = Rig.Client.submit(Spec);
+    if (!Job) {
+      State.SkipWithError(Job.error().c_str());
+      break;
+    }
+    Result<Json> R = Rig.Client.nextResult(*Job, 60000);
+    if (!R) {
+      State.SkipWithError(R.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R);
+    State.PauseTiming();
+    Done.push_back(*Job);
+    for (;;) { // drain the unit stream untimed
+      Result<Json> N = Rig.Client.nextResult(*Job, 60000);
+      if (!N || N->get("exhausted").asBool() || N->get("timeout").asBool())
+        break;
+    }
+    State.ResumeTiming();
+  }
+  State.counters["jobs"] = static_cast<double>(Done.size());
+  State.counters["frames"] =
+      static_cast<double>(Rig.Server.stats().FramesRead.load());
+}
+
+void BM_WireSubmitToFirstResult(benchmark::State &State) {
+  wireSubmitBench(State, /*Journal=*/false);
+}
+BENCHMARK(BM_WireSubmitToFirstResult)->Unit(benchmark::kMillisecond);
+
+void BM_WireSubmitJournaled(benchmark::State &State) {
+  wireSubmitBench(State, /*Journal=*/true);
+}
+BENCHMARK(BM_WireSubmitJournaled)->Unit(benchmark::kMillisecond);
+
+void attachDerived(recap::bench::JsonReporter &R) {
+  std::printf("\n=== wire protocol tax (median) ===\n");
+  double Floor = R.medianNs("BM_WireHealthz");
+  if (Floor > 0)
+    std::printf("  healthz round trip: %.1f us\n", Floor / 1e3);
+  double InProc = R.medianNs("BM_InProcessSubmitToFirstResult");
+  double Wire = R.medianNs("BM_WireSubmitToFirstResult");
+  double Journaled = R.medianNs("BM_WireSubmitJournaled");
+  if (InProc > 0 && Wire > 0) {
+    double TaxMs = (Wire - InProc) / 1e6;
+    R.setCounter("BM_WireSubmitToFirstResult", "protocol_tax_ms", TaxMs);
+    std::printf("  submit -> first result: in-process %.2f ms, "
+                "wire %.2f ms, protocol tax %.2f ms\n",
+                InProc / 1e6, Wire / 1e6, TaxMs);
+  }
+  if (Wire > 0 && Journaled > 0) {
+    double JTaxMs = (Journaled - Wire) / 1e6;
+    R.setCounter("BM_WireSubmitJournaled", "journal_tax_ms", JTaxMs);
+    std::printf("  journal tax on top of the wire: %.2f ms\n", JTaxMs);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return recap::bench::runBenchSuite("micro_wire", argc, argv,
+                                     attachDerived);
+}

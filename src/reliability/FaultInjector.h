@@ -47,8 +47,13 @@ enum class FaultSite : uint8_t {
   JobDispatch,  ///< service unit dispatch onto a pool thread; a Hang here
                 ///< is the wedged-job shape the per-job watchdog breaks
   SnapshotSave, ///< runtime snapshot / quarantine sidecar write
+  WireRead,     ///< wire frame read (wire/Framing.cpp); Unknown = the read
+                ///< reports failure and the connection degrades
+  WireWrite,    ///< wire frame write; Unknown = send failure
+  JournalAppend, ///< job-journal append (service/JobJournal.cpp); a lost
+                 ///< append only loses crash-replay, never a verdict
 };
-constexpr size_t NumFaultSites = 8;
+constexpr size_t NumFaultSites = 11;
 constexpr size_t NumFaultKinds = 4;
 
 enum class FaultKind : uint8_t { None, Unknown, Hang, Throw };

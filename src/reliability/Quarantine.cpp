@@ -73,6 +73,20 @@ bool Quarantine::recordBurn(const std::string &Key) {
   return false;
 }
 
+std::vector<Quarantine::EntryView> Quarantine::entries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<EntryView> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Key, E] : Entries)
+    Out.push_back({Key, E.Burns, E.Gen, E.Burns >= Opts.Threshold});
+  return Out;
+}
+
+uint64_t Quarantine::currentGeneration() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return CurGen;
+}
+
 size_t Quarantine::quarantined() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return NumQuarantined;

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace recap {
 
@@ -66,6 +67,24 @@ public:
   /// Records one deadline burn against \p Key; returns true when this
   /// burn newly crossed the threshold (the caller counts Quarantined).
   bool recordBurn(const std::string &Key);
+
+  /// One tracked entry, as surfaced by the observability layer
+  /// (/statsz quarantine section, DESIGN.md §12.3).
+  struct EntryView {
+    std::string Key;
+    uint32_t Burns = 0;
+    uint64_t Generation = 0; ///< generation of the most recent burn
+    bool Quarantined = false;
+  };
+
+  /// Snapshot of every tracked key (telemetry; order unspecified).
+  std::vector<EntryView> entries() const;
+
+  /// The configured burn threshold (telemetry).
+  unsigned threshold() const { return Opts.Threshold; }
+
+  /// Current aging generation (telemetry).
+  uint64_t currentGeneration() const;
 
   /// Keys currently at or past the threshold.
   size_t quarantined() const;

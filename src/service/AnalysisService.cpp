@@ -386,6 +386,7 @@ void AnalysisService::runUnit(std::shared_ptr<JobState> JS, size_t Unit) {
   }
 
   bool Streamed = !Skipped && !Faulted;
+  bool WasFirst = false;
   double FirstAt = secondsSince(JS->SubmitAt);
   {
     std::lock_guard<std::mutex> JLock(JS->Mu);
@@ -401,12 +402,18 @@ void AnalysisService::runUnit(std::shared_ptr<JobState> JS, size_t Unit) {
         U.Slice = std::move(Slice);
       }
       JS->Stream.push_back(std::move(U));
-      if (JS->FirstResultSeconds < 0)
+      if (JS->FirstResultSeconds < 0) {
         JS->FirstResultSeconds = FirstAt;
+        WasFirst = true;
+      }
       ++Stats_->ResultsStreamed;
     }
   }
   JS->Cv.notify_all();
+  if (WasFirst) {
+    std::lock_guard<std::mutex> HLock(HistMu);
+    Hist_[JS->Spec.Tenant].FirstResult.record(FirstAt);
+  }
 
   if (Got)
     Budget_->release(Got, [&] { Quota.releaseSlots(Tenant, Got); });
@@ -481,6 +488,11 @@ void AnalysisService::finalize(const std::shared_ptr<JobState> &JS) {
   JS->Cv.notify_all();
 
   {
+    std::lock_guard<std::mutex> HLock(HistMu);
+    Hist_[JS->Spec.Tenant].JobDuration.record(Secs);
+  }
+
+  {
     std::lock_guard<std::mutex> Lock(SMu);
     Active.erase(JS->Id);
   }
@@ -517,6 +529,21 @@ RuntimeStats AnalysisService::runtimeStats() const {
   for (const auto &[T, RT] : Runtimes)
     Out.merge(RT->stats());
   return Out;
+}
+
+std::map<std::string, RuntimeStats>
+AnalysisService::tenantRuntimeStats() const {
+  std::lock_guard<std::mutex> Lock(SMu);
+  std::map<std::string, RuntimeStats> Out;
+  for (const auto &[T, RT] : Runtimes)
+    Out[T].merge(RT->stats());
+  return Out;
+}
+
+std::map<std::string, AnalysisService::TenantLatency>
+AnalysisService::latencyStats() const {
+  std::lock_guard<std::mutex> Lock(HistMu);
+  return Hist_;
 }
 
 void AnalysisService::drain() {

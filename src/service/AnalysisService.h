@@ -30,6 +30,7 @@
 #include "parallel/WorkerPool.h"
 #include "service/Job.h"
 #include "service/JobQueue.h"
+#include "service/LatencyHistogram.h"
 #include "service/TenantQuota.h"
 #include "support/Result.h"
 
@@ -149,6 +150,11 @@ public:
   ShutdownReport shutdown(uint32_t GraceMs = 0);
 
   ServiceHealth health() const;
+  /// True once shutdown() has completed — lets a hosting process (recli
+  /// serve) exit after a wire-delivered shutdown verb.
+  bool stopped() const {
+    return Phase_.load(std::memory_order_relaxed) == Stopped;
+  }
   const ServiceStats &stats() const { return *Stats_; }
   size_t activeJobs() const;
   size_t queuedJobs() const;
@@ -156,7 +162,21 @@ public:
   size_t slotsInUse() const { return Budget_->inUse(); }
   /// Merged runtime window across every tenant runtime.
   RuntimeStats runtimeStats() const;
+  /// Per-tenant runtime windows (tenant name -> that runtime's counters),
+  /// for the observability surface (/statsz `tenants` section).
+  std::map<std::string, RuntimeStats> tenantRuntimeStats() const;
   const std::shared_ptr<Quarantine> &quarantine() const { return Quar_; }
+
+  /// The two latency surfaces tracked per tenant (DESIGN.md §12.3):
+  /// admission to first streamed unit result, and admission to job
+  /// finalization. Histograms merge associatively, so callers may fold
+  /// tenants together for a service-wide view.
+  struct TenantLatency {
+    LatencyHistogram FirstResult;
+    LatencyHistogram JobDuration;
+  };
+  /// Copies of the per-tenant latency histograms.
+  std::map<std::string, TenantLatency> latencyStats() const;
 
   /// Sidecar file name under StateDir (shared with tests).
   static constexpr const char *QuarantineSidecar = "quarantine.sidecar";
@@ -197,6 +217,13 @@ private:
   uint64_t NextJobId = 1;
 
   TenantQuota Quota;
+
+  /// Latency histograms live under their own mutex: they are touched on
+  /// the unit hot path and read by the observability poller; neither
+  /// should contend with SMu. Order: independent of SMu and JobState::Mu
+  /// (never held together with either).
+  mutable std::mutex HistMu;
+  std::map<std::string, TenantLatency> Hist_;
 
   std::mutex LifecycleMu; ///< serializes drain()/shutdown()
   std::thread Dispatcher;

@@ -1,0 +1,208 @@
+//===- service/JobJournal.cpp - Crash-replay job journal -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JobJournal.h"
+
+#include "reliability/FaultInjector.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+using namespace recap;
+
+namespace {
+
+constexpr const char *Header = "RECAPJL1";
+
+uint64_t fnv1a64(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Parses "A <seq> <crc> <payload>" / "D <seq> <crc>". Returns false on
+/// any malformation — the scanner stops there (torn-tail tolerance).
+bool parseRecord(const std::string &Line, char &Kind, uint64_t &Seq,
+                 std::string &Payload) {
+  if (Line.size() < 3 || (Line[0] != 'A' && Line[0] != 'D') ||
+      Line[1] != ' ')
+    return false;
+  Kind = Line[0];
+  size_t SeqEnd = Line.find(' ', 2);
+  if (SeqEnd == std::string::npos)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long S = std::strtoull(Line.c_str() + 2, &End, 10);
+  if (errno != 0 || !End || End != Line.c_str() + SeqEnd || S == 0)
+    return false;
+  Seq = S;
+  std::string SeqStr = Line.substr(2, SeqEnd - 2);
+  if (Kind == 'A') {
+    size_t CrcEnd = Line.find(' ', SeqEnd + 1);
+    if (CrcEnd == std::string::npos || CrcEnd - (SeqEnd + 1) != 16)
+      return false;
+    std::string Crc = Line.substr(SeqEnd + 1, 16);
+    Payload = Line.substr(CrcEnd + 1);
+    return Crc == hex64(fnv1a64(SeqStr + " " + Payload));
+  }
+  // Done record: "D <seq> <crc>", nothing after the checksum.
+  if (Line.size() - (SeqEnd + 1) != 16)
+    return false;
+  std::string Crc = Line.substr(SeqEnd + 1, 16);
+  Payload.clear();
+  return Crc == hex64(fnv1a64(SeqStr));
+}
+
+} // namespace
+
+bool JobJournal::open() {
+  close();
+  Pending.clear();
+  NextSeq = 1;
+
+  // Scan the existing file. Records after the first malformed or
+  // checksum-failing line are ignored: a torn tail is expected after a
+  // crash, and everything before it is intact by construction
+  // (append-only, LF-terminated).
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      std::string Line;
+      bool First = true;
+      std::map<uint64_t, std::string> Admits; // ordered by seq
+      bool FileEndsWithNewline = false;
+      {
+        In.seekg(0, std::ios::end);
+        std::streamoff N = In.tellg();
+        if (N > 0) {
+          In.seekg(N - 1);
+          FileEndsWithNewline = In.get() == '\n';
+        }
+        In.seekg(0);
+      }
+      while (std::getline(In, Line)) {
+        // A final line without its newline is a torn append: ignore it.
+        if (In.eof() && !FileEndsWithNewline)
+          break;
+        if (First) {
+          First = false;
+          if (Line == Header)
+            continue;
+          break; // not our file (or pre-header damage): treat as empty
+        }
+        char Kind;
+        uint64_t Seq;
+        std::string Payload;
+        if (!parseRecord(Line, Kind, Seq, Payload))
+          break;
+        if (Seq >= NextSeq)
+          NextSeq = Seq + 1;
+        if (Kind == 'A')
+          Admits.emplace(Seq, std::move(Payload));
+        else
+          Admits.erase(Seq);
+      }
+      for (auto &[Seq, Payload] : Admits)
+        Pending.push_back({Seq, std::move(Payload)});
+    }
+  }
+
+  // Compact: rewrite header + pending admits, atomically.
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Header << "\n";
+    for (const PendingJob &P : Pending) {
+      std::string SeqStr = std::to_string(P.Seq);
+      Out << "A " << SeqStr << " "
+          << hex64(fnv1a64(SeqStr + " " + P.Payload)) << " " << P.Payload
+          << "\n";
+    }
+    Out.flush();
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+
+  F = std::fopen(Path.c_str(), "ab");
+  return F != nullptr;
+}
+
+bool JobJournal::writeLine(const std::string &Line) {
+  if (!F)
+    return false;
+  if (std::fwrite(Line.data(), 1, Line.size(), F) != Line.size())
+    return false;
+  if (std::fputc('\n', F) == EOF)
+    return false;
+  // Flush to the OS so a process crash (the scenario this file exists
+  // for) loses nothing; fsync durability against power loss is out of
+  // scope for an operator loopback service.
+  return std::fflush(F) == 0;
+}
+
+uint64_t JobJournal::append(const std::string &Payload) {
+  if (Payload.find('\n') != std::string::npos) {
+    ++AppendFailures;
+    return 0;
+  }
+  if (FaultInjector *FI = FaultInjector::active()) {
+    static std::atomic<bool> NoCancel{false};
+    try {
+      if (FI->fire(FaultSite::JournalAppend, &NoCancel)) {
+        ++AppendFailures;
+        return 0;
+      }
+    } catch (const FaultInjected &) {
+      ++AppendFailures;
+      return 0;
+    }
+  }
+  uint64_t Seq = NextSeq;
+  std::string SeqStr = std::to_string(Seq);
+  if (!writeLine("A " + SeqStr + " " +
+                 hex64(fnv1a64(SeqStr + " " + Payload)) + " " + Payload)) {
+    ++AppendFailures;
+    return 0;
+  }
+  ++NextSeq;
+  return Seq;
+}
+
+bool JobJournal::markDone(uint64_t Seq) {
+  if (Seq == 0)
+    return false;
+  std::string SeqStr = std::to_string(Seq);
+  return writeLine("D " + SeqStr + " " + hex64(fnv1a64(SeqStr)));
+}
+
+void JobJournal::close() {
+  if (F) {
+    std::fclose(F);
+    F = nullptr;
+  }
+}

@@ -1,0 +1,106 @@
+//===- service/JobJournal.h - Crash-replay job journal ----------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission journal behind the wire server's crash recovery
+/// (DESIGN.md §12.4): every job admitted over the wire appends one
+/// *admit* record carrying the job's serialized wire spec, and appends a
+/// *done* record when the job finalizes with a client-visible outcome.
+/// On boot, pending() = admits without a matching done — exactly the
+/// jobs a crash (kill -9 between admission and completion) still owes —
+/// and the server re-submits them.
+///
+/// Soundness of replay (§12.4): a replayed job *re-runs from scratch*
+/// through the normal submit path; it never resumes partial state, so it
+/// can never double-count results. A job is only marked done once its
+/// final result was published to the handle registry, so the crash
+/// window errs toward re-running (duplicate work, at-least-once), never
+/// toward losing admitted work — and never toward a wrong verdict,
+/// because re-running is exactly what the caller asked for.
+///
+/// Format: a text file, one record per LF-terminated line:
+///
+///   RECAPJL1                          header (exact first line)
+///   A <seq> <fnv64-hex> <payload>     admit; checksum covers "seq payload"
+///   D <seq> <fnv64-hex>               done;  checksum covers "seq"
+///
+/// The payload is one line of opaque text (the wire layer stores the
+/// frame-format JSON spec; it is LF-free by construction). Damage
+/// tolerance: a torn tail line (crash mid-append) or a checksum-failing
+/// line ends the scan — everything before it is kept, everything after
+/// is ignored. open() compacts: the file is rewritten to only its
+/// pending records (atomic tmp+rename), so a long-lived service's
+/// journal stays proportional to its backlog, not its history.
+///
+/// The appender consults FaultSite::JournalAppend: an injected fault
+/// loses that one append (availability over durability — the job still
+/// runs, it just would not be replayed) and is surfaced through
+/// appendFailures(). No lock: the wire server serializes access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_JOBJOURNAL_H
+#define RECAP_SERVICE_JOBJOURNAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace recap {
+
+class JobJournal {
+public:
+  struct PendingJob {
+    uint64_t Seq = 0;
+    std::string Payload;
+  };
+
+  explicit JobJournal(std::string Path) : Path(std::move(Path)) {}
+  ~JobJournal() { close(); }
+
+  JobJournal(const JobJournal &) = delete;
+  JobJournal &operator=(const JobJournal &) = delete;
+
+  /// Loads the existing journal (tolerating torn/corrupt tails),
+  /// compacts it down to pending records, and opens for append. Returns
+  /// false when the file cannot be created/rewritten (journal disabled;
+  /// appends will fail but nothing throws).
+  bool open();
+
+  /// Admit records still lacking a done record, in admission order.
+  /// Valid after open(); replaying the backlog is the caller's job.
+  const std::vector<PendingJob> &pending() const { return Pending; }
+
+  /// Appends one admit record; returns its sequence number, or 0 on
+  /// failure (I/O error, injected JournalAppend fault, or \p Payload
+  /// containing a newline).
+  uint64_t append(const std::string &Payload);
+
+  /// Appends the done record for \p Seq. Idempotent in effect (a second
+  /// done for the same seq is harmless). Returns false on write failure.
+  bool markDone(uint64_t Seq);
+
+  /// Appends lost to faults or I/O errors so far (observability).
+  uint64_t appendFailures() const { return AppendFailures; }
+
+  const std::string &path() const { return Path; }
+
+  void close();
+
+private:
+  bool writeLine(const std::string &Line);
+
+  std::string Path;
+  std::FILE *F = nullptr;
+  std::vector<PendingJob> Pending;
+  uint64_t NextSeq = 1;
+  uint64_t AppendFailures = 0;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_JOBJOURNAL_H

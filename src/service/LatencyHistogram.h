@@ -1,0 +1,130 @@
+//===- service/LatencyHistogram.h - Log-scale latency histogram -*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-bucket log-scale histogram for the service's latency surfaces
+/// (DESIGN.md §12.3): admission→first-result and admission→finalization
+/// per tenant. Buckets are powers of two in *microseconds* — bucket i
+/// counts samples in (2^(i-1), 2^i] µs, bucket 0 counts ≤ 1 µs — so 48
+/// buckets span sub-microsecond to ~8.9 years with ~2x relative error,
+/// and a bucket index never depends on previously seen data.
+///
+/// Fixed buckets make merge() associative and commutative (element-wise
+/// add, min/max fold): shard windows, tenant windows and multi-boot
+/// aggregations combine in any order to the same histogram — the same
+/// contract RuntimeStats::merge keeps for counters. quantile() reports
+/// the *upper edge* of the bucket where the cumulative count crosses, a
+/// conservative (never under-reported) latency estimate.
+///
+/// The type is a plain value (no atomics): the service updates it under
+/// its histogram mutex and hands out copies; the wire layer serializes
+/// those copies (docs/PROTOCOL.md `histogram` object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_SERVICE_LATENCYHISTOGRAM_H
+#define RECAP_SERVICE_LATENCYHISTOGRAM_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace recap {
+
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 48;
+
+  /// Upper edge of bucket \p I in seconds: 2^I microseconds.
+  static double bucketUpperSeconds(size_t I) {
+    return std::ldexp(1.0, static_cast<int>(I)) * 1e-6;
+  }
+
+  void record(double Seconds) {
+    if (Seconds < 0 || !std::isfinite(Seconds))
+      return; // negative = "never happened" sentinel upstream
+    uint64_t Us = static_cast<uint64_t>(Seconds * 1e6);
+    size_t Idx = bucketOf(Us);
+    ++Counts[Idx];
+    ++Count_;
+    Sum_ += Seconds;
+    if (Count_ == 1 || Seconds < Min_)
+      Min_ = Seconds;
+    if (Seconds > Max_)
+      Max_ = Seconds;
+  }
+
+  /// Associative fold: counts add, extrema widen.
+  void merge(const LatencyHistogram &O) {
+    if (O.Count_ == 0)
+      return;
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += O.Counts[I];
+    if (Count_ == 0 || O.Min_ < Min_)
+      Min_ = O.Min_;
+    if (O.Max_ > Max_)
+      Max_ = O.Max_;
+    Count_ += O.Count_;
+    Sum_ += O.Sum_;
+  }
+
+  uint64_t count() const { return Count_; }
+  double sumSeconds() const { return Sum_; }
+  double minSeconds() const { return Count_ ? Min_ : 0; }
+  double maxSeconds() const { return Count_ ? Max_ : 0; }
+  double meanSeconds() const {
+    return Count_ ? Sum_ / static_cast<double>(Count_) : 0;
+  }
+  uint64_t bucketCount(size_t I) const {
+    return I < NumBuckets ? Counts[I] : 0;
+  }
+
+  /// Conservative quantile: the upper edge of the first bucket whose
+  /// cumulative count reaches ceil(Q * N). 0 when empty.
+  double quantileSeconds(double Q) const {
+    if (Count_ == 0)
+      return 0;
+    if (Q < 0)
+      Q = 0;
+    if (Q > 1)
+      Q = 1;
+    uint64_t Rank = static_cast<uint64_t>(
+        std::ceil(Q * static_cast<double>(Count_)));
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Cum += Counts[I];
+      if (Cum >= Rank)
+        return bucketUpperSeconds(I);
+    }
+    return bucketUpperSeconds(NumBuckets - 1);
+  }
+
+private:
+  static size_t bucketOf(uint64_t Us) {
+    // Smallest I with Us <= 2^I, i.e. bit_width(Us - 1): 0,1→0, 2→1,
+    // 3..4→2, 5..8→3, ...
+    if (Us <= 1)
+      return 0;
+    --Us;
+    size_t Idx = 0;
+    while (Us > 0 && Idx < NumBuckets - 1) {
+      Us >>= 1;
+      ++Idx;
+    }
+    return Idx;
+  }
+
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Count_ = 0;
+  double Sum_ = 0;
+  double Min_ = 0;
+  double Max_ = 0;
+};
+
+} // namespace recap
+
+#endif // RECAP_SERVICE_LATENCYHISTOGRAM_H

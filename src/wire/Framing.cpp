@@ -1,0 +1,262 @@
+//===- wire/Framing.cpp - Line-delimited frames over fds -------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Framing.h"
+
+#include "reliability/FaultInjector.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace recap;
+using namespace recap::wire;
+
+namespace {
+
+std::string errnoString(const std::string &What) {
+  return What + ": " + std::strerror(errno);
+}
+
+/// send() for sockets, write() for pipes/files — decided per call so the
+/// same framing serves socket and stdio transports. MSG_NOSIGNAL keeps a
+/// dead peer from killing the process with SIGPIPE.
+ssize_t writeSome(int Fd, const char *P, size_t N) {
+  ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+  if (W < 0 && errno == ENOTSOCK)
+    W = ::write(Fd, P, N);
+  return W;
+}
+
+} // namespace
+
+ReadResult FrameReader::next(std::string &Out,
+                             const std::atomic<bool> *Cancel) {
+  if (FaultInjector *FI = FaultInjector::active()) {
+    static std::atomic<bool> NoCancel{false};
+    try {
+      if (FI->fire(FaultSite::WireRead, Cancel ? Cancel : &NoCancel))
+        return ReadResult::Fault;
+    } catch (const FaultInjected &) {
+      return ReadResult::Fault;
+    }
+  }
+
+  char Chunk[16384];
+  for (;;) {
+    // Scan what we already buffered.
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      if (Discarding) {
+        // Tail of an oversized frame: drop through the newline and
+        // report; the stream is re-synchronized.
+        Buf.erase(0, NL + 1);
+        Discarding = false;
+        return ReadResult::TooLarge;
+      }
+      if (NL > MaxFrame) {
+        // The whole oversized frame arrived before we hit the pre-read
+        // cap check: drop it through its newline.
+        Buf.erase(0, NL + 1);
+        return ReadResult::TooLarge;
+      }
+      Out.assign(Buf, 0, NL);
+      // Tolerate CRLF peers.
+      if (!Out.empty() && Out.back() == '\r')
+        Out.pop_back();
+      Buf.erase(0, NL + 1);
+      return ReadResult::Frame;
+    }
+    if (!Discarding && Buf.size() > MaxFrame) {
+      // Frame exceeded the cap before its newline arrived: switch to
+      // discard mode so a hostile mega-frame cannot balloon memory.
+      Buf.clear();
+      Discarding = true;
+    }
+
+    ssize_t R = ::read(Fd, Chunk, sizeof(Chunk));
+    if (R == 0)
+      return Buf.empty() && !Discarding ? ReadResult::Eof
+                                        : ReadResult::Error;
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return ReadResult::Error;
+    }
+    if (Discarding) {
+      // Keep only the part after a newline, if one arrived.
+      const char *NLp =
+          static_cast<const char *>(std::memchr(Chunk, '\n', R));
+      if (NLp) {
+        Buf.assign(NLp + 1, Chunk + R - (NLp + 1));
+        Discarding = false;
+        return ReadResult::TooLarge;
+      }
+      continue;
+    }
+    Buf.append(Chunk, static_cast<size_t>(R));
+  }
+}
+
+bool wire::writeFrame(int Fd, const std::string &Frame,
+                      const std::atomic<bool> *Cancel) {
+  if (FaultInjector *FI = FaultInjector::active()) {
+    static std::atomic<bool> NoCancel{false};
+    try {
+      if (FI->fire(FaultSite::WireWrite, Cancel ? Cancel : &NoCancel))
+        return false;
+    } catch (const FaultInjected &) {
+      return false;
+    }
+  }
+
+  std::string Line = Frame;
+  Line.push_back('\n');
+  const char *P = Line.data();
+  size_t N = Line.size();
+  while (N > 0) {
+    ssize_t W = writeSome(Fd, P, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+int wire::listenUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "unix socket path too long: " + Path;
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoString("socket");
+    return -1;
+  }
+  ::unlink(Path.c_str()); // stale socket from a previous run
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = errnoString("bind");
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Err = errnoString("listen");
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int wire::listenTcp(uint16_t Port, uint16_t &BoundPort, std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoString("socket");
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = errnoString("bind");
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Err = errnoString("listen");
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  else
+    BoundPort = Port;
+  return Fd;
+}
+
+int wire::acceptFd(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+int wire::connectUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "unix socket path too long: " + Path;
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoString("socket");
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = errnoString("connect " + Path);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int wire::connectTcp(const std::string &Host, uint16_t Port,
+                     std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoString("socket");
+    return -1;
+  }
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad address: " + Host;
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = errnoString("connect");
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+void wire::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void wire::shutdownFd(int Fd) {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}

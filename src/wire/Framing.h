@@ -1,0 +1,93 @@
+//===- wire/Framing.h - Line-delimited frames over fds ----------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport floor of the wire protocol (DESIGN.md §12,
+/// docs/PROTOCOL.md): one frame = one LF-terminated line of UTF-8 JSON
+/// over a byte stream (Unix socket, localhost TCP, or a pipe/stdio
+/// pair). Framing self-synchronizes at newlines, so a malformed or
+/// oversized frame costs exactly that frame, never the connection's
+/// framing.
+///
+/// FrameReader buffers reads and splits frames; writeFrame appends the
+/// LF and loops a full send. Both consult the chaos injector
+/// (FaultSite::WireRead / FaultSite::WireWrite) so the chaos CI job can
+/// cover transport failure the same way it covers solver failure: a
+/// faulted read/write degrades the one connection, the server survives.
+///
+/// Socket helpers (listenUnix/listenTcp/acceptFd/connectUnix/connectTcp)
+/// keep the server and client free of raw sockaddr plumbing. TCP binds
+/// and connects 127.0.0.1 only — the protocol is an operator loopback
+/// surface, not an internet listener (docs/OPERATIONS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_WIRE_FRAMING_H
+#define RECAP_WIRE_FRAMING_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace recap {
+namespace wire {
+
+/// Default cap on one frame's byte length (excluding the LF). A frame
+/// larger than the cap is discarded up to its terminating newline and
+/// reported as TooLarge; the connection keeps working.
+constexpr size_t DefaultMaxFrameBytes = 8u << 20;
+
+enum class ReadResult : uint8_t {
+  Frame,    ///< \p Out holds one complete frame (LF stripped)
+  Eof,      ///< peer closed cleanly between frames
+  TooLarge, ///< frame exceeded the cap; it was discarded, stream is live
+  Error,    ///< read error (errno) or EOF mid-frame — connection is dead
+  Fault,    ///< FaultSite::WireRead injected a failure (chaos only)
+};
+
+/// Buffered frame splitter over one fd. Not thread-safe (one reader per
+/// connection by construction).
+class FrameReader {
+public:
+  explicit FrameReader(int Fd, size_t MaxFrame = DefaultMaxFrameBytes)
+      : Fd(Fd), MaxFrame(MaxFrame) {}
+
+  /// Blocks for the next complete frame. \p Cancel (optional) is the
+  /// flag a chaos Hang polls — the server passes its stop flag so an
+  /// injected wedged read never outlives shutdown.
+  ReadResult next(std::string &Out,
+                  const std::atomic<bool> *Cancel = nullptr);
+
+private:
+  int Fd;
+  size_t MaxFrame;
+  std::string Buf;
+  bool Discarding = false; ///< inside an oversized frame, seeking LF
+};
+
+/// Writes \p Frame plus the terminating LF, looping until all bytes are
+/// out. \p Frame must not contain LF (Json::dump never emits one).
+/// Returns false on send failure or an injected WireWrite fault.
+bool writeFrame(int Fd, const std::string &Frame,
+                const std::atomic<bool> *Cancel = nullptr);
+
+/// Socket plumbing. All return a valid fd or -1 with \p Err set.
+int listenUnix(const std::string &Path, std::string &Err);
+/// Binds 127.0.0.1:\p Port (0 = ephemeral); the bound port lands in
+/// \p BoundPort.
+int listenTcp(uint16_t Port, uint16_t &BoundPort, std::string &Err);
+/// Accepts one connection; -1 when the listener was closed/shut down.
+int acceptFd(int ListenFd);
+int connectUnix(const std::string &Path, std::string &Err);
+int connectTcp(const std::string &Host, uint16_t Port, std::string &Err);
+void closeFd(int Fd);
+/// shutdown(2) both directions — unblocks a peer's blocking read.
+void shutdownFd(int Fd);
+
+} // namespace wire
+} // namespace recap
+
+#endif // RECAP_WIRE_FRAMING_H

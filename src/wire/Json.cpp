@@ -1,0 +1,457 @@
+//===- wire/Json.cpp - Hand-rolled JSON value, parser, writer --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace recap;
+using namespace recap::wire;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        // Bytes >= 0x80 pass through: the payload is UTF-8 and JSON
+        // strings carry raw UTF-8 unescaped.
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void dumpInto(const Json &J, std::string &Out) {
+  switch (J.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Int: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(J.asInt()));
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::Double: {
+    double D = J.asDouble();
+    if (!std::isfinite(D)) {
+      // JSON has no Inf/NaN; degrade to null rather than emit an
+      // unparseable frame.
+      Out += "null";
+      break;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::Str:
+    appendEscaped(Out, J.asStr());
+    break;
+  case Json::Kind::Arr: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Json &V : J.items()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      dumpInto(V, Out);
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Json::Kind::Obj: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[N, V] : J.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      appendEscaped(Out, N);
+      Out.push_back(':');
+      dumpInto(V, Out);
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpInto(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const char *P;
+  const char *End;
+  const char *Begin;
+  std::string Err;
+  size_t MaxDepth;
+
+  Parser(const std::string &Text, size_t MaxDepth)
+      : P(Text.data()), End(Text.data() + Text.size()), Begin(Text.data()),
+        MaxDepth(MaxDepth) {}
+
+  bool fail(const std::string &Why) {
+    if (Err.empty())
+      Err = "offset " + std::to_string(P - Begin) + ": " + Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (P < End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool parseValue(Json &Out, size_t Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (P >= End)
+      return fail("unexpected end of input");
+    switch (*P) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    case 't':
+      if (End - P >= 4 && std::memcmp(P, "true", 4) == 0) {
+        P += 4;
+        Out = Json(true);
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (End - P >= 5 && std::memcmp(P, "false", 5) == 0) {
+        P += 5;
+        Out = Json(false);
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (End - P >= 4 && std::memcmp(P, "null", 4) == 0) {
+        P += 4;
+        Out = Json();
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Json &Out, size_t Depth) {
+    ++P; // '{'
+    Out = Json::object();
+    skipWs();
+    if (P < End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (P >= End || *P != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (P >= End || *P != ':')
+        return fail("expected ':'");
+      ++P;
+      Json V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      // Last-wins on duplicate keys (set() replaces in place).
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(Json &Out, size_t Depth) {
+    ++P; // '['
+    Out = Json::array();
+    skipWs();
+    if (P < End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      Json V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool hexDigit(char C, unsigned &V) {
+    if (C >= '0' && C <= '9')
+      V = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      V = 10 + C - 'a';
+    else if (C >= 'A' && C <= 'F')
+      V = 10 + C - 'A';
+    else
+      return false;
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned CP) {
+    if (CP < 0x80) {
+      S.push_back(static_cast<char>(CP));
+    } else if (CP < 0x800) {
+      S.push_back(static_cast<char>(0xC0 | (CP >> 6)));
+      S.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+    } else if (CP < 0x10000) {
+      S.push_back(static_cast<char>(0xE0 | (CP >> 12)));
+      S.push_back(static_cast<char>(0x80 | ((CP >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+    } else {
+      S.push_back(static_cast<char>(0xF0 | (CP >> 18)));
+      S.push_back(static_cast<char>(0x80 | ((CP >> 12) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | ((CP >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+    }
+  }
+
+  bool parseU16(unsigned &U) {
+    if (End - P < 4)
+      return fail("truncated \\u escape");
+    U = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned V;
+      if (!hexDigit(P[I], V))
+        return fail("bad \\u escape");
+      U = (U << 4) | V;
+    }
+    P += 4;
+    return true;
+  }
+
+  bool parseString(std::string &S) {
+    ++P; // '"'
+    for (;;) {
+      if (P >= End)
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        S.push_back(static_cast<char>(C));
+        ++P;
+        continue;
+      }
+      ++P;
+      if (P >= End)
+        return fail("truncated escape");
+      switch (*P) {
+      case '"':
+        S.push_back('"');
+        ++P;
+        break;
+      case '\\':
+        S.push_back('\\');
+        ++P;
+        break;
+      case '/':
+        S.push_back('/');
+        ++P;
+        break;
+      case 'n':
+        S.push_back('\n');
+        ++P;
+        break;
+      case 't':
+        S.push_back('\t');
+        ++P;
+        break;
+      case 'r':
+        S.push_back('\r');
+        ++P;
+        break;
+      case 'b':
+        S.push_back('\b');
+        ++P;
+        break;
+      case 'f':
+        S.push_back('\f');
+        ++P;
+        break;
+      case 'u': {
+        ++P;
+        unsigned U;
+        if (!parseU16(U))
+          return false;
+        if (U >= 0xD800 && U <= 0xDBFF) {
+          // Surrogate pair: require the low half.
+          if (End - P < 6 || P[0] != '\\' || P[1] != 'u')
+            return fail("unpaired surrogate");
+          P += 2;
+          unsigned Lo;
+          if (!parseU16(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("bad low surrogate");
+          appendUtf8(S, 0x10000 + ((U - 0xD800) << 10) + (Lo - 0xDC00));
+        } else if (U >= 0xDC00 && U <= 0xDFFF) {
+          return fail("unpaired surrogate");
+        } else {
+          appendUtf8(S, U);
+        }
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+  }
+
+  bool parseNumber(Json &Out) {
+    const char *Start = P;
+    if (P < End && *P == '-')
+      ++P;
+    if (P >= End || *P < '0' || *P > '9')
+      return fail("bad number");
+    if (*P == '0') // strict grammar: no leading zeros
+      ++P;
+    else
+      while (P < End && *P >= '0' && *P <= '9')
+        ++P;
+    bool Integral = true;
+    if (P < End && *P == '.') {
+      Integral = false;
+      ++P;
+      if (P >= End || *P < '0' || *P > '9')
+        return fail("bad number (fraction)");
+      while (P < End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    if (P < End && (*P == 'e' || *P == 'E')) {
+      Integral = false;
+      ++P;
+      if (P < End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P >= End || *P < '0' || *P > '9')
+        return fail("bad number (exponent)");
+      while (P < End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    std::string Lit(Start, P);
+    if (Integral) {
+      errno = 0;
+      char *EndPtr = nullptr;
+      long long V = std::strtoll(Lit.c_str(), &EndPtr, 10);
+      if (errno == 0 && EndPtr && *EndPtr == '\0') {
+        Out = Json(static_cast<int64_t>(V));
+        return true;
+      }
+      // Out-of-int64-range integral literal: fall through to double.
+    }
+    Out = Json(std::strtod(Lit.c_str(), nullptr));
+    return true;
+  }
+};
+
+} // namespace
+
+Json Json::parse(const std::string &Text, std::string &Err,
+                 size_t MaxDepth) {
+  Err.clear();
+  Parser Pr(Text, MaxDepth);
+  Json Out;
+  if (!Pr.parseValue(Out, 0)) {
+    Err = Pr.Err.empty() ? "parse error" : Pr.Err;
+    return Json();
+  }
+  Pr.skipWs();
+  if (Pr.P != Pr.End) {
+    Pr.fail("trailing garbage after value");
+    Err = Pr.Err;
+    return Json();
+  }
+  return Out;
+}

@@ -1,0 +1,164 @@
+//===- wire/Json.h - Hand-rolled JSON value, parser, writer -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one serialization currency of the wire layer (DESIGN.md §12): a
+/// small JSON value type with a strict parser and a compact writer, no
+/// dependencies beyond the standard library. Every wire frame, journal
+/// payload, job-log line and /statsz dump is one of these values.
+///
+/// Deliberate properties:
+///  - Objects preserve insertion order (stable, diffable output; lookup
+///    is linear — wire objects are small by construction).
+///  - Numbers are int64 when the literal is integral and fits, double
+///    otherwise; counters serialize losslessly up to 2^63.
+///  - The parser is total: any input either yields a value consuming the
+///    whole text or a position-carrying error string — it never throws,
+///    and nesting depth is capped so hostile frames cannot blow the
+///    stack.
+///  - Unknown-field tolerance is the *reader's* job: accessors return
+///    null/defaults for absent keys, so a v1 peer skips fields it does
+///    not know (docs/PROTOCOL.md compat policy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_WIRE_JSON_H
+#define RECAP_WIRE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recap {
+namespace wire {
+
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, Str, Arr, Obj };
+
+  Json() : K(Kind::Null) {}
+  /*implicit*/ Json(bool B) : K(Kind::Bool), B(B) {}
+  /*implicit*/ Json(int64_t V) : K(Kind::Int), I(V) {}
+  /*implicit*/ Json(uint64_t V) : K(Kind::Int), I(static_cast<int64_t>(V)) {}
+  /*implicit*/ Json(int V) : K(Kind::Int), I(V) {}
+  /*implicit*/ Json(unsigned V) : K(Kind::Int), I(V) {}
+  /*implicit*/ Json(double V) : K(Kind::Double), D(V) {}
+  /*implicit*/ Json(std::string S) : K(Kind::Str), S(std::move(S)) {}
+  /*implicit*/ Json(const char *S) : K(Kind::Str), S(S) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Arr;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Obj;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isStr() const { return K == Kind::Str; }
+  bool isArr() const { return K == Kind::Arr; }
+  bool isObj() const { return K == Kind::Obj; }
+
+  /// Scalar accessors with defaults — never assert, never throw (the
+  /// unknown-field-tolerant read style of the protocol).
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    if (K == Kind::Int)
+      return I;
+    if (K == Kind::Double)
+      return static_cast<int64_t>(D);
+    return Default;
+  }
+  uint64_t asUInt(uint64_t Default = 0) const {
+    int64_t V = asInt(static_cast<int64_t>(Default));
+    return V < 0 ? Default : static_cast<uint64_t>(V);
+  }
+  double asDouble(double Default = 0) const {
+    if (K == Kind::Double)
+      return D;
+    if (K == Kind::Int)
+      return static_cast<double>(I);
+    return Default;
+  }
+  const std::string &asStr() const {
+    static const std::string Empty;
+    return K == Kind::Str ? S : Empty;
+  }
+
+  // Array interface.
+  size_t size() const {
+    return K == Kind::Arr ? A.size() : (K == Kind::Obj ? O.size() : 0);
+  }
+  const Json &at(size_t Idx) const {
+    static const Json Null;
+    return K == Kind::Arr && Idx < A.size() ? A[Idx] : Null;
+  }
+  Json &push(Json V) {
+    A.push_back(std::move(V));
+    return A.back();
+  }
+  const std::vector<Json> &items() const { return A; }
+
+  // Object interface. get() returns null for absent keys (tolerant
+  // reads); set() replaces an existing key in place (stable order).
+  const Json *find(const std::string &Key) const {
+    if (K != Kind::Obj)
+      return nullptr;
+    for (const auto &[N, V] : O)
+      if (N == Key)
+        return &V;
+    return nullptr;
+  }
+  const Json &get(const std::string &Key) const {
+    static const Json Null;
+    const Json *V = find(Key);
+    return V ? *V : Null;
+  }
+  Json &set(const std::string &Key, Json V) {
+    for (auto &[N, Val] : O)
+      if (N == Key) {
+        Val = std::move(V);
+        return Val;
+      }
+    O.emplace_back(Key, std::move(V));
+    return O.back().second;
+  }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return O;
+  }
+
+  /// Compact single-line serialization (the frame format — LF-free by
+  /// construction, so one value is always one frame).
+  std::string dump() const;
+
+  /// Strict whole-text parse; on failure returns a Null value and sets
+  /// \p Err to "offset N: why". \p MaxDepth caps array/object nesting.
+  static Json parse(const std::string &Text, std::string &Err,
+                    size_t MaxDepth = 64);
+
+private:
+  Kind K;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Json> A;
+  std::vector<std::pair<std::string, Json>> O;
+};
+
+} // namespace wire
+} // namespace recap
+
+#endif // RECAP_WIRE_JSON_H

@@ -1,0 +1,404 @@
+//===- wire/Protocol.cpp - Wire protocol vocabulary ------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Protocol.h"
+
+#include "dse/Workloads.h"
+
+using namespace recap;
+using namespace recap::wire;
+
+Json wire::okFrame(int64_t Id) {
+  Json F = Json::object();
+  F.set("v", ProtocolVersion);
+  F.set("id", Id);
+  F.set("ok", true);
+  return F;
+}
+
+Json wire::errorFrame(int64_t Id, const std::string &Code,
+                      const std::string &Message) {
+  Json F = Json::object();
+  F.set("v", ProtocolVersion);
+  F.set("id", Id);
+  F.set("ok", false);
+  Json E = Json::object();
+  E.set("code", Code);
+  E.set("message", Message);
+  F.set("error", std::move(E));
+  return F;
+}
+
+namespace {
+
+/// `{"pattern":"/re/flags"}`: a probe program whose only bug is an input
+/// matching the pattern — DSE "finding the bug" = synthesizing a member
+/// of the regex's language through the solver (the paper's point, as a
+/// wire-submittable demo).
+Result<Program> patternProbe(const std::string &Literal) {
+  if (Literal.size() < 2 || Literal.front() != '/')
+    return Result<Program>::error(
+        "pattern must be regex literal syntax, e.g. \"/ab+c/i\": " +
+        Literal);
+  using namespace mjs;
+  Program P;
+  P.Name = "pattern-probe:" + Literal;
+  P.Params = {"s"};
+  std::vector<StmtPtr> Body;
+  Body.push_back(let_("m", test(Literal, var("s"))));
+  Body.push_back(if_(var("m"), assert_(boolean(false))));
+  P.Body = block(std::move(Body));
+  P.finalize();
+  return P;
+}
+
+Result<Program> programFromJson(const Json &PS) {
+  if (!PS.isObj())
+    return Result<Program>::error("program spec must be an object");
+  if (const Json *W = PS.find("workload")) {
+    const std::string &Name = W->asStr();
+    if (Name == "listing1")
+      return listing1Program();
+    for (Program &P : table6Libraries())
+      if (P.Name == Name)
+        return std::move(P);
+    return Result<Program>::error("unknown workload: " + Name);
+  }
+  if (const Json *Seed = PS.find("package_seed")) {
+    if (!Seed->isNumber())
+      return Result<Program>::error("package_seed must be a number");
+    return generateMiniPackage(Seed->asUInt());
+  }
+  if (const Json *Pat = PS.find("pattern"))
+    return patternProbe(Pat->asStr());
+  return Result<Program>::error(
+      "program spec needs workload, package_seed or pattern");
+}
+
+SupportLevel levelFromName(const std::string &Name, SupportLevel Default) {
+  if (Name == "concrete")
+    return SupportLevel::Concrete;
+  if (Name == "model")
+    return SupportLevel::Model;
+  if (Name == "captures")
+    return SupportLevel::Captures;
+  if (Name == "refinement")
+    return SupportLevel::Refinement;
+  return Default;
+}
+
+const char *engineErrorKindName(EngineErrorKind K) {
+  switch (K) {
+  case EngineErrorKind::SolverThrow:
+    return "solver-throw";
+  case EngineErrorKind::ShardFailure:
+    return "shard-failure";
+  case EngineErrorKind::WorkerSpawn:
+    return "worker-spawn";
+  case EngineErrorKind::SnapshotError:
+    return "snapshot-error";
+  case EngineErrorKind::BackendConstruction:
+    return "backend-construction";
+  }
+  return "unknown";
+}
+
+} // namespace
+
+Result<JobSpec> wire::jobSpecFromJson(const Json &Spec) {
+  if (!Spec.isObj())
+    return Result<JobSpec>::error("spec must be an object");
+  JobSpec S;
+
+  const std::string &Kind = Spec.get("kind").asStr();
+  if (Kind == "survey")
+    S.Kind = JobKind::Survey;
+  else if (Kind.empty() || Kind == "dse")
+    S.Kind = JobKind::Dse;
+  else
+    return Result<JobSpec>::error("unknown kind: " + Kind);
+
+  S.Tenant = Spec.get("tenant").asStr();
+
+  for (const Json &PS : Spec.get("programs").items()) {
+    Result<Program> P = programFromJson(PS);
+    if (!P)
+      return Result<JobSpec>::error(P.error());
+    S.Programs.push_back(P.take());
+  }
+
+  for (const Json &Pkg : Spec.get("packages").items()) {
+    if (!Pkg.isArr())
+      return Result<JobSpec>::error(
+          "each package must be an array of JS source strings");
+    std::vector<std::string> Files;
+    for (const Json &F : Pkg.items())
+      Files.push_back(F.asStr());
+    S.Packages.push_back(std::move(Files));
+  }
+
+  if (S.Kind == JobKind::Dse && S.Programs.empty())
+    return Result<JobSpec>::error("dse spec has no programs");
+  if (S.Kind == JobKind::Survey && S.Packages.empty())
+    return Result<JobSpec>::error("survey spec has no packages");
+
+  const Json &E = Spec.get("engine");
+  if (E.isObj()) {
+    S.Engine.MaxTests = E.get("max_tests").asUInt(S.Engine.MaxTests);
+    S.Engine.MaxSeconds = E.get("max_seconds").asDouble(S.Engine.MaxSeconds);
+    S.Engine.Seed = E.get("seed").asUInt(S.Engine.Seed);
+    S.Engine.Level = levelFromName(E.get("level").asStr(), S.Engine.Level);
+    S.Engine.Dispatch = E.get("dispatch").asBool(S.Engine.Dispatch);
+    S.Engine.DispatchAnchored =
+        E.get("dispatch_anchored").asBool(S.Engine.DispatchAnchored);
+    S.Engine.DispatchRacing =
+        E.get("dispatch_racing").asBool(S.Engine.DispatchRacing);
+  }
+
+  S.DeadlineMs = static_cast<uint32_t>(Spec.get("deadline_ms").asUInt(0));
+  S.Priority = static_cast<int>(Spec.get("priority").asInt(0));
+  S.ShardsPerUnit = Spec.get("shards_per_unit").asUInt(1);
+  if (S.ShardsPerUnit == 0)
+    S.ShardsPerUnit = 1;
+  return S;
+}
+
+Json wire::toJson(const EngineResult &R) {
+  Json J = Json::object();
+  J.set("tests_run", R.TestsRun);
+  J.set("covered_stmts", R.Covered.size());
+  J.set("total_stmts", R.TotalStmts);
+  J.set("coverage_percent", R.coveragePercent());
+  J.set("seconds", R.Seconds);
+  J.set("workers_used", R.WorkersUsed);
+  J.set("bug_found", R.bugFound());
+  Json FA = Json::array();
+  for (int Id : R.FailedAsserts)
+    FA.push(Id);
+  J.set("failed_asserts", std::move(FA));
+  Json Errs = Json::array();
+  for (const EngineError &E : R.Errors) {
+    Json EJ = Json::object();
+    EJ.set("kind", engineErrorKindName(E.Kind));
+    EJ.set("shard", E.Shard);
+    EJ.set("detail", E.Detail);
+    Errs.push(std::move(EJ));
+  }
+  J.set("errors", std::move(Errs));
+  return J;
+}
+
+Json wire::toJson(const Survey &S) {
+  Json J = Json::object();
+  J.set("packages", S.Packages);
+  J.set("with_source", S.WithSource);
+  J.set("with_regex", S.WithRegex);
+  J.set("with_captures", S.WithCaptures);
+  J.set("with_backrefs", S.WithBackrefs);
+  J.set("with_quantified_backrefs", S.WithQuantifiedBackrefs);
+  J.set("total_regexes", S.TotalRegexes);
+  J.set("unique_regexes", S.UniqueRegexes);
+  Json F = Json::object();
+  for (const auto &[Name, C] : S.Features) {
+    Json Row = Json::object();
+    Row.set("total", C.Total);
+    Row.set("unique", C.Unique);
+    F.set(Name, std::move(Row));
+  }
+  J.set("features", std::move(F));
+  return J;
+}
+
+Json wire::toJson(const RuntimeStats &S) {
+  Json J = Json::object();
+  auto Put = [&J](const char *Name, const StatCounter &C) {
+    J.set(Name, C.load());
+  };
+  Put("intern_hits", S.InternHits);
+  Put("intern_misses", S.InternMisses);
+  Put("intern_evictions", S.InternEvictions);
+  Put("parse_errors", S.ParseErrors);
+  Put("error_hits", S.ErrorHits);
+  Put("feature_computes", S.FeatureComputes);
+  Put("feature_hits", S.FeatureHits);
+  Put("backref_computes", S.BackrefComputes);
+  Put("backref_hits", S.BackrefHits);
+  Put("approx_computes", S.ApproxComputes);
+  Put("approx_hits", S.ApproxHits);
+  Put("automaton_computes", S.AutomatonComputes);
+  Put("automaton_hits", S.AutomatonHits);
+  Put("matcher_computes", S.MatcherComputes);
+  Put("matcher_hits", S.MatcherHits);
+  Put("template_computes", S.TemplateComputes);
+  Put("template_hits", S.TemplateHits);
+  Put("dispatch_classical", S.DispatchClassical);
+  Put("dispatch_general", S.DispatchGeneral);
+  Put("dispatch_fallbacks", S.DispatchFallbacks);
+  Put("anchored_lane_hit", S.AnchoredLaneHit);
+  Put("race_classical_won", S.RaceClassicalWon);
+  Put("race_z3_won", S.RaceZ3Won);
+  Put("race_cancelled", S.RaceCancelled);
+  Put("anchored_fallback", S.AnchoredFallback);
+  Put("snapshot_loaded", S.SnapshotLoaded);
+  Put("snapshot_rejected", S.SnapshotRejected);
+  Put("artifacts_mapped", S.ArtifactsMapped);
+  Put("artifacts_rejected", S.ArtifactsRejected);
+  Put("artifact_bytes_shared", S.ArtifactBytesShared);
+  Put("aged_out", S.AgedOut);
+  Put("workers_clamped", S.WorkersClamped);
+  Put("guard_timeouts", S.GuardTimeouts);
+  Put("guard_retries", S.GuardRetries);
+  Put("guard_throws", S.GuardThrows);
+  Put("breaker_opens", S.BreakerOpens);
+  Put("breaker_reroutes", S.BreakerReroutes);
+  Put("breaker_short_circuits", S.BreakerShortCircuits);
+  Put("quarantined", S.Quarantined);
+  Put("quarantine_hits", S.QuarantineHits);
+  Put("quarantine_expired", S.QuarantineExpired);
+  Put("snapshot_recovered", S.SnapshotRecovered);
+  Put("worker_spawn_fallbacks", S.WorkerSpawnFallbacks);
+  return J;
+}
+
+Json wire::toJson(const ServiceStats &S) {
+  Json J = Json::object();
+  auto Put = [&J](const char *Name, const StatCounter &C) {
+    J.set(Name, C.load());
+  };
+  Put("submitted", S.Submitted);
+  Put("admitted", S.Admitted);
+  Put("rejected_queue_full", S.RejectedQueueFull);
+  Put("rejected_tenant_queue", S.RejectedTenantQueue);
+  Put("rejected_draining", S.RejectedDraining);
+  Put("rejected_invalid", S.RejectedInvalid);
+  Put("rejected_fault", S.RejectedFault);
+  Put("units_dispatched", S.UnitsDispatched);
+  Put("units_skipped", S.UnitsSkipped);
+  Put("units_faulted", S.UnitsFaulted);
+  Put("jobs_completed", S.JobsCompleted);
+  Put("jobs_cancelled", S.JobsCancelled);
+  Put("jobs_deadline", S.JobsDeadline);
+  Put("results_streamed", S.ResultsStreamed);
+  Put("snapshot_saves", S.SnapshotSaves);
+  Put("snapshot_save_failures", S.SnapshotSaveFailures);
+  Put("quarantine_expired", S.QuarantineExpired);
+  Put("warm_boots", S.WarmBoots);
+  return J;
+}
+
+Json wire::toJson(const LatencyHistogram &H) {
+  Json J = Json::object();
+  J.set("count", H.count());
+  J.set("sum_seconds", H.sumSeconds());
+  J.set("min_seconds", H.minSeconds());
+  J.set("max_seconds", H.maxSeconds());
+  J.set("mean_seconds", H.meanSeconds());
+  J.set("p50_seconds", H.quantileSeconds(0.50));
+  J.set("p90_seconds", H.quantileSeconds(0.90));
+  J.set("p99_seconds", H.quantileSeconds(0.99));
+  // Sparse: only populated buckets, as [upper_edge_seconds, count].
+  Json B = Json::array();
+  for (size_t I = 0; I < LatencyHistogram::NumBuckets; ++I) {
+    if (uint64_t N = H.bucketCount(I)) {
+      Json Row = Json::array();
+      Row.push(LatencyHistogram::bucketUpperSeconds(I));
+      Row.push(N);
+      B.push(std::move(Row));
+    }
+  }
+  J.set("buckets", std::move(B));
+  return J;
+}
+
+Json wire::toJson(const ShutdownReport &R) {
+  Json J = Json::object();
+  J.set("clean", R.Clean);
+  J.set("cancelled_jobs", R.CancelledJobs);
+  J.set("snapshots_saved", R.SnapshotsSaved);
+  J.set("snapshot_failures", R.SnapshotFailures);
+  J.set("seconds", R.Seconds);
+  return J;
+}
+
+Json wire::toJson(const JobUnitResult &U, JobKind Kind) {
+  Json J = Json::object();
+  J.set("unit", U.Unit);
+  if (Kind == JobKind::Dse)
+    J.set("dse", toJson(U.Dse));
+  else if (U.Slice)
+    J.set("survey", toJson(*U.Slice));
+  return J;
+}
+
+Json wire::toJson(const JobResult &R, JobKind Kind) {
+  Json J = Json::object();
+  J.set("status", jobStatusName(R.Status));
+  J.set("health", serviceHealthName(R.Health));
+  J.set("seconds", R.Seconds);
+  J.set("first_result_seconds", R.FirstResultSeconds);
+  Json Reasons = Json::array();
+  for (const std::string &S : R.Reasons)
+    Reasons.push(S);
+  J.set("reasons", std::move(Reasons));
+  if (Kind == JobKind::Dse) {
+    Json Results = Json::array();
+    for (const EngineResult &ER : R.Results)
+      Results.push(toJson(ER));
+    J.set("results", std::move(Results));
+  } else if (R.SurveyOut) {
+    J.set("survey", toJson(*R.SurveyOut));
+  }
+  return J;
+}
+
+Json wire::serviceStatszJson(const AnalysisService &Svc) {
+  Json J = Json::object();
+  J.set("health", serviceHealthName(Svc.health()));
+  J.set("workers", Svc.workers());
+  J.set("slots_in_use", Svc.slotsInUse());
+  J.set("active_jobs", Svc.activeJobs());
+  J.set("queued_jobs", Svc.queuedJobs());
+  J.set("service", toJson(Svc.stats()));
+  J.set("runtime", toJson(Svc.runtimeStats()));
+
+  Json Tenants = Json::object();
+  std::map<std::string, RuntimeStats> PerTenant = Svc.tenantRuntimeStats();
+  std::map<std::string, AnalysisService::TenantLatency> Lat =
+      Svc.latencyStats();
+  for (const auto &[Name, RS] : PerTenant)
+    Tenants.set(Name, Json::object()).set("runtime", toJson(RS));
+  for (const auto &[Name, L] : Lat) {
+    const Json *Existing = Tenants.find(Name);
+    Json &T = Existing ? Tenants.set(Name, *Existing)
+                       : Tenants.set(Name, Json::object());
+    Json LJ = Json::object();
+    LJ.set("first_result", toJson(L.FirstResult));
+    LJ.set("job_duration", toJson(L.JobDuration));
+    T.set("latency", std::move(LJ));
+  }
+  J.set("tenants", std::move(Tenants));
+
+  if (const std::shared_ptr<Quarantine> &Q = Svc.quarantine()) {
+    Json QJ = Json::object();
+    QJ.set("threshold", Q->threshold());
+    QJ.set("generation", Q->currentGeneration());
+    QJ.set("tracked", Q->tracked());
+    QJ.set("quarantined", Q->quarantined());
+    QJ.set("expired", Q->expired());
+    Json Entries = Json::array();
+    for (const Quarantine::EntryView &E : Q->entries()) {
+      Json EJ = Json::object();
+      EJ.set("key", E.Key);
+      EJ.set("burns", E.Burns);
+      EJ.set("generation", E.Generation);
+      EJ.set("quarantined", E.Quarantined);
+      Entries.push(std::move(EJ));
+    }
+    QJ.set("entries", std::move(Entries));
+    J.set("quarantine", std::move(QJ));
+  }
+  return J;
+}

@@ -1,0 +1,86 @@
+//===- wire/Protocol.h - Wire protocol vocabulary ---------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response vocabulary of the wire protocol (DESIGN.md §12.2,
+/// docs/PROTOCOL.md): every frame is one JSON object carrying `"v":1`, a
+/// caller-chosen `"id"`, and — on requests — an `"op"` naming one of the
+/// eight verbs (submit, poll, nextResult, cancel, drain, shutdown,
+/// statsz, healthz). Responses echo the id and carry `"ok"`; failures add
+/// an `error` object from the taxonomy in docs/PROTOCOL.md.
+///
+/// This header is the serialization boundary between wire JSON and the
+/// library's native types. Two asymmetries are deliberate:
+///
+///  - MiniJS programs have no text syntax, so a DSE spec names its
+///    programs instead of embedding them: `{"workload": <table-6 name>}`,
+///    `{"package_seed": N}` (the Table 7/8 generator), or
+///    `{"pattern": "/re/flags"}` — the last synthesizes a *pattern
+///    probe*: assert(false) guarded by `pattern.test(s)` over a symbolic
+///    `s`, so the DSE engine finding the "bug" means it synthesized a
+///    matching input (the paper's semantics made executable over a wire).
+///
+///  - Readers are unknown-field tolerant (Json::get returns null for
+///    absent keys; extra keys are ignored), so a v1 peer survives
+///    additive protocol growth — the compat policy docs/PROTOCOL.md §7
+///    commits to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_WIRE_PROTOCOL_H
+#define RECAP_WIRE_PROTOCOL_H
+
+#include "service/AnalysisService.h"
+#include "support/Result.h"
+#include "wire/Json.h"
+
+namespace recap {
+namespace wire {
+
+/// Protocol version stamped on every frame. Version bumps are reserved
+/// for breaking changes; additive fields do not bump it.
+constexpr int64_t ProtocolVersion = 1;
+
+/// Builds the shared response envelope {"v":1,"id":Id,"ok":true}.
+Json okFrame(int64_t Id);
+
+/// Builds {"v":1,"id":Id,"ok":false,"error":{"code":...,"message":...}}.
+/// Codes are the stable taxonomy of docs/PROTOCOL.md §6 ("malformed",
+/// "oversized", "version", "unknown-op", "bad-spec", "rejected",
+/// "unknown-job", "registry-full", "internal").
+Json errorFrame(int64_t Id, const std::string &Code,
+                const std::string &Message);
+
+/// Decodes a submit spec object (the `spec` member of a submit request)
+/// into a JobSpec. Recognized fields: kind ("dse"|"survey"), tenant,
+/// programs (array of program specs, see file comment), packages (array
+/// of packages, each an array of JS source strings), engine
+/// ({max_tests, max_seconds, seed, level, dispatch, dispatch_anchored,
+/// dispatch_racing}), deadline_ms, priority, shards_per_unit. Unknown
+/// fields are ignored; structurally invalid specs return the error.
+Result<JobSpec> jobSpecFromJson(const Json &Spec);
+
+// Native -> JSON. Shapes are documented field by field in
+// docs/PROTOCOL.md §5 and kept stable (additive-only).
+Json toJson(const EngineResult &R);
+Json toJson(const Survey &S);
+Json toJson(const RuntimeStats &S);
+Json toJson(const ServiceStats &S);
+Json toJson(const LatencyHistogram &H);
+Json toJson(const ShutdownReport &R);
+Json toJson(const JobUnitResult &U, JobKind Kind);
+Json toJson(const JobResult &R, JobKind Kind);
+
+/// The AnalysisService portion of a /statsz dump: service counters,
+/// merged + per-tenant runtime windows, per-tenant latency histograms,
+/// quarantine contents, health and occupancy gauges. The wire server
+/// adds its own `wire` section on top (ServiceServer::statsz).
+Json serviceStatszJson(const AnalysisService &Svc);
+
+} // namespace wire
+} // namespace recap
+
+#endif // RECAP_WIRE_PROTOCOL_H

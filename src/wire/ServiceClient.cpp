@@ -1,0 +1,135 @@
+//===- wire/ServiceClient.cpp - Wire protocol client -----------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/ServiceClient.h"
+
+#include "wire/Protocol.h"
+
+using namespace recap;
+using namespace recap::wire;
+
+bool ServiceClient::connectUnixSocket(const std::string &Path,
+                                      std::string &Err) {
+  close();
+  int Fd = connectUnix(Path, Err);
+  if (Fd < 0)
+    return false;
+  InFd = OutFd = Fd;
+  OwnsFds = true;
+  Reader = std::make_unique<FrameReader>(InFd);
+  return true;
+}
+
+bool ServiceClient::connectTcpSocket(const std::string &Host, uint16_t Port,
+                                     std::string &Err) {
+  close();
+  int Fd = connectTcp(Host, Port, Err);
+  if (Fd < 0)
+    return false;
+  InFd = OutFd = Fd;
+  OwnsFds = true;
+  Reader = std::make_unique<FrameReader>(InFd);
+  return true;
+}
+
+void ServiceClient::adoptFds(int In, int Out) {
+  close();
+  InFd = In;
+  OutFd = Out;
+  OwnsFds = false;
+  Reader = std::make_unique<FrameReader>(InFd);
+}
+
+void ServiceClient::close() {
+  if (OwnsFds && InFd >= 0)
+    closeFd(InFd); // InFd == OutFd when we own them (one socket)
+  InFd = OutFd = -1;
+  OwnsFds = false;
+  Reader.reset();
+}
+
+Result<Json> ServiceClient::call(const std::string &Op, Json Params) {
+  if (InFd < 0)
+    return Result<Json>::error("wire: not connected");
+  Json Req = std::move(Params);
+  if (!Req.isObj())
+    Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("id", NextId);
+  Req.set("op", Op);
+  int64_t Id = NextId++;
+  if (!writeFrame(OutFd, Req.dump()))
+    return Result<Json>::error("wire: send failed");
+
+  std::string Line;
+  for (;;) {
+    switch (Reader->next(Line)) {
+    case ReadResult::Frame: {
+      std::string PErr;
+      Json Resp = Json::parse(Line, PErr);
+      if (!PErr.empty())
+        return Result<Json>::error("wire: bad response frame: " + PErr);
+      // A strict request/response client only ever sees its own id; a
+      // mismatched one (e.g. an id-0 transport error report) surfaces
+      // that frame's error instead of silently desynchronizing.
+      if (!Resp.get("ok").asBool()) {
+        const Json &E = Resp.get("error");
+        return Result<Json>::error(E.get("code").asStr() + ": " +
+                                   E.get("message").asStr());
+      }
+      if (Resp.get("id").asInt() != Id)
+        return Result<Json>::error("wire: response id mismatch");
+      return Resp;
+    }
+    case ReadResult::TooLarge:
+      return Result<Json>::error("wire: oversized response frame");
+    case ReadResult::Eof:
+    case ReadResult::Error:
+    case ReadResult::Fault:
+      return Result<Json>::error("wire: connection lost");
+    }
+  }
+}
+
+Result<uint64_t> ServiceClient::submit(const Json &Spec) {
+  Json P = Json::object();
+  P.set("spec", Spec);
+  Result<Json> R = call("submit", std::move(P));
+  if (!R)
+    return Result<uint64_t>::error(R.error());
+  return R->get("job").asUInt();
+}
+
+Result<Json> ServiceClient::poll(uint64_t Job) {
+  Json P = Json::object();
+  P.set("job", Job);
+  return call("poll", std::move(P));
+}
+
+Result<Json> ServiceClient::nextResult(uint64_t Job, uint64_t TimeoutMs) {
+  Json P = Json::object();
+  P.set("job", Job);
+  P.set("timeout_ms", TimeoutMs);
+  return call("nextResult", std::move(P));
+}
+
+Result<Json> ServiceClient::cancel(uint64_t Job) {
+  Json P = Json::object();
+  P.set("job", Job);
+  return call("cancel", std::move(P));
+}
+
+Result<Json> ServiceClient::drain() { return call("drain"); }
+
+Result<Json> ServiceClient::shutdown(uint32_t GraceMs) {
+  Json P = Json::object();
+  P.set("grace_ms", GraceMs);
+  return call("shutdown", std::move(P));
+}
+
+Result<Json> ServiceClient::statsz() { return call("statsz"); }
+
+Result<Json> ServiceClient::healthz() { return call("healthz"); }

@@ -1,0 +1,83 @@
+//===- wire/ServiceClient.h - Wire protocol client --------------*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin synchronous client for the wire protocol (docs/PROTOCOL.md):
+/// one connection, auto-assigned request ids, one call() = one request
+/// frame out + one response frame in. Error handling folds the three
+/// failure layers into one Result: transport failure ("wire: ..."),
+/// protocol rejection (the server's error.code/message), and malformed
+/// server output. Typed helpers cover the common lifecycle; anything
+/// else goes through call() with a params object.
+///
+/// Not thread-safe: the protocol is strictly request/response per
+/// connection, so share nothing or open one client per thread (the
+/// server handles each connection independently).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_WIRE_SERVICECLIENT_H
+#define RECAP_WIRE_SERVICECLIENT_H
+
+#include "support/Result.h"
+#include "wire/Framing.h"
+#include "wire/Json.h"
+
+#include <memory>
+
+namespace recap {
+namespace wire {
+
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient() { close(); }
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// Connects over a Unix socket / localhost TCP. False with \p Err on
+  /// failure; the client is reusable after a failed connect.
+  bool connectUnixSocket(const std::string &Path, std::string &Err);
+  bool connectTcpSocket(const std::string &Host, uint16_t Port,
+                        std::string &Err);
+  /// Adopts an already-connected fd pair (stdio transport, tests over
+  /// pipes). \p InFd receives responses, \p OutFd carries requests.
+  void adoptFds(int InFd, int OutFd);
+
+  bool connected() const { return InFd >= 0; }
+  void close();
+
+  /// Sends {"v":1,"id":<auto>,"op":Op,...Params} and reads one response.
+  /// Success (ok:true) returns the whole response frame; ok:false
+  /// returns "code: message"; transport trouble returns "wire: ...".
+  Result<Json> call(const std::string &Op, Json Params = Json::object());
+
+  // Lifecycle helpers (docs/PROTOCOL.md §4).
+  /// Returns the new job id.
+  Result<uint64_t> submit(const Json &Spec);
+  Result<Json> poll(uint64_t Job);
+  /// One streamed unit: the response frame carries `unit`, `exhausted`
+  /// or `timeout` (see PROTOCOL.md §4.3).
+  Result<Json> nextResult(uint64_t Job, uint64_t TimeoutMs = 0);
+  Result<Json> cancel(uint64_t Job);
+  Result<Json> drain();
+  Result<Json> shutdown(uint32_t GraceMs = 0);
+  Result<Json> statsz();
+  Result<Json> healthz();
+
+private:
+  int InFd = -1;
+  int OutFd = -1;
+  bool OwnsFds = false;
+  int64_t NextId = 1;
+  std::unique_ptr<FrameReader> Reader;
+};
+
+} // namespace wire
+} // namespace recap
+
+#endif // RECAP_WIRE_SERVICECLIENT_H

@@ -1,0 +1,557 @@
+//===- wire/ServiceServer.cpp - Wire front end of the service --------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/ServiceServer.h"
+
+#include <chrono>
+
+using namespace recap;
+using namespace recap::wire;
+
+namespace {
+
+int64_t unixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const char *jobKindName(JobKind K) {
+  return K == JobKind::Survey ? "survey" : "dse";
+}
+
+/// Jobs the service cancelled because *it* was stopping were promised but
+/// not delivered — they stay journal-pending so the next boot re-runs
+/// them (DESIGN.md §12.4). Caller cancels and deadlines are client-visible
+/// outcomes and settle the journal entry.
+bool isShutdownCancel(const JobResult &R) {
+  for (const std::string &Reason : R.Reasons)
+    if (Reason == "cancelled: service shutdown")
+      return true;
+  return false;
+}
+
+} // namespace
+
+ServiceServer::ServiceServer(AnalysisService &Svc, WireServerOptions Opts)
+    : Svc(Svc), Opts(std::move(Opts)) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+bool ServiceServer::start(std::string &Err) {
+  StopFlag.store(false);
+
+  if (!Opts.StateDir.empty()) {
+    Journal =
+        std::make_unique<JobJournal>(Opts.StateDir + "/" + JournalFile);
+    if (!Journal->open())
+      Journal.reset(); // contained: no crash recovery, surfaced in statsz
+    Log = std::fopen((Opts.StateDir + "/" + JobLogFile).c_str(), "ab");
+  }
+  if (Journal && Opts.Replay)
+    replayBacklog();
+
+  if (!Opts.UnixPath.empty()) {
+    UnixFd = listenUnix(Opts.UnixPath, Err);
+    if (UnixFd < 0)
+      return false;
+  }
+  if (Opts.Tcp) {
+    TcpFd = listenTcp(Opts.TcpPort, BoundTcpPort, Err);
+    if (TcpFd < 0) {
+      closeFd(UnixFd);
+      UnixFd = -1;
+      return false;
+    }
+  }
+
+  if (int Fd = UnixFd; Fd >= 0)
+    Acceptors.emplace_back([this, Fd] { acceptLoop(Fd); });
+  if (int Fd = TcpFd; Fd >= 0)
+    Acceptors.emplace_back([this, Fd] { acceptLoop(Fd); });
+  Reaper = std::thread([this] { reaperLoop(); });
+  return true;
+}
+
+void ServiceServer::stop() {
+  if (StopFlag.exchange(true))
+    return;
+
+  // Closing the listeners pops the acceptors out of accept(2).
+  shutdownFd(UnixFd);
+  closeFd(UnixFd);
+  UnixFd = -1;
+  shutdownFd(TcpFd);
+  closeFd(TcpFd);
+  TcpFd = -1;
+  for (std::thread &T : Acceptors)
+    if (T.joinable())
+      T.join();
+  Acceptors.clear();
+
+  // Shut down every live connection fd: blocked FrameReader::next calls
+  // return, blocked nextResult waits notice StopFlag at their next slice.
+  {
+    std::lock_guard<std::mutex> Lock(CMu);
+    for (auto &[Fd, T] : Connections)
+      shutdownFd(Fd);
+  }
+  for (;;) {
+    std::pair<int, std::thread> C{-1, std::thread()};
+    {
+      std::lock_guard<std::mutex> Lock(CMu);
+      if (Connections.empty())
+        break;
+      C = std::move(Connections.back());
+      Connections.pop_back();
+    }
+    if (C.second.joinable())
+      C.second.join();
+    closeFd(C.first);
+  }
+
+  if (Reaper.joinable())
+    Reaper.join();
+
+  // One final settle pass so jobs that finished during teardown get
+  // their journal-done and log line.
+  {
+    std::lock_guard<std::mutex> Lock(RMu);
+    for (auto &[Id, T] : Jobs)
+      if (!T.Closed && T.Handle.done())
+        closeTracked(T);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(JMu);
+    if (Journal)
+      Journal->close();
+  }
+  std::lock_guard<std::mutex> Lock(LogMu);
+  if (Log) {
+    std::fclose(Log);
+    Log = nullptr;
+  }
+}
+
+void ServiceServer::replayBacklog() {
+  for (const JobJournal::PendingJob &P : Journal->pending()) {
+    std::string PErr;
+    Json Spec = Json::parse(P.Payload, PErr);
+    Result<JobSpec> S =
+        PErr.empty() ? jobSpecFromJson(Spec)
+                     : Result<JobSpec>::error("journal payload: " + PErr);
+    if (!S) {
+      // A record this boot cannot run will not run next boot either:
+      // settle it instead of poison-looping the journal forever.
+      Journal->markDone(P.Seq);
+      ++Stats.ReplaysRejected;
+      continue;
+    }
+    Result<JobHandle> H = Svc.submit(S.take());
+    if (!H) {
+      Journal->markDone(P.Seq);
+      ++Stats.ReplaysRejected;
+      Json Ev = Json::object();
+      Ev.set("event", "replay-rejected");
+      Ev.set("unix_ms", unixMillis());
+      Ev.set("reason", H.error());
+      logLine(Ev);
+      continue;
+    }
+    ++Stats.JobsReplayed;
+    TrackedJob T;
+    T.Handle = *H;
+    T.Kind = Spec.get("kind").asStr() == "survey" ? JobKind::Survey
+                                                  : JobKind::Dse;
+    T.Tenant = Spec.get("tenant").asStr();
+    T.JournalSeq = P.Seq;
+    uint64_t Id = H->id();
+    Json Ev = Json::object();
+    Ev.set("event", "replayed");
+    Ev.set("unix_ms", unixMillis());
+    Ev.set("job", Id);
+    Ev.set("tenant", T.Tenant);
+    logLine(Ev);
+    std::lock_guard<std::mutex> Lock(RMu);
+    Jobs.emplace(Id, std::move(T));
+  }
+}
+
+void ServiceServer::logLine(const Json &Event) {
+  std::lock_guard<std::mutex> Lock(LogMu);
+  if (!Log)
+    return;
+  std::string Line = Event.dump();
+  std::fwrite(Line.data(), 1, Line.size(), Log);
+  std::fputc('\n', Log);
+  std::fflush(Log);
+}
+
+void ServiceServer::closeTracked(TrackedJob &T) {
+  JobResult R = T.Handle.result();
+  bool SettleJournal = T.JournalSeq != 0 && !isShutdownCancel(R);
+  if (SettleJournal) {
+    std::lock_guard<std::mutex> Lock(JMu);
+    if (Journal)
+      Journal->markDone(T.JournalSeq);
+  }
+  Json Ev = Json::object();
+  Ev.set("event", "finished");
+  Ev.set("unix_ms", unixMillis());
+  Ev.set("job", T.Handle.id());
+  Ev.set("tenant", T.Tenant);
+  Ev.set("kind", jobKindName(T.Kind));
+  Ev.set("status", jobStatusName(R.Status));
+  Ev.set("seconds", R.Seconds);
+  Ev.set("first_result_seconds", R.FirstResultSeconds);
+  Json Reasons = Json::array();
+  for (const std::string &S : R.Reasons)
+    Reasons.push(S);
+  Ev.set("reasons", std::move(Reasons));
+  logLine(Ev);
+  T.Closed = true;
+  T.CloseOrder = NextCloseOrder++; // RMu is held by every caller
+}
+
+void ServiceServer::reaperLoop() {
+  while (!StopFlag.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> Lock(RMu);
+      for (auto &[Id, T] : Jobs)
+        if (!T.Closed && T.Handle.done())
+          closeTracked(T);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+void ServiceServer::acceptLoop(int ListenFd) {
+  for (;;) {
+    int Fd = acceptFd(ListenFd);
+    if (Fd < 0)
+      return; // listener closed by stop()
+    if (StopFlag.load()) {
+      closeFd(Fd);
+      return;
+    }
+    ++Stats.Connections;
+    std::lock_guard<std::mutex> Lock(CMu);
+    Connections.emplace_back(
+        Fd, std::thread([this, Fd] { runConnection(Fd); }));
+  }
+}
+
+void ServiceServer::runConnection(int Fd) {
+  serveOn(Fd, Fd);
+  // Close eagerly so the peer sees EOF the moment this connection is
+  // dropped (fault, error, or clean EOF) rather than at stop(). Marking
+  // the registry entry -1 and closing under CMu keeps stop()'s shutdown
+  // sweep from touching a recycled fd number.
+  std::lock_guard<std::mutex> Lock(CMu);
+  for (auto &[CFd, T] : Connections)
+    if (CFd == Fd) {
+      CFd = -1;
+      break;
+    }
+  shutdownFd(Fd);
+  closeFd(Fd);
+}
+
+void ServiceServer::serveStdio(int InFd, int OutFd) {
+  ++Stats.Connections;
+  serveOn(InFd, OutFd);
+}
+
+void ServiceServer::serveOn(int InFd, int OutFd) {
+  FrameReader Reader(InFd, Opts.MaxFrameBytes);
+  std::string Line;
+  while (!StopFlag.load(std::memory_order_relaxed)) {
+    ReadResult RR = Reader.next(Line, &StopFlag);
+    Json Resp;
+    switch (RR) {
+    case ReadResult::Frame: {
+      ++Stats.FramesRead;
+      std::string PErr;
+      Json Req = Json::parse(Line, PErr);
+      if (!PErr.empty()) {
+        ++Stats.FramesMalformed;
+        Resp = errorFrame(0, "malformed", PErr);
+      } else {
+        Resp = handle(Req);
+      }
+      break;
+    }
+    case ReadResult::TooLarge:
+      ++Stats.FramesOversized;
+      Resp = errorFrame(0, "oversized",
+                        "frame exceeded max_frame_bytes and was discarded");
+      break;
+    case ReadResult::Eof:
+      return;
+    case ReadResult::Error:
+      ++Stats.ConnectionsDropped;
+      return;
+    case ReadResult::Fault:
+      // Injected transport fault: this connection is sacrificed, the
+      // server (and every other connection) lives.
+      ++Stats.ReadFaults;
+      ++Stats.ConnectionsDropped;
+      return;
+    }
+    if (!writeFrame(OutFd, Resp.dump(), &StopFlag)) {
+      ++Stats.WriteFaults;
+      ++Stats.ConnectionsDropped;
+      return;
+    }
+    ++Stats.FramesWritten;
+  }
+}
+
+Json ServiceServer::handle(const Json &Req) {
+  if (!Req.isObj()) {
+    ++Stats.FramesMalformed;
+    return errorFrame(0, "malformed", "request frame must be a JSON object");
+  }
+  int64_t Id = Req.get("id").asInt(0);
+  const Json *V = Req.find("v");
+  if (V && !V->isNull() && V->asInt() != ProtocolVersion)
+    return errorFrame(Id, "version",
+                      "unsupported protocol version (this server speaks 1)");
+  ++Stats.Requests;
+  const std::string &Op = Req.get("op").asStr();
+  if (Op == "submit")
+    return handleSubmit(Id, Req);
+  if (Op == "poll")
+    return handlePoll(Id, Req);
+  if (Op == "nextResult")
+    return handleNextResult(Id, Req);
+  if (Op == "cancel")
+    return handleCancel(Id, Req);
+  if (Op == "drain")
+    return handleDrain(Id);
+  if (Op == "shutdown")
+    return handleShutdown(Id, Req);
+  if (Op == "statsz")
+    return handleStatsz(Id);
+  if (Op == "healthz")
+    return handleHealthz(Id);
+  ++Stats.UnknownOps;
+  return errorFrame(Id, "unknown-op", "unknown op: " + Op);
+}
+
+Json ServiceServer::handleSubmit(int64_t Id, const Json &Req) {
+  const Json &SpecJson = Req.get("spec");
+  Result<JobSpec> Spec = jobSpecFromJson(SpecJson);
+  if (!Spec)
+    return errorFrame(Id, "bad-spec", Spec.error());
+
+  // Make room: evict the oldest finished entries; never live ones.
+  {
+    std::lock_guard<std::mutex> Lock(RMu);
+    while (Jobs.size() >= Opts.MaxTrackedJobs) {
+      auto Victim = Jobs.end();
+      for (auto It = Jobs.begin(); It != Jobs.end(); ++It)
+        if (It->second.Closed &&
+            (Victim == Jobs.end() ||
+             It->second.CloseOrder < Victim->second.CloseOrder))
+          Victim = It;
+      if (Victim == Jobs.end())
+        return errorFrame(Id, "registry-full",
+                          "too many unfinished tracked jobs");
+      Jobs.erase(Victim);
+    }
+  }
+
+  // Journal BEFORE admission: a crash in the gap replays a job the
+  // client never got acked (at-least-once), which beats acking a job a
+  // crash then forgets. Rejections settle their record immediately.
+  uint64_t Seq = 0;
+  {
+    std::lock_guard<std::mutex> Lock(JMu);
+    if (Journal)
+      Seq = Journal->append(SpecJson.dump());
+  }
+
+  JobKind Kind = Spec->Kind;
+  std::string Tenant = Spec->Tenant;
+  Result<JobHandle> H = Svc.submit(Spec.take());
+  if (!H) {
+    if (Seq) {
+      std::lock_guard<std::mutex> Lock(JMu);
+      if (Journal)
+        Journal->markDone(Seq);
+    }
+    return errorFrame(Id, "rejected", H.error());
+  }
+
+  uint64_t JobId = H->id();
+  {
+    TrackedJob T;
+    T.Handle = *H;
+    T.Kind = Kind;
+    T.Tenant = Tenant;
+    T.JournalSeq = Seq;
+    std::lock_guard<std::mutex> Lock(RMu);
+    Jobs.emplace(JobId, std::move(T));
+  }
+  Json Ev = Json::object();
+  Ev.set("event", "admitted");
+  Ev.set("unix_ms", unixMillis());
+  Ev.set("job", JobId);
+  Ev.set("tenant", Tenant);
+  Ev.set("kind", jobKindName(Kind));
+  logLine(Ev);
+
+  Json Resp = okFrame(Id);
+  Resp.set("job", JobId);
+  Resp.set("status", jobStatusName(H->status()));
+  return Resp;
+}
+
+bool ServiceServer::findJob(int64_t Id, const Json &Req, TrackedJob &Out,
+                            Json &Err) {
+  uint64_t JobId = Req.get("job").asUInt(0);
+  std::lock_guard<std::mutex> Lock(RMu);
+  auto It = Jobs.find(JobId);
+  if (It == Jobs.end()) {
+    Err = errorFrame(Id, "unknown-job",
+                     "no tracked job " + std::to_string(JobId));
+    return false;
+  }
+  Out = It->second; // JobHandle copies share the job state
+  return true;
+}
+
+Json ServiceServer::handlePoll(int64_t Id, const Json &Req) {
+  TrackedJob T;
+  Json Err;
+  if (!findJob(Id, Req, T, Err))
+    return Err;
+  Json Resp = okFrame(Id);
+  Resp.set("job", T.Handle.id());
+  Resp.set("status", jobStatusName(T.Handle.status()));
+  bool Done = T.Handle.done();
+  Resp.set("done", Done);
+  if (Done)
+    Resp.set("result", toJson(T.Handle.result(), T.Kind));
+  return Resp;
+}
+
+Json ServiceServer::handleNextResult(int64_t Id, const Json &Req) {
+  TrackedJob T;
+  Json Err;
+  if (!findJob(Id, Req, T, Err))
+    return Err;
+  uint64_t TimeoutMs = Req.get("timeout_ms").asUInt(0); // 0 = forever
+  // Chunked wait so stop() never blocks behind a parked client.
+  constexpr uint32_t SliceMs = 100;
+  uint64_t Waited = 0;
+  for (;;) {
+    uint32_t Slice = SliceMs;
+    if (TimeoutMs != 0 && TimeoutMs - Waited < Slice)
+      Slice = static_cast<uint32_t>(TimeoutMs - Waited);
+    JobUnitResult U;
+    if (T.Handle.nextResult(U, Slice ? Slice : 1)) {
+      Json Resp = okFrame(Id);
+      Resp.set("job", T.Handle.id());
+      Resp.set("unit", toJson(U, T.Kind));
+      return Resp;
+    }
+    if (T.Handle.done()) {
+      // False + done = the stream is fully consumed.
+      Json Resp = okFrame(Id);
+      Resp.set("job", T.Handle.id());
+      Resp.set("exhausted", true);
+      return Resp;
+    }
+    Waited += Slice ? Slice : 1;
+    if ((TimeoutMs != 0 && Waited >= TimeoutMs) || StopFlag.load()) {
+      Json Resp = okFrame(Id);
+      Resp.set("job", T.Handle.id());
+      Resp.set("timeout", true);
+      return Resp;
+    }
+  }
+}
+
+Json ServiceServer::handleCancel(int64_t Id, const Json &Req) {
+  TrackedJob T;
+  Json Err;
+  if (!findJob(Id, Req, T, Err))
+    return Err;
+  T.Handle.cancel();
+  Json Resp = okFrame(Id);
+  Resp.set("job", T.Handle.id());
+  return Resp;
+}
+
+Json ServiceServer::handleDrain(int64_t Id) {
+  Svc.drain(); // blocks this connection thread until quiesced — by design
+  Json Resp = okFrame(Id);
+  Resp.set("health", serviceHealthName(Svc.health()));
+  return Resp;
+}
+
+Json ServiceServer::handleShutdown(int64_t Id, const Json &Req) {
+  uint32_t GraceMs =
+      static_cast<uint32_t>(Req.get("grace_ms").asUInt(0));
+  ShutdownReport R = Svc.shutdown(GraceMs);
+  Json Resp = okFrame(Id);
+  Resp.set("report", toJson(R));
+  return Resp;
+}
+
+Json ServiceServer::statsz() const {
+  Json J = serviceStatszJson(Svc);
+  Json W = Json::object();
+  auto Put = [&W](const char *Name, const StatCounter &C) {
+    W.set(Name, C.load());
+  };
+  Put("connections", Stats.Connections);
+  Put("connections_dropped", Stats.ConnectionsDropped);
+  Put("frames_read", Stats.FramesRead);
+  Put("frames_written", Stats.FramesWritten);
+  Put("frames_malformed", Stats.FramesMalformed);
+  Put("frames_oversized", Stats.FramesOversized);
+  Put("read_faults", Stats.ReadFaults);
+  Put("write_faults", Stats.WriteFaults);
+  Put("requests", Stats.Requests);
+  Put("unknown_ops", Stats.UnknownOps);
+  Put("jobs_replayed", Stats.JobsReplayed);
+  Put("replays_rejected", Stats.ReplaysRejected);
+  {
+    std::lock_guard<std::mutex> Lock(RMu);
+    W.set("tracked_jobs", Jobs.size());
+  }
+  Json JJ = Json::object();
+  {
+    std::lock_guard<std::mutex> Lock(JMu);
+    JJ.set("enabled", Journal != nullptr);
+    if (Journal) {
+      JJ.set("path", Journal->path());
+      JJ.set("append_failures", Journal->appendFailures());
+    }
+  }
+  W.set("journal", std::move(JJ));
+  J.set("wire", std::move(W));
+  return J;
+}
+
+Json ServiceServer::handleStatsz(int64_t Id) const {
+  Json Resp = okFrame(Id);
+  Resp.set("stats", statsz());
+  return Resp;
+}
+
+Json ServiceServer::handleHealthz(int64_t Id) const {
+  Json Resp = okFrame(Id);
+  Resp.set("health", serviceHealthName(Svc.health()));
+  Resp.set("active_jobs", Svc.activeJobs());
+  Resp.set("queued_jobs", Svc.queuedJobs());
+  Resp.set("workers", Svc.workers());
+  return Resp;
+}

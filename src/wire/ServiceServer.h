@@ -1,0 +1,188 @@
+//===- wire/ServiceServer.h - Wire front end of the service -----*- C++ -*-===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire front end of AnalysisService (DESIGN.md §12): a resident
+/// server speaking the line-delimited JSON protocol of docs/PROTOCOL.md
+/// over a Unix socket, localhost TCP, or a stdio/pipe pair, so a second
+/// process can drive the full job lifecycle — submit, stream unit
+/// results, poll, cancel, drain, shutdown — plus the observability
+/// surface (statsz, healthz).
+///
+/// Architecture (DESIGN.md §12.2): one accept thread per listener, one
+/// thread per connection, and handle() as the single transport-agnostic
+/// router — stdio serving and in-process tests call the same router the
+/// socket path does, so protocol behavior cannot fork by transport.
+/// Failure containment mirrors the framing layer: a malformed or
+/// oversized frame costs an error response, never the connection; a
+/// faulted read/write (chaos sites WireRead/WireWrite) costs one
+/// connection, never the server.
+///
+/// Durability (DESIGN.md §12.4): with a StateDir, every admitted submit
+/// is journaled (JobJournal) *before* admission and marked done only
+/// after its final result was published — so kill -9 anywhere between
+/// admission and completion leaves a pending record, and the next boot
+/// re-submits it (at-least-once; a replayed job re-runs from scratch and
+/// never double-reports). Shutdown-cancelled jobs deliberately stay
+/// pending: they were promised, not delivered. Finalized jobs also emit
+/// one structured JSONL line each to StateDir/jobs.log.jsonl.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RECAP_WIRE_SERVICESERVER_H
+#define RECAP_WIRE_SERVICESERVER_H
+
+#include "service/JobJournal.h"
+#include "wire/Framing.h"
+#include "wire/Protocol.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace recap {
+namespace wire {
+
+struct WireServerOptions {
+  /// Unix socket path to listen on (empty = no Unix listener).
+  std::string UnixPath;
+  /// Also/instead listen on 127.0.0.1:TcpPort (0 = ephemeral; the bound
+  /// port is readable via tcpPort()).
+  bool Tcp = false;
+  uint16_t TcpPort = 0;
+  /// Per-frame byte cap (see Framing.h).
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Directory for the admission journal (JournalFile) and the per-job
+  /// JSONL log (JobLogFile). Empty = neither.
+  std::string StateDir;
+  /// Re-submit the journal's pending jobs at start(). Off only in tests
+  /// that inspect the backlog without running it.
+  bool Replay = true;
+  /// Completed jobs are kept pollable until the registry exceeds this
+  /// cap, then evicted oldest-finished-first. New submits are rejected
+  /// ("registry-full") only when the cap is hit with nothing evictable.
+  size_t MaxTrackedJobs = 1024;
+};
+
+/// Wire-layer counters, reported as the `wire` section of /statsz
+/// (docs/OPERATIONS.md §3).
+struct WireServerStats {
+  StatCounter Connections;
+  StatCounter ConnectionsDropped; ///< closed on read/write error
+  StatCounter FramesRead;
+  StatCounter FramesWritten;
+  StatCounter FramesMalformed; ///< unparseable JSON (error frame sent)
+  StatCounter FramesOversized; ///< over MaxFrameBytes (discarded)
+  StatCounter ReadFaults;      ///< injected WireRead faults
+  StatCounter WriteFaults;     ///< write failures incl. WireWrite faults
+  StatCounter Requests;        ///< well-formed requests routed
+  StatCounter UnknownOps;
+  StatCounter JobsReplayed;    ///< journal backlog re-submitted at boot
+  StatCounter ReplaysRejected; ///< pending records dropped (bad/rejected)
+};
+
+/// The server. start() spawns the listeners; stop() (also the dtor)
+/// closes them, drains connection threads and closes the journal. The
+/// underlying AnalysisService is NOT owned: its own shutdown() semantics
+/// (including over the wire via the shutdown verb) are unchanged.
+class ServiceServer {
+public:
+  ServiceServer(AnalysisService &Svc, WireServerOptions Opts);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// Opens journal + log, replays the pending backlog, binds listeners,
+  /// spawns the accept and reaper threads. False with \p Err on any bind
+  /// failure (journal trouble is contained, not fatal: the server runs
+  /// without crash recovery and says so in statsz).
+  bool start(std::string &Err);
+
+  /// Idempotent teardown: stops accepting, unblocks and joins every
+  /// connection, joins the reaper, closes journal/log. Tracked jobs keep
+  /// running in the service; un-finalized ones simply stay journal-pending.
+  void stop();
+
+  /// Bound TCP port (after start() with Tcp).
+  uint16_t tcpPort() const { return BoundTcpPort; }
+
+  /// Serves one connection on \p InFd/\p OutFd (the stdio transport —
+  /// recli serve --stdio, or a pipe pair in tests). Blocks until EOF or
+  /// error. Requires start() for journal/replay; pass Listen=false
+  /// options to serve stdio only.
+  void serveStdio(int InFd, int OutFd);
+
+  /// The router: one request frame in, one response frame out. Public so
+  /// tests and the stdio path exercise the identical routing.
+  Json handle(const Json &Req);
+
+  /// Full observability dump: serviceStatszJson() plus the wire section.
+  Json statsz() const;
+
+  const WireServerStats &stats() const { return Stats; }
+
+  static constexpr const char *JournalFile = "jobs.journal";
+  static constexpr const char *JobLogFile = "jobs.log.jsonl";
+
+private:
+  struct TrackedJob {
+    JobHandle Handle;
+    JobKind Kind = JobKind::Dse;
+    std::string Tenant;
+    uint64_t JournalSeq = 0; ///< 0 = not journaled
+    bool Closed = false;     ///< finalized: logged + journal-done
+    uint64_t CloseOrder = 0; ///< eviction order among closed entries
+  };
+
+  void acceptLoop(int ListenFd);
+  void runConnection(int Fd);
+  void serveOn(int InFd, int OutFd);
+  void reaperLoop();
+  void closeTracked(TrackedJob &T);
+  void replayBacklog();
+  void logLine(const Json &Event);
+
+  Json handleSubmit(int64_t Id, const Json &Req);
+  Json handlePoll(int64_t Id, const Json &Req);
+  Json handleNextResult(int64_t Id, const Json &Req);
+  Json handleCancel(int64_t Id, const Json &Req);
+  Json handleDrain(int64_t Id);
+  Json handleShutdown(int64_t Id, const Json &Req);
+  Json handleStatsz(int64_t Id) const;
+  Json handleHealthz(int64_t Id) const;
+
+  /// Looks up a tracked job; false + error frame when absent.
+  bool findJob(int64_t Id, const Json &Req, TrackedJob &Out, Json &Err);
+
+  AnalysisService &Svc;
+  WireServerOptions Opts;
+  mutable WireServerStats Stats;
+
+  std::atomic<bool> StopFlag{false};
+  int UnixFd = -1;
+  int TcpFd = -1;
+  uint16_t BoundTcpPort = 0;
+
+  mutable std::mutex JMu; ///< journal (append/markDone are serialized)
+  std::unique_ptr<JobJournal> Journal;
+  std::mutex LogMu;
+  std::FILE *Log = nullptr;
+
+  mutable std::mutex RMu; ///< tracked-job registry
+  std::map<uint64_t, TrackedJob> Jobs;
+  uint64_t NextCloseOrder = 1;
+
+  std::mutex CMu; ///< connection bookkeeping
+  std::vector<std::thread> Acceptors;
+  std::vector<std::pair<int, std::thread>> Connections;
+  std::thread Reaper;
+};
+
+} // namespace wire
+} // namespace recap
+
+#endif // RECAP_WIRE_SERVICESERVER_H

@@ -1,0 +1,909 @@
+//===- tests/wire_test.cpp - Wire protocol suite ---------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The DESIGN.md §12 wire layer, deliberately Z3-free (LocalBackend only)
+// so the binary can join the ThreadSanitizer CI job:
+//
+//  - WireJson: hand-rolled JSON round-trips, malformed-input rejection,
+//    the depth cap, and unknown-field-tolerant reads.
+//  - WireHistogram: log-scale bucket edges, conservative quantiles, and
+//    merge associativity (shard/tenant windows fold in any order).
+//  - WireJournal: admit/done round-trip across reopen, torn-tail and
+//    corrupt-line tolerance, and compaction-at-open.
+//  - WireCrash: the acceptance scenario — a forked server is SIGKILLed
+//    between admission and completion (a JobDispatch hang pins the job
+//    in-flight), and the next boot's journal replay re-runs it to a
+//    clean verdict. Runs before any suite that spawns threads, so the
+//    fork happens from a single-threaded process.
+//  - WireServer: full lifecycle over a Unix socket with verdict parity
+//    vs an in-process run, survey parity vs serial Survey, statsz
+//    consistency with in-process ServiceStats, malformed/oversized
+//    frames costing one error (never the connection), concurrent
+//    clients, cancel/drain/shutdown verbs, and the stdio transport.
+//  - WireChaos: WireRead/WireWrite/JournalAppend faults degrade single
+//    connections or single appends; the server answers again afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Workloads.h"
+#include "reliability/FaultInjector.h"
+#include "service/LatencyHistogram.h"
+#include "smt/Solver.h"
+#include "survey/Survey.h"
+#include "wire/ServiceClient.h"
+#include "wire/ServiceServer.h"
+
+#include "CalibrationProbe.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace recap;
+using namespace recap::wire;
+
+namespace {
+
+const double PrimedScale = testsupport::localBudgetScale();
+
+ServiceOptions localService(size_t Workers) {
+  ServiceOptions O;
+  O.Workers = Workers;
+  O.ClampWorkers = false;
+  O.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  O.Engine.MaxTests = 3;
+  O.Engine.MaxSeconds = testsupport::localScaledSeconds(20);
+  return O;
+}
+
+std::string freshStateDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "recap_wire_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+Json parseOk(const std::string &Text) {
+  std::string Err;
+  Json J = Json::parse(Text, Err);
+  EXPECT_TRUE(Err.empty()) << Err << " in: " << Text;
+  return J;
+}
+
+/// A dse spec frame naming Table 7/8 generator programs.
+Json packageSpec(unsigned Seeds, const std::string &Tenant = "") {
+  Json Spec = Json::object();
+  Spec.set("kind", "dse");
+  if (!Tenant.empty())
+    Spec.set("tenant", Tenant);
+  Json Programs = Json::array();
+  for (unsigned I = 0; I < Seeds; ++I) {
+    Json P = Json::object();
+    P.set("package_seed", I);
+    Programs.push(std::move(P));
+  }
+  Spec.set("programs", std::move(Programs));
+  // Pin the engine budget: a wire run and an in-process run of the same
+  // spec then do identical work (TestsRun parity would otherwise be
+  // time-budget-dependent).
+  Json Engine = Json::object();
+  Engine.set("max_tests", 3);
+  Engine.set("max_seconds", testsupport::localScaledSeconds(20));
+  Spec.set("engine", std::move(Engine));
+  return Spec;
+}
+
+/// A survey spec: completes in milliseconds under any backend, so the
+/// wire-mechanics tests (concurrency, statsz, cancel, drain, stdio,
+/// crash replay, chaos) are not priced in DSE search time. The DSE path
+/// keeps its own coverage in the parity and pattern-probe tests.
+Json surveySpec(size_t Packages, const std::string &Tenant = "") {
+  Json Spec = Json::object();
+  Spec.set("kind", "survey");
+  if (!Tenant.empty())
+    Spec.set("tenant", Tenant);
+  Json Pkgs = Json::array();
+  for (size_t I = 0; I < Packages; ++I) {
+    Json P = Json::array();
+    P.push("var re" + std::to_string(I) +
+           " = /ab+c/g; if (x) { var t = /(a)\\1/ }\n");
+    Pkgs.push(std::move(P));
+  }
+  Spec.set("packages", std::move(Pkgs));
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// WireJson
+//===----------------------------------------------------------------------===//
+
+TEST(WireJson, ScalarRoundTrips) {
+  EXPECT_EQ(parseOk("null").kind(), Json::Kind::Null);
+  EXPECT_EQ(parseOk("true").asBool(), true);
+  EXPECT_EQ(parseOk("-42").asInt(), -42);
+  EXPECT_EQ(parseOk("9223372036854775807").asInt(), INT64_MAX);
+  EXPECT_DOUBLE_EQ(parseOk("2.5e3").asDouble(), 2500.0);
+  EXPECT_EQ(parseOk("\"a\\nb\\u0041\"").asStr(), "a\nbA");
+}
+
+TEST(WireJson, StructuredRoundTrip) {
+  Json Obj = Json::object();
+  Obj.set("name", "recap");
+  Obj.set("n", 3);
+  Obj.set("pi", 3.25);
+  Json Arr = Json::array();
+  Arr.push(1);
+  Arr.push("two");
+  Arr.push(Json());
+  Obj.set("mixed", std::move(Arr));
+  Json Nested = Json::object();
+  Nested.set("esc", std::string("tab\tquote\"slash\\"));
+  Obj.set("inner", std::move(Nested));
+
+  Json Back = parseOk(Obj.dump());
+  EXPECT_EQ(Back.get("name").asStr(), "recap");
+  EXPECT_EQ(Back.get("n").asInt(), 3);
+  EXPECT_DOUBLE_EQ(Back.get("pi").asDouble(), 3.25);
+  EXPECT_EQ(Back.get("mixed").size(), 3u);
+  EXPECT_EQ(Back.get("mixed").at(1).asStr(), "two");
+  EXPECT_TRUE(Back.get("mixed").at(2).isNull());
+  EXPECT_EQ(Back.get("inner").get("esc").asStr(), "tab\tquote\"slash\\");
+  // dump() is stable: insertion order survives the round trip.
+  EXPECT_EQ(Back.dump(), Obj.dump());
+}
+
+TEST(WireJson, DumpNeverEmitsNewlines) {
+  Json Obj = Json::object();
+  Obj.set("multi", std::string("line1\nline2\rline3"));
+  EXPECT_EQ(Obj.dump().find('\n'), std::string::npos);
+  EXPECT_EQ(Obj.dump().find('\r'), std::string::npos);
+  EXPECT_EQ(parseOk(Obj.dump()).get("multi").asStr(), "line1\nline2\rline3");
+}
+
+TEST(WireJson, MalformedInputsRejectWithoutValue) {
+  const char *Bad[] = {"",        "{",       "[1,]",      "{\"a\":}",
+                       "tru",     "01",      "1 2",       "\"unterminated",
+                       "{\"a\" 1}", "[1 2]", "nan",       "+1"};
+  for (const char *Text : Bad) {
+    std::string Err;
+    Json J = Json::parse(Text, Err);
+    EXPECT_FALSE(Err.empty()) << "accepted: " << Text;
+    EXPECT_TRUE(J.isNull());
+  }
+}
+
+TEST(WireJson, DepthCapRejectsDeepNesting) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  std::string Err;
+  Json J = Json::parse(Deep, Err, 64);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_TRUE(Json::parse(Deep, Err, 128).isArr());
+}
+
+TEST(WireJson, TolerantReadsForAbsentAndWrongTypes) {
+  Json J = parseOk("{\"known\":1,\"extra\":{\"deep\":true}}");
+  EXPECT_EQ(J.get("known").asInt(), 1);
+  EXPECT_TRUE(J.get("absent").isNull());
+  EXPECT_EQ(J.get("absent").asInt(7), 7);
+  EXPECT_EQ(J.get("known").asStr(), "");
+  EXPECT_EQ(J.get("extra").get("missing").asUInt(9), 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// WireHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(WireHistogram, BucketEdgesArePowersOfTwoMicros) {
+  LatencyHistogram H;
+  H.record(1e-6); // 1us -> bucket 0
+  H.record(3e-6); // 3us -> (2,4] = bucket 2
+  H.record(4e-6); // 4us -> bucket 2
+  H.record(5e-6); // 5us -> (4,8] = bucket 3
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.count(), 4u);
+  // Negative (the "never happened" sentinel) and non-finite are ignored.
+  H.record(-1);
+  H.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(H.count(), 4u);
+}
+
+TEST(WireHistogram, QuantilesAreConservativeUpperEdges) {
+  LatencyHistogram H;
+  for (int I = 0; I < 100; ++I)
+    H.record(3e-6); // all in bucket 2, upper edge 4us
+  EXPECT_DOUBLE_EQ(H.quantileSeconds(0.5), 4e-6);
+  EXPECT_DOUBLE_EQ(H.quantileSeconds(0.99), 4e-6);
+  H.record(1.0); // one slow outlier
+  EXPECT_GE(H.quantileSeconds(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.quantileSeconds(0.5), 4e-6);
+}
+
+TEST(WireHistogram, MergeIsAssociativeAndOrderInsensitive) {
+  auto Fill = [](LatencyHistogram &H, unsigned Seed, int N) {
+    uint64_t X = Seed * 2654435761u + 1;
+    for (int I = 0; I < N; ++I) {
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+      H.record(static_cast<double>(X % 1000000) * 1e-6);
+    }
+  };
+  LatencyHistogram A, B, C;
+  Fill(A, 1, 50);
+  Fill(B, 2, 70);
+  Fill(C, 3, 90);
+
+  LatencyHistogram L = A; // (A + B) + C
+  L.merge(B);
+  L.merge(C);
+  LatencyHistogram R = C; // C + (B + A)
+  LatencyHistogram BA = B;
+  BA.merge(A);
+  R.merge(BA);
+
+  EXPECT_EQ(L.count(), R.count());
+  EXPECT_DOUBLE_EQ(L.sumSeconds(), R.sumSeconds());
+  EXPECT_DOUBLE_EQ(L.minSeconds(), R.minSeconds());
+  EXPECT_DOUBLE_EQ(L.maxSeconds(), R.maxSeconds());
+  for (size_t I = 0; I < LatencyHistogram::NumBuckets; ++I)
+    EXPECT_EQ(L.bucketCount(I), R.bucketCount(I)) << "bucket " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// WireJournal
+//===----------------------------------------------------------------------===//
+
+TEST(WireJournal, AdmitDoneRoundTripAcrossReopen) {
+  std::string Dir = freshStateDir("journal_roundtrip");
+  std::string Path = Dir + "/j";
+  uint64_t S1, S2;
+  {
+    JobJournal J(Path);
+    ASSERT_TRUE(J.open());
+    EXPECT_TRUE(J.pending().empty());
+    S1 = J.append("{\"a\":1}");
+    S2 = J.append("{\"b\":2}");
+    ASSERT_NE(S1, 0u);
+    ASSERT_NE(S2, 0u);
+    EXPECT_TRUE(J.markDone(S1));
+  }
+  JobJournal J2(Path);
+  ASSERT_TRUE(J2.open());
+  ASSERT_EQ(J2.pending().size(), 1u);
+  EXPECT_EQ(J2.pending()[0].Seq, S2);
+  EXPECT_EQ(J2.pending()[0].Payload, "{\"b\":2}");
+}
+
+TEST(WireJournal, TornTailAndCorruptLinesAreDropped) {
+  std::string Dir = freshStateDir("journal_torn");
+  std::string Path = Dir + "/j";
+  {
+    JobJournal J(Path);
+    ASSERT_TRUE(J.open());
+    J.append("first");
+    J.append("second");
+  }
+  {
+    // Simulate a crash mid-append: a record missing its newline.
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out << "A 3 0123456789abcdef torn-paylo";
+  }
+  {
+    JobJournal J(Path);
+    ASSERT_TRUE(J.open());
+    EXPECT_EQ(J.pending().size(), 2u);
+  }
+  {
+    // A checksum-failing line ends the scan; records before it survive.
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out << "A 3 0000000000000000 bad-checksum\n";
+    Out << "A 4 ffffffffffffffff never-reached\n";
+  }
+  JobJournal J(Path);
+  ASSERT_TRUE(J.open());
+  EXPECT_EQ(J.pending().size(), 2u);
+  EXPECT_EQ(J.pending()[0].Payload, "first");
+}
+
+TEST(WireJournal, CompactionDropsSettledRecords) {
+  std::string Dir = freshStateDir("journal_compact");
+  std::string Path = Dir + "/j";
+  {
+    JobJournal J(Path);
+    ASSERT_TRUE(J.open());
+    for (int I = 0; I < 50; ++I)
+      J.markDone(J.append("payload-" + std::to_string(I)));
+    J.append("survivor");
+  }
+  uintmax_t Before = std::filesystem::file_size(Path);
+  {
+    JobJournal J(Path);
+    ASSERT_TRUE(J.open());
+    ASSERT_EQ(J.pending().size(), 1u);
+    EXPECT_EQ(J.pending()[0].Payload, "survivor");
+  }
+  EXPECT_LT(std::filesystem::file_size(Path), Before / 10);
+}
+
+TEST(WireJournal, NewlinePayloadsAreRejected) {
+  std::string Dir = freshStateDir("journal_newline");
+  JobJournal J(Dir + "/j");
+  ASSERT_TRUE(J.open());
+  EXPECT_EQ(J.append("two\nlines"), 0u);
+  EXPECT_EQ(J.appendFailures(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// WireCrash — must precede every thread-spawning suite in this file so
+// fork() happens from a single-threaded process (same discipline as
+// mmap_artifact_test's crash tests).
+//===----------------------------------------------------------------------===//
+
+TEST(WireCrash, KilledBetweenAdmissionAndCompletionReplaysOnReboot) {
+  std::string Dir = freshStateDir("crash_replay");
+  std::string Sock = Dir + "/s.sock";
+
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // Server process. A scripted JobDispatch hang pins every unit
+    // in-flight, so the submitted job is deterministically admitted but
+    // never completed when the parent SIGKILLs us.
+    FaultInjector FI(7);
+    FI.rates(FaultSite::JobDispatch).HangRate = 1.0;
+    FI.rates(FaultSite::JobDispatch).HangMs = 60000;
+    FaultInjector::ScopedInstall Install(FI);
+    AnalysisService Svc(localService(2));
+    WireServerOptions WO;
+    WO.UnixPath = Sock;
+    WO.StateDir = Dir;
+    ServiceServer Server(Svc, WO);
+    std::string Err;
+    if (!Server.start(Err))
+      _exit(3);
+    for (;;)
+      ::pause(); // the parent kill -9s us mid-job
+  }
+
+  // Client side: wait for the socket, submit, confirm admission.
+  ServiceClient C;
+  std::string Err;
+  bool Connected = false;
+  for (int I = 0; I < 200 && !Connected; ++I) {
+    Connected = C.connectUnixSocket(Sock, Err);
+    if (!Connected)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(Connected) << Err;
+  Result<uint64_t> Job = C.submit(surveySpec(3, "crashy"));
+  ASSERT_TRUE(bool(Job)) << Job.error();
+  C.close();
+
+  // The crash: no drain, no shutdown, no journal settle.
+  ASSERT_EQ(::kill(Child, SIGKILL), 0);
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFSIGNALED(Status));
+
+  // Reboot over the same state dir: the journal owes exactly one job,
+  // replay re-runs it from scratch to a clean verdict.
+  {
+    AnalysisService Svc(localService(2));
+    WireServerOptions WO;
+    WO.UnixPath = Sock;
+    WO.StateDir = Dir;
+    ServiceServer Server(Svc, WO);
+    ASSERT_TRUE(Server.start(Err)) << Err;
+    EXPECT_EQ(Server.stats().JobsReplayed.load(), 1u);
+    EXPECT_EQ(Server.stats().ReplaysRejected.load(), 0u);
+
+    for (int I = 0; I < 400 && Svc.stats().JobsCompleted.load() == 0; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(Svc.stats().JobsCompleted.load(), 1u);
+
+    // The replayed run is visible over the wire too.
+    ServiceClient C2;
+    ASSERT_TRUE(C2.connectUnixSocket(Sock, Err)) << Err;
+    Result<Json> SZ = C2.statsz();
+    ASSERT_TRUE(bool(SZ)) << SZ.error();
+    EXPECT_EQ(SZ->get("stats").get("wire").get("jobs_replayed").asUInt(),
+              1u);
+    // Give the reaper a beat to settle the journal-done record.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    Server.stop();
+    Svc.shutdown(0);
+  }
+
+  // After the clean run, nothing is owed.
+  JobJournal J(Dir + "/" + ServiceServer::JournalFile);
+  ASSERT_TRUE(J.open());
+  EXPECT_TRUE(J.pending().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// WireServer
+//===----------------------------------------------------------------------===//
+
+struct WireFixture {
+  std::string Dir;
+  AnalysisService Svc;
+  ServiceServer Server;
+
+  explicit WireFixture(const std::string &Name, size_t Workers = 2,
+                       WireServerOptions WO = {})
+      : Dir(freshStateDir(Name)), Svc(localService(Workers)),
+        Server(Svc, [&] {
+          WO.UnixPath = Dir + "/s.sock";
+          if (WO.StateDir.empty())
+            WO.StateDir = Dir;
+          return WO;
+        }()) {
+    std::string Err;
+    EXPECT_TRUE(Server.start(Err)) << Err;
+  }
+  ~WireFixture() {
+    Server.stop();
+    Svc.shutdown(0);
+  }
+
+  std::string socketPath() const { return Dir + "/s.sock"; }
+  void connect(ServiceClient &C) {
+    std::string Err;
+    ASSERT_TRUE(C.connectUnixSocket(socketPath(), Err)) << Err;
+  }
+};
+
+TEST(WireServer, HealthzOverSocket) {
+  WireFixture F("healthz");
+  ServiceClient C;
+  F.connect(C);
+  Result<Json> R = C.healthz();
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_EQ(R->get("health").asStr(), "healthy");
+  EXPECT_EQ(R->get("v").asInt(), 1);
+}
+
+TEST(WireServer, MalformedAndOversizedFramesKeepConnectionAlive) {
+  WireServerOptions WO;
+  WO.MaxFrameBytes = 512;
+  WireFixture F("frames", 2, WO);
+
+  std::string Err;
+  int Fd = connectUnix(F.socketPath(), Err);
+  ASSERT_GE(Fd, 0) << Err;
+  FrameReader Reader(Fd);
+  std::string Line;
+
+  // Malformed JSON -> error frame, connection stays up.
+  ASSERT_TRUE(writeFrame(Fd, "this is not json"));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  Json E1 = parseOk(Line);
+  EXPECT_FALSE(E1.get("ok").asBool());
+  EXPECT_EQ(E1.get("error").get("code").asStr(), "malformed");
+
+  // Oversized frame -> discarded, error frame, connection stays up.
+  std::string Huge = "{\"pad\":\"" + std::string(2048, 'x') + "\"}";
+  ASSERT_TRUE(writeFrame(Fd, Huge));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  EXPECT_EQ(parseOk(Line).get("error").get("code").asStr(), "oversized");
+
+  // Non-object frame and unknown op also cost exactly one error each.
+  ASSERT_TRUE(writeFrame(Fd, "[1,2,3]"));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  EXPECT_EQ(parseOk(Line).get("error").get("code").asStr(), "malformed");
+  ASSERT_TRUE(writeFrame(Fd, "{\"v\":1,\"id\":9,\"op\":\"frobnicate\"}"));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  Json E2 = parseOk(Line);
+  EXPECT_EQ(E2.get("error").get("code").asStr(), "unknown-op");
+  EXPECT_EQ(E2.get("id").asInt(), 9);
+
+  // Future protocol version -> version error.
+  ASSERT_TRUE(writeFrame(Fd, "{\"v\":2,\"id\":1,\"op\":\"healthz\"}"));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  EXPECT_EQ(parseOk(Line).get("error").get("code").asStr(), "version");
+
+  // ...and the connection still serves real requests afterwards.
+  ASSERT_TRUE(writeFrame(Fd, "{\"v\":1,\"id\":10,\"op\":\"healthz\"}"));
+  ASSERT_EQ(Reader.next(Line), ReadResult::Frame);
+  EXPECT_TRUE(parseOk(Line).get("ok").asBool());
+  closeFd(Fd);
+
+  EXPECT_GE(F.Server.stats().FramesMalformed.load(), 2u);
+  EXPECT_EQ(F.Server.stats().FramesOversized.load(), 1u);
+}
+
+TEST(WireServer, DseLifecycleMatchesInProcessRun) {
+  // In-process reference run over the identical corpus and options.
+  std::vector<EngineResult> Reference;
+  {
+    AnalysisService Ref(localService(2));
+    JobSpec S;
+    S.Kind = JobKind::Dse;
+    for (uint64_t Seed = 0; Seed < 2; ++Seed)
+      S.Programs.push_back(generateMiniPackage(Seed));
+    S.Engine.MaxTests = 3; // identical pins to packageSpec()
+    S.Engine.MaxSeconds = testsupport::localScaledSeconds(20);
+    Result<JobHandle> H = Ref.submit(std::move(S));
+    ASSERT_TRUE(bool(H)) << H.error();
+    ASSERT_TRUE(H->wait(0));
+    Reference = H->result().Results;
+    Ref.shutdown(0);
+  }
+  ASSERT_EQ(Reference.size(), 2u);
+
+  WireFixture F("parity");
+  ServiceClient C;
+  F.connect(C);
+  Result<uint64_t> Job = C.submit(packageSpec(2));
+  ASSERT_TRUE(bool(Job)) << Job.error();
+
+  // Stream all units, then read the final result via poll.
+  size_t Units = 0;
+  for (;;) {
+    Result<Json> R = C.nextResult(*Job, 30000);
+    ASSERT_TRUE(bool(R)) << R.error();
+    if (R->get("exhausted").asBool())
+      break;
+    ASSERT_FALSE(R->get("timeout").asBool()) << "unit stream stalled";
+    ++Units;
+  }
+  EXPECT_EQ(Units, 2u);
+
+  Result<Json> P = C.poll(*Job);
+  ASSERT_TRUE(bool(P)) << P.error();
+  EXPECT_TRUE(P->get("done").asBool());
+  const Json &Res = P->get("result");
+  EXPECT_EQ(Res.get("status").asStr(), "completed");
+  const Json &Results = Res.get("results");
+  ASSERT_EQ(Results.size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    const Json &W = Results.at(I);
+    EXPECT_EQ(W.get("tests_run").asUInt(), Reference[I].TestsRun)
+        << "unit " << I;
+    EXPECT_EQ(W.get("bug_found").asBool(), Reference[I].bugFound())
+        << "unit " << I;
+    EXPECT_EQ(W.get("covered_stmts").asUInt(), Reference[I].Covered.size())
+        << "unit " << I;
+    ASSERT_EQ(W.get("failed_asserts").size(),
+              Reference[I].FailedAsserts.size());
+    for (size_t K = 0; K < Reference[I].FailedAsserts.size(); ++K)
+      EXPECT_EQ(W.get("failed_asserts").at(K).asInt(),
+                Reference[I].FailedAsserts[K]);
+  }
+}
+
+TEST(WireServer, PatternProbeFindsMatchingInput) {
+  WireFixture F("probe");
+  ServiceClient C;
+  F.connect(C);
+  Json Spec = Json::object();
+  Json Programs = Json::array();
+  Json P = Json::object();
+  P.set("pattern", "/ab+c/");
+  Programs.push(std::move(P));
+  Spec.set("programs", std::move(Programs));
+  Result<uint64_t> Job = C.submit(Spec);
+  ASSERT_TRUE(bool(Job)) << Job.error();
+  Result<Json> R = C.nextResult(*Job, 30000);
+  ASSERT_TRUE(bool(R)) << R.error();
+  // DSE "finding the bug" == the solver synthesized a string in the
+  // pattern's language (the paper's point, over a wire).
+  EXPECT_TRUE(R->get("unit").get("dse").get("bug_found").asBool());
+}
+
+TEST(WireServer, SurveyOverWireMatchesSerialSurvey) {
+  std::vector<std::vector<std::string>> Packages;
+  for (int I = 0; I < 6; ++I)
+    Packages.push_back(
+        {"var re = /ab+c/g; var s = 'x';\n"
+         "if (y) { var t = /(a)\\1/ } // capture+backref\n",
+         "var u = /p" + std::to_string(I) + "[0-9]+/i;\n"});
+  Survey Serial;
+  Serial.addPackages(Packages, 0, Packages.size());
+
+  WireFixture F("survey");
+  ServiceClient C;
+  F.connect(C);
+  Json Spec = Json::object();
+  Spec.set("kind", "survey");
+  Json Pkgs = Json::array();
+  for (const auto &Files : Packages) {
+    Json PJ = Json::array();
+    for (const std::string &Src : Files)
+      PJ.push(Src);
+    Pkgs.push(std::move(PJ));
+  }
+  Spec.set("packages", std::move(Pkgs));
+  Result<uint64_t> Job = C.submit(Spec);
+  ASSERT_TRUE(bool(Job)) << Job.error();
+
+  Result<Json> P = C.poll(*Job);
+  ASSERT_TRUE(bool(P)) << P.error();
+  while (!P->get("done").asBool()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    P = C.poll(*Job);
+    ASSERT_TRUE(bool(P)) << P.error();
+  }
+  const Json &S = P->get("result").get("survey");
+  EXPECT_EQ(S.get("packages").asUInt(), Serial.Packages);
+  EXPECT_EQ(S.get("with_regex").asUInt(), Serial.WithRegex);
+  EXPECT_EQ(S.get("with_captures").asUInt(), Serial.WithCaptures);
+  EXPECT_EQ(S.get("with_backrefs").asUInt(), Serial.WithBackrefs);
+  EXPECT_EQ(S.get("total_regexes").asUInt(), Serial.TotalRegexes);
+  EXPECT_EQ(S.get("unique_regexes").asUInt(), Serial.UniqueRegexes);
+}
+
+TEST(WireServer, StatszConsistentWithInProcessStats) {
+  WireFixture F("statsz");
+  ServiceClient C;
+  F.connect(C);
+  for (int I = 0; I < 3; ++I) {
+    Result<uint64_t> Job = C.submit(surveySpec(2, "tenant-a"));
+    ASSERT_TRUE(bool(Job)) << Job.error();
+    Result<Json> P = C.poll(*Job);
+    ASSERT_TRUE(bool(P)) << P.error();
+    while (!P->get("done").asBool()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      P = C.poll(*Job);
+      ASSERT_TRUE(bool(P)) << P.error();
+    }
+  }
+
+  // The duration histogram is recorded a hair after the done flag; wait
+  // for it so the counts below are exact, not racy.
+  for (int I = 0; I < 200; ++I) {
+    auto Lat = F.Svc.latencyStats();
+    if (Lat["tenant-a"].JobDuration.count() >= 3)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  Result<Json> SZ = C.statsz();
+  ASSERT_TRUE(bool(SZ)) << SZ.error();
+  const Json &Stats = SZ->get("stats");
+  const ServiceStats &Real = F.Svc.stats();
+  EXPECT_EQ(Stats.get("service").get("submitted").asUInt(),
+            Real.Submitted.load());
+  EXPECT_EQ(Stats.get("service").get("admitted").asUInt(),
+            Real.Admitted.load());
+  EXPECT_EQ(Stats.get("service").get("jobs_completed").asUInt(),
+            Real.JobsCompleted.load());
+  EXPECT_EQ(Stats.get("runtime").get("intern_misses").asUInt(),
+            F.Svc.runtimeStats().InternMisses.load());
+
+  // Per-tenant latency histograms surfaced and populated.
+  const Json &Tenant = Stats.get("tenants").get("tenant-a");
+  ASSERT_FALSE(Tenant.isNull());
+  EXPECT_EQ(Tenant.get("latency").get("job_duration").get("count").asUInt(),
+            3u);
+  EXPECT_EQ(Tenant.get("latency").get("first_result").get("count").asUInt(),
+            3u);
+  auto Lat = F.Svc.latencyStats();
+  EXPECT_EQ(Lat["tenant-a"].JobDuration.count(), 3u);
+
+  // Wire section tallies the frames this very connection produced.
+  EXPECT_GE(Stats.get("wire").get("frames_read").asUInt(), 4u);
+  EXPECT_TRUE(Stats.get("wire").get("journal").get("enabled").asBool());
+}
+
+TEST(WireServer, ConcurrentClientsAllComplete) {
+  WireFixture F("concurrent", 4);
+  constexpr int NumClients = 6;
+  std::atomic<int> Completed{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumClients; ++T)
+    Threads.emplace_back([&, T] {
+      ServiceClient C;
+      std::string Err;
+      if (!C.connectUnixSocket(F.socketPath(), Err))
+        return;
+      Result<uint64_t> Job =
+          C.submit(surveySpec(2, "client-" + std::to_string(T)));
+      if (!Job)
+        return;
+      for (;;) {
+        Result<Json> R = C.nextResult(*Job, 30000);
+        if (!R)
+          return;
+        if (R->get("exhausted").asBool()) {
+          ++Completed;
+          return;
+        }
+        // A timeout just means the unit is still queued behind the
+        // other clients' work — keep waiting.
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Completed.load(), NumClients);
+  EXPECT_GE(F.Server.stats().Connections.load(), (uint64_t)NumClients);
+}
+
+TEST(WireServer, CancelVerbFinalizesJob) {
+  WireFixture F("cancel");
+  ServiceClient C;
+  F.connect(C);
+  Result<uint64_t> Job = C.submit(surveySpec(6));
+  ASSERT_TRUE(bool(Job)) << Job.error();
+  ASSERT_TRUE(bool(C.cancel(*Job)));
+  Result<Json> P = C.poll(*Job);
+  ASSERT_TRUE(bool(P)) << P.error();
+  while (!P->get("done").asBool()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    P = C.poll(*Job);
+    ASSERT_TRUE(bool(P)) << P.error();
+  }
+  // Cancel raced the (fast) job: either outcome must be a clean final
+  // state, never a wedge.
+  std::string Status = P->get("status").asStr();
+  EXPECT_TRUE(Status == "cancelled" || Status == "completed") << Status;
+}
+
+TEST(WireServer, UnknownJobIsAnError) {
+  WireFixture F("unknownjob");
+  ServiceClient C;
+  F.connect(C);
+  Result<Json> R = C.poll(4242);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().find("unknown-job"), std::string::npos);
+}
+
+TEST(WireServer, DrainAndShutdownVerbs) {
+  WireFixture F("drainshut");
+  ServiceClient C;
+  F.connect(C);
+  Result<uint64_t> Job = C.submit(surveySpec(2));
+  ASSERT_TRUE(bool(Job)) << Job.error();
+
+  Result<Json> D = C.drain();
+  ASSERT_TRUE(bool(D)) << D.error();
+  EXPECT_EQ(D->get("health").asStr(), "draining");
+  // Drain finished the promised work.
+  EXPECT_EQ(F.Svc.stats().JobsCompleted.load(), 1u);
+
+  Result<Json> S = C.shutdown(1000);
+  ASSERT_TRUE(bool(S)) << S.error();
+  EXPECT_TRUE(S->get("report").get("clean").asBool());
+
+  // The server still answers; the service rejects new work.
+  Result<Json> H = C.healthz();
+  ASSERT_TRUE(bool(H)) << H.error();
+  EXPECT_EQ(H->get("health").asStr(), "draining");
+  Result<uint64_t> Late = C.submit(surveySpec(1));
+  ASSERT_FALSE(bool(Late));
+  EXPECT_NE(Late.error().find("rejected"), std::string::npos);
+}
+
+TEST(WireServer, StdioTransportServesSameRouter) {
+  std::string Dir = freshStateDir("stdio");
+  AnalysisService Svc(localService(2));
+  WireServerOptions WO; // no listeners: stdio only
+  WO.StateDir = Dir;
+  ServiceServer Server(Svc, WO);
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  int ToServer[2], FromServer[2];
+  ASSERT_EQ(::pipe(ToServer), 0);
+  ASSERT_EQ(::pipe(FromServer), 0);
+  std::thread ServerThread(
+      [&] { Server.serveStdio(ToServer[0], FromServer[1]); });
+
+  ServiceClient C;
+  C.adoptFds(FromServer[0], ToServer[1]);
+  Result<uint64_t> Job = C.submit(surveySpec(2));
+  ASSERT_TRUE(bool(Job)) << Job.error();
+  Result<Json> R = C.nextResult(*Job, 30000);
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_FALSE(R->get("unit").isNull());
+
+  // EOF on the request pipe ends the stdio session.
+  ::close(ToServer[1]);
+  ServerThread.join();
+  ::close(ToServer[0]);
+  ::close(FromServer[0]);
+  ::close(FromServer[1]);
+  Server.stop();
+  Svc.shutdown(0);
+}
+
+TEST(WireServer, ReplayRejectsPoisonRecordsOnce) {
+  std::string Dir = freshStateDir("poison");
+  {
+    JobJournal J(Dir + "/" + ServiceServer::JournalFile);
+    ASSERT_TRUE(J.open());
+    ASSERT_NE(J.append("{\"kind\":\"dse\"}"), 0u); // no programs: rejected
+    ASSERT_NE(J.append("not json at all"), 0u);
+  }
+  {
+    WireServerOptions WO;
+    WO.StateDir = Dir;
+    AnalysisService Svc(localService(2));
+    ServiceServer Server(Svc, WO);
+    std::string Err;
+    ASSERT_TRUE(Server.start(Err)) << Err;
+    EXPECT_EQ(Server.stats().ReplaysRejected.load(), 2u);
+    EXPECT_EQ(Server.stats().JobsReplayed.load(), 0u);
+    Server.stop();
+    Svc.shutdown(0);
+  }
+  // Poison records were settled: the next boot owes nothing.
+  JobJournal J(Dir + "/" + ServiceServer::JournalFile);
+  ASSERT_TRUE(J.open());
+  EXPECT_TRUE(J.pending().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// WireChaos
+//===----------------------------------------------------------------------===//
+
+TEST(WireChaos, TransportFaultsDegradeConnectionsNotTheServer) {
+  WireFixture F("chaos_transport");
+  FaultInjector FI(11);
+  FI.rates(FaultSite::WireRead).UnknownRate = 0.2;
+  FI.rates(FaultSite::WireWrite).UnknownRate = 0.2;
+  {
+    FaultInjector::ScopedInstall Install(FI);
+    int Survived = 0;
+    for (int I = 0; I < 40; ++I) {
+      ServiceClient C;
+      std::string Err;
+      if (!C.connectUnixSocket(F.socketPath(), Err))
+        continue;
+      Result<Json> R = C.healthz();
+      if (R)
+        ++Survived;
+      // A failed call is a degraded connection, never a dead server.
+    }
+    EXPECT_GT(Survived, 0);
+  }
+  // Injector gone: the server answers cleanly again.
+  ServiceClient C;
+  F.connect(C);
+  Result<Json> R = C.healthz();
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_GT(FI.injectedAt(FaultSite::WireRead) +
+                FI.injectedAt(FaultSite::WireWrite),
+            0u);
+}
+
+TEST(WireChaos, JournalFaultsLoseDurabilityNeverAvailability) {
+  WireFixture F("chaos_journal");
+  FaultInjector FI(13);
+  FI.rates(FaultSite::JournalAppend).UnknownRate = 1.0;
+  uint64_t JobId = 0;
+  {
+    FaultInjector::ScopedInstall Install(FI);
+    ServiceClient C;
+    F.connect(C);
+    Result<uint64_t> Job = C.submit(surveySpec(1));
+    // The append was injected away; the job must still run.
+    ASSERT_TRUE(bool(Job)) << Job.error();
+    JobId = *Job;
+    Result<Json> R = C.nextResult(*Job, 30000);
+    ASSERT_TRUE(bool(R)) << R.error();
+  }
+  ASSERT_GT(JobId, 0u);
+  ServiceClient C2;
+  F.connect(C2);
+  Result<Json> SZ = C2.statsz();
+  ASSERT_TRUE(bool(SZ)) << SZ.error();
+  EXPECT_GE(SZ->get("stats")
+                .get("wire")
+                .get("journal")
+                .get("append_failures")
+                .asUInt(),
+            1u);
+}
+
+} // namespace

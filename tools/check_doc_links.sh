@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+#===- tools/check_doc_links.sh - Relative-link checker for the docs ------===#
+#
+# Part of recap. MIT license.
+#
+# Verifies that every relative markdown link target in the repo's *.md
+# files exists, so a rename or doc move cannot silently strand
+# README.md / DESIGN.md / docs/*.md cross-references. External links
+# (http/https/mailto), absolute paths and pure #anchors are skipped;
+# a target's #anchor suffix is stripped before the existence check.
+#
+# Usage: tools/check_doc_links.sh [repo-root]   (default: script's repo)
+# Exits 1 listing every broken link, 0 when all resolve.
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 2
+
+BROKEN=0
+CHECKED=0
+
+# Every tracked or untracked-but-not-ignored markdown file (fall back
+# to find outside a git checkout). --others catches docs added in the
+# working tree before their first commit.
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  FILES=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+  FILES=$(find . -name '*.md' -not -path './build*' | sed 's|^\./||')
+fi
+
+for File in $FILES; do
+  Dir=$(dirname "$File")
+  # Inline links: [text](target). One match per line is enough for the
+  # repo's docs style; multiple links per line are still all extracted.
+  while IFS= read -r Target; do
+    case "$Target" in
+    http://* | https://* | mailto:*) continue ;; # external
+    /*) continue ;;                              # absolute: not ours to check
+    '#'*) continue ;;                            # same-file anchor
+    '') continue ;;
+    esac
+    Path="${Target%%#*}" # strip anchor suffix
+    [ -z "$Path" ] && continue
+    CHECKED=$((CHECKED + 1))
+    if [ ! -e "$Dir/$Path" ]; then
+      echo "BROKEN: $File -> $Target"
+      BROKEN=$((BROKEN + 1))
+    fi
+  done < <(grep -o '](\([^)]*\))' "$File" 2>/dev/null |
+    sed 's/^](//; s/)$//')
+done
+
+if [ "$BROKEN" -ne 0 ]; then
+  echo "check_doc_links: $BROKEN broken link(s) out of $CHECKED checked"
+  exit 1
+fi
+echo "check_doc_links: all $CHECKED relative links resolve"

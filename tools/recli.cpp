@@ -1,0 +1,290 @@
+//===- tools/recli.cpp - Wire protocol driver ------------------------------===//
+//
+// Part of recap. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The operator CLI for the resident analysis service (docs/OPERATIONS.md):
+//
+//   recli serve   --socket /tmp/recap.sock [--state DIR] [--workers N]
+//                 [--backend local|z3] [--tcp PORT] [--stdio]
+//   recli submit  --socket S (--pattern /re/ | --workload NAME |
+//                 --package-seed N)... [--tenant T] [--deadline-ms D]
+//   recli results --socket S --job N           stream units as JSONL
+//   recli poll    --socket S --job N
+//   recli cancel  --socket S --job N
+//   recli drain   --socket S
+//   recli shutdown --socket S [--grace-ms G]
+//   recli statsz  --socket S
+//   recli healthz --socket S
+//
+// Every client subcommand also accepts --tcp-host H --tcp-port P instead
+// of --socket. Output is the raw response JSON, one frame per line, so
+// recli composes with jq and the docs' transcripts are copy-pasteable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "wire/ServiceClient.h"
+#include "wire/ServiceServer.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <cerrno>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace recap;
+using namespace recap::wire;
+
+namespace {
+
+std::atomic<bool> GStop{false};
+void onSignal(int) { GStop.store(true); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: recli <serve|submit|results|poll|cancel|drain|shutdown|"
+      "statsz|healthz> [options]\n"
+      "see docs/OPERATIONS.md for the full option reference\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> V;
+  explicit Args(int Argc, char **Argv) {
+    for (int I = 2; I < Argc; ++I)
+      V.push_back(Argv[I]);
+  }
+  bool flag(const std::string &Name) const {
+    for (const std::string &A : V)
+      if (A == Name)
+        return true;
+    return false;
+  }
+  std::string value(const std::string &Name,
+                    const std::string &Default = "") const {
+    for (size_t I = 0; I + 1 < V.size(); ++I)
+      if (V[I] == Name)
+        return V[I + 1];
+    return Default;
+  }
+  std::vector<std::string> values(const std::string &Name) const {
+    std::vector<std::string> Out;
+    for (size_t I = 0; I + 1 < V.size(); ++I)
+      if (V[I] == Name)
+        Out.push_back(V[I + 1]);
+    return Out;
+  }
+  uint64_t number(const std::string &Name, uint64_t Default = 0) const {
+    std::string S = value(Name);
+    return S.empty() ? Default : std::strtoull(S.c_str(), nullptr, 10);
+  }
+};
+
+int serveMain(const Args &A) {
+  ServiceOptions SO;
+  SO.Workers = A.number("--workers", 0);
+  SO.StateDir = A.value("--state");
+  // The state dir gates every durability feature (journal, job log,
+  // snapshots); create it up front rather than letting each of them
+  // degrade to disabled on a fresh host.
+  if (!SO.StateDir.empty() && ::mkdir(SO.StateDir.c_str(), 0755) != 0 &&
+      errno != EEXIST) {
+    std::fprintf(stderr, "recli serve: cannot create state dir %s: %s\n",
+                 SO.StateDir.c_str(), std::strerror(errno));
+    return 1;
+  }
+  if (A.value("--backend", "z3") == "local")
+    SO.Engine.BackendFactory = [] { return makeLocalBackend(); };
+  else
+    SO.Engine.BackendFactory = [] { return makeZ3Backend(); };
+  AnalysisService Svc(SO);
+
+  WireServerOptions WO;
+  WO.UnixPath = A.value("--socket");
+  WO.StateDir = SO.StateDir;
+  if (!A.value("--tcp").empty()) {
+    WO.Tcp = true;
+    WO.TcpPort = static_cast<uint16_t>(A.number("--tcp"));
+  }
+  bool Stdio = A.flag("--stdio");
+  if (WO.UnixPath.empty() && !WO.Tcp && !Stdio) {
+    std::fprintf(stderr,
+                 "serve needs --socket PATH, --tcp PORT or --stdio\n");
+    return 2;
+  }
+
+  ServiceServer Server(Svc, WO);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "recli serve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (WO.Tcp)
+    std::fprintf(stderr, "recli serve: listening on 127.0.0.1:%u\n",
+                 Server.tcpPort());
+  if (!WO.UnixPath.empty())
+    std::fprintf(stderr, "recli serve: listening on %s\n",
+                 WO.UnixPath.c_str());
+
+  if (Stdio) {
+    // One protocol session on stdin/stdout; stderr stays the log side.
+    Server.serveStdio(STDIN_FILENO, STDOUT_FILENO);
+  } else {
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    // Exit on a signal, or once a wire-delivered shutdown verb has
+    // stopped the service — supervisors expect the process to go away
+    // after a clean remote shutdown.
+    while (!GStop.load() && !Svc.stopped())
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::fprintf(stderr, Svc.stopped()
+                             ? "recli serve: service shut down, exiting\n"
+                             : "recli serve: signal received, "
+                               "shutting down\n");
+  }
+  Server.stop();
+  Svc.shutdown(2000);
+  return 0;
+}
+
+bool connectClient(const Args &A, ServiceClient &C) {
+  std::string Err;
+  std::string Socket = A.value("--socket");
+  if (!Socket.empty()) {
+    if (C.connectUnixSocket(Socket, Err))
+      return true;
+  } else if (!A.value("--tcp-port").empty()) {
+    if (C.connectTcpSocket(A.value("--tcp-host", "127.0.0.1"),
+                           static_cast<uint16_t>(A.number("--tcp-port")),
+                           Err))
+      return true;
+  } else {
+    Err = "need --socket PATH or --tcp-port P";
+  }
+  std::fprintf(stderr, "recli: %s\n", Err.c_str());
+  return false;
+}
+
+int printResult(const Result<Json> &R) {
+  if (!R) {
+    std::fprintf(stderr, "recli: %s\n", R.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n", R->dump().c_str());
+  return 0;
+}
+
+Json specFromArgs(const Args &A) {
+  Json Spec = Json::object();
+  Json Programs = Json::array();
+  for (const std::string &P : A.values("--pattern")) {
+    Json PS = Json::object();
+    PS.set("pattern", P);
+    Programs.push(std::move(PS));
+  }
+  for (const std::string &W : A.values("--workload")) {
+    Json PS = Json::object();
+    PS.set("workload", W);
+    Programs.push(std::move(PS));
+  }
+  for (const std::string &S : A.values("--package-seed")) {
+    Json PS = Json::object();
+    PS.set("package_seed",
+           static_cast<uint64_t>(std::strtoull(S.c_str(), nullptr, 10)));
+    Programs.push(std::move(PS));
+  }
+  Spec.set("kind", "dse");
+  Spec.set("programs", std::move(Programs));
+  if (!A.value("--tenant").empty())
+    Spec.set("tenant", A.value("--tenant"));
+  if (!A.value("--deadline-ms").empty())
+    Spec.set("deadline_ms", A.number("--deadline-ms"));
+  Json Engine = Json::object();
+  if (!A.value("--max-tests").empty())
+    Engine.set("max_tests", A.number("--max-tests"));
+  if (!A.value("--max-seconds").empty())
+    Engine.set("max_seconds",
+               std::strtod(A.value("--max-seconds").c_str(), nullptr));
+  if (Engine.size() > 0)
+    Spec.set("engine", std::move(Engine));
+  return Spec;
+}
+
+int submitMain(const Args &A) {
+  ServiceClient C;
+  if (!connectClient(A, C))
+    return 1;
+  Json Spec = specFromArgs(A);
+  if (Spec.get("programs").size() == 0) {
+    std::fprintf(stderr, "recli submit: need --pattern, --workload or "
+                         "--package-seed\n");
+    return 2;
+  }
+  Json P = Json::object();
+  P.set("spec", std::move(Spec));
+  return printResult(C.call("submit", std::move(P)));
+}
+
+int resultsMain(const Args &A) {
+  ServiceClient C;
+  if (!connectClient(A, C))
+    return 1;
+  uint64_t Job = A.number("--job");
+  for (;;) {
+    Result<Json> R = C.nextResult(Job, A.number("--timeout-ms", 0));
+    if (!R) {
+      std::fprintf(stderr, "recli: %s\n", R.error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", R->dump().c_str());
+    std::fflush(stdout);
+    if (R->get("exhausted").asBool() || R->get("timeout").asBool())
+      return 0;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  Args A(Argc, Argv);
+
+  if (Cmd == "serve")
+    return serveMain(A);
+  if (Cmd == "submit")
+    return submitMain(A);
+  if (Cmd == "results")
+    return resultsMain(A);
+
+  ServiceClient C;
+  if (!connectClient(A, C))
+    return 1;
+  if (Cmd == "poll")
+    return printResult(C.poll(A.number("--job")));
+  if (Cmd == "cancel")
+    return printResult(C.cancel(A.number("--job")));
+  if (Cmd == "drain")
+    return printResult(C.drain());
+  if (Cmd == "shutdown")
+    return printResult(
+        C.shutdown(static_cast<uint32_t>(A.number("--grace-ms"))));
+  if (Cmd == "statsz")
+    return printResult(C.statsz());
+  if (Cmd == "healthz")
+    return printResult(C.healthz());
+  return usage();
+}
